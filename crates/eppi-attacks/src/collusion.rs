@@ -1,0 +1,297 @@
+//! The colluding-providers attack (§II-B; analyzed in the paper's
+//! technical report \[21\]).
+//!
+//! Beyond the public index, an attacker may control a coalition of
+//! providers. Colluders contribute their *true* membership vectors, which
+//! sharpens the primary attack in two ways:
+//!
+//! 1. **Candidate elimination** — published positives at colluding
+//!    providers are resolved exactly (true or false positive) and removed
+//!    from the guessing pool;
+//! 2. **Rate re-estimation** — the remaining pool's false-positive rate
+//!    shrinks accordingly.
+//!
+//! For the *construction protocol*, collusion of up to `c − 1` providers
+//! is handled by the secret sharing (Theorem 4.1). This module measures
+//! the residual *index-level* exposure, which no PPI can fully avoid:
+//! every colluder removed from the guessing pool shrinks the denominator
+//! of the false-positive rate, so the attacker's confidence climbs from
+//! `1 − ε_j` toward certainty as the coalition grows. ε-PPI's knob keeps
+//! the *zero-collusion* baseline quantified; the sweep in the `collusion`
+//! experiment binary shows how fast coalitions erode it.
+
+use crate::primary::PrimaryClaim;
+use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A coalition of colluding providers.
+#[derive(Debug, Clone, Default)]
+pub struct Coalition {
+    members: HashSet<ProviderId>,
+}
+
+impl Coalition {
+    /// Creates a coalition from explicit members.
+    pub fn new(members: impl IntoIterator<Item = ProviderId>) -> Self {
+        Coalition {
+            members: members.into_iter().collect(),
+        }
+    }
+
+    /// Samples a random coalition of `size` providers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` exceeds the provider count.
+    pub fn random<R: Rng + ?Sized>(providers: usize, size: usize, rng: &mut R) -> Self {
+        assert!(size <= providers, "coalition larger than the network");
+        let picked = rand::seq::index::sample(rng, providers, size);
+        Coalition {
+            members: picked.iter().map(|i| ProviderId(i as u32)).collect(),
+        }
+    }
+
+    /// Coalition size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the coalition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `provider` colludes.
+    pub fn contains(&self, provider: ProviderId) -> bool {
+        self.members.contains(&provider)
+    }
+}
+
+/// What the coalition-assisted attacker can conclude about one owner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollusionView {
+    /// Confirmed true positives (colluders that truly hold the owner).
+    pub confirmed: Vec<ProviderId>,
+    /// Published providers outside the coalition — the residual guessing
+    /// pool.
+    pub residual_pool: Vec<ProviderId>,
+    /// True positives remaining in the residual pool (ground truth; the
+    /// attacker cannot see this, the evaluator can).
+    pub residual_true: usize,
+}
+
+impl CollusionView {
+    /// The attacker's expected confidence when guessing uniformly from
+    /// the residual pool; `None` if the pool is empty.
+    ///
+    /// Note: if `confirmed` is non-empty the attacker already *knows*
+    /// memberships without guessing — callers should treat any confirmed
+    /// hit as a full disclosure for those pairs (an unavoidable
+    /// consequence of storing data at a malicious provider, outside any
+    /// PPI's threat model).
+    pub fn residual_confidence(&self) -> Option<f64> {
+        if self.residual_pool.is_empty() {
+            None
+        } else {
+            Some(self.residual_true as f64 / self.residual_pool.len() as f64)
+        }
+    }
+}
+
+/// Computes the coalition-assisted view of one owner's published row.
+pub fn collusion_view(
+    truth: &MembershipMatrix,
+    published: &PublishedIndex,
+    coalition: &Coalition,
+    owner: OwnerId,
+) -> CollusionView {
+    let mut confirmed = Vec::new();
+    let mut residual_pool = Vec::new();
+    let mut residual_true = 0usize;
+    for provider in published.query(owner) {
+        if coalition.contains(provider) {
+            if truth.get(provider, owner) {
+                confirmed.push(provider);
+            }
+            // A colluder that does NOT hold the owner is eliminated from
+            // the pool entirely: the attacker knows it is a decoy.
+        } else {
+            if truth.get(provider, owner) {
+                residual_true += 1;
+            }
+            residual_pool.push(provider);
+        }
+    }
+    CollusionView {
+        confirmed,
+        residual_pool,
+        residual_true,
+    }
+}
+
+/// Mounts one coalition-assisted primary attack on `owner`: guesses
+/// uniformly from the residual pool. `None` when nothing remains to
+/// guess.
+pub fn attack_with_collusion<R: Rng + ?Sized>(
+    truth: &MembershipMatrix,
+    published: &PublishedIndex,
+    coalition: &Coalition,
+    owner: OwnerId,
+    rng: &mut R,
+) -> Option<PrimaryClaim> {
+    let view = collusion_view(truth, published, coalition, owner);
+    let provider = *view.residual_pool.choose(rng)?;
+    Some(PrimaryClaim {
+        owner,
+        provider,
+        succeeded: truth.get(provider, owner),
+    })
+}
+
+impl CollusionView {
+    /// The attacker's *effective* confidence in naming one provider that
+    /// truly holds the owner: `1` when a colluder already confirmed a
+    /// membership, otherwise the residual-pool guess rate (`None` when
+    /// there is nothing to claim at all).
+    pub fn effective_confidence(&self) -> Option<f64> {
+        if !self.confirmed.is_empty() {
+            Some(1.0)
+        } else {
+            self.residual_confidence()
+        }
+    }
+}
+
+/// Mean effective confidence across owners for a given coalition size,
+/// averaged over `samples` random coalitions — the curve the collusion
+/// experiment sweeps.
+pub fn mean_effective_confidence<R: Rng + ?Sized>(
+    truth: &MembershipMatrix,
+    published: &PublishedIndex,
+    coalition_size: usize,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for _ in 0..samples {
+        let coalition = Coalition::random(truth.providers(), coalition_size, rng);
+        for owner in truth.owner_ids() {
+            if let Some(c) =
+                collusion_view(truth, published, &coalition, owner).effective_confidence()
+            {
+                total += c;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Truth: p0 holds t0. Published: p0..p4.
+    fn setup() -> (MembershipMatrix, PublishedIndex) {
+        let mut truth = MembershipMatrix::new(6, 1);
+        truth.set(ProviderId(0), OwnerId(0), true);
+        let mut pubm = truth.clone();
+        for p in 1..5u32 {
+            pubm.set(ProviderId(p), OwnerId(0), true);
+        }
+        (truth.clone(), PublishedIndex::new(pubm, vec![0.8]))
+    }
+
+    #[test]
+    fn colluding_decoys_shrink_the_pool() {
+        let (truth, published) = setup();
+        // Colluders p1, p2 are decoys: they get eliminated.
+        let coalition = Coalition::new([ProviderId(1), ProviderId(2)]);
+        let view = collusion_view(&truth, &published, &coalition, OwnerId(0));
+        assert!(view.confirmed.is_empty());
+        assert_eq!(view.residual_pool.len(), 3);
+        assert_eq!(view.residual_true, 1);
+        // Confidence rose from 1/5 to 1/3.
+        assert!((view.residual_confidence().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colluding_true_positive_confirms_membership() {
+        let (truth, published) = setup();
+        let coalition = Coalition::new([ProviderId(0)]);
+        let view = collusion_view(&truth, &published, &coalition, OwnerId(0));
+        assert_eq!(view.confirmed, vec![ProviderId(0)]);
+        assert_eq!(view.residual_true, 0);
+        // Residual pool is all decoys: guessing there always fails.
+        assert_eq!(view.residual_confidence(), Some(0.0));
+    }
+
+    #[test]
+    fn empty_coalition_reduces_to_primary_attack() {
+        let (truth, published) = setup();
+        let coalition = Coalition::default();
+        assert!(coalition.is_empty());
+        let view = collusion_view(&truth, &published, &coalition, OwnerId(0));
+        assert!((view.residual_confidence().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attack_picks_only_residual_providers() {
+        let (truth, published) = setup();
+        let coalition = Coalition::new([ProviderId(1), ProviderId(2)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let claim =
+                attack_with_collusion(&truth, &published, &coalition, OwnerId(0), &mut rng)
+                    .unwrap();
+            assert!(!coalition.contains(claim.provider));
+        }
+    }
+
+    #[test]
+    fn confidence_grows_with_coalition_size() {
+        let (truth, published) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = mean_effective_confidence(&truth, &published, 0, 40, &mut rng);
+        let mid = mean_effective_confidence(&truth, &published, 2, 40, &mut rng);
+        let large = mean_effective_confidence(&truth, &published, 4, 40, &mut rng);
+        assert!(
+            small <= mid + 0.05 && mid <= large + 0.05,
+            "collusion must not reduce confidence: {small} / {mid} / {large}"
+        );
+        assert!(large > small, "a 4-of-6 coalition must help: {small} vs {large}");
+    }
+
+    #[test]
+    fn effective_confidence_counts_confirmed_hits() {
+        let (truth, published) = setup();
+        let coalition = Coalition::new([ProviderId(0)]);
+        let view = collusion_view(&truth, &published, &coalition, OwnerId(0));
+        assert_eq!(view.effective_confidence(), Some(1.0));
+    }
+
+    #[test]
+    fn full_coalition_leaves_nothing_to_guess() {
+        let (truth, published) = setup();
+        let coalition = Coalition::new((0..6).map(ProviderId));
+        let view = collusion_view(&truth, &published, &coalition, OwnerId(0));
+        assert_eq!(view.residual_confidence(), None);
+        assert_eq!(view.confirmed.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the network")]
+    fn oversized_random_coalition_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Coalition::random(3, 4, &mut rng);
+    }
+}

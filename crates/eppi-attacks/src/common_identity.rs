@@ -1,0 +1,159 @@
+//! The common-identity attack (§II-B) — the new attack the paper
+//! introduces.
+//!
+//! The attacker targets identities that appear in (almost) all
+//! providers: once such an identity is confirmed common, *any* provider
+//! is a true positive, so the primary-attack obfuscation is useless.
+//! The attacker's information source is the apparent frequency spectrum:
+//!
+//! * against a **generic PPI**, the published matrix `M'` reveals the
+//!   (approximate) truthful frequencies — high published frequency ⇒
+//!   probably a true common identity;
+//! * against **SS-PPI**, the construction itself leaks exact
+//!   frequencies, so the attacker needs no estimation at all;
+//! * against **ε-PPI**, identity mixing publishes a ξ-fraction of
+//!   decoys at full frequency, capping the attacker's precision at
+//!   `1 − ξ`.
+
+use eppi_core::model::{MembershipMatrix, OwnerId, PublishedIndex};
+
+/// What the attacker can see about identity frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrequencyKnowledge<'a> {
+    /// Only the public index (generic channel): published row weights.
+    Published,
+    /// Construction-time leak of exact frequencies (the SS-PPI channel).
+    Leaked(&'a [usize]),
+}
+
+/// Outcome of one common-identity attack sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonAttackOutcome {
+    /// Identities the attacker flagged as common.
+    pub targets: Vec<OwnerId>,
+    /// How many flagged identities are truly common.
+    pub true_commons: usize,
+    /// The attacker's precision = true commons / flagged — their
+    /// confidence that an arbitrary flagged identity is attackable.
+    /// `None` when nothing was flagged.
+    pub precision: Option<f64>,
+}
+
+/// Mounts the common-identity attack: flag every identity whose
+/// *apparent* frequency is at least `flag_fraction · m`, then check the
+/// flags against the ground truth, where "truly common" means a true
+/// frequency of at least `common_fraction · m`.
+///
+/// # Panics
+///
+/// Panics if a leaked-frequency slice has the wrong length or either
+/// fraction is outside `\[0, 1\]`.
+pub fn attack(
+    truth: &MembershipMatrix,
+    published: &PublishedIndex,
+    knowledge: FrequencyKnowledge<'_>,
+    flag_fraction: f64,
+    common_fraction: f64,
+) -> CommonAttackOutcome {
+    assert!((0.0..=1.0).contains(&flag_fraction), "flag_fraction in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&common_fraction),
+        "common_fraction in [0, 1]"
+    );
+    let m = truth.providers();
+    let apparent: Vec<usize> = match knowledge {
+        FrequencyKnowledge::Published => published.matrix().frequencies(),
+        FrequencyKnowledge::Leaked(freqs) => {
+            assert_eq!(freqs.len(), truth.owners(), "one frequency per owner");
+            freqs.to_vec()
+        }
+    };
+    let flag_at = (flag_fraction * m as f64).ceil() as usize;
+    let common_at = (common_fraction * m as f64).ceil() as usize;
+    let true_freqs = truth.frequencies();
+
+    let targets: Vec<OwnerId> = apparent
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f >= flag_at.max(1))
+        .map(|(j, _)| OwnerId(j as u32))
+        .collect();
+    let true_commons = targets
+        .iter()
+        .filter(|t| true_freqs[t.index()] >= common_at.max(1))
+        .count();
+    let precision = if targets.is_empty() {
+        None
+    } else {
+        Some(true_commons as f64 / targets.len() as f64)
+    };
+    CommonAttackOutcome {
+        targets,
+        true_commons,
+        precision,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::model::ProviderId;
+
+    /// 10 providers; identity 0 common (10/10), identity 1 rare (1/10),
+    /// identity 2 rare but published everywhere (a decoy).
+    fn setup() -> (MembershipMatrix, PublishedIndex) {
+        let mut truth = MembershipMatrix::new(10, 3);
+        for p in 0..10u32 {
+            truth.set(ProviderId(p), OwnerId(0), true);
+        }
+        truth.set(ProviderId(4), OwnerId(1), true);
+        truth.set(ProviderId(6), OwnerId(2), true);
+
+        let mut pubm = truth.clone();
+        for p in 0..10u32 {
+            pubm.set(ProviderId(p), OwnerId(2), true); // decoy at full freq
+        }
+        (truth.clone(), PublishedIndex::new(pubm, vec![1.0, 0.0, 1.0]))
+    }
+
+    #[test]
+    fn decoys_halve_precision() {
+        let (truth, published) = setup();
+        let out = attack(&truth, &published, FrequencyKnowledge::Published, 0.9, 0.9);
+        assert_eq!(out.targets, vec![OwnerId(0), OwnerId(2)]);
+        assert_eq!(out.true_commons, 1);
+        assert!((out.precision.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaked_frequencies_restore_certainty() {
+        let (truth, published) = setup();
+        let leaked = truth.frequencies();
+        let out = attack(
+            &truth,
+            &published,
+            FrequencyKnowledge::Leaked(&leaked),
+            0.9,
+            0.9,
+        );
+        assert_eq!(out.targets, vec![OwnerId(0)]);
+        assert_eq!(out.precision, Some(1.0));
+    }
+
+    #[test]
+    fn nothing_flagged_when_threshold_too_high() {
+        let mut truth = MembershipMatrix::new(10, 1);
+        truth.set(ProviderId(0), OwnerId(0), true);
+        let published = PublishedIndex::new(truth.clone(), vec![0.0]);
+        let out = attack(&truth, &published, FrequencyKnowledge::Published, 0.9, 0.9);
+        assert!(out.targets.is_empty());
+        assert_eq!(out.precision, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one frequency per owner")]
+    fn leak_length_validated() {
+        let (truth, published) = setup();
+        attack(&truth, &published, FrequencyKnowledge::Leaked(&[1]), 0.9, 0.9);
+    }
+}

@@ -1,0 +1,121 @@
+//! The primary attack (§II-B).
+//!
+//! The attacker learns the public PPI matrix `M'`, picks an owner `t_j`
+//! and a provider `p_i` with `M'(i, j) = 1`, and claims "owner `t_j`
+//! has delegated records to provider `p_i`". The attack succeeds when
+//! the claim is a true positive; the attacker's expected confidence over
+//! the published row is `1 − fp_j` — exactly the quantity ε-PPI bounds
+//! by `1 − ε_j`.
+
+use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One primary-attack claim and its verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimaryClaim {
+    /// The targeted owner.
+    pub owner: OwnerId,
+    /// The accused provider.
+    pub provider: ProviderId,
+    /// Whether the claim is a true positive (attack succeeded).
+    pub succeeded: bool,
+}
+
+/// Launches one primary attack on `owner`: picks a uniformly random
+/// provider from the published row. Returns `None` when the row is
+/// empty (nothing to attack).
+pub fn attack_owner<R: Rng + ?Sized>(
+    truth: &MembershipMatrix,
+    published: &PublishedIndex,
+    owner: OwnerId,
+    rng: &mut R,
+) -> Option<PrimaryClaim> {
+    let candidates = published.query(owner);
+    let provider = *candidates.choose(rng)?;
+    Some(PrimaryClaim {
+        owner,
+        provider,
+        succeeded: truth.get(provider, owner),
+    })
+}
+
+/// The attacker's *expected* confidence against `owner` — the success
+/// probability of [`attack_owner`] over its random choice, i.e.
+/// `1 − fp_j`. `None` when the published row is empty.
+pub fn expected_confidence(
+    truth: &MembershipMatrix,
+    published: &PublishedIndex,
+    owner: OwnerId,
+) -> Option<f64> {
+    eppi_core::privacy::owner_privacy(truth, published, owner).attacker_confidence()
+}
+
+/// Runs `trials` independent primary attacks against `owner` and
+/// returns the empirical success rate (`None` for an empty row).
+pub fn empirical_confidence<R: Rng + ?Sized>(
+    truth: &MembershipMatrix,
+    published: &PublishedIndex,
+    owner: OwnerId,
+    trials: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    let mut successes = 0usize;
+    for _ in 0..trials {
+        successes += usize::from(attack_owner(truth, published, owner, rng)?.succeeded);
+    }
+    Some(successes as f64 / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MembershipMatrix, PublishedIndex) {
+        // Truth: p0 holds t0. Published: p0..p3 (3 false positives).
+        let mut truth = MembershipMatrix::new(5, 1);
+        truth.set(ProviderId(0), OwnerId(0), true);
+        let mut pubm = truth.clone();
+        for p in 1..4u32 {
+            pubm.set(ProviderId(p), OwnerId(0), true);
+        }
+        (truth.clone(), PublishedIndex::new(pubm, vec![0.75]))
+    }
+
+    #[test]
+    fn expected_confidence_is_one_minus_fp() {
+        let (truth, published) = setup();
+        let c = expected_confidence(&truth, &published, OwnerId(0)).unwrap();
+        assert!((c - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_matches_expected() {
+        let (truth, published) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let emp = empirical_confidence(&truth, &published, OwnerId(0), 20_000, &mut rng).unwrap();
+        assert!((emp - 0.25).abs() < 0.02, "empirical {emp}");
+    }
+
+    #[test]
+    fn empty_row_gives_none() {
+        let truth = MembershipMatrix::new(3, 1);
+        let published = PublishedIndex::new(MembershipMatrix::new(3, 1), vec![0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(attack_owner(&truth, &published, OwnerId(0), &mut rng).is_none());
+        assert!(expected_confidence(&truth, &published, OwnerId(0)).is_none());
+    }
+
+    #[test]
+    fn attack_only_picks_published_providers() {
+        let (truth, published) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let claim = attack_owner(&truth, &published, OwnerId(0), &mut rng).unwrap();
+            assert!(claim.provider.index() < 4, "picked unpublished provider");
+            assert_eq!(claim.succeeded, claim.provider == ProviderId(0));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The re-publication (intersection) attack — why ε-PPI is *static*.
+//!
+//! §III-C argues ε-PPI "is fully resistant to repeated attacks against
+//! the same identity over time, because the ε-PPI is static; once
+//! constructed … it stays the same." This module demonstrates the
+//! contrapositive: if the index were re-randomized every epoch (fresh
+//! false-positive coin flips per publication), an attacker who archives
+//! the published versions could intersect an owner's rows — true
+//! positives appear in *every* version (the truthful rule), while any
+//! particular decoy survives `k` versions only with probability `β^k`.
+//! Confidence then converges to certainty geometrically.
+
+use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use std::collections::HashSet;
+
+/// The attacker's archive of published index versions.
+#[derive(Debug, Clone, Default)]
+pub struct IndexArchive {
+    versions: Vec<PublishedIndex>,
+}
+
+impl IndexArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        IndexArchive::default()
+    }
+
+    /// Records one published version.
+    pub fn record(&mut self, index: PublishedIndex) {
+        self.versions.push(index);
+    }
+
+    /// Number of archived versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Providers published for `owner` in *every* archived version — the
+    /// intersection attack's candidate set. Empty archive yields an
+    /// empty set.
+    pub fn intersection(&self, owner: OwnerId) -> Vec<ProviderId> {
+        let mut iter = self.versions.iter();
+        let first = match iter.next() {
+            Some(v) => v,
+            None => return Vec::new(),
+        };
+        let mut set: HashSet<ProviderId> = first.query(owner).into_iter().collect();
+        for version in iter {
+            let next: HashSet<ProviderId> = version.query(owner).into_iter().collect();
+            set.retain(|p| next.contains(p));
+        }
+        let mut out: Vec<ProviderId> = set.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// The intersection attacker's confidence against `owner`: the
+    /// true-positive fraction of the intersected candidate set (`None`
+    /// if the set is empty).
+    pub fn intersection_confidence(
+        &self,
+        truth: &MembershipMatrix,
+        owner: OwnerId,
+    ) -> Option<f64> {
+        let candidates = self.intersection(owner);
+        if candidates.is_empty() {
+            return None;
+        }
+        let hits = candidates.iter().filter(|&&p| truth.get(p, owner)).count();
+        Some(hits as f64 / candidates.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::construct::{construct, ConstructionConfig};
+    use eppi_core::model::Epsilon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network() -> (MembershipMatrix, Vec<Epsilon>) {
+        let mut truth = MembershipMatrix::new(400, 1);
+        for p in 0..8u32 {
+            truth.set(ProviderId(p * 37 % 400), OwnerId(0), true);
+        }
+        (truth, vec![Epsilon::saturating(0.9)])
+    }
+
+    /// Re-randomizing each epoch lets the intersection converge to the
+    /// true positives — the leak the static design prevents.
+    #[test]
+    fn rerandomized_epochs_leak_geometrically() {
+        let (truth, eps) = network();
+        let mut archive = IndexArchive::new();
+        let mut confidences = Vec::new();
+        for epoch in 0..6u64 {
+            // FRESH seed per epoch = fresh coin flips (the broken design).
+            let mut rng = StdRng::seed_from_u64(1000 + epoch);
+            let built = construct(&truth, &eps, ConstructionConfig::default(), &mut rng)
+                .expect("construction");
+            archive.record(built.index);
+            confidences.push(archive.intersection_confidence(&truth, OwnerId(0)).unwrap());
+        }
+        // Confidence is (weakly) monotone and ends at certainty.
+        for w in confidences.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "confidence must not drop: {confidences:?}");
+        }
+        assert!(
+            *confidences.last().unwrap() > 0.95,
+            "six epochs should nearly expose the owner: {confidences:?}"
+        );
+        // The truthful rule keeps every true positive in the intersection.
+        let survivors = archive.intersection(OwnerId(0));
+        for p in truth.providers_of(OwnerId(0)) {
+            assert!(survivors.contains(&p));
+        }
+    }
+
+    /// The paper's static design: the same index re-served every epoch
+    /// adds no information — the intersection equals any single version.
+    #[test]
+    fn static_index_gains_attacker_nothing() {
+        let (truth, eps) = network();
+        let mut rng = StdRng::seed_from_u64(7);
+        let built = construct(&truth, &eps, ConstructionConfig::default(), &mut rng)
+            .expect("construction");
+        let single = built.index.query(OwnerId(0));
+        let mut archive = IndexArchive::new();
+        for _ in 0..6 {
+            archive.record(built.index.clone());
+        }
+        assert_eq!(archive.intersection(OwnerId(0)), {
+            let mut s = single.clone();
+            s.sort();
+            s
+        });
+        let confidence = archive.intersection_confidence(&truth, OwnerId(0)).unwrap();
+        assert!(
+            confidence <= 1.0 - eps[0].value() + 0.05,
+            "static archive keeps the ε bound: {confidence}"
+        );
+    }
+
+    #[test]
+    fn empty_archive_has_no_candidates() {
+        let (truth, _) = network();
+        let archive = IndexArchive::new();
+        assert!(archive.is_empty());
+        assert!(archive.intersection(OwnerId(0)).is_empty());
+        assert_eq!(archive.intersection_confidence(&truth, OwnerId(0)), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! The grouping-based PPI baseline (\[12\], \[13\]; §VI-A, Appendix B).
+//!
+//! Inspired by k-anonymity, existing PPIs randomly assign providers to
+//! disjoint *privacy groups*; a group reports `1` for an identity as
+//! soon as any member holds it, so true positives hide among their
+//! group-mates. The published index expands every group claim back to
+//! all group members — searchers must broadcast within claiming groups.
+//!
+//! The weaknesses the paper demonstrates (and that Fig. 4 / Table II
+//! measure):
+//!
+//! * the achieved false-positive rate is **non-deterministic** — it
+//!   depends on how the random assignment scattered the identity — so
+//!   no quantitative per-owner ε can be honoured (NoGuarantee);
+//! * all identities share one group assignment, so per-owner privacy
+//!   degrees cannot be personalized at all;
+//! * common identities remain exposed: a group claiming an identity that
+//!   every provider holds is a certain hit (common-identity attack).
+
+use eppi_core::model::{MembershipMatrix, ProviderId, PublishedIndex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A random disjoint assignment of providers to privacy groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAssignment {
+    /// `group_of[i]` is the group index of provider `i`.
+    group_of: Vec<usize>,
+    groups: usize,
+}
+
+impl GroupAssignment {
+    /// Randomly partitions `providers` providers into `groups` groups of
+    /// near-equal size (the random grouping of \[12\]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0` or `groups > providers`.
+    pub fn random<R: Rng + ?Sized>(providers: usize, groups: usize, rng: &mut R) -> Self {
+        assert!(groups >= 1, "at least one group required");
+        assert!(
+            groups <= providers,
+            "cannot split {providers} providers into {groups} groups"
+        );
+        let mut order: Vec<usize> = (0..providers).collect();
+        order.shuffle(rng);
+        let mut group_of = vec![0usize; providers];
+        for (pos, &p) in order.iter().enumerate() {
+            group_of[p] = pos % groups;
+        }
+        GroupAssignment { group_of, groups }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The group of a provider.
+    pub fn group_of(&self, provider: ProviderId) -> usize {
+        self.group_of[provider.index()]
+    }
+
+    /// The members of a group.
+    pub fn members(&self, group: usize) -> Vec<ProviderId> {
+        self.group_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g == group)
+            .map(|(i, _)| ProviderId(i as u32))
+            .collect()
+    }
+}
+
+/// A constructed grouping PPI.
+#[derive(Debug, Clone)]
+pub struct GroupingPpi {
+    assignment: GroupAssignment,
+    index: PublishedIndex,
+}
+
+impl GroupingPpi {
+    /// Constructs the grouping index: group `g` claims identity `t_j`
+    /// iff some member holds it; the published matrix then lists every
+    /// member of each claiming group.
+    pub fn construct<R: Rng + ?Sized>(
+        matrix: &MembershipMatrix,
+        groups: usize,
+        rng: &mut R,
+    ) -> Self {
+        let assignment = GroupAssignment::random(matrix.providers(), groups, rng);
+        let mut published = MembershipMatrix::new(matrix.providers(), matrix.owners());
+        for owner in matrix.owner_ids() {
+            let mut claiming = vec![false; groups];
+            for p in matrix.providers_of(owner) {
+                claiming[assignment.group_of(p)] = true;
+            }
+            for provider in matrix.provider_ids() {
+                if claiming[assignment.group_of(provider)] {
+                    published.set(provider, owner, true);
+                }
+            }
+        }
+        // Grouping PPIs have no per-owner β; the published index records
+        // zeros to keep the common PublishedIndex shape.
+        let betas = vec![0.0; matrix.owners()];
+        GroupingPpi {
+            assignment,
+            index: PublishedIndex::new(published, betas),
+        }
+    }
+
+    /// The group assignment used.
+    pub fn assignment(&self) -> &GroupAssignment {
+        &self.assignment
+    }
+
+    /// The published index (interchangeable with ε-PPI output for
+    /// attack/metric evaluation).
+    pub fn index(&self) -> &PublishedIndex {
+        &self.index
+    }
+
+    /// Consumes the PPI, returning the published index.
+    pub fn into_index(self) -> PublishedIndex {
+        self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::model::OwnerId;
+    use eppi_core::privacy::owner_privacy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn assignment_partitions_providers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = GroupAssignment::random(10, 3, &mut rng);
+        let sizes: Vec<usize> = (0..3).map(|g| a.members(g).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn group_claims_cover_true_positives() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = MembershipMatrix::new(12, 2);
+        m.set(ProviderId(3), OwnerId(0), true);
+        m.set(ProviderId(7), OwnerId(1), true);
+        let ppi = GroupingPpi::construct(&m, 4, &mut rng);
+        // 100% recall: true positives are published.
+        assert!(ppi.index().matrix().get(ProviderId(3), OwnerId(0)));
+        assert!(ppi.index().matrix().get(ProviderId(7), OwnerId(1)));
+        // Whole group published: group size 3 ⇒ 3 providers claimed.
+        assert_eq!(ppi.index().query(OwnerId(0)).len(), 3);
+    }
+
+    #[test]
+    fn noise_comes_from_group_mates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = MembershipMatrix::new(100, 1);
+        m.set(ProviderId(42), OwnerId(0), true);
+        let ppi = GroupingPpi::construct(&m, 10, &mut rng);
+        let p = owner_privacy(&m, ppi.index(), OwnerId(0));
+        // One true positive in a ~10-member group ⇒ fp ≈ 0.9.
+        let fp = p.false_positive_rate.unwrap();
+        assert!((0.8..1.0).contains(&fp), "fp {fp}");
+    }
+
+    #[test]
+    fn single_group_broadcasts_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = MembershipMatrix::new(6, 1);
+        m.set(ProviderId(0), OwnerId(0), true);
+        let ppi = GroupingPpi::construct(&m, 1, &mut rng);
+        assert_eq!(ppi.index().query(OwnerId(0)).len(), 6);
+    }
+
+    #[test]
+    fn absent_identity_is_not_published() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = MembershipMatrix::new(8, 1);
+        let ppi = GroupingPpi::construct(&m, 2, &mut rng);
+        assert!(ppi.index().query(OwnerId(0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        GroupAssignment::random(5, 0, &mut rng);
+    }
+}

@@ -1,0 +1,22 @@
+//! # eppi-baselines — the PPIs ε-PPI is compared against
+//!
+//! The paper's evaluation (Fig. 4, Table II) compares ε-PPI with the
+//! prior grouping-based PPI designs, both re-implemented here:
+//!
+//! * [`grouping::GroupingPpi`] — the k-anonymity-inspired random-group
+//!   construction of Bawa et al. (\[12\], \[13\]);
+//! * [`ss_ppi::SsPpi`] — SS-PPI (\[22\]): a grouping index built with
+//!   secret sharing, which leaks exact identity frequencies during
+//!   construction (the NoProtect row of Table II).
+//!
+//! Both produce an `eppi_core::model::PublishedIndex`, so every privacy
+//! metric and attack in the workspace applies to them unchanged.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod grouping;
+pub mod ss_ppi;
+
+pub use grouping::{GroupAssignment, GroupingPpi};
+pub use ss_ppi::SsPpi;

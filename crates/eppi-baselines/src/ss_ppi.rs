@@ -1,0 +1,95 @@
+//! The SS-PPI baseline (\[22\]; §VI-A, Appendix B, Table II).
+//!
+//! SS-PPI is a grouping PPI whose construction uses secret sharing to
+//! resist colluding providers. Its distinguishing weakness for the
+//! paper's threat model: during index construction it "directly leaks
+//! the sensitive common term's frequency σ_j to providers", so the
+//! common-identity attack succeeds with certainty — the paper classifies
+//! it NoProtect against that attack (Table II).
+//!
+//! We model the index itself as a grouping construction (the published
+//! artifact is structurally the same) plus the explicit construction-time
+//! leak: the exact per-identity frequencies any participating provider —
+//! and hence a colluding attacker — learns.
+
+use crate::grouping::{GroupAssignment, GroupingPpi};
+use eppi_core::model::{MembershipMatrix, PublishedIndex};
+use rand::Rng;
+
+/// A constructed SS-PPI with its construction-time leakage.
+#[derive(Debug, Clone)]
+pub struct SsPpi {
+    inner: GroupingPpi,
+    leaked_frequencies: Vec<usize>,
+}
+
+impl SsPpi {
+    /// Constructs the SS-PPI index over `groups` privacy groups.
+    ///
+    /// The returned value records the construction-time frequency leak
+    /// alongside the published index.
+    pub fn construct<R: Rng + ?Sized>(
+        matrix: &MembershipMatrix,
+        groups: usize,
+        rng: &mut R,
+    ) -> Self {
+        let inner = GroupingPpi::construct(matrix, groups, rng);
+        SsPpi {
+            inner,
+            leaked_frequencies: matrix.frequencies(),
+        }
+    }
+
+    /// The published index.
+    pub fn index(&self) -> &PublishedIndex {
+        self.inner.index()
+    }
+
+    /// The group assignment used.
+    pub fn assignment(&self) -> &GroupAssignment {
+        self.inner.assignment()
+    }
+
+    /// The exact identity frequencies leaked to providers during
+    /// construction — the attacker-visible side channel that makes the
+    /// common-identity attack trivial against SS-PPI.
+    pub fn leaked_frequencies(&self) -> &[usize] {
+        &self.leaked_frequencies
+    }
+
+    /// Consumes the PPI, returning the published index.
+    pub fn into_index(self) -> PublishedIndex {
+        self.inner.into_index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::model::{OwnerId, ProviderId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn leak_exposes_exact_frequencies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = MembershipMatrix::new(20, 3);
+        for p in 0..20u32 {
+            m.set(ProviderId(p), OwnerId(0), true); // common identity
+        }
+        m.set(ProviderId(4), OwnerId(1), true);
+        let ppi = SsPpi::construct(&m, 4, &mut rng);
+        assert_eq!(ppi.leaked_frequencies(), &[20, 1, 0]);
+    }
+
+    #[test]
+    fn published_index_is_group_shaped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = MembershipMatrix::new(12, 1);
+        m.set(ProviderId(5), OwnerId(0), true);
+        let ppi = SsPpi::construct(&m, 3, &mut rng);
+        // The claiming group's size (4) bounds the answer.
+        assert_eq!(ppi.index().query(OwnerId(0)).len(), 4);
+        assert!(ppi.index().matrix().get(ProviderId(5), OwnerId(0)));
+    }
+}

@@ -1,0 +1,63 @@
+//! Benchmarks of full index constructions: centralized ε-PPI,
+//! the distributed trusted-party-free protocol, the pure-MPC baseline,
+//! and the grouping comparator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eppi_baselines::grouping::GroupingPpi;
+use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi_protocol::construct::{construct_distributed, ProtocolConfig};
+use eppi_protocol::pure_mpc::{construct_pure_mpc, PureMpcConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn network(m: usize, n: usize) -> (MembershipMatrix, Vec<Epsilon>) {
+    let mut matrix = MembershipMatrix::new(m, n);
+    for j in 0..n {
+        for k in 0..(m / 20).max(1) {
+            matrix.set(ProviderId(((j * 31 + k * 7) % m) as u32), OwnerId(j as u32), true);
+        }
+    }
+    (matrix, vec![Epsilon::saturating(0.5); n])
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let (matrix, eps) = network(2000, 200);
+    c.bench_function("construct/centralized_2000x200", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| construct(&matrix, &eps, ConstructionConfig::default(), &mut rng).unwrap())
+    });
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let (matrix, eps) = network(60, 8);
+    let cfg = ProtocolConfig::default();
+    c.bench_function("construct/distributed_60x8_c3", |b| {
+        b.iter(|| construct_distributed(&matrix, &eps, &cfg).unwrap())
+    });
+}
+
+fn bench_pure_mpc(c: &mut Criterion) {
+    let (matrix, eps) = network(9, 2);
+    let cfg = PureMpcConfig::default();
+    c.bench_function("construct/pure_mpc_9x2", |b| {
+        b.iter(|| construct_pure_mpc(&matrix, &eps, &cfg).unwrap())
+    });
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let (matrix, _) = network(2000, 200);
+    c.bench_function("construct/grouping_2000x200_g100", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| GroupingPpi::construct(&matrix, 100, &mut rng))
+    });
+}
+
+criterion_group!(
+    construction,
+    bench_centralized,
+    bench_distributed,
+    bench_pure_mpc,
+    bench_grouping
+);
+criterion_main!(construction);

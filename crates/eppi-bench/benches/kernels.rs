@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the computational kernels underlying the
+//! construction: secret sharing, β policies, randomized publication,
+//! and workload synthesis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi_core::policy::{BetaPolicy, ChernoffPolicy};
+use eppi_core::publish::publish_matrix;
+use eppi_mpc::field::Modulus;
+use eppi_mpc::share::{recombine, split};
+use eppi_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_secret_sharing(c: &mut Criterion) {
+    let q = Modulus::pow2(32);
+    c.bench_function("share/split_c3", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| split(12345, 3, q, &mut rng))
+    });
+    c.bench_function("share/split_recombine_c5", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let s = split(999, 5, q, &mut rng);
+            recombine(&s)
+        })
+    });
+}
+
+fn bench_beta_policies(c: &mut Criterion) {
+    let chernoff = ChernoffPolicy::new(0.9).expect("valid gamma");
+    let eps = Epsilon::saturating(0.5);
+    c.bench_function("policy/chernoff_beta", |b| {
+        b.iter(|| chernoff.raw_beta(std::hint::black_box(0.01), eps, 10_000))
+    });
+    c.bench_function("policy/chernoff_sigma_threshold", |b| {
+        b.iter(|| chernoff.sigma_threshold(eps, 10_000))
+    });
+}
+
+fn bench_publication(c: &mut Criterion) {
+    let mut matrix = MembershipMatrix::new(1000, 100);
+    for j in 0..100u32 {
+        for k in 0..10u32 {
+            matrix.set(ProviderId((j * 7 + k * 13) % 1000), OwnerId(j), true);
+        }
+    }
+    let betas = vec![0.05; 100];
+    c.bench_function("publish/1000x100_beta0.05", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| publish_matrix(&matrix, &betas, &mut rng))
+    });
+    c.bench_function("matrix/frequencies_1000x100", |b| {
+        b.iter(|| matrix.frequencies())
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let zipf = Zipf::new(500, 1.0);
+    c.bench_function("workload/zipf_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| zipf.sample(&mut rng))
+    });
+    c.bench_function("workload/collection_table_500x200", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(5),
+            |mut rng| {
+                eppi_workload::collections::CollectionTable::new(500, 200)
+                    .max_frequency(25)
+                    .build(&mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_secret_sharing,
+    bench_beta_policies,
+    bench_publication,
+    bench_workload
+);
+criterion_main!(kernels);

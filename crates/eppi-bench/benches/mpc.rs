@@ -1,0 +1,156 @@
+//! Benchmarks of the MPC substrate: circuit compilation, in-process GMW
+//! evaluation, threaded evaluation, and the SecSumShare protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eppi_core::model::{LocalVector, OwnerId, ProviderId};
+use eppi_mpc::circuits::CountBelowCircuit;
+use eppi_mpc::field::Modulus;
+use eppi_mpc::gmw;
+use eppi_mpc::share::split;
+use eppi_net::sim::LinkModel;
+use eppi_protocol::secsum::secsumshare_sim;
+use eppi_protocol::threaded_gmw::execute_threaded;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn shares_for(freqs: &[u64], c: usize, width: usize) -> Vec<Vec<u64>> {
+    let q = Modulus::pow2(width as u32);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut per = vec![vec![0u64; freqs.len()]; c];
+    for (j, &f) in freqs.iter().enumerate() {
+        let s = split(f, c, q, &mut rng);
+        for (k, &v) in s.values().iter().enumerate() {
+            per[k][j] = v;
+        }
+    }
+    per
+}
+
+fn bench_circuit_build(c: &mut Criterion) {
+    let thresholds = vec![100u64; 16];
+    c.bench_function("mpc/build_countbelow_c3_n16_w14", |b| {
+        b.iter(|| CountBelowCircuit::build(3, &thresholds, 14))
+    });
+}
+
+fn bench_gmw(c: &mut Criterion) {
+    let thresholds = vec![100u64; 8];
+    let cc = CountBelowCircuit::build(3, &thresholds, 10);
+    let freqs = vec![50u64; 8];
+    let shares = shares_for(&freqs, 3, 10);
+    let inputs: Vec<Vec<bool>> = shares.iter().map(|s| cc.encode_party_input(s)).collect();
+    c.bench_function("mpc/gmw_countbelow_c3_n8", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| gmw::execute(cc.circuit(), cc.layout(), &inputs, &mut rng))
+    });
+    c.bench_function("mpc/threaded_countbelow_c3_n8", |b| {
+        b.iter(|| execute_threaded(cc.circuit(), cc.layout(), &inputs, 9))
+    });
+}
+
+fn bench_secsum(c: &mut Criterion) {
+    let m = 1000usize;
+    let n = 32usize;
+    let vectors: Vec<LocalVector> = (0..m)
+        .map(|i| {
+            let mut v = LocalVector::new(ProviderId(i as u32), n);
+            for j in 0..n {
+                if (i + j) % 10 == 0 {
+                    v.set(OwnerId(j as u32), true);
+                }
+            }
+            v
+        })
+        .collect();
+    c.bench_function("mpc/secsumshare_sim_1000x32_c3", |b| {
+        b.iter(|| secsumshare_sim(&vectors, 3, Modulus::pow2(16), LinkModel::LAN, 1))
+    });
+}
+
+fn bench_offline_phase(c: &mut Criterion) {
+    c.bench_function("mpc/ot_transfer", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| eppi_mpc::ot::transfer(0xAAAA, 0x5555, true, &mut rng))
+    });
+    c.bench_function("mpc/ot_triples_3party_x8", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| eppi_mpc::triples::generate_triples(3, 8, &mut rng))
+    });
+}
+
+fn bench_naive_circuit(c: &mut Criterion) {
+    use eppi_mpc::circuits::{FixedPoint, NaiveConstructionCircuit};
+    let fp = FixedPoint { frac_bits: 8 };
+    let a_fp = fp.encode(1.0);
+    let l_fp = fp.encode(std::f64::consts::LN_10);
+    c.bench_function("mpc/build_naive_beta_circuit_m9", |b| {
+        b.iter(|| NaiveConstructionCircuit::build(9, &[a_fp], l_fp, fp, 8, 0))
+    });
+    let nc = NaiveConstructionCircuit::build(5, &[a_fp], l_fp, fp, 4, 0);
+    let mut rng = StdRng::seed_from_u64(13);
+    let inputs: Vec<Vec<bool>> = (0..5)
+        .map(|p| nc.encode_party_input(&[p < 3], &[7]))
+        .collect();
+    let _ = &mut rng;
+    c.bench_function("mpc/eval_naive_beta_cleartext_m5", |b| {
+        let flat = nc.layout().flatten(&inputs);
+        b.iter(|| nc.circuit().eval(&flat))
+    });
+}
+
+fn bench_garbled(c: &mut Criterion) {
+    use eppi_mpc::garble::{evaluate, garble};
+    let thresholds = vec![100u64; 8];
+    let cc = CountBelowCircuit::build(2, &thresholds, 10);
+    c.bench_function("mpc/garble_countbelow_c2_n8", |b| {
+        let mut rng = StdRng::seed_from_u64(21);
+        b.iter(|| garble(cc.circuit(), &mut rng))
+    });
+    let mut rng = StdRng::seed_from_u64(22);
+    let (garbled, labels) = garble(cc.circuit(), &mut rng);
+    let encoded: Vec<u64> = (0..cc.circuit().inputs())
+        .map(|w| labels.encode(w, w % 3 == 0))
+        .collect();
+    c.bench_function("mpc/evaluate_garbled_countbelow", |b| {
+        b.iter(|| evaluate(cc.circuit(), &garbled, &encoded))
+    });
+}
+
+fn bench_arith(c: &mut Criterion) {
+    use eppi_mpc::arith::{execute_arith, ArithBuilder};
+    let q = Modulus::new(1_000_003);
+    let mut ab = ArithBuilder::new(q);
+    let xs: Vec<usize> = (0..16).map(|_| ab.input()).collect();
+    // Inner product with itself: 16 secret multiplications.
+    let prods: Vec<usize> = xs.iter().map(|&x| ab.mul(x, x)).collect();
+    let total = ab.sum(&prods);
+    let circuit = ab.finish(vec![total]);
+    let mut rng = StdRng::seed_from_u64(23);
+    let shares: Vec<Vec<u64>> = {
+        let values: Vec<u64> = (0..16).map(|i| i * 31).collect();
+        let mut per = vec![vec![0u64; 16]; 3];
+        for (w, &v) in values.iter().enumerate() {
+            let s = split(v, 3, q, &mut rng);
+            for (p, &sv) in s.values().iter().enumerate() {
+                per[p][w] = sv;
+            }
+        }
+        per
+    };
+    c.bench_function("mpc/arith_inner_product_3party_x16", |b| {
+        let mut rng = StdRng::seed_from_u64(24);
+        b.iter(|| execute_arith(&circuit, &shares, &mut rng))
+    });
+}
+
+criterion_group!(
+    mpc,
+    bench_circuit_build,
+    bench_gmw,
+    bench_secsum,
+    bench_offline_phase,
+    bench_naive_circuit,
+    bench_garbled,
+    bench_arith
+);
+criterion_main!(mpc);

@@ -1,0 +1,68 @@
+//! Benchmarks of the service path: `QueryPPI` evaluation, the two-phase
+//! search, and the privacy metrics the evaluation sweeps hammer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::model::{Epsilon, OwnerId};
+use eppi_core::privacy::{owner_privacy, success_ratio};
+use eppi_index::access::{AccessPolicy, SearcherId};
+use eppi_index::search::{LocatorService, ProviderEndpoint};
+use eppi_index::server::PpiServer;
+use eppi_index::store::LocalStore;
+use eppi_workload::collections::{uniform_epsilons, CollectionTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_query_path(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let matrix = CollectionTable::new(1000, 300)
+        .max_frequency(30)
+        .build(&mut rng);
+    let epsilons = uniform_epsilons(300, &mut rng);
+    let built = construct(&matrix, &epsilons, ConstructionConfig::default(), &mut rng)
+        .expect("construction");
+
+    let endpoints: Vec<ProviderEndpoint> = matrix
+        .provider_ids()
+        .map(|p| {
+            let mut store = LocalStore::new(p);
+            for owner in matrix.owner_ids() {
+                if matrix.get(p, owner) {
+                    store.delegate(owner, epsilons[owner.index()], "payload");
+                }
+            }
+            ProviderEndpoint { store, policy: AccessPolicy::Open }
+        })
+        .collect();
+    let service = LocatorService::new(PpiServer::new(built.index.clone()), endpoints);
+
+    c.bench_function("query/query_ppi", |b| {
+        b.iter(|| service.server().query(std::hint::black_box(OwnerId(17))))
+    });
+    c.bench_function("query/two_phase_search", |b| {
+        b.iter(|| service.search(SearcherId(1), std::hint::black_box(OwnerId(17))))
+    });
+    c.bench_function("metrics/owner_privacy", |b| {
+        b.iter(|| owner_privacy(&matrix, &built.index, std::hint::black_box(OwnerId(17))))
+    });
+    c.bench_function("metrics/success_ratio_1000x300", |b| {
+        b.iter(|| success_ratio(&matrix, &built.index, &epsilons, true))
+    });
+
+    // A skewed query stream against the server (popularity Zipf 1.0).
+    let workload = eppi_workload::queries::QueryWorkload::new(300, 1.0, &mut rng);
+    c.bench_function("query/zipf_stream_1000_lookups", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..1000 {
+                total += service.server().query(workload.sample(&mut rng)).len();
+            }
+            total
+        })
+    });
+    let _ = Epsilon::saturating(0.0);
+}
+
+criterion_group!(query, bench_query_path);
+criterion_main!(query);

@@ -1,0 +1,107 @@
+//! Ablation: the collusion-tolerance parameter `c`.
+//!
+//! DESIGN.md calls out `c` as the central design knob of the MPC-reduced
+//! protocol: larger `c` tolerates more colluding providers but grows the
+//! generic-MPC part (circuit size, traffic, time). This sweep quantifies
+//! that trade-off — the paper fixes `c = 3` and this table shows why
+//! that is a sweet spot.
+
+use crate::report::{ms, Table};
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi_protocol::construct::{construct_distributed, ProtocolConfig};
+use eppi_protocol::countbelow::Backend;
+
+/// Configuration of the `c` ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationConfig {
+    /// Number of providers.
+    pub providers: usize,
+    /// Number of identities.
+    pub identities: usize,
+    /// The `c` values swept.
+    pub cs: Vec<usize>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl AblationConfig {
+    /// Default sweep: c ∈ {2, 3, 4, 5, 6} over a 24-provider network.
+    pub fn paper() -> Self {
+        AblationConfig {
+            providers: 24,
+            identities: 16,
+            cs: vec![2, 3, 4, 5, 6],
+            seed: 0xab1a,
+        }
+    }
+
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        AblationConfig {
+            providers: 9,
+            identities: 4,
+            cs: vec![2, 3],
+            seed: 0xab1a,
+        }
+    }
+}
+
+/// Runs the `c` sweep.
+pub fn ablation_c(cfg: &AblationConfig) -> Table {
+    let mut matrix = MembershipMatrix::new(cfg.providers, cfg.identities);
+    for j in 0..cfg.identities {
+        for p in 0..(cfg.providers / 3).max(1) {
+            matrix.set(
+                ProviderId(((p + j) % cfg.providers) as u32),
+                OwnerId(j as u32),
+                true,
+            );
+        }
+    }
+    let epsilons = vec![Epsilon::saturating(0.5); cfg.identities];
+
+    let mut table = Table::new(
+        format!(
+            "Ablation — collusion tolerance c (m={}, n={})",
+            cfg.providers, cfg.identities
+        ),
+        vec![
+            "c".into(),
+            "circuit gates".into(),
+            "MPC KiB".into(),
+            "SecSum msgs".into(),
+            "wall ms".into(),
+        ],
+    );
+    for &c in &cfg.cs {
+        let proto = ProtocolConfig {
+            c,
+            backend: Backend::InProcess,
+            seed: cfg.seed ^ c as u64,
+            ..ProtocolConfig::default()
+        };
+        let out = construct_distributed(&matrix, &epsilons, &proto).expect("construction");
+        let bytes = out.report.count_stage.bytes + out.report.mix_stage.bytes;
+        table.push_row(vec![
+            c.to_string(),
+            out.report.circuit_size().to_string(),
+            format!("{:.1}", bytes as f64 / 1024.0),
+            out.report.secsum.messages.to_string(),
+            ms(out.report.wall),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_c_costs_more_mpc() {
+        let t = ablation_c(&AblationConfig::quick());
+        let g2: usize = t.rows[0][1].parse().unwrap();
+        let g3: usize = t.rows[1][1].parse().unwrap();
+        assert!(g3 > g2, "c=3 circuit must exceed c=2: {t}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Sweeps the collusion-tolerance parameter c.
+use eppi_bench::ablation::{ablation_c, AblationConfig};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => AblationConfig::quick(),
+        Scale::Paper => AblationConfig::paper(),
+    };
+    eppi_bench::print_table(&ablation_c(&cfg));
+}

@@ -1,0 +1,30 @@
+//! Runs every experiment of the paper's evaluation section in order.
+use eppi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    macro_rules! cfg {
+        ($m:ident, $c:ident) => {
+            match scale {
+                Scale::Quick => eppi_bench::$m::$c::quick(),
+                Scale::Paper => eppi_bench::$m::$c::paper(),
+            }
+        };
+    }
+    println!("{}", eppi_bench::table2::table2(&cfg!(table2, Table2Config)));
+    let f4 = cfg!(fig4, Fig4Config);
+    println!("{}", eppi_bench::fig4::fig4a(&f4));
+    println!("{}", eppi_bench::fig4::fig4b(&f4));
+    let f5 = cfg!(fig5, Fig5Config);
+    println!("{}", eppi_bench::fig5::fig5a(&f5));
+    println!("{}", eppi_bench::fig5::fig5b(&f5));
+    let f6 = cfg!(fig6, Fig6Config);
+    println!("{}", eppi_bench::fig6::fig6a(&f6));
+    println!("{}", eppi_bench::fig6::fig6a_simulated(&f6));
+    println!("{}", eppi_bench::fig6::fig6b(&f6));
+    println!("{}", eppi_bench::fig6::fig6c(&f6));
+    println!("{}", eppi_bench::search_cost::search_cost(&cfg!(search_cost, SearchCostConfig)));
+    println!("{}", eppi_bench::ablation::ablation_c(&cfg!(ablation, AblationConfig)));
+    println!("{}", eppi_bench::collusion::collusion(&cfg!(collusion, CollusionConfig)));
+    println!("{}", eppi_bench::theory::theory_check(&cfg!(theory, TheoryConfig)));
+}

@@ -1,0 +1,11 @@
+//! Sweeps coalition-assisted attacks against ε-PPI indexes.
+use eppi_bench::collusion::{collusion, CollusionConfig};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => CollusionConfig::quick(),
+        Scale::Paper => CollusionConfig::paper(),
+    };
+    eppi_bench::print_table(&collusion(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4a (success ratio vs identity frequency).
+use eppi_bench::fig4::{fig4a, Fig4Config};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => Fig4Config::quick(),
+        Scale::Paper => Fig4Config::paper(),
+    };
+    eppi_bench::print_table(&fig4a(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4b (success ratio vs ε).
+use eppi_bench::fig4::{fig4b, Fig4Config};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => Fig4Config::quick(),
+        Scale::Paper => Fig4Config::paper(),
+    };
+    eppi_bench::print_table(&fig4b(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5a (β-policy success rate vs identity frequency).
+use eppi_bench::fig5::{fig5a, Fig5Config};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => Fig5Config::quick(),
+        Scale::Paper => Fig5Config::paper(),
+    };
+    eppi_bench::print_table(&fig5a(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Fig. 6a under the simulated LAN link model (network-time view).
+use eppi_bench::fig6::{fig6a_simulated, Fig6Config};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => Fig6Config::quick(),
+        Scale::Paper => Fig6Config::paper(),
+    };
+    eppi_bench::print_table(&fig6a_simulated(&cfg));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6b (circuit size vs parties).
+use eppi_bench::fig6::{fig6b, Fig6Config};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => Fig6Config::quick(),
+        Scale::Paper => Fig6Config::paper(),
+    };
+    eppi_bench::print_table(&fig6b(&cfg));
+}

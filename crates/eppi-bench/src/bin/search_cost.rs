@@ -1,0 +1,11 @@
+//! Regenerates the supplementary search-cost numbers.
+use eppi_bench::search_cost::{search_cost, SearchCostConfig};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => SearchCostConfig::quick(),
+        Scale::Paper => SearchCostConfig::paper(),
+    };
+    eppi_bench::print_table(&search_cost(&cfg));
+}

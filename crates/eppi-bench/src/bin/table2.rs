@@ -1,0 +1,11 @@
+//! Regenerates Table II (privacy degrees under both attacks).
+use eppi_bench::table2::{table2, Table2Config};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => Table2Config::quick(),
+        Scale::Paper => Table2Config::paper(),
+    };
+    eppi_bench::print_table(&table2(&cfg));
+}

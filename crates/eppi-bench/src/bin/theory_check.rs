@@ -1,0 +1,12 @@
+//! Cross-checks measured success rates against the exact Binomial law
+//! and Theorem 3.1's Chernoff bound.
+use eppi_bench::theory::{theory_check, TheoryConfig};
+use eppi_bench::Scale;
+
+fn main() {
+    let cfg = match Scale::from_env() {
+        Scale::Quick => TheoryConfig::quick(),
+        Scale::Paper => TheoryConfig::paper(),
+    };
+    eppi_bench::print_table(&theory_check(&cfg));
+}

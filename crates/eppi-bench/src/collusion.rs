@@ -1,0 +1,130 @@
+//! Extension experiment: coalition-assisted attacks on the published
+//! index (the paper defers this analysis to its technical report \[21\]).
+//!
+//! Sweeps the coalition size and reports the attacker's mean effective
+//! confidence against ε-PPI indexes built at several ε values. Expected
+//! shape: confidence starts at `≈ 1 − ε` with no colluders (the
+//! ε-PRIVATE bound) and erodes toward certainty as colluders both
+//! eliminate decoys and directly confirm memberships.
+
+use crate::report::{f3, Table};
+use eppi_attacks::collusion::mean_effective_confidence;
+use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::model::Epsilon;
+use eppi_workload::collections::{fixed_epsilons, pinned_cohorts, Cohort};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the collusion sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollusionConfig {
+    /// Number of providers.
+    pub providers: usize,
+    /// Owners in the measured cohort.
+    pub cohort: usize,
+    /// Identity frequency of the cohort.
+    pub frequency: usize,
+    /// ε values (one index per value).
+    pub epsilons: Vec<f64>,
+    /// Coalition sizes swept.
+    pub coalition_sizes: Vec<usize>,
+    /// Random coalitions averaged per point.
+    pub samples: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl CollusionConfig {
+    /// Default: 1,000 providers, frequency 10, coalitions up to 50% of
+    /// the network.
+    pub fn paper() -> Self {
+        CollusionConfig {
+            providers: 1000,
+            cohort: 50,
+            frequency: 10,
+            epsilons: vec![0.5, 0.8, 0.95],
+            coalition_sizes: vec![0, 10, 50, 100, 250, 500],
+            samples: 10,
+            seed: 0xc011,
+        }
+    }
+
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        CollusionConfig {
+            providers: 120,
+            cohort: 15,
+            frequency: 4,
+            epsilons: vec![0.5, 0.9],
+            coalition_sizes: vec![0, 12, 60],
+            samples: 4,
+            seed: 0xc011,
+        }
+    }
+}
+
+/// Runs the collusion sweep.
+pub fn collusion(cfg: &CollusionConfig) -> Table {
+    let mut headers = vec!["colluders".to_string()];
+    headers.extend(cfg.epsilons.iter().map(|e| format!("e-PPI(ε={e})")));
+    let mut table = Table::new(
+        format!(
+            "Collusion — mean attacker confidence vs coalition size (m={}, freq={})",
+            cfg.providers, cfg.frequency
+        ),
+        headers,
+    );
+
+    // One index per ε.
+    let indexes: Vec<_> = cfg
+        .epsilons
+        .iter()
+        .map(|&e| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (e * 100.0) as u64);
+            let matrix = pinned_cohorts(
+                cfg.providers,
+                &[Cohort { owners: cfg.cohort, frequency: cfg.frequency }],
+                &mut rng,
+            );
+            let epsilons = fixed_epsilons(cfg.cohort, Epsilon::saturating(e));
+            let built = construct(&matrix, &epsilons, ConstructionConfig::default(), &mut rng)
+                .expect("construction");
+            (matrix, built.index)
+        })
+        .collect();
+
+    for &size in &cfg.coalition_sizes {
+        let mut row = vec![size.to_string()];
+        for (matrix, index) in &indexes {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (size as u64) << 20);
+            row.push(f3(mean_effective_confidence(
+                matrix,
+                index,
+                size,
+                cfg.samples,
+                &mut rng,
+            )));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_starts_at_bound_and_erodes() {
+        let cfg = CollusionConfig::quick();
+        let t = collusion(&cfg);
+        // Column 1 = ε-PPI(0.5): starts ≈ 0.5, grows with coalition size.
+        let start: f64 = t.rows[0][1].parse().unwrap();
+        let end: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(start <= 0.62, "no-collusion confidence {start} must be ≈ 1 − ε");
+        assert!(end > start, "collusion must erode privacy: {start} → {end}");
+        // Higher ε always starts lower.
+        let start_hi: f64 = t.rows[0][2].parse().unwrap();
+        assert!(start_hi < start, "ε = 0.9 must bound lower than ε = 0.5");
+    }
+}

@@ -1,0 +1,218 @@
+//! Fig. 4 — ε-PPI (non-grouping) versus grouping-based PPIs.
+//!
+//! Paper setting (§V-A.1): 10,000 providers, expected false-positive
+//! rate ε = 0.8, 20 uniform samples, grouping PPIs at several group
+//! counts, ε-PPI with the incremented-expectation (Δ = 0.01) and
+//! Chernoff (γ = 0.9) policies.
+//!
+//! * **Fig. 4a** — success ratio vs identity frequency;
+//! * **Fig. 4b** — success ratio vs ε.
+//!
+//! Expected shape: the non-grouping ε-PPI stays at ≈ 1.0 across the
+//! sweep; grouping fluctuates wildly with frequency (small per-group
+//! sample spaces) and collapses toward 0 as ε grows.
+
+use crate::report::{f3, Table};
+use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::model::{Epsilon, MembershipMatrix};
+use eppi_core::policy::PolicyKind;
+use eppi_core::privacy::success_ratio;
+use eppi_baselines::grouping::GroupingPpi;
+use eppi_workload::collections::{fixed_epsilons, pinned_cohorts, Cohort};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the Fig. 4 sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Config {
+    /// Number of providers `m`.
+    pub providers: usize,
+    /// Owners per sampled cohort.
+    pub cohort: usize,
+    /// Number of uniform samples averaged per point.
+    pub samples: usize,
+    /// Fixed ε for Fig. 4a.
+    pub epsilon: f64,
+    /// Identity-frequency x-axis of Fig. 4a.
+    pub frequencies: Vec<usize>,
+    /// ε x-axis of Fig. 4b.
+    pub epsilons: Vec<f64>,
+    /// Fixed identity frequency for Fig. 4b.
+    pub frequency_for_4b: usize,
+    /// Group counts of the grouping baselines.
+    pub group_counts: Vec<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Fig4Config {
+    /// The paper's configuration (m = 10,000, ε = 0.8, 20 samples,
+    /// frequencies 34–446, groups 400/1000/2500).
+    pub fn paper() -> Self {
+        Fig4Config {
+            providers: 10_000,
+            cohort: 50,
+            samples: 20,
+            epsilon: 0.8,
+            frequencies: vec![34, 67, 100, 134, 176, 234, 446],
+            epsilons: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            frequency_for_4b: 100,
+            group_counts: vec![400, 1000, 2000, 2500],
+            seed: 0x44a,
+        }
+    }
+
+    /// A scaled-down configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Fig4Config {
+            providers: 500,
+            cohort: 20,
+            samples: 3,
+            epsilon: 0.8,
+            frequencies: vec![5, 10, 25],
+            epsilons: vec![0.3, 0.6, 0.9],
+            frequency_for_4b: 10,
+            group_counts: vec![25, 100],
+            seed: 0x44a,
+        }
+    }
+}
+
+/// Series measured in one Fig. 4 cell.
+fn measure_point(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    cfg: &Fig4Config,
+    seed: u64,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(2 + cfg.group_counts.len());
+    // Non-grouping ε-PPI: inc-exp Δ = 0.01 and Chernoff γ = 0.9.
+    for policy in [
+        PolicyKind::Incremented { delta: 0.01 },
+        PolicyKind::Chernoff { gamma: 0.9 },
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = construct(
+            matrix,
+            epsilons,
+            ConstructionConfig { policy, mixing: true },
+            &mut rng,
+        )
+        .expect("valid construction");
+        out.push(success_ratio(matrix, &c.index, epsilons, true));
+    }
+    // Grouping baselines.
+    for &groups in &cfg.group_counts {
+        let mut rng = StdRng::seed_from_u64(seed ^ groups as u64);
+        let ppi = GroupingPpi::construct(matrix, groups.min(matrix.providers()), &mut rng);
+        out.push(success_ratio(matrix, ppi.index(), epsilons, true));
+    }
+    out
+}
+
+fn headers(cfg: &Fig4Config, x: &str) -> Vec<String> {
+    let mut h = vec![
+        x.to_string(),
+        "Nongrouping-IncExp-0.01".to_string(),
+        "Nongrouping-Chernoff-0.9".to_string(),
+    ];
+    for &g in &cfg.group_counts {
+        h.push(format!("Grouping-{g}"));
+    }
+    h
+}
+
+/// Runs Fig. 4a: success ratio vs identity frequency at fixed ε.
+pub fn fig4a(cfg: &Fig4Config) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Fig. 4a — success ratio vs identity frequency (m={}, ε={}, {} samples)",
+            cfg.providers, cfg.epsilon, cfg.samples
+        ),
+        headers(cfg, "frequency"),
+    );
+    let eps = Epsilon::saturating(cfg.epsilon);
+    for &freq in &cfg.frequencies {
+        let mut sums = vec![0.0; 2 + cfg.group_counts.len()];
+        for s in 0..cfg.samples {
+            let seed = cfg.seed ^ ((freq as u64) << 16) ^ s as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let matrix = pinned_cohorts(
+                cfg.providers,
+                &[Cohort { owners: cfg.cohort, frequency: freq }],
+                &mut rng,
+            );
+            let epsilons = fixed_epsilons(cfg.cohort, eps);
+            for (acc, v) in sums.iter_mut().zip(measure_point(&matrix, &epsilons, cfg, seed)) {
+                *acc += v;
+            }
+        }
+        let mut row = vec![freq.to_string()];
+        row.extend(sums.iter().map(|s| f3(s / cfg.samples as f64)));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Runs Fig. 4b: success ratio vs ε at fixed identity frequency.
+pub fn fig4b(cfg: &Fig4Config) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Fig. 4b — success ratio vs ε (m={}, frequency={}, {} samples)",
+            cfg.providers, cfg.frequency_for_4b, cfg.samples
+        ),
+        headers(cfg, "epsilon"),
+    );
+    for &e in &cfg.epsilons {
+        let eps = Epsilon::saturating(e);
+        let mut sums = vec![0.0; 2 + cfg.group_counts.len()];
+        for s in 0..cfg.samples {
+            let seed = cfg.seed ^ ((e * 1000.0) as u64) << 12 ^ s as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let matrix = pinned_cohorts(
+                cfg.providers,
+                &[Cohort { owners: cfg.cohort, frequency: cfg.frequency_for_4b }],
+                &mut rng,
+            );
+            let epsilons = fixed_epsilons(cfg.cohort, eps);
+            for (acc, v) in sums.iter_mut().zip(measure_point(&matrix, &epsilons, cfg, seed)) {
+                *acc += v;
+            }
+        }
+        let mut row = vec![format!("{e:.1}")];
+        row.extend(sums.iter().map(|s| f3(s / cfg.samples as f64)));
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig4a_shape_holds() {
+        let cfg = Fig4Config::quick();
+        let t = fig4a(&cfg);
+        assert_eq!(t.rows.len(), cfg.frequencies.len());
+        // Chernoff column (index 2) should be near 1 everywhere.
+        for row in &t.rows {
+            let chernoff: f64 = row[2].parse().unwrap();
+            assert!(chernoff > 0.8, "chernoff {chernoff} too low: {row:?}");
+        }
+    }
+
+    #[test]
+    fn quick_fig4b_grouping_degrades_with_epsilon() {
+        let cfg = Fig4Config::quick();
+        let t = fig4b(&cfg);
+        // Grouping at the largest ε should do worse than Chernoff ε-PPI.
+        let last = t.rows.last().unwrap();
+        let chernoff: f64 = last[2].parse().unwrap();
+        let grouping: f64 = last[3].parse().unwrap();
+        assert!(
+            chernoff >= grouping,
+            "chernoff {chernoff} should beat grouping {grouping} at high ε"
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Fig. 5 — comparing the three β-calculation policies.
+//!
+//! Paper setting (§V-A.2): Δ = 0.02 for the incremented-expectation
+//! policy, γ = 0.9 for the Chernoff policy, default ε = 0.5.
+//!
+//! * **Fig. 5a** — success rate `p_p` vs identity frequency (0–500 of
+//!   10,000 providers);
+//! * **Fig. 5b** — success rate vs number of providers (8–8192) at
+//!   relative frequency 0.1.
+//!
+//! Expected shape: Chernoff ≈ 1.0 (≥ γ) everywhere; basic ≈ 0.5;
+//! inc-exp in between, degrading for high frequencies (5a) and few
+//! providers (5b).
+
+use crate::report::{f3, Table};
+use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::model::Epsilon;
+use eppi_core::policy::PolicyKind;
+use eppi_core::privacy::success_ratio;
+use eppi_workload::collections::{fixed_epsilons, pinned_cohorts, Cohort};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the Fig. 5 sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Config {
+    /// Number of providers for Fig. 5a.
+    pub providers: usize,
+    /// Owners per cohort.
+    pub cohort: usize,
+    /// Samples averaged per point.
+    pub samples: usize,
+    /// The common ε.
+    pub epsilon: f64,
+    /// Δ of the incremented-expectation policy.
+    pub delta: f64,
+    /// γ of the Chernoff policy.
+    pub gamma: f64,
+    /// Frequency x-axis of Fig. 5a.
+    pub frequencies: Vec<usize>,
+    /// Provider-count x-axis of Fig. 5b.
+    pub provider_counts: Vec<usize>,
+    /// Relative identity frequency for Fig. 5b.
+    pub sigma_for_5b: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Fig5Config {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Fig5Config {
+            providers: 10_000,
+            cohort: 100,
+            samples: 5,
+            epsilon: 0.5,
+            delta: 0.02,
+            gamma: 0.9,
+            frequencies: vec![1, 50, 100, 200, 300, 400, 500],
+            provider_counts: vec![8, 32, 128, 512, 2048, 8192],
+            sigma_for_5b: 0.1,
+            seed: 0x55a,
+        }
+    }
+
+    /// A scaled-down configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Fig5Config {
+            providers: 800,
+            cohort: 40,
+            samples: 3,
+            epsilon: 0.5,
+            delta: 0.02,
+            gamma: 0.9,
+            frequencies: vec![4, 20, 40],
+            provider_counts: vec![8, 64, 512],
+            sigma_for_5b: 0.1,
+            seed: 0x55a,
+        }
+    }
+
+    fn policies(&self) -> [PolicyKind; 3] {
+        [
+            PolicyKind::Basic,
+            PolicyKind::Incremented { delta: self.delta },
+            PolicyKind::Chernoff { gamma: self.gamma },
+        ]
+    }
+}
+
+fn measure(
+    providers: usize,
+    frequency: usize,
+    cfg: &Fig5Config,
+    seed: u64,
+) -> [f64; 3] {
+    let eps = Epsilon::saturating(cfg.epsilon);
+    let mut out = [0.0f64; 3];
+    for s in 0..cfg.samples {
+        let seed = seed ^ (s as u64) << 8;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let matrix = pinned_cohorts(
+            providers,
+            &[Cohort { owners: cfg.cohort, frequency }],
+            &mut rng,
+        );
+        let epsilons = fixed_epsilons(cfg.cohort, eps);
+        for (k, policy) in cfg.policies().into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (k as u64 + 1) << 20);
+            let c = construct(
+                &matrix,
+                &epsilons,
+                ConstructionConfig { policy, mixing: true },
+                &mut rng,
+            )
+            .expect("valid construction");
+            out[k] += success_ratio(&matrix, &c.index, &epsilons, true);
+        }
+    }
+    for v in &mut out {
+        *v /= cfg.samples as f64;
+    }
+    out
+}
+
+fn headers() -> Vec<String> {
+    vec![
+        "x".to_string(),
+        "basic".to_string(),
+        "inc-exp".to_string(),
+        "chernoff".to_string(),
+    ]
+}
+
+/// Runs Fig. 5a: success rate vs identity frequency.
+pub fn fig5a(cfg: &Fig5Config) -> Table {
+    let mut headers = headers();
+    headers[0] = "frequency".to_string();
+    let mut table = Table::new(
+        format!(
+            "Fig. 5a — success rate vs identity frequency (m={}, ε={}, Δ={}, γ={})",
+            cfg.providers, cfg.epsilon, cfg.delta, cfg.gamma
+        ),
+        headers,
+    );
+    for &freq in &cfg.frequencies {
+        let vals = measure(cfg.providers, freq, cfg, cfg.seed ^ (freq as u64) << 24);
+        let mut row = vec![freq.to_string()];
+        row.extend(vals.iter().map(|&v| f3(v)));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Runs Fig. 5b: success rate vs number of providers at fixed relative
+/// frequency.
+pub fn fig5b(cfg: &Fig5Config) -> Table {
+    let mut headers = headers();
+    headers[0] = "providers".to_string();
+    let mut table = Table::new(
+        format!(
+            "Fig. 5b — success rate vs providers (σ={}, ε={}, Δ={}, γ={})",
+            cfg.sigma_for_5b, cfg.epsilon, cfg.delta, cfg.gamma
+        ),
+        headers,
+    );
+    for &m in &cfg.provider_counts {
+        let freq = ((m as f64 * cfg.sigma_for_5b).round() as usize).max(1);
+        let vals = measure(m, freq, cfg, cfg.seed ^ (m as u64) << 24);
+        let mut row = vec![m.to_string()];
+        row.extend(vals.iter().map(|&v| f3(v)));
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_dominates_and_basic_hovers_at_half() {
+        let cfg = Fig5Config::quick();
+        let t = fig5a(&cfg);
+        for row in &t.rows {
+            let basic: f64 = row[1].parse().unwrap();
+            let chernoff: f64 = row[3].parse().unwrap();
+            assert!(chernoff >= 0.85, "chernoff {chernoff} below γ: {row:?}");
+            assert!(
+                (0.2..=0.8).contains(&basic),
+                "basic {basic} should hover near 0.5: {row:?}"
+            );
+            assert!(chernoff >= basic, "chernoff must dominate basic: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig5b_has_one_row_per_provider_count() {
+        let cfg = Fig5Config::quick();
+        let t = fig5b(&cfg);
+        assert_eq!(t.rows.len(), cfg.provider_counts.len());
+        // Chernoff stays high even at the smallest network.
+        let first = &t.rows[0];
+        let chernoff: f64 = first[3].parse().unwrap();
+        assert!(chernoff >= 0.8, "chernoff {chernoff} at m=8");
+    }
+}

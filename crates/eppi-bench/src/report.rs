@@ -1,0 +1,122 @@
+//! Plain-text experiment reporting: aligned tables that mirror the rows
+//! and series of the paper's figures, plus CSV output for plotting.
+
+use std::fmt;
+
+/// A rendered experiment result: one table per figure/series set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. `"Fig. 5a — success rate vs identity frequency"`).
+    pub title: String,
+    /// Column headers; the first column is the x-axis.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let rendered: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            writeln!(f, "| {} |", rendered.join(" | "))
+        };
+        line(f, &self.headers)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", sep.join("-|-"))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three decimals (the paper's success-ratio
+/// resolution).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", vec!["x".into(), "value".into()]);
+        t.push_row(vec!["1".into(), "0.5".into()]);
+        t.push_row(vec!["100".into(), "0.999".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("|   x | value |"));
+        assert!(s.contains("| 100 | 0.999 |"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("demo", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.5), "0.500");
+        assert_eq!(ms(std::time::Duration::from_millis(1500)), "1500.00");
+    }
+}

@@ -1,0 +1,156 @@
+//! Supplementary experiment: the search overhead privacy buys.
+//!
+//! The paper states that "the high-level privacy preservation of the
+//! Chernoff bound policy comes with reasonable search overhead" and
+//! defers the numbers to its technical report. This experiment produces
+//! them: for each policy and ε, the average `QueryPPI` answer size and
+//! the false-hit overhead a searcher pays during `AuthSearch`.
+
+use crate::report::{f3, Table};
+use eppi_baselines::grouping::GroupingPpi;
+use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::model::{Epsilon, OwnerId};
+use eppi_core::policy::PolicyKind;
+use eppi_workload::collections::{fixed_epsilons, pinned_cohorts, Cohort};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the search-cost experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCostConfig {
+    /// Number of providers.
+    pub providers: usize,
+    /// Owners in the measured cohort.
+    pub cohort: usize,
+    /// Identity frequency of the cohort.
+    pub frequency: usize,
+    /// ε values swept.
+    pub epsilons: Vec<f64>,
+    /// Group counts of the grouping comparators (their answer size is
+    /// ε-independent — the paper's "query broadcasting" critique).
+    pub group_counts: Vec<usize>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl SearchCostConfig {
+    /// Default: 2,000 providers, frequency 20.
+    pub fn paper() -> Self {
+        SearchCostConfig {
+            providers: 2000,
+            cohort: 50,
+            frequency: 20,
+            epsilons: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            group_counts: vec![100, 400],
+            seed: 0x5c05,
+        }
+    }
+
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        SearchCostConfig {
+            providers: 300,
+            cohort: 20,
+            frequency: 6,
+            epsilons: vec![0.3, 0.7],
+            group_counts: vec![30],
+            seed: 0x5c05,
+        }
+    }
+}
+
+/// Runs the search-cost sweep: average QueryPPI answer size per policy
+/// and ε (the true-positive count is `frequency`, so the rest is
+/// overhead).
+pub fn search_cost(cfg: &SearchCostConfig) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Search cost — mean QueryPPI answer size (m={}, true positives={})",
+            cfg.providers, cfg.frequency
+        ),
+        {
+            let mut h = vec![
+                "epsilon".to_string(),
+                "basic".to_string(),
+                "inc-exp(0.02)".to_string(),
+                "chernoff(0.9)".to_string(),
+            ];
+            for &g in &cfg.group_counts {
+                h.push(format!("grouping-{g}"));
+            }
+            h.push("broadcast".to_string());
+            h
+        },
+    );
+    let policies = [
+        PolicyKind::Basic,
+        PolicyKind::Incremented { delta: 0.02 },
+        PolicyKind::Chernoff { gamma: 0.9 },
+    ];
+    for &e in &cfg.epsilons {
+        let eps = Epsilon::saturating(e);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (e * 100.0) as u64);
+        let matrix = pinned_cohorts(
+            cfg.providers,
+            &[Cohort { owners: cfg.cohort, frequency: cfg.frequency }],
+            &mut rng,
+        );
+        let epsilons = fixed_epsilons(cfg.cohort, eps);
+        let mut row = vec![format!("{e:.1}")];
+        for policy in policies {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (e * 1000.0) as u64);
+            let c = construct(
+                &matrix,
+                &epsilons,
+                ConstructionConfig { policy, mixing: true },
+                &mut rng,
+            )
+            .expect("valid construction");
+            let mean: f64 = (0..cfg.cohort)
+                .map(|j| c.index.query(OwnerId(j as u32)).len() as f64)
+                .sum::<f64>()
+                / cfg.cohort as f64;
+            row.push(f3(mean));
+        }
+        // Grouping baselines: the answer is the union of claiming
+        // groups, independent of ε — no per-owner tuning is possible.
+        for &groups in &cfg.group_counts {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x96 ^ groups as u64);
+            let ppi = GroupingPpi::construct(&matrix, groups.min(cfg.providers), &mut rng);
+            let mean: f64 = (0..cfg.cohort)
+                .map(|j| ppi.index().query(OwnerId(j as u32)).len() as f64)
+                .sum::<f64>()
+                / cfg.cohort as f64;
+            row.push(f3(mean));
+        }
+        row.push(cfg.providers.to_string());
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grows_with_epsilon_and_stays_below_broadcast() {
+        let cfg = SearchCostConfig::quick();
+        let t = search_cost(&cfg);
+        let first_chernoff: f64 = t.rows[0][3].parse().unwrap();
+        let last_chernoff: f64 = t.rows.last().unwrap()[3].parse().unwrap();
+        assert!(last_chernoff > first_chernoff, "higher ε must cost more");
+        assert!(last_chernoff <= cfg.providers as f64, "cannot exceed broadcast");
+        // Every answer contains at least the true positives.
+        assert!(first_chernoff >= cfg.frequency as f64);
+        // Grouping's cost is flat across ε (it cannot be tuned per
+        // owner); the matrices are resampled per row, so allow sampling
+        // noise.
+        let g_first: f64 = t.rows[0][4].parse().unwrap();
+        let g_last: f64 = t.rows.last().unwrap()[4].parse().unwrap();
+        assert!(
+            (g_first - g_last).abs() < 0.1 * g_first.max(1.0),
+            "grouping cost must be ε-independent: {g_first} vs {g_last}"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Table II — privacy degrees of ε-PPI versus the prior PPIs under both
+//! attacks.
+//!
+//! The paper's Table II is analytical; this experiment reproduces it
+//! *empirically*: construct each index over the same network — one that
+//! contains common identities — run the primary and common-identity
+//! attacks, and classify the achieved degree. Expected result (matching
+//! the paper):
+//!
+//! | PPI          | Primary attack | Common-identity attack |
+//! |--------------|----------------|------------------------|
+//! | Grouping PPI | NoGuarantee    | NoGuarantee            |
+//! | SS-PPI       | NoGuarantee    | NoProtect              |
+//! | ε-PPI        | ε-PRIVATE      | ε-PRIVATE              |
+//!
+//! One empirical nuance: the paper rates grouping PPIs *NoGuarantee*
+//! (not NoProtect) on the common-identity channel because their leak is
+//! data-dependent. On networks like this one — where a truly common
+//! identity is claimed by every group and no other identity looks
+//! common — the attack in fact succeeds with certainty, so the measured
+//! degree lands at NoProtect, the worst case of NoGuarantee.
+
+use crate::report::{f3, Table};
+use eppi_attacks::evaluate::evaluate;
+use eppi_baselines::grouping::GroupingPpi;
+use eppi_baselines::ss_ppi::SsPpi;
+use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi_core::policy::PolicyKind;
+use eppi_core::privacy::PrivacyDegree;
+use eppi_workload::collections::{pinned_cohorts, Cohort};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Statistical allowance for the ε-PRIVATE reading: the Chernoff policy
+/// runs at γ = 0.9, so up to 10% of owners may miss their ε; add slack
+/// for sampling noise.
+const ALLOWANCE: f64 = 0.15;
+
+/// Configuration of the Table II experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Config {
+    /// Number of providers.
+    pub providers: usize,
+    /// Regular (non-common) identities.
+    pub regular_owners: usize,
+    /// Frequency of regular identities.
+    pub regular_frequency: usize,
+    /// Truly common identities (frequency = m).
+    pub common_owners: usize,
+    /// ε assigned to every owner.
+    pub epsilon: f64,
+    /// Group count for the grouping baselines.
+    pub groups: usize,
+    /// What counts as "common" for the attack (fraction of m).
+    pub common_fraction: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Table2Config {
+    /// A representative configuration: a 1,000-provider network with a
+    /// handful of common identities hiding among 500 regular ones.
+    pub fn paper() -> Self {
+        Table2Config {
+            providers: 1000,
+            regular_owners: 500,
+            regular_frequency: 20,
+            common_owners: 5,
+            epsilon: 0.95,
+            groups: 100,
+            common_fraction: 0.95,
+            seed: 0x22a,
+        }
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        Table2Config {
+            providers: 120,
+            regular_owners: 80,
+            regular_frequency: 4,
+            common_owners: 3,
+            epsilon: 0.95,
+            groups: 12,
+            common_fraction: 0.95,
+            seed: 0x22a,
+        }
+    }
+}
+
+fn degree_name(d: PrivacyDegree) -> &'static str {
+    match d {
+        PrivacyDegree::Unleaked => "Unleaked",
+        PrivacyDegree::EpsPrivate => "eps-PRIVATE",
+        PrivacyDegree::NoGuarantee => "NoGuarantee",
+        PrivacyDegree::NoProtect => "NoProtect",
+    }
+}
+
+/// Builds the benchmark network: `regular_owners` identities at
+/// `regular_frequency` plus `common_owners` identities present in every
+/// provider.
+pub fn build_network(cfg: &Table2Config) -> (MembershipMatrix, Vec<Epsilon>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut matrix = pinned_cohorts(
+        cfg.providers,
+        &[Cohort { owners: cfg.regular_owners, frequency: cfg.regular_frequency }],
+        &mut rng,
+    );
+    // Append the common identities as extra columns.
+    let total = cfg.regular_owners + cfg.common_owners;
+    let mut full = MembershipMatrix::new(cfg.providers, total);
+    for p in matrix.provider_ids() {
+        for o in matrix.owner_ids() {
+            if matrix.get(p, o) {
+                full.set(p, o, true);
+            }
+        }
+    }
+    for j in cfg.regular_owners..total {
+        for p in 0..cfg.providers {
+            full.set(ProviderId(p as u32), OwnerId(j as u32), true);
+        }
+    }
+    matrix = full;
+    let epsilons = vec![Epsilon::saturating(cfg.epsilon); total];
+    (matrix, epsilons)
+}
+
+/// Runs the Table II comparison.
+pub fn table2(cfg: &Table2Config) -> Table {
+    let (matrix, epsilons) = build_network(cfg);
+    let mut table = Table::new(
+        format!(
+            "Table II — privacy degrees under attack (m={}, commons={}, ε={})",
+            cfg.providers, cfg.common_owners, cfg.epsilon
+        ),
+        vec![
+            "PPI".into(),
+            "primary attack".into(),
+            "primary confidence".into(),
+            "common-id attack".into(),
+            "common-id precision".into(),
+        ],
+    );
+
+    // Grouping PPI [12], [13].
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 1);
+    let grouping = GroupingPpi::construct(&matrix, cfg.groups, &mut rng);
+    let ev = evaluate(&matrix, grouping.index(), &epsilons, None, cfg.common_fraction, ALLOWANCE);
+    table.push_row(vec![
+        "Grouping PPI".into(),
+        degree_name(ev.primary_degree).into(),
+        f3(ev.primary_mean_confidence),
+        degree_name(ev.common_degree).into(),
+        ev.common.precision.map_or("-".into(), f3),
+    ]);
+
+    // SS-PPI [22]: same index shape + construction-time frequency leak.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 2);
+    let ss = SsPpi::construct(&matrix, cfg.groups, &mut rng);
+    let leak = ss.leaked_frequencies().to_vec();
+    let ev = evaluate(&matrix, ss.index(), &epsilons, Some(&leak), cfg.common_fraction, ALLOWANCE);
+    table.push_row(vec![
+        "SS-PPI".into(),
+        degree_name(ev.primary_degree).into(),
+        f3(ev.primary_mean_confidence),
+        degree_name(ev.common_degree).into(),
+        ev.common.precision.map_or("-".into(), f3),
+    ]);
+
+    // ε-PPI with mixing.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 3);
+    let eppi = construct(
+        &matrix,
+        &epsilons,
+        ConstructionConfig { policy: PolicyKind::Chernoff { gamma: 0.9 }, mixing: true },
+        &mut rng,
+    )
+    .expect("valid construction");
+    let ev = evaluate(&matrix, &eppi.index, &epsilons, None, cfg.common_fraction, ALLOWANCE);
+    table.push_row(vec![
+        "e-PPI".into(),
+        degree_name(ev.primary_degree).into(),
+        f3(ev.primary_mean_confidence),
+        degree_name(ev.common_degree).into(),
+        ev.common.precision.map_or("-".into(), f3),
+    ]);
+
+    // Ablation: ε-PPI without identity mixing (shows why mixing exists).
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 4);
+    let nomix = construct(
+        &matrix,
+        &epsilons,
+        ConstructionConfig { policy: PolicyKind::Chernoff { gamma: 0.9 }, mixing: false },
+        &mut rng,
+    )
+    .expect("valid construction");
+    let ev = evaluate(&matrix, &nomix.index, &epsilons, None, cfg.common_fraction, ALLOWANCE);
+    table.push_row(vec![
+        "e-PPI (no mixing)".into(),
+        degree_name(ev.primary_degree).into(),
+        f3(ev.primary_mean_confidence),
+        degree_name(ev.common_degree).into(),
+        ev.common.precision.map_or("-".into(), f3),
+    ]);
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_degree_ordering() {
+        let t = table2(&Table2Config::quick());
+        assert_eq!(t.rows.len(), 4);
+        let degree_of = |name: &str, col: usize| -> String {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("row {name}"))[col]
+                .clone()
+        };
+        // SS-PPI is NoProtect against the common-identity attack.
+        assert_eq!(degree_of("SS-PPI", 3), "NoProtect");
+        // ε-PPI is ε-private against the primary attack.
+        assert_eq!(degree_of("e-PPI", 1), "eps-PRIVATE");
+        // Without mixing, the common channel degrades below ε-PPI's.
+        let mixed: f64 = degree_of("e-PPI", 4).parse().unwrap_or(1.0);
+        let unmixed: f64 = degree_of("e-PPI (no mixing)", 4).parse().unwrap_or(1.0);
+        assert!(
+            unmixed >= mixed,
+            "attack precision without mixing ({unmixed}) should be ≥ with mixing ({mixed})"
+        );
+    }
+
+    #[test]
+    fn network_builder_places_commons() {
+        let cfg = Table2Config::quick();
+        let (m, eps) = build_network(&cfg);
+        assert_eq!(m.owners(), cfg.regular_owners + cfg.common_owners);
+        assert_eq!(eps.len(), m.owners());
+        let freqs = m.frequencies();
+        for (j, &f) in freqs.iter().enumerate() {
+            if j < cfg.regular_owners {
+                assert_eq!(f, cfg.regular_frequency, "regular identity {j}");
+            } else {
+                assert_eq!(f, cfg.providers, "common identity {j}");
+            }
+        }
+    }
+}

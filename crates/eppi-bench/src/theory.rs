@@ -1,0 +1,139 @@
+//! Theory cross-check: measured success rates vs the exact Binomial
+//! prediction and the Chernoff lower bound (Theorem 3.1).
+//!
+//! A reproduction can overfit to itself; this experiment can't. For each
+//! policy and frequency it reports, side by side: the success rate
+//! *measured* by constructing indexes, the *exact* probability computed
+//! from the Binomial law, and Theorem 3.1's analytic lower bound. The
+//! three must agree (measured ≈ exact ≥ bound ≥ γ for the Chernoff
+//! policy).
+
+use crate::report::{f3, Table};
+use eppi_core::analysis::{chernoff_lower_bound, exact_success_probability};
+use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::model::Epsilon;
+use eppi_core::policy::{BetaPolicy, PolicyKind};
+use eppi_core::privacy::success_ratio;
+use eppi_workload::collections::{fixed_epsilons, pinned_cohorts, Cohort};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the theory cross-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoryConfig {
+    /// Number of providers.
+    pub providers: usize,
+    /// Owners per cohort (sample size of the measured rate).
+    pub cohort: usize,
+    /// ε for every owner.
+    pub epsilon: f64,
+    /// Chernoff target γ.
+    pub gamma: f64,
+    /// Identity frequencies checked.
+    pub frequencies: Vec<usize>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl TheoryConfig {
+    /// Default: 5,000 providers, 200-owner cohorts.
+    pub fn paper() -> Self {
+        TheoryConfig {
+            providers: 5000,
+            cohort: 200,
+            epsilon: 0.5,
+            gamma: 0.9,
+            frequencies: vec![10, 50, 250],
+            seed: 0x7e0,
+        }
+    }
+
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        TheoryConfig {
+            providers: 600,
+            cohort: 80,
+            epsilon: 0.5,
+            gamma: 0.9,
+            frequencies: vec![6, 30],
+            seed: 0x7e0,
+        }
+    }
+}
+
+/// Runs the cross-check for the basic and Chernoff policies.
+pub fn theory_check(cfg: &TheoryConfig) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Theory check — measured vs exact vs Theorem 3.1 (m={}, ε={}, γ={})",
+            cfg.providers, cfg.epsilon, cfg.gamma
+        ),
+        vec![
+            "policy".into(),
+            "frequency".into(),
+            "measured".into(),
+            "exact".into(),
+            "chernoff bound".into(),
+        ],
+    );
+    let eps = Epsilon::saturating(cfg.epsilon);
+    let policies = [PolicyKind::Basic, PolicyKind::Chernoff { gamma: cfg.gamma }];
+    for policy in policies {
+        for &freq in &cfg.frequencies {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (freq as u64) << 8);
+            let matrix = pinned_cohorts(
+                cfg.providers,
+                &[Cohort { owners: cfg.cohort, frequency: freq }],
+                &mut rng,
+            );
+            let epsilons = fixed_epsilons(cfg.cohort, eps);
+            let built = construct(
+                &matrix,
+                &epsilons,
+                ConstructionConfig { policy, mixing: true },
+                &mut rng,
+            )
+            .expect("construction");
+            let measured = success_ratio(&matrix, &built.index, &epsilons, true);
+
+            let beta = policy.beta(freq as f64 / cfg.providers as f64, eps, cfg.providers);
+            let exact = exact_success_probability(cfg.providers as u64, freq as u64, eps, beta);
+            let bound = chernoff_lower_bound(cfg.providers as u64, freq as u64, eps, beta);
+            table.push_row(vec![
+                policy.name().into(),
+                freq.to_string(),
+                f3(measured),
+                f3(exact),
+                f3(bound),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_tracks_exact_prediction() {
+        let cfg = TheoryConfig::quick();
+        let t = theory_check(&cfg);
+        for row in &t.rows {
+            let measured: f64 = row[2].parse().unwrap();
+            let exact: f64 = row[3].parse().unwrap();
+            let bound: f64 = row[4].parse().unwrap();
+            // Sampling noise over an 80-owner cohort: generous tolerance.
+            assert!(
+                (measured - exact).abs() < 0.15,
+                "measured {measured} far from exact {exact}: {row:?}"
+            );
+            assert!(bound <= exact + 1e-9, "bound above exact: {row:?}");
+        }
+        // Chernoff rows: exact ≥ γ.
+        for row in t.rows.iter().filter(|r| r[0] == "chernoff") {
+            let exact: f64 = row[3].parse().unwrap();
+            assert!(exact >= cfg.gamma, "chernoff exact {exact} < γ: {row:?}");
+        }
+    }
+}

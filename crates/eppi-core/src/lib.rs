@@ -1,0 +1,69 @@
+//! # eppi-core — the ε-PPI computation model
+//!
+//! Reproduction of the core contribution of *"ε-PPI: Locator Service in
+//! Information Networks with Personalized Privacy Preservation"* (Tang,
+//! Liu, Iyengar, Lee, Zhang — ICDCS 2014): a privacy-preserving index
+//! whose per-owner privacy degree `ε_j ∈ \[0, 1\]` quantitatively bounds
+//! any attacker's confidence at `1 − ε_j`.
+//!
+//! The crate provides:
+//!
+//! * [`model`] — owners, providers, membership matrices, the published
+//!   index.
+//! * [`policy`] — the three β-calculation policies (basic, incremented
+//!   expectation, Chernoff-bound) of §III-B.
+//! * [`mixing`] — identity mixing against the common-identity attack
+//!   (Eq. 6/7).
+//! * [`publish`] — randomized publication (Eq. 2).
+//! * [`privacy`] — false-positive-rate metrics, success ratio, privacy
+//!   degrees.
+//! * [`mod@construct`] — the centralized two-phase constructor used by the
+//!   effectiveness experiments. (The trusted-party-free distributed
+//!   realization lives in the `eppi-protocol` crate.)
+//! * [`analysis`] — exact Binomial / Chernoff-bound predictions of the
+//!   publication success probability (Theorem 3.1 as computable theory).
+//! * [`sensitivity`] — the provider-sensitivity extension: a second
+//!   personalization axis (§I's women's-health-center example), reduced
+//!   conservatively onto the per-owner ε knob.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use eppi_core::construct::{construct, ConstructionConfig};
+//! use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+//! use eppi_core::privacy::owner_privacy;
+//! use rand::SeedableRng;
+//!
+//! // A network of 1 000 providers; the owner visited 20 of them and asks
+//! // for ε = 0.8 (attacker confidence bounded by 0.2).
+//! let mut m = MembershipMatrix::new(1000, 1);
+//! for p in 0..20 {
+//!     m.set(ProviderId(p), OwnerId(0), true);
+//! }
+//! let eps = vec![Epsilon::new(0.8)?];
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let c = construct(&m, &eps, ConstructionConfig::default(), &mut rng)?;
+//!
+//! let measured = owner_privacy(&m, &c.index, OwnerId(0));
+//! assert!(measured.satisfies(eps[0]));
+//! # Ok::<(), eppi_core::error::EppiError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod construct;
+pub mod error;
+pub mod mixing;
+pub mod model;
+pub mod policy;
+pub mod privacy;
+pub mod publish;
+pub mod sensitivity;
+
+pub use construct::{construct, extend_construction, Construction, ConstructionConfig};
+pub use error::EppiError;
+pub use model::{Epsilon, LocalVector, MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+pub use policy::{BasicPolicy, BetaPolicy, ChernoffPolicy, IncrementedPolicy, PolicyKind};
+pub use privacy::{success_ratio, OwnerPrivacy, PrivacyDegree};

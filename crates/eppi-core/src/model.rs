@@ -1,0 +1,596 @@
+//! Core data model of the ε-PPI system.
+//!
+//! The model follows §II-A of the paper: an information network of `m`
+//! autonomous providers storing records of `n` owners. Each provider `p_i`
+//! summarizes its local repository by a Boolean *membership vector*
+//! `M_i(·)` over the owners; the union of all vectors forms the private
+//! membership matrix `M(i, j)`. The construction publishes an obscured
+//! matrix `M'(i, j)` (the [`PublishedIndex`]) in which false positives hide
+//! the true memberships.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data owner (an *identity* `t_j`, e.g. a patient).
+///
+/// Owners are dense indices `0..n` into the columns of a
+/// [`MembershipMatrix`].
+///
+/// ```
+/// use eppi_core::model::OwnerId;
+/// let t0 = OwnerId(0);
+/// assert_eq!(t0.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OwnerId(pub u32);
+
+impl OwnerId {
+    /// Returns the owner's dense column index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OwnerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for OwnerId {
+    fn from(v: u32) -> Self {
+        OwnerId(v)
+    }
+}
+
+/// Identifier of a provider (`p_i`, e.g. a hospital).
+///
+/// Providers are dense indices `0..m` into the rows of a
+/// [`MembershipMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProviderId(pub u32);
+
+impl ProviderId {
+    /// Returns the provider's dense row index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProviderId {
+    fn from(v: u32) -> Self {
+        ProviderId(v)
+    }
+}
+
+/// A personalized privacy degree `ε_j ∈ \[0, 1\]` (§II-A, the `Delegate`
+/// operation).
+///
+/// `ε = 0` means no privacy concern (the index may return exactly the true
+/// positive providers); `ε = 1` demands perfect obscurity (a query is
+/// effectively broadcast to the whole network). The construction guarantees
+/// that the false-positive rate of the owner's published row is at least
+/// `ε_j`, which bounds an attacker's confidence by `1 − ε_j` (ε-PRIVATE,
+/// Eq. 1).
+///
+/// ```
+/// use eppi_core::model::Epsilon;
+/// let eps = Epsilon::new(0.8)?;
+/// assert!((eps.value() - 0.8).abs() < 1e-12);
+/// assert!(Epsilon::new(1.5).is_err());
+/// # Ok::<(), eppi_core::error::EppiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// The least privacy concern (`ε = 0`).
+    pub const ZERO: Epsilon = Epsilon(0.0);
+    /// The strongest privacy demand (`ε = 1`): search degenerates to
+    /// broadcast.
+    pub const ONE: Epsilon = Epsilon(1.0);
+
+    /// Creates a privacy degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EppiError::InvalidEpsilon`](crate::error::EppiError) if
+    /// `value` is not a finite number in `\[0, 1\]`.
+    pub fn new(value: f64) -> Result<Self, crate::error::EppiError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Epsilon(value))
+        } else {
+            Err(crate::error::EppiError::InvalidEpsilon(value))
+        }
+    }
+
+    /// Creates a privacy degree, clamping the input into `\[0, 1\]`.
+    ///
+    /// Non-finite inputs clamp to `0`.
+    pub fn saturating(value: f64) -> Self {
+        if value.is_finite() {
+            Epsilon(value.clamp(0.0, 1.0))
+        } else {
+            Epsilon(0.0)
+        }
+    }
+
+    /// Returns the raw degree in `\[0, 1\]`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Epsilon {
+    fn default() -> Self {
+        Epsilon::ZERO
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Epsilon {
+    type Error = crate::error::EppiError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Epsilon::new(value)
+    }
+}
+
+const BLOCK_BITS: usize = 64;
+
+/// A dense Boolean matrix of `m` provider rows × `n` owner columns, stored
+/// as row-major 64-bit blocks.
+///
+/// This single representation backs both the private matrix `M` and the
+/// published matrix `M'` (see [`PublishedIndex`]).
+///
+/// ```
+/// use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId};
+/// let mut m = MembershipMatrix::new(3, 4);
+/// m.set(ProviderId(1), OwnerId(2), true);
+/// assert!(m.get(ProviderId(1), OwnerId(2)));
+/// assert_eq!(m.frequency(OwnerId(2)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipMatrix {
+    providers: usize,
+    owners: usize,
+    blocks_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl MembershipMatrix {
+    /// Creates an all-zero matrix with `providers` rows and `owners`
+    /// columns.
+    pub fn new(providers: usize, owners: usize) -> Self {
+        let blocks_per_row = owners.div_ceil(BLOCK_BITS).max(1);
+        MembershipMatrix {
+            providers,
+            owners,
+            blocks_per_row,
+            bits: vec![0; providers * blocks_per_row],
+        }
+    }
+
+    /// Number of providers `m` (rows).
+    pub fn providers(&self) -> usize {
+        self.providers
+    }
+
+    /// Number of owners `n` (columns).
+    pub fn owners(&self) -> usize {
+        self.owners
+    }
+
+    #[inline]
+    fn locate(&self, provider: ProviderId, owner: OwnerId) -> (usize, u64) {
+        let p = provider.index();
+        let o = owner.index();
+        assert!(p < self.providers, "provider {p} out of range {}", self.providers);
+        assert!(o < self.owners, "owner {o} out of range {}", self.owners);
+        let block = p * self.blocks_per_row + o / BLOCK_BITS;
+        let mask = 1u64 << (o % BLOCK_BITS);
+        (block, mask)
+    }
+
+    /// Reads the membership bit `M(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn get(&self, provider: ProviderId, owner: OwnerId) -> bool {
+        let (block, mask) = self.locate(provider, owner);
+        self.bits[block] & mask != 0
+    }
+
+    /// Writes the membership bit `M(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn set(&mut self, provider: ProviderId, owner: OwnerId, value: bool) {
+        let (block, mask) = self.locate(provider, owner);
+        if value {
+            self.bits[block] |= mask;
+        } else {
+            self.bits[block] &= !mask;
+        }
+    }
+
+    /// Returns the identity frequency count of `owner`: the number of
+    /// providers with `M(i, j) = 1` (the paper's `σ_j · m`).
+    pub fn frequency(&self, owner: OwnerId) -> usize {
+        let o = owner.index();
+        assert!(o < self.owners, "owner {o} out of range {}", self.owners);
+        let block_off = o / BLOCK_BITS;
+        let mask = 1u64 << (o % BLOCK_BITS);
+        (0..self.providers)
+            .filter(|p| self.bits[p * self.blocks_per_row + block_off] & mask != 0)
+            .count()
+    }
+
+    /// Returns the relative frequency `σ_j = frequency / m`.
+    ///
+    /// Returns `0.0` for an empty network.
+    pub fn sigma(&self, owner: OwnerId) -> f64 {
+        if self.providers == 0 {
+            0.0
+        } else {
+            self.frequency(owner) as f64 / self.providers as f64
+        }
+    }
+
+    /// Returns all frequencies at once; one pass over the matrix, much
+    /// faster than per-owner [`frequency`](Self::frequency) calls for large
+    /// `n`.
+    pub fn frequencies(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.owners];
+        for p in 0..self.providers {
+            let row = &self.bits[p * self.blocks_per_row..(p + 1) * self.blocks_per_row];
+            for (b, &word) in row.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    let owner = b * BLOCK_BITS + bit;
+                    if owner < self.owners {
+                        counts[owner] += 1;
+                    }
+                    w &= w - 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Returns the providers holding records of `owner` (the true positive
+    /// list `{p_i : M(i, j) = 1}`).
+    pub fn providers_of(&self, owner: OwnerId) -> Vec<ProviderId> {
+        let o = owner.index();
+        assert!(o < self.owners, "owner {o} out of range {}", self.owners);
+        let block_off = o / BLOCK_BITS;
+        let mask = 1u64 << (o % BLOCK_BITS);
+        (0..self.providers)
+            .filter(|p| self.bits[p * self.blocks_per_row + block_off] & mask != 0)
+            .map(|p| ProviderId(p as u32))
+            .collect()
+    }
+
+    /// Returns one provider's membership vector `M_i(·)` as a Boolean vec
+    /// over owners.
+    pub fn row(&self, provider: ProviderId) -> LocalVector {
+        let p = provider.index();
+        assert!(p < self.providers, "provider {p} out of range {}", self.providers);
+        let row = &self.bits[p * self.blocks_per_row..(p + 1) * self.blocks_per_row];
+        LocalVector {
+            provider,
+            bits: row.to_vec(),
+            owners: self.owners,
+        }
+    }
+
+    /// Installs a provider's local vector as row `i` of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's owner count disagrees with the matrix or its
+    /// provider index is out of range.
+    pub fn set_row(&mut self, vector: &LocalVector) {
+        assert_eq!(vector.owners, self.owners, "owner count mismatch");
+        let p = vector.provider.index();
+        assert!(p < self.providers, "provider {p} out of range {}", self.providers);
+        let dst = &mut self.bits[p * self.blocks_per_row..(p + 1) * self.blocks_per_row];
+        dst.copy_from_slice(&vector.bits);
+    }
+
+    /// Total number of `1` cells in the matrix.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Grows the matrix to `new_owners` columns (existing bits keep
+    /// their positions; new columns start zeroed). Networks grow as
+    /// owners keep delegating (§II-A), and per-identity independence
+    /// makes column growth cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_owners` is smaller than the current owner count.
+    pub fn grow_owners(&mut self, new_owners: usize) {
+        assert!(
+            new_owners >= self.owners,
+            "cannot shrink owners from {} to {new_owners}",
+            self.owners
+        );
+        let new_blocks = new_owners.div_ceil(BLOCK_BITS).max(1);
+        if new_blocks != self.blocks_per_row {
+            let mut bits = vec![0u64; self.providers * new_blocks];
+            for p in 0..self.providers {
+                let src = &self.bits[p * self.blocks_per_row..(p + 1) * self.blocks_per_row];
+                bits[p * new_blocks..p * new_blocks + self.blocks_per_row].copy_from_slice(src);
+            }
+            self.bits = bits;
+            self.blocks_per_row = new_blocks;
+        }
+        self.owners = new_owners;
+    }
+
+    /// Iterates over all owner ids `t_0 .. t_{n-1}`.
+    pub fn owner_ids(&self) -> impl Iterator<Item = OwnerId> {
+        (0..self.owners as u32).map(OwnerId)
+    }
+
+    /// Iterates over all provider ids `p_0 .. p_{m-1}`.
+    pub fn provider_ids(&self) -> impl Iterator<Item = ProviderId> {
+        (0..self.providers as u32).map(ProviderId)
+    }
+}
+
+/// One provider's private membership vector `M_i(·)` (§II-A, Fig. 2).
+///
+/// This is the unit of data a provider contributes to the distributed
+/// construction protocol; it never leaves the provider in cleartext.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalVector {
+    provider: ProviderId,
+    bits: Vec<u64>,
+    owners: usize,
+}
+
+impl LocalVector {
+    /// Creates an all-zero local vector for `provider` over `owners`
+    /// identities.
+    pub fn new(provider: ProviderId, owners: usize) -> Self {
+        LocalVector {
+            provider,
+            bits: vec![0; owners.div_ceil(BLOCK_BITS).max(1)],
+            owners,
+        }
+    }
+
+    /// The provider owning this vector.
+    pub fn provider(&self) -> ProviderId {
+        self.provider
+    }
+
+    /// Number of owner columns.
+    pub fn owners(&self) -> usize {
+        self.owners
+    }
+
+    /// Reads the membership bit for `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range.
+    pub fn get(&self, owner: OwnerId) -> bool {
+        let o = owner.index();
+        assert!(o < self.owners, "owner {o} out of range {}", self.owners);
+        self.bits[o / BLOCK_BITS] & (1u64 << (o % BLOCK_BITS)) != 0
+    }
+
+    /// Writes the membership bit for `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range.
+    pub fn set(&mut self, owner: OwnerId, value: bool) {
+        let o = owner.index();
+        assert!(o < self.owners, "owner {o} out of range {}", self.owners);
+        let mask = 1u64 << (o % BLOCK_BITS);
+        if value {
+            self.bits[o / BLOCK_BITS] |= mask;
+        } else {
+            self.bits[o / BLOCK_BITS] &= !mask;
+        }
+    }
+
+    /// Number of identities this provider holds.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The published, obscured index `M'(·, ·)` served by the untrusted PPI
+/// server.
+///
+/// Invariant upheld by the construction (Eq. 2): `M(i,j) = 1 ⇒ M'(i,j) = 1`
+/// (truthful publication, hence 100% query recall); `M(i,j) = 0` may flip to
+/// `1` with the per-owner probability `β_j` (false positives).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedIndex {
+    matrix: MembershipMatrix,
+    betas: Vec<f64>,
+}
+
+impl PublishedIndex {
+    /// Wraps a published matrix together with the per-owner publishing
+    /// probabilities used to create it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `betas.len()` differs from the matrix owner count.
+    pub fn new(matrix: MembershipMatrix, betas: Vec<f64>) -> Self {
+        assert_eq!(matrix.owners(), betas.len(), "one β per owner required");
+        PublishedIndex { matrix, betas }
+    }
+
+    /// The published Boolean matrix `M'`.
+    pub fn matrix(&self) -> &MembershipMatrix {
+        &self.matrix
+    }
+
+    /// The per-owner publishing probabilities `β_j` (public, per §IV-C the
+    /// final β carries no private information once mixing is applied).
+    pub fn betas(&self) -> &[f64] {
+        &self.betas
+    }
+
+    /// Evaluates `QueryPPI(t_j)`: all providers published as possibly
+    /// holding the owner's records.
+    pub fn query(&self, owner: OwnerId) -> Vec<ProviderId> {
+        self.matrix.providers_of(owner)
+    }
+
+    /// The *published* frequency of `owner` — what an attacker observing
+    /// `M'` can measure.
+    pub fn published_frequency(&self, owner: OwnerId) -> usize {
+        self.matrix.frequency(owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_set_get_roundtrip() {
+        let mut m = MembershipMatrix::new(5, 130);
+        m.set(ProviderId(0), OwnerId(0), true);
+        m.set(ProviderId(4), OwnerId(129), true);
+        m.set(ProviderId(2), OwnerId(64), true);
+        assert!(m.get(ProviderId(0), OwnerId(0)));
+        assert!(m.get(ProviderId(4), OwnerId(129)));
+        assert!(m.get(ProviderId(2), OwnerId(64)));
+        assert!(!m.get(ProviderId(1), OwnerId(0)));
+        m.set(ProviderId(2), OwnerId(64), false);
+        assert!(!m.get(ProviderId(2), OwnerId(64)));
+    }
+
+    #[test]
+    fn frequency_counts_rows() {
+        let mut m = MembershipMatrix::new(4, 3);
+        m.set(ProviderId(0), OwnerId(1), true);
+        m.set(ProviderId(1), OwnerId(1), true);
+        m.set(ProviderId(3), OwnerId(1), true);
+        assert_eq!(m.frequency(OwnerId(1)), 3);
+        assert_eq!(m.frequency(OwnerId(0)), 0);
+        assert!((m.sigma(OwnerId(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_matches_per_owner_frequency() {
+        let mut m = MembershipMatrix::new(7, 200);
+        // Deterministic pseudo-random pattern.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for p in 0..7u32 {
+            for o in 0..200u32 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if state >> 62 == 0 {
+                    m.set(ProviderId(p), OwnerId(o), true);
+                }
+            }
+        }
+        let all = m.frequencies();
+        for o in 0..200u32 {
+            assert_eq!(all[o as usize], m.frequency(OwnerId(o)), "owner {o}");
+        }
+    }
+
+    #[test]
+    fn providers_of_lists_true_positives() {
+        let mut m = MembershipMatrix::new(6, 2);
+        m.set(ProviderId(1), OwnerId(0), true);
+        m.set(ProviderId(5), OwnerId(0), true);
+        assert_eq!(m.providers_of(OwnerId(0)), vec![ProviderId(1), ProviderId(5)]);
+        assert!(m.providers_of(OwnerId(1)).is_empty());
+    }
+
+    #[test]
+    fn row_and_set_row_roundtrip() {
+        let mut m = MembershipMatrix::new(3, 70);
+        m.set(ProviderId(1), OwnerId(69), true);
+        let row = m.row(ProviderId(1));
+        assert!(row.get(OwnerId(69)));
+        assert_eq!(row.ones(), 1);
+
+        let mut m2 = MembershipMatrix::new(3, 70);
+        m2.set_row(&row);
+        assert!(m2.get(ProviderId(1), OwnerId(69)));
+        assert_eq!(m2.ones(), 1);
+    }
+
+    #[test]
+    fn local_vector_set_get() {
+        let mut v = LocalVector::new(ProviderId(2), 100);
+        assert_eq!(v.provider(), ProviderId(2));
+        v.set(OwnerId(63), true);
+        v.set(OwnerId(64), true);
+        assert!(v.get(OwnerId(63)));
+        assert!(v.get(OwnerId(64)));
+        assert!(!v.get(OwnerId(65)));
+        assert_eq!(v.ones(), 2);
+        v.set(OwnerId(63), false);
+        assert_eq!(v.ones(), 1);
+    }
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::new(0.0).is_ok());
+        assert!(Epsilon::new(1.0).is_ok());
+        assert!(Epsilon::new(0.5).is_ok());
+        assert!(Epsilon::new(-0.1).is_err());
+        assert!(Epsilon::new(1.1).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert_eq!(Epsilon::saturating(2.0), Epsilon::ONE);
+        assert_eq!(Epsilon::saturating(-3.0), Epsilon::ZERO);
+        assert_eq!(Epsilon::saturating(f64::NAN), Epsilon::ZERO);
+    }
+
+    #[test]
+    fn published_index_query() {
+        let mut m = MembershipMatrix::new(4, 2);
+        m.set(ProviderId(0), OwnerId(0), true);
+        m.set(ProviderId(2), OwnerId(0), true);
+        let idx = PublishedIndex::new(m, vec![0.5, 0.1]);
+        assert_eq!(idx.query(OwnerId(0)), vec![ProviderId(0), ProviderId(2)]);
+        assert_eq!(idx.published_frequency(OwnerId(0)), 2);
+        assert_eq!(idx.betas(), &[0.5, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner")]
+    fn matrix_get_out_of_range_panics() {
+        let m = MembershipMatrix::new(2, 2);
+        m.get(ProviderId(0), OwnerId(2));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(OwnerId(3).to_string(), "t3");
+        assert_eq!(ProviderId(7).to_string(), "p7");
+        assert_eq!(Epsilon::new(0.25).unwrap().to_string(), "ε=0.25");
+    }
+}

@@ -1,0 +1,494 @@
+//! β-calculation policies (§III-B of the paper).
+//!
+//! Randomized publication flips a provider's `0` cell for owner `t_j` to a
+//! published `1` with probability `β_j`. The amount of resulting false
+//! positives determines whether the owner's privacy requirement
+//! `fp_j ≥ ε_j` is met. The paper proposes three policies mapping
+//! `(σ_j, ε_j, m)` to `β_j` with different quantitative guarantees:
+//!
+//! * [`BasicPolicy`] — expectation-based (Eq. 3): meets the requirement
+//!   with only ~50% probability.
+//! * [`IncrementedPolicy`] — adds a constant `Δ` (Eq. 4): better but with
+//!   no direct control of the success ratio.
+//! * [`ChernoffPolicy`] — Chernoff-bound-based (Eq. 5, Theorem 3.1):
+//!   statistically guarantees the requirement with configurable success
+//!   ratio `γ`.
+//!
+//! A *raw* β of `1` or more marks a **common identity** (§III-B.2): the
+//! identity appears in so many providers that even publishing every
+//! negative as a false positive cannot reach `ε_j`. Common identities are
+//! handled by identity mixing ([`crate::mixing`]).
+
+use crate::error::EppiError;
+use crate::model::Epsilon;
+use serde::{Deserialize, Serialize};
+
+/// The expectation-based publishing probability of Eq. 3:
+/// `β_b = [(σ⁻¹ − 1)(ε⁻¹ − 1)]⁻¹`.
+///
+/// Degenerate inputs follow the limits of the formula: `σ = 0` or `ε = 0`
+/// yield `0`; `σ = 1` or `ε = 1` yield `+∞` (a common identity /
+/// broadcast demand).
+pub fn beta_basic(sigma: f64, eps: Epsilon) -> f64 {
+    let e = eps.value();
+    if sigma <= 0.0 || e <= 0.0 {
+        return 0.0;
+    }
+    if sigma >= 1.0 || e >= 1.0 {
+        return f64::INFINITY;
+    }
+    let denom = (1.0 / sigma - 1.0) * (1.0 / e - 1.0);
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / denom
+    }
+}
+
+/// A policy computing the per-identity publishing probability `β_j`.
+///
+/// Implementations must be monotonically non-decreasing in both `σ` and
+/// `ε`; [`sigma_threshold`](BetaPolicy::sigma_threshold) relies on this to
+/// bisect for the common-identity frequency threshold `σ'`.
+pub trait BetaPolicy {
+    /// The raw (unclamped) probability `β*`. Values `≥ 1` (including
+    /// `+∞`) mark the identity as *common* for this `(ε, m)`.
+    fn raw_beta(&self, sigma: f64, eps: Epsilon, m: usize) -> f64;
+
+    /// The effective publishing probability, clamped into `\[0, 1\]`.
+    fn beta(&self, sigma: f64, eps: Epsilon, m: usize) -> f64 {
+        self.raw_beta(sigma, eps, m).clamp(0.0, 1.0)
+    }
+
+    /// The frequency threshold `σ'` above which `β* ≥ 1` — i.e. the
+    /// smallest relative frequency at which an identity with privacy
+    /// degree `ε` counts as common (used by the CountBelow stage of the
+    /// construction protocol, Alg. 1 line 2).
+    ///
+    /// The default implementation bisects `raw_beta` over `σ ∈ \[0, 1\]`;
+    /// policies with a closed form override it.
+    fn sigma_threshold(&self, eps: Epsilon, m: usize) -> f64 {
+        if self.raw_beta(0.0, eps, m) >= 1.0 {
+            return 0.0;
+        }
+        if self.raw_beta(1.0, eps, m) < 1.0 {
+            return 1.0;
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.raw_beta(mid, eps, m) >= 1.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// Short, stable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The basic expectation-based policy `β_b` (Eq. 3).
+///
+/// Sets β so the *expected* number of false positives among the
+/// `m(1 − σ)` negative providers is exactly `ε · m(1 − σ)`
+/// — which is exceeded only about half the time.
+///
+/// ```
+/// use eppi_core::policy::{BasicPolicy, BetaPolicy};
+/// use eppi_core::model::Epsilon;
+/// let beta = BasicPolicy.beta(0.5, Epsilon::new(0.5)?, 1000);
+/// assert!((beta - 1.0).abs() < 1e-12); // σ=ε=0.5 ⇒ β_b = 1
+/// # Ok::<(), eppi_core::error::EppiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicPolicy;
+
+impl BetaPolicy for BasicPolicy {
+    fn raw_beta(&self, sigma: f64, eps: Epsilon, _m: usize) -> f64 {
+        beta_basic(sigma, eps)
+    }
+
+    fn sigma_threshold(&self, eps: Epsilon, _m: usize) -> f64 {
+        // β_b = 1  ⇔  σ' = 1 − ε.
+        1.0 - eps.value()
+    }
+
+    fn name(&self) -> &'static str {
+        "basic"
+    }
+}
+
+/// The incremented expectation-based policy `β_d = β_b + Δ` (Eq. 4).
+///
+/// The constant increment raises the success ratio above 50%, but the
+/// paper notes there is no direct connection between `Δ` and the achieved
+/// ratio — the motivation for [`ChernoffPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncrementedPolicy {
+    delta: f64,
+}
+
+impl IncrementedPolicy {
+    /// Creates the policy with increment `Δ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EppiError::InvalidPolicyParameter`] unless `Δ` is finite
+    /// and in `\[0, 1\]`.
+    pub fn new(delta: f64) -> Result<Self, EppiError> {
+        if delta.is_finite() && (0.0..=1.0).contains(&delta) {
+            Ok(IncrementedPolicy { delta })
+        } else {
+            Err(EppiError::InvalidPolicyParameter {
+                name: "delta",
+                value: delta,
+                expected: "[0, 1]",
+            })
+        }
+    }
+
+    /// The configured increment `Δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl BetaPolicy for IncrementedPolicy {
+    fn raw_beta(&self, sigma: f64, eps: Epsilon, _m: usize) -> f64 {
+        let b = beta_basic(sigma, eps);
+        if sigma <= 0.0 {
+            // An absent identity needs no false positives at all.
+            0.0
+        } else {
+            b + self.delta
+        }
+    }
+
+    fn sigma_threshold(&self, eps: Epsilon, _m: usize) -> f64 {
+        // β_b + Δ = 1 ⇔ β_b = 1 − Δ; with A = ε⁻¹ − 1:
+        // σ' = (1−Δ)A / ((1−Δ)A + 1).
+        let e = eps.value();
+        if self.delta >= 1.0 {
+            return 0.0;
+        }
+        if e <= 0.0 {
+            return 1.0;
+        }
+        if e >= 1.0 {
+            return 0.0;
+        }
+        let a = 1.0 / e - 1.0;
+        let k = (1.0 - self.delta) * a;
+        k / (k + 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "inc-exp"
+    }
+}
+
+/// The Chernoff-bound-based policy `β_c` (Eq. 5 / Theorem 3.1).
+///
+/// With `G = ln(1/(1−γ)) / ((1−σ) m)`,
+/// `β_c = β_b + G + sqrt(G² + 2 β_b G)` statistically guarantees
+/// `fp_j ≥ ε_j` with probability at least the configured success ratio
+/// `γ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChernoffPolicy {
+    gamma: f64,
+}
+
+impl ChernoffPolicy {
+    /// Creates the policy with target success ratio `γ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EppiError::InvalidPolicyParameter`] unless
+    /// `γ ∈ (0.5, 1)` — the theorem requires a ratio strictly above the
+    /// expectation baseline and strictly below certainty.
+    pub fn new(gamma: f64) -> Result<Self, EppiError> {
+        if gamma.is_finite() && gamma > 0.5 && gamma < 1.0 {
+            Ok(ChernoffPolicy { gamma })
+        } else {
+            Err(EppiError::InvalidPolicyParameter {
+                name: "gamma",
+                value: gamma,
+                expected: "(0.5, 1)",
+            })
+        }
+    }
+
+    /// The configured success ratio `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl BetaPolicy for ChernoffPolicy {
+    fn raw_beta(&self, sigma: f64, eps: Epsilon, m: usize) -> f64 {
+        if sigma <= 0.0 || eps.value() <= 0.0 {
+            // No records, or no privacy requirement: noise is pure cost.
+            return 0.0;
+        }
+        let b = beta_basic(sigma, eps);
+        if !b.is_finite() {
+            return f64::INFINITY;
+        }
+        if m == 0 || sigma >= 1.0 {
+            return f64::INFINITY;
+        }
+        let g = (1.0 / (1.0 - self.gamma)).ln() / ((1.0 - sigma) * m as f64);
+        b + g + (g * g + 2.0 * b * g).sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "chernoff"
+    }
+}
+
+/// A serializable, dynamically-dispatchable choice among the three paper
+/// policies — convenient for experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// [`BasicPolicy`].
+    Basic,
+    /// [`IncrementedPolicy`] with increment `Δ`.
+    Incremented {
+        /// The increment `Δ`.
+        delta: f64,
+    },
+    /// [`ChernoffPolicy`] with success ratio `γ`.
+    Chernoff {
+        /// The target success ratio `γ`.
+        gamma: f64,
+    },
+}
+
+impl PolicyKind {
+    /// Validates the embedded parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parameter errors of the concrete policy
+    /// constructors.
+    pub fn validate(self) -> Result<(), EppiError> {
+        match self {
+            PolicyKind::Basic => Ok(()),
+            PolicyKind::Incremented { delta } => IncrementedPolicy::new(delta).map(|_| ()),
+            PolicyKind::Chernoff { gamma } => ChernoffPolicy::new(gamma).map(|_| ()),
+        }
+    }
+}
+
+impl Default for PolicyKind {
+    /// The paper's default effectiveness configuration: Chernoff with
+    /// `γ = 0.9`.
+    fn default() -> Self {
+        PolicyKind::Chernoff { gamma: 0.9 }
+    }
+}
+
+impl BetaPolicy for PolicyKind {
+    fn raw_beta(&self, sigma: f64, eps: Epsilon, m: usize) -> f64 {
+        match *self {
+            PolicyKind::Basic => BasicPolicy.raw_beta(sigma, eps, m),
+            PolicyKind::Incremented { delta } => {
+                IncrementedPolicy { delta }.raw_beta(sigma, eps, m)
+            }
+            PolicyKind::Chernoff { gamma } => ChernoffPolicy { gamma }.raw_beta(sigma, eps, m),
+        }
+    }
+
+    fn sigma_threshold(&self, eps: Epsilon, m: usize) -> f64 {
+        match *self {
+            PolicyKind::Basic => BasicPolicy.sigma_threshold(eps, m),
+            PolicyKind::Incremented { delta } => {
+                IncrementedPolicy { delta }.sigma_threshold(eps, m)
+            }
+            PolicyKind::Chernoff { gamma } => ChernoffPolicy { gamma }.sigma_threshold(eps, m),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Basic => "basic",
+            PolicyKind::Incremented { .. } => "inc-exp",
+            PolicyKind::Chernoff { .. } => "chernoff",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn basic_matches_equation_3() {
+        // σ=0.1, ε=0.5 ⇒ β_b = 1/((10−1)(2−1)) = 1/9.
+        let b = BasicPolicy.raw_beta(0.1, eps(0.5), 1000);
+        assert!((b - 1.0 / 9.0).abs() < 1e-12);
+        // σ=0.5, ε=0.8 ⇒ β_b = 1/((2−1)(1.25−1)) = 4.
+        let b = BasicPolicy.raw_beta(0.5, eps(0.8), 1000);
+        assert!((b - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basic_degenerate_cases() {
+        assert_eq!(BasicPolicy.raw_beta(0.0, eps(0.5), 100), 0.0);
+        assert_eq!(BasicPolicy.raw_beta(0.5, eps(0.0), 100), 0.0);
+        assert_eq!(BasicPolicy.raw_beta(1.0, eps(0.5), 100), f64::INFINITY);
+        assert_eq!(BasicPolicy.raw_beta(0.5, eps(1.0), 100), f64::INFINITY);
+    }
+
+    #[test]
+    fn basic_sigma_threshold_closed_form() {
+        for e in [0.1, 0.5, 0.8] {
+            let s = BasicPolicy.sigma_threshold(eps(e), 10_000);
+            assert!((s - (1.0 - e)).abs() < 1e-9, "ε={e}: got {s}");
+            // At the threshold the raw β reaches (approximately) 1.
+            let b = BasicPolicy.raw_beta(s + 1e-9, eps(e), 10_000);
+            assert!(b >= 1.0 - 1e-6, "ε={e}: β at σ' = {b}");
+        }
+    }
+
+    #[test]
+    fn incremented_adds_delta() {
+        let p = IncrementedPolicy::new(0.02).unwrap();
+        let b = p.raw_beta(0.1, eps(0.5), 1000);
+        assert!((b - (1.0 / 9.0 + 0.02)).abs() < 1e-12);
+        assert_eq!(p.raw_beta(0.0, eps(0.5), 1000), 0.0);
+    }
+
+    #[test]
+    fn incremented_threshold_matches_bisection() {
+        let p = IncrementedPolicy::new(0.05).unwrap();
+        for e in [0.2, 0.5, 0.9] {
+            let closed = p.sigma_threshold(eps(e), 10_000);
+            // Reference: generic bisection from the trait default.
+            struct Ref(IncrementedPolicy);
+            impl BetaPolicy for Ref {
+                fn raw_beta(&self, s: f64, e: Epsilon, m: usize) -> f64 {
+                    self.0.raw_beta(s, e, m)
+                }
+                fn name(&self) -> &'static str {
+                    "ref"
+                }
+            }
+            let bisected = Ref(p).sigma_threshold(eps(e), 10_000);
+            assert!((closed - bisected).abs() < 1e-6, "ε={e}: {closed} vs {bisected}");
+        }
+    }
+
+    #[test]
+    fn incremented_rejects_bad_delta() {
+        assert!(IncrementedPolicy::new(-0.1).is_err());
+        assert!(IncrementedPolicy::new(1.5).is_err());
+        assert!(IncrementedPolicy::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn chernoff_dominates_basic() {
+        let p = ChernoffPolicy::new(0.9).unwrap();
+        for sigma in [0.01, 0.1, 0.3, 0.6] {
+            for e in [0.1, 0.5, 0.8] {
+                let bc = p.raw_beta(sigma, eps(e), 10_000);
+                let bb = BasicPolicy.raw_beta(sigma, eps(e), 10_000);
+                assert!(bc > bb, "σ={sigma} ε={e}: chernoff {bc} ≤ basic {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn chernoff_matches_equation_5() {
+        let gamma = 0.9;
+        let p = ChernoffPolicy::new(gamma).unwrap();
+        let (sigma, e, m) = (0.1, 0.5, 10_000usize);
+        let bb = beta_basic(sigma, eps(e));
+        let g = (1.0 / (1.0 - gamma)).ln() / ((1.0 - sigma) * m as f64);
+        let expected = bb + g + (g * g + 2.0 * bb * g).sqrt();
+        let got = p.raw_beta(sigma, eps(e), m);
+        assert!((got - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chernoff_gap_shrinks_with_m() {
+        // G → 0 as m grows, so β_c → β_b.
+        let p = ChernoffPolicy::new(0.9).unwrap();
+        let bb = beta_basic(0.1, eps(0.5));
+        let small = p.raw_beta(0.1, eps(0.5), 100) - bb;
+        let large = p.raw_beta(0.1, eps(0.5), 100_000) - bb;
+        assert!(small > large);
+        assert!(large > 0.0);
+    }
+
+    #[test]
+    fn chernoff_rejects_bad_gamma() {
+        assert!(ChernoffPolicy::new(0.5).is_err());
+        assert!(ChernoffPolicy::new(1.0).is_err());
+        assert!(ChernoffPolicy::new(0.0).is_err());
+        assert!(ChernoffPolicy::new(f64::NAN).is_err());
+        assert!(ChernoffPolicy::new(0.99).is_ok());
+    }
+
+    #[test]
+    fn raw_beta_monotone_in_sigma_and_eps() {
+        let policies: Vec<Box<dyn BetaPolicy>> = vec![
+            Box::new(BasicPolicy),
+            Box::new(IncrementedPolicy::new(0.02).unwrap()),
+            Box::new(ChernoffPolicy::new(0.9).unwrap()),
+        ];
+        for p in &policies {
+            let mut prev = -1.0;
+            for i in 1..20 {
+                let sigma = i as f64 / 20.0;
+                let b = p.raw_beta(sigma, eps(0.5), 1000);
+                assert!(b >= prev, "{}: not monotone in σ at {sigma}", p.name());
+                prev = b;
+            }
+            let mut prev = -1.0;
+            for i in 1..20 {
+                let e = i as f64 / 20.0;
+                let b = p.raw_beta(0.2, eps(e), 1000);
+                assert!(b >= prev, "{}: not monotone in ε at {e}", p.name());
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn policy_kind_dispatch_matches_concrete() {
+        let k = PolicyKind::Chernoff { gamma: 0.9 };
+        let c = ChernoffPolicy::new(0.9).unwrap();
+        assert_eq!(k.raw_beta(0.1, eps(0.5), 1000), c.raw_beta(0.1, eps(0.5), 1000));
+        assert_eq!(k.name(), "chernoff");
+        assert_eq!(PolicyKind::Basic.name(), "basic");
+        assert_eq!(PolicyKind::Incremented { delta: 0.02 }.name(), "inc-exp");
+        assert!(PolicyKind::Chernoff { gamma: 0.2 }.validate().is_err());
+        assert!(PolicyKind::default().validate().is_ok());
+    }
+
+    #[test]
+    fn beta_is_clamped() {
+        // σ=ε=0.9 gives a huge raw β; clamped β must be 1.
+        let raw = BasicPolicy.raw_beta(0.9, eps(0.9), 100);
+        assert!(raw > 1.0);
+        assert_eq!(BasicPolicy.beta(0.9, eps(0.9), 100), 1.0);
+    }
+
+    #[test]
+    fn chernoff_threshold_below_basic_threshold() {
+        // Chernoff β is larger, so it crosses 1 at a smaller σ.
+        let c = ChernoffPolicy::new(0.9).unwrap();
+        let tb = BasicPolicy.sigma_threshold(eps(0.5), 10_000);
+        let tc = c.sigma_threshold(eps(0.5), 10_000);
+        assert!(tc < tb, "chernoff σ'={tc} should be below basic σ'={tb}");
+        assert!(tc > 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Randomized publication (Eq. 2, phase 2 of the construction).
+//!
+//! Given the per-identity publishing probabilities `β_j`, every provider
+//! *independently* publishes its private membership vector:
+//!
+//! ```text
+//! 1 → 1                      (truthful — guarantees 100% recall)
+//! 0 → 1 with probability β_j (false positive — obscures membership)
+//!   → 0 otherwise
+//! ```
+//!
+//! Each provider runs the same random process on its own row, which is why
+//! the distributed realization needs no coordination for this phase.
+
+use crate::model::{LocalVector, MembershipMatrix, OwnerId, PublishedIndex};
+use rand::Rng;
+
+/// Publishes one provider's local vector under the given per-owner β
+/// values — the operation a single provider performs locally in the
+/// distributed protocol.
+///
+/// # Panics
+///
+/// Panics if `betas.len()` differs from the vector's owner count.
+pub fn publish_vector<R: Rng + ?Sized>(
+    vector: &LocalVector,
+    betas: &[f64],
+    rng: &mut R,
+) -> LocalVector {
+    assert_eq!(vector.owners(), betas.len(), "one β per owner required");
+    let mut out = LocalVector::new(vector.provider(), vector.owners());
+    for (j, &beta) in betas.iter().enumerate() {
+        let owner = OwnerId(j as u32);
+        let bit = if vector.get(owner) {
+            true
+        } else {
+            beta > 0.0 && rng.gen::<f64>() < beta
+        };
+        if bit {
+            out.set(owner, true);
+        }
+    }
+    out
+}
+
+/// Publishes the whole matrix (all providers) under the given per-owner β
+/// values, producing the public index `M'`.
+///
+/// This is the trusted/centralized equivalent of every provider running
+/// [`publish_vector`] on its own row; the two agree exactly when driven by
+/// the same per-row random streams.
+///
+/// # Panics
+///
+/// Panics if `betas.len()` differs from the matrix owner count.
+///
+/// ```
+/// use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId};
+/// use eppi_core::publish::publish_matrix;
+/// use rand::SeedableRng;
+/// let mut m = MembershipMatrix::new(3, 1);
+/// m.set(ProviderId(0), OwnerId(0), true);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let idx = publish_matrix(&m, &[1.0], &mut rng);
+/// // β = 1 publishes every provider for the owner.
+/// assert_eq!(idx.query(OwnerId(0)).len(), 3);
+/// ```
+pub fn publish_matrix<R: Rng + ?Sized>(
+    matrix: &MembershipMatrix,
+    betas: &[f64],
+    rng: &mut R,
+) -> PublishedIndex {
+    assert_eq!(matrix.owners(), betas.len(), "one β per owner required");
+    let mut published = MembershipMatrix::new(matrix.providers(), matrix.owners());
+    for provider in matrix.provider_ids() {
+        let row = publish_vector(&matrix.row(provider), betas, rng);
+        published.set_row(&row);
+    }
+    PublishedIndex::new(published, betas.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProviderId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn truthful_rule_preserves_positives() {
+        let mut m = MembershipMatrix::new(10, 4);
+        for p in 0..10u32 {
+            m.set(ProviderId(p), OwnerId(p % 4), true);
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let idx = publish_matrix(&m, &[0.0, 0.3, 0.7, 1.0], &mut rng);
+        for p in m.provider_ids() {
+            for o in m.owner_ids() {
+                if m.get(p, o) {
+                    assert!(idx.matrix().get(p, o), "lost positive at ({p}, {o})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_publishes_exactly_the_truth() {
+        let mut m = MembershipMatrix::new(20, 2);
+        m.set(ProviderId(3), OwnerId(0), true);
+        m.set(ProviderId(7), OwnerId(1), true);
+        let mut rng = StdRng::seed_from_u64(5);
+        let idx = publish_matrix(&m, &[0.0, 0.0], &mut rng);
+        assert_eq!(idx.matrix(), &m);
+    }
+
+    #[test]
+    fn beta_one_publishes_everything() {
+        let m = MembershipMatrix::new(15, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let idx = publish_matrix(&m, &[1.0, 1.0, 1.0], &mut rng);
+        assert_eq!(idx.matrix().ones(), 15 * 3);
+    }
+
+    #[test]
+    fn false_positive_rate_tracks_beta() {
+        // One owner, no true positives, β = 0.3 over 20 000 providers.
+        let m = MembershipMatrix::new(20_000, 1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let idx = publish_matrix(&m, &[0.3], &mut rng);
+        let rate = idx.published_frequency(OwnerId(0)) as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed flip rate {rate}");
+    }
+
+    #[test]
+    fn publish_vector_matches_matrix_row_semantics() {
+        let mut v = LocalVector::new(ProviderId(0), 5);
+        v.set(OwnerId(2), true);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = publish_vector(&v, &[0.0; 5], &mut rng);
+        assert!(out.get(OwnerId(2)));
+        assert_eq!(out.ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one β per owner")]
+    fn wrong_beta_len_panics() {
+        let m = MembershipMatrix::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        publish_matrix(&m, &[0.1], &mut rng);
+    }
+}

@@ -1,0 +1,178 @@
+//! Provider-sensitivity extension (motivated by §I, beyond the paper's
+//! owner-only knob).
+//!
+//! The paper's introduction motivates *two* axes of personalization: "a
+//! woman may consider her visit to a women's health center much more
+//! sensitive than her visit to a general hospital", and "different owners
+//! may have different levels of concerns". The ε-PPI mechanism itself
+//! personalizes only per owner (`ε_j`); this module closes the gap with
+//! a conservative reduction: each provider carries a sensitivity degree
+//! `s_i ∈ \[0, 1\]`, and an owner's *effective* privacy degree becomes
+//!
+//! ```text
+//! ε'_j = max( ε_j , max { s_i : M(i, j) = 1 } )
+//! ```
+//!
+//! i.e. visiting a sensitive provider lifts the owner's whole row to
+//! that provider's level. Because the false-positive rate is a row-level
+//! property (any published positive is equally likely to be the
+//! sensitive one from the attacker's viewpoint), bounding the row's
+//! confidence by `1 − ε'_j` also bounds the confidence of the
+//! `(t_j, sensitive p_i)` pair — the conservative direction.
+//!
+//! This is an extension (the paper lists per-provider control as
+//! motivation but builds the per-owner knob); it composes with the
+//! standard constructor by rewriting the ε assignment up front.
+
+use crate::error::EppiError;
+use crate::model::{Epsilon, MembershipMatrix};
+
+/// Per-provider sensitivity degrees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderSensitivity {
+    degrees: Vec<Epsilon>,
+}
+
+impl ProviderSensitivity {
+    /// Creates the assignment; one degree per provider.
+    pub fn new(degrees: Vec<Epsilon>) -> Self {
+        ProviderSensitivity { degrees }
+    }
+
+    /// A uniform assignment (every provider equally sensitive).
+    pub fn uniform(providers: usize, degree: Epsilon) -> Self {
+        ProviderSensitivity { degrees: vec![degree; providers] }
+    }
+
+    /// Number of providers covered.
+    pub fn len(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Whether the assignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.degrees.is_empty()
+    }
+
+    /// The degree of provider `i`.
+    pub fn degree(&self, provider: usize) -> Epsilon {
+        self.degrees[provider]
+    }
+
+    /// Raises one provider's sensitivity (e.g. marking a specialty
+    /// clinic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `provider` is out of range.
+    pub fn set(&mut self, provider: usize, degree: Epsilon) {
+        self.degrees[provider] = degree;
+    }
+}
+
+/// Computes the effective per-owner ε assignment: each owner's degree is
+/// lifted to the most sensitive provider actually holding their records.
+///
+/// # Errors
+///
+/// Returns [`EppiError::DimensionMismatch`] if the counts disagree with
+/// the matrix.
+pub fn effective_epsilons(
+    matrix: &MembershipMatrix,
+    owner_eps: &[Epsilon],
+    sensitivity: &ProviderSensitivity,
+) -> Result<Vec<Epsilon>, EppiError> {
+    if owner_eps.len() != matrix.owners() {
+        return Err(EppiError::DimensionMismatch {
+            what: "owner epsilons",
+            expected: matrix.owners(),
+            actual: owner_eps.len(),
+        });
+    }
+    if sensitivity.len() != matrix.providers() {
+        return Err(EppiError::DimensionMismatch {
+            what: "provider sensitivities",
+            expected: matrix.providers(),
+            actual: sensitivity.len(),
+        });
+    }
+    Ok(matrix
+        .owner_ids()
+        .map(|owner| {
+            let base = owner_eps[owner.index()].value();
+            let lifted = matrix
+                .providers_of(owner)
+                .into_iter()
+                .map(|p| sensitivity.degree(p.index()).value())
+                .fold(base, f64::max);
+            Epsilon::saturating(lifted)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{construct, ConstructionConfig};
+    use crate::model::{OwnerId, ProviderId};
+    use crate::privacy::owner_privacy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::saturating(v)
+    }
+
+    #[test]
+    fn sensitive_provider_lifts_its_visitors_only() {
+        let mut m = MembershipMatrix::new(4, 3);
+        m.set(ProviderId(0), OwnerId(0), true); // visits sensitive clinic
+        m.set(ProviderId(1), OwnerId(1), true); // visits general hospital
+        // Owner 2 has no records at all.
+        let mut s = ProviderSensitivity::uniform(4, eps(0.1));
+        s.set(0, eps(0.9));
+        let base = vec![eps(0.3); 3];
+        let effective = effective_epsilons(&m, &base, &s).unwrap();
+        assert_eq!(effective[0], eps(0.9), "lifted by the clinic");
+        assert_eq!(effective[1], eps(0.3), "hospital (0.1) below the owner's 0.3");
+        assert_eq!(effective[2], eps(0.3), "no records: base ε stands");
+    }
+
+    #[test]
+    fn owner_degree_is_never_lowered() {
+        let mut m = MembershipMatrix::new(2, 1);
+        m.set(ProviderId(0), OwnerId(0), true);
+        let s = ProviderSensitivity::uniform(2, eps(0.2));
+        let effective = effective_epsilons(&m, &[eps(0.8)], &s).unwrap();
+        assert_eq!(effective[0], eps(0.8));
+    }
+
+    #[test]
+    fn composes_with_construction() {
+        // A VIP-clinic visitor ends up with clinic-level obscurity even
+        // though the owner asked for little.
+        let mut m = MembershipMatrix::new(500, 1);
+        m.set(ProviderId(7), OwnerId(0), true);
+        let mut s = ProviderSensitivity::uniform(500, eps(0.0));
+        s.set(7, eps(0.9));
+        let effective = effective_epsilons(&m, &[eps(0.1)], &s).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let built = construct(&m, &effective, ConstructionConfig::default(), &mut rng).unwrap();
+        let p = owner_privacy(&m, &built.index, OwnerId(0));
+        assert!(
+            p.satisfies(eps(0.9)) || p.false_positive_rate.unwrap() > 0.8,
+            "clinic-level privacy enforced: fp = {:?}",
+            p.false_positive_rate
+        );
+    }
+
+    #[test]
+    fn dimensions_validated() {
+        let m = MembershipMatrix::new(3, 2);
+        let s = ProviderSensitivity::uniform(2, eps(0.5));
+        assert!(effective_epsilons(&m, &[eps(0.1); 2], &s).is_err());
+        let s = ProviderSensitivity::uniform(3, eps(0.5));
+        assert!(effective_epsilons(&m, &[eps(0.1)], &s).is_err());
+        assert!(effective_epsilons(&m, &[eps(0.1); 2], &s).is_ok());
+    }
+}

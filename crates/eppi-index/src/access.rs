@@ -1,0 +1,89 @@
+//! Per-provider authentication/authorization for `AuthSearch`.
+//!
+//! The paper assumes "each provider has already set up its local access
+//! control subsystem for authorized access to the private personal
+//! records" (§II-A). This module models that subsystem: a searcher must
+//! be admitted by a provider's policy before it may run a local search.
+
+use eppi_core::model::OwnerId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a data searcher (e.g. the emergency-room physician of
+/// the paper's motivating HIE scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SearcherId(pub u32);
+
+impl fmt::Display for SearcherId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A provider's admission policy for searchers.
+#[derive(Debug, Clone, Default)]
+pub enum AccessPolicy {
+    /// Admit every authenticated searcher (e.g. break-glass emergency
+    /// access).
+    #[default]
+    Open,
+    /// Admit only enrolled searchers.
+    Allowlist(HashSet<SearcherId>),
+    /// Admit enrolled searchers, and only for specific owners (e.g. a
+    /// treating physician for their patient).
+    PerOwner(HashSet<(SearcherId, OwnerId)>),
+    /// Reject everyone (provider offline or out of network).
+    Deny,
+}
+
+impl AccessPolicy {
+    /// Whether `searcher` may search for `owner`'s records.
+    pub fn authorize(&self, searcher: SearcherId, owner: OwnerId) -> bool {
+        match self {
+            AccessPolicy::Open => true,
+            AccessPolicy::Allowlist(set) => set.contains(&searcher),
+            AccessPolicy::PerOwner(set) => set.contains(&(searcher, owner)),
+            AccessPolicy::Deny => false,
+        }
+    }
+
+    /// Convenience constructor for an allowlist.
+    pub fn allowing(searchers: impl IntoIterator<Item = SearcherId>) -> Self {
+        AccessPolicy::Allowlist(searchers.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_admits_everyone() {
+        assert!(AccessPolicy::Open.authorize(SearcherId(1), OwnerId(2)));
+    }
+
+    #[test]
+    fn deny_rejects_everyone() {
+        assert!(!AccessPolicy::Deny.authorize(SearcherId(1), OwnerId(2)));
+    }
+
+    #[test]
+    fn allowlist_checks_searcher() {
+        let p = AccessPolicy::allowing([SearcherId(1), SearcherId(2)]);
+        assert!(p.authorize(SearcherId(1), OwnerId(0)));
+        assert!(!p.authorize(SearcherId(3), OwnerId(0)));
+    }
+
+    #[test]
+    fn per_owner_checks_pair() {
+        let p = AccessPolicy::PerOwner([(SearcherId(1), OwnerId(5))].into_iter().collect());
+        assert!(p.authorize(SearcherId(1), OwnerId(5)));
+        assert!(!p.authorize(SearcherId(1), OwnerId(6)));
+        assert!(!p.authorize(SearcherId(2), OwnerId(5)));
+    }
+
+    #[test]
+    fn searcher_display() {
+        assert_eq!(SearcherId(9).to_string(), "s9");
+    }
+}

@@ -1,0 +1,222 @@
+//! Compact binary serialization of the published index.
+//!
+//! A real locator service persists and ships the index: the PPI server
+//! loads it at boot, providers can mirror it, auditors archive it. The
+//! allowed dependency set has no serialization backend, so the format is
+//! hand-rolled: a fixed little-endian header, the row-major matrix
+//! bitmap, then the per-owner β values — versioned and fully validated
+//! on load (truncated, oversized or inconsistent input is rejected, not
+//! trusted).
+//!
+//! ```text
+//! magic  "EPPI"      4 bytes
+//! version u16        (currently 1)
+//! providers u32, owners u32
+//! bitmap  ⌈providers·owners / 8⌉ bytes, row-major, LSB-first
+//! betas   owners × f64 (little-endian bits)
+//! ```
+
+use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"EPPI";
+const VERSION: u16 = 1;
+
+/// Errors raised when decoding a serialized index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer is shorter than the declared content.
+    Truncated {
+        /// Bytes expected at minimum.
+        expected: usize,
+        /// Bytes available.
+        actual: usize,
+    },
+    /// The magic header is missing.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// A β value decoded outside `\[0, 1\]` or non-finite.
+    InvalidBeta {
+        /// The offending owner index.
+        owner: u32,
+    },
+    /// Trailing bytes after the declared content.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { expected, actual } => {
+                write!(f, "truncated index: need at least {expected} bytes, got {actual}")
+            }
+            CodecError::BadMagic => write!(f, "missing EPPI magic header"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported index version {v}"),
+            CodecError::InvalidBeta { owner } => {
+                write!(f, "invalid β for owner {owner}: not a probability")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after index content"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Serializes a published index to the versioned binary format.
+pub fn encode(index: &PublishedIndex) -> Vec<u8> {
+    let matrix = index.matrix();
+    let (m, n) = (matrix.providers(), matrix.owners());
+    let bitmap_len = (m * n).div_ceil(8);
+    let mut out = Vec::with_capacity(4 + 2 + 8 + bitmap_len + n * 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+
+    let mut bitmap = vec![0u8; bitmap_len];
+    for p in 0..m {
+        for o in 0..n {
+            if matrix.get(ProviderId(p as u32), OwnerId(o as u32)) {
+                let bit = p * n + o;
+                bitmap[bit / 8] |= 1 << (bit % 8);
+            }
+        }
+    }
+    out.extend_from_slice(&bitmap);
+    for &beta in index.betas() {
+        out.extend_from_slice(&beta.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes an index, validating structure and every β.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for any malformed input; never panics on
+/// untrusted bytes.
+pub fn decode(bytes: &[u8]) -> Result<PublishedIndex, CodecError> {
+    let need_header = 4 + 2 + 8;
+    if bytes.len() < need_header {
+        return Err(CodecError::Truncated { expected: need_header, actual: bytes.len() });
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let m = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
+    let n = u32::from_le_bytes(bytes[10..14].try_into().expect("4 bytes")) as usize;
+    let bitmap_len = (m * n).div_ceil(8);
+    let total = need_header + bitmap_len + n * 8;
+    if bytes.len() < total {
+        return Err(CodecError::Truncated { expected: total, actual: bytes.len() });
+    }
+    if bytes.len() > total {
+        return Err(CodecError::TrailingBytes(bytes.len() - total));
+    }
+
+    let bitmap = &bytes[need_header..need_header + bitmap_len];
+    let mut matrix = MembershipMatrix::new(m, n);
+    for p in 0..m {
+        for o in 0..n {
+            let bit = p * n + o;
+            if bitmap[bit / 8] & (1 << (bit % 8)) != 0 {
+                matrix.set(ProviderId(p as u32), OwnerId(o as u32), true);
+            }
+        }
+    }
+
+    let mut betas = Vec::with_capacity(n);
+    let beta_bytes = &bytes[need_header + bitmap_len..];
+    for (o, chunk) in beta_bytes.chunks_exact(8).enumerate() {
+        let beta = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        if !beta.is_finite() || !(0.0..=1.0).contains(&beta) {
+            return Err(CodecError::InvalidBeta { owner: o as u32 });
+        }
+        betas.push(beta);
+    }
+    Ok(PublishedIndex::new(matrix, betas))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> PublishedIndex {
+        let mut m = MembershipMatrix::new(9, 5);
+        for (p, o) in [(0u32, 0u32), (3, 2), (8, 4), (5, 0), (2, 3)] {
+            m.set(ProviderId(p), OwnerId(o), true);
+        }
+        PublishedIndex::new(m, vec![0.0, 0.25, 0.5, 0.75, 1.0])
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let index = sample_index();
+        let bytes = encode(&index);
+        let back = decode(&bytes).expect("roundtrip");
+        assert_eq!(&back, &index);
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let index = PublishedIndex::new(MembershipMatrix::new(1, 1), vec![0.0]);
+        assert_eq!(decode(&encode(&index)).unwrap(), index);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample_index());
+        for cut in [0usize, 3, 10, bytes.len() - 1] {
+            assert!(
+                matches!(decode(&bytes[..cut]), Err(CodecError::Truncated { .. })),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&sample_index());
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode(&sample_index());
+        bytes[4] = 9;
+        assert_eq!(decode(&bytes), Err(CodecError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn invalid_beta_rejected() {
+        let mut bytes = encode(&sample_index());
+        let n = bytes.len();
+        // Overwrite the last β with NaN.
+        bytes[n - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(CodecError::InvalidBeta { owner: 4 }));
+        // And with an out-of-range value.
+        bytes[n - 8..].copy_from_slice(&2.5f64.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(CodecError::InvalidBeta { owner: 4 }));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&sample_index());
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(CodecError::Truncated { expected: 10, actual: 3 }.to_string().contains("10"));
+        assert!(CodecError::InvalidBeta { owner: 2 }.to_string().contains("owner 2"));
+    }
+}

@@ -1,0 +1,70 @@
+//! The third-party PPI server.
+//!
+//! Hosts the published (obscured) index `M'` and answers
+//! `QueryPPI(t_j)` lookups. The server is *untrusted*: everything it
+//! stores is public, so all privacy must already be baked into the
+//! published index — which is exactly what the ε-PPI construction
+//! guarantees.
+
+use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
+
+/// The locator-service index server.
+#[derive(Debug, Clone, Default)]
+pub struct PpiServer {
+    index: Option<PublishedIndex>,
+}
+
+impl PpiServer {
+    /// Installs a constructed index on the server.
+    pub fn new(index: PublishedIndex) -> Self {
+        PpiServer { index: Some(index) }
+    }
+
+    /// Number of providers in the installed index (0 when empty).
+    pub fn providers(&self) -> usize {
+        self.index.as_ref().map_or(0, |i| i.matrix().providers())
+    }
+
+    /// Number of owners in the installed index (0 when empty).
+    pub fn owners(&self) -> usize {
+        self.index.as_ref().map_or(0, |i| i.matrix().owners())
+    }
+
+    /// Evaluates `QueryPPI(owner)`: the candidate provider list. Query
+    /// evaluation is trivial (§II-A) — a row lookup in the published
+    /// matrix.
+    pub fn query(&self, owner: OwnerId) -> Vec<ProviderId> {
+        self.index.as_ref().map_or_else(Vec::new, |i| i.query(owner))
+    }
+
+    /// The installed index, if any — public data by design.
+    pub fn index(&self) -> Option<&PublishedIndex> {
+        self.index.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::model::MembershipMatrix;
+
+    #[test]
+    fn query_returns_published_row() {
+        let mut m = MembershipMatrix::new(3, 2);
+        m.set(ProviderId(0), OwnerId(1), true);
+        m.set(ProviderId(2), OwnerId(1), true);
+        let server = PpiServer::new(PublishedIndex::new(m, vec![0.0, 0.5]));
+        assert_eq!(server.query(OwnerId(1)), vec![ProviderId(0), ProviderId(2)]);
+        assert!(server.query(OwnerId(0)).is_empty());
+        assert_eq!(server.providers(), 3);
+        assert_eq!(server.owners(), 2);
+    }
+
+    #[test]
+    fn empty_server_answers_nothing() {
+        let server = PpiServer::default();
+        assert!(server.query(OwnerId(0)).is_empty());
+        assert_eq!(server.providers(), 0);
+        assert!(server.index().is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Provider-side record repositories.
+//!
+//! Each provider keeps an access-controlled local store of the personal
+//! records delegated to it (§II-A: `Delegate(⟨t_j, ε_j⟩, p_i)`). The
+//! stores are the ground truth that the second search phase
+//! (`AuthSearch`) queries after the locator service has produced its
+//! candidate provider list.
+
+use eppi_core::model::{Epsilon, OwnerId, ProviderId};
+use std::collections::HashMap;
+
+/// One personal record delegated by an owner to a provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The owner the record belongs to.
+    pub owner: OwnerId,
+    /// Opaque record payload (e.g. an encounter summary in the HIE
+    /// example).
+    pub payload: String,
+}
+
+/// A provider's local, access-controlled record repository.
+#[derive(Debug, Clone)]
+pub struct LocalStore {
+    provider: ProviderId,
+    records: HashMap<OwnerId, Vec<Record>>,
+    epsilons: HashMap<OwnerId, Epsilon>,
+}
+
+impl LocalStore {
+    /// Creates an empty store for `provider`.
+    pub fn new(provider: ProviderId) -> Self {
+        LocalStore {
+            provider,
+            records: HashMap::new(),
+            epsilons: HashMap::new(),
+        }
+    }
+
+    /// The provider owning this store.
+    pub fn provider(&self) -> ProviderId {
+        self.provider
+    }
+
+    /// The `Delegate` operation: stores a record for `owner` together
+    /// with the owner's privacy degree.
+    pub fn delegate(&mut self, owner: OwnerId, eps: Epsilon, payload: impl Into<String>) {
+        self.records
+            .entry(owner)
+            .or_default()
+            .push(Record { owner, payload: payload.into() });
+        self.epsilons.insert(owner, eps);
+    }
+
+    /// Withdraws all of `owner`'s records (e.g. the owner revokes the
+    /// delegation or transfers care). Returns how many records were
+    /// removed.
+    pub fn withdraw(&mut self, owner: OwnerId) -> usize {
+        self.epsilons.remove(&owner);
+        self.records.remove(&owner).map_or(0, |r| r.len())
+    }
+
+    /// Whether the store holds any records of `owner` (the provider's
+    /// membership bit `M(i, j)`).
+    pub fn holds(&self, owner: OwnerId) -> bool {
+        self.records.contains_key(&owner)
+    }
+
+    /// Local search for an owner's records (only reachable after
+    /// authorization).
+    pub fn search(&self, owner: OwnerId) -> &[Record] {
+        self.records.get(&owner).map_or(&[], Vec::as_slice)
+    }
+
+    /// The privacy degree the owner attached when delegating, if any.
+    pub fn epsilon_of(&self, owner: OwnerId) -> Option<Epsilon> {
+        self.epsilons.get(&owner).copied()
+    }
+
+    /// The owners with records here.
+    pub fn owners(&self) -> impl Iterator<Item = OwnerId> + '_ {
+        self.records.keys().copied()
+    }
+
+    /// Total number of records stored.
+    pub fn len(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::saturating(v)
+    }
+
+    #[test]
+    fn withdraw_removes_all_records() {
+        let mut s = LocalStore::new(ProviderId(1));
+        s.delegate(OwnerId(4), eps(0.5), "a");
+        s.delegate(OwnerId(4), eps(0.5), "b");
+        assert_eq!(s.withdraw(OwnerId(4)), 2);
+        assert!(!s.holds(OwnerId(4)));
+        assert_eq!(s.epsilon_of(OwnerId(4)), None);
+        assert_eq!(s.withdraw(OwnerId(4)), 0, "idempotent");
+    }
+
+    #[test]
+    fn delegate_and_search() {
+        let mut s = LocalStore::new(ProviderId(3));
+        assert!(s.is_empty());
+        s.delegate(OwnerId(1), eps(0.5), "visit 2026-01-02");
+        s.delegate(OwnerId(1), eps(0.5), "visit 2026-03-04");
+        s.delegate(OwnerId(2), eps(0.9), "lab result");
+        assert_eq!(s.len(), 3);
+        assert!(s.holds(OwnerId(1)));
+        assert!(!s.holds(OwnerId(7)));
+        assert_eq!(s.search(OwnerId(1)).len(), 2);
+        assert_eq!(s.search(OwnerId(7)), &[]);
+        assert_eq!(s.epsilon_of(OwnerId(2)), Some(eps(0.9)));
+        assert_eq!(s.epsilon_of(OwnerId(9)), None);
+        let mut owners: Vec<_> = s.owners().collect();
+        owners.sort();
+        assert_eq!(owners, vec![OwnerId(1), OwnerId(2)]);
+    }
+}

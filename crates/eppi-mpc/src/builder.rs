@@ -1,0 +1,706 @@
+//! Word-level circuit construction combinators.
+//!
+//! [`CircuitBuilder`] plays the role of FairplayMP's SFDL compiler: the
+//! CountBelow / mix-decision programs of the ε-PPI construction are
+//! written against these combinators and compiled to a flat Boolean
+//! [`Circuit`]. Words are little-endian bit vectors; arithmetic is
+//! unsigned with power-of-two wraparound (the share group `Z_{2^w}`).
+
+use crate::circuit::{Circuit, Gate, WireId};
+
+/// A little-endian machine word made of circuit wires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word(Vec<WireId>);
+
+impl Word {
+    /// The word's bits, least-significant first.
+    pub fn bits(&self) -> &[WireId] {
+        &self.0
+    }
+
+    /// The word width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Builds a word from raw wires (least-significant first).
+    pub fn from_bits(bits: Vec<WireId>) -> Self {
+        Word(bits)
+    }
+}
+
+/// Incremental Boolean-circuit builder.
+///
+/// All inputs must be declared (via [`input`](Self::input) /
+/// [`input_word`](Self::input_word)) before the first gate is emitted, so
+/// input wires form a dense prefix as [`Circuit`] requires.
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    inputs: usize,
+    gates: Vec<Gate>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CircuitBuilder::default()
+    }
+
+    /// Declares one input wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate has already been emitted.
+    pub fn input(&mut self) -> WireId {
+        assert!(
+            self.gates.is_empty(),
+            "all inputs must be declared before the first gate"
+        );
+        let w = WireId(self.inputs as u32);
+        self.inputs += 1;
+        w
+    }
+
+    /// Declares a `bits`-wide input word.
+    pub fn input_word(&mut self, bits: usize) -> Word {
+        Word((0..bits).map(|_| self.input()).collect())
+    }
+
+    fn push(&mut self, gate: Gate) -> WireId {
+        let w = WireId((self.inputs + self.gates.len()) as u32);
+        self.gates.push(gate);
+        w
+    }
+
+    /// Emits a constant bit.
+    pub fn constant(&mut self, value: bool) -> WireId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Emits `a XOR b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Emits `a AND b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(Gate::And(a, b))
+    }
+
+    /// Emits `NOT a`.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.push(Gate::Not(a))
+    }
+
+    /// Emits `a OR b` (costs one AND: `a⊕b⊕(a∧b)`).
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        let x = self.xor(a, b);
+        let n = self.and(a, b);
+        self.xor(x, n)
+    }
+
+    /// OR of many wires via a balanced tree; `false` constant if empty.
+    pub fn or_many(&mut self, wires: &[WireId]) -> WireId {
+        match wires.len() {
+            0 => self.constant(false),
+            1 => wires[0],
+            _ => {
+                let mut layer = wires.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            self.or(pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// AND of many wires via a balanced tree; `true` constant if empty.
+    pub fn and_many(&mut self, wires: &[WireId]) -> WireId {
+        match wires.len() {
+            0 => self.constant(true),
+            1 => wires[0],
+            _ => {
+                let mut layer = wires.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            self.and(pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Emits a constant word.
+    pub fn const_word(&mut self, value: u64, bits: usize) -> Word {
+        Word(
+            (0..bits)
+                .map(|i| self.constant(value >> i & 1 == 1))
+                .collect(),
+        )
+    }
+
+    /// Zero-extends (or truncates) a word to `bits`.
+    pub fn resize_word(&mut self, a: &Word, bits: usize) -> Word {
+        let mut out = a.0.clone();
+        if out.len() > bits {
+            out.truncate(bits);
+        } else {
+            while out.len() < bits {
+                out.push(self.constant(false));
+            }
+        }
+        Word(out)
+    }
+
+    /// Ripple-carry addition with the carry dropped: `(a + b) mod 2^w`.
+    ///
+    /// This is exactly the share-group reduction for a power-of-two
+    /// modulus, which is why CountBelow needs no explicit mod-q circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn add_words(&mut self, a: &Word, b: &Word) -> Word {
+        self.add_inner(a, b, false)
+    }
+
+    /// Ripple-carry addition widened by one bit: exact `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn add_words_expand(&mut self, a: &Word, b: &Word) -> Word {
+        self.add_inner(a, b, true)
+    }
+
+    fn add_inner(&mut self, a: &Word, b: &Word, keep_carry: bool) -> Word {
+        assert_eq!(a.width(), b.width(), "adder operands must match width");
+        let mut out = Vec::with_capacity(a.width() + 1);
+        let mut carry: Option<WireId> = None;
+        for (&x, &y) in a.0.iter().zip(&b.0) {
+            let xy = self.xor(x, y);
+            match carry {
+                None => {
+                    out.push(xy);
+                    carry = Some(self.and(x, y));
+                }
+                Some(c) => {
+                    let s = self.xor(xy, c);
+                    out.push(s);
+                    // carry' = (x∧y) ⊕ (c∧(x⊕y)) — the two terms are
+                    // mutually exclusive, so XOR implements OR.
+                    let t1 = self.and(x, y);
+                    let t2 = self.and(c, xy);
+                    carry = Some(self.xor(t1, t2));
+                }
+            }
+        }
+        if keep_carry {
+            out.push(carry.expect("non-empty words"));
+        }
+        Word(out)
+    }
+
+    /// Unsigned subtraction `(a − b) mod 2^w` via the borrow chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn sub_words(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "subtractor operands must match width");
+        let mut out = Vec::with_capacity(a.width());
+        let mut borrow = self.constant(false);
+        for (&x, &y) in a.0.iter().zip(&b.0) {
+            let xy = self.xor(x, y);
+            let d = self.xor(xy, borrow);
+            out.push(d);
+            // borrow' = (!x ∧ y) ⊕ (borrow ∧ !(x⊕y)) — mutually
+            // exclusive terms, XOR implements OR.
+            let nx = self.not(x);
+            let t1 = self.and(nx, y);
+            let nxy = self.not(xy);
+            let t2 = self.and(borrow, nxy);
+            borrow = self.xor(t1, t2);
+        }
+        Word(out)
+    }
+
+    /// Left shift by a constant amount, widening: `a · 2^k`.
+    pub fn shl_words(&mut self, a: &Word, k: usize) -> Word {
+        let mut out = Vec::with_capacity(a.width() + k);
+        for _ in 0..k {
+            out.push(self.constant(false));
+        }
+        out.extend_from_slice(&a.0);
+        Word(out)
+    }
+
+    /// Schoolbook multiplication: exact product of width
+    /// `a.width() + b.width()` (O(w²) gates — this is why the paper
+    /// pushes arithmetic out of the secure computation).
+    pub fn mul_words(&mut self, a: &Word, b: &Word) -> Word {
+        let total = a.width() + b.width();
+        let mut acc = self.const_word(0, total);
+        for (i, &bit) in b.0.iter().enumerate() {
+            // Partial product: (a AND b_i) << i, zero-extended.
+            let mut partial = Vec::with_capacity(total);
+            for _ in 0..i {
+                partial.push(self.constant(false));
+            }
+            for &abit in &a.0 {
+                partial.push(self.and(abit, bit));
+            }
+            while partial.len() < total {
+                partial.push(self.constant(false));
+            }
+            partial.truncate(total);
+            acc = self.add_words(&acc, &Word(partial));
+        }
+        acc
+    }
+
+    /// Restoring integer division: `(a / b, a % b)`, both of `a`'s
+    /// width. Division by zero yields all-ones quotient and `a` as
+    /// remainder (hardware convention; callers guard `b ≠ 0`).
+    pub fn div_words(&mut self, a: &Word, b: &Word) -> (Word, Word) {
+        let w = a.width();
+        let bw = b.width();
+        // Remainder register one bit wider than the divisor so the
+        // trial subtraction cannot wrap.
+        let rw = bw + 1;
+        let b_ext = self.resize_word(b, rw);
+        let mut rem = self.const_word(0, rw);
+        let mut quot = vec![self.constant(false); w];
+        for i in (0..w).rev() {
+            // rem = (rem << 1) | a_i
+            let mut shifted = Vec::with_capacity(rw);
+            shifted.push(a.0[i]);
+            shifted.extend_from_slice(&rem.0[..rw - 1]);
+            rem = Word(shifted);
+            // If rem ≥ b: rem -= b, q_i = 1.
+            let ge = self.ge_words(&rem, &b_ext);
+            let diff = self.sub_words(&rem, &b_ext);
+            rem = self.mux_word(ge, &diff, &rem);
+            quot[i] = ge;
+        }
+        let rem = self.resize_word(&rem, w.min(rw));
+        (Word(quot), self.resize_word(&rem, w))
+    }
+
+    /// Bit-by-bit integer square root: `⌊sqrt(a)⌋` of width
+    /// `⌈a.width()/2⌉` (digit-recurrence; O(w²) gates).
+    pub fn sqrt_word(&mut self, a: &Word) -> Word {
+        // Work at even width.
+        let w = a.width().div_ceil(2) * 2;
+        let a = self.resize_word(a, w);
+        let half = w / 2;
+        // Invariant per iteration (classic non-restoring-free variant):
+        // rem holds the current remainder, root the partial root.
+        // Trial value = (root << 2) | 01 at the current digit position.
+        let rw = w + 2;
+        let mut rem = self.const_word(0, rw);
+        let mut root = self.const_word(0, rw);
+        for i in (0..half).rev() {
+            // rem = (rem << 2) | next two bits of a.
+            let mut shifted = Vec::with_capacity(rw);
+            shifted.push(a.0[2 * i]);
+            shifted.push(a.0[2 * i + 1]);
+            shifted.extend_from_slice(&rem.0[..rw - 2]);
+            rem = Word(shifted);
+            // trial = (root << 2) | 1 — the digit-recurrence test value
+            // 4·root + 1.
+            let one = self.constant(true);
+            let zero = self.constant(false);
+            let mut trial = Vec::with_capacity(rw);
+            trial.push(one);
+            trial.push(zero);
+            trial.extend_from_slice(&root.0[..rw - 2]);
+            let trial = Word(trial);
+            let ge = self.ge_words(&rem, &trial);
+            let diff = self.sub_words(&rem, &trial);
+            rem = self.mux_word(ge, &diff, &rem);
+            // root = (root << 1) | ge
+            let mut newroot = Vec::with_capacity(rw);
+            newroot.push(ge);
+            newroot.extend_from_slice(&root.0[..rw - 1]);
+            root = Word(newroot);
+        }
+        self.resize_word(&root, half)
+    }
+
+    /// Unsigned comparison `a < b` via the borrow chain of `a − b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn lt_words(&mut self, a: &Word, b: &Word) -> WireId {
+        assert_eq!(a.width(), b.width(), "comparator operands must match width");
+        let mut borrow = self.constant(false);
+        for (&x, &y) in a.0.iter().zip(&b.0) {
+            // borrow' = (!x ∧ y) ⊕ (borrow ∧ !(x⊕y)) — mutually exclusive
+            // terms, XOR implements OR.
+            let nx = self.not(x);
+            let t1 = self.and(nx, y);
+            let xy = self.xor(x, y);
+            let nxy = self.not(xy);
+            let t2 = self.and(borrow, nxy);
+            borrow = self.xor(t1, t2);
+        }
+        borrow
+    }
+
+    /// Unsigned comparison `a ≥ b`.
+    pub fn ge_words(&mut self, a: &Word, b: &Word) -> WireId {
+        let lt = self.lt_words(a, b);
+        self.not(lt)
+    }
+
+    /// Word equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn eq_words(&mut self, a: &Word, b: &Word) -> WireId {
+        assert_eq!(a.width(), b.width(), "equality operands must match width");
+        let same: Vec<WireId> = a
+            .0
+            .iter()
+            .zip(&b.0)
+            .map(|(&x, &y)| {
+                let d = self.xor(x, y);
+                self.not(d)
+            })
+            .collect();
+        self.and_many(&same)
+    }
+
+    /// Bitwise XOR of two words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor_words(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "xor operands must match width");
+        Word(
+            a.0.iter()
+                .zip(&b.0)
+                .map(|(&x, &y)| self.xor(x, y))
+                .collect(),
+        )
+    }
+
+    /// Two-way multiplexer: `sel ? a : b`, bit-wise
+    /// (`b ⊕ (sel ∧ (a⊕b))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn mux_word(&mut self, sel: WireId, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "mux operands must match width");
+        Word(
+            a.0.iter()
+                .zip(&b.0)
+                .map(|(&x, &y)| {
+                    let d = self.xor(x, y);
+                    let g = self.and(sel, d);
+                    self.xor(y, g)
+                })
+                .collect(),
+        )
+    }
+
+    /// Population count: the number of set bits, as a word of width
+    /// `⌈log₂(n+1)⌉`, built as a balanced adder tree.
+    pub fn popcount(&mut self, bits: &[WireId]) -> Word {
+        if bits.is_empty() {
+            return self.const_word(0, 1);
+        }
+        let mut words: Vec<Word> = bits.iter().map(|&b| Word(vec![b])).collect();
+        while words.len() > 1 {
+            let mut next = Vec::with_capacity(words.len().div_ceil(2));
+            let mut it = words.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => {
+                        let w = a.width().max(b.width());
+                        let a = self.resize_word(&a, w);
+                        let b = self.resize_word(&b, w);
+                        next.push(self.add_words_expand(&a, &b));
+                    }
+                    None => next.push(a),
+                }
+            }
+            words = next;
+        }
+        words.pop().expect("non-empty")
+    }
+
+    /// Number of input wires declared so far.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Seals the builder into a [`Circuit`] with the given output wires.
+    pub fn finish(self, outputs: Vec<WireId>) -> Circuit {
+        Circuit::new(self.inputs, self.gates, outputs)
+    }
+
+    /// Seals the builder with a word output (least-significant bit
+    /// first).
+    pub fn finish_word(self, output: Word) -> Circuit {
+        Circuit::new(self.inputs, self.gates, output.0)
+    }
+}
+
+/// Decodes circuit output bits as a little-endian unsigned integer.
+pub fn word_value(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Encodes an unsigned integer as `bits` little-endian booleans.
+pub fn to_bits(value: u64, bits: usize) -> Vec<bool> {
+    (0..bits).map(|i| value >> i & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_binop(f: impl Fn(&mut CircuitBuilder, &Word, &Word) -> Word, a: u64, b: u64, w: usize) -> u64 {
+        let mut cb = CircuitBuilder::new();
+        let wa = cb.input_word(w);
+        let wb = cb.input_word(w);
+        let out = f(&mut cb, &wa, &wb);
+        let c = cb.finish_word(out);
+        let mut inputs = to_bits(a, w);
+        inputs.extend(to_bits(b, w));
+        word_value(&c.eval(&inputs))
+    }
+
+    fn eval_cmp(f: impl Fn(&mut CircuitBuilder, &Word, &Word) -> WireId, a: u64, b: u64, w: usize) -> bool {
+        let mut cb = CircuitBuilder::new();
+        let wa = cb.input_word(w);
+        let wb = cb.input_word(w);
+        let out = f(&mut cb, &wa, &wb);
+        let c = cb.finish(vec![out]);
+        let mut inputs = to_bits(a, w);
+        inputs.extend(to_bits(b, w));
+        c.eval(&inputs)[0]
+    }
+
+    #[test]
+    fn adder_matches_u64_semantics() {
+        for (a, b) in [(0u64, 0u64), (1, 1), (5, 11), (255, 1), (200, 100), (254, 255)] {
+            let got = eval_binop(|cb, x, y| cb.add_words(x, y), a, b, 8);
+            assert_eq!(got, (a + b) & 0xff, "{a}+{b} mod 256");
+            let exact = eval_binop(|cb, x, y| cb.add_words_expand(x, y), a, b, 8);
+            assert_eq!(exact, a + b, "{a}+{b} exact");
+        }
+    }
+
+    #[test]
+    fn comparators_match_u64_semantics() {
+        for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (100, 100), (255, 0), (0, 255), (37, 38)] {
+            assert_eq!(eval_cmp(|cb, x, y| cb.lt_words(x, y), a, b, 8), a < b, "{a}<{b}");
+            assert_eq!(eval_cmp(|cb, x, y| cb.ge_words(x, y), a, b, 8), a >= b, "{a}>={b}");
+            assert_eq!(eval_cmp(|cb, x, y| cb.eq_words(x, y), a, b, 8), a == b, "{a}=={b}");
+        }
+    }
+
+    #[test]
+    fn xor_words_matches() {
+        let got = eval_binop(|cb, x, y| cb.xor_words(x, y), 0b1010, 0b0110, 4);
+        assert_eq!(got, 0b1100);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut cb = CircuitBuilder::new();
+        let sel = cb.input();
+        let a = cb.input_word(4);
+        let b = cb.input_word(4);
+        let out = cb.mux_word(sel, &a, &b);
+        let c = cb.finish_word(out);
+        let mut inputs = vec![true];
+        inputs.extend(to_bits(9, 4));
+        inputs.extend(to_bits(3, 4));
+        assert_eq!(word_value(&c.eval(&inputs)), 9);
+        inputs[0] = false;
+        assert_eq!(word_value(&c.eval(&inputs)), 3);
+    }
+
+    #[test]
+    fn popcount_matches() {
+        for n in [1usize, 2, 3, 7, 8, 13] {
+            for pattern in 0..(1u64 << n.min(10)) {
+                let mut cb = CircuitBuilder::new();
+                let w = cb.input_word(n);
+                let bits: Vec<WireId> = w.bits().to_vec();
+                let out = cb.popcount(&bits);
+                let c = cb.finish_word(out);
+                let got = word_value(&c.eval(&to_bits(pattern, n)));
+                assert_eq!(got, pattern.count_ones() as u64, "n={n} pattern={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_empty_is_zero() {
+        let mut cb = CircuitBuilder::new();
+        let out = cb.popcount(&[]);
+        let c = cb.finish_word(out);
+        assert_eq!(word_value(&c.eval(&[])), 0);
+    }
+
+    #[test]
+    fn or_and_many_trees() {
+        for n in 0..6usize {
+            for pattern in 0..(1u64 << n) {
+                let mut cb = CircuitBuilder::new();
+                let w = cb.input_word(n);
+                let bits = w.bits().to_vec();
+                let o = cb.or_many(&bits);
+                let a = cb.and_many(&bits);
+                let c = cb.finish(vec![o, a]);
+                let out = c.eval(&to_bits(pattern, n));
+                assert_eq!(out[0], pattern != 0 && n > 0, "or n={n} p={pattern:b}");
+                assert_eq!(out[1], pattern.count_ones() as usize == n, "and n={n} p={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn const_word_roundtrip() {
+        let mut cb = CircuitBuilder::new();
+        let w = cb.const_word(0b1011, 6);
+        let c = cb.finish_word(w);
+        assert_eq!(word_value(&c.eval(&[])), 0b1011);
+    }
+
+    #[test]
+    fn resize_zero_extends_and_truncates() {
+        let mut cb = CircuitBuilder::new();
+        let w = cb.input_word(4);
+        let wide = cb.resize_word(&w, 8);
+        let narrow = cb.resize_word(&w, 2);
+        let mut outs = wide.bits().to_vec();
+        outs.extend_from_slice(narrow.bits());
+        let c = cb.finish(outs);
+        let out = c.eval(&to_bits(0b1101, 4));
+        assert_eq!(word_value(&out[..8]), 0b1101);
+        assert_eq!(word_value(&out[8..]), 0b01);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first gate")]
+    fn late_inputs_rejected() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input();
+        cb.not(a);
+        cb.input();
+    }
+
+    #[test]
+    fn word_value_and_to_bits_roundtrip() {
+        for v in [0u64, 1, 37, 255, 12345] {
+            assert_eq!(word_value(&to_bits(v, 16)), v & 0xffff);
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub() {
+        for (a, b) in [(0u64, 0u64), (5, 3), (3, 5), (255, 1), (0, 255), (200, 200)] {
+            let got = eval_binop(|cb, x, y| cb.sub_words(x, y), a, b, 8);
+            assert_eq!(got, a.wrapping_sub(b) & 0xff, "{a}-{b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_u64() {
+        for (a, b) in [(0u64, 0u64), (1, 1), (3, 5), (15, 15), (12, 9), (7, 13)] {
+            let mut cb = CircuitBuilder::new();
+            let wa = cb.input_word(4);
+            let wb = cb.input_word(4);
+            let p = cb.mul_words(&wa, &wb);
+            assert_eq!(p.width(), 8);
+            let c = cb.finish_word(p);
+            let mut inputs = to_bits(a, 4);
+            inputs.extend(to_bits(b, 4));
+            assert_eq!(word_value(&c.eval(&inputs)), a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn divider_matches_u64() {
+        for (a, b) in [(0u64, 1u64), (7, 3), (100, 10), (255, 2), (13, 13), (5, 255), (254, 7)] {
+            let mut cb = CircuitBuilder::new();
+            let wa = cb.input_word(8);
+            let wb = cb.input_word(8);
+            let (q, r) = cb.div_words(&wa, &wb);
+            let mut outs = q.bits().to_vec();
+            outs.extend_from_slice(r.bits());
+            let c = cb.finish(outs);
+            let mut inputs = to_bits(a, 8);
+            inputs.extend(to_bits(b, 8));
+            let out = c.eval(&inputs);
+            assert_eq!(word_value(&out[..8]), a / b, "{a}/{b}");
+            assert_eq!(word_value(&out[8..]), a % b, "{a}%{b}");
+        }
+    }
+
+    #[test]
+    fn divider_exhaustive_small() {
+        let mut cb = CircuitBuilder::new();
+        let wa = cb.input_word(5);
+        let wb = cb.input_word(5);
+        let (q, _) = cb.div_words(&wa, &wb);
+        let c = cb.finish_word(q);
+        for a in 0u64..32 {
+            for b in 1u64..32 {
+                let mut inputs = to_bits(a, 5);
+                inputs.extend(to_bits(b, 5));
+                assert_eq!(word_value(&c.eval(&inputs)), a / b, "{a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_isqrt() {
+        let mut cb = CircuitBuilder::new();
+        let wa = cb.input_word(10);
+        let r = cb.sqrt_word(&wa);
+        let c = cb.finish_word(r);
+        for v in 0u64..1024 {
+            let got = word_value(&c.eval(&to_bits(v, 10)));
+            let want = (v as f64).sqrt().floor() as u64;
+            assert_eq!(got, want, "sqrt({v})");
+        }
+    }
+
+    #[test]
+    fn shl_widens() {
+        let mut cb = CircuitBuilder::new();
+        let wa = cb.input_word(4);
+        let s = cb.shl_words(&wa, 3);
+        assert_eq!(s.width(), 7);
+        let c = cb.finish_word(s);
+        assert_eq!(word_value(&c.eval(&to_bits(0b1011, 4))), 0b1011000);
+    }
+}

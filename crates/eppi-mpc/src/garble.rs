@@ -1,0 +1,384 @@
+//! Yao-style garbled circuits (two-party, semi-honest).
+//!
+//! FairplayMP — the paper's MPC platform — descends from Fairplay \[15\],
+//! which evaluates Boolean circuits by *garbling*: the garbler assigns
+//! two random labels per wire (one meaning 0, one meaning 1), encrypts
+//! each gate's truth table under its input labels, and the evaluator —
+//! holding exactly one label per wire — decrypts exactly one row per
+//! gate. With the point-and-permute optimization, each garbled gate is a
+//! 4-row table indexed by the labels' select bits, so evaluation is
+//! constant-time per gate and needs no trial decryption.
+//!
+//! This gives the workspace the *garbled* flavour of generic MPC next to
+//! the GMW flavour ([`crate::gmw`]): the two cover both classic
+//! approaches the related-work section contrasts ("the garbled functions
+//! used for Boolean circuits and the homomorphic encryption used for
+//! arithmetic"). The evaluator's input labels would be fetched via
+//! oblivious transfer ([`crate::ot`]) in a deployment; the in-process
+//! runner wires them directly, which preserves the cost structure
+//! (table bytes, per-gate work) that matters for comparisons.
+//!
+//! **Security caveat:** labels are 64-bit and the "encryption" is the
+//! same SplitMix64 toy PRF as [`crate::ot`] — structural reproduction,
+//! not production crypto (see DESIGN.md).
+
+use crate::circuit::{Circuit, Gate};
+use rand::Rng;
+
+/// A wire label (the toy scheme uses 64-bit labels; the low bit is the
+/// point-and-permute select bit).
+pub type Label = u64;
+
+fn prf(a: Label, b: Label, gate: u64, row: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(32) ^ gate.wrapping_mul(0x9e3779b97f4a7c15) ^ (row << 60);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One garbled binary gate: four ciphertext rows indexed by the input
+/// labels' select bits.
+#[derive(Debug, Clone, Copy)]
+struct GarbledGate {
+    rows: [u64; 4],
+}
+
+/// The garbler's full output: the tables plus the output-wire decoding
+/// bits.
+#[derive(Debug, Clone)]
+pub struct GarbledCircuit {
+    /// Binary-gate tables in gate order (`None` for free gates).
+    tables: Vec<Option<GarbledGate>>,
+    /// Select bit of each output wire's 0-label (for decoding).
+    output_decode: Vec<bool>,
+    /// Constant-gate and NOT handling needs the evaluator to receive
+    /// labels for constants.
+    const_labels: Vec<Option<Label>>,
+}
+
+impl GarbledCircuit {
+    /// Size of the garbled tables in bytes — the garbled-world analogue
+    /// of the circuit-size metric.
+    pub fn table_bytes(&self) -> usize {
+        self.tables.iter().flatten().count() * 32
+    }
+}
+
+/// Labels the garbler keeps: both labels of every input wire, for
+/// encoding the two parties' inputs.
+#[derive(Debug, Clone)]
+pub struct InputLabels {
+    pairs: Vec<(Label, Label)>,
+}
+
+impl InputLabels {
+    /// Encodes an input bit of wire `w` into the label the evaluator
+    /// receives (via OT for the evaluator's own inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn encode(&self, w: usize, bit: bool) -> Label {
+        let (l0, l1) = self.pairs[w];
+        if bit {
+            l1
+        } else {
+            l0
+        }
+    }
+
+    /// Number of input wires.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no input wires.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Garbles `circuit`: produces the tables and the input-label encoder.
+///
+/// XOR gates are garbled with the free-XOR technique (labels of an XOR
+/// output are the XOR of input labels under a global offset Δ), NOT
+/// gates swap label meaning for free, constants are direct labels.
+pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> (GarbledCircuit, InputLabels) {
+    // Global free-XOR offset with select bit forced to 1 so the select
+    // bits of a pair always differ.
+    let delta: u64 = rng.gen::<u64>() | 1;
+    let fresh = |rng: &mut R| -> (Label, Label) {
+        let l0: u64 = rng.gen();
+        (l0, l0 ^ delta)
+    };
+
+    let mut wire_labels: Vec<(Label, Label)> = Vec::with_capacity(circuit.wires());
+    let mut input_pairs = Vec::with_capacity(circuit.inputs());
+    for _ in 0..circuit.inputs() {
+        let pair = fresh(rng);
+        wire_labels.push(pair);
+        input_pairs.push(pair);
+    }
+
+    let mut tables = Vec::with_capacity(circuit.gates().len());
+    let mut const_labels = Vec::with_capacity(circuit.gates().len());
+    for (k, gate) in circuit.gates().iter().enumerate() {
+        match *gate {
+            Gate::Xor(a, b) => {
+                let (a0, _) = wire_labels[a.index()];
+                let (b0, _) = wire_labels[b.index()];
+                // Free XOR: out0 = a0 ⊕ b0, out1 = out0 ⊕ Δ.
+                let o0 = a0 ^ b0;
+                wire_labels.push((o0, o0 ^ delta));
+                tables.push(None);
+                const_labels.push(None);
+            }
+            Gate::Not(a) => {
+                // Free NOT: swap meanings.
+                let (a0, a1) = wire_labels[a.index()];
+                wire_labels.push((a1, a0));
+                tables.push(None);
+                const_labels.push(None);
+            }
+            Gate::Const(v) => {
+                let pair = fresh(rng);
+                wire_labels.push(pair);
+                tables.push(None);
+                // Hand the evaluator the label of the constant's value.
+                const_labels.push(Some(if v { pair.1 } else { pair.0 }));
+            }
+            Gate::And(a, b) => {
+                let (a0, a1) = wire_labels[a.index()];
+                let (b0, b1) = wire_labels[b.index()];
+                let out = fresh(rng);
+                wire_labels.push(out);
+                let mut rows = [0u64; 4];
+                for (va, la) in [(false, a0), (true, a1)] {
+                    for (vb, lb) in [(false, b0), (true, b1)] {
+                        let out_label = if va && vb { out.1 } else { out.0 };
+                        let idx = ((la & 1) << 1 | (lb & 1)) as usize;
+                        rows[idx] = out_label ^ prf(la, lb, k as u64, idx as u64);
+                    }
+                }
+                tables.push(Some(GarbledGate { rows }));
+                const_labels.push(None);
+            }
+        }
+    }
+
+    let output_decode = circuit
+        .outputs()
+        .iter()
+        .map(|o| wire_labels[o.index()].0 & 1 == 1)
+        .collect();
+
+    (
+        GarbledCircuit {
+            tables,
+            output_decode,
+            const_labels,
+        },
+        InputLabels { pairs: input_pairs },
+    )
+}
+
+/// Evaluates a garbled circuit given one label per input wire. Returns
+/// the decoded output bits.
+///
+/// # Panics
+///
+/// Panics if `input_labels.len()` differs from the circuit's input
+/// count.
+pub fn evaluate(circuit: &Circuit, garbled: &GarbledCircuit, input_labels: &[Label]) -> Vec<bool> {
+    assert_eq!(
+        input_labels.len(),
+        circuit.inputs(),
+        "one label per input wire required"
+    );
+    let mut labels: Vec<Label> = Vec::with_capacity(circuit.wires());
+    labels.extend_from_slice(input_labels);
+    for (k, gate) in circuit.gates().iter().enumerate() {
+        let label = match *gate {
+            Gate::Xor(a, b) => labels[a.index()] ^ labels[b.index()],
+            Gate::Not(a) => labels[a.index()],
+            Gate::Const(_) => garbled.const_labels[k].expect("const label present"),
+            Gate::And(a, b) => {
+                let la = labels[a.index()];
+                let lb = labels[b.index()];
+                let idx = ((la & 1) << 1 | (lb & 1)) as usize;
+                let table = garbled.tables[k].expect("AND gate has a table");
+                table.rows[idx] ^ prf(la, lb, k as u64, idx as u64)
+            }
+        };
+        labels.push(label);
+    }
+    circuit
+        .outputs()
+        .iter()
+        .zip(&garbled.output_decode)
+        .map(|(o, &zero_select)| (labels[o.index()] & 1 == 1) != zero_select)
+        .collect()
+}
+
+/// Runs the full two-party protocol in-process: the garbler holds
+/// `garbler_bits` (the first input wires), the evaluator holds
+/// `evaluator_bits` (the rest, whose labels a deployment would fetch via
+/// OT). Returns the output bits both parties learn.
+///
+/// # Panics
+///
+/// Panics if the bit counts don't sum to the circuit's input count.
+pub fn two_party_run<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    evaluator_bits: &[bool],
+    rng: &mut R,
+) -> Vec<bool> {
+    assert_eq!(
+        garbler_bits.len() + evaluator_bits.len(),
+        circuit.inputs(),
+        "inputs must cover the circuit"
+    );
+    let (garbled, labels) = garble(circuit, rng);
+    let encoded: Vec<Label> = garbler_bits
+        .iter()
+        .chain(evaluator_bits)
+        .enumerate()
+        .map(|(w, &bit)| labels.encode(w, bit))
+        .collect();
+    evaluate(circuit, &garbled, &encoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{to_bits, word_value, CircuitBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn free_not_on_free_xor_wire_is_consistent() {
+        // not(xor(a, b)) through the free-gate paths.
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input();
+        let b = cb.input();
+        let x = cb.xor(a, b);
+        let nx = cb.not(x);
+        let circuit = cb.finish(vec![x, nx]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = two_party_run(&circuit, &[va], &[vb], &mut rng);
+            assert_eq!(out, vec![va ^ vb, !(va ^ vb)], "a={va} b={vb}");
+        }
+    }
+
+    #[test]
+    fn matches_cleartext_on_arithmetic() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(6);
+        let b = cb.input_word(6);
+        let sum = cb.add_words_expand(&a, &b);
+        let lt = cb.lt_words(&a, &b);
+        let mut outs = sum.bits().to_vec();
+        outs.push(lt);
+        let circuit = cb.finish(outs);
+        let mut rng = StdRng::seed_from_u64(2);
+        for (x, y) in [(0u64, 0u64), (5, 58), (63, 63), (17, 4)] {
+            let out = two_party_run(&circuit, &to_bits(x, 6), &to_bits(y, 6), &mut rng);
+            assert_eq!(word_value(&out[..7]), x + y, "{x}+{y}");
+            assert_eq!(out[7], x < y, "{x}<{y}");
+        }
+    }
+
+    #[test]
+    fn constants_evaluate_correctly() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input();
+        let t = cb.constant(true);
+        let f = cb.constant(false);
+        let at = cb.and(a, t);
+        let af = cb.and(a, f);
+        let circuit = cb.finish(vec![at, af]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(two_party_run(&circuit, &[true], &[], &mut rng), vec![true, false]);
+        assert_eq!(two_party_run(&circuit, &[false], &[], &mut rng), vec![false, false]);
+    }
+
+    #[test]
+    fn wrong_labels_decode_to_garbage() {
+        // An evaluator without the right label cannot learn the output:
+        // evaluating with a random label yields an unrelated result with
+        // overwhelming probability (here: just check it doesn't silently
+        // equal the honest run for all inputs).
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input();
+        let b = cb.input();
+        let ab = cb.and(a, b);
+        let circuit = cb.finish(vec![ab]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (garbled, labels) = garble(&circuit, &mut rng);
+        let honest = evaluate(
+            &circuit,
+            &garbled,
+            &[labels.encode(0, true), labels.encode(1, true)],
+        );
+        assert_eq!(honest, vec![true]);
+        // Forged label: result is decoded from a junk label (any value
+        // possible, but the junk label itself differs from both valid
+        // output labels — checked indirectly via repeated forgeries).
+        let mut differs = false;
+        for forgery in 0..8u64 {
+            let forged = evaluate(
+                &circuit,
+                &garbled,
+                &[0xdead_beef ^ forgery, labels.encode(1, true)],
+            );
+            if forged != honest {
+                differs = true;
+            }
+        }
+        assert!(differs, "forged labels must not consistently evaluate correctly");
+    }
+
+    #[test]
+    fn table_size_counts_only_and_gates() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(8);
+        let b = cb.input_word(8);
+        let x = cb.xor_words(&a, &b); // free
+        let bits = x.bits().to_vec();
+        let any = cb.or_many(&bits); // ORs cost ANDs
+        let circuit = cb.finish(vec![any]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (garbled, _) = garble(&circuit, &mut rng);
+        let ands = circuit.stats().and_gates;
+        assert_eq!(garbled.table_bytes(), ands * 32);
+        assert!(ands > 0);
+    }
+
+    #[test]
+    fn garbled_count_below_matches_gmw() {
+        // The ε-PPI CountBelow circuit runs identically under both MPC
+        // flavours.
+        use crate::circuits::CountBelowCircuit;
+        use crate::field::Modulus;
+        use crate::share::split;
+        let thresholds = [30u64, 5];
+        let cc = CountBelowCircuit::build(2, &thresholds, 8);
+        let q = Modulus::pow2(8);
+        let mut rng = StdRng::seed_from_u64(6);
+        let freqs = [40u64, 3];
+        let mut per = vec![vec![0u64; 2]; 2];
+        for (j, &f) in freqs.iter().enumerate() {
+            let s = split(f, 2, q, &mut rng);
+            for (k, &v) in s.values().iter().enumerate() {
+                per[k][j] = v;
+            }
+        }
+        let inputs: Vec<Vec<bool>> = per.iter().map(|s| cc.encode_party_input(s)).collect();
+        let (gmw_out, _) = crate::gmw::execute(cc.circuit(), cc.layout(), &inputs, &mut rng);
+        let garbled_out = two_party_run(cc.circuit(), &inputs[0], &inputs[1], &mut rng);
+        assert_eq!(gmw_out, garbled_out);
+        assert_eq!(cc.decode_count(&garbled_out), 1); // only 40 ≥ 30.
+    }
+}

@@ -1,0 +1,416 @@
+//! GMW-style secure evaluation of Boolean circuits.
+//!
+//! This is the generic-MPC engine standing in for FairplayMP (see
+//! DESIGN.md §4 for the substitution rationale). Wire values are
+//! XOR-secret-shared among the parties; XOR/NOT/Const gates are local,
+//! while each AND gate consumes one **Beaver multiplication triple** and
+//! one opening round (amortized across all AND gates at the same depth).
+//!
+//! The engine runs all parties in-process under the semi-honest model the
+//! paper assumes (§IV-C) and accounts the communication a real deployment
+//! would perform: every opening is a broadcast of one bit from each party
+//! to each other party, so per-AND-gate traffic grows quadratically with
+//! the party count — the structural reason the paper's *pure MPC*
+//! baseline scales super-linearly while ε-PPI pins the circuit to `c`
+//! coordinators.
+
+use crate::circuit::{Circuit, Gate, InputLayout};
+use rand::Rng;
+
+/// Communication/round statistics of one secure evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GmwStats {
+    /// Number of participating parties.
+    pub parties: usize,
+    /// AND gates evaluated (Beaver triples consumed).
+    pub triples_used: usize,
+    /// Communication rounds: input sharing + one per AND layer + output
+    /// opening.
+    pub rounds: usize,
+    /// Total bits sent across all parties.
+    pub bits_sent: u64,
+    /// Total point-to-point messages sent.
+    pub messages: u64,
+}
+
+/// One Beaver triple, XOR-shared among the parties.
+#[derive(Debug, Clone)]
+struct SharedTriple {
+    a: Vec<bool>,
+    b: Vec<bool>,
+    c: Vec<bool>,
+}
+
+/// The trusted dealer producing Beaver triples.
+///
+/// A real deployment would replace this with an offline OT-based triple
+/// generation phase; the dealer abstraction keeps the online phase —
+/// the part the paper measures — identical.
+#[derive(Debug)]
+pub struct TripleDealer<'r, R: Rng + ?Sized> {
+    rng: &'r mut R,
+    parties: usize,
+}
+
+impl<'r, R: Rng + ?Sized> TripleDealer<'r, R> {
+    /// Creates a dealer for `parties` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties == 0`.
+    pub fn new(parties: usize, rng: &'r mut R) -> Self {
+        assert!(parties >= 1, "at least one party required");
+        TripleDealer { rng, parties }
+    }
+
+    fn share_bit(&mut self, secret: bool) -> Vec<bool> {
+        let mut shares: Vec<bool> = (0..self.parties - 1).map(|_| self.rng.gen()).collect();
+        let xor_rest = shares.iter().fold(false, |acc, &s| acc ^ s);
+        shares.push(secret ^ xor_rest);
+        shares
+    }
+
+    fn triple(&mut self) -> SharedTriple {
+        let a: bool = self.rng.gen();
+        let b: bool = self.rng.gen();
+        let c = a & b;
+        SharedTriple {
+            a: self.share_bit(a),
+            b: self.share_bit(b),
+            c: self.share_bit(c),
+        }
+    }
+}
+
+/// Securely evaluates `circuit` among `layout.parties()` parties.
+///
+/// `inputs[p]` holds party `p`'s private input bits in layout order. The
+/// returned output bits are the opened (public) circuit outputs, exactly
+/// equal to `circuit.eval(flattened inputs)`; the [`GmwStats`] describe
+/// the communication a distributed run would have performed.
+///
+/// # Panics
+///
+/// Panics if the layout's total input count differs from the circuit's,
+/// or if `inputs` disagrees with the layout.
+///
+/// ```
+/// use eppi_mpc::builder::{to_bits, word_value, CircuitBuilder};
+/// use eppi_mpc::circuit::InputLayout;
+/// use eppi_mpc::gmw::execute;
+/// use rand::SeedableRng;
+///
+/// // Two parties each contribute a 4-bit word; compute their sum.
+/// let mut cb = CircuitBuilder::new();
+/// let a = cb.input_word(4);
+/// let b = cb.input_word(4);
+/// let sum = cb.add_words_expand(&a, &b);
+/// let circuit = cb.finish_word(sum);
+/// let layout = InputLayout::new(vec![4, 4]);
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let (out, stats) = execute(&circuit, &layout, &[to_bits(9, 4), to_bits(5, 4)], &mut rng);
+/// assert_eq!(word_value(&out), 14);
+/// assert_eq!(stats.parties, 2);
+/// ```
+pub fn execute<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    layout: &InputLayout,
+    inputs: &[Vec<bool>],
+    rng: &mut R,
+) -> (Vec<bool>, GmwStats) {
+    execute_inner(circuit, layout, inputs, rng, None)
+}
+
+/// Like [`execute`], but consuming pre-generated Beaver triples (e.g.
+/// from the dealer-free OT-based offline phase,
+/// [`crate::triples::generate_triples`]) instead of the trusted dealer.
+///
+/// # Panics
+///
+/// Panics if the batch has the wrong party count or fewer triples than
+/// the circuit has AND gates, in addition to [`execute`]'s conditions.
+pub fn execute_with_triples<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    layout: &InputLayout,
+    inputs: &[Vec<bool>],
+    batch: &crate::triples::TripleBatch,
+    rng: &mut R,
+) -> (Vec<bool>, GmwStats) {
+    assert_eq!(batch.parties(), layout.parties(), "triple batch party count");
+    assert!(
+        batch.len() >= circuit.stats().and_gates,
+        "batch has {} triples but the circuit needs {}",
+        batch.len(),
+        circuit.stats().and_gates
+    );
+    execute_inner(circuit, layout, inputs, rng, Some(batch))
+}
+
+fn execute_inner<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    layout: &InputLayout,
+    inputs: &[Vec<bool>],
+    rng: &mut R,
+    pregenerated: Option<&crate::triples::TripleBatch>,
+) -> (Vec<bool>, GmwStats) {
+    assert_eq!(
+        layout.total_inputs(),
+        circuit.inputs(),
+        "layout does not cover the circuit inputs"
+    );
+    let parties = layout.parties();
+    let mut next_triple = 0usize;
+    let mut dealer = TripleDealer::new(parties, rng);
+
+    let mut stats = GmwStats {
+        parties,
+        ..GmwStats::default()
+    };
+
+    // wire_shares[w][p] = party p's XOR share of wire w.
+    let mut wire_shares: Vec<Vec<bool>> = Vec::with_capacity(circuit.wires());
+
+    // Input sharing round: each owner splits its bit to all parties.
+    let flat = layout.flatten(inputs);
+    for (w, &bit) in flat.iter().enumerate() {
+        let owner = layout.party_of(w);
+        let mut shares: Vec<bool> = (0..parties).map(|_| dealer.rng.gen()).collect();
+        let xor_others = shares
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| p != owner)
+            .fold(false, |acc, (_, &s)| acc ^ s);
+        shares[owner] = bit ^ xor_others;
+        wire_shares.push(shares);
+        // The owner sends one share to each other party.
+        stats.bits_sent += (parties - 1) as u64;
+        stats.messages += (parties - 1) as u64;
+    }
+    if parties > 1 && circuit.inputs() > 0 {
+        stats.rounds += 1;
+    }
+
+    // Pre-compute AND layering for round accounting.
+    let and_layers = circuit.and_layers();
+    stats.rounds += and_layers.len();
+
+    for gate in circuit.gates() {
+        let shares = match *gate {
+            Gate::Xor(a, b) => {
+                let (sa, sb) = (&wire_shares[a.index()], &wire_shares[b.index()]);
+                sa.iter().zip(sb).map(|(&x, &y)| x ^ y).collect()
+            }
+            Gate::Not(a) => {
+                // Party 0 flips its share.
+                let sa = &wire_shares[a.index()];
+                sa.iter()
+                    .enumerate()
+                    .map(|(p, &x)| if p == 0 { !x } else { x })
+                    .collect()
+            }
+            Gate::Const(v) => (0..parties).map(|p| p == 0 && v).collect(),
+            Gate::And(a, b) => {
+                let triple = match pregenerated {
+                    Some(batch) => {
+                        let t = next_triple;
+                        next_triple += 1;
+                        SharedTriple {
+                            a: (0..parties).map(|p| batch.party(p)[t].a).collect(),
+                            b: (0..parties).map(|p| batch.party(p)[t].b).collect(),
+                            c: (0..parties).map(|p| batch.party(p)[t].c).collect(),
+                        }
+                    }
+                    None => dealer.triple(),
+                };
+                let sa = &wire_shares[a.index()];
+                let sb = &wire_shares[b.index()];
+                // d = x ⊕ a, e = y ⊕ b — opened by all parties.
+                let d_shares: Vec<bool> =
+                    sa.iter().zip(&triple.a).map(|(&x, &ta)| x ^ ta).collect();
+                let e_shares: Vec<bool> =
+                    sb.iter().zip(&triple.b).map(|(&y, &tb)| y ^ tb).collect();
+                let d = d_shares.iter().fold(false, |acc, &s| acc ^ s);
+                let e = e_shares.iter().fold(false, |acc, &s| acc ^ s);
+                // Opening: every party broadcasts its d and e shares.
+                stats.bits_sent += 2 * (parties * (parties - 1)) as u64;
+                stats.messages += (parties * (parties - 1)) as u64;
+                stats.triples_used += 1;
+                // z_p = c_p ⊕ (d ∧ b_p) ⊕ (e ∧ a_p) ⊕ [p = 0](d ∧ e)
+                (0..parties)
+                    .map(|p| {
+                        let mut z = triple.c[p] ^ (d & triple.b[p]) ^ (e & triple.a[p]);
+                        if p == 0 {
+                            z ^= d & e;
+                        }
+                        z
+                    })
+                    .collect()
+            }
+        };
+        wire_shares.push(shares);
+    }
+
+    // Output opening: every party broadcasts its output shares.
+    let outputs: Vec<bool> = circuit
+        .outputs()
+        .iter()
+        .map(|o| wire_shares[o.index()].iter().fold(false, |acc, &s| acc ^ s))
+        .collect();
+    if !outputs.is_empty() && parties > 1 {
+        stats.rounds += 1;
+        stats.bits_sent += (outputs.len() * parties * (parties - 1)) as u64;
+        stats.messages += (parties * (parties - 1)) as u64;
+    }
+
+    (outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{to_bits, word_value, CircuitBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_cleartext_on_random_circuits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Random arithmetic circuit: (a + b) ≥ c with random inputs.
+        for trial in 0..20 {
+            let mut cb = CircuitBuilder::new();
+            let a = cb.input_word(6);
+            let b = cb.input_word(6);
+            let c = cb.input_word(7);
+            let sum = cb.add_words_expand(&a, &b);
+            let ge = cb.ge_words(&sum, &c);
+            let circuit = cb.finish(vec![ge]);
+            let layout = InputLayout::new(vec![6, 6, 7]);
+
+            let (av, bv, cv) = (
+                rng.gen_range(0u64..64),
+                rng.gen_range(0u64..64),
+                rng.gen_range(0u64..128),
+            );
+            let inputs = vec![to_bits(av, 6), to_bits(bv, 6), to_bits(cv, 7)];
+            let flat = layout.flatten(&inputs);
+            let expect = circuit.eval(&flat);
+            let (got, stats) = execute(&circuit, &layout, &inputs, &mut rng);
+            assert_eq!(got, expect, "trial {trial}: a={av} b={bv} c={cv}");
+            assert_eq!(stats.parties, 3);
+            assert!(stats.triples_used > 0);
+        }
+    }
+
+    #[test]
+    fn works_with_many_parties() {
+        // 8 parties each supply one bit; compute the popcount.
+        let parties = 8usize;
+        let mut cb = CircuitBuilder::new();
+        let bits: Vec<_> = (0..parties).map(|_| cb.input()).collect();
+        let count = cb.popcount(&bits);
+        let circuit = cb.finish_word(count);
+        let layout = InputLayout::new(vec![1; parties]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for pattern in [0u64, 1, 0b10110101, 0xff] {
+            let inputs: Vec<Vec<bool>> = (0..parties).map(|p| vec![pattern >> p & 1 == 1]).collect();
+            let (out, _) = execute(&circuit, &layout, &inputs, &mut rng);
+            assert_eq!(word_value(&out), (pattern & 0xff).count_ones() as u64);
+        }
+    }
+
+    #[test]
+    fn single_party_degenerates_to_cleartext() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(4);
+        let b = cb.const_word(5, 4);
+        let lt = cb.lt_words(&a, &b);
+        let circuit = cb.finish(vec![lt]);
+        let layout = InputLayout::new(vec![4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (out, stats) = execute(&circuit, &layout, &[to_bits(3, 4)], &mut rng);
+        assert_eq!(out, vec![true]);
+        assert_eq!(stats.bits_sent, 0, "single party sends nothing");
+    }
+
+    #[test]
+    fn communication_grows_quadratically_with_parties() {
+        // Same circuit, increasing party counts: bits per AND gate is
+        // 2·P·(P−1).
+        let build = |parties: usize| {
+            let mut cb = CircuitBuilder::new();
+            let bits: Vec<_> = (0..parties).map(|_| cb.input()).collect();
+            let all = cb.and_many(&bits);
+            (cb.finish(vec![all]), InputLayout::new(vec![1; parties]))
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut per_and: Vec<f64> = Vec::new();
+        for parties in [2usize, 4, 8] {
+            let (circuit, layout) = build(parties);
+            let inputs = vec![vec![true]; parties];
+            let (_, stats) = execute(&circuit, &layout, &inputs, &mut rng);
+            per_and.push(stats.bits_sent as f64 / stats.triples_used as f64);
+        }
+        assert!(per_and[1] > 2.5 * per_and[0], "4 vs 2 parties: {per_and:?}");
+        assert!(per_and[2] > 2.5 * per_and[1], "8 vs 4 parties: {per_and:?}");
+    }
+
+    #[test]
+    fn rounds_follow_and_depth() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input();
+        let b = cb.input();
+        let c = cb.input();
+        let ab = cb.and(a, b);
+        let abc = cb.and(ab, c);
+        let circuit = cb.finish(vec![abc]);
+        let layout = InputLayout::new(vec![1, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, stats) = execute(&circuit, &layout, &[vec![true], vec![true], vec![false]], &mut rng);
+        // input round + 2 AND layers + output round.
+        assert_eq!(stats.rounds, 4);
+    }
+
+    #[test]
+    fn ot_generated_triples_evaluate_correctly() {
+        // The dealer-free offline phase feeds the same online phase.
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(4);
+        let b = cb.input_word(4);
+        let sum = cb.add_words_expand(&a, &b);
+        let circuit = cb.finish_word(sum);
+        let layout = InputLayout::new(vec![4, 4]);
+        let mut rng = StdRng::seed_from_u64(99);
+        let and_gates = circuit.stats().and_gates;
+        let batch = crate::triples::generate_triples(2, and_gates, &mut rng);
+        let inputs = vec![to_bits(11, 4), to_bits(6, 4)];
+        let (out, stats) = execute_with_triples(&circuit, &layout, &inputs, &batch, &mut rng);
+        assert_eq!(word_value(&out), 17);
+        assert_eq!(stats.triples_used, and_gates);
+    }
+
+    #[test]
+    #[should_panic(expected = "triples but the circuit needs")]
+    fn insufficient_triples_rejected() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input();
+        let b = cb.input();
+        let ab = cb.and(a, b);
+        let circuit = cb.finish(vec![ab]);
+        let layout = InputLayout::new(vec![1, 1]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = crate::triples::generate_triples(2, 0, &mut rng);
+        execute_with_triples(&circuit, &layout, &[vec![true], vec![true]], &batch, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn layout_arity_checked() {
+        let mut cb = CircuitBuilder::new();
+        cb.input();
+        let circuit = cb.finish(vec![]);
+        let layout = InputLayout::new(vec![2]);
+        let mut rng = StdRng::seed_from_u64(0);
+        execute(&circuit, &layout, &[vec![true, false]], &mut rng);
+    }
+}

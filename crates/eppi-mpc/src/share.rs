@@ -1,0 +1,193 @@
+//! (c, c) additive secret sharing with additive homomorphism
+//! (§IV-B.1, Theorem 4.1).
+//!
+//! A secret `v ∈ Z_q` is split into `c` shares whose sum is `v mod q`;
+//! the first `c − 1` shares are uniform random, the last is chosen
+//! deterministically. The scheme has:
+//!
+//! * **Recoverability** — the sum of all `c` shares reconstructs `v`;
+//! * **Secrecy** — any `c − 1` or fewer shares reveal nothing: the
+//!   conditional distribution of `v` given them equals the prior;
+//! * **Additive homomorphism** — share-wise addition of two sharings is a
+//!   sharing of the sum, which is what makes the parallel secure-sum
+//!   (SecSumShare) possible.
+
+use crate::field::Modulus;
+use rand::Rng;
+
+/// An additive sharing of one secret: exactly `c` share values in `Z_q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shares {
+    modulus: Modulus,
+    values: Vec<u64>,
+}
+
+impl Shares {
+    /// The share group modulus.
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// The individual share values (length `c`).
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of shares `c`.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Splits `value` into `c` additive shares over `q`.
+///
+/// # Panics
+///
+/// Panics if `c == 0`.
+///
+/// ```
+/// use eppi_mpc::field::Modulus;
+/// use eppi_mpc::share::{recombine, split};
+/// use rand::SeedableRng;
+/// let q = Modulus::new(5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let shares = split(1, 3, q, &mut rng);
+/// assert_eq!(recombine(&shares), 1);
+/// ```
+pub fn split<R: Rng + ?Sized>(value: u64, c: usize, modulus: Modulus, rng: &mut R) -> Shares {
+    assert!(c >= 1, "at least one share required");
+    let v = modulus.reduce(value);
+    let mut values = Vec::with_capacity(c);
+    let mut acc = 0u64;
+    for _ in 0..c - 1 {
+        let s = modulus.random(rng);
+        acc = modulus.add(acc, s);
+        values.push(s);
+    }
+    values.push(modulus.sub(v, acc));
+    Shares { modulus, values }
+}
+
+/// Reconstructs the secret from all `c` shares (Theorem 4.1,
+/// recoverability).
+pub fn recombine(shares: &Shares) -> u64 {
+    let q = shares.modulus;
+    shares.values.iter().fold(0u64, |acc, &s| q.add(acc, s))
+}
+
+/// Reconstructs a secret from raw share values over `q`.
+pub fn recombine_raw(values: &[u64], modulus: Modulus) -> u64 {
+    values
+        .iter()
+        .fold(0u64, |acc, &s| modulus.add(acc, modulus.reduce(s)))
+}
+
+/// Share-wise addition: a sharing of `a + b mod q` (additive
+/// homomorphism).
+///
+/// # Panics
+///
+/// Panics if the share counts or moduli differ.
+pub fn add_shares(a: &Shares, b: &Shares) -> Shares {
+    assert_eq!(a.modulus, b.modulus, "moduli must match");
+    assert_eq!(a.count(), b.count(), "share counts must match");
+    let q = a.modulus;
+    let values = a
+        .values
+        .iter()
+        .zip(&b.values)
+        .map(|(&x, &y)| q.add(x, y))
+        .collect();
+    Shares { modulus: q, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recoverability_over_many_values() {
+        let q = Modulus::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in 0..5u64 {
+            for c in 1..=6usize {
+                let s = split(v, c, q, &mut rng);
+                assert_eq!(s.count(), c);
+                assert_eq!(recombine(&s), v, "v={v} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn values_exceeding_modulus_are_reduced() {
+        let q = Modulus::new(7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = split(23, 3, q, &mut rng);
+        assert_eq!(recombine(&s), 23 % 7);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let q = Modulus::pow2(16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = split(1000, 3, q, &mut rng);
+        let b = split(64_000, 3, q, &mut rng);
+        let sum = add_shares(&a, &b);
+        assert_eq!(recombine(&sum), (1000 + 64_000));
+    }
+
+    #[test]
+    fn secrecy_partial_shares_leak_nothing() {
+        // Empirical check of Theorem 4.1: fixing the first c−1 shares,
+        // every secret remains equally likely — equivalently, the first
+        // c−1 shares of a fixed secret are uniform. χ²-style sanity test.
+        let q = Modulus::new(5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut histogram = [[0usize; 5]; 2];
+        let trials = 20_000;
+        for _ in 0..trials {
+            let s = split(3, 3, q, &mut rng);
+            histogram[0][s.values()[0] as usize] += 1;
+            histogram[1][s.values()[1] as usize] += 1;
+        }
+        let expected = trials as f64 / 5.0;
+        for row in &histogram {
+            for &count in row {
+                let dev = (count as f64 - expected).abs() / expected;
+                assert!(dev < 0.08, "share distribution skewed: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_share_is_the_secret() {
+        let q = Modulus::new(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = split(42, 1, q, &mut rng);
+        assert_eq!(s.values(), &[42]);
+    }
+
+    #[test]
+    fn recombine_raw_reduces_inputs() {
+        let q = Modulus::new(5);
+        assert_eq!(recombine_raw(&[7, 8], q), (7 + 8) % 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one share")]
+    fn zero_shares_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        split(1, 0, Modulus::new(5), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "moduli must match")]
+    fn mismatched_moduli_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = split(1, 2, Modulus::new(5), &mut rng);
+        let b = split(1, 2, Modulus::new(7), &mut rng);
+        add_shares(&a, &b);
+    }
+}

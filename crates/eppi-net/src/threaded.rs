@@ -1,0 +1,231 @@
+//! Real multi-threaded party execution over crossbeam channels.
+//!
+//! Each party runs as an OS thread with a [`PartyHandle`] giving it
+//! point-to-point `send`/`recv`, `broadcast`, and `gather` primitives —
+//! the communication patterns the ε-PPI construction protocol needs.
+//! Traffic is counted with atomics so wall-clock experiments (Fig. 6a/6c)
+//! can also report bandwidth.
+
+use crate::{NodeId, WireSize};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared traffic counters of one threaded run.
+#[derive(Debug, Default)]
+pub struct TrafficCounters {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TrafficCounters {
+    /// Total messages sent by all parties.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent by all parties.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// A party's endpoint in the threaded network.
+#[derive(Debug)]
+pub struct PartyHandle<P> {
+    me: NodeId,
+    senders: Vec<Sender<(NodeId, P)>>,
+    receiver: Receiver<(NodeId, P)>,
+    counters: Arc<TrafficCounters>,
+    /// Messages that arrived ahead of their gather step, per sender.
+    pending: Vec<std::collections::VecDeque<P>>,
+}
+
+impl<P: WireSize + Send + Clone> PartyHandle<P> {
+    /// This party's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of parties in the network.
+    pub fn parties(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `payload` to party `to` (sending to oneself is allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the receiving party has already shut down.
+    pub fn send(&self, to: NodeId, payload: P) {
+        self.counters.messages.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add(payload.wire_size() as u64, Ordering::Relaxed);
+        self.senders[to.index()]
+            .send((self.me, payload))
+            .expect("receiving party hung up");
+    }
+
+    /// Blocks until the next message arrives. Messages buffered by an
+    /// earlier [`gather`](Self::gather) are delivered first, in sender
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all senders have disconnected (protocol bug).
+    pub fn recv(&mut self) -> (NodeId, P) {
+        for (p, queue) in self.pending.iter_mut().enumerate() {
+            if let Some(payload) = queue.pop_front() {
+                return (NodeId(p), payload);
+            }
+        }
+        self.receiver.recv().expect("all parties hung up")
+    }
+
+    /// Sends `payload` to every *other* party.
+    pub fn broadcast(&self, payload: P) {
+        for p in 0..self.parties() {
+            if p != self.me.index() {
+                self.send(NodeId(p), payload.clone());
+            }
+        }
+    }
+
+    /// Receives exactly one message from every other party, returned in
+    /// sender order.
+    ///
+    /// Parties run asynchronously, so a fast peer may already have sent
+    /// messages belonging to a *later* protocol step; those are buffered
+    /// and served by the next `gather`/[`recv`](Self::recv) instead of
+    /// corrupting this one.
+    pub fn gather(&mut self) -> Vec<(NodeId, P)> {
+        let parties = self.parties();
+        let me = self.me.index();
+        let mut got: Vec<Option<P>> = vec![None; parties];
+        let mut remaining = parties - 1;
+        // Serve buffered messages first.
+        for (p, slot) in got.iter_mut().enumerate() {
+            if p != me && slot.is_none() {
+                if let Some(payload) = self.pending[p].pop_front() {
+                    *slot = Some(payload);
+                    remaining -= 1;
+                }
+            }
+        }
+        while remaining > 0 {
+            let (from, payload) = self.receiver.recv().expect("all parties hung up");
+            if got[from.index()].is_none() {
+                got[from.index()] = Some(payload);
+                remaining -= 1;
+            } else {
+                self.pending[from.index()].push_back(payload);
+            }
+        }
+        got.into_iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (NodeId(i), p)))
+            .collect()
+    }
+}
+
+/// Runs `parties` threads, each executing `body(handle)`, and returns
+/// their results in party order plus the traffic counters.
+///
+/// # Panics
+///
+/// Panics if `parties == 0` or any party thread panics.
+pub fn run_parties<P, T, F>(parties: usize, body: F) -> (Vec<T>, Arc<TrafficCounters>)
+where
+    P: WireSize + Send + Clone + 'static,
+    T: Send,
+    F: Fn(PartyHandle<P>) -> T + Sync,
+{
+    assert!(parties >= 1, "at least one party required");
+    let counters = Arc::new(TrafficCounters::default());
+    let mut senders = Vec::with_capacity(parties);
+    let mut receivers = Vec::with_capacity(parties);
+    for _ in 0..parties {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let handles: Vec<PartyHandle<P>> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(i, receiver)| PartyHandle {
+            me: NodeId(i),
+            senders: senders.clone(),
+            receiver,
+            counters: Arc::clone(&counters),
+            pending: (0..parties).map(|_| std::collections::VecDeque::new()).collect(),
+        })
+        .collect();
+    drop(senders);
+
+    let body = &body;
+    let results = crossbeam::thread::scope(|s| {
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| s.spawn(move |_| body(h)))
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("party thread panicked"))
+            .collect::<Vec<T>>()
+    })
+    .expect("thread scope failed");
+
+    (results, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_sum() {
+        // Each party broadcasts its value; everyone computes the sum.
+        let (results, counters) = run_parties::<u64, u64, _>(4, |mut h| {
+            let mine = (h.me().index() as u64 + 1) * 10;
+            h.broadcast(mine);
+            let others: u64 = h.gather().into_iter().map(|(_, v)| v).sum();
+            mine + others
+        });
+        assert_eq!(results, vec![100, 100, 100, 100]);
+        assert_eq!(counters.messages(), 4 * 3);
+        assert_eq!(counters.bytes(), 4 * 3 * 8);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let n = 5;
+        let (results, _) = run_parties::<u64, u64, _>(n, move |mut h| {
+            let next = NodeId((h.me().index() + 1) % n);
+            h.send(next, h.me().index() as u64);
+            let (_, v) = h.recv();
+            v
+        });
+        // Party i receives from its predecessor.
+        assert_eq!(results, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_party_runs() {
+        let (results, counters) = run_parties::<u64, &'static str, _>(1, |_| "done");
+        assert_eq!(results, vec!["done"]);
+        assert_eq!(counters.messages(), 0);
+    }
+
+    #[test]
+    fn gather_returns_in_sender_order() {
+        let (results, _) = run_parties::<u64, Vec<usize>, _>(3, |mut h| {
+            h.broadcast(h.me().index() as u64);
+            h.gather().into_iter().map(|(from, _)| from.index()).collect()
+        });
+        assert_eq!(results[0], vec![1, 2]);
+        assert_eq!(results[1], vec![0, 2]);
+        assert_eq!(results[2], vec![0, 1]);
+    }
+}

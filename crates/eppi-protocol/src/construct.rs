@@ -1,0 +1,396 @@
+//! The trusted-party-free two-phase ε-PPI construction (Alg. 1, Fig. 3).
+//!
+//! This is the paper's headline protocol: no trusted third party and no
+//! mutual trust between providers. The computation flow follows the
+//! MPC-minimizing reordering of Formula 9:
+//!
+//! 1. In **cleartext**, every party derives the public per-identity
+//!    frequency thresholds `t_j = σ'_j · m` from the (public) privacy
+//!    degrees `ε_j` — the heavy floating-point policy math happens on
+//!    public data only.
+//! 2. **SecSumShare** reduces the `m`-provider secure frequency sum to
+//!    `c` coordinator share vectors (cheap, constant rounds).
+//! 3. **CountBelow MPC** among the `c` coordinators reveals only the
+//!    *number* of common identities; λ follows from Eq. 7 in cleartext.
+//! 4. **Mix-decision MPC** reveals one bit per identity:
+//!    `common ∨ coin(λ)`. Identities with bit 1 publish with `β = 1`;
+//!    only for the rest do the coordinators reconstruct the frequency
+//!    and evaluate `β*` in cleartext — mixed and common identities'
+//!    frequencies are never revealed, defeating the common-identity
+//!    attack.
+//! 5. **Randomized publication** runs locally at every provider (Eq. 2).
+//!
+//! The decoy-fraction target ξ is taken as `max_j ε_j` over *all*
+//! identities — a conservative upper bound of the paper's
+//! `max ε over common identities`, since which identities are common is
+//! exactly what stays hidden from the protocol participants.
+
+use crate::countbelow::{run_count_below, run_mix_decision, Backend, StageReport};
+use crate::secsum::secsumshare_sim;
+use eppi_core::error::EppiError;
+use eppi_core::mixing::lambda_for;
+use eppi_core::model::{Epsilon, MembershipMatrix, PublishedIndex};
+use eppi_core::policy::{BetaPolicy, PolicyKind};
+use eppi_core::publish::publish_vector;
+use eppi_mpc::field::Modulus;
+use eppi_mpc::share::recombine_raw;
+use eppi_net::sim::{LinkModel, NetStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Configuration of the distributed construction protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolConfig {
+    /// Collusion-tolerance parameter: number of coordinators `c`
+    /// (the paper's experiments use `c = 3`).
+    pub c: usize,
+    /// The β-calculation policy (public parameters).
+    pub policy: PolicyKind,
+    /// Bits per coin used for the Bernoulli(λ) mixing coin.
+    pub coin_bits: usize,
+    /// Link model for the SecSumShare traffic accounting.
+    pub link: LinkModel,
+    /// MPC backend for the coordinator stage.
+    pub backend: Backend,
+    /// Seed driving every random choice of the run.
+    pub seed: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            c: 3,
+            policy: PolicyKind::default(),
+            coin_bits: 16,
+            link: LinkModel::LAN,
+            backend: Backend::InProcess,
+            seed: 0,
+        }
+    }
+}
+
+/// Cost breakdown of one distributed construction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConstructionReport {
+    /// SecSumShare traffic (phase 1.1).
+    pub secsum: NetStats,
+    /// CountBelow MPC cost (phase 1.2a).
+    pub count_stage: StageReport,
+    /// Mix-decision MPC cost (phase 1.2b).
+    pub mix_stage: StageReport,
+    /// End-to-end wall-clock time of the protocol run.
+    pub wall: Duration,
+}
+
+impl ConstructionReport {
+    /// Total MPC circuit size (the paper's Fig. 6b metric): gates of
+    /// both coordinator circuits.
+    pub fn circuit_size(&self) -> usize {
+        self.count_stage.circuit.total_gates + self.mix_stage.circuit.total_gates
+    }
+}
+
+/// Result of the distributed construction.
+#[derive(Debug, Clone)]
+pub struct DistributedConstruction {
+    /// The published, obscured index `M'`.
+    pub index: PublishedIndex,
+    /// Number of common identities found by CountBelow.
+    pub common_count: u64,
+    /// The mixing probability λ used (Eq. 7).
+    pub lambda: f64,
+    /// Per-identity mix decisions (`true` ⇒ published with β = 1).
+    pub decisions: Vec<bool>,
+    /// Cost breakdown.
+    pub report: ConstructionReport,
+}
+
+/// Derives the public per-identity frequency thresholds `t_j = ⌈σ'_j·m⌉`
+/// above which an identity counts as common for its `ε_j` (Alg. 1
+/// line 2: "σ′(·) is calculated under condition β* = 1").
+pub fn frequency_thresholds(policy: PolicyKind, epsilons: &[Epsilon], m: usize) -> Vec<u64> {
+    epsilons
+        .iter()
+        .map(|&e| {
+            let sigma = policy.sigma_threshold(e, m);
+            // f ≥ σ'·m for integer f ⇔ f ≥ ⌈σ'·m⌉ (tolerating float
+            // noise just below an integer boundary).
+            (sigma * m as f64 - 1e-9).ceil().max(0.0) as u64
+        })
+        .collect()
+}
+
+/// Share-group width: smallest `w` with `2^w > m` (sums fit without
+/// wrap).
+pub fn share_width(m: usize) -> usize {
+    (usize::BITS - m.leading_zeros()) as usize
+}
+
+/// Runs the full trusted-party-free ε-PPI construction over the network
+/// described by `matrix` (each row being one provider's private local
+/// vector).
+///
+/// # Errors
+///
+/// Returns [`EppiError::DimensionMismatch`] when `epsilons` does not
+/// match the owner count, [`EppiError::NetworkTooSmall`] when there are
+/// fewer providers than coordinators, or a policy-parameter error for an
+/// invalid `config.policy`.
+pub fn construct_distributed(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    config: &ProtocolConfig,
+) -> Result<DistributedConstruction, EppiError> {
+    if epsilons.len() != matrix.owners() {
+        return Err(EppiError::DimensionMismatch {
+            what: "epsilons",
+            expected: matrix.owners(),
+            actual: epsilons.len(),
+        });
+    }
+    config.policy.validate()?;
+    let m = matrix.providers();
+    let n = matrix.owners();
+    if m < config.c || config.c == 0 {
+        return Err(EppiError::NetworkTooSmall {
+            providers: m,
+            required: config.c.max(1),
+        });
+    }
+
+    let started = Instant::now();
+    let width = share_width(m);
+    let modulus = Modulus::pow2(width as u32);
+
+    // Cleartext: public thresholds from public ε's (Formula 9 push-down).
+    let thresholds = frequency_thresholds(config.policy, epsilons, m);
+
+    // Phase 1.1 — SecSumShare across all m providers.
+    let vectors: Vec<_> = matrix.provider_ids().map(|p| matrix.row(p)).collect();
+    let secsum = secsumshare_sim(&vectors, config.c, modulus, config.link, config.seed);
+
+    // Phase 1.2a — CountBelow among the c coordinators.
+    let (common_count, count_stage) = run_count_below(
+        &secsum.coordinator_shares,
+        &thresholds,
+        width,
+        config.backend,
+        config.seed ^ 0xcb,
+    );
+
+    // Cleartext: λ from the revealed count (Eq. 7), with the
+    // conservative ξ = max ε over all identities.
+    let xi = epsilons.iter().map(|e| e.value()).fold(0.0f64, f64::max);
+    let lambda = lambda_for(common_count as usize, n, xi);
+
+    // Phase 1.2b — mix decisions among the c coordinators.
+    let (decisions, mix_stage) = run_mix_decision(
+        &secsum.coordinator_shares,
+        &thresholds,
+        width,
+        config.coin_bits,
+        lambda,
+        config.backend,
+        config.seed ^ 0x313,
+    );
+
+    // Cleartext: reconstruct frequencies only for β*-published
+    // identities; evaluate the policy on the revealed σ.
+    let betas: Vec<f64> = decisions
+        .iter()
+        .enumerate()
+        .map(|(j, &mixed)| {
+            if mixed {
+                1.0
+            } else {
+                let parts: Vec<u64> = secsum.coordinator_shares.iter().map(|v| v[j]).collect();
+                let freq = recombine_raw(&parts, modulus);
+                let sigma = freq as f64 / m as f64;
+                config.policy.beta(sigma, epsilons[j], m)
+            }
+        })
+        .collect();
+
+    // Phase 2 — randomized publication, locally at every provider.
+    let mut published = MembershipMatrix::new(m, n);
+    for provider in matrix.provider_ids() {
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ 0x9b1 ^ (provider.index() as u64).wrapping_mul(0x2545f4914f6cdd1d),
+        );
+        let row = publish_vector(&matrix.row(provider), &betas, &mut rng);
+        published.set_row(&row);
+    }
+
+    let report = ConstructionReport {
+        secsum: secsum.stats,
+        count_stage,
+        mix_stage,
+        wall: started.elapsed(),
+    };
+
+    Ok(DistributedConstruction {
+        index: PublishedIndex::new(published, betas),
+        common_count,
+        lambda,
+        decisions,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::model::{OwnerId, ProviderId};
+    use eppi_core::privacy::{owner_privacy, success_ratio};
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn matrix_with_freqs(m: usize, freqs: &[usize]) -> MembershipMatrix {
+        let mut mat = MembershipMatrix::new(m, freqs.len());
+        for (j, &f) in freqs.iter().enumerate() {
+            for p in 0..f {
+                mat.set(ProviderId(p as u32), OwnerId(j as u32), true);
+            }
+        }
+        mat
+    }
+
+    #[test]
+    fn recall_is_complete_and_commons_broadcast() {
+        let mat = matrix_with_freqs(40, &[38, 4, 0]);
+        let e = vec![eps(0.5); 3];
+        let cfg = ProtocolConfig::default();
+        let out = construct_distributed(&mat, &e, &cfg).unwrap();
+        // Truthful rule.
+        for owner in mat.owner_ids() {
+            for p in mat.providers_of(owner) {
+                assert!(out.index.matrix().get(p, owner));
+            }
+        }
+        // Identity 0 (38/40 with ε = 0.5) is common ⇒ β = 1 ⇒ all 40.
+        assert!(out.common_count >= 1);
+        assert_eq!(out.index.query(OwnerId(0)).len(), 40);
+        assert!(out.decisions[0]);
+    }
+
+    #[test]
+    fn betas_match_centralized_policy_for_unmixed_identities() {
+        let mat = matrix_with_freqs(100, &[10, 25, 2]);
+        let e = vec![eps(0.3), eps(0.6), eps(0.4)];
+        let cfg = ProtocolConfig {
+            policy: PolicyKind::Basic,
+            seed: 5,
+            ..ProtocolConfig::default()
+        };
+        let out = construct_distributed(&mat, &e, &cfg).unwrap();
+        for (j, (&mixed, &eps_j)) in out.decisions.iter().zip(&e).enumerate() {
+            if !mixed {
+                let sigma = mat.sigma(OwnerId(j as u32));
+                let expect = PolicyKind::Basic.beta(sigma, eps_j, 100);
+                let got = out.index.betas()[j];
+                assert!((got - expect).abs() < 1e-12, "identity {j}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn privacy_requirement_met_with_chernoff() {
+        let m = 600;
+        let freqs = vec![30usize; 40];
+        let mat = matrix_with_freqs(m, &freqs);
+        let e = vec![eps(0.5); 40];
+        let cfg = ProtocolConfig {
+            policy: PolicyKind::Chernoff { gamma: 0.9 },
+            seed: 17,
+            ..ProtocolConfig::default()
+        };
+        let out = construct_distributed(&mat, &e, &cfg).unwrap();
+        let ratio = success_ratio(&mat, &out.index, &e, true);
+        assert!(ratio >= 0.85, "success ratio {ratio}");
+    }
+
+    #[test]
+    fn common_count_matches_ground_truth() {
+        // ε = 0.5 with basic policy ⇒ σ' = 0.5: identities at ≥ 50%
+        // frequency are common.
+        let mat = matrix_with_freqs(60, &[40, 30, 29, 10]);
+        let e = vec![eps(0.5); 4];
+        let cfg = ProtocolConfig {
+            policy: PolicyKind::Basic,
+            seed: 3,
+            ..ProtocolConfig::default()
+        };
+        let out = construct_distributed(&mat, &e, &cfg).unwrap();
+        assert_eq!(out.common_count, 2, "40/60 and 30/60 are ≥ 0.5");
+    }
+
+    #[test]
+    fn mixing_raises_lambda_with_commons_present() {
+        let mut freqs = vec![2usize; 50];
+        freqs[0] = 58;
+        let mat = matrix_with_freqs(60, &freqs);
+        let e = vec![eps(0.8); 50];
+        let cfg = ProtocolConfig { seed: 8, ..ProtocolConfig::default() };
+        let out = construct_distributed(&mat, &e, &cfg).unwrap();
+        assert!(out.common_count >= 1);
+        assert!(out.lambda > 0.0, "λ must be positive with commons present");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mat = matrix_with_freqs(2, &[1]);
+        let e = vec![eps(0.5)];
+        let cfg = ProtocolConfig { c: 3, ..ProtocolConfig::default() };
+        assert!(matches!(
+            construct_distributed(&mat, &e, &cfg),
+            Err(EppiError::NetworkTooSmall { .. })
+        ));
+        let cfg = ProtocolConfig::default();
+        assert!(matches!(
+            construct_distributed(&mat, &[], &cfg),
+            Err(EppiError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn thresholds_follow_policy_sigma() {
+        // Basic policy: σ' = 1 − ε ⇒ t = ⌈(1−ε)·m⌉.
+        let t = frequency_thresholds(PolicyKind::Basic, &[eps(0.5), eps(0.8)], 100);
+        assert_eq!(t, vec![50, 20]);
+    }
+
+    #[test]
+    fn share_width_covers_m() {
+        assert_eq!(share_width(1), 1);
+        assert_eq!(share_width(2), 2);
+        assert_eq!(share_width(255), 8);
+        assert_eq!(share_width(256), 9);
+        for m in [1usize, 7, 64, 1000] {
+            assert!(1u64 << share_width(m) > m as u64);
+        }
+    }
+
+    #[test]
+    fn report_accounts_all_stages() {
+        let mat = matrix_with_freqs(30, &[5, 10]);
+        let e = vec![eps(0.4); 2];
+        let out = construct_distributed(&mat, &e, &ProtocolConfig::default()).unwrap();
+        assert!(out.report.secsum.messages > 0);
+        assert!(out.report.count_stage.circuit.total_gates > 0);
+        assert!(out.report.mix_stage.circuit.total_gates > 0);
+        assert!(out.report.circuit_size() > 0);
+    }
+
+    #[test]
+    fn measured_privacy_example() {
+        let mat = matrix_with_freqs(500, &[20]);
+        let e = vec![eps(0.7)];
+        let cfg = ProtocolConfig { seed: 2, ..ProtocolConfig::default() };
+        let out = construct_distributed(&mat, &e, &cfg).unwrap();
+        let p = owner_privacy(&mat, &out.index, OwnerId(0));
+        assert!(p.satisfies(e[0]) || p.false_positive_rate.unwrap_or(0.0) > 0.6);
+    }
+}

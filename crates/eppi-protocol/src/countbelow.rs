@@ -1,0 +1,244 @@
+//! The generic-MPC stage among the `c` coordinators (Alg. 1 stage 2).
+//!
+//! Drives the compiled CountBelow and mix-decision circuits through one
+//! of three MPC backends:
+//!
+//! * [`Backend::InProcess`] — the single-threaded reference evaluator
+//!   (`eppi_mpc::gmw`), exact and fast, used by tests and large sweeps;
+//! * [`Backend::Threaded`] — one OS thread per coordinator with real
+//!   message exchange, used by the wall-clock experiments (Fig. 6a/6c);
+//! * [`Backend::Simulated`] — the round-based network simulator, which
+//!   additionally reports *simulated network time* under a LAN link
+//!   model (the quantity that dominated the paper's Emulab numbers).
+//!
+//! All produce identical results; only the reported cost differs.
+
+use crate::sim_gmw::execute_simulated;
+use crate::threaded_gmw::execute_threaded;
+use eppi_mpc::circuit::CircuitStats;
+use eppi_net::sim::LinkModel;
+use eppi_mpc::circuits::{lambda_threshold, CountBelowCircuit, MixDecisionCircuit};
+use eppi_mpc::gmw;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which MPC engine executes the coordinator circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Single-threaded reference evaluation.
+    #[default]
+    InProcess,
+    /// One OS thread per coordinator (wall-clock backend).
+    Threaded,
+    /// Round-based network simulation (simulated-time backend; LAN link
+    /// model).
+    Simulated,
+}
+
+/// Cost report of one secure stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageReport {
+    /// Statistics of the compiled circuit (the paper's circuit-size
+    /// metric).
+    pub circuit: CircuitStats,
+    /// Messages exchanged during evaluation.
+    pub messages: u64,
+    /// Payload bytes exchanged during evaluation.
+    pub bytes: u64,
+    /// Simulated network time in microseconds (only the
+    /// [`Backend::Simulated`] backend fills this; 0 otherwise).
+    pub simulated_us: f64,
+}
+
+fn run_circuit(
+    circuit: &eppi_mpc::circuit::Circuit,
+    layout: &eppi_mpc::circuit::InputLayout,
+    inputs: &[Vec<bool>],
+    backend: Backend,
+    seed: u64,
+) -> (Vec<bool>, StageReport) {
+    let stats = circuit.stats();
+    match backend {
+        Backend::InProcess => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (out, gstats) = gmw::execute(circuit, layout, inputs, &mut rng);
+            (
+                out,
+                StageReport {
+                    circuit: stats,
+                    messages: gstats.messages,
+                    bytes: gstats.bits_sent / 8,
+                    ..StageReport::default()
+                },
+            )
+        }
+        Backend::Threaded => {
+            let (out, report) = execute_threaded(circuit, layout, inputs, seed);
+            (
+                out,
+                StageReport {
+                    circuit: stats,
+                    messages: report.messages,
+                    bytes: report.bytes,
+                    ..StageReport::default()
+                },
+            )
+        }
+        Backend::Simulated => {
+            let (out, net) = execute_simulated(circuit, layout, inputs, LinkModel::LAN, seed);
+            (
+                out,
+                StageReport {
+                    circuit: stats,
+                    messages: net.messages,
+                    bytes: net.bytes,
+                    simulated_us: net.simulated_us,
+                },
+            )
+        }
+    }
+}
+
+/// Runs the CountBelow MPC: returns the number of common identities
+/// (`Σ_{σ ≥ σ'} 1`) without revealing which identities are common.
+///
+/// `coordinator_shares[k][j]` is coordinator `k`'s additive share of
+/// identity `j`'s frequency over `Z_{2^width}`.
+///
+/// # Panics
+///
+/// Panics if the share vectors are ragged or disagree with
+/// `thresholds.len()`.
+pub fn run_count_below(
+    coordinator_shares: &[Vec<u64>],
+    thresholds: &[u64],
+    width: usize,
+    backend: Backend,
+    seed: u64,
+) -> (u64, StageReport) {
+    let c = coordinator_shares.len();
+    assert!(c >= 1, "at least one coordinator required");
+    assert!(
+        coordinator_shares.iter().all(|v| v.len() == thresholds.len()),
+        "share vectors must match the threshold count"
+    );
+    let cc = CountBelowCircuit::build(c, thresholds, width);
+    let inputs: Vec<Vec<bool>> = coordinator_shares
+        .iter()
+        .map(|s| cc.encode_party_input(s))
+        .collect();
+    let (out, report) = run_circuit(cc.circuit(), cc.layout(), &inputs, backend, seed);
+    (cc.decode_count(&out), report)
+}
+
+/// Runs the mix-decision MPC: per identity, the bit
+/// `common_j ∨ coin_j(λ)` (Eq. 6). Each coordinator contributes its own
+/// coin randomness, so the joint coin stays uniform as long as one
+/// coordinator is honest.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_count_below`].
+pub fn run_mix_decision(
+    coordinator_shares: &[Vec<u64>],
+    thresholds: &[u64],
+    width: usize,
+    coin_bits: usize,
+    lambda: f64,
+    backend: Backend,
+    seed: u64,
+) -> (Vec<bool>, StageReport) {
+    let c = coordinator_shares.len();
+    assert!(c >= 1, "at least one coordinator required");
+    assert!(
+        coordinator_shares.iter().all(|v| v.len() == thresholds.len()),
+        "share vectors must match the threshold count"
+    );
+    let n = thresholds.len();
+    let mc = MixDecisionCircuit::build(c, thresholds, width, coin_bits, lambda_threshold(lambda, coin_bits));
+    let inputs: Vec<Vec<bool>> = coordinator_shares
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xc01_u64 ^ ((k as u64) << 32));
+            let coins: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << coin_bits))).collect();
+            mc.encode_party_input(s, &coins)
+        })
+        .collect();
+    let (out, report) = run_circuit(mc.circuit(), mc.layout(), &inputs, backend, seed ^ 0xdec);
+    (mc.decode_decisions(&out), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_mpc::field::Modulus;
+    use eppi_mpc::share::split;
+
+    fn share_out(freqs: &[u64], c: usize, width: usize, seed: u64) -> Vec<Vec<u64>> {
+        let q = Modulus::pow2(width as u32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut per = vec![vec![0u64; freqs.len()]; c];
+        for (j, &f) in freqs.iter().enumerate() {
+            let s = split(f, c, q, &mut rng);
+            for (k, &v) in s.values().iter().enumerate() {
+                per[k][j] = v;
+            }
+        }
+        per
+    }
+
+    #[test]
+    fn count_below_both_backends_agree() {
+        let freqs = [120u64, 3, 77, 200, 9];
+        let thresholds = [100u64, 100, 70, 100, 100];
+        let shares = share_out(&freqs, 3, 10, 1);
+        let (a, ra) = run_count_below(&shares, &thresholds, 10, Backend::InProcess, 11);
+        let (b, rb) = run_count_below(&shares, &thresholds, 10, Backend::Threaded, 11);
+        assert_eq!(a, 3); // 120, 77, 200 meet their thresholds.
+        assert_eq!(a, b);
+        assert_eq!(ra.circuit, rb.circuit);
+        assert!(ra.bytes > 0 && rb.bytes > 0);
+    }
+
+    #[test]
+    fn simulated_backend_agrees_and_reports_time() {
+        let freqs = [120u64, 3, 77];
+        let thresholds = [100u64, 100, 70];
+        let shares = share_out(&freqs, 3, 10, 7);
+        let (a, _) = run_count_below(&shares, &thresholds, 10, Backend::InProcess, 5);
+        let (b, rb) = run_count_below(&shares, &thresholds, 10, Backend::Simulated, 5);
+        assert_eq!(a, b);
+        assert!(rb.simulated_us > 0.0, "simulated backend must report time");
+        let (d1, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::InProcess, 6);
+        let (d2, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::Simulated, 6);
+        assert_eq!(d1, d2, "seed-derived coins make all backends agree");
+    }
+
+    #[test]
+    fn mix_decision_respects_commons_and_lambda_extremes() {
+        let freqs = [120u64, 3];
+        let thresholds = [100u64, 100];
+        let shares = share_out(&freqs, 3, 10, 2);
+        let (d0, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.0, Backend::InProcess, 3);
+        assert_eq!(d0, vec![true, false]);
+        let (d1, _) = run_mix_decision(&shares, &thresholds, 10, 8, 1.0, Backend::InProcess, 3);
+        assert_eq!(d1, vec![true, true]);
+    }
+
+    #[test]
+    fn mix_decision_threaded_agrees_with_in_process() {
+        let freqs = [120u64, 3, 50];
+        let thresholds = [100u64, 100, 100];
+        let shares = share_out(&freqs, 3, 10, 4);
+        let (a, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::InProcess, 5);
+        let (b, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::Threaded, 5);
+        assert_eq!(a, b, "coins are seed-derived, so backends must agree");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the threshold count")]
+    fn ragged_shares_rejected() {
+        run_count_below(&[vec![1, 2], vec![3]], &[1, 1], 8, Backend::InProcess, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Multi-threaded GMW execution over the threaded party runtime.
+//!
+//! `eppi_mpc::gmw::execute` evaluates all parties in one thread — exact
+//! and fast for correctness work, but it cannot produce wall-clock
+//! scaling curves. This module runs the same protocol with one OS thread
+//! per party exchanging real messages (crossbeam channels), which is the
+//! backend the Fig. 6a / 6c execution-time experiments use.
+//!
+//! Communication structure per AND layer: every party broadcasts its
+//! `d = x⊕a` and `e = y⊕b` shares for all AND gates of the layer in one
+//! batched message (2 bits per gate), then combines the received shares —
+//! so per-party work per layer is `O(gates · parties)` and total traffic
+//! `O(gates · parties²)`, the super-linear growth the paper observes for
+//! the pure-MPC baseline.
+
+use eppi_mpc::circuit::{Circuit, Gate, InputLayout};
+use eppi_net::threaded::run_parties;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Traffic report of a threaded GMW run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreadedGmwReport {
+    /// Number of parties.
+    pub parties: usize,
+    /// AND gates evaluated.
+    pub and_gates: usize,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Total payload bytes exchanged.
+    pub bytes: u64,
+}
+
+/// Per-party Beaver triple shares for every AND gate, dealt ahead of the
+/// online phase.
+struct DealtTriples {
+    /// `[party][and_gate] -> (a, b, c)` share bits.
+    per_party: Vec<Vec<(bool, bool, bool)>>,
+}
+
+fn deal_triples(parties: usize, and_gates: usize, rng: &mut StdRng) -> DealtTriples {
+    let mut per_party = vec![Vec::with_capacity(and_gates); parties];
+    for _ in 0..and_gates {
+        let a: bool = rng.gen();
+        let b: bool = rng.gen();
+        let c = a & b;
+        let mut rem = (a, b, c);
+        for shares in per_party.iter_mut().take(parties - 1) {
+            let sa: bool = rng.gen();
+            let sb: bool = rng.gen();
+            let sc: bool = rng.gen();
+            shares.push((sa, sb, sc));
+            rem = (rem.0 ^ sa, rem.1 ^ sb, rem.2 ^ sc);
+        }
+        per_party[parties - 1].push(rem);
+    }
+    DealtTriples { per_party }
+}
+
+/// Per-level gate schedule: free gates first, then the level's AND gates
+/// (opened together in one round).
+struct Schedule {
+    levels: Vec<(Vec<usize>, Vec<usize>)>,
+    /// AND gate index → dense triple index.
+    triple_index: Vec<usize>,
+}
+
+fn schedule(circuit: &Circuit) -> Schedule {
+    let inputs = circuit.inputs();
+    let mut wire_level = vec![0usize; circuit.wires()];
+    let mut levels: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    let mut triple_index = vec![usize::MAX; circuit.gates().len()];
+    let mut next_triple = 0usize;
+    for (k, gate) in circuit.gates().iter().enumerate() {
+        let this = inputs + k;
+        let (level, is_and) = match *gate {
+            Gate::Xor(a, b) => (wire_level[a.index()].max(wire_level[b.index()]), false),
+            Gate::Not(a) => (wire_level[a.index()], false),
+            Gate::Const(_) => (0, false),
+            Gate::And(a, b) => (wire_level[a.index()].max(wire_level[b.index()]), true),
+        };
+        if levels.len() <= level {
+            levels.resize_with(level + 1, Default::default);
+        }
+        if is_and {
+            levels[level].1.push(k);
+            wire_level[this] = level + 1;
+            triple_index[k] = next_triple;
+            next_triple += 1;
+        } else {
+            levels[level].0.push(k);
+            wire_level[this] = level;
+        }
+    }
+    Schedule { levels, triple_index }
+}
+
+/// Executes `circuit` with one thread per party. Returns the opened
+/// outputs (identical to `circuit.eval` on the flattened inputs) and a
+/// traffic report.
+///
+/// # Panics
+///
+/// Panics if the layout does not cover the circuit inputs or `inputs`
+/// disagrees with the layout.
+pub fn execute_threaded(
+    circuit: &Circuit,
+    layout: &InputLayout,
+    inputs: &[Vec<bool>],
+    seed: u64,
+) -> (Vec<bool>, ThreadedGmwReport) {
+    assert_eq!(
+        layout.total_inputs(),
+        circuit.inputs(),
+        "layout does not cover the circuit inputs"
+    );
+    assert_eq!(inputs.len(), layout.parties(), "one input vector per party");
+    let parties = layout.parties();
+    let and_gates = circuit.stats().and_gates;
+
+    let mut dealer_rng = StdRng::seed_from_u64(seed ^ 0xd1a1e5);
+    let triples = Arc::new(deal_triples(parties, and_gates, &mut dealer_rng));
+    let sched = Arc::new(schedule(circuit));
+
+    let (mut results, counters) = run_parties::<Vec<bool>, Vec<bool>, _>(parties, {
+        let triples = Arc::clone(&triples);
+        let sched = Arc::clone(&sched);
+        move |mut h| {
+            let me = h.me().index();
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            let n_inputs = circuit.inputs();
+            let mut shares = vec![false; circuit.wires()];
+
+            // Input sharing: for each of my inputs, deal XOR shares to
+            // everyone; batch one message per peer.
+            let my_range = layout.range_of(me);
+            let my_bits = &inputs[me];
+            let mut to_peer: Vec<Vec<bool>> = vec![Vec::with_capacity(my_bits.len()); parties];
+            for (off, &bit) in my_bits.iter().enumerate() {
+                let wire = my_range.start + off;
+                let mut acc = false;
+                for (p, batch) in to_peer.iter_mut().enumerate() {
+                    if p == me {
+                        batch.push(false); // placeholder, fixed below
+                    } else {
+                        let s: bool = rng.gen();
+                        acc ^= s;
+                        batch.push(s);
+                    }
+                }
+                let own = bit ^ acc;
+                to_peer[me][off] = own;
+                shares[wire] = own;
+            }
+            for (p, batch) in to_peer.into_iter().enumerate() {
+                if p != me && parties > 1 {
+                    h.send(eppi_net::NodeId(p), batch);
+                }
+            }
+            if parties > 1 {
+                for (from, batch) in h.gather() {
+                    let range = layout.range_of(from.index());
+                    for (off, &s) in batch.iter().enumerate() {
+                        shares[range.start + off] = s;
+                    }
+                }
+            }
+
+            // Level-synchronized evaluation.
+            for (free, ands) in &sched.levels {
+                for &k in free {
+                    let this = n_inputs + k;
+                    shares[this] = match circuit.gates()[k] {
+                        Gate::Xor(a, b) => shares[a.index()] ^ shares[b.index()],
+                        Gate::Not(a) => {
+                            if me == 0 {
+                                !shares[a.index()]
+                            } else {
+                                shares[a.index()]
+                            }
+                        }
+                        Gate::Const(v) => me == 0 && v,
+                        Gate::And(..) => unreachable!("AND scheduled as free gate"),
+                    };
+                }
+                if ands.is_empty() {
+                    continue;
+                }
+                // Batched opening of d = x⊕a, e = y⊕b for the layer.
+                let mut my_de = Vec::with_capacity(ands.len() * 2);
+                for &k in ands {
+                    let (a, b) = match circuit.gates()[k] {
+                        Gate::And(a, b) => (a, b),
+                        _ => unreachable!(),
+                    };
+                    let (ta, tb, _) = triples.per_party[me][sched.triple_index[k]];
+                    my_de.push(shares[a.index()] ^ ta);
+                    my_de.push(shares[b.index()] ^ tb);
+                }
+                let mut opened = my_de.clone();
+                if parties > 1 {
+                    h.broadcast(my_de);
+                    for (_, batch) in h.gather() {
+                        for (i, s) in batch.into_iter().enumerate() {
+                            opened[i] ^= s;
+                        }
+                    }
+                }
+                for (idx, &k) in ands.iter().enumerate() {
+                    let d = opened[idx * 2];
+                    let e = opened[idx * 2 + 1];
+                    let (ta, tb, tc) = triples.per_party[me][sched.triple_index[k]];
+                    let mut z = tc ^ (d & tb) ^ (e & ta);
+                    if me == 0 {
+                        z ^= d & e;
+                    }
+                    shares[n_inputs + k] = z;
+                }
+            }
+
+            // Output opening.
+            let my_out: Vec<bool> = circuit.outputs().iter().map(|o| shares[o.index()]).collect();
+            let mut opened = my_out.clone();
+            if parties > 1 && !opened.is_empty() {
+                h.broadcast(my_out);
+                for (_, batch) in h.gather() {
+                    for (i, s) in batch.into_iter().enumerate() {
+                        opened[i] ^= s;
+                    }
+                }
+            }
+            opened
+        }
+    });
+
+    let outputs = results.swap_remove(0);
+    debug_assert!(results.iter().all(|r| *r == outputs), "parties disagree on outputs");
+    let report = ThreadedGmwReport {
+        parties,
+        and_gates,
+        messages: counters.messages(),
+        bytes: counters.bytes(),
+    };
+    (outputs, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_mpc::builder::{to_bits, word_value, CircuitBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_cleartext_eval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..10 {
+            let mut cb = CircuitBuilder::new();
+            let a = cb.input_word(5);
+            let b = cb.input_word(5);
+            let c = cb.input_word(5);
+            let sum = cb.add_words_expand(&a, &b);
+            let c6 = cb.resize_word(&c, 6);
+            let lt = cb.lt_words(&sum, &c6);
+            let eq = cb.eq_words(&a, &c);
+            let circuit = cb.finish(vec![lt, eq]);
+            let layout = InputLayout::new(vec![5, 5, 5]);
+
+            let vals: Vec<u64> = (0..3).map(|_| rng.gen_range(0..32)).collect();
+            let inputs: Vec<Vec<bool>> = vals.iter().map(|&v| to_bits(v, 5)).collect();
+            let expect = circuit.eval(&layout.flatten(&inputs));
+            let (got, report) = execute_threaded(&circuit, &layout, &inputs, 1000 + trial);
+            assert_eq!(got, expect, "trial {trial}: vals {vals:?}");
+            assert_eq!(report.parties, 3);
+        }
+    }
+
+    #[test]
+    fn agrees_with_in_process_gmw() {
+        let mut cb = CircuitBuilder::new();
+        let bits: Vec<_> = (0..6).map(|_| cb.input()).collect();
+        let count = cb.popcount(&bits);
+        let circuit = cb.finish_word(count);
+        let layout = InputLayout::new(vec![1; 6]);
+        let inputs: Vec<Vec<bool>> = (0..6).map(|p| vec![p % 2 == 0]).collect();
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let (a, _) = eppi_mpc::gmw::execute(&circuit, &layout, &inputs, &mut rng);
+        let (b, _) = execute_threaded(&circuit, &layout, &inputs, 77);
+        assert_eq!(word_value(&a), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_party_runs_without_communication() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(4);
+        let b = cb.const_word(9, 4);
+        let ge = cb.ge_words(&a, &b);
+        let circuit = cb.finish(vec![ge]);
+        let layout = InputLayout::new(vec![4]);
+        let (out, report) = execute_threaded(&circuit, &layout, &[to_bits(12, 4)], 5);
+        assert_eq!(out, vec![true]);
+        assert_eq!(report.bytes, 0);
+    }
+
+    #[test]
+    fn traffic_grows_superlinearly_with_parties() {
+        let build = |parties: usize| {
+            let mut cb = CircuitBuilder::new();
+            let bits: Vec<_> = (0..parties).map(|_| cb.input()).collect();
+            let all = cb.and_many(&bits);
+            (cb.finish(vec![all]), InputLayout::new(vec![1; parties]))
+        };
+        let mut per_and = Vec::new();
+        for parties in [3usize, 6, 12] {
+            let (circuit, layout) = build(parties);
+            let inputs = vec![vec![true]; parties];
+            let (_, report) = execute_threaded(&circuit, &layout, &inputs, 9);
+            per_and.push(report.bytes as f64 / report.and_gates.max(1) as f64);
+        }
+        assert!(per_and[1] > 1.8 * per_and[0], "{per_and:?}");
+        assert!(per_and[2] > 1.8 * per_and[1], "{per_and:?}");
+    }
+}

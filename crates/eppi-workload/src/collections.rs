@@ -1,0 +1,256 @@
+//! Synthetic information-network workloads.
+//!
+//! Stand-in for the paper's evaluation dataset (DESIGN.md §4): a
+//! "collection table" mapping owner identities to the providers holding
+//! their records, with Zipf-skewed identity frequencies, plus
+//! frequency-pinned cohorts for the sweeps of Fig. 5 and the ε
+//! assignments of §V-A ("we randomly generate the privacy degree ε in
+//! the domain \[0, 1\]").
+
+use crate::zipf::Zipf;
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// Builder for a Zipf-skewed collection table.
+///
+/// ```
+/// use eppi_workload::collections::CollectionTable;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let matrix = CollectionTable::new(500, 200)
+///     .zipf_exponent(1.0)
+///     .max_frequency(50)
+///     .build(&mut rng);
+/// assert_eq!(matrix.providers(), 500);
+/// assert_eq!(matrix.owners(), 200);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionTable {
+    providers: usize,
+    owners: usize,
+    zipf_exponent: f64,
+    min_frequency: usize,
+    max_frequency: usize,
+}
+
+impl CollectionTable {
+    /// Starts a builder for `providers × owners` with the paper-like
+    /// defaults: Zipf exponent 1.0, frequencies from 1 up to 5% of the
+    /// network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `providers == 0` or `owners == 0`.
+    pub fn new(providers: usize, owners: usize) -> Self {
+        assert!(providers >= 1, "at least one provider required");
+        assert!(owners >= 1, "at least one owner required");
+        CollectionTable {
+            providers,
+            owners,
+            zipf_exponent: 1.0,
+            min_frequency: 1,
+            max_frequency: (providers / 20).max(1),
+        }
+    }
+
+    /// Sets the Zipf skew of identity frequencies (0 = uniform).
+    pub fn zipf_exponent(&mut self, s: f64) -> &mut Self {
+        self.zipf_exponent = s;
+        self
+    }
+
+    /// Sets the smallest identity frequency (default 1).
+    pub fn min_frequency(&mut self, f: usize) -> &mut Self {
+        self.min_frequency = f.max(1);
+        self
+    }
+
+    /// Sets the largest identity frequency (clamped to the provider
+    /// count).
+    pub fn max_frequency(&mut self, f: usize) -> &mut Self {
+        self.max_frequency = f.clamp(1, self.providers);
+        self
+    }
+
+    /// Generates the membership matrix: each owner's frequency is drawn
+    /// from the Zipf law over `[min_frequency, max_frequency]` (rank 1
+    /// maps to the *minimum* — most identities are rare, as in the TREC
+    /// data) and assigned to that many distinct random providers.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> MembershipMatrix {
+        let lo = self.min_frequency.min(self.providers);
+        let hi = self.max_frequency.clamp(lo, self.providers);
+        let span = hi - lo + 1;
+        let zipf = Zipf::new(span, self.zipf_exponent);
+        let mut matrix = MembershipMatrix::new(self.providers, self.owners);
+        for owner in 0..self.owners {
+            let f = lo + zipf.sample(rng) - 1;
+            for p in sample(rng, self.providers, f) {
+                matrix.set(ProviderId(p as u32), OwnerId(owner as u32), true);
+            }
+        }
+        matrix
+    }
+}
+
+/// A cohort of identities pinned to an exact frequency — the x-axis of
+/// the Fig. 4a / Fig. 5a sweeps ("varying identity frequency").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cohort {
+    /// Number of identities in the cohort.
+    pub owners: usize,
+    /// The exact per-identity frequency (providers holding each
+    /// identity).
+    pub frequency: usize,
+}
+
+/// Builds a matrix from frequency-pinned cohorts: each owner of cohort
+/// `k` appears in exactly `cohorts[k].frequency` distinct random
+/// providers.
+///
+/// # Panics
+///
+/// Panics if any cohort frequency exceeds the provider count, or if
+/// `providers == 0`.
+pub fn pinned_cohorts<R: Rng + ?Sized>(
+    providers: usize,
+    cohorts: &[Cohort],
+    rng: &mut R,
+) -> MembershipMatrix {
+    assert!(providers >= 1, "at least one provider required");
+    let owners: usize = cohorts.iter().map(|c| c.owners).sum();
+    let mut matrix = MembershipMatrix::new(providers, owners);
+    let mut next = 0u32;
+    for cohort in cohorts {
+        assert!(
+            cohort.frequency <= providers,
+            "cohort frequency {} exceeds provider count {providers}",
+            cohort.frequency
+        );
+        for _ in 0..cohort.owners {
+            for p in sample(rng, providers, cohort.frequency) {
+                matrix.set(ProviderId(p as u32), OwnerId(next), true);
+            }
+            next += 1;
+        }
+    }
+    matrix
+}
+
+/// Draws each owner's ε uniformly from `\[0, 1\]` — the paper's default
+/// experimental assignment (§V-A).
+pub fn uniform_epsilons<R: Rng + ?Sized>(owners: usize, rng: &mut R) -> Vec<Epsilon> {
+    (0..owners)
+        .map(|_| Epsilon::saturating(rng.gen::<f64>()))
+        .collect()
+}
+
+/// Assigns the same ε to every owner (used when a figure fixes ε, e.g.
+/// Fig. 4a at ε = 0.8).
+pub fn fixed_epsilons(owners: usize, eps: Epsilon) -> Vec<Epsilon> {
+    vec![eps; owners]
+}
+
+/// A two-tier "VIP" assignment: a fraction of owners (celebrities in the
+/// paper's motivating example) demand `vip`, the rest `regular`.
+///
+/// # Panics
+///
+/// Panics if `vip_fraction` is not in `\[0, 1\]`.
+pub fn tiered_epsilons<R: Rng + ?Sized>(
+    owners: usize,
+    vip_fraction: f64,
+    vip: Epsilon,
+    regular: Epsilon,
+    rng: &mut R,
+) -> Vec<Epsilon> {
+    assert!(
+        (0.0..=1.0).contains(&vip_fraction),
+        "vip_fraction must be in [0, 1]"
+    );
+    (0..owners)
+        .map(|_| if rng.gen::<f64>() < vip_fraction { vip } else { regular })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_respects_dimensions_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = CollectionTable::new(200, 100)
+            .zipf_exponent(1.2)
+            .min_frequency(2)
+            .max_frequency(30)
+            .build(&mut rng);
+        assert_eq!(m.providers(), 200);
+        assert_eq!(m.owners(), 100);
+        for f in m.frequencies() {
+            assert!((2..=30).contains(&f), "frequency {f} out of bounds");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_makes_low_frequencies_common() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = CollectionTable::new(1000, 500)
+            .zipf_exponent(1.5)
+            .min_frequency(1)
+            .max_frequency(500)
+            .build(&mut rng);
+        let freqs = m.frequencies();
+        let low = freqs.iter().filter(|&&f| f <= 50).count();
+        assert!(low > 300, "expected mostly rare identities, got {low}/500 low");
+    }
+
+    #[test]
+    fn pinned_cohorts_exact_frequencies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = pinned_cohorts(
+            100,
+            &[
+                Cohort { owners: 5, frequency: 10 },
+                Cohort { owners: 3, frequency: 90 },
+            ],
+            &mut rng,
+        );
+        assert_eq!(m.owners(), 8);
+        let freqs = m.frequencies();
+        assert!(freqs[..5].iter().all(|&f| f == 10));
+        assert!(freqs[5..].iter().all(|&f| f == 90));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds provider count")]
+    fn cohort_frequency_validated() {
+        let mut rng = StdRng::seed_from_u64(0);
+        pinned_cohorts(10, &[Cohort { owners: 1, frequency: 11 }], &mut rng);
+    }
+
+    #[test]
+    fn uniform_epsilons_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let eps = uniform_epsilons(2000, &mut rng);
+        assert_eq!(eps.len(), 2000);
+        let mean: f64 = eps.iter().map(|e| e.value()).sum::<f64>() / 2000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean ε {mean} should be ~0.5");
+        assert!(eps.iter().any(|e| e.value() < 0.1));
+        assert!(eps.iter().any(|e| e.value() > 0.9));
+    }
+
+    #[test]
+    fn fixed_and_tiered_assignments() {
+        let e8 = Epsilon::saturating(0.8);
+        let e2 = Epsilon::saturating(0.2);
+        assert!(fixed_epsilons(5, e8).iter().all(|&e| e == e8));
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let tiered = tiered_epsilons(10_000, 0.1, e8, e2, &mut rng);
+        let vips = tiered.iter().filter(|&&e| e == e8).count();
+        assert!((800..1200).contains(&vips), "vip count {vips} far from 10%");
+    }
+}

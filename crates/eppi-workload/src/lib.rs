@@ -1,0 +1,25 @@
+//! # eppi-workload — synthetic information-network workloads
+//!
+//! The paper's evaluation uses a distributed document dataset derived
+//! from TREC-WT10g (2,500–25,000 digital-library "collections" standing
+//! in for providers, document source URLs standing in for owner
+//! identities). That dataset is not redistributable, so this crate
+//! synthesizes workloads with the same structure (DESIGN.md §4): a
+//! collection table with Zipf-skewed identity frequencies, exact
+//! frequency-pinned cohorts for the figure sweeps, and the paper's ε
+//! assignments (uniform in `\[0, 1\]` by default).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collections;
+pub mod presets;
+pub mod queries;
+pub mod zipf;
+
+pub use collections::{
+    fixed_epsilons, pinned_cohorts, tiered_epsilons, uniform_epsilons, Cohort, CollectionTable,
+};
+pub use presets::Preset;
+pub use queries::QueryWorkload;
+pub use zipf::Zipf;

@@ -1,0 +1,126 @@
+//! Zipf-distributed sampling.
+//!
+//! The paper's effectiveness experiments run on a distributed document
+//! dataset derived from TREC-WT10g, whose identity (source-URL)
+//! frequencies are heavily skewed. The synthetic workload generator uses
+//! a Zipf law over frequency ranks to reproduce that skew (DESIGN.md §4).
+//! Implemented exactly via a precomputed CDF and binary search — no
+//! external dependency and no rejection loops.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s ≥ 0`
+/// (`s = 0` degenerates to uniform).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "support must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Size of the support.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `1..=n` (rank 1 is the most likely).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// The probability mass of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k), "rank out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(10, 1.2);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(10));
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(5, 0.0);
+        for k in 1..=5 {
+            assert!((z.pmf(k) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 100_000;
+        let mut counts = [0usize; 21];
+        for _ in 0..trials {
+            let k = z.sample(&mut rng);
+            assert!((1..=20).contains(&k));
+            counts[k] += 1;
+        }
+        for k in [1usize, 2, 5, 20] {
+            let emp = counts[k] as f64 / trials as f64;
+            let exp = z.pmf(k);
+            assert!((emp - exp).abs() < 0.01, "rank {k}: emp {emp} vs pmf {exp}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_rejected() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn pmf_out_of_range() {
+        Zipf::new(3, 1.0).pmf(4);
+    }
+}

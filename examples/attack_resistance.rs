@@ -1,0 +1,108 @@
+//! Attack resistance — the Table II story, narrated.
+//!
+//! Builds the same network with all three PPI designs (grouping PPI,
+//! SS-PPI, ε-PPI), mounts the primary and the common-identity attacks
+//! against each, and prints the attacker's measured confidence.
+//!
+//! ```sh
+//! cargo run --release --example attack_resistance
+//! ```
+
+use eppi::attacks::evaluate::evaluate;
+use eppi::baselines::grouping::GroupingPpi;
+use eppi::baselines::ss_ppi::SsPpi;
+use eppi::core::construct::{construct, ConstructionConfig};
+use eppi::core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi::core::privacy::PrivacyDegree;
+use eppi::workload::collections::{pinned_cohorts, Cohort};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PROVIDERS: usize = 600;
+const REGULARS: usize = 300;
+const COMMONS: usize = 4;
+const EPSILON: f64 = 0.95;
+
+fn degree(d: PrivacyDegree) -> &'static str {
+    match d {
+        PrivacyDegree::Unleaked => "Unleaked",
+        PrivacyDegree::EpsPrivate => "ε-PRIVATE",
+        PrivacyDegree::NoGuarantee => "NoGuarantee",
+        PrivacyDegree::NoProtect => "NoProtect",
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2014);
+
+    // 300 regular identities (12 providers each) + 4 common identities
+    // present at every provider.
+    let base = pinned_cohorts(
+        PROVIDERS,
+        &[Cohort { owners: REGULARS, frequency: 12 }],
+        &mut rng,
+    );
+    let mut network = MembershipMatrix::new(PROVIDERS, REGULARS + COMMONS);
+    for p in base.provider_ids() {
+        for o in base.owner_ids() {
+            if base.get(p, o) {
+                network.set(p, o, true);
+            }
+        }
+    }
+    for j in REGULARS..REGULARS + COMMONS {
+        for p in 0..PROVIDERS {
+            network.set(ProviderId(p as u32), OwnerId(j as u32), true);
+        }
+    }
+    let epsilons = vec![Epsilon::new(EPSILON)?; REGULARS + COMMONS];
+
+    println!(
+        "network: {PROVIDERS} providers, {} identities ({COMMONS} common), ε = {EPSILON}\n",
+        REGULARS + COMMONS
+    );
+    println!(
+        "{:<22} {:>18} {:>12} {:>18} {:>11}",
+        "PPI", "primary degree", "confidence", "common-id degree", "precision"
+    );
+
+    let show = |name: &str, index, leak: Option<&[usize]>| {
+        let ev = evaluate(&network, index, &epsilons, leak, 0.95, 0.15);
+        println!(
+            "{:<22} {:>18} {:>12.3} {:>18} {:>11}",
+            name,
+            degree(ev.primary_degree),
+            ev.primary_mean_confidence,
+            degree(ev.common_degree),
+            ev.common
+                .precision
+                .map_or("-".to_string(), |p| format!("{p:.3}")),
+        );
+    };
+
+    let grouping = GroupingPpi::construct(&network, 60, &mut rng);
+    show("Grouping PPI [12,13]", grouping.index(), None);
+
+    let ss = SsPpi::construct(&network, 60, &mut rng);
+    let leak = ss.leaked_frequencies().to_vec();
+    show("SS-PPI [22]", ss.index(), Some(&leak));
+
+    let eppi = construct(&network, &epsilons, ConstructionConfig::default(), &mut rng)?;
+    show("ε-PPI", &eppi.index, None);
+
+    let nomix = construct(
+        &network,
+        &epsilons,
+        ConstructionConfig { mixing: false, ..ConstructionConfig::default() },
+        &mut rng,
+    )?;
+    show("ε-PPI (no mixing)", &nomix.index, None);
+
+    println!("\nreading the table:");
+    println!(" * grouping designs cannot honour a per-owner ε (NoGuarantee);");
+    println!(" * SS-PPI leaks exact frequencies at construction time, so the");
+    println!("   common-identity attacker is certain (NoProtect);");
+    println!(" * ε-PPI bounds both attacks by 1 − ε — and the no-mixing ablation");
+    println!("   shows the common-identity defense is exactly the mixing step.");
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The trusted-party-free construction protocol, end to end.
+//!
+//! Runs the paper's two-phase protocol (§IV) over a simulated provider
+//! network — SecSumShare among all providers, then the CountBelow and
+//! mix-decision MPC among `c = 3` coordinators — and compares its cost
+//! against the pure-MPC baseline on the same (small) network.
+//!
+//! ```sh
+//! cargo run --release --example distributed_construction
+//! ```
+
+use eppi::core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi::protocol::construct::{construct_distributed, ProtocolConfig};
+use eppi::protocol::countbelow::Backend;
+use eppi::protocol::pure_mpc::{construct_pure_mpc, PureMpcConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 60-provider network with 12 identities; identity 0 is common
+    // (59 of 60 providers) and must be protected by identity mixing.
+    let providers = 60usize;
+    let identities = 12usize;
+    let mut network = MembershipMatrix::new(providers, identities);
+    for p in 0..59u32 {
+        network.set(ProviderId(p), OwnerId(0), true);
+    }
+    for j in 1..identities {
+        for k in 0..5 {
+            let p = ((j * 13 + k * 7) % providers) as u32;
+            network.set(ProviderId(p), OwnerId(j as u32), true);
+        }
+    }
+    let epsilons = vec![Epsilon::new(0.6)?; identities];
+
+    // --- ε-PPI: the MPC-reduced protocol --------------------------------------
+    let config = ProtocolConfig {
+        c: 3,
+        backend: Backend::Threaded,
+        seed: 7,
+        ..ProtocolConfig::default()
+    };
+    let out = construct_distributed(&network, &epsilons, &config)?;
+
+    println!("ε-PPI construction over {providers} providers, {identities} identities (c = 3):");
+    println!("  SecSumShare: {} rounds, {} messages, {:.1} KiB, {:.2} ms simulated",
+        out.report.secsum.rounds,
+        out.report.secsum.messages,
+        out.report.secsum.bytes as f64 / 1024.0,
+        out.report.secsum.simulated_us / 1000.0,
+    );
+    println!("  CountBelow MPC: {} gates ({} AND), {:.1} KiB exchanged",
+        out.report.count_stage.circuit.total_gates,
+        out.report.count_stage.circuit.and_gates,
+        out.report.count_stage.bytes as f64 / 1024.0,
+    );
+    println!("  Mix-decision MPC: {} gates, {:.1} KiB exchanged",
+        out.report.mix_stage.circuit.total_gates,
+        out.report.mix_stage.bytes as f64 / 1024.0,
+    );
+    println!("  commons found: {}, λ = {:.4}, wall {:.2} ms",
+        out.common_count,
+        out.lambda,
+        out.report.wall.as_secs_f64() * 1e3,
+    );
+    assert_eq!(out.common_count, 1, "the planted common identity is found");
+    assert_eq!(
+        out.index.query(OwnerId(0)).len(),
+        providers,
+        "common identity publishes everywhere (β = 1)"
+    );
+
+    // --- Pure MPC baseline on the same network --------------------------------
+    let pure = construct_pure_mpc(
+        &network,
+        &epsilons,
+        &PureMpcConfig { backend: Backend::Threaded, seed: 7, ..PureMpcConfig::default() },
+    )?;
+    println!("\npure-MPC baseline (all {providers} providers in one circuit):");
+    println!("  circuit: {} gates ({} AND), {:.1} KiB exchanged, wall {:.2} ms",
+        pure.stage.circuit.total_gates,
+        pure.stage.circuit.and_gates,
+        pure.stage.bytes as f64 / 1024.0,
+        pure.wall.as_secs_f64() * 1e3,
+    );
+
+    let ratio = pure.stage.circuit.total_gates as f64 / out.report.circuit_size() as f64;
+    println!("\nthe pure-MPC circuit is {ratio:.1}× larger — and it grows with m, while");
+    println!("ε-PPI's generic-MPC part stays pinned to the c = 3 coordinators.");
+    Ok(())
+}

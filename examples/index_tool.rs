@@ -1,0 +1,72 @@
+//! A miniature locator-service admin tool: build an index over a
+//! synthetic network, persist it with the binary codec, reload it, and
+//! answer queries — the operational loop of a real PPI server.
+//!
+//! ```sh
+//! cargo run --release --example index_tool                # build + query demo
+//! cargo run --release --example index_tool -- 42 17 99    # query specific owners
+//! ```
+
+use eppi::core::construct::{construct, ConstructionConfig};
+use eppi::core::model::OwnerId;
+use eppi::index::codec::{decode, encode};
+use eppi::workload::collections::uniform_epsilons;
+use eppi::workload::presets::Preset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // 1. Build: a Mini-preset network (250 providers, 500 owners) with
+    //    the paper's uniform-ε assignment.
+    let matrix = Preset::Mini.build(&mut rng);
+    let epsilons = uniform_epsilons(matrix.owners(), &mut rng);
+    let built = construct(&matrix, &epsilons, ConstructionConfig::default(), &mut rng)?;
+    println!(
+        "constructed index: {} providers × {} owners, {} published positives",
+        matrix.providers(),
+        matrix.owners(),
+        built.index.matrix().ones()
+    );
+
+    // 2. Persist with the versioned binary codec.
+    let path: PathBuf = std::env::temp_dir().join("eppi_index.bin");
+    let bytes = encode(&built.index);
+    std::fs::write(&path, &bytes)?;
+    println!("wrote {} bytes to {}", bytes.len(), path.display());
+
+    // 3. Reload (what the PPI server does at boot) and verify.
+    let served = decode(&std::fs::read(&path)?)?;
+    assert_eq!(served, built.index, "persisted index must round-trip");
+
+    // 4. Answer queries: owners from argv, or a default sample.
+    let owners: Vec<OwnerId> = {
+        let args: Vec<u32> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![OwnerId(0), OwnerId(123), OwnerId(499)]
+        } else {
+            args.into_iter().map(OwnerId).collect()
+        }
+    };
+    for owner in owners {
+        if owner.index() >= served.matrix().owners() {
+            println!("QueryPPI({owner}): unknown owner");
+            continue;
+        }
+        let answer = served.query(owner);
+        println!(
+            "QueryPPI({owner}): {} candidate providers (ε = {:.2}, true = {})",
+            answer.len(),
+            epsilons[owner.index()].value(),
+            matrix.frequency(owner),
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # eppi — personalized privacy-preserving index for information networks
+//!
+//! A from-scratch Rust reproduction of *"ε-PPI: Locator Service in
+//! Information Networks with Personalized Privacy Preservation"*
+//! (Tang, Liu, Iyengar, Lee, Zhang — ICDCS 2014).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the ε-PPI computation model: β policies, identity
+//!   mixing, randomized publication, privacy metrics.
+//! * [`mpc`] — secure-computation substrate: additive secret sharing,
+//!   Boolean circuits, a GMW-style MPC engine (the FairplayMP stand-in).
+//! * [`net`] — simulated and threaded provider-network runtimes.
+//! * [`protocol`] — the trusted-party-free two-phase construction
+//!   protocol (SecSumShare + CountBelow) and the pure-MPC baseline.
+//! * [`index`] — the locator service: `QueryPPI` + `AuthSearch`.
+//! * [`baselines`] — grouping PPI and SS-PPI comparators.
+//! * [`attacks`] — the primary and common-identity attacks and privacy
+//!   evaluation.
+//! * [`workload`] — synthetic information-network workloads.
+//!
+//! See `examples/quickstart.rs` for a guided tour, and the `eppi-bench`
+//! crate for the binaries that regenerate every table and figure of the
+//! paper.
+//!
+//! ```
+//! use eppi::core::construct::{construct, ConstructionConfig};
+//! use eppi::core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+//! use rand::SeedableRng;
+//!
+//! let mut m = MembershipMatrix::new(100, 1);
+//! m.set(ProviderId(7), OwnerId(0), true);
+//! let eps = vec![Epsilon::new(0.9)?];
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let built = construct(&m, &eps, ConstructionConfig::default(), &mut rng)?;
+//! // The one true provider hides among at least nine false positives.
+//! assert!(built.index.query(OwnerId(0)).len() >= 10);
+//! # Ok::<(), eppi::core::error::EppiError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use eppi_attacks as attacks;
+pub use eppi_baselines as baselines;
+pub use eppi_core as core;
+pub use eppi_index as index;
+pub use eppi_mpc as mpc;
+pub use eppi_net as net;
+pub use eppi_protocol as protocol;
+pub use eppi_workload as workload;

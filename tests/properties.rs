@@ -1,0 +1,190 @@
+//! Property-based tests of the workspace invariants (proptest).
+
+use eppi::core::construct::{construct, ConstructionConfig};
+use eppi::core::mixing::lambda_for;
+use eppi::core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi::core::policy::{BasicPolicy, BetaPolicy, ChernoffPolicy, IncrementedPolicy, PolicyKind};
+use eppi::core::privacy::owner_privacy;
+use eppi::core::publish::publish_matrix;
+use eppi::mpc::builder::{to_bits, word_value, CircuitBuilder};
+use eppi::mpc::field::Modulus;
+use eppi::mpc::share::{add_shares, recombine, split};
+use eppi::workload::zipf::Zipf;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Theorem 4.1 recoverability: any (value, c, q) roundtrips.
+    #[test]
+    fn share_split_recombine_roundtrip(
+        value in 0u64..1_000_000,
+        c in 1usize..10,
+        qbits in 1u32..40,
+        seed in any::<u64>(),
+    ) {
+        let q = Modulus::pow2(qbits);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = split(value, c, q, &mut rng);
+        prop_assert_eq!(recombine(&shares), value % q.value());
+    }
+
+    /// Additive homomorphism of the sharing scheme.
+    #[test]
+    fn share_addition_is_homomorphic(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        c in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let q = Modulus::pow2(24);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sa = split(a, c, q, &mut rng);
+        let sb = split(b, c, q, &mut rng);
+        prop_assert_eq!(recombine(&add_shares(&sa, &sb)), (a + b) % q.value());
+    }
+
+    /// The circuit adder implements u64 addition modulo 2^w.
+    #[test]
+    fn circuit_adder_matches_u64(a in any::<u16>(), b in any::<u16>()) {
+        let mut cb = CircuitBuilder::new();
+        let wa = cb.input_word(16);
+        let wb = cb.input_word(16);
+        let sum = cb.add_words(&wa, &wb);
+        let exact = cb.add_words_expand(&wa, &wb);
+        let mut outs = sum.bits().to_vec();
+        outs.extend_from_slice(exact.bits());
+        let circ = cb.finish(outs);
+        let mut inputs = to_bits(a as u64, 16);
+        inputs.extend(to_bits(b as u64, 16));
+        let out = circ.eval(&inputs);
+        prop_assert_eq!(word_value(&out[..16]), (a as u64 + b as u64) & 0xffff);
+        prop_assert_eq!(word_value(&out[16..]), a as u64 + b as u64);
+    }
+
+    /// The circuit comparator implements u64 ordering.
+    #[test]
+    fn circuit_comparator_matches_u64(a in any::<u16>(), b in any::<u16>()) {
+        let mut cb = CircuitBuilder::new();
+        let wa = cb.input_word(16);
+        let wb = cb.input_word(16);
+        let lt = cb.lt_words(&wa, &wb);
+        let ge = cb.ge_words(&wa, &wb);
+        let eq = cb.eq_words(&wa, &wb);
+        let circ = cb.finish(vec![lt, ge, eq]);
+        let mut inputs = to_bits(a as u64, 16);
+        inputs.extend(to_bits(b as u64, 16));
+        let out = circ.eval(&inputs);
+        prop_assert_eq!(out, vec![a < b, a >= b, a == b]);
+    }
+
+    /// β policies are clamped into [0, 1] and ordered:
+    /// basic ≤ incremented and basic ≤ chernoff.
+    #[test]
+    fn beta_policy_ordering(
+        sigma in 0.0f64..1.0,
+        e in 0.0f64..1.0,
+        m in 10usize..10_000,
+    ) {
+        let eps = Epsilon::saturating(e);
+        let basic = BasicPolicy.beta(sigma, eps, m);
+        let inc = IncrementedPolicy::new(0.02).unwrap().beta(sigma, eps, m);
+        let chern = ChernoffPolicy::new(0.9).unwrap().beta(sigma, eps, m);
+        prop_assert!((0.0..=1.0).contains(&basic));
+        prop_assert!((0.0..=1.0).contains(&inc));
+        prop_assert!((0.0..=1.0).contains(&chern));
+        prop_assert!(basic <= inc + 1e-12);
+        if sigma > 0.0 && e > 0.0 {
+            prop_assert!(basic <= chern + 1e-12);
+        }
+    }
+
+    /// Randomized publication never loses a true positive (100% recall,
+    /// Eq. 2's truthful rule), for any β vector.
+    #[test]
+    fn publication_preserves_recall(
+        seed in any::<u64>(),
+        providers in 1usize..40,
+        owners in 1usize..10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut matrix = MembershipMatrix::new(providers, owners);
+        for p in 0..providers {
+            for j in 0..owners {
+                if (p * 31 + j * 7 + seed as usize).is_multiple_of(3) {
+                    matrix.set(ProviderId(p as u32), OwnerId(j as u32), true);
+                }
+            }
+        }
+        let betas: Vec<f64> = (0..owners).map(|j| j as f64 / owners as f64).collect();
+        let published = publish_matrix(&matrix, &betas, &mut rng);
+        for p in matrix.provider_ids() {
+            for o in matrix.owner_ids() {
+                if matrix.get(p, o) {
+                    prop_assert!(published.matrix().get(p, o));
+                }
+            }
+        }
+    }
+
+    /// λ of Eq. 7 is a probability and grows with both ξ and the common
+    /// count.
+    #[test]
+    fn lambda_is_probability_and_monotone(
+        commons in 0usize..50,
+        extra in 1usize..1000,
+        xi in 0.0f64..1.0,
+    ) {
+        let n = commons + extra;
+        let l = lambda_for(commons, n, xi);
+        prop_assert!((0.0..=1.0).contains(&l));
+        let l_more_commons = lambda_for((commons + 1).min(n), n, xi);
+        prop_assert!(l_more_commons + 1e-12 >= l);
+        let l_more_xi = lambda_for(commons, n, (xi + 0.1).min(1.0));
+        prop_assert!(l_more_xi + 1e-12 >= l);
+    }
+
+    /// Zipf pmf is a distribution for arbitrary parameters.
+    #[test]
+    fn zipf_pmf_is_distribution(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Construction accepts any consistent input and yields one β per
+    /// owner, each in [0, 1].
+    #[test]
+    fn construction_yields_valid_betas(
+        seed in any::<u64>(),
+        providers in 2usize..60,
+        owners in 1usize..8,
+        e in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut matrix = MembershipMatrix::new(providers, owners);
+        for p in 0..providers {
+            for j in 0..owners {
+                if (p + j * 3) % 4 == 0 {
+                    matrix.set(ProviderId(p as u32), OwnerId(j as u32), true);
+                }
+            }
+        }
+        let epsilons = vec![Epsilon::saturating(e); owners];
+        let built = construct(
+            &matrix,
+            &epsilons,
+            ConstructionConfig { policy: PolicyKind::Basic, mixing: true },
+            &mut rng,
+        ).unwrap();
+        prop_assert_eq!(built.index.betas().len(), owners);
+        for &b in built.index.betas() {
+            prop_assert!((0.0..=1.0).contains(&b));
+        }
+        // Published frequency never drops below the true frequency.
+        for o in matrix.owner_ids() {
+            let m = owner_privacy(&matrix, &built.index, o);
+            prop_assert!(m.published_frequency >= m.true_frequency);
+        }
+    }
+}
