@@ -250,9 +250,8 @@ mod tests {
         let coalition = Coalition::new([ProviderId(1), ProviderId(2)]);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
-            let claim =
-                attack_with_collusion(&truth, &published, &coalition, OwnerId(0), &mut rng)
-                    .unwrap();
+            let claim = attack_with_collusion(&truth, &published, &coalition, OwnerId(0), &mut rng)
+                .unwrap();
             assert!(!coalition.contains(claim.provider));
         }
     }
@@ -268,7 +267,10 @@ mod tests {
             small <= mid + 0.05 && mid <= large + 0.05,
             "collusion must not reduce confidence: {small} / {mid} / {large}"
         );
-        assert!(large > small, "a 4-of-6 coalition must help: {small} vs {large}");
+        assert!(
+            large > small,
+            "a 4-of-6 coalition must help: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub fn attack(
     flag_fraction: f64,
     common_fraction: f64,
 ) -> CommonAttackOutcome {
-    assert!((0.0..=1.0).contains(&flag_fraction), "flag_fraction in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&flag_fraction),
+        "flag_fraction in [0, 1]"
+    );
     assert!(
         (0.0..=1.0).contains(&common_fraction),
         "common_fraction in [0, 1]"
@@ -113,7 +116,10 @@ mod tests {
         for p in 0..10u32 {
             pubm.set(ProviderId(p), OwnerId(2), true); // decoy at full freq
         }
-        (truth.clone(), PublishedIndex::new(pubm, vec![1.0, 0.0, 1.0]))
+        (
+            truth.clone(),
+            PublishedIndex::new(pubm, vec![1.0, 0.0, 1.0]),
+        )
     }
 
     #[test]
@@ -154,6 +160,12 @@ mod tests {
     #[should_panic(expected = "one frequency per owner")]
     fn leak_length_validated() {
         let (truth, published) = setup();
-        attack(&truth, &published, FrequencyKnowledge::Leaked(&[1]), 0.9, 0.9);
+        attack(
+            &truth,
+            &published,
+            FrequencyKnowledge::Leaked(&[1]),
+            0.9,
+            0.9,
+        );
     }
 }

@@ -101,7 +101,13 @@ pub fn evaluate(
         Some(f) => FrequencyKnowledge::Leaked(f),
         None => FrequencyKnowledge::Published,
     };
-    let common = attack(truth, published, knowledge, common_fraction, common_fraction);
+    let common = attack(
+        truth,
+        published,
+        knowledge,
+        common_fraction,
+        common_fraction,
+    );
     // The attacker's confidence against the common-identity channel is
     // their flagging precision; bound it by the max ε of the truly
     // common identities (the ξ the mixing policy targets).

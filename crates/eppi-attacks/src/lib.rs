@@ -22,8 +22,12 @@ pub mod evaluate;
 pub mod primary;
 pub mod refresh;
 
-pub use collusion::{attack_with_collusion, collusion_view, mean_effective_confidence, Coalition, CollusionView};
-pub use common_identity::{attack as common_identity_attack, CommonAttackOutcome, FrequencyKnowledge};
+pub use collusion::{
+    attack_with_collusion, collusion_view, mean_effective_confidence, Coalition, CollusionView,
+};
+pub use common_identity::{
+    attack as common_identity_attack, CommonAttackOutcome, FrequencyKnowledge,
+};
 pub use evaluate::{evaluate, AttackEvaluation};
 pub use primary::{attack_owner, empirical_confidence, expected_confidence, PrimaryClaim};
 pub use refresh::IndexArchive;

@@ -62,11 +62,7 @@ impl IndexArchive {
     /// The intersection attacker's confidence against `owner`: the
     /// true-positive fraction of the intersected candidate set (`None`
     /// if the set is empty).
-    pub fn intersection_confidence(
-        &self,
-        truth: &MembershipMatrix,
-        owner: OwnerId,
-    ) -> Option<f64> {
+    pub fn intersection_confidence(&self, truth: &MembershipMatrix, owner: OwnerId) -> Option<f64> {
         let candidates = self.intersection(owner);
         if candidates.is_empty() {
             return None;
@@ -109,7 +105,10 @@ mod tests {
         }
         // Confidence is (weakly) monotone and ends at certainty.
         for w in confidences.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "confidence must not drop: {confidences:?}");
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "confidence must not drop: {confidences:?}"
+            );
         }
         assert!(
             *confidences.last().unwrap() > 0.95,
@@ -128,8 +127,8 @@ mod tests {
     fn static_index_gains_attacker_nothing() {
         let (truth, eps) = network();
         let mut rng = StdRng::seed_from_u64(7);
-        let built = construct(&truth, &eps, ConstructionConfig::default(), &mut rng)
-            .expect("construction");
+        let built =
+            construct(&truth, &eps, ConstructionConfig::default(), &mut rng).expect("construction");
         let single = built.index.query(OwnerId(0));
         let mut archive = IndexArchive::new();
         for _ in 0..6 {

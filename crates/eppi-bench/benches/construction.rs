@@ -15,7 +15,11 @@ fn network(m: usize, n: usize) -> (MembershipMatrix, Vec<Epsilon>) {
     let mut matrix = MembershipMatrix::new(m, n);
     for j in 0..n {
         for k in 0..(m / 20).max(1) {
-            matrix.set(ProviderId(((j * 31 + k * 7) % m) as u32), OwnerId(j as u32), true);
+            matrix.set(
+                ProviderId(((j * 31 + k * 7) % m) as u32),
+                OwnerId(j as u32),
+                true,
+            );
         }
     }
     (matrix, vec![Epsilon::saturating(0.5); n])

@@ -31,7 +31,10 @@ fn bench_query_path(c: &mut Criterion) {
                     store.delegate(owner, epsilons[owner.index()], "payload");
                 }
             }
-            ProviderEndpoint { store, policy: AccessPolicy::Open }
+            ProviderEndpoint {
+                store,
+                policy: AccessPolicy::Open,
+            }
         })
         .collect();
     let service = LocatorService::new(PpiServer::new(built.index.clone()), endpoints);

@@ -11,7 +11,10 @@ fn main() {
             }
         };
     }
-    println!("{}", eppi_bench::table2::table2(&cfg!(table2, Table2Config)));
+    println!(
+        "{}",
+        eppi_bench::table2::table2(&cfg!(table2, Table2Config))
+    );
     let f4 = cfg!(fig4, Fig4Config);
     println!("{}", eppi_bench::fig4::fig4a(&f4));
     println!("{}", eppi_bench::fig4::fig4b(&f4));
@@ -23,8 +26,20 @@ fn main() {
     println!("{}", eppi_bench::fig6::fig6a_simulated(&f6));
     println!("{}", eppi_bench::fig6::fig6b(&f6));
     println!("{}", eppi_bench::fig6::fig6c(&f6));
-    println!("{}", eppi_bench::search_cost::search_cost(&cfg!(search_cost, SearchCostConfig)));
-    println!("{}", eppi_bench::ablation::ablation_c(&cfg!(ablation, AblationConfig)));
-    println!("{}", eppi_bench::collusion::collusion(&cfg!(collusion, CollusionConfig)));
-    println!("{}", eppi_bench::theory::theory_check(&cfg!(theory, TheoryConfig)));
+    println!(
+        "{}",
+        eppi_bench::search_cost::search_cost(&cfg!(search_cost, SearchCostConfig))
+    );
+    println!(
+        "{}",
+        eppi_bench::ablation::ablation_c(&cfg!(ablation, AblationConfig))
+    );
+    println!(
+        "{}",
+        eppi_bench::collusion::collusion(&cfg!(collusion, CollusionConfig))
+    );
+    println!(
+        "{}",
+        eppi_bench::theory::theory_check(&cfg!(theory, TheoryConfig))
+    );
 }

@@ -1,0 +1,24 @@
+//! Load-tests the eppi-serve front-end (closed-loop, batched, and
+//! open-loop passes) and writes `results/BENCH_serve.json`.
+use eppi_bench::serve::{run, to_json, to_table, ServeLoadConfig};
+use eppi_bench::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let (config, scale) = match Scale::from_env() {
+        Scale::Quick => (ServeLoadConfig::quick(), "quick"),
+        Scale::Paper => (ServeLoadConfig::paper(), "paper"),
+    };
+    let report = run(&config);
+    eppi_bench::print_table(&to_table(&report));
+
+    let out: PathBuf = std::env::var_os("EPPI_SERVE_OUT")
+        .map_or_else(|| PathBuf::from("results/BENCH_serve.json"), PathBuf::from);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out, to_json(&report, scale)).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", out.display());
+}

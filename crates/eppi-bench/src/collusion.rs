@@ -83,7 +83,10 @@ pub fn collusion(cfg: &CollusionConfig) -> Table {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (e * 100.0) as u64);
             let matrix = pinned_cohorts(
                 cfg.providers,
-                &[Cohort { owners: cfg.cohort, frequency: cfg.frequency }],
+                &[Cohort {
+                    owners: cfg.cohort,
+                    frequency: cfg.frequency,
+                }],
                 &mut rng,
             );
             let epsilons = fixed_epsilons(cfg.cohort, Epsilon::saturating(e));
@@ -121,7 +124,10 @@ mod tests {
         // Column 1 = ε-PPI(0.5): starts ≈ 0.5, grows with coalition size.
         let start: f64 = t.rows[0][1].parse().unwrap();
         let end: f64 = t.rows.last().unwrap()[1].parse().unwrap();
-        assert!(start <= 0.62, "no-collusion confidence {start} must be ≈ 1 − ε");
+        assert!(
+            start <= 0.62,
+            "no-collusion confidence {start} must be ≈ 1 − ε"
+        );
         assert!(end > start, "collusion must erode privacy: {start} → {end}");
         // Higher ε always starts lower.
         let start_hi: f64 = t.rows[0][2].parse().unwrap();

@@ -13,11 +13,11 @@
 //! sample spaces) and collapses toward 0 as ε grows.
 
 use crate::report::{f3, Table};
+use eppi_baselines::grouping::GroupingPpi;
 use eppi_core::construct::{construct, ConstructionConfig};
 use eppi_core::model::{Epsilon, MembershipMatrix};
 use eppi_core::policy::PolicyKind;
 use eppi_core::privacy::success_ratio;
-use eppi_baselines::grouping::GroupingPpi;
 use eppi_workload::collections::{fixed_epsilons, pinned_cohorts, Cohort};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,7 +95,10 @@ fn measure_point(
         let c = construct(
             matrix,
             epsilons,
-            ConstructionConfig { policy, mixing: true },
+            ConstructionConfig {
+                policy,
+                mixing: true,
+            },
             &mut rng,
         )
         .expect("valid construction");
@@ -139,11 +142,17 @@ pub fn fig4a(cfg: &Fig4Config) -> Table {
             let mut rng = StdRng::seed_from_u64(seed);
             let matrix = pinned_cohorts(
                 cfg.providers,
-                &[Cohort { owners: cfg.cohort, frequency: freq }],
+                &[Cohort {
+                    owners: cfg.cohort,
+                    frequency: freq,
+                }],
                 &mut rng,
             );
             let epsilons = fixed_epsilons(cfg.cohort, eps);
-            for (acc, v) in sums.iter_mut().zip(measure_point(&matrix, &epsilons, cfg, seed)) {
+            for (acc, v) in sums
+                .iter_mut()
+                .zip(measure_point(&matrix, &epsilons, cfg, seed))
+            {
                 *acc += v;
             }
         }
@@ -171,11 +180,17 @@ pub fn fig4b(cfg: &Fig4Config) -> Table {
             let mut rng = StdRng::seed_from_u64(seed);
             let matrix = pinned_cohorts(
                 cfg.providers,
-                &[Cohort { owners: cfg.cohort, frequency: cfg.frequency_for_4b }],
+                &[Cohort {
+                    owners: cfg.cohort,
+                    frequency: cfg.frequency_for_4b,
+                }],
                 &mut rng,
             );
             let epsilons = fixed_epsilons(cfg.cohort, eps);
-            for (acc, v) in sums.iter_mut().zip(measure_point(&matrix, &epsilons, cfg, seed)) {
+            for (acc, v) in sums
+                .iter_mut()
+                .zip(measure_point(&matrix, &epsilons, cfg, seed))
+            {
                 *acc += v;
             }
         }

@@ -88,12 +88,7 @@ impl Fig5Config {
     }
 }
 
-fn measure(
-    providers: usize,
-    frequency: usize,
-    cfg: &Fig5Config,
-    seed: u64,
-) -> [f64; 3] {
+fn measure(providers: usize, frequency: usize, cfg: &Fig5Config, seed: u64) -> [f64; 3] {
     let eps = Epsilon::saturating(cfg.epsilon);
     let mut out = [0.0f64; 3];
     for s in 0..cfg.samples {
@@ -101,7 +96,10 @@ fn measure(
         let mut rng = StdRng::seed_from_u64(seed);
         let matrix = pinned_cohorts(
             providers,
-            &[Cohort { owners: cfg.cohort, frequency }],
+            &[Cohort {
+                owners: cfg.cohort,
+                frequency,
+            }],
             &mut rng,
         );
         let epsilons = fixed_epsilons(cfg.cohort, eps);
@@ -110,7 +108,10 @@ fn measure(
             let c = construct(
                 &matrix,
                 &epsilons,
-                ConstructionConfig { policy, mixing: true },
+                ConstructionConfig {
+                    policy,
+                    mixing: true,
+                },
                 &mut rng,
             )
             .expect("valid construction");

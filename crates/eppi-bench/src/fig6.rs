@@ -20,10 +20,12 @@
 use crate::report::{ms, Table};
 use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
 use eppi_core::policy::PolicyKind;
+use eppi_mpc::circuits::{
+    CountBelowCircuit, FixedPoint, MixDecisionCircuit, NaiveConstructionCircuit,
+};
 use eppi_protocol::construct::{construct_distributed, frequency_thresholds, ProtocolConfig};
 use eppi_protocol::countbelow::Backend;
 use eppi_protocol::pure_mpc::{construct_pure_mpc, PureMpcConfig};
-use eppi_mpc::circuits::{CountBelowCircuit, FixedPoint, MixDecisionCircuit, NaiveConstructionCircuit};
 use std::time::Instant;
 
 /// Configuration of the Fig. 6 experiments.
@@ -94,7 +96,10 @@ fn network(m: usize, n: usize) -> MembershipMatrix {
 /// Runs Fig. 6a: execution time vs number of parties, single identity.
 pub fn fig6a(cfg: &Fig6Config) -> Table {
     let mut table = Table::new(
-        format!("Fig. 6a — execution time (ms) vs parties, 1 identity, c={}", cfg.c),
+        format!(
+            "Fig. 6a — execution time (ms) vs parties, 1 identity, c={}",
+            cfg.c
+        ),
         vec!["parties".into(), "e-PPI".into(), "Pure-MPC".into()],
     );
     for &m in &cfg.party_counts {
@@ -207,7 +212,10 @@ pub fn fig6a_simulated(cfg: &Fig6Config) -> Table {
 /// scale to 61 parties).
 pub fn fig6b(cfg: &Fig6Config) -> Table {
     let mut table = Table::new(
-        format!("Fig. 6b — circuit size (gates) vs parties, 1 identity, c={}", cfg.c),
+        format!(
+            "Fig. 6b — circuit size (gates) vs parties, 1 identity, c={}",
+            cfg.c
+        ),
         vec!["parties".into(), "e-PPI".into(), "Pure-MPC".into()],
     );
     let eps = vec![Epsilon::saturating(cfg.epsilon)];
@@ -217,14 +225,17 @@ pub fn fig6b(cfg: &Fig6Config) -> Table {
         // ε-PPI's MPC is always among c coordinators regardless of m.
         let count = CountBelowCircuit::build(cfg.c, &thresholds, width);
         let mix = MixDecisionCircuit::build(cfg.c, &thresholds, width, cfg.coin_bits, 0);
-        let eppi_size =
-            count.circuit().stats().total_gates + mix.circuit().stats().total_gates;
+        let eppi_size = count.circuit().stats().total_gates + mix.circuit().stats().total_gates;
         let fp = FixedPoint { frac_bits: 8 };
         let a_fp = fp.encode(1.0 / cfg.epsilon - 1.0);
         let l_fp = fp.encode((1.0f64 / (1.0 - 0.9)).ln());
         let pure = NaiveConstructionCircuit::build(m, &[a_fp], l_fp, fp, cfg.coin_bits, 0);
         let pure_size = pure.circuit().stats().total_gates;
-        table.push_row(vec![m.to_string(), eppi_size.to_string(), pure_size.to_string()]);
+        table.push_row(vec![
+            m.to_string(),
+            eppi_size.to_string(),
+            pure_size.to_string(),
+        ]);
     }
     table
 }
@@ -233,7 +244,10 @@ pub fn fig6b(cfg: &Fig6Config) -> Table {
 /// network.
 pub fn fig6c(cfg: &Fig6Config) -> Table {
     let mut table = Table::new(
-        format!("Fig. 6c — execution time (ms) vs identities, {} parties", cfg.c),
+        format!(
+            "Fig. 6c — execution time (ms) vs identities, {} parties",
+            cfg.c
+        ),
         vec!["identities".into(), "e-PPI".into(), "Pure-MPC".into()],
     );
     for &n in &cfg.identity_counts {

@@ -17,6 +17,7 @@
 //! | `ablation_c` | collusion-tolerance trade-off |
 //! | `collusion` | coalition-assisted attack sweep (tech-report analysis) |
 //! | `theory_check` | measured vs exact-Binomial vs Theorem 3.1 bound |
+//! | `serve_load` | eppi-serve front-end throughput/latency (`results/BENCH_serve.json`) |
 //! | `all_experiments` | everything above, in order |
 
 #![warn(missing_docs)]
@@ -29,6 +30,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod report;
 pub mod search_cost;
+pub mod serve;
 pub mod table2;
 pub mod theory;
 

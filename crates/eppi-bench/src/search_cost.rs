@@ -92,7 +92,10 @@ pub fn search_cost(cfg: &SearchCostConfig) -> Table {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (e * 100.0) as u64);
         let matrix = pinned_cohorts(
             cfg.providers,
-            &[Cohort { owners: cfg.cohort, frequency: cfg.frequency }],
+            &[Cohort {
+                owners: cfg.cohort,
+                frequency: cfg.frequency,
+            }],
             &mut rng,
         );
         let epsilons = fixed_epsilons(cfg.cohort, eps);
@@ -102,7 +105,10 @@ pub fn search_cost(cfg: &SearchCostConfig) -> Table {
             let c = construct(
                 &matrix,
                 &epsilons,
-                ConstructionConfig { policy, mixing: true },
+                ConstructionConfig {
+                    policy,
+                    mixing: true,
+                },
                 &mut rng,
             )
             .expect("valid construction");
@@ -140,7 +146,10 @@ mod tests {
         let first_chernoff: f64 = t.rows[0][3].parse().unwrap();
         let last_chernoff: f64 = t.rows.last().unwrap()[3].parse().unwrap();
         assert!(last_chernoff > first_chernoff, "higher ε must cost more");
-        assert!(last_chernoff <= cfg.providers as f64, "cannot exceed broadcast");
+        assert!(
+            last_chernoff <= cfg.providers as f64,
+            "cannot exceed broadcast"
+        );
         // Every answer contains at least the true positives.
         assert!(first_chernoff >= cfg.frequency as f64);
         // Grouping's cost is flat across ε (it cannot be tuned per

@@ -1,0 +1,411 @@
+//! Load-test harness for the `eppi-serve` front-end.
+//!
+//! Drives a [`ServeEngine`] with Zipf-skewed `QueryPPI` traffic (the
+//! same popularity model as the workload crate's query streams) in two
+//! standard modes:
+//!
+//! * **closed loop** — each client thread issues its next query the
+//!   moment the previous one completes; measures peak sustainable
+//!   throughput and in-service latency.
+//! * **open loop** — arrivals are scheduled at a fixed target rate
+//!   regardless of completions; latency is measured from the *scheduled*
+//!   arrival, so queueing delay under overload is visible (closed-loop
+//!   numbers hide it — coordinated omission).
+//!
+//! Results go to stdout as a table and to `results/BENCH_serve.json`
+//! (override with `EPPI_SERVE_OUT`) with machine info, configuration,
+//! throughput, and p50/p95/p99 latencies.
+
+use crate::report::Table;
+use eppi_core::model::{MembershipMatrix, PublishedIndex};
+use eppi_serve::{ServeConfig, ServeEngine};
+use eppi_workload::presets::Preset;
+use eppi_workload::queries::QueryWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Configuration of one serve load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLoadConfig {
+    /// Network scale (providers/owners and membership skew).
+    pub preset: Preset,
+    /// Zipf popularity exponent of the query stream.
+    pub skew: f64,
+    /// Engine shards (= worker threads).
+    pub shards: usize,
+    /// Bounded queue depth per shard.
+    pub queue_depth: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Closed-loop queries per client.
+    pub ops_per_client: usize,
+    /// Queries per batched request in the batch pass.
+    pub batch_size: usize,
+    /// Open-loop target rate (total queries/second).
+    pub open_target_qps: f64,
+    /// Open-loop run length.
+    pub open_duration: Duration,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ServeLoadConfig {
+    /// Paper-scale run: the experiments' default network (10,000
+    /// providers, 20,000 owners) under skewed traffic.
+    pub fn paper() -> Self {
+        let shards = std::thread::available_parallelism().map_or(4, |p| p.get());
+        ServeLoadConfig {
+            preset: Preset::Default,
+            skew: 1.0,
+            shards,
+            queue_depth: 1024,
+            clients: 2 * shards,
+            ops_per_client: 20_000,
+            batch_size: 64,
+            open_target_qps: 50_000.0,
+            open_duration: Duration::from_secs(2),
+            seed: 0x5e12e,
+        }
+    }
+
+    /// Scaled-down smoke run for tests and `EPPI_SCALE=quick`.
+    pub fn quick() -> Self {
+        ServeLoadConfig {
+            preset: Preset::Mini,
+            skew: 1.0,
+            shards: 2,
+            queue_depth: 64,
+            clients: 4,
+            ops_per_client: 1_000,
+            batch_size: 16,
+            open_target_qps: 5_000.0,
+            open_duration: Duration::from_millis(200),
+            seed: 0x5e12e,
+        }
+    }
+}
+
+/// Latency percentiles in microseconds, from one run's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes raw nanosecond samples (sorted internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_nanos(mut samples: Vec<u64>) -> Self {
+        assert!(!samples.is_empty(), "no latency samples recorded");
+        samples.sort_unstable();
+        let pick = |q: f64| {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1] as f64 / 1e3
+        };
+        LatencySummary {
+            p50_us: pick(0.50),
+            p95_us: pick(0.95),
+            p99_us: pick(0.99),
+            max_us: *samples.last().unwrap() as f64 / 1e3,
+        }
+    }
+}
+
+/// Throughput + latency of one load pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadResult {
+    /// Pass name (`closed_loop`, `closed_loop_batch`, `open_loop`).
+    pub mode: String,
+    /// Queries completed.
+    pub ops: u64,
+    /// Wall-clock time of the pass.
+    pub elapsed: Duration,
+    /// Completed queries per second.
+    pub qps: f64,
+    /// Latency percentiles.
+    pub latency: LatencySummary,
+}
+
+/// Everything one invocation produces (feeds both table and JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLoadReport {
+    /// The configuration that ran.
+    pub config: ServeLoadConfig,
+    /// Providers in the served index.
+    pub providers: usize,
+    /// Owners in the served index.
+    pub owners: usize,
+    /// One entry per pass.
+    pub passes: Vec<LoadResult>,
+}
+
+fn build_index(config: &ServeLoadConfig) -> PublishedIndex {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let matrix: MembershipMatrix = config.preset.build(&mut rng);
+    let betas = vec![0.1; matrix.owners()];
+    PublishedIndex::new(matrix, betas)
+}
+
+/// Runs all three passes against a freshly built engine.
+pub fn run(config: &ServeLoadConfig) -> ServeLoadReport {
+    let index = build_index(config);
+    let (providers, owners) = (index.matrix().providers(), index.matrix().owners());
+    let engine = ServeEngine::start(
+        &index,
+        ServeConfig {
+            shards: config.shards,
+            queue_depth: config.queue_depth,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xabcd);
+    let workload = QueryWorkload::new(owners, config.skew, &mut rng);
+
+    let passes = vec![
+        closed_loop(&engine, &workload, config, 1),
+        closed_loop(&engine, &workload, config, config.batch_size.max(1)),
+        open_loop(&engine, &workload, config),
+    ];
+    engine.shutdown();
+    ServeLoadReport {
+        config: config.clone(),
+        providers,
+        owners,
+        passes,
+    }
+}
+
+fn closed_loop(
+    engine: &ServeEngine,
+    workload: &QueryWorkload,
+    config: &ServeLoadConfig,
+    batch: usize,
+) -> LoadResult {
+    let started = Instant::now();
+    let lat_per_client: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|t| {
+                let client = engine.client();
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(config.seed + 1 + t as u64);
+                    let mut lat = Vec::with_capacity(config.ops_per_client / batch + 1);
+                    let mut done = 0usize;
+                    while done < config.ops_per_client {
+                        let at = Instant::now();
+                        if batch == 1 {
+                            let _ = client.query(workload.sample(&mut rng));
+                            done += 1;
+                        } else {
+                            let owners = workload.batch(batch, &mut rng);
+                            let _ = client.query_batch(&owners);
+                            done += batch;
+                        }
+                        lat.push(at.elapsed().as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let requests: u64 = lat_per_client.iter().map(|l| l.len() as u64).sum();
+    let ops = requests * batch as u64;
+    LoadResult {
+        mode: if batch == 1 {
+            "closed_loop".into()
+        } else {
+            "closed_loop_batch".into()
+        },
+        ops,
+        elapsed,
+        qps: ops as f64 / elapsed.as_secs_f64(),
+        latency: LatencySummary::from_nanos(lat_per_client.into_iter().flatten().collect()),
+    }
+}
+
+fn open_loop(
+    engine: &ServeEngine,
+    workload: &QueryWorkload,
+    config: &ServeLoadConfig,
+) -> LoadResult {
+    // Each client owns an even slice of the target rate and schedules
+    // its own arrivals; latency runs from the scheduled arrival, so
+    // falling behind schedule (queueing) is charged to the service.
+    let per_client = config.open_target_qps / config.clients.max(1) as f64;
+    let interval = Duration::from_secs_f64(1.0 / per_client.max(1.0));
+    let started = Instant::now();
+    let lat_per_client: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|t| {
+                let client = engine.client();
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(config.seed + 101 + t as u64);
+                    let mut lat = Vec::new();
+                    let mut k = 0u32;
+                    loop {
+                        let scheduled = interval * k;
+                        if scheduled >= config.open_duration {
+                            break;
+                        }
+                        let now = started.elapsed();
+                        if now < scheduled {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let _ = client.query(workload.sample(&mut rng));
+                        let completed = started.elapsed();
+                        lat.push((completed.saturating_sub(scheduled)).as_nanos() as u64);
+                        k += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let ops: u64 = lat_per_client.iter().map(|l| l.len() as u64).sum();
+    LoadResult {
+        mode: "open_loop".into(),
+        ops,
+        elapsed,
+        qps: ops as f64 / elapsed.as_secs_f64(),
+        latency: LatencySummary::from_nanos(lat_per_client.into_iter().flatten().collect()),
+    }
+}
+
+/// Renders the report as the harness's usual aligned table.
+pub fn to_table(report: &ServeLoadReport) -> Table {
+    let mut table = Table::new(
+        format!(
+            "eppi-serve load — {} providers, {} owners, {} shards, {} clients",
+            report.providers, report.owners, report.config.shards, report.config.clients
+        ),
+        ["mode", "ops", "qps", "p50 us", "p95 us", "p99 us", "max us"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for pass in &report.passes {
+        table.push_row(vec![
+            pass.mode.clone(),
+            pass.ops.to_string(),
+            format!("{:.0}", pass.qps),
+            format!("{:.1}", pass.latency.p50_us),
+            format!("{:.1}", pass.latency.p95_us),
+            format!("{:.1}", pass.latency.p99_us),
+            format!("{:.1}", pass.latency.max_us),
+        ]);
+    }
+    table
+}
+
+/// Serializes the report to the `BENCH_serve.json` schema (hand-rolled;
+/// the build environment has no JSON crate).
+pub fn to_json(report: &ServeLoadReport, scale: &str) -> String {
+    let threads = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve_load\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!(
+        "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"hardware_threads\": {threads}}},\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    out.push_str(&format!(
+        "  \"config\": {{\"providers\": {}, \"owners\": {}, \"shards\": {}, \"queue_depth\": {}, \
+         \"clients\": {}, \"zipf_s\": {}, \"batch_size\": {}, \"seed\": {}}},\n",
+        report.providers,
+        report.owners,
+        report.config.shards,
+        report.config.queue_depth,
+        report.config.clients,
+        report.config.skew,
+        report.config.batch_size,
+        report.config.seed
+    ));
+    out.push_str("  \"passes\": [\n");
+    for (i, pass) in report.passes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"ops\": {}, \"elapsed_ms\": {:.2}, \"qps\": {:.1}, \
+             \"latency_us\": {{\"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}, \"max\": {:.2}}}}}{}\n",
+            pass.mode,
+            pass.ops,
+            pass.elapsed.as_secs_f64() * 1e3,
+            pass.qps,
+            pass.latency.p50_us,
+            pass.latency.p95_us,
+            pass.latency.p99_us,
+            pass.latency.max_us,
+            if i + 1 == report.passes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_known_samples() {
+        // 1..=100 µs in nanoseconds.
+        let samples: Vec<u64> = (1..=100u64).map(|v| v * 1_000).collect();
+        let lat = LatencySummary::from_nanos(samples);
+        assert_eq!(lat.p50_us, 50.0);
+        assert_eq!(lat.p95_us, 95.0);
+        assert_eq!(lat.p99_us, 99.0);
+        assert_eq!(lat.max_us, 100.0);
+        let single = LatencySummary::from_nanos(vec![5_000]);
+        assert_eq!(single.p50_us, 5.0);
+        assert_eq!(single.p99_us, 5.0);
+    }
+
+    #[test]
+    fn quick_run_produces_complete_report_and_json() {
+        let mut config = ServeLoadConfig::quick();
+        config.ops_per_client = 200;
+        config.open_duration = Duration::from_millis(50);
+        let report = run(&config);
+        assert_eq!(report.providers, 250);
+        assert_eq!(report.owners, 500);
+        assert_eq!(report.passes.len(), 3);
+        for pass in &report.passes {
+            assert!(pass.ops > 0, "{} did no work", pass.mode);
+            assert!(pass.qps > 0.0);
+            assert!(pass.latency.p50_us <= pass.latency.p99_us);
+        }
+        let json = to_json(&report, "quick");
+        for key in [
+            "\"bench\": \"serve_load\"",
+            "\"machine\"",
+            "\"hardware_threads\"",
+            "\"shards\": 2",
+            "\"qps\"",
+            "\"p50\"",
+            "\"p99\"",
+            "\"closed_loop\"",
+            "\"closed_loop_batch\"",
+            "\"open_loop\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let table = to_table(&report).to_string();
+        assert!(table.contains("closed_loop_batch"));
+    }
+}

@@ -105,7 +105,10 @@ pub fn build_network(cfg: &Table2Config) -> (MembershipMatrix, Vec<Epsilon>) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut matrix = pinned_cohorts(
         cfg.providers,
-        &[Cohort { owners: cfg.regular_owners, frequency: cfg.regular_frequency }],
+        &[Cohort {
+            owners: cfg.regular_owners,
+            frequency: cfg.regular_frequency,
+        }],
         &mut rng,
     );
     // Append the common identities as extra columns.
@@ -148,7 +151,14 @@ pub fn table2(cfg: &Table2Config) -> Table {
     // Grouping PPI [12], [13].
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 1);
     let grouping = GroupingPpi::construct(&matrix, cfg.groups, &mut rng);
-    let ev = evaluate(&matrix, grouping.index(), &epsilons, None, cfg.common_fraction, ALLOWANCE);
+    let ev = evaluate(
+        &matrix,
+        grouping.index(),
+        &epsilons,
+        None,
+        cfg.common_fraction,
+        ALLOWANCE,
+    );
     table.push_row(vec![
         "Grouping PPI".into(),
         degree_name(ev.primary_degree).into(),
@@ -161,7 +171,14 @@ pub fn table2(cfg: &Table2Config) -> Table {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 2);
     let ss = SsPpi::construct(&matrix, cfg.groups, &mut rng);
     let leak = ss.leaked_frequencies().to_vec();
-    let ev = evaluate(&matrix, ss.index(), &epsilons, Some(&leak), cfg.common_fraction, ALLOWANCE);
+    let ev = evaluate(
+        &matrix,
+        ss.index(),
+        &epsilons,
+        Some(&leak),
+        cfg.common_fraction,
+        ALLOWANCE,
+    );
     table.push_row(vec![
         "SS-PPI".into(),
         degree_name(ev.primary_degree).into(),
@@ -175,11 +192,21 @@ pub fn table2(cfg: &Table2Config) -> Table {
     let eppi = construct(
         &matrix,
         &epsilons,
-        ConstructionConfig { policy: PolicyKind::Chernoff { gamma: 0.9 }, mixing: true },
+        ConstructionConfig {
+            policy: PolicyKind::Chernoff { gamma: 0.9 },
+            mixing: true,
+        },
         &mut rng,
     )
     .expect("valid construction");
-    let ev = evaluate(&matrix, &eppi.index, &epsilons, None, cfg.common_fraction, ALLOWANCE);
+    let ev = evaluate(
+        &matrix,
+        &eppi.index,
+        &epsilons,
+        None,
+        cfg.common_fraction,
+        ALLOWANCE,
+    );
     table.push_row(vec![
         "e-PPI".into(),
         degree_name(ev.primary_degree).into(),
@@ -193,11 +220,21 @@ pub fn table2(cfg: &Table2Config) -> Table {
     let nomix = construct(
         &matrix,
         &epsilons,
-        ConstructionConfig { policy: PolicyKind::Chernoff { gamma: 0.9 }, mixing: false },
+        ConstructionConfig {
+            policy: PolicyKind::Chernoff { gamma: 0.9 },
+            mixing: false,
+        },
         &mut rng,
     )
     .expect("valid construction");
-    let ev = evaluate(&matrix, &nomix.index, &epsilons, None, cfg.common_fraction, ALLOWANCE);
+    let ev = evaluate(
+        &matrix,
+        &nomix.index,
+        &epsilons,
+        None,
+        cfg.common_fraction,
+        ALLOWANCE,
+    );
     table.push_row(vec![
         "e-PPI (no mixing)".into(),
         degree_name(ev.primary_degree).into(),

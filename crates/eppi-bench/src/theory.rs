@@ -83,14 +83,20 @@ pub fn theory_check(cfg: &TheoryConfig) -> Table {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (freq as u64) << 8);
             let matrix = pinned_cohorts(
                 cfg.providers,
-                &[Cohort { owners: cfg.cohort, frequency: freq }],
+                &[Cohort {
+                    owners: cfg.cohort,
+                    frequency: freq,
+                }],
                 &mut rng,
             );
             let epsilons = fixed_epsilons(cfg.cohort, eps);
             let built = construct(
                 &matrix,
                 &epsilons,
-                ConstructionConfig { policy, mixing: true },
+                ConstructionConfig {
+                    policy,
+                    mixing: true,
+                },
                 &mut rng,
             )
             .expect("construction");

@@ -95,7 +95,11 @@ pub fn required_false_positives(true_frequency: u64, eps: Epsilon) -> Option<u64
     if e >= 1.0 {
         return None;
     }
-    Some((true_frequency as f64 * e / (1.0 - e) - 1e-9).ceil().max(0.0) as u64)
+    Some(
+        (true_frequency as f64 * e / (1.0 - e) - 1e-9)
+            .ceil()
+            .max(0.0) as u64,
+    )
 }
 
 /// The *exact* success probability `p_p = Pr[fp_j ≥ ε]` of publishing
@@ -169,7 +173,10 @@ mod tests {
             .count();
         let emp = hits as f64 / trials as f64;
         let exact = binomial_tail_ge(n, k, p);
-        assert!((emp - exact).abs() < 0.01, "empirical {emp} vs exact {exact}");
+        assert!(
+            (emp - exact).abs() < 0.01,
+            "empirical {emp} vs exact {exact}"
+        );
     }
 
     #[test]
@@ -178,7 +185,10 @@ mod tests {
         // fp ≥ 0.5 with 10 true positives needs X ≥ 10.
         assert_eq!(required_false_positives(10, e), Some(10));
         // ε = 0.8: X ≥ 4·f.
-        assert_eq!(required_false_positives(5, Epsilon::saturating(0.8)), Some(20));
+        assert_eq!(
+            required_false_positives(5, Epsilon::saturating(0.8)),
+            Some(20)
+        );
         assert_eq!(required_false_positives(0, e), Some(0));
         assert_eq!(required_false_positives(3, Epsilon::ZERO), Some(0));
         assert_eq!(required_false_positives(3, Epsilon::ONE), None);

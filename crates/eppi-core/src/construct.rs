@@ -406,9 +406,14 @@ mod tests {
             grown.set(ProviderId(p * 3), OwnerId(1), true);
         }
         let e2 = vec![eps(0.5), eps(0.7)];
-        let extended =
-            extend_construction(&first.index, &grown, &e2, ConstructionConfig::default(), &mut rng)
-                .unwrap();
+        let extended = extend_construction(
+            &first.index,
+            &grown,
+            &e2,
+            ConstructionConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let p = crate::privacy::owner_privacy(&grown, &extended, OwnerId(1));
         assert!(p.satisfies(e2[1]) || p.false_positive_rate.unwrap_or(0.0) > 0.6);
     }

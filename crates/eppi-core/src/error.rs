@@ -43,15 +43,35 @@ impl fmt::Display for EppiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EppiError::InvalidEpsilon(v) => {
-                write!(f, "privacy degree must be a finite value in [0, 1], got {v}")
+                write!(
+                    f,
+                    "privacy degree must be a finite value in [0, 1], got {v}"
+                )
             }
-            EppiError::InvalidPolicyParameter { name, value, expected } => {
-                write!(f, "policy parameter `{name}` must be in {expected}, got {value}")
+            EppiError::InvalidPolicyParameter {
+                name,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "policy parameter `{name}` must be in {expected}, got {value}"
+                )
             }
-            EppiError::DimensionMismatch { what, expected, actual } => {
-                write!(f, "dimension mismatch for {what}: expected {expected}, got {actual}")
+            EppiError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch for {what}: expected {expected}, got {actual}"
+                )
             }
-            EppiError::NetworkTooSmall { providers, required } => {
+            EppiError::NetworkTooSmall {
+                providers,
+                required,
+            } => {
                 write!(f, "network has {providers} providers but the operation requires at least {required}")
             }
         }
@@ -68,11 +88,22 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = EppiError::InvalidEpsilon(1.5);
         assert!(e.to_string().contains("1.5"));
-        let e = EppiError::InvalidPolicyParameter { name: "gamma", value: 0.2, expected: "(0.5, 1)" };
+        let e = EppiError::InvalidPolicyParameter {
+            name: "gamma",
+            value: 0.2,
+            expected: "(0.5, 1)",
+        };
         assert!(e.to_string().contains("gamma"));
-        let e = EppiError::DimensionMismatch { what: "epsilons", expected: 4, actual: 2 };
+        let e = EppiError::DimensionMismatch {
+            what: "epsilons",
+            expected: 4,
+            actual: 2,
+        };
         assert!(e.to_string().contains("expected 4"));
-        let e = EppiError::NetworkTooSmall { providers: 2, required: 3 };
+        let e = EppiError::NetworkTooSmall {
+            providers: 2,
+            required: 3,
+        };
         assert!(e.to_string().contains("at least 3"));
     }
 

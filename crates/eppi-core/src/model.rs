@@ -197,7 +197,11 @@ impl MembershipMatrix {
     fn locate(&self, provider: ProviderId, owner: OwnerId) -> (usize, u64) {
         let p = provider.index();
         let o = owner.index();
-        assert!(p < self.providers, "provider {p} out of range {}", self.providers);
+        assert!(
+            p < self.providers,
+            "provider {p} out of range {}",
+            self.providers
+        );
         assert!(o < self.owners, "owner {o} out of range {}", self.owners);
         let block = p * self.blocks_per_row + o / BLOCK_BITS;
         let mask = 1u64 << (o % BLOCK_BITS);
@@ -288,11 +292,33 @@ impl MembershipMatrix {
             .collect()
     }
 
+    /// Returns one provider's row as raw 64-bit blocks (LSB-first owner
+    /// order, possibly with unused high bits in the last block). This is
+    /// the zero-copy view used by cache-friendly consumers such as the
+    /// serving layer's shard transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `provider` is out of range.
+    pub fn row_words(&self, provider: ProviderId) -> &[u64] {
+        let p = provider.index();
+        assert!(
+            p < self.providers,
+            "provider {p} out of range {}",
+            self.providers
+        );
+        &self.bits[p * self.blocks_per_row..(p + 1) * self.blocks_per_row]
+    }
+
     /// Returns one provider's membership vector `M_i(·)` as a Boolean vec
     /// over owners.
     pub fn row(&self, provider: ProviderId) -> LocalVector {
         let p = provider.index();
-        assert!(p < self.providers, "provider {p} out of range {}", self.providers);
+        assert!(
+            p < self.providers,
+            "provider {p} out of range {}",
+            self.providers
+        );
         let row = &self.bits[p * self.blocks_per_row..(p + 1) * self.blocks_per_row];
         LocalVector {
             provider,
@@ -310,7 +336,11 @@ impl MembershipMatrix {
     pub fn set_row(&mut self, vector: &LocalVector) {
         assert_eq!(vector.owners, self.owners, "owner count mismatch");
         let p = vector.provider.index();
-        assert!(p < self.providers, "provider {p} out of range {}", self.providers);
+        assert!(
+            p < self.providers,
+            "provider {p} out of range {}",
+            self.providers
+        );
         let dst = &mut self.bits[p * self.blocks_per_row..(p + 1) * self.blocks_per_row];
         dst.copy_from_slice(&vector.bits);
     }
@@ -507,7 +537,9 @@ mod tests {
         let mut state = 0x9e3779b97f4a7c15u64;
         for p in 0..7u32 {
             for o in 0..200u32 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if state >> 62 == 0 {
                     m.set(ProviderId(p), OwnerId(o), true);
                 }
@@ -524,7 +556,10 @@ mod tests {
         let mut m = MembershipMatrix::new(6, 2);
         m.set(ProviderId(1), OwnerId(0), true);
         m.set(ProviderId(5), OwnerId(0), true);
-        assert_eq!(m.providers_of(OwnerId(0)), vec![ProviderId(1), ProviderId(5)]);
+        assert_eq!(
+            m.providers_of(OwnerId(0)),
+            vec![ProviderId(1), ProviderId(5)]
+        );
         assert!(m.providers_of(OwnerId(1)).is_empty());
     }
 

@@ -382,7 +382,10 @@ mod tests {
                 }
             }
             let bisected = Ref(p).sigma_threshold(eps(e), 10_000);
-            assert!((closed - bisected).abs() < 1e-6, "ε={e}: {closed} vs {bisected}");
+            assert!(
+                (closed - bisected).abs() < 1e-6,
+                "ε={e}: {closed} vs {bisected}"
+            );
         }
     }
 
@@ -466,7 +469,10 @@ mod tests {
     fn policy_kind_dispatch_matches_concrete() {
         let k = PolicyKind::Chernoff { gamma: 0.9 };
         let c = ChernoffPolicy::new(0.9).unwrap();
-        assert_eq!(k.raw_beta(0.1, eps(0.5), 1000), c.raw_beta(0.1, eps(0.5), 1000));
+        assert_eq!(
+            k.raw_beta(0.1, eps(0.5), 1000),
+            c.raw_beta(0.1, eps(0.5), 1000)
+        );
         assert_eq!(k.name(), "chernoff");
         assert_eq!(PolicyKind::Basic.name(), "basic");
         assert_eq!(PolicyKind::Incremented { delta: 0.02 }.name(), "inc-exp");

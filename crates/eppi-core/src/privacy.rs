@@ -72,8 +72,16 @@ pub fn owner_privacy(
     published: &PublishedIndex,
     owner: OwnerId,
 ) -> OwnerPrivacy {
-    assert_eq!(truth.providers(), published.matrix().providers(), "provider count mismatch");
-    assert_eq!(truth.owners(), published.matrix().owners(), "owner count mismatch");
+    assert_eq!(
+        truth.providers(),
+        published.matrix().providers(),
+        "provider count mismatch"
+    );
+    assert_eq!(
+        truth.owners(),
+        published.matrix().owners(),
+        "owner count mismatch"
+    );
     let true_frequency = truth.frequency(owner);
     let published_frequency = published.published_frequency(owner);
     let false_positive_rate = if published_frequency == 0 {
@@ -97,7 +105,10 @@ pub fn owner_privacy(
 
 /// Measures all owners at once (one matrix pass per owner; suitable for
 /// the evaluation sweeps).
-pub fn all_owner_privacy(truth: &MembershipMatrix, published: &PublishedIndex) -> Vec<OwnerPrivacy> {
+pub fn all_owner_privacy(
+    truth: &MembershipMatrix,
+    published: &PublishedIndex,
+) -> Vec<OwnerPrivacy> {
     truth
         .owner_ids()
         .map(|o| owner_privacy(truth, published, o))
@@ -233,11 +244,23 @@ mod tests {
     fn degree_classification() {
         let e = Epsilon::new(0.8).unwrap();
         assert_eq!(classify_degree(false, None, e), PrivacyDegree::Unleaked);
-        assert_eq!(classify_degree(true, Some(1.0), e), PrivacyDegree::NoProtect);
-        assert_eq!(classify_degree(true, Some(0.1), e), PrivacyDegree::EpsPrivate);
-        assert_eq!(classify_degree(true, Some(0.5), e), PrivacyDegree::NoGuarantee);
+        assert_eq!(
+            classify_degree(true, Some(1.0), e),
+            PrivacyDegree::NoProtect
+        );
+        assert_eq!(
+            classify_degree(true, Some(0.1), e),
+            PrivacyDegree::EpsPrivate
+        );
+        assert_eq!(
+            classify_degree(true, Some(0.5), e),
+            PrivacyDegree::NoGuarantee
+        );
         // Exactly at the bound 1 − ε: ε-private.
-        assert_eq!(classify_degree(true, Some(0.2), e), PrivacyDegree::EpsPrivate);
+        assert_eq!(
+            classify_degree(true, Some(0.2), e),
+            PrivacyDegree::EpsPrivate
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl ProviderSensitivity {
 
     /// A uniform assignment (every provider equally sensitive).
     pub fn uniform(providers: usize, degree: Epsilon) -> Self {
-        ProviderSensitivity { degrees: vec![degree; providers] }
+        ProviderSensitivity {
+            degrees: vec![degree; providers],
+        }
     }
 
     /// Number of providers covered.
@@ -128,13 +130,17 @@ mod tests {
         let mut m = MembershipMatrix::new(4, 3);
         m.set(ProviderId(0), OwnerId(0), true); // visits sensitive clinic
         m.set(ProviderId(1), OwnerId(1), true); // visits general hospital
-        // Owner 2 has no records at all.
+                                                // Owner 2 has no records at all.
         let mut s = ProviderSensitivity::uniform(4, eps(0.1));
         s.set(0, eps(0.9));
         let base = vec![eps(0.3); 3];
         let effective = effective_epsilons(&m, &base, &s).unwrap();
         assert_eq!(effective[0], eps(0.9), "lifted by the clinic");
-        assert_eq!(effective[1], eps(0.3), "hospital (0.1) below the owner's 0.3");
+        assert_eq!(
+            effective[1],
+            eps(0.3),
+            "hospital (0.1) below the owner's 0.3"
+        );
         assert_eq!(effective[2], eps(0.3), "no records: base ε stands");
     }
 

@@ -51,7 +51,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::Truncated { expected, actual } => {
-                write!(f, "truncated index: need at least {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "truncated index: need at least {expected} bytes, got {actual}"
+                )
             }
             CodecError::BadMagic => write!(f, "missing EPPI magic header"),
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported index version {v}"),
@@ -101,7 +104,10 @@ pub fn encode(index: &PublishedIndex) -> Vec<u8> {
 pub fn decode(bytes: &[u8]) -> Result<PublishedIndex, CodecError> {
     let need_header = 4 + 2 + 8;
     if bytes.len() < need_header {
-        return Err(CodecError::Truncated { expected: need_header, actual: bytes.len() });
+        return Err(CodecError::Truncated {
+            expected: need_header,
+            actual: bytes.len(),
+        });
     }
     if &bytes[..4] != MAGIC {
         return Err(CodecError::BadMagic);
@@ -115,7 +121,10 @@ pub fn decode(bytes: &[u8]) -> Result<PublishedIndex, CodecError> {
     let bitmap_len = (m * n).div_ceil(8);
     let total = need_header + bitmap_len + n * 8;
     if bytes.len() < total {
-        return Err(CodecError::Truncated { expected: total, actual: bytes.len() });
+        return Err(CodecError::Truncated {
+            expected: total,
+            actual: bytes.len(),
+        });
     }
     if bytes.len() > total {
         return Err(CodecError::TrailingBytes(bytes.len() - total));
@@ -216,7 +225,14 @@ mod tests {
 
     #[test]
     fn errors_render() {
-        assert!(CodecError::Truncated { expected: 10, actual: 3 }.to_string().contains("10"));
-        assert!(CodecError::InvalidBeta { owner: 2 }.to_string().contains("owner 2"));
+        assert!(CodecError::Truncated {
+            expected: 10,
+            actual: 3
+        }
+        .to_string()
+        .contains("10"));
+        assert!(CodecError::InvalidBeta { owner: 2 }
+            .to_string()
+            .contains("owner 2"));
     }
 }

@@ -221,14 +221,22 @@ impl InformationNetwork {
         let old_n = prev.matrix().owners();
         let matrix = self.membership_matrix();
         // Extension is sound only if the old columns are untouched.
-        let old_unchanged = prev
-            .matrix()
-            .owner_ids()
-            .all(|o| matrix.frequency(o) == self.old_frequencies.get(o.index()).copied().unwrap_or(usize::MAX));
+        let old_unchanged = prev.matrix().owner_ids().all(|o| {
+            matrix.frequency(o)
+                == self
+                    .old_frequencies
+                    .get(o.index())
+                    .copied()
+                    .unwrap_or(usize::MAX)
+        });
         if matrix.owners() > old_n && old_unchanged {
             let epsilons = self.epsilon_assignment();
             let extended = eppi_core::construct::extend_construction(
-                &prev, &matrix, &epsilons, self.config, rng,
+                &prev,
+                &matrix,
+                &epsilons,
+                self.config,
+                rng,
             )?;
             self.old_frequencies = matrix.frequencies();
             self.index = Some(extended);

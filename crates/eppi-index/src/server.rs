@@ -34,7 +34,18 @@ impl PpiServer {
     /// evaluation is trivial (§II-A) — a row lookup in the published
     /// matrix.
     pub fn query(&self, owner: OwnerId) -> Vec<ProviderId> {
-        self.index.as_ref().map_or_else(Vec::new, |i| i.query(owner))
+        self.index
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.query(owner))
+    }
+
+    /// Evaluates a batch of `QueryPPI` lookups; `result[i]` answers
+    /// `owners[i]`. Semantically identical to mapping [`query`]
+    /// (Self::query) over the slice — the batched entry point exists so
+    /// callers (and the `eppi-serve` engine) can amortize per-request
+    /// overhead.
+    pub fn query_batch(&self, owners: &[OwnerId]) -> Vec<Vec<ProviderId>> {
+        owners.iter().map(|&o| self.query(o)).collect()
     }
 
     /// The installed index, if any — public data by design.
@@ -58,6 +69,26 @@ mod tests {
         assert!(server.query(OwnerId(0)).is_empty());
         assert_eq!(server.providers(), 3);
         assert_eq!(server.owners(), 2);
+    }
+
+    #[test]
+    fn query_batch_matches_single_queries() {
+        let mut m = MembershipMatrix::new(4, 3);
+        m.set(ProviderId(1), OwnerId(0), true);
+        m.set(ProviderId(3), OwnerId(2), true);
+        m.set(ProviderId(0), OwnerId(2), true);
+        let server = PpiServer::new(PublishedIndex::new(m, vec![0.0; 3]));
+        let owners = [OwnerId(2), OwnerId(0), OwnerId(1), OwnerId(2)];
+        let batched = server.query_batch(&owners);
+        assert_eq!(batched.len(), owners.len());
+        for (o, row) in owners.iter().zip(&batched) {
+            assert_eq!(row, &server.query(*o));
+        }
+        assert_eq!(batched[0], vec![ProviderId(0), ProviderId(3)]);
+        assert!(PpiServer::default()
+            .query_batch(&owners)
+            .iter()
+            .all(Vec::is_empty));
     }
 
     #[test]

@@ -45,10 +45,10 @@ impl LocalStore {
     /// The `Delegate` operation: stores a record for `owner` together
     /// with the owner's privacy degree.
     pub fn delegate(&mut self, owner: OwnerId, eps: Epsilon, payload: impl Into<String>) {
-        self.records
-            .entry(owner)
-            .or_default()
-            .push(Record { owner, payload: payload.into() });
+        self.records.entry(owner).or_default().push(Record {
+            owner,
+            payload: payload.into(),
+        });
         self.epsilons.insert(owner, eps);
     }
 

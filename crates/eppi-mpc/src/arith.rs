@@ -269,12 +269,8 @@ pub fn execute_arith<R: Rng + ?Sized>(
                 let sa = deal(rng, ta);
                 let sb = deal(rng, tb);
                 let sc = deal(rng, tc);
-                let d = (0..parties).fold(0u64, |acc, p| {
-                    q.add(acc, q.sub(shares[a][p], sa[p]))
-                });
-                let e = (0..parties).fold(0u64, |acc, p| {
-                    q.add(acc, q.sub(shares[b][p], sb[p]))
-                });
+                let d = (0..parties).fold(0u64, |acc, p| q.add(acc, q.sub(shares[a][p], sa[p])));
+                let e = (0..parties).fold(0u64, |acc, p| q.add(acc, q.sub(shares[b][p], sb[p])));
                 stats.triples_used += 1;
                 stats.elements_sent += 2 * (parties * (parties - 1)) as u64;
                 (0..parties)

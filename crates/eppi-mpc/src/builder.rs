@@ -377,15 +377,14 @@ impl CircuitBuilder {
     /// Panics if the widths differ.
     pub fn eq_words(&mut self, a: &Word, b: &Word) -> WireId {
         assert_eq!(a.width(), b.width(), "equality operands must match width");
-        let same: Vec<WireId> = a
-            .0
-            .iter()
-            .zip(&b.0)
-            .map(|(&x, &y)| {
-                let d = self.xor(x, y);
-                self.not(d)
-            })
-            .collect();
+        let same: Vec<WireId> =
+            a.0.iter()
+                .zip(&b.0)
+                .map(|(&x, &y)| {
+                    let d = self.xor(x, y);
+                    self.not(d)
+                })
+                .collect();
         self.and_many(&same)
     }
 
@@ -483,7 +482,12 @@ pub fn to_bits(value: u64, bits: usize) -> Vec<bool> {
 mod tests {
     use super::*;
 
-    fn eval_binop(f: impl Fn(&mut CircuitBuilder, &Word, &Word) -> Word, a: u64, b: u64, w: usize) -> u64 {
+    fn eval_binop(
+        f: impl Fn(&mut CircuitBuilder, &Word, &Word) -> Word,
+        a: u64,
+        b: u64,
+        w: usize,
+    ) -> u64 {
         let mut cb = CircuitBuilder::new();
         let wa = cb.input_word(w);
         let wb = cb.input_word(w);
@@ -494,7 +498,12 @@ mod tests {
         word_value(&c.eval(&inputs))
     }
 
-    fn eval_cmp(f: impl Fn(&mut CircuitBuilder, &Word, &Word) -> WireId, a: u64, b: u64, w: usize) -> bool {
+    fn eval_cmp(
+        f: impl Fn(&mut CircuitBuilder, &Word, &Word) -> WireId,
+        a: u64,
+        b: u64,
+        w: usize,
+    ) -> bool {
         let mut cb = CircuitBuilder::new();
         let wa = cb.input_word(w);
         let wb = cb.input_word(w);
@@ -507,7 +516,14 @@ mod tests {
 
     #[test]
     fn adder_matches_u64_semantics() {
-        for (a, b) in [(0u64, 0u64), (1, 1), (5, 11), (255, 1), (200, 100), (254, 255)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 1),
+            (5, 11),
+            (255, 1),
+            (200, 100),
+            (254, 255),
+        ] {
             let got = eval_binop(|cb, x, y| cb.add_words(x, y), a, b, 8);
             assert_eq!(got, (a + b) & 0xff, "{a}+{b} mod 256");
             let exact = eval_binop(|cb, x, y| cb.add_words_expand(x, y), a, b, 8);
@@ -517,10 +533,30 @@ mod tests {
 
     #[test]
     fn comparators_match_u64_semantics() {
-        for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (100, 100), (255, 0), (0, 255), (37, 38)] {
-            assert_eq!(eval_cmp(|cb, x, y| cb.lt_words(x, y), a, b, 8), a < b, "{a}<{b}");
-            assert_eq!(eval_cmp(|cb, x, y| cb.ge_words(x, y), a, b, 8), a >= b, "{a}>={b}");
-            assert_eq!(eval_cmp(|cb, x, y| cb.eq_words(x, y), a, b, 8), a == b, "{a}=={b}");
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 2),
+            (2, 1),
+            (100, 100),
+            (255, 0),
+            (0, 255),
+            (37, 38),
+        ] {
+            assert_eq!(
+                eval_cmp(|cb, x, y| cb.lt_words(x, y), a, b, 8),
+                a < b,
+                "{a}<{b}"
+            );
+            assert_eq!(
+                eval_cmp(|cb, x, y| cb.ge_words(x, y), a, b, 8),
+                a >= b,
+                "{a}>={b}"
+            );
+            assert_eq!(
+                eval_cmp(|cb, x, y| cb.eq_words(x, y), a, b, 8),
+                a == b,
+                "{a}=={b}"
+            );
         }
     }
 
@@ -556,7 +592,11 @@ mod tests {
                 let out = cb.popcount(&bits);
                 let c = cb.finish_word(out);
                 let got = word_value(&c.eval(&to_bits(pattern, n)));
-                assert_eq!(got, pattern.count_ones() as u64, "n={n} pattern={pattern:b}");
+                assert_eq!(
+                    got,
+                    pattern.count_ones() as u64,
+                    "n={n} pattern={pattern:b}"
+                );
             }
         }
     }
@@ -581,7 +621,11 @@ mod tests {
                 let c = cb.finish(vec![o, a]);
                 let out = c.eval(&to_bits(pattern, n));
                 assert_eq!(out[0], pattern != 0 && n > 0, "or n={n} p={pattern:b}");
-                assert_eq!(out[1], pattern.count_ones() as usize == n, "and n={n} p={pattern:b}");
+                assert_eq!(
+                    out[1],
+                    pattern.count_ones() as usize == n,
+                    "and n={n} p={pattern:b}"
+                );
             }
         }
     }
@@ -649,7 +693,15 @@ mod tests {
 
     #[test]
     fn divider_matches_u64() {
-        for (a, b) in [(0u64, 1u64), (7, 3), (100, 10), (255, 2), (13, 13), (5, 255), (254, 7)] {
+        for (a, b) in [
+            (0u64, 1u64),
+            (7, 3),
+            (100, 10),
+            (255, 2),
+            (13, 13),
+            (5, 255),
+            (254, 7),
+        ] {
             let mut cb = CircuitBuilder::new();
             let wa = cb.input_word(8);
             let wb = cb.input_word(8);

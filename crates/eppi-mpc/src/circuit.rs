@@ -111,7 +111,11 @@ impl Circuit {
         for &o in &outputs {
             assert!(o.index() < total, "output references missing wire {o}");
         }
-        Circuit { inputs, gates, outputs }
+        Circuit {
+            inputs,
+            gates,
+            outputs,
+        }
     }
 
     /// Number of input wires.

@@ -301,10 +301,7 @@ impl PureConstructionCircuit {
             let column: Vec<_> = member_bits.iter().map(|row| row[j]).collect();
             let freq = cb.popcount(&column);
             let freq = cb.resize_word(&freq, freq_width);
-            let t = cb.const_word(
-                thresholds[j].min((1u64 << freq_width) - 1),
-                freq_width,
-            );
+            let t = cb.const_word(thresholds[j].min((1u64 << freq_width) - 1), freq_width);
             let common = cb.ge_words(&freq, &t);
             common_bits.push(common);
 
@@ -384,10 +381,7 @@ impl PureConstructionCircuit {
         let count = word_value(&outputs[..self.count_width]);
         let decisions = outputs[self.count_width..self.count_width + self.identities].to_vec();
         let freq_bits = &outputs[self.count_width + self.identities..];
-        let freqs = freq_bits
-            .chunks(self.freq_width)
-            .map(word_value)
-            .collect();
+        let freqs = freq_bits.chunks(self.freq_width).map(word_value).collect();
         (count, decisions, freqs)
     }
 }
@@ -477,7 +471,10 @@ impl NaiveConstructionCircuit {
         assert!(providers >= 1, "at least one provider required");
         assert!(!a_fps.is_empty(), "at least one identity required");
         assert!((1..=32).contains(&coin_bits), "coin bits must be in 1..=32");
-        assert!((1..=16).contains(&fp.frac_bits), "frac bits must be in 1..=16");
+        assert!(
+            (1..=16).contains(&fp.frac_bits),
+            "frac bits must be in 1..=16"
+        );
         let n = a_fps.len();
         let k = fp.frac_bits;
         let freq_width = usize::BITS as usize - providers.leading_zeros() as usize + 1;
@@ -635,12 +632,7 @@ mod tests {
 
     /// Splits each frequency into `c` additive shares over 2^width and
     /// returns the per-party share vectors.
-    fn share_frequencies(
-        freqs: &[u64],
-        c: usize,
-        width: usize,
-        rng: &mut StdRng,
-    ) -> Vec<Vec<u64>> {
+    fn share_frequencies(freqs: &[u64], c: usize, width: usize, rng: &mut StdRng) -> Vec<Vec<u64>> {
         let q = Modulus::pow2(width as u32);
         let mut per_party = vec![vec![0u64; freqs.len()]; c];
         for (j, &f) in freqs.iter().enumerate() {
@@ -755,7 +747,10 @@ mod tests {
         let flat = mc.layout().flatten(&inputs);
         let out = mc.circuit().eval(&flat);
         let rate = out.iter().filter(|&&b| b).count() as f64 / n as f64;
-        assert!((rate - lambda).abs() < 0.08, "coin rate {rate} vs λ {lambda}");
+        assert!(
+            (rate - lambda).abs() < 0.08,
+            "coin rate {rate} vs λ {lambda}"
+        );
     }
 
     #[test]
@@ -794,13 +789,22 @@ mod tests {
             .circuit()
             .stats()
             .total_gates;
-        assert!(large > 3 * small, "pure circuit should grow with m: {small} vs {large}");
+        assert!(
+            large > 3 * small,
+            "pure circuit should grow with m: {small} vs {large}"
+        );
 
-        let c_small = CountBelowCircuit::build(3, &thresholds, 16).circuit().stats().total_gates;
+        let c_small = CountBelowCircuit::build(3, &thresholds, 16)
+            .circuit()
+            .stats()
+            .total_gates;
         // CountBelow depends on c, not m — identical for any network size.
         assert_eq!(
             c_small,
-            CountBelowCircuit::build(3, &thresholds, 16).circuit().stats().total_gates
+            CountBelowCircuit::build(3, &thresholds, 16)
+                .circuit()
+                .stats()
+                .total_gates
         );
     }
 

@@ -40,7 +40,10 @@ impl Modulus {
     ///
     /// Panics unless `1 ≤ bits ≤ 63`.
     pub fn pow2(bits: u32) -> Self {
-        assert!((1..=63).contains(&bits), "bits must be in 1..=63, got {bits}");
+        assert!(
+            (1..=63).contains(&bits),
+            "bits must be in 1..=63, got {bits}"
+        );
         Modulus(1u64 << bits)
     }
 

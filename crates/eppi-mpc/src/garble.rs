@@ -300,8 +300,14 @@ mod tests {
         let af = cb.and(a, f);
         let circuit = cb.finish(vec![at, af]);
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(two_party_run(&circuit, &[true], &[], &mut rng), vec![true, false]);
-        assert_eq!(two_party_run(&circuit, &[false], &[], &mut rng), vec![false, false]);
+        assert_eq!(
+            two_party_run(&circuit, &[true], &[], &mut rng),
+            vec![true, false]
+        );
+        assert_eq!(
+            two_party_run(&circuit, &[false], &[], &mut rng),
+            vec![false, false]
+        );
     }
 
     #[test]
@@ -337,7 +343,10 @@ mod tests {
                 differs = true;
             }
         }
-        assert!(differs, "forged labels must not consistently evaluate correctly");
+        assert!(
+            differs,
+            "forged labels must not consistently evaluate correctly"
+        );
     }
 
     #[test]

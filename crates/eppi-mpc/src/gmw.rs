@@ -137,7 +137,11 @@ pub fn execute_with_triples<R: Rng + ?Sized>(
     batch: &crate::triples::TripleBatch,
     rng: &mut R,
 ) -> (Vec<bool>, GmwStats) {
-    assert_eq!(batch.parties(), layout.parties(), "triple batch party count");
+    assert_eq!(
+        batch.parties(),
+        layout.parties(),
+        "triple batch party count"
+    );
     assert!(
         batch.len() >= circuit.stats().and_gates,
         "batch has {} triples but the circuit needs {}",
@@ -313,7 +317,8 @@ mod tests {
         let layout = InputLayout::new(vec![1; parties]);
         let mut rng = StdRng::seed_from_u64(3);
         for pattern in [0u64, 1, 0b10110101, 0xff] {
-            let inputs: Vec<Vec<bool>> = (0..parties).map(|p| vec![pattern >> p & 1 == 1]).collect();
+            let inputs: Vec<Vec<bool>> =
+                (0..parties).map(|p| vec![pattern >> p & 1 == 1]).collect();
             let (out, _) = execute(&circuit, &layout, &inputs, &mut rng);
             assert_eq!(word_value(&out), (pattern & 0xff).count_ones() as u64);
         }
@@ -366,7 +371,12 @@ mod tests {
         let circuit = cb.finish(vec![abc]);
         let layout = InputLayout::new(vec![1, 1, 1]);
         let mut rng = StdRng::seed_from_u64(2);
-        let (_, stats) = execute(&circuit, &layout, &[vec![true], vec![true], vec![false]], &mut rng);
+        let (_, stats) = execute(
+            &circuit,
+            &layout,
+            &[vec![true], vec![true], vec![false]],
+            &mut rng,
+        );
         // input round + 2 AND layers + output round.
         assert_eq!(stats.rounds, 4);
     }
@@ -400,7 +410,13 @@ mod tests {
         let layout = InputLayout::new(vec![1, 1]);
         let mut rng = StdRng::seed_from_u64(0);
         let batch = crate::triples::generate_triples(2, 0, &mut rng);
-        execute_with_triples(&circuit, &layout, &[vec![true], vec![true]], &batch, &mut rng);
+        execute_with_triples(
+            &circuit,
+            &layout,
+            &[vec![true], vec![true]],
+            &batch,
+            &mut rng,
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod share;
 pub mod triples;
 
 pub use circuit::{Circuit, CircuitStats, Gate, InputLayout, WireId};
-pub use circuits::{CountBelowCircuit, FixedPoint, MixDecisionCircuit, NaiveConstructionCircuit, PureConstructionCircuit};
+pub use circuits::{
+    CountBelowCircuit, FixedPoint, MixDecisionCircuit, NaiveConstructionCircuit,
+    PureConstructionCircuit,
+};
 pub use field::Modulus;
 pub use gmw::{execute, GmwStats};
 pub use share::{add_shares, recombine, split, Shares};

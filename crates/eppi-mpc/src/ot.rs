@@ -124,7 +124,11 @@ pub struct OtReceiver {
 impl OtReceiver {
     /// Builds the request for choice bit `choice`: the receiver knows
     /// the discrete log of `PK_choice` only.
-    pub fn request<R: Rng + ?Sized>(setup: OtSetup, choice: bool, rng: &mut R) -> (Self, OtRequest) {
+    pub fn request<R: Rng + ?Sized>(
+        setup: OtSetup,
+        choice: bool,
+        rng: &mut R,
+    ) -> (Self, OtRequest) {
         let secret = rng.gen_range(1..P - 1);
         let pk_choice = pow_mod(G, secret);
         let pk0 = if choice {

@@ -74,11 +74,7 @@ impl TripleBatch {
 /// # Panics
 ///
 /// Panics if `parties == 0`.
-pub fn generate_triples<R: Rng + ?Sized>(
-    parties: usize,
-    count: usize,
-    rng: &mut R,
-) -> TripleBatch {
+pub fn generate_triples<R: Rng + ?Sized>(parties: usize, count: usize, rng: &mut R) -> TripleBatch {
     assert!(parties >= 1, "at least one party required");
     let mut per_party: Vec<Vec<TripleShare>> = vec![Vec::with_capacity(count); parties];
     let mut ots = 0u64;
@@ -106,7 +102,11 @@ pub fn generate_triples<R: Rng + ?Sized>(
             }
         }
         for (p, shares) in per_party.iter_mut().enumerate() {
-            shares.push(TripleShare { a: a[p], b: b[p], c: c[p] });
+            shares.push(TripleShare {
+                a: a[p],
+                b: b[p],
+                c: c[p],
+            });
         }
     }
     TripleBatch {

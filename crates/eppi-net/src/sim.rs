@@ -263,7 +263,11 @@ mod tests {
     fn token_travels_the_ring() {
         let n = 4;
         let nodes: Vec<_> = (0..n)
-            .map(|_| RingCounter { n, limit: 8, seen: Vec::new() })
+            .map(|_| RingCounter {
+                n,
+                limit: 8,
+                seen: Vec::new(),
+            })
             .collect();
         let mut sim = Simulator::new(nodes, LinkModel::LAN);
         let stats = sim.run(100);
@@ -278,7 +282,11 @@ mod tests {
     #[test]
     fn quiescence_with_no_messages() {
         let nodes: Vec<_> = (0..3)
-            .map(|_| RingCounter { n: 3, limit: 0, seen: Vec::new() })
+            .map(|_| RingCounter {
+                n: 3,
+                limit: 0,
+                seen: Vec::new(),
+            })
             .collect();
         // Limit 0: node 0 sends token 1 which exceeds the limit, so one
         // round only.
@@ -306,7 +314,11 @@ mod tests {
     fn fault_filter_drops_messages() {
         // Drop the first hop of the ring token: nothing ever happens.
         let nodes: Vec<_> = (0..4)
-            .map(|_| RingCounter { n: 4, limit: 8, seen: Vec::new() })
+            .map(|_| RingCounter {
+                n: 4,
+                limit: 8,
+                seen: Vec::new(),
+            })
             .collect();
         let mut sim = Simulator::new(nodes, LinkModel::LAN);
         sim.set_fault_filter(Box::new(|round, _, _| round == 1));
@@ -320,12 +332,14 @@ mod tests {
     fn fault_filter_targets_specific_links() {
         // Drop only the 1→2 hop: the token dies after two deliveries.
         let nodes: Vec<_> = (0..4)
-            .map(|_| RingCounter { n: 4, limit: 8, seen: Vec::new() })
+            .map(|_| RingCounter {
+                n: 4,
+                limit: 8,
+                seen: Vec::new(),
+            })
             .collect();
         let mut sim = Simulator::new(nodes, LinkModel::LAN);
-        sim.set_fault_filter(Box::new(|_, from, to| {
-            from == NodeId(1) && to == NodeId(2)
-        }));
+        sim.set_fault_filter(Box::new(|_, from, to| from == NodeId(1) && to == NodeId(2)));
         let stats = sim.run(100);
         assert_eq!(stats.dropped, 1);
         assert_eq!(sim.node(NodeId(1)).seen, vec![1]);

@@ -159,7 +159,9 @@ where
             senders: senders.clone(),
             receiver,
             counters: Arc::clone(&counters),
-            pending: (0..parties).map(|_| std::collections::VecDeque::new()).collect(),
+            pending: (0..parties)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
         })
         .collect();
     drop(senders);
@@ -222,7 +224,10 @@ mod tests {
     fn gather_returns_in_sender_order() {
         let (results, _) = run_parties::<u64, Vec<usize>, _>(3, |mut h| {
             h.broadcast(h.me().index() as u64);
-            h.gather().into_iter().map(|(from, _)| from.index()).collect()
+            h.gather()
+                .into_iter()
+                .map(|(from, _)| from.index())
+                .collect()
         });
         assert_eq!(results[0], vec![1, 2]);
         assert_eq!(results[1], vec![0, 2]);

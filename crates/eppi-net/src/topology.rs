@@ -28,7 +28,10 @@ impl Ring {
             coordinators <= nodes,
             "cannot have more coordinators ({coordinators}) than nodes ({nodes})"
         );
-        Ring { nodes, coordinators }
+        Ring {
+            nodes,
+            coordinators,
+        }
     }
 
     /// Number of nodes `m`.

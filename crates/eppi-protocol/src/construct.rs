@@ -291,7 +291,10 @@ mod tests {
                 let sigma = mat.sigma(OwnerId(j as u32));
                 let expect = PolicyKind::Basic.beta(sigma, eps_j, 100);
                 let got = out.index.betas()[j];
-                assert!((got - expect).abs() < 1e-12, "identity {j}: {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1e-12,
+                    "identity {j}: {got} vs {expect}"
+                );
             }
         }
     }
@@ -333,7 +336,10 @@ mod tests {
         freqs[0] = 58;
         let mat = matrix_with_freqs(60, &freqs);
         let e = vec![eps(0.8); 50];
-        let cfg = ProtocolConfig { seed: 8, ..ProtocolConfig::default() };
+        let cfg = ProtocolConfig {
+            seed: 8,
+            ..ProtocolConfig::default()
+        };
         let out = construct_distributed(&mat, &e, &cfg).unwrap();
         assert!(out.common_count >= 1);
         assert!(out.lambda > 0.0, "λ must be positive with commons present");
@@ -343,7 +349,10 @@ mod tests {
     fn errors_are_reported() {
         let mat = matrix_with_freqs(2, &[1]);
         let e = vec![eps(0.5)];
-        let cfg = ProtocolConfig { c: 3, ..ProtocolConfig::default() };
+        let cfg = ProtocolConfig {
+            c: 3,
+            ..ProtocolConfig::default()
+        };
         assert!(matches!(
             construct_distributed(&mat, &e, &cfg),
             Err(EppiError::NetworkTooSmall { .. })
@@ -388,7 +397,10 @@ mod tests {
     fn measured_privacy_example() {
         let mat = matrix_with_freqs(500, &[20]);
         let e = vec![eps(0.7)];
-        let cfg = ProtocolConfig { seed: 2, ..ProtocolConfig::default() };
+        let cfg = ProtocolConfig {
+            seed: 2,
+            ..ProtocolConfig::default()
+        };
         let out = construct_distributed(&mat, &e, &cfg).unwrap();
         let p = owner_privacy(&mat, &out.index, OwnerId(0));
         assert!(p.satisfies(e[0]) || p.false_positive_rate.unwrap_or(0.0) > 0.6);

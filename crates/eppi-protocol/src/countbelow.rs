@@ -16,9 +16,9 @@
 use crate::sim_gmw::execute_simulated;
 use crate::threaded_gmw::execute_threaded;
 use eppi_mpc::circuit::CircuitStats;
-use eppi_net::sim::LinkModel;
 use eppi_mpc::circuits::{lambda_threshold, CountBelowCircuit, MixDecisionCircuit};
 use eppi_mpc::gmw;
+use eppi_net::sim::LinkModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,7 +119,9 @@ pub fn run_count_below(
     let c = coordinator_shares.len();
     assert!(c >= 1, "at least one coordinator required");
     assert!(
-        coordinator_shares.iter().all(|v| v.len() == thresholds.len()),
+        coordinator_shares
+            .iter()
+            .all(|v| v.len() == thresholds.len()),
         "share vectors must match the threshold count"
     );
     let cc = CountBelowCircuit::build(c, thresholds, width);
@@ -151,17 +153,27 @@ pub fn run_mix_decision(
     let c = coordinator_shares.len();
     assert!(c >= 1, "at least one coordinator required");
     assert!(
-        coordinator_shares.iter().all(|v| v.len() == thresholds.len()),
+        coordinator_shares
+            .iter()
+            .all(|v| v.len() == thresholds.len()),
         "share vectors must match the threshold count"
     );
     let n = thresholds.len();
-    let mc = MixDecisionCircuit::build(c, thresholds, width, coin_bits, lambda_threshold(lambda, coin_bits));
+    let mc = MixDecisionCircuit::build(
+        c,
+        thresholds,
+        width,
+        coin_bits,
+        lambda_threshold(lambda, coin_bits),
+    );
     let inputs: Vec<Vec<bool>> = coordinator_shares
         .iter()
         .enumerate()
         .map(|(k, s)| {
             let mut rng = StdRng::seed_from_u64(seed ^ 0xc01_u64 ^ ((k as u64) << 32));
-            let coins: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << coin_bits))).collect();
+            let coins: Vec<u64> = (0..n)
+                .map(|_| rng.gen_range(0..(1u64 << coin_bits)))
+                .collect();
             mc.encode_party_input(s, &coins)
         })
         .collect();

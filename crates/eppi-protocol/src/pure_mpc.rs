@@ -20,7 +20,9 @@ use eppi_core::error::EppiError;
 use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, PublishedIndex};
 use eppi_core::policy::{BetaPolicy, PolicyKind};
 use eppi_core::publish::publish_vector;
-use eppi_mpc::circuits::{lambda_threshold, FixedPoint, NaiveConstructionCircuit, PureConstructionCircuit};
+use eppi_mpc::circuits::{
+    lambda_threshold, FixedPoint, NaiveConstructionCircuit, PureConstructionCircuit,
+};
 use eppi_mpc::gmw;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,7 +104,10 @@ pub fn construct_pure_mpc(
     let m = matrix.providers();
     let n = matrix.owners();
     if m == 0 {
-        return Err(EppiError::NetworkTooSmall { providers: 0, required: 1 });
+        return Err(EppiError::NetworkTooSmall {
+            providers: 0,
+            required: 1,
+        });
     }
 
     let started = Instant::now();
@@ -115,7 +120,9 @@ pub fn construct_pure_mpc(
         Naive(NaiveConstructionCircuit),
     }
     let compiled = if config.in_circuit_beta {
-        let fp = FixedPoint { frac_bits: config.frac_bits };
+        let fp = FixedPoint {
+            frac_bits: config.frac_bits,
+        };
         let a_fps: Vec<u64> = epsilons
             .iter()
             .map(|e| {
@@ -278,13 +285,21 @@ mod tests {
         let pure = construct_pure_mpc(
             &mat,
             &e,
-            &PureMpcConfig { policy: PolicyKind::Basic, seed: 4, ..PureMpcConfig::default() },
+            &PureMpcConfig {
+                policy: PolicyKind::Basic,
+                seed: 4,
+                ..PureMpcConfig::default()
+            },
         )
         .unwrap();
         let reduced = construct_distributed(
             &mat,
             &e,
-            &ProtocolConfig { policy: PolicyKind::Basic, seed: 4, ..ProtocolConfig::default() },
+            &ProtocolConfig {
+                policy: PolicyKind::Basic,
+                seed: 4,
+                ..ProtocolConfig::default()
+            },
         )
         .unwrap();
         // With λ = 0 in both runs (no commons ⇒ λ = 0 in reduced; pure is
@@ -310,7 +325,10 @@ mod tests {
             .unwrap()
             .stage;
         assert!(large.circuit.total_gates > 2 * small.circuit.total_gates);
-        assert!(large.bytes > 4 * small.bytes, "all-to-all openings grow quadratically");
+        assert!(
+            large.bytes > 4 * small.bytes,
+            "all-to-all openings grow quadratically"
+        );
     }
 
     #[test]
@@ -326,12 +344,18 @@ mod tests {
         // these sizes).
         let mat = matrix_with_freqs(10, &[9, 3, 1]);
         let e = vec![eps(0.5); 3];
-        let base = PureMpcConfig { seed: 6, ..PureMpcConfig::default() };
+        let base = PureMpcConfig {
+            seed: 6,
+            ..PureMpcConfig::default()
+        };
         let compare = construct_pure_mpc(&mat, &e, &base).unwrap();
         let naive = construct_pure_mpc(
             &mat,
             &e,
-            &PureMpcConfig { in_circuit_beta: true, ..base },
+            &PureMpcConfig {
+                in_circuit_beta: true,
+                ..base
+            },
         )
         .unwrap();
         assert_eq!(compare.common_count, naive.common_count);

@@ -97,7 +97,10 @@ impl Node<SecSumMsg> for ProviderNode {
             }
         }
         for (k, batch) in outgoing.into_iter().enumerate() {
-            ctx.send(self.ring.successor(ctx.me(), k + 1), SecSumMsg::Share(batch));
+            ctx.send(
+                self.ring.successor(ctx.me(), k + 1),
+                SecSumMsg::Share(batch),
+            );
         }
         // Degenerate single-coordinator network: nothing to wait for.
         if c == 1 {
@@ -287,9 +290,8 @@ pub fn secsumshare_threaded(
         .collect();
     let inputs = &inputs;
 
-    let (results, _counters) = run_parties::<SecSumMsg, Option<Vec<u64>>, _>(
-        m,
-        move |mut h: PartyHandle<SecSumMsg>| {
+    let (results, _counters) =
+        run_parties::<SecSumMsg, Option<Vec<u64>>, _>(m, move |mut h: PartyHandle<SecSumMsg>| {
             let me = h.me();
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (me.index() as u64).wrapping_mul(0x9e3779b97f4a7c15));
@@ -348,8 +350,7 @@ pub fn secsumshare_threaded(
                 }
             }
             (me.index() < c).then_some(aggregate)
-        },
-    );
+        });
 
     results.into_iter().flatten().collect()
 }

@@ -55,7 +55,10 @@ fn schedule(circuit: &Circuit) -> Schedule {
             wire_level[this] = level;
         }
     }
-    Schedule { levels, triple_index }
+    Schedule {
+        levels,
+        triple_index,
+    }
 }
 
 /// Protocol messages: tagged batches of bits.
@@ -378,10 +381,7 @@ pub fn execute_simulated(
     let mut sim = Simulator::new(nodes, link);
     let stats = sim.run(circuit.stats().and_depth + 8);
     let nodes = sim.into_nodes();
-    let result = nodes[0]
-        .result
-        .clone()
-        .expect("protocol must converge");
+    let result = nodes[0].result.clone().expect("protocol must converge");
     for (p, node) in nodes.iter().enumerate() {
         assert_eq!(
             node.result.as_ref(),
@@ -418,7 +418,10 @@ mod tests {
                 execute_simulated(&circuit, &layout, &inputs, LinkModel::LAN, 77);
             assert_eq!(sim_out, clear, "x={x} y={y}");
             assert_eq!(word_value(&sim_out[..6]), x + y);
-            assert!(stats.rounds >= circuit.stats().and_depth, "one round per layer");
+            assert!(
+                stats.rounds >= circuit.stats().and_depth,
+                "one round per layer"
+            );
         }
     }
 
@@ -461,8 +464,7 @@ mod tests {
             }
         }
         let inputs: Vec<Vec<bool>> = per.iter().map(|s| cc.encode_party_input(s)).collect();
-        let (out, stats) =
-            execute_simulated(cc.circuit(), cc.layout(), &inputs, LinkModel::LAN, 3);
+        let (out, stats) = execute_simulated(cc.circuit(), cc.layout(), &inputs, LinkModel::LAN, 3);
         assert_eq!(cc.decode_count(&out), 1);
         assert!(stats.simulated_us > 0.0);
         assert!(stats.bytes > 0);

@@ -93,7 +93,10 @@ fn schedule(circuit: &Circuit) -> Schedule {
             wire_level[this] = level;
         }
     }
-    Schedule { levels, triple_index }
+    Schedule {
+        levels,
+        triple_index,
+    }
 }
 
 /// Executes `circuit` with one thread per party. Returns the opened
@@ -221,7 +224,11 @@ pub fn execute_threaded(
             }
 
             // Output opening.
-            let my_out: Vec<bool> = circuit.outputs().iter().map(|o| shares[o.index()]).collect();
+            let my_out: Vec<bool> = circuit
+                .outputs()
+                .iter()
+                .map(|o| shares[o.index()])
+                .collect();
             let mut opened = my_out.clone();
             if parties > 1 && !opened.is_empty() {
                 h.broadcast(my_out);
@@ -236,7 +243,10 @@ pub fn execute_threaded(
     });
 
     let outputs = results.swap_remove(0);
-    debug_assert!(results.iter().all(|r| *r == outputs), "parties disagree on outputs");
+    debug_assert!(
+        results.iter().all(|r| *r == outputs),
+        "parties disagree on outputs"
+    );
     let report = ThreadedGmwReport {
         parties,
         and_gates,

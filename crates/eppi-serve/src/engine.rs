@@ -1,0 +1,455 @@
+//! The concurrent query engine: one worker thread per shard over
+//! bounded channels.
+//!
+//! Request flow mirrors the threaded construction runtime in
+//! `eppi-net::threaded` (OS threads + channels, no async runtime): a
+//! [`ServeClient`] routes each `QueryPPI` to the owner's shard worker
+//! through a bounded queue (back-pressure instead of unbounded memory
+//! growth under overload) and blocks on a one-shot reply channel.
+//! Batched requests are scattered to the involved shards and gathered
+//! back in request order.
+//!
+//! Each worker *owns* its shard view as a plain `Arc` — the read path
+//! takes no lock of any kind. A [`refresh`](ServeEngine::refresh)
+//! publishes the new version to the engine's [`SnapshotCell`] and
+//! enqueues an install message per worker, so in-flight queries finish
+//! on the old version and later ones see the new one: readers are never
+//! blocked and never observe a torn index.
+
+use crate::shard::{shard_of, ShardedIndex};
+use crate::snapshot::SnapshotCell;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of shards (= worker threads).
+    pub shards: usize,
+    /// Bounded depth of each shard's request queue.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            queue_depth: 1024,
+        }
+    }
+}
+
+/// Cumulative engine counters (relaxed atomics, monotone).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    refreshes: AtomicU64,
+}
+
+impl ServeStats {
+    /// Total single queries answered (batch members included).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Total batch requests answered.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot refreshes installed (counted once per publication, not
+    /// per shard).
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+}
+
+enum Job {
+    Query {
+        owner: OwnerId,
+        reply: Sender<Vec<ProviderId>>,
+    },
+    Batch {
+        /// `(position in the caller's batch, owner)` pairs for this shard.
+        entries: Vec<(u32, OwnerId)>,
+        reply: Sender<Vec<(u32, Vec<ProviderId>)>>,
+    },
+    Install(Arc<ShardedIndex>),
+    Shutdown,
+}
+
+/// The sharded serving engine; owns the worker threads.
+///
+/// ```
+/// use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+/// use eppi_serve::{ServeConfig, ServeEngine};
+///
+/// let mut m = MembershipMatrix::new(4, 2);
+/// m.set(ProviderId(1), OwnerId(0), true);
+/// let index = PublishedIndex::new(m, vec![0.0, 0.0]);
+/// let engine = ServeEngine::start(&index, ServeConfig { shards: 2, queue_depth: 16 });
+/// let client = engine.client();
+/// assert_eq!(client.query(OwnerId(0)), vec![ProviderId(1)]);
+/// assert_eq!(client.query_batch(&[OwnerId(1), OwnerId(0)]).len(), 2);
+/// engine.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ServeEngine {
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    snapshot: Arc<SnapshotCell<ShardedIndex>>,
+    stats: Arc<ServeStats>,
+    version: AtomicU64,
+}
+
+impl ServeEngine {
+    /// Shards `index` and spawns one worker thread per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn start(index: &PublishedIndex, config: ServeConfig) -> Self {
+        let initial = Arc::new(ShardedIndex::from_index_versioned(index, config.shards, 0));
+        let snapshot = Arc::new(SnapshotCell::new(Arc::clone(&initial)));
+        let stats = Arc::new(ServeStats::default());
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded(config.queue_depth.max(1));
+            senders.push(tx);
+            let view = Arc::clone(&initial);
+            let stats = Arc::clone(&stats);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("eppi-serve-{shard}"))
+                    .spawn(move || worker_loop(rx, view, stats))
+                    .expect("spawn shard worker"),
+            );
+        }
+        ServeEngine {
+            senders,
+            workers,
+            snapshot,
+            stats,
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// A cloneable client handle; any number of threads may hold one.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            senders: self.senders.clone(),
+        }
+    }
+
+    /// Number of shards / workers.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The latest installed index version (also readable without the
+    /// engine via [`current`](Self::current)).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// The latest published sharded snapshot (lock-free read).
+    pub fn current(&self) -> Arc<ShardedIndex> {
+        self.snapshot.load()
+    }
+
+    /// Installs a re-published index: stamps the next version, shards
+    /// it, publishes the snapshot, and hands every worker the new view.
+    /// Readers keep executing throughout; queries already queued finish
+    /// against whichever version their worker holds at dequeue time.
+    pub fn refresh(&self, index: &PublishedIndex) {
+        let version = self.version.fetch_add(1, Ordering::SeqCst) + 1;
+        let sharded = Arc::new(ShardedIndex::from_index_versioned(
+            index,
+            self.senders.len(),
+            version,
+        ));
+        self.snapshot.store(Arc::clone(&sharded));
+        for tx in &self.senders {
+            // A worker gone mid-shutdown just misses the update.
+            let _ = tx.send(Job::Install(Arc::clone(&sharded)));
+        }
+        self.stats.refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stops all workers and joins them. Queued queries are answered
+    /// first; clients created from this engine fail fast afterwards.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Job::Shutdown);
+        }
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, stats: Arc<ServeStats>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Query { owner, reply } => {
+                stats.queries.fetch_add(1, Ordering::Relaxed);
+                let result = view.try_query(owner).unwrap_or_default();
+                let _ = reply.send(result);
+            }
+            Job::Batch { entries, reply } => {
+                stats
+                    .queries
+                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                stats.batches.fetch_add(1, Ordering::Relaxed);
+                let results = entries
+                    .into_iter()
+                    .map(|(pos, owner)| (pos, view.try_query(owner).unwrap_or_default()))
+                    .collect();
+                let _ = reply.send(results);
+            }
+            Job::Install(new_view) => view = new_view,
+            Job::Shutdown => break,
+        }
+    }
+}
+
+/// A handle for submitting queries; cheap to clone and share.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    senders: Vec<Sender<Job>>,
+}
+
+impl ServeClient {
+    /// Evaluates `QueryPPI(owner)` on the owner's shard. Unknown owners
+    /// (beyond the current index) and a shut-down engine both answer
+    /// with the empty candidate list, matching an empty `PpiServer`.
+    pub fn query(&self, owner: OwnerId) -> Vec<ProviderId> {
+        let (reply, rx) = bounded(1);
+        let shard = shard_of(owner, self.senders.len());
+        if self.senders[shard]
+            .send(Job::Query { owner, reply })
+            .is_err()
+        {
+            return Vec::new();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Evaluates a batch of queries: scatters the owners to their
+    /// shards, gathers the per-shard answers, and returns results in
+    /// request order (`result[i]` answers `owners[i]`).
+    pub fn query_batch(&self, owners: &[OwnerId]) -> Vec<Vec<ProviderId>> {
+        let shards = self.senders.len();
+        let mut per_shard: Vec<Vec<(u32, OwnerId)>> = vec![Vec::new(); shards];
+        for (pos, &owner) in owners.iter().enumerate() {
+            per_shard[shard_of(owner, shards)].push((pos as u32, owner));
+        }
+        let mut results: Vec<Vec<ProviderId>> = vec![Vec::new(); owners.len()];
+        let mut replies = Vec::new();
+        for (shard, entries) in per_shard.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let (reply, rx) = bounded(1);
+            if self.senders[shard]
+                .send(Job::Batch { entries, reply })
+                .is_ok()
+            {
+                replies.push(rx);
+            }
+        }
+        for rx in replies {
+            if let Ok(part) = rx.recv() {
+                for (pos, row) in part {
+                    results[pos as usize] = row;
+                }
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::model::MembershipMatrix;
+    use eppi_index::server::PpiServer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_index(rng: &mut StdRng, providers: usize, owners: usize, p: f64) -> PublishedIndex {
+        let mut matrix = MembershipMatrix::new(providers, owners);
+        for pr in 0..providers as u32 {
+            for o in 0..owners as u32 {
+                if rng.gen_bool(p) {
+                    matrix.set(ProviderId(pr), OwnerId(o), true);
+                }
+            }
+        }
+        let betas = vec![0.1; owners];
+        PublishedIndex::new(matrix, betas)
+    }
+
+    #[test]
+    fn engine_answers_like_the_unsharded_server() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let index = random_index(&mut rng, 50, 200, 0.2);
+        let server = PpiServer::new(index.clone());
+        let engine = ServeEngine::start(
+            &index,
+            ServeConfig {
+                shards: 4,
+                queue_depth: 64,
+            },
+        );
+        let client = engine.client();
+        for o in 0..200u32 {
+            assert_eq!(
+                client.query(OwnerId(o)),
+                server.query(OwnerId(o)),
+                "owner {o}"
+            );
+        }
+        let owners: Vec<OwnerId> = (0..200).map(OwnerId).collect();
+        assert_eq!(client.query_batch(&owners), server.query_batch(&owners));
+        assert!(engine.stats().queries() >= 400);
+        assert_eq!(engine.stats().batches(), 4);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unknown_owner_answers_empty() {
+        let index = random_index(&mut StdRng::seed_from_u64(22), 8, 4, 0.5);
+        let engine = ServeEngine::start(
+            &index,
+            ServeConfig {
+                shards: 2,
+                queue_depth: 8,
+            },
+        );
+        assert!(engine.client().query(OwnerId(4000)).is_empty());
+    }
+
+    #[test]
+    fn refresh_installs_new_version_for_later_queries() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let before = random_index(&mut rng, 30, 60, 0.1);
+        let after = random_index(&mut rng, 30, 60, 0.6);
+        let engine = ServeEngine::start(
+            &before,
+            ServeConfig {
+                shards: 3,
+                queue_depth: 16,
+            },
+        );
+        let client = engine.client();
+        let expect_before = PpiServer::new(before.clone());
+        for o in 0..60u32 {
+            assert_eq!(client.query(OwnerId(o)), expect_before.query(OwnerId(o)));
+        }
+        engine.refresh(&after);
+        assert_eq!(engine.version(), 1);
+        assert_eq!(engine.current().version(), 1);
+        let expect_after = PpiServer::new(after.clone());
+        for o in 0..60u32 {
+            assert_eq!(client.query(OwnerId(o)), expect_after.query(OwnerId(o)));
+        }
+        assert_eq!(engine.stats().refreshes(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queries_after_shutdown_fail_fast_and_empty() {
+        let index = random_index(&mut StdRng::seed_from_u64(24), 10, 10, 0.9);
+        let engine = ServeEngine::start(
+            &index,
+            ServeConfig {
+                shards: 2,
+                queue_depth: 4,
+            },
+        );
+        let client = engine.client();
+        engine.shutdown();
+        assert!(client.query(OwnerId(0)).is_empty());
+        assert!(client
+            .query_batch(&[OwnerId(0), OwnerId(1)])
+            .iter()
+            .all(Vec::is_empty));
+    }
+
+    /// The acceptance stress: ≥ 4 shards, ≥ 8 client threads, refreshes
+    /// alternating between two indexes under full query load. Every
+    /// result must exactly equal one version's answer — never a blend —
+    /// and the engine must never deadlock.
+    #[test]
+    fn refresh_under_concurrent_load_is_never_torn() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let owners = 128u32;
+        let a = random_index(&mut rng, 40, owners as usize, 0.15);
+        let b = random_index(&mut rng, 40, owners as usize, 0.45);
+        let expect_a: Vec<Vec<ProviderId>> = (0..owners).map(|o| a.query(OwnerId(o))).collect();
+        let expect_b: Vec<Vec<ProviderId>> = (0..owners).map(|o| b.query(OwnerId(o))).collect();
+
+        let engine = ServeEngine::start(
+            &a,
+            ServeConfig {
+                shards: 4,
+                queue_depth: 32,
+            },
+        );
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let client = engine.client();
+                let expect_a = &expect_a;
+                let expect_b = &expect_b;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + t);
+                    for i in 0..2_000 {
+                        let o = OwnerId(rng.gen_range(0..owners));
+                        let got = client.query(o);
+                        let ok = got == expect_a[o.index()] || got == expect_b[o.index()];
+                        assert!(ok, "thread {t} iter {i}: torn/wrong result for {o}");
+                        if i % 97 == 0 {
+                            let batch: Vec<OwnerId> =
+                                (0..16).map(|_| OwnerId(rng.gen_range(0..owners))).collect();
+                            for (q, row) in batch.iter().zip(client.query_batch(&batch)) {
+                                assert!(
+                                    row == expect_a[q.index()] || row == expect_b[q.index()],
+                                    "thread {t}: torn batch row for {q}"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+            // Refresh continuously while the clients hammer queries.
+            for round in 0..200 {
+                engine.refresh(if round % 2 == 0 { &b } else { &a });
+            }
+        });
+        assert_eq!(engine.stats().refreshes(), 200);
+        assert!(engine.stats().queries() >= 8 * 2_000);
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,32 @@
+//! eppi-serve: the locator-service front-end.
+//!
+//! The e-PPI constructions (`eppi-index`, `eppi-mpc`) end with a
+//! published index `M'` handed to an untrusted PPI server; this crate
+//! is that server's serving layer, built for sustained `QueryPPI`
+//! traffic:
+//!
+//! * [`shard::ShardedIndex`] — the published matrix transposed to
+//!   owner-major packed bitmaps and partitioned into owner-hash shards,
+//!   so each query is one contiguous row read inside one shard.
+//! * [`engine::ServeEngine`] / [`engine::ServeClient`] — a
+//!   worker-per-shard thread pool over bounded channels serving single
+//!   and batched queries; the read path takes no locks.
+//! * [`snapshot::SnapshotCell`] — wait-free snapshot publication so a
+//!   `ConstructPPI` re-run can replace the index without ever blocking
+//!   readers or exposing a torn version.
+//!
+//! Query results are bit-for-bit identical to
+//! [`PpiServer::query`](eppi_index::server::PpiServer::query); the
+//! sharding is purely a serving-side layout change and does not alter
+//! the privacy semantics of the published index.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod shard;
+pub mod snapshot;
+
+pub use engine::{ServeClient, ServeConfig, ServeEngine, ServeStats};
+pub use shard::{shard_of, ShardedIndex};
+pub use snapshot::SnapshotCell;

@@ -1,0 +1,345 @@
+//! Sharded, query-optimized storage for a published index.
+//!
+//! `QueryPPI(t_j)` reads one owner *column* of the published matrix
+//! `M'`, but [`eppi_core::model::MembershipMatrix`] is provider-row
+//! major: a column read strides through `m` cache lines. The serving
+//! layer therefore keeps a transposed copy — one packed `u64` provider
+//! bitmap per owner, so a query is a single contiguous row read — and
+//! partitions owners into `S` shards by owner hash so independent
+//! worker threads can each own a disjoint slice of the query space.
+
+use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+
+const BLOCK_BITS: usize = 64;
+
+/// Routes an owner to its shard: Fibonacci (multiplicative) hashing of
+/// the owner id, folded onto `0..shards`. Dense owner ids therefore
+/// spread evenly even when query workloads are rank-correlated.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn shard_of(owner: OwnerId, shards: usize) -> usize {
+    assert!(shards >= 1, "at least one shard required");
+    let h = (owner.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    // Multiply-shift onto the shard range: unbiased enough for routing
+    // and much cheaper than a modulo on the hot path.
+    ((h >> 32).wrapping_mul(shards as u64) >> 32) as usize
+}
+
+/// Where an owner's row lives: which shard, and which slot inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotRef {
+    shard: u32,
+    slot: u32,
+}
+
+/// One shard: the provider bitmaps of the owners routed to it, packed
+/// slot-major (`words_per_row` consecutive `u64`s per owner).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Shard {
+    /// Slot → owner, for reassembly and introspection.
+    owners: Vec<OwnerId>,
+    /// Slot-major packed provider bitmaps.
+    rows: Vec<u64>,
+    words_per_row: usize,
+}
+
+impl Shard {
+    fn row(&self, slot: u32) -> &[u64] {
+        let s = slot as usize * self.words_per_row;
+        &self.rows[s..s + self.words_per_row]
+    }
+}
+
+/// A published index re-laid out for serving: transposed to owner-major
+/// provider bitmaps and partitioned into owner-hash shards.
+///
+/// Query results are bit-for-bit identical to
+/// [`PpiServer::query`](eppi_index::server::PpiServer::query) on the
+/// same index (providers in ascending id order) — asserted by property
+/// tests across random matrices and shard counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    route: Vec<SlotRef>,
+    providers: usize,
+    betas: Vec<f64>,
+    version: u64,
+}
+
+impl ShardedIndex {
+    /// Builds the sharded layout from a published index (version 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn from_index(index: &PublishedIndex, shards: usize) -> Self {
+        Self::from_index_versioned(index, shards, 0)
+    }
+
+    /// Builds the sharded layout carrying an explicit snapshot version
+    /// (the serve engine stamps each re-publication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn from_index_versioned(index: &PublishedIndex, shards: usize, version: u64) -> Self {
+        assert!(shards >= 1, "at least one shard required");
+        let matrix = index.matrix();
+        let (m, n) = (matrix.providers(), matrix.owners());
+        let words_per_row = m.div_ceil(BLOCK_BITS).max(1);
+
+        // Route every owner, counting per-shard slot occupancy.
+        let mut route = Vec::with_capacity(n);
+        let mut counts = vec![0u32; shards];
+        for o in 0..n as u32 {
+            let shard = shard_of(OwnerId(o), shards) as u32;
+            route.push(SlotRef {
+                shard,
+                slot: counts[shard as usize],
+            });
+            counts[shard as usize] += 1;
+        }
+        let mut built: Vec<Shard> = counts
+            .iter()
+            .map(|&c| Shard {
+                owners: vec![OwnerId(0); c as usize],
+                rows: vec![0u64; c as usize * words_per_row],
+                words_per_row,
+            })
+            .collect();
+        for (o, slot_ref) in route.iter().enumerate() {
+            built[slot_ref.shard as usize].owners[slot_ref.slot as usize] = OwnerId(o as u32);
+        }
+
+        // Word-level transpose: walk each provider row once and scatter
+        // its set bits into the owners' shard rows — O(ones + m·n/64)
+        // instead of m·n single-bit probes.
+        for p in 0..m {
+            let (word, mask) = (p / BLOCK_BITS, 1u64 << (p % BLOCK_BITS));
+            for (block, &w) in matrix.row_words(ProviderId(p as u32)).iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let o = block * BLOCK_BITS + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if o >= n {
+                        break;
+                    }
+                    let slot_ref = route[o];
+                    let shard = &mut built[slot_ref.shard as usize];
+                    shard.rows[slot_ref.slot as usize * words_per_row + word] |= mask;
+                }
+            }
+        }
+
+        ShardedIndex {
+            shards: built,
+            route,
+            providers: m,
+            betas: index.betas().to_vec(),
+            version,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of owners indexed.
+    pub fn owners(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Number of providers in the network.
+    pub fn providers(&self) -> usize {
+        self.providers
+    }
+
+    /// The per-owner publishing probabilities (public data).
+    pub fn betas(&self) -> &[f64] {
+        &self.betas
+    }
+
+    /// The snapshot version stamped at construction.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of owners resident in shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn shard_len(&self, s: usize) -> usize {
+        self.shards[s].owners.len()
+    }
+
+    /// Evaluates `QueryPPI(owner)`: the published candidate providers in
+    /// ascending id order, bit-identical to the unsharded row lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range.
+    pub fn query(&self, owner: OwnerId) -> Vec<ProviderId> {
+        self.try_query(owner)
+            .unwrap_or_else(|| panic!("owner {} out of range {}", owner.0, self.route.len()))
+    }
+
+    /// As [`query`](Self::query), but `None` for an unknown owner — the
+    /// non-panicking form the serve engine uses on untrusted input.
+    pub fn try_query(&self, owner: OwnerId) -> Option<Vec<ProviderId>> {
+        let slot_ref = *self.route.get(owner.index())?;
+        let row = self.shards[slot_ref.shard as usize].row(slot_ref.slot);
+        let mut out = Vec::new();
+        for (block, &w) in row.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let p = block * BLOCK_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.push(ProviderId(p as u32));
+            }
+        }
+        Some(out)
+    }
+
+    /// Batched queries, result `i` answering `owners[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any owner is out of range.
+    pub fn query_batch(&self, owners: &[OwnerId]) -> Vec<Vec<ProviderId>> {
+        owners.iter().map(|&o| self.query(o)).collect()
+    }
+
+    /// Reassembles the published index this layout was built from
+    /// (matrix + βs). Used by codec round-trip tests to show the shard
+    /// transform is lossless.
+    pub fn reassemble(&self) -> PublishedIndex {
+        let mut matrix = MembershipMatrix::new(self.providers, self.route.len());
+        for shard in &self.shards {
+            for (slot, &owner) in shard.owners.iter().enumerate() {
+                let row = shard.row(slot as u32);
+                for (block, &w) in row.iter().enumerate() {
+                    let mut bits = w;
+                    while bits != 0 {
+                        let p = block * BLOCK_BITS + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        matrix.set(ProviderId(p as u32), owner, true);
+                    }
+                }
+            }
+        }
+        PublishedIndex::new(matrix, self.betas.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_index::server::PpiServer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_index(rng: &mut StdRng, providers: usize, owners: usize) -> PublishedIndex {
+        let mut matrix = MembershipMatrix::new(providers, owners);
+        for p in 0..providers as u32 {
+            for o in 0..owners as u32 {
+                if rng.gen_bool(0.3) {
+                    matrix.set(ProviderId(p), OwnerId(o), true);
+                }
+            }
+        }
+        let betas: Vec<f64> = (0..owners).map(|_| rng.gen::<f64>()).collect();
+        PublishedIndex::new(matrix, betas)
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_stable() {
+        for shards in 1..=16 {
+            for o in 0..1000u32 {
+                let s = shard_of(OwnerId(o), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(OwnerId(o), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_routing_spreads_dense_ids() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for o in 0..8000u32 {
+            counts[shard_of(OwnerId(o), shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "shard {s} holds {c} of 8000");
+        }
+    }
+
+    #[test]
+    fn query_matches_unsharded_server() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for shards in [1, 2, 3, 7, 16] {
+            let index = random_index(&mut rng, 70, 90);
+            let server = PpiServer::new(index.clone());
+            let sharded = ShardedIndex::from_index(&index, shards);
+            assert_eq!(sharded.shard_count(), shards);
+            for o in 0..90u32 {
+                assert_eq!(
+                    sharded.query(OwnerId(o)),
+                    server.query(OwnerId(o)),
+                    "owner {o}, {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let index = random_index(&mut rng, 40, 30);
+        let sharded = ShardedIndex::from_index(&index, 4);
+        let owners: Vec<OwnerId> = (0..30).map(OwnerId).collect();
+        let batched = sharded.query_batch(&owners);
+        for (o, row) in owners.iter().zip(&batched) {
+            assert_eq!(row, &sharded.query(*o));
+        }
+    }
+
+    #[test]
+    fn reassemble_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let index = random_index(&mut rng, 65, 129);
+        for shards in [1, 5, 16] {
+            let back = ShardedIndex::from_index(&index, shards).reassemble();
+            assert_eq!(&back, &index, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn try_query_handles_unknown_owner() {
+        let index = PublishedIndex::new(MembershipMatrix::new(3, 2), vec![0.0, 0.0]);
+        let sharded = ShardedIndex::from_index(&index, 2);
+        assert_eq!(sharded.try_query(OwnerId(1)), Some(vec![]));
+        assert_eq!(sharded.try_query(OwnerId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_out_of_range_panics() {
+        let index = PublishedIndex::new(MembershipMatrix::new(1, 1), vec![0.0]);
+        ShardedIndex::from_index(&index, 1).query(OwnerId(1));
+    }
+
+    #[test]
+    fn version_is_stamped() {
+        let index = PublishedIndex::new(MembershipMatrix::new(1, 1), vec![0.5]);
+        assert_eq!(ShardedIndex::from_index(&index, 1).version(), 0);
+        assert_eq!(
+            ShardedIndex::from_index_versioned(&index, 1, 9).version(),
+            9
+        );
+    }
+}

@@ -169,7 +169,13 @@ pub fn tiered_epsilons<R: Rng + ?Sized>(
         "vip_fraction must be in [0, 1]"
     );
     (0..owners)
-        .map(|_| if rng.gen::<f64>() < vip_fraction { vip } else { regular })
+        .map(|_| {
+            if rng.gen::<f64>() < vip_fraction {
+                vip
+            } else {
+                regular
+            }
+        })
         .collect()
 }
 
@@ -204,7 +210,10 @@ mod tests {
             .build(&mut rng);
         let freqs = m.frequencies();
         let low = freqs.iter().filter(|&&f| f <= 50).count();
-        assert!(low > 300, "expected mostly rare identities, got {low}/500 low");
+        assert!(
+            low > 300,
+            "expected mostly rare identities, got {low}/500 low"
+        );
     }
 
     #[test]
@@ -213,8 +222,14 @@ mod tests {
         let m = pinned_cohorts(
             100,
             &[
-                Cohort { owners: 5, frequency: 10 },
-                Cohort { owners: 3, frequency: 90 },
+                Cohort {
+                    owners: 5,
+                    frequency: 10,
+                },
+                Cohort {
+                    owners: 3,
+                    frequency: 90,
+                },
             ],
             &mut rng,
         );
@@ -228,7 +243,14 @@ mod tests {
     #[should_panic(expected = "exceeds provider count")]
     fn cohort_frequency_validated() {
         let mut rng = StdRng::seed_from_u64(0);
-        pinned_cohorts(10, &[Cohort { owners: 1, frequency: 11 }], &mut rng);
+        pinned_cohorts(
+            10,
+            &[Cohort {
+                owners: 1,
+                frequency: 11,
+            }],
+            &mut rng,
+        );
     }
 
     #[test]

@@ -73,8 +73,14 @@ mod tests {
         // Every sample valid; the hottest owner dominates.
         let hottest = w.hottest().index();
         let max = *counts.iter().max().unwrap();
-        assert_eq!(counts[hottest], max, "rank-1 owner must be the most queried");
-        assert!(max > 20_000 / 50 * 3, "skew must concentrate queries: {max}");
+        assert_eq!(
+            counts[hottest], max,
+            "rank-1 owner must be the most queried"
+        );
+        assert!(
+            max > 20_000 / 50 * 3,
+            "skew must concentrate queries: {max}"
+        );
     }
 
     #[test]
@@ -87,7 +93,10 @@ mod tests {
             counts[o.index()] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "uniform workload skewed: {counts:?}");
+            assert!(
+                (700..1300).contains(&c),
+                "uniform workload skewed: {counts:?}"
+            );
         }
     }
 

@@ -24,7 +24,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative or non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n >= 1, "support must be non-empty");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -46,7 +49,10 @@ impl Zipf {
     /// Samples a rank in `1..=n` (rank 1 is the most likely).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // present at every provider.
     let base = pinned_cohorts(
         PROVIDERS,
-        &[Cohort { owners: REGULARS, frequency: 12 }],
+        &[Cohort {
+            owners: REGULARS,
+            frequency: 12,
+        }],
         &mut rng,
     );
     let mut network = MembershipMatrix::new(PROVIDERS, REGULARS + COMMONS);
@@ -93,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nomix = construct(
         &network,
         &epsilons,
-        ConstructionConfig { mixing: false, ..ConstructionConfig::default() },
+        ConstructionConfig {
+            mixing: false,
+            ..ConstructionConfig::default()
+        },
         &mut rng,
     )?;
     show("ε-PPI (no mixing)", &nomix.index, None);

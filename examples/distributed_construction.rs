@@ -41,22 +41,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = construct_distributed(&network, &epsilons, &config)?;
 
     println!("ε-PPI construction over {providers} providers, {identities} identities (c = 3):");
-    println!("  SecSumShare: {} rounds, {} messages, {:.1} KiB, {:.2} ms simulated",
+    println!(
+        "  SecSumShare: {} rounds, {} messages, {:.1} KiB, {:.2} ms simulated",
         out.report.secsum.rounds,
         out.report.secsum.messages,
         out.report.secsum.bytes as f64 / 1024.0,
         out.report.secsum.simulated_us / 1000.0,
     );
-    println!("  CountBelow MPC: {} gates ({} AND), {:.1} KiB exchanged",
+    println!(
+        "  CountBelow MPC: {} gates ({} AND), {:.1} KiB exchanged",
         out.report.count_stage.circuit.total_gates,
         out.report.count_stage.circuit.and_gates,
         out.report.count_stage.bytes as f64 / 1024.0,
     );
-    println!("  Mix-decision MPC: {} gates, {:.1} KiB exchanged",
+    println!(
+        "  Mix-decision MPC: {} gates, {:.1} KiB exchanged",
         out.report.mix_stage.circuit.total_gates,
         out.report.mix_stage.bytes as f64 / 1024.0,
     );
-    println!("  commons found: {}, λ = {:.4}, wall {:.2} ms",
+    println!(
+        "  commons found: {}, λ = {:.4}, wall {:.2} ms",
         out.common_count,
         out.lambda,
         out.report.wall.as_secs_f64() * 1e3,
@@ -72,10 +76,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pure = construct_pure_mpc(
         &network,
         &epsilons,
-        &PureMpcConfig { backend: Backend::Threaded, seed: 7, ..PureMpcConfig::default() },
+        &PureMpcConfig {
+            backend: Backend::Threaded,
+            seed: 7,
+            ..PureMpcConfig::default()
+        },
     )?;
     println!("\npure-MPC baseline (all {providers} providers in one circuit):");
-    println!("  circuit: {} gates ({} AND), {:.1} KiB exchanged, wall {:.2} ms",
+    println!(
+        "  circuit: {} gates ({} AND), {:.1} KiB exchanged, wall {:.2} ms",
         pure.stage.circuit.total_gates,
         pure.stage.circuit.and_gates,
         pure.stage.bytes as f64 / 1024.0,

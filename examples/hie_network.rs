@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut store = LocalStore::new(p);
             for owner in network.owner_ids() {
                 if network.get(p, owner) {
-                    store.delegate(owner, epsilons[owner.index()], format!("record of {owner} at {p}"));
+                    store.delegate(
+                        owner,
+                        epsilons[owner.index()],
+                        format!("record of {owner} at {p}"),
+                    );
                 }
             }
             ProviderEndpoint {
@@ -104,7 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  trial {trial}: accuses {} — {}",
             claim.provider,
-            if claim.succeeded { "correct (lucky guess)" } else { "wrong" }
+            if claim.succeeded {
+                "correct (lucky guess)"
+            } else {
+                "wrong"
+            }
         );
     }
     println!("\nwith ε = 0.95, roughly 19 of every 20 accusations are wrong.");

@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A patient delegates records to three hospitals with ε = 0.8.
     let alice = OwnerId(0);
     for p in [4u32, 90, 201] {
-        net.delegate(alice, Epsilon::new(0.8)?, ProviderId(p), format!("visit@{p}"));
+        net.delegate(
+            alice,
+            Epsilon::new(0.8)?,
+            ProviderId(p),
+            format!("visit@{p}"),
+        );
     }
     // A second patient with no privacy concern.
     let bob = OwnerId(1);

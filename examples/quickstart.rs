@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "  attacker confidence {conf:.3} (requested bound ≤ {:.3}) — {}",
                 1.0 - epsilons[owner.index()].value(),
-                if privacy.satisfies(epsilons[owner.index()]) { "satisfied" } else { "VIOLATED" },
+                if privacy.satisfies(epsilons[owner.index()]) {
+                    "satisfied"
+                } else {
+                    "VIOLATED"
+                },
             );
         }
         // The truthful-publication rule guarantees 100% recall.

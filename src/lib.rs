@@ -18,6 +18,9 @@
 //! * [`attacks`] — the primary and common-identity attacks and privacy
 //!   evaluation.
 //! * [`workload`] — synthetic information-network workloads.
+//! * [`serve`] — the serving front-end: sharded index layout, a
+//!   worker-per-shard concurrent query engine, and lock-free snapshot
+//!   refresh for re-publication.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `eppi-bench`
 //! crate for the binaries that regenerate every table and figure of the
@@ -47,4 +50,5 @@ pub use eppi_index as index;
 pub use eppi_mpc as mpc;
 pub use eppi_net as net;
 pub use eppi_protocol as protocol;
+pub use eppi_serve as serve;
 pub use eppi_workload as workload;

@@ -96,5 +96,9 @@ fn codec_scales_to_realistic_indexes() {
     let bytes = encode(&index);
     assert_eq!(decode(&bytes).expect("roundtrip"), index);
     // Density check: 1M cells → 125 KB bitmap + 4 KB betas + header.
-    assert!(bytes.len() < 140_000, "unexpected encoding size {}", bytes.len());
+    assert!(
+        bytes.len() < 140_000,
+        "unexpected encoding size {}",
+        bytes.len()
+    );
 }

@@ -22,7 +22,11 @@ fn matrix_with_freqs(m: usize, freqs: &[usize]) -> MembershipMatrix {
     let mut mat = MembershipMatrix::new(m, freqs.len());
     for (j, &f) in freqs.iter().enumerate() {
         for p in 0..f {
-            mat.set(ProviderId(((p * 7 + j) % m) as u32), OwnerId(j as u32), true);
+            mat.set(
+                ProviderId(((p * 7 + j) % m) as u32),
+                OwnerId(j as u32),
+                true,
+            );
         }
     }
     mat
@@ -56,7 +60,11 @@ fn distributed_count_matches_cleartext_threshold_count() {
     let out = construct_distributed(
         &matrix,
         &epsilons,
-        &ProtocolConfig { policy, seed: 3, ..ProtocolConfig::default() },
+        &ProtocolConfig {
+            policy,
+            seed: 3,
+            ..ProtocolConfig::default()
+        },
     )
     .expect("construction");
 
@@ -92,7 +100,11 @@ fn distributed_betas_match_policy_for_unmixed_identities() {
         let out = construct_distributed(
             &matrix,
             &epsilons,
-            &ProtocolConfig { policy, seed: 11, ..ProtocolConfig::default() },
+            &ProtocolConfig {
+                policy,
+                seed: 11,
+                ..ProtocolConfig::default()
+            },
         )
         .expect("construction");
         for owner in matrix.owner_ids() {
@@ -121,7 +133,10 @@ fn distributed_construction_meets_epsilon_statistically() {
     let out = construct_distributed(
         &matrix,
         &epsilons,
-        &ProtocolConfig { seed: 21, ..ProtocolConfig::default() },
+        &ProtocolConfig {
+            seed: 21,
+            ..ProtocolConfig::default()
+        },
     )
     .expect("construction");
     let ratio = success_ratio(&matrix, &out.index, &epsilons, true);
@@ -139,13 +154,22 @@ fn pure_mpc_and_reduced_protocol_agree_on_commons_and_betas() {
     let reduced = construct_distributed(
         &matrix,
         &epsilons,
-        &ProtocolConfig { policy, seed: 5, ..ProtocolConfig::default() },
+        &ProtocolConfig {
+            policy,
+            seed: 5,
+            ..ProtocolConfig::default()
+        },
     )
     .expect("reduced");
     let pure = construct_pure_mpc(
         &matrix,
         &epsilons,
-        &PureMpcConfig { policy, seed: 5, lambda: reduced.lambda, ..PureMpcConfig::default() },
+        &PureMpcConfig {
+            policy,
+            seed: 5,
+            lambda: reduced.lambda,
+            ..PureMpcConfig::default()
+        },
     )
     .expect("pure");
 
@@ -166,12 +190,18 @@ fn threaded_backend_matches_in_process_backend() {
     let freqs = vec![45usize, 10, 3];
     let matrix = matrix_with_freqs(m, &freqs);
     let epsilons = vec![eps(0.6); 3];
-    let base = ProtocolConfig { seed: 9, ..ProtocolConfig::default() };
+    let base = ProtocolConfig {
+        seed: 9,
+        ..ProtocolConfig::default()
+    };
     let a = construct_distributed(&matrix, &epsilons, &base).expect("in-process");
     let b = construct_distributed(
         &matrix,
         &epsilons,
-        &ProtocolConfig { backend: Backend::Threaded, ..base },
+        &ProtocolConfig {
+            backend: Backend::Threaded,
+            ..base
+        },
     )
     .expect("threaded");
     assert_eq!(a.common_count, b.common_count);
@@ -190,10 +220,18 @@ fn larger_collusion_tolerance_still_correct() {
         let out = construct_distributed(
             &matrix,
             &epsilons,
-            &ProtocolConfig { c, seed: c as u64, ..ProtocolConfig::default() },
+            &ProtocolConfig {
+                c,
+                seed: c as u64,
+                ..ProtocolConfig::default()
+            },
         )
         .expect("construction");
         assert_eq!(out.common_count, 1, "c = {c}");
-        assert_eq!(out.index.query(OwnerId(0)).len(), m, "c = {c}: common broadcasts");
+        assert_eq!(
+            out.index.query(OwnerId(0)).len(),
+            m,
+            "c = {c}: common broadcasts"
+        );
     }
 }

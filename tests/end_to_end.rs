@@ -31,7 +31,10 @@ fn build_world() -> (
     let built = construct(
         &matrix,
         &epsilons,
-        ConstructionConfig { policy: PolicyKind::Chernoff { gamma: 0.9 }, mixing: true },
+        ConstructionConfig {
+            policy: PolicyKind::Chernoff { gamma: 0.9 },
+            mixing: true,
+        },
         &mut rng,
     )
     .expect("construction succeeds");
@@ -50,7 +53,10 @@ fn search_has_full_recall_for_every_owner() {
                     store.delegate(owner, epsilons[owner.index()], format!("{owner}@{p}"));
                 }
             }
-            ProviderEndpoint { store, policy: AccessPolicy::Open }
+            ProviderEndpoint {
+                store,
+                policy: AccessPolicy::Open,
+            }
         })
         .collect();
     let service = LocatorService::new(PpiServer::new(built.index.clone()), endpoints);
@@ -67,7 +73,10 @@ fn search_has_full_recall_for_every_owner() {
 fn privacy_success_ratio_meets_gamma() {
     let (matrix, epsilons, built) = build_world();
     let ratio = success_ratio(&matrix, &built.index, &epsilons, true);
-    assert!(ratio >= 0.88, "success ratio {ratio} below γ = 0.9 (with slack)");
+    assert!(
+        ratio >= 0.88,
+        "success ratio {ratio} below γ = 0.9 (with slack)"
+    );
 }
 
 #[test]
@@ -77,7 +86,11 @@ fn attack_evaluation_classifies_eppi_as_private() {
     assert_eq!(ev.primary_degree, PrivacyDegree::EpsPrivate);
     // With uniform ε and the average owner demanding ε = 0.5, the mean
     // attacker confidence must sit well below certainty.
-    assert!(ev.primary_mean_confidence < 0.6, "{}", ev.primary_mean_confidence);
+    assert!(
+        ev.primary_mean_confidence < 0.6,
+        "{}",
+        ev.primary_mean_confidence
+    );
 }
 
 #[test]
@@ -92,7 +105,10 @@ fn denied_searchers_retrieve_nothing_anywhere() {
                     store.delegate(owner, epsilons[owner.index()], "secret");
                 }
             }
-            ProviderEndpoint { store, policy: AccessPolicy::Deny }
+            ProviderEndpoint {
+                store,
+                policy: AccessPolicy::Deny,
+            }
         })
         .collect();
     let service = LocatorService::new(PpiServer::new(built.index.clone()), endpoints);
@@ -106,7 +122,9 @@ fn denied_searchers_retrieve_nothing_anywhere() {
 #[test]
 fn epsilon_zero_owners_cost_nothing_extra() {
     let mut rng = StdRng::seed_from_u64(0xe20);
-    let matrix = CollectionTable::new(300, 50).max_frequency(10).build(&mut rng);
+    let matrix = CollectionTable::new(300, 50)
+        .max_frequency(10)
+        .build(&mut rng);
     let epsilons = vec![Epsilon::ZERO; 50];
     let built = construct(&matrix, &epsilons, ConstructionConfig::default(), &mut rng)
         .expect("construction succeeds");
@@ -133,8 +151,14 @@ fn query_answer_grows_with_epsilon() {
             let mut rng = StdRng::seed_from_u64(0xbeef);
             let built = construct(&matrix, &eps, ConstructionConfig::default(), &mut rng)
                 .expect("construction succeeds");
-            (0..40u32).map(|j| built.index.query(OwnerId(j)).len() as f64).sum::<f64>() / 40.0
+            (0..40u32)
+                .map(|j| built.index.query(OwnerId(j)).len() as f64)
+                .sum::<f64>()
+                / 40.0
         })
         .collect();
-    assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "sizes {sizes:?} must grow with ε");
+    assert!(
+        sizes[0] < sizes[1] && sizes[1] < sizes[2],
+        "sizes {sizes:?} must grow with ε"
+    );
 }

@@ -22,9 +22,15 @@ fn build_network() -> (MembershipMatrix, Vec<Epsilon>) {
     let matrix = eppi::workload::collections::pinned_cohorts(
         PROVIDERS,
         &[
-            eppi::workload::collections::Cohort { owners: OWNERS - 1, frequency: 6 },
+            eppi::workload::collections::Cohort {
+                owners: OWNERS - 1,
+                frequency: 6,
+            },
             // One common identity to exercise mixing end to end.
-            eppi::workload::collections::Cohort { owners: 1, frequency: PROVIDERS },
+            eppi::workload::collections::Cohort {
+                owners: 1,
+                frequency: PROVIDERS,
+            },
         ],
         &mut rng,
     );
@@ -40,10 +46,16 @@ fn distributed_construct_serialize_serve_search_attack() {
     let out = construct_distributed(
         &matrix,
         &epsilons,
-        &ProtocolConfig { seed: 42, ..ProtocolConfig::default() },
+        &ProtocolConfig {
+            seed: 42,
+            ..ProtocolConfig::default()
+        },
     )
     .expect("distributed construction");
-    assert_eq!(out.common_count, 1, "the planted common identity is detected");
+    assert_eq!(
+        out.common_count, 1,
+        "the planted common identity is detected"
+    );
 
     // 2. Ship the index: encode → decode must be lossless.
     let bytes = encode(&out.index);
@@ -60,7 +72,10 @@ fn distributed_construct_serialize_serve_search_attack() {
                     store.delegate(owner, epsilons[owner.index()], format!("{owner}@{p}"));
                 }
             }
-            ProviderEndpoint { store, policy: AccessPolicy::Open }
+            ProviderEndpoint {
+                store,
+                policy: AccessPolicy::Open,
+            }
         })
         .collect();
     let service = LocatorService::new(PpiServer::new(served), endpoints);
@@ -68,7 +83,11 @@ fn distributed_construct_serialize_serve_search_attack() {
     // 4. Every owner's records are fully retrievable (100% recall).
     for owner in matrix.owner_ids() {
         let outcome = service.search(SearcherId(7), owner);
-        assert_eq!(outcome.true_hits, matrix.frequency(owner), "recall for {owner}");
+        assert_eq!(
+            outcome.true_hits,
+            matrix.frequency(owner),
+            "recall for {owner}"
+        );
     }
 
     // 5. The public index bounds the attacker.
@@ -88,7 +107,10 @@ fn pipeline_is_deterministic_end_to_end() {
         let out = construct_distributed(
             &matrix,
             &epsilons,
-            &ProtocolConfig { seed, ..ProtocolConfig::default() },
+            &ProtocolConfig {
+                seed,
+                ..ProtocolConfig::default()
+            },
         )
         .expect("construction");
         encode(&out.index)
@@ -103,7 +125,10 @@ fn common_identity_broadcasts_through_the_whole_stack() {
     let out = construct_distributed(
         &matrix,
         &epsilons,
-        &ProtocolConfig { seed: 11, ..ProtocolConfig::default() },
+        &ProtocolConfig {
+            seed: 11,
+            ..ProtocolConfig::default()
+        },
     )
     .expect("construction");
     let common = OwnerId((OWNERS - 1) as u32);

@@ -131,5 +131,8 @@ fn gmw_stats_track_circuit_structure() {
     let mut rng = StdRng::seed_from_u64(1);
     let (_, gstats) = gmw::execute(&circuit, &layout, &inputs, &mut rng);
     assert_eq!(gstats.triples_used, stats.and_gates);
-    assert!(gstats.rounds >= stats.and_depth, "rounds cover every AND layer");
+    assert!(
+        gstats.rounds >= stats.and_depth,
+        "rounds cover every AND layer"
+    );
 }

@@ -58,7 +58,12 @@ fn coordinator_share_distribution_is_input_independent() {
     let rare = collect_coordinator0(&[5], 0..800);
     let common = collect_coordinator0(&(0..11).collect::<Vec<_>>(), 0..800);
     assert_roughly_uniform(&rare, q.value(), 0.35, "coordinator view (rare identity)");
-    assert_roughly_uniform(&common, q.value(), 0.35, "coordinator view (common identity)");
+    assert_roughly_uniform(
+        &common,
+        q.value(),
+        0.35,
+        "coordinator view (common identity)",
+    );
     // And the means are statistically indistinguishable (both ≈ q/2).
     let mean = |v: &[u64]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
     let half = q.value() as f64 / 2.0;
@@ -94,7 +99,10 @@ fn gmw_openings_are_unbiased_for_fixed_inputs() {
         ones += usize::from(rng.gen::<bool>());
     }
     let rate = ones as f64 / trials as f64;
-    assert!((rate - 0.5).abs() < 0.05, "mask bits must be unbiased: {rate}");
+    assert!(
+        (rate - 0.5).abs() < 0.05,
+        "mask bits must be unbiased: {rate}"
+    );
 }
 
 /// The published row weight of an identity is the only thing the public

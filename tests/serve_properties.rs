@@ -1,0 +1,94 @@
+//! Property-based tests of the serving subsystem: the sharded layout
+//! and the concurrent engine must answer `QueryPPI` bit-for-bit like
+//! the plain `PpiServer`, and sharding must be a lossless transform of
+//! the published index (shown via codec round-trips on reassembled
+//! indexes).
+
+use eppi::core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use eppi::index::codec;
+use eppi::index::server::PpiServer;
+use eppi::serve::{ServeConfig, ServeEngine, ShardedIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random published index with `providers × owners` membership at
+/// density `fill` (percent) and arbitrary βs.
+fn random_index(seed: u64, providers: usize, owners: usize, fill: u8) -> PublishedIndex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut matrix = MembershipMatrix::new(providers, owners);
+    let p = f64::from(fill.min(100)) / 100.0;
+    for pr in 0..providers as u32 {
+        for o in 0..owners as u32 {
+            if rng.gen_bool(p) {
+                matrix.set(ProviderId(pr), OwnerId(o), true);
+            }
+        }
+    }
+    let betas: Vec<f64> = (0..owners).map(|_| rng.gen::<f64>()).collect();
+    PublishedIndex::new(matrix, betas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acceptance property: for random matrices and every shard count
+    /// 1..=16, the sharded layout answers every owner bit-identically
+    /// to the unsharded server.
+    #[test]
+    fn sharded_query_equals_server_query(
+        seed in any::<u64>(),
+        providers in 1usize..90,
+        owners in 1usize..140,
+        shards in 1usize..=16,
+        fill in 0u8..=100,
+    ) {
+        let index = random_index(seed, providers, owners, fill);
+        let server = PpiServer::new(index.clone());
+        let sharded = ShardedIndex::from_index(&index, shards);
+        for o in 0..owners as u32 {
+            prop_assert_eq!(sharded.query(OwnerId(o)), server.query(OwnerId(o)));
+        }
+        let all: Vec<OwnerId> = (0..owners as u32).map(OwnerId).collect();
+        prop_assert_eq!(sharded.query_batch(&all), server.query_batch(&all));
+    }
+
+    /// The full engine (threads + channels) preserves the same
+    /// bit-for-bit answers, single and batched.
+    #[test]
+    fn engine_query_equals_server_query(
+        seed in any::<u64>(),
+        providers in 1usize..60,
+        owners in 1usize..80,
+        shards in 1usize..=8,
+    ) {
+        let index = random_index(seed, providers, owners, 30);
+        let server = PpiServer::new(index.clone());
+        let engine = ServeEngine::start(&index, ServeConfig { shards, queue_depth: 16 });
+        let client = engine.client();
+        let all: Vec<OwnerId> = (0..owners as u32).map(OwnerId).collect();
+        for &o in &all {
+            prop_assert_eq!(client.query(o), server.query(o));
+        }
+        prop_assert_eq!(client.query_batch(&all), server.query_batch(&all));
+        engine.shutdown();
+    }
+
+    /// Shard-then-reassemble is the identity on published indexes, and
+    /// the reassembled index survives a codec round-trip unchanged —
+    /// i.e. sharding loses no published bit and no β.
+    #[test]
+    fn shard_reassemble_codec_roundtrip(
+        seed in any::<u64>(),
+        providers in 1usize..80,
+        owners in 1usize..100,
+        shards in 1usize..=16,
+        fill in 0u8..=100,
+    ) {
+        let index = random_index(seed, providers, owners, fill);
+        let reassembled = ShardedIndex::from_index(&index, shards).reassemble();
+        prop_assert_eq!(&reassembled, &index);
+        let decoded = codec::decode(&codec::encode(&reassembled)).unwrap();
+        prop_assert_eq!(&decoded, &index);
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the workspace's benches compiling and runnable without
+//! crates.io: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple calibrated loop reporting mean ns/iteration — adequate for
+//! relative comparisons, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark, printing its mean
+    /// iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        match b.report {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+                println!("bench {id:<48} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench {id:<48} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Per-benchmark measurement handle.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` over a budgeted number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until it is long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_BUDGET / 4 || batch >= 1 << 24 {
+                self.report = Some((batch, elapsed));
+                return;
+            }
+            batch = (batch * 4).max(batch + 1);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < MEASURE_BUDGET && iters < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.report = Some((iters, spent));
+    }
+}
+
+/// Batch sizing hints (accepted for API compatibility, not used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke/iter", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+    }
+}

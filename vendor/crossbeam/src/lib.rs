@@ -1,0 +1,11 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities the workspace uses — MPMC channels
+//! ([`channel`]) and scoped threads ([`thread`]) — implemented over
+//! `std::sync` primitives (`Mutex` + `Condvar`, `std::thread::scope`).
+//! Semantics mirror crossbeam 0.8: cloneable senders *and* receivers,
+//! bounded channels that block producers when full, and disconnect
+//! errors once the other side is gone.
+
+pub mod channel;
+pub mod thread;

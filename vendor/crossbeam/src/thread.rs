@@ -1,0 +1,100 @@
+//! Scoped threads (`crossbeam::thread` subset) over `std::thread::scope`.
+//!
+//! Mirrors the crossbeam call shape: the closure passed to
+//! [`Scope::spawn`] receives a `&Scope` so children can spawn siblings,
+//! and [`scope`] returns a `Result` (always `Ok` here — a panicking
+//! child propagates through its [`ScopedJoinHandle::join`], and an
+//! unjoined panicking child aborts the scope exactly as std does).
+
+/// A handle for spawning threads tied to the enclosing [`scope`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Owned handle to a scoped thread.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread and returns its result (`Err` if it
+    /// panicked).
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope; the closure receives the scope
+    /// itself, crossbeam-style.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Runs `f` with a scope handle; all spawned threads are joined before
+/// this returns.
+///
+/// # Errors
+///
+/// Never errors in this implementation (kept as `Result` for crossbeam
+/// API compatibility).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn spawn_and_join_results() {
+        let out = scope(|s| {
+            let joins: Vec<_> = (0..4u64).map(|i| s.spawn(move |_| i * i)).collect();
+            joins.into_iter().map(|j| j.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(out, 0 + 1 + 4 + 9);
+    }
+
+    #[test]
+    fn children_can_spawn_siblings() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+                .join()
+                .unwrap();
+            })
+            .join()
+            .unwrap();
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn panics_surface_via_join() {
+        scope(|s| {
+            let j = s.spawn(|_| panic!("child panic"));
+            assert!(j.join().is_err());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace annotates its data model with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers, but no
+//! in-tree code performs serde serialization (the index wire format in
+//! `eppi-index::codec` is hand-rolled). With crates.io unreachable this
+//! vendored crate supplies just enough for those annotations to
+//! compile: empty marker traits and matching no-op derive macros.
+
+/// Marker for types declaring themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types declaring themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

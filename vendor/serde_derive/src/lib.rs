@@ -1,0 +1,48 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde
+//! stand-in: each derive emits an empty impl of the corresponding
+//! marker trait. Without syn/quote available offline, the type name is
+//! recovered by scanning the raw token stream for the `struct`/`enum`
+//! keyword. Generic types are rejected (none exist in this workspace).
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the type name following `struct`/`enum`/`union`, asserting
+/// the type is not generic.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{kw}`, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    assert!(
+                        p.as_char() != '<',
+                        "the vendored serde derive does not support generic type `{name}`"
+                    );
+                }
+                return name;
+            }
+        }
+    }
+    panic!("no struct/enum/union found in derive input");
+}
