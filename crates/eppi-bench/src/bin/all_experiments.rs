@@ -42,4 +42,11 @@ fn main() {
         "{}",
         eppi_bench::theory::theory_check(&cfg!(theory, TheoryConfig))
     );
+
+    // Everything above reported into the process-global registry
+    // (GMW rounds, construction phases, SecSumShare traffic); close
+    // with the accumulated observability report.
+    let snapshot = eppi_telemetry::global().snapshot();
+    println!("run telemetry ({} metrics):", snapshot.metrics.len());
+    print!("{}", snapshot.to_text());
 }

@@ -1,16 +1,31 @@
 //! Load-tests the eppi-serve front-end (closed-loop, batched, and
-//! open-loop passes) and writes `results/BENCH_serve.json`.
+//! open-loop passes) and writes `results/BENCH_serve.json`, including
+//! the run's full telemetry snapshot.
+//!
+//! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
+//! `EPPI_TELEMETRY=off` disables the engine-side per-query
+//! instrumentation (the overhead baseline — harness measurement stays
+//! on); `EPPI_SERVE_OUT` overrides the output path.
 use eppi_bench::serve::{run, to_json, to_table, ServeLoadConfig};
 use eppi_bench::Scale;
 use std::path::PathBuf;
 
 fn main() {
-    let (config, scale) = match Scale::from_env() {
+    let (mut config, scale) = match Scale::from_env() {
         Scale::Quick => (ServeLoadConfig::quick(), "quick"),
         Scale::Paper => (ServeLoadConfig::paper(), "paper"),
     };
+    if let Ok(v) = std::env::var("EPPI_TELEMETRY") {
+        let v = v.to_ascii_lowercase();
+        config.telemetry = !matches!(v.as_str(), "off" | "0" | "false");
+    }
     let report = run(&config);
     eppi_bench::print_table(&to_table(&report));
+    println!(
+        "telemetry snapshot ({} metrics):",
+        report.telemetry.metrics.len()
+    );
+    print!("{}", report.telemetry.to_text());
 
     let out: PathBuf = std::env::var_os("EPPI_SERVE_OUT")
         .map_or_else(|| PathBuf::from("results/BENCH_serve.json"), PathBuf::from);

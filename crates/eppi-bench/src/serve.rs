@@ -12,17 +12,33 @@
 //!   arrival, so queueing delay under overload is visible (closed-loop
 //!   numbers hide it — coordinated omission).
 //!
-//! Results go to stdout as a table and to `results/BENCH_serve.json`
-//! (override with `EPPI_SERVE_OUT`) with machine info, configuration,
-//! throughput, and p50/p95/p99 latencies.
+//! Measurement runs through `eppi-telemetry`: every run owns a fresh
+//! [`Registry`]; client threads record request latency through
+//! per-thread recorders into the `load.latency_ns{pass}` histogram
+//! family, the engine reports its own `serve.*` families into the same
+//! registry, and a small [`construct_distributed_with_registry`] probe
+//! contributes per-phase construction timings. The whole snapshot is
+//! embedded as the `telemetry` section of `results/BENCH_serve.json`
+//! (override the path with `EPPI_SERVE_OUT`); reported percentiles are
+//! read back from the shared histograms, so the JSON's `passes` and
+//! `telemetry` sections can never disagree.
+//!
+//! Setting [`ServeLoadConfig::telemetry`] to `false` (the
+//! `EPPI_TELEMETRY=off` knob of the `serve_load` binary) disables the
+//! engine-side per-query instrumentation while keeping the harness's
+//! own measurements, which is how the read-path overhead is measured
+//! (DESIGN.md §8).
 
 use crate::report::Table;
-use eppi_core::model::{MembershipMatrix, PublishedIndex};
-use eppi_serve::{ServeConfig, ServeEngine};
+use eppi_core::model::{Epsilon, MembershipMatrix, PublishedIndex};
+use eppi_protocol::construct::{construct_distributed_with_registry, ProtocolConfig};
+use eppi_serve::{default_shards, ServeConfig, ServeEngine};
+use eppi_telemetry::json::JsonValue;
+use eppi_telemetry::{HistogramSummary, Registry, Snapshot};
 use eppi_workload::presets::Preset;
 use eppi_workload::queries::QueryWorkload;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Configuration of one serve load run.
@@ -46,6 +62,9 @@ pub struct ServeLoadConfig {
     pub open_target_qps: f64,
     /// Open-loop run length.
     pub open_duration: Duration,
+    /// Engine-side per-query instrumentation (`false` = overhead
+    /// baseline; harness-side measurement stays on).
+    pub telemetry: bool,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -54,7 +73,7 @@ impl ServeLoadConfig {
     /// Paper-scale run: the experiments' default network (10,000
     /// providers, 20,000 owners) under skewed traffic.
     pub fn paper() -> Self {
-        let shards = std::thread::available_parallelism().map_or(4, |p| p.get());
+        let shards = default_shards();
         ServeLoadConfig {
             preset: Preset::Default,
             skew: 1.0,
@@ -65,6 +84,7 @@ impl ServeLoadConfig {
             batch_size: 64,
             open_target_qps: 50_000.0,
             open_duration: Duration::from_secs(2),
+            telemetry: true,
             seed: 0x5e12e,
         }
     }
@@ -81,6 +101,7 @@ impl ServeLoadConfig {
             batch_size: 16,
             open_target_qps: 5_000.0,
             open_duration: Duration::from_millis(200),
+            telemetry: true,
             seed: 0x5e12e,
         }
     }
@@ -100,7 +121,9 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarizes raw nanosecond samples (sorted internally).
+    /// Summarizes raw nanosecond samples (sorted internally). Exact;
+    /// used by tests as the ground truth the histogram path must match
+    /// within its documented error bound.
     ///
     /// # Panics
     ///
@@ -119,6 +142,22 @@ impl LatencySummary {
             max_us: *samples.last().unwrap() as f64 / 1e3,
         }
     }
+
+    /// Reads the percentiles from a telemetry histogram digest
+    /// (nanosecond domain), as published in the run's snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn from_histogram(digest: &HistogramSummary) -> Self {
+        assert!(digest.count > 0, "no latency samples recorded");
+        LatencySummary {
+            p50_us: digest.p50 as f64 / 1e3,
+            p95_us: digest.p95 as f64 / 1e3,
+            p99_us: digest.p99 as f64 / 1e3,
+            max_us: digest.max as f64 / 1e3,
+        }
+    }
 }
 
 /// Throughput + latency of one load pass.
@@ -132,7 +171,7 @@ pub struct LoadResult {
     pub elapsed: Duration,
     /// Completed queries per second.
     pub qps: f64,
-    /// Latency percentiles.
+    /// Latency percentiles (from the pass's shared histogram).
     pub latency: LatencySummary,
 }
 
@@ -147,6 +186,10 @@ pub struct ServeLoadReport {
     pub owners: usize,
     /// One entry per pass.
     pub passes: Vec<LoadResult>,
+    /// The run's full metric snapshot: the harness's `load.*` families,
+    /// the engine's `serve.*` families, and the construction probe's
+    /// `construct.*`/`secsum.*` families.
+    pub telemetry: Snapshot,
 }
 
 fn build_index(config: &ServeLoadConfig) -> PublishedIndex {
@@ -156,31 +199,86 @@ fn build_index(config: &ServeLoadConfig) -> PublishedIndex {
     PublishedIndex::new(matrix, betas)
 }
 
-/// Runs all three passes against a freshly built engine.
+/// A modest fixed-size distributed construction, so every serve report
+/// also carries per-phase construction timings (the paper's Fig. 6
+/// breakdown) in its telemetry section. Deliberately independent of the
+/// load preset: the probe measures protocol phases, not serve scale.
+fn construction_probe(registry: &Registry, seed: u64) {
+    let providers = 120;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de);
+    let mut matrix = MembershipMatrix::new(providers, 24);
+    for owner in matrix.owner_ids() {
+        let freq = rng.gen_range(1..providers);
+        for p in 0..freq {
+            matrix.set(eppi_core::model::ProviderId(p as u32), owner, true);
+        }
+    }
+    let epsilons = vec![Epsilon::new(0.5).expect("valid epsilon"); 24];
+    let config = ProtocolConfig {
+        seed,
+        ..ProtocolConfig::default()
+    };
+    construct_distributed_with_registry(&matrix, &epsilons, &config, registry)
+        .expect("construction probe");
+}
+
+/// Runs all three passes against a freshly built engine, plus one
+/// snapshot refresh and the construction probe, and captures the run's
+/// whole telemetry snapshot.
 pub fn run(config: &ServeLoadConfig) -> ServeLoadReport {
+    let registry = Registry::new();
     let index = build_index(config);
     let (providers, owners) = (index.matrix().providers(), index.matrix().owners());
-    let engine = ServeEngine::start(
+    let engine = ServeEngine::start_with_registry(
         &index,
         ServeConfig {
             shards: config.shards,
             queue_depth: config.queue_depth,
+            telemetry: config.telemetry,
         },
+        &registry,
     );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xabcd);
     let workload = QueryWorkload::new(owners, config.skew, &mut rng);
 
     let passes = vec![
-        closed_loop(&engine, &workload, config, 1),
-        closed_loop(&engine, &workload, config, config.batch_size.max(1)),
-        open_loop(&engine, &workload, config),
+        closed_loop(&engine, &workload, config, 1, &registry),
+        closed_loop(
+            &engine,
+            &workload,
+            config,
+            config.batch_size.max(1),
+            &registry,
+        ),
+        open_loop(&engine, &workload, config, &registry),
     ];
+    // One re-publication so the snapshot covers the refresh path
+    // (`serve.refreshes`, `serve.install_lag_ns`).
+    engine.refresh(&index);
+    construction_probe(&registry, config.seed);
     engine.shutdown();
     ServeLoadReport {
         config: config.clone(),
         providers,
         owners,
         passes,
+        telemetry: registry.snapshot(),
+    }
+}
+
+/// Builds the pass result from the shared per-pass histogram and the
+/// ops counter — the same numbers the exported snapshot carries.
+fn pass_result(registry: &Registry, mode: &str, elapsed: Duration) -> LoadResult {
+    let ops = registry.counter("load.ops", &[("pass", mode)]).get();
+    let digest = registry
+        .histogram("load.latency_ns", &[("pass", mode)])
+        .summary();
+    LoadResult {
+        mode: mode.to_string(),
+        ops,
+        elapsed,
+        qps: ops as f64 / elapsed.as_secs_f64(),
+        latency: LatencySummary::from_histogram(&digest),
     }
 }
 
@@ -189,104 +287,85 @@ fn closed_loop(
     workload: &QueryWorkload,
     config: &ServeLoadConfig,
     batch: usize,
+    registry: &Registry,
 ) -> LoadResult {
+    let mode = if batch == 1 {
+        "closed_loop"
+    } else {
+        "closed_loop_batch"
+    };
+    let ops_counter = registry.counter("load.ops", &[("pass", mode)]);
     let started = Instant::now();
-    let lat_per_client: Vec<Vec<u64>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..config.clients)
-            .map(|t| {
-                let client = engine.client();
-                s.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(config.seed + 1 + t as u64);
-                    let mut lat = Vec::with_capacity(config.ops_per_client / batch + 1);
-                    let mut done = 0usize;
-                    while done < config.ops_per_client {
-                        let at = Instant::now();
-                        if batch == 1 {
-                            let _ = client.query(workload.sample(&mut rng));
-                            done += 1;
-                        } else {
-                            let owners = workload.batch(batch, &mut rng);
-                            let _ = client.query_batch(&owners);
-                            done += batch;
-                        }
-                        lat.push(at.elapsed().as_nanos() as u64);
+    std::thread::scope(|s| {
+        for t in 0..config.clients {
+            let client = engine.client();
+            let mut lat = registry.recorder("load.latency_ns", &[("pass", mode)]);
+            let ops_counter = &ops_counter;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed + 1 + t as u64);
+                let mut done = 0usize;
+                while done < config.ops_per_client {
+                    let at = Instant::now();
+                    if batch == 1 {
+                        let _ = client.query(workload.sample(&mut rng));
+                        done += 1;
+                        ops_counter.inc();
+                    } else {
+                        let owners = workload.batch(batch, &mut rng);
+                        let _ = client.query_batch(&owners);
+                        done += batch;
+                        ops_counter.add(batch as u64);
                     }
-                    lat
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client"))
-            .collect()
+                    lat.record(at.elapsed().as_nanos() as u64);
+                }
+                // Recorder drop flushes the tail into the shared family.
+            });
+        }
     });
-    let elapsed = started.elapsed();
-    let requests: u64 = lat_per_client.iter().map(|l| l.len() as u64).sum();
-    let ops = requests * batch as u64;
-    LoadResult {
-        mode: if batch == 1 {
-            "closed_loop".into()
-        } else {
-            "closed_loop_batch".into()
-        },
-        ops,
-        elapsed,
-        qps: ops as f64 / elapsed.as_secs_f64(),
-        latency: LatencySummary::from_nanos(lat_per_client.into_iter().flatten().collect()),
-    }
+    pass_result(registry, mode, started.elapsed())
 }
 
 fn open_loop(
     engine: &ServeEngine,
     workload: &QueryWorkload,
     config: &ServeLoadConfig,
+    registry: &Registry,
 ) -> LoadResult {
     // Each client owns an even slice of the target rate and schedules
     // its own arrivals; latency runs from the scheduled arrival, so
     // falling behind schedule (queueing) is charged to the service.
+    let mode = "open_loop";
     let per_client = config.open_target_qps / config.clients.max(1) as f64;
     let interval = Duration::from_secs_f64(1.0 / per_client.max(1.0));
+    let ops_counter = registry.counter("load.ops", &[("pass", mode)]);
     let started = Instant::now();
-    let lat_per_client: Vec<Vec<u64>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..config.clients)
-            .map(|t| {
-                let client = engine.client();
-                s.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(config.seed + 101 + t as u64);
-                    let mut lat = Vec::new();
-                    let mut k = 0u32;
-                    loop {
-                        let scheduled = interval * k;
-                        if scheduled >= config.open_duration {
-                            break;
-                        }
-                        let now = started.elapsed();
-                        if now < scheduled {
-                            std::thread::sleep(scheduled - now);
-                        }
-                        let _ = client.query(workload.sample(&mut rng));
-                        let completed = started.elapsed();
-                        lat.push((completed.saturating_sub(scheduled)).as_nanos() as u64);
-                        k += 1;
+    std::thread::scope(|s| {
+        for t in 0..config.clients {
+            let client = engine.client();
+            let mut lat = registry.recorder("load.latency_ns", &[("pass", mode)]);
+            let ops_counter = &ops_counter;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed + 101 + t as u64);
+                let mut k = 0u32;
+                loop {
+                    let scheduled = interval * k;
+                    if scheduled >= config.open_duration {
+                        break;
                     }
-                    lat
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client"))
-            .collect()
+                    let now = started.elapsed();
+                    if now < scheduled {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let _ = client.query(workload.sample(&mut rng));
+                    let completed = started.elapsed();
+                    lat.record((completed.saturating_sub(scheduled)).as_nanos() as u64);
+                    ops_counter.inc();
+                    k += 1;
+                }
+            });
+        }
     });
-    let elapsed = started.elapsed();
-    let ops: u64 = lat_per_client.iter().map(|l| l.len() as u64).sum();
-    LoadResult {
-        mode: "open_loop".into(),
-        ops,
-        elapsed,
-        qps: ops as f64 / elapsed.as_secs_f64(),
-        latency: LatencySummary::from_nanos(lat_per_client.into_iter().flatten().collect()),
-    }
+    pass_result(registry, mode, started.elapsed())
 }
 
 /// Renders the report as the harness's usual aligned table.
@@ -314,53 +393,84 @@ pub fn to_table(report: &ServeLoadReport) -> Table {
     table
 }
 
-/// Serializes the report to the `BENCH_serve.json` schema (hand-rolled;
-/// the build environment has no JSON crate).
+/// Serializes the report to the `BENCH_serve.json` schema, including
+/// the full `telemetry` snapshot section (see README "Reading the
+/// metrics block").
 pub fn to_json(report: &ServeLoadReport, scale: &str) -> String {
     let threads = std::thread::available_parallelism().map_or(0, |p| p.get());
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"serve_load\",\n");
-    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
-    out.push_str(&format!(
-        "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"hardware_threads\": {threads}}},\n",
-        std::env::consts::OS,
-        std::env::consts::ARCH
-    ));
-    out.push_str(&format!(
-        "  \"config\": {{\"providers\": {}, \"owners\": {}, \"shards\": {}, \"queue_depth\": {}, \
-         \"clients\": {}, \"zipf_s\": {}, \"batch_size\": {}, \"seed\": {}}},\n",
-        report.providers,
-        report.owners,
-        report.config.shards,
-        report.config.queue_depth,
-        report.config.clients,
-        report.config.skew,
-        report.config.batch_size,
-        report.config.seed
-    ));
-    out.push_str("  \"passes\": [\n");
-    for (i, pass) in report.passes.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"ops\": {}, \"elapsed_ms\": {:.2}, \"qps\": {:.1}, \
-             \"latency_us\": {{\"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}, \"max\": {:.2}}}}}{}\n",
-            pass.mode,
-            pass.ops,
-            pass.elapsed.as_secs_f64() * 1e3,
-            pass.qps,
-            pass.latency.p50_us,
-            pass.latency.p95_us,
-            pass.latency.p99_us,
-            pass.latency.max_us,
-            if i + 1 == report.passes.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
+    let passes = report
+        .passes
+        .iter()
+        .map(|pass| {
+            JsonValue::Object(vec![
+                ("mode".into(), JsonValue::Str(pass.mode.clone())),
+                ("ops".into(), JsonValue::UInt(pass.ops)),
+                (
+                    "elapsed_ms".into(),
+                    JsonValue::Float(pass.elapsed.as_secs_f64() * 1e3),
+                ),
+                ("qps".into(), JsonValue::Float(pass.qps)),
+                (
+                    "latency_us".into(),
+                    JsonValue::Object(vec![
+                        ("p50".into(), JsonValue::Float(pass.latency.p50_us)),
+                        ("p95".into(), JsonValue::Float(pass.latency.p95_us)),
+                        ("p99".into(), JsonValue::Float(pass.latency.p99_us)),
+                        ("max".into(), JsonValue::Float(pass.latency.max_us)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::Object(vec![
+        ("bench".into(), JsonValue::Str("serve_load".into())),
+        ("scale".into(), JsonValue::Str(scale.into())),
+        (
+            "machine".into(),
+            JsonValue::Object(vec![
+                ("os".into(), JsonValue::Str(std::env::consts::OS.into())),
+                ("arch".into(), JsonValue::Str(std::env::consts::ARCH.into())),
+                ("hardware_threads".into(), JsonValue::UInt(threads as u64)),
+            ]),
+        ),
+        (
+            "config".into(),
+            JsonValue::Object(vec![
+                ("providers".into(), JsonValue::UInt(report.providers as u64)),
+                ("owners".into(), JsonValue::UInt(report.owners as u64)),
+                (
+                    "shards".into(),
+                    JsonValue::UInt(report.config.shards as u64),
+                ),
+                (
+                    "queue_depth".into(),
+                    JsonValue::UInt(report.config.queue_depth as u64),
+                ),
+                (
+                    "clients".into(),
+                    JsonValue::UInt(report.config.clients as u64),
+                ),
+                ("zipf_s".into(), JsonValue::Float(report.config.skew)),
+                (
+                    "batch_size".into(),
+                    JsonValue::UInt(report.config.batch_size as u64),
+                ),
+                ("telemetry".into(), JsonValue::Bool(report.config.telemetry)),
+                ("seed".into(), JsonValue::UInt(report.config.seed)),
+            ]),
+        ),
+        ("passes".into(), JsonValue::Array(passes)),
+        ("telemetry".into(), report.telemetry.to_json_value()),
+    ]);
+    let mut out = doc.to_pretty();
+    out.push('\n');
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eppi_telemetry::MetricValue;
 
     #[test]
     fn percentiles_from_known_samples() {
@@ -374,6 +484,28 @@ mod tests {
         let single = LatencySummary::from_nanos(vec![5_000]);
         assert_eq!(single.p50_us, 5.0);
         assert_eq!(single.p99_us, 5.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_match_exact_within_error_bound() {
+        let hist = eppi_telemetry::Histogram::new();
+        let samples: Vec<u64> = (1..=100u64).map(|v| v * 1_000).collect();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let from_hist = LatencySummary::from_histogram(&hist.summary());
+        let exact = LatencySummary::from_nanos(samples);
+        for (got, want) in [
+            (from_hist.p50_us, exact.p50_us),
+            (from_hist.p95_us, exact.p95_us),
+            (from_hist.p99_us, exact.p99_us),
+        ] {
+            assert!(
+                (got - want).abs() <= want * eppi_telemetry::MAX_RELATIVE_ERROR,
+                "{got} vs {want}"
+            );
+        }
+        assert_eq!(from_hist.max_us, exact.max_us, "max is tracked exactly");
     }
 
     #[test]
@@ -399,13 +531,92 @@ mod tests {
             "\"qps\"",
             "\"p50\"",
             "\"p99\"",
-            "\"closed_loop\"",
-            "\"closed_loop_batch\"",
-            "\"open_loop\"",
+            "closed_loop",
+            "closed_loop_batch",
+            "open_loop",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let table = to_table(&report).to_string();
         assert!(table.contains("closed_loop_batch"));
+    }
+
+    /// Acceptance criteria for the telemetry section: the emitted JSON
+    /// parses, its `telemetry` section round-trips into a [`Snapshot`],
+    /// and that snapshot carries per-shard serve latency histograms,
+    /// queue-depth gauges, and per-phase construction timings.
+    #[test]
+    fn emitted_json_contains_well_formed_telemetry_snapshot() {
+        let mut config = ServeLoadConfig::quick();
+        config.ops_per_client = 100;
+        config.open_duration = Duration::from_millis(20);
+        let report = run(&config);
+        let json = to_json(&report, "quick");
+        let doc = JsonValue::parse(&json).expect("BENCH_serve.json must parse");
+        let telemetry = doc.get("telemetry").expect("telemetry section");
+        let snap = Snapshot::from_json_value(telemetry).expect("well-formed snapshot");
+        assert_eq!(snap, report.telemetry);
+
+        // Per-shard serve latency histograms with populated quantiles.
+        let service = snap.family("serve.service_ns");
+        assert_eq!(service.len(), config.shards);
+        for m in &service {
+            match &m.value {
+                MetricValue::Histogram(h) => {
+                    assert!(h.count > 0, "{} empty", m.id());
+                    assert!(h.p50 <= h.p95 && h.p95 <= h.p99, "{}", m.id());
+                }
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
+        // Queue-depth gauges, drained by shutdown.
+        let depth = snap.family("serve.queue_depth");
+        assert_eq!(depth.len(), config.shards);
+        for m in &depth {
+            match &m.value {
+                MetricValue::Gauge { value, .. } => assert_eq!(*value, 0, "{}", m.id()),
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
+        // Per-phase construction timings from the probe.
+        assert_eq!(snap.family("construct.phase_ns").len(), 5);
+        // The passes' latency numbers come from these histograms.
+        for pass in &report.passes {
+            let m = snap
+                .find("load.latency_ns", &[("pass", &pass.mode)])
+                .expect("pass histogram");
+            match &m.value {
+                MetricValue::Histogram(h) => {
+                    assert_eq!(
+                        LatencySummary::from_histogram(h),
+                        pass.latency,
+                        "{} diverged from its histogram",
+                        pass.mode
+                    );
+                }
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
+    }
+
+    /// The `telemetry: false` baseline still produces a full report —
+    /// the engine-side families just stay empty.
+    #[test]
+    fn telemetry_off_run_still_reports() {
+        let mut config = ServeLoadConfig::quick();
+        config.ops_per_client = 100;
+        config.open_duration = Duration::from_millis(20);
+        config.telemetry = false;
+        let report = run(&config);
+        assert_eq!(report.passes.len(), 3);
+        for pass in &report.passes {
+            assert!(pass.ops > 0);
+        }
+        for m in report.telemetry.family("serve.service_ns") {
+            match &m.value {
+                MetricValue::Histogram(h) => assert_eq!(h.count, 0, "{} recorded", m.id()),
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
     }
 }

@@ -40,8 +40,8 @@ impl PpiServer {
     }
 
     /// Evaluates a batch of `QueryPPI` lookups; `result[i]` answers
-    /// `owners[i]`. Semantically identical to mapping [`query`]
-    /// (Self::query) over the slice — the batched entry point exists so
+    /// `owners[i]`. Semantically identical to mapping
+    /// [`query`](Self::query) over the slice — the batched entry point exists so
     /// callers (and the `eppi-serve` engine) can amortize per-request
     /// overhead.
     pub fn query_batch(&self, owners: &[OwnerId]) -> Vec<Vec<ProviderId>> {

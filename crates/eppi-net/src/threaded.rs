@@ -3,22 +3,64 @@
 //! Each party runs as an OS thread with a [`PartyHandle`] giving it
 //! point-to-point `send`/`recv`, `broadcast`, and `gather` primitives —
 //! the communication patterns the ε-PPI construction protocol needs.
-//! Traffic is counted with atomics so wall-clock experiments (Fig. 6a/6c)
-//! can also report bandwidth.
+//! Traffic is counted with atomics — totals plus a per-peer split
+//! (messages, bytes, and gather rounds) — so wall-clock experiments
+//! (Fig. 6a/6c) can report bandwidth, and
+//! [`TrafficCounters::publish_to`] exports the split into an
+//! `eppi-telemetry` registry as `<prefix>.messages{peer}` /
+//! `<prefix>.bytes{peer}` / `<prefix>.rounds{peer}` families.
 
 use crate::{NodeId, WireSize};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use eppi_telemetry::Registry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared traffic counters of one threaded run.
+/// One party's share of the traffic in a threaded run.
+#[derive(Debug, Default)]
+pub struct PartyTraffic {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    rounds: AtomicU64,
+}
+
+impl PartyTraffic {
+    /// Messages this party sent.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes this party sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Synchronization rounds ([`PartyHandle::gather`] calls) this
+    /// party completed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared traffic counters of one threaded run: run-wide totals plus
+/// the per-peer split.
 #[derive(Debug, Default)]
 pub struct TrafficCounters {
     messages: AtomicU64,
     bytes: AtomicU64,
+    per_party: Vec<PartyTraffic>,
 }
 
 impl TrafficCounters {
+    /// Counters for a run of `parties` parties.
+    pub fn new(parties: usize) -> Self {
+        TrafficCounters {
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            per_party: (0..parties).map(|_| PartyTraffic::default()).collect(),
+        }
+    }
+
     /// Total messages sent by all parties.
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
@@ -27,6 +69,31 @@ impl TrafficCounters {
     /// Total payload bytes sent by all parties.
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// The per-peer traffic split, indexed by party id.
+    pub fn per_party(&self) -> &[PartyTraffic] {
+        &self.per_party
+    }
+
+    /// Adds this run's traffic to `registry` as the counter families
+    /// `<prefix>.messages` / `<prefix>.bytes` / `<prefix>.rounds` — one
+    /// unlabeled total per family plus one `peer="i"` member per party.
+    /// Counters are cumulative, so publishing several runs under the
+    /// same prefix sums them.
+    pub fn publish_to(&self, registry: &Registry, prefix: &str) {
+        let messages = format!("{prefix}.messages");
+        let bytes = format!("{prefix}.bytes");
+        let rounds = format!("{prefix}.rounds");
+        registry.counter(&messages, &[]).add(self.messages());
+        registry.counter(&bytes, &[]).add(self.bytes());
+        for (i, party) in self.per_party.iter().enumerate() {
+            let peer = i.to_string();
+            let labels: &[(&str, &str)] = &[("peer", &peer)];
+            registry.counter(&messages, labels).add(party.messages());
+            registry.counter(&bytes, labels).add(party.bytes());
+            registry.counter(&rounds, labels).add(party.rounds());
+        }
     }
 }
 
@@ -58,10 +125,12 @@ impl<P: WireSize + Send + Clone> PartyHandle<P> {
     ///
     /// Panics if the receiving party has already shut down.
     pub fn send(&self, to: NodeId, payload: P) {
+        let size = payload.wire_size() as u64;
         self.counters.messages.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .bytes
-            .fetch_add(payload.wire_size() as u64, Ordering::Relaxed);
+        self.counters.bytes.fetch_add(size, Ordering::Relaxed);
+        let mine = &self.counters.per_party[self.me.index()];
+        mine.messages.fetch_add(1, Ordering::Relaxed);
+        mine.bytes.fetch_add(size, Ordering::Relaxed);
         self.senders[to.index()]
             .send((self.me, payload))
             .expect("receiving party hung up");
@@ -102,6 +171,9 @@ impl<P: WireSize + Send + Clone> PartyHandle<P> {
     pub fn gather(&mut self) -> Vec<(NodeId, P)> {
         let parties = self.parties();
         let me = self.me.index();
+        self.counters.per_party[me]
+            .rounds
+            .fetch_add(1, Ordering::Relaxed);
         let mut got: Vec<Option<P>> = vec![None; parties];
         let mut remaining = parties - 1;
         // Serve buffered messages first.
@@ -142,7 +214,7 @@ where
     F: Fn(PartyHandle<P>) -> T + Sync,
 {
     assert!(parties >= 1, "at least one party required");
-    let counters = Arc::new(TrafficCounters::default());
+    let counters = Arc::new(TrafficCounters::new(parties));
     let mut senders = Vec::with_capacity(parties);
     let mut receivers = Vec::with_capacity(parties);
     for _ in 0..parties {
@@ -198,6 +270,46 @@ mod tests {
         assert_eq!(results, vec![100, 100, 100, 100]);
         assert_eq!(counters.messages(), 4 * 3);
         assert_eq!(counters.bytes(), 4 * 3 * 8);
+        // The per-peer split accounts for every total.
+        assert_eq!(counters.per_party().len(), 4);
+        for party in counters.per_party() {
+            assert_eq!(party.messages(), 3);
+            assert_eq!(party.bytes(), 24);
+            assert_eq!(party.rounds(), 1);
+        }
+    }
+
+    #[test]
+    fn publish_to_exports_totals_and_per_peer_families() {
+        use eppi_telemetry::MetricValue;
+
+        let (_, counters) = run_parties::<u64, (), _>(3, |mut h| {
+            h.broadcast(h.me().index() as u64);
+            h.gather();
+        });
+        let registry = Registry::new();
+        counters.publish_to(&registry, "net");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.find("net.messages", &[]).unwrap().value,
+            MetricValue::Counter(6)
+        );
+        assert_eq!(
+            snap.find("net.bytes", &[("peer", "1")]).unwrap().value,
+            MetricValue::Counter(16)
+        );
+        assert_eq!(
+            snap.find("net.rounds", &[("peer", "2")]).unwrap().value,
+            MetricValue::Counter(1)
+        );
+        // One total + one member per peer, per family.
+        assert_eq!(snap.family("net.messages").len(), 4);
+        // Publishing again accumulates rather than replacing.
+        counters.publish_to(&registry, "net");
+        assert_eq!(
+            registry.snapshot().find("net.messages", &[]).unwrap().value,
+            MetricValue::Counter(12)
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ use eppi_core::publish::publish_vector;
 use eppi_mpc::field::Modulus;
 use eppi_mpc::share::recombine_raw;
 use eppi_net::sim::{LinkModel, NetStats};
+use eppi_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -70,6 +71,35 @@ impl Default for ProtocolConfig {
     }
 }
 
+/// Wall-clock split of one construction run by protocol phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseWall {
+    /// Cleartext threshold derivation (Alg. 1 line 2).
+    pub thresholds: Duration,
+    /// SecSumShare across all providers (phase 1.1).
+    pub secsum: Duration,
+    /// CountBelow MPC among the coordinators (phase 1.2a).
+    pub count: Duration,
+    /// Mix-decision MPC among the coordinators (phase 1.2b).
+    pub mix: Duration,
+    /// β evaluation + randomized publication (phase 2).
+    pub publish: Duration,
+}
+
+impl PhaseWall {
+    /// `(name, duration)` pairs in protocol order — the iteration the
+    /// telemetry exporter and report tables share.
+    pub fn named(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("thresholds", self.thresholds),
+            ("secsum", self.secsum),
+            ("count", self.count),
+            ("mix", self.mix),
+            ("publish", self.publish),
+        ]
+    }
+}
+
 /// Cost breakdown of one distributed construction.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ConstructionReport {
@@ -79,6 +109,8 @@ pub struct ConstructionReport {
     pub count_stage: StageReport,
     /// Mix-decision MPC cost (phase 1.2b).
     pub mix_stage: StageReport,
+    /// Per-phase wall-clock split of the run.
+    pub phases: PhaseWall,
     /// End-to-end wall-clock time of the protocol run.
     pub wall: Duration,
 }
@@ -142,6 +174,25 @@ pub fn construct_distributed(
     epsilons: &[Epsilon],
     config: &ProtocolConfig,
 ) -> Result<DistributedConstruction, EppiError> {
+    construct_distributed_with_registry(matrix, epsilons, config, eppi_telemetry::global())
+}
+
+/// [`construct_distributed`] reporting telemetry into a caller-owned
+/// registry: per-phase wall times land in the
+/// `construct.phase_ns{phase=…}` histogram family ([`PhaseWall::named`]
+/// order), the run total in `construct.wall_ns`, MPC circuit sizes in
+/// `construct.gates{stage=…}`, and SecSumShare traffic in
+/// `secsum.messages` / `secsum.bytes`.
+///
+/// # Errors
+///
+/// Same contract as [`construct_distributed`].
+pub fn construct_distributed_with_registry(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    config: &ProtocolConfig,
+    registry: &Registry,
+) -> Result<DistributedConstruction, EppiError> {
     if epsilons.len() != matrix.owners() {
         return Err(EppiError::DimensionMismatch {
             what: "epsilons",
@@ -164,13 +215,18 @@ pub fn construct_distributed(
     let modulus = Modulus::pow2(width as u32);
 
     // Cleartext: public thresholds from public ε's (Formula 9 push-down).
+    let phase = Instant::now();
     let thresholds = frequency_thresholds(config.policy, epsilons, m);
+    let thresholds_wall = phase.elapsed();
 
     // Phase 1.1 — SecSumShare across all m providers.
+    let phase = Instant::now();
     let vectors: Vec<_> = matrix.provider_ids().map(|p| matrix.row(p)).collect();
     let secsum = secsumshare_sim(&vectors, config.c, modulus, config.link, config.seed);
+    let secsum_wall = phase.elapsed();
 
     // Phase 1.2a — CountBelow among the c coordinators.
+    let phase = Instant::now();
     let (common_count, count_stage) = run_count_below(
         &secsum.coordinator_shares,
         &thresholds,
@@ -178,9 +234,11 @@ pub fn construct_distributed(
         config.backend,
         config.seed ^ 0xcb,
     );
+    let count_wall = phase.elapsed();
 
     // Cleartext: λ from the revealed count (Eq. 7), with the
     // conservative ξ = max ε over all identities.
+    let phase = Instant::now();
     let xi = epsilons.iter().map(|e| e.value()).fold(0.0f64, f64::max);
     let lambda = lambda_for(common_count as usize, n, xi);
 
@@ -194,9 +252,11 @@ pub fn construct_distributed(
         config.backend,
         config.seed ^ 0x313,
     );
+    let mix_wall = phase.elapsed();
 
     // Cleartext: reconstruct frequencies only for β*-published
     // identities; evaluate the policy on the revealed σ.
+    let phase = Instant::now();
     let betas: Vec<f64> = decisions
         .iter()
         .enumerate()
@@ -222,12 +282,42 @@ pub fn construct_distributed(
         published.set_row(&row);
     }
 
+    let publish_wall = phase.elapsed();
+
     let report = ConstructionReport {
         secsum: secsum.stats,
         count_stage,
         mix_stage,
+        phases: PhaseWall {
+            thresholds: thresholds_wall,
+            secsum: secsum_wall,
+            count: count_wall,
+            mix: mix_wall,
+            publish: publish_wall,
+        },
         wall: started.elapsed(),
     };
+
+    for (phase, wall) in report.phases.named() {
+        registry
+            .histogram("construct.phase_ns", &[("phase", phase)])
+            .record(wall.as_nanos() as u64);
+    }
+    registry
+        .histogram("construct.wall_ns", &[])
+        .record(report.wall.as_nanos() as u64);
+    registry
+        .counter("construct.gates", &[("stage", "count")])
+        .add(count_stage.circuit.total_gates as u64);
+    registry
+        .counter("construct.gates", &[("stage", "mix")])
+        .add(mix_stage.circuit.total_gates as u64);
+    registry
+        .counter("secsum.messages", &[])
+        .add(secsum.stats.messages);
+    registry
+        .counter("secsum.bytes", &[])
+        .add(secsum.stats.bytes);
 
     Ok(DistributedConstruction {
         index: PublishedIndex::new(published, betas),
@@ -391,6 +481,45 @@ mod tests {
         assert!(out.report.count_stage.circuit.total_gates > 0);
         assert!(out.report.mix_stage.circuit.total_gates > 0);
         assert!(out.report.circuit_size() > 0);
+        // The per-phase split never exceeds the end-to-end wall time.
+        let split: Duration = out.report.phases.named().iter().map(|&(_, d)| d).sum();
+        assert!(
+            split <= out.report.wall,
+            "{split:?} > {:?}",
+            out.report.wall
+        );
+    }
+
+    #[test]
+    fn construction_publishes_phase_telemetry() {
+        use eppi_telemetry::MetricValue;
+
+        let mat = matrix_with_freqs(30, &[5, 10]);
+        let e = vec![eps(0.4); 2];
+        let registry = Registry::new();
+        let out =
+            construct_distributed_with_registry(&mat, &e, &ProtocolConfig::default(), &registry)
+                .unwrap();
+        let snap = registry.snapshot();
+        // One sample per phase, every phase present.
+        let phases = snap.family("construct.phase_ns");
+        assert_eq!(phases.len(), 5, "{snap:?}");
+        for m in phases {
+            match &m.value {
+                MetricValue::Histogram(h) => assert_eq!(h.count, 1, "{}", m.id()),
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
+        assert_eq!(
+            snap.find("construct.gates", &[("stage", "count")])
+                .unwrap()
+                .value,
+            MetricValue::Counter(out.report.count_stage.circuit.total_gates as u64)
+        );
+        assert_eq!(
+            snap.find("secsum.messages", &[]).unwrap().value,
+            MetricValue::Counter(out.report.secsum.messages)
+        );
     }
 
     #[test]

@@ -48,10 +48,11 @@ pub mod sim_gmw;
 pub mod threaded_gmw;
 
 pub use construct::{
-    construct_distributed, ConstructionReport, DistributedConstruction, ProtocolConfig,
+    construct_distributed, construct_distributed_with_registry, ConstructionReport,
+    DistributedConstruction, PhaseWall, ProtocolConfig,
 };
 pub use countbelow::{run_count_below, run_mix_decision, Backend, StageReport};
 pub use pure_mpc::{construct_pure_mpc, PureMpcConfig, PureMpcConstruction};
 pub use secsum::{secsumshare_sim, secsumshare_threaded, SecSumOutput};
 pub use sim_gmw::execute_simulated;
-pub use threaded_gmw::{execute_threaded, ThreadedGmwReport};
+pub use threaded_gmw::{execute_threaded, execute_threaded_with_registry, ThreadedGmwReport};

@@ -15,9 +15,11 @@
 
 use eppi_mpc::circuit::{Circuit, Gate, InputLayout};
 use eppi_net::threaded::run_parties;
+use eppi_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Traffic report of a threaded GMW run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,6 +28,8 @@ pub struct ThreadedGmwReport {
     pub parties: usize,
     /// AND gates evaluated.
     pub and_gates: usize,
+    /// Synchronized AND-opening rounds (circuit AND-depth).
+    pub and_rounds: usize,
     /// Total messages exchanged.
     pub messages: u64,
     /// Total payload bytes exchanged.
@@ -101,7 +105,8 @@ fn schedule(circuit: &Circuit) -> Schedule {
 
 /// Executes `circuit` with one thread per party. Returns the opened
 /// outputs (identical to `circuit.eval` on the flattened inputs) and a
-/// traffic report.
+/// traffic report. Telemetry goes to the process-global registry; see
+/// [`execute_threaded_with_registry`].
 ///
 /// # Panics
 ///
@@ -112,6 +117,26 @@ pub fn execute_threaded(
     layout: &InputLayout,
     inputs: &[Vec<bool>],
     seed: u64,
+) -> (Vec<bool>, ThreadedGmwReport) {
+    execute_threaded_with_registry(circuit, layout, inputs, seed, eppi_telemetry::global())
+}
+
+/// [`execute_threaded`] reporting telemetry into a caller-owned
+/// registry: the `gmw.round_ns` histogram gets one sample per
+/// synchronized AND round (wall time observed by party 0), and the
+/// `gmw.and_gates` / `gmw.rounds` counters accumulate circuit work
+/// across runs.
+///
+/// # Panics
+///
+/// Panics if the layout does not cover the circuit inputs or `inputs`
+/// disagrees with the layout.
+pub fn execute_threaded_with_registry(
+    circuit: &Circuit,
+    layout: &InputLayout,
+    inputs: &[Vec<bool>],
+    seed: u64,
+    registry: &Registry,
 ) -> (Vec<bool>, ThreadedGmwReport) {
     assert_eq!(
         layout.total_inputs(),
@@ -125,10 +150,17 @@ pub fn execute_threaded(
     let mut dealer_rng = StdRng::seed_from_u64(seed ^ 0xd1a1e5);
     let triples = Arc::new(deal_triples(parties, and_gates, &mut dealer_rng));
     let sched = Arc::new(schedule(circuit));
+    let and_rounds = sched
+        .levels
+        .iter()
+        .filter(|(_, ands)| !ands.is_empty())
+        .count();
+    let round_hist = registry.histogram("gmw.round_ns", &[]);
 
     let (mut results, counters) = run_parties::<Vec<bool>, Vec<bool>, _>(parties, {
         let triples = Arc::clone(&triples);
         let sched = Arc::clone(&sched);
+        let round_hist = Arc::clone(&round_hist);
         move |mut h| {
             let me = h.me().index();
             let mut rng =
@@ -191,6 +223,10 @@ pub fn execute_threaded(
                 if ands.is_empty() {
                     continue;
                 }
+                // Party 0 times each synchronized round; one shared
+                // histogram record per round is negligible next to the
+                // broadcast/gather it measures.
+                let round_started = (me == 0).then(Instant::now);
                 // Batched opening of d = x⊕a, e = y⊕b for the layer.
                 let mut my_de = Vec::with_capacity(ands.len() * 2);
                 for &k in ands {
@@ -221,6 +257,9 @@ pub fn execute_threaded(
                     }
                     shares[n_inputs + k] = z;
                 }
+                if let Some(started) = round_started {
+                    round_hist.record(started.elapsed().as_nanos() as u64);
+                }
             }
 
             // Output opening.
@@ -247,9 +286,12 @@ pub fn execute_threaded(
         results.iter().all(|r| *r == outputs),
         "parties disagree on outputs"
     );
+    registry.counter("gmw.and_gates", &[]).add(and_gates as u64);
+    registry.counter("gmw.rounds", &[]).add(and_rounds as u64);
     let report = ThreadedGmwReport {
         parties,
         and_gates,
+        and_rounds,
         messages: counters.messages(),
         bytes: counters.bytes(),
     };
@@ -314,6 +356,38 @@ mod tests {
         let (out, report) = execute_threaded(&circuit, &layout, &[to_bits(12, 4)], 5);
         assert_eq!(out, vec![true]);
         assert_eq!(report.bytes, 0);
+    }
+
+    #[test]
+    fn reports_rounds_and_publishes_round_telemetry() {
+        use eppi_telemetry::MetricValue;
+
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(4);
+        let b = cb.input_word(4);
+        let lt = cb.lt_words(&a, &b);
+        let circuit = cb.finish(vec![lt]);
+        let layout = InputLayout::new(vec![4, 4]);
+        let inputs = vec![to_bits(3, 4), to_bits(9, 4)];
+        let registry = Registry::new();
+        let (out, report) =
+            execute_threaded_with_registry(&circuit, &layout, &inputs, 11, &registry);
+        assert_eq!(out, vec![true]);
+        assert!(report.and_rounds >= 1);
+        assert!(report.and_rounds <= report.and_gates);
+        let snap = registry.snapshot();
+        match &snap.find("gmw.round_ns", &[]).unwrap().value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, report.and_rounds as u64),
+            other => panic!("unexpected metric {other:?}"),
+        }
+        assert_eq!(
+            snap.find("gmw.rounds", &[]).unwrap().value,
+            MetricValue::Counter(report.and_rounds as u64)
+        );
+        assert_eq!(
+            snap.find("gmw.and_gates", &[]).unwrap().value,
+            MetricValue::Counter(report.and_gates as u64)
+        );
     }
 
     #[test]

@@ -15,14 +15,39 @@
 //! enqueues an install message per worker, so in-flight queries finish
 //! on the old version and later ones see the new one: readers are never
 //! blocked and never observe a torn index.
+//!
+//! ## Telemetry
+//!
+//! The engine reports through [`eppi_telemetry`] (DESIGN.md §8): the
+//! cumulative `serve.queries`/`serve.batches`/`serve.refreshes`
+//! counters (always on — each is one relaxed atomic add, the same cost
+//! as the counters they replaced), and, when
+//! [`ServeConfig::telemetry`] is set, per-shard queue-depth gauges and
+//! enqueue-wait / in-service / batch-size / install-lag histograms plus
+//! a shutdown-drain histogram. Worker-side latency recording goes
+//! through per-thread [`Recorder`]s, and each queue-depth gauge is
+//! written only by its own shard worker (sampled from the channel at
+//! dequeue) — the hot read path never contends on a shared cache line
+//! per query. Recorders merge into the shared family on refresh, on
+//! shutdown, and every [`FLUSH_EVERY`](eppi_telemetry::FLUSH_EVERY)
+//! observations.
 
 use crate::shard::{shard_of, ShardedIndex};
 use crate::snapshot::SnapshotCell;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
+use eppi_telemetry::{Counter, Gauge, Histogram, Recorder, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Default shard count: one worker per hardware thread (minimum 4 when
+/// parallelism cannot be determined). Shared by [`ServeConfig::default`]
+/// and the bench harness's paper-scale configuration.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get())
+}
 
 /// Engine sizing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,58 +56,98 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Bounded depth of each shard's request queue.
     pub queue_depth: usize,
+    /// Enables per-shard latency/queue instrumentation. The cumulative
+    /// counters stay on either way; disabling this removes the two
+    /// `Instant::now` calls and recorder writes from the read path
+    /// (measured at < 5% throughput difference — DESIGN.md §8).
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            shards: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            shards: default_shards(),
             queue_depth: 1024,
+            telemetry: true,
         }
     }
 }
 
-/// Cumulative engine counters (relaxed atomics, monotone).
-#[derive(Debug, Default)]
+/// Cumulative engine counters, registered in the engine's telemetry
+/// registry as `serve.queries`, `serve.batches`, and `serve.refreshes`
+/// (relaxed atomics, monotone).
+#[derive(Debug, Clone)]
 pub struct ServeStats {
-    queries: AtomicU64,
-    batches: AtomicU64,
-    refreshes: AtomicU64,
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    refreshes: Arc<Counter>,
 }
 
 impl ServeStats {
+    fn register(registry: &Registry) -> Self {
+        ServeStats {
+            queries: registry.counter("serve.queries", &[]),
+            batches: registry.counter("serve.batches", &[]),
+            refreshes: registry.counter("serve.refreshes", &[]),
+        }
+    }
+
     /// Total single queries answered (batch members included).
     pub fn queries(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+        self.queries.get()
     }
 
     /// Total batch requests answered.
     pub fn batches(&self) -> u64 {
-        self.batches.load(Ordering::Relaxed)
+        self.batches.get()
     }
 
     /// Snapshot refreshes installed (counted once per publication, not
     /// per shard).
     pub fn refreshes(&self) -> u64 {
-        self.refreshes.load(Ordering::Relaxed)
+        self.refreshes.get()
     }
 }
 
 enum Job {
     Query {
         owner: OwnerId,
+        /// Enqueue time, for the `serve.enqueue_wait_ns` histogram.
+        at: Instant,
         reply: Sender<Vec<ProviderId>>,
     },
     Batch {
         /// `(position in the caller's batch, owner)` pairs for this shard.
         entries: Vec<(u32, OwnerId)>,
+        at: Instant,
         reply: Sender<Vec<(u32, Vec<ProviderId>)>>,
     },
-    Install(Arc<ShardedIndex>),
+    Install {
+        view: Arc<ShardedIndex>,
+        /// Publication time, for the `serve.install_lag_ns` histogram.
+        published_at: Instant,
+    },
     Shutdown,
 }
 
+/// Everything one worker thread needs besides its receiver and view.
+struct WorkerCtx {
+    stats: ServeStats,
+    telemetry: bool,
+    queue_depth: Arc<Gauge>,
+    install_lag: Arc<Histogram>,
+    enqueue_wait: Recorder,
+    service: Recorder,
+    batch_size: Recorder,
+}
+
 /// The sharded serving engine; owns the worker threads.
+///
+/// Shutdown is idempotent: [`shutdown`](Self::shutdown) may be called
+/// any number of times, and dropping the engine (with or without a
+/// prior explicit shutdown) performs the same ordered drain — queued
+/// queries are answered, workers joined. Clients outlive the engine
+/// safely and fail fast (empty answers) once it is gone.
 ///
 /// ```
 /// use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
@@ -91,7 +156,8 @@ enum Job {
 /// let mut m = MembershipMatrix::new(4, 2);
 /// m.set(ProviderId(1), OwnerId(0), true);
 /// let index = PublishedIndex::new(m, vec![0.0, 0.0]);
-/// let engine = ServeEngine::start(&index, ServeConfig { shards: 2, queue_depth: 16 });
+/// let config = ServeConfig { shards: 2, queue_depth: 16, ..ServeConfig::default() };
+/// let engine = ServeEngine::start(&index, config);
 /// let client = engine.client();
 /// assert_eq!(client.query(OwnerId(0)), vec![ProviderId(1)]);
 /// assert_eq!(client.query_batch(&[OwnerId(1), OwnerId(0)]).len(), 2);
@@ -100,42 +166,73 @@ enum Job {
 #[derive(Debug)]
 pub struct ServeEngine {
     senders: Vec<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Drained by the first shutdown (explicit or via drop).
+    workers: Mutex<Vec<JoinHandle<()>>>,
     snapshot: Arc<SnapshotCell<ShardedIndex>>,
-    stats: Arc<ServeStats>,
+    stats: ServeStats,
     version: AtomicU64,
+    telemetry: bool,
+    shutdown_drain: Arc<Histogram>,
 }
 
 impl ServeEngine {
-    /// Shards `index` and spawns one worker thread per shard.
+    /// Shards `index` and spawns one worker thread per shard, reporting
+    /// into the process-global telemetry registry.
     ///
     /// # Panics
     ///
     /// Panics if `config.shards == 0`.
     pub fn start(index: &PublishedIndex, config: ServeConfig) -> Self {
+        Self::start_with_registry(index, config, eppi_telemetry::global())
+    }
+
+    /// [`start`](Self::start) reporting into a caller-owned registry —
+    /// used by the bench harness so each run snapshots only its own
+    /// metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn start_with_registry(
+        index: &PublishedIndex,
+        config: ServeConfig,
+        registry: &Registry,
+    ) -> Self {
         let initial = Arc::new(ShardedIndex::from_index_versioned(index, config.shards, 0));
         let snapshot = Arc::new(SnapshotCell::new(Arc::clone(&initial)));
-        let stats = Arc::new(ServeStats::default());
+        let stats = ServeStats::register(registry);
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
+            let label = shard.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &label)];
+            let ctx = WorkerCtx {
+                stats: stats.clone(),
+                telemetry: config.telemetry,
+                queue_depth: registry.gauge("serve.queue_depth", labels),
+                install_lag: registry.histogram("serve.install_lag_ns", labels),
+                enqueue_wait: registry.recorder("serve.enqueue_wait_ns", labels),
+                service: registry.recorder("serve.service_ns", labels),
+                batch_size: registry.recorder("serve.batch_size", labels),
+            };
             let (tx, rx) = bounded(config.queue_depth.max(1));
             senders.push(tx);
             let view = Arc::clone(&initial);
-            let stats = Arc::clone(&stats);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("eppi-serve-{shard}"))
-                    .spawn(move || worker_loop(rx, view, stats))
+                    .spawn(move || worker_loop(rx, view, ctx))
                     .expect("spawn shard worker"),
             );
         }
         ServeEngine {
             senders,
-            workers,
+            workers: Mutex::new(workers),
             snapshot,
             stats,
             version: AtomicU64::new(0),
+            telemetry: config.telemetry,
+            shutdown_drain: registry.histogram("serve.shutdown_drain_ns", &[]),
         }
     }
 
@@ -143,6 +240,8 @@ impl ServeEngine {
     pub fn client(&self) -> ServeClient {
         ServeClient {
             senders: self.senders.clone(),
+            telemetry: self.telemetry,
+            epoch: Instant::now(),
         }
     }
 
@@ -179,78 +278,150 @@ impl ServeEngine {
             version,
         ));
         self.snapshot.store(Arc::clone(&sharded));
+        let published_at = Instant::now();
         for tx in &self.senders {
             // A worker gone mid-shutdown just misses the update.
-            let _ = tx.send(Job::Install(Arc::clone(&sharded)));
+            let _ = tx.send(Job::Install {
+                view: Arc::clone(&sharded),
+                published_at,
+            });
         }
-        self.stats.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.stats.refreshes.inc();
     }
 
     /// Stops all workers and joins them. Queued queries are answered
     /// first; clients created from this engine fail fast afterwards.
-    pub fn shutdown(mut self) {
-        self.stop_workers();
-    }
-
-    fn stop_workers(&mut self) {
+    /// Idempotent: later calls (and the eventual drop) are no-ops.
+    pub fn shutdown(&self) {
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        if workers.is_empty() {
+            return;
+        }
+        let drain_started = Instant::now();
         for tx in &self.senders {
             let _ = tx.send(Job::Shutdown);
         }
-        self.senders.clear();
-        for worker in self.workers.drain(..) {
+        for worker in workers.drain(..) {
             let _ = worker.join();
+        }
+        if self.telemetry {
+            self.shutdown_drain
+                .record(drain_started.elapsed().as_nanos() as u64);
         }
     }
 }
 
 impl Drop for ServeEngine {
+    /// Drops perform the same ordered drain as [`shutdown`](Self::shutdown)
+    /// (and are a no-op after an explicit shutdown).
     fn drop(&mut self) {
-        self.stop_workers();
+        self.shutdown();
     }
 }
 
-fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, stats: Arc<ServeStats>) {
+fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCtx) {
     while let Ok(job) = rx.recv() {
         match job {
-            Job::Query { owner, reply } => {
-                stats.queries.fetch_add(1, Ordering::Relaxed);
+            Job::Query { owner, at, reply } => {
+                let started = if ctx.telemetry {
+                    // This worker is the gauge's only writer: the store
+                    // stays in its own cache line, uncontended.
+                    ctx.queue_depth.set(rx.len() as i64);
+                    let now = Instant::now();
+                    ctx.enqueue_wait
+                        .record(now.saturating_duration_since(at).as_nanos() as u64);
+                    Some(now)
+                } else {
+                    None
+                };
+                ctx.stats.queries.inc();
                 let result = view.try_query(owner).unwrap_or_default();
+                if let Some(started) = started {
+                    ctx.service.record(started.elapsed().as_nanos() as u64);
+                }
                 let _ = reply.send(result);
             }
-            Job::Batch { entries, reply } => {
-                stats
-                    .queries
-                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
-                stats.batches.fetch_add(1, Ordering::Relaxed);
+            Job::Batch { entries, at, reply } => {
+                let started = if ctx.telemetry {
+                    ctx.queue_depth.set(rx.len() as i64);
+                    let now = Instant::now();
+                    ctx.enqueue_wait
+                        .record(now.saturating_duration_since(at).as_nanos() as u64);
+                    ctx.batch_size.record(entries.len() as u64);
+                    Some(now)
+                } else {
+                    None
+                };
+                ctx.stats.queries.add(entries.len() as u64);
+                ctx.stats.batches.inc();
                 let results = entries
                     .into_iter()
                     .map(|(pos, owner)| (pos, view.try_query(owner).unwrap_or_default()))
                     .collect();
+                if let Some(started) = started {
+                    ctx.service.record(started.elapsed().as_nanos() as u64);
+                }
                 let _ = reply.send(results);
             }
-            Job::Install(new_view) => view = new_view,
-            Job::Shutdown => break,
+            Job::Install {
+                view: v,
+                published_at,
+            } => {
+                view = v;
+                if ctx.telemetry {
+                    ctx.install_lag
+                        .record(published_at.elapsed().as_nanos() as u64);
+                    // Make the just-served traffic visible to snapshots
+                    // taken after the refresh.
+                    ctx.enqueue_wait.flush();
+                    ctx.service.flush();
+                    ctx.batch_size.flush();
+                }
+            }
+            Job::Shutdown => {
+                if ctx.telemetry {
+                    // The queue is drained; leave the truthful level.
+                    ctx.queue_depth.set(0);
+                }
+                break;
+            }
         }
     }
+    // Recorder drops flush the tail observations.
 }
 
 /// A handle for submitting queries; cheap to clone and share.
 #[derive(Debug, Clone)]
 pub struct ServeClient {
     senders: Vec<Sender<Job>>,
+    telemetry: bool,
+    /// Placeholder enqueue stamp when telemetry is off (skips the
+    /// clock read on the submit path).
+    epoch: Instant,
 }
 
 impl ServeClient {
+    /// The enqueue stamp for a job submitted now.
+    fn stamp(&self) -> Instant {
+        if self.telemetry {
+            Instant::now()
+        } else {
+            self.epoch
+        }
+    }
+
     /// Evaluates `QueryPPI(owner)` on the owner's shard. Unknown owners
     /// (beyond the current index) and a shut-down engine both answer
     /// with the empty candidate list, matching an empty `PpiServer`.
     pub fn query(&self, owner: OwnerId) -> Vec<ProviderId> {
         let (reply, rx) = bounded(1);
         let shard = shard_of(owner, self.senders.len());
-        if self.senders[shard]
-            .send(Job::Query { owner, reply })
-            .is_err()
-        {
+        let job = Job::Query {
+            owner,
+            at: self.stamp(),
+            reply,
+        };
+        if self.senders[shard].send(job).is_err() {
             return Vec::new();
         }
         rx.recv().unwrap_or_default()
@@ -272,10 +443,12 @@ impl ServeClient {
                 continue;
             }
             let (reply, rx) = bounded(1);
-            if self.senders[shard]
-                .send(Job::Batch { entries, reply })
-                .is_ok()
-            {
+            let job = Job::Batch {
+                entries,
+                at: self.stamp(),
+                reply,
+            };
+            if self.senders[shard].send(job).is_ok() {
                 replies.push(rx);
             }
         }
@@ -295,6 +468,7 @@ mod tests {
     use super::*;
     use eppi_core::model::MembershipMatrix;
     use eppi_index::server::PpiServer;
+    use eppi_telemetry::MetricValue;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -311,18 +485,21 @@ mod tests {
         PublishedIndex::new(matrix, betas)
     }
 
+    fn config(shards: usize, queue_depth: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            queue_depth,
+            telemetry: true,
+        }
+    }
+
     #[test]
     fn engine_answers_like_the_unsharded_server() {
         let mut rng = StdRng::seed_from_u64(21);
         let index = random_index(&mut rng, 50, 200, 0.2);
         let server = PpiServer::new(index.clone());
-        let engine = ServeEngine::start(
-            &index,
-            ServeConfig {
-                shards: 4,
-                queue_depth: 64,
-            },
-        );
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&index, config(4, 64), &registry);
         let client = engine.client();
         for o in 0..200u32 {
             assert_eq!(
@@ -341,13 +518,7 @@ mod tests {
     #[test]
     fn unknown_owner_answers_empty() {
         let index = random_index(&mut StdRng::seed_from_u64(22), 8, 4, 0.5);
-        let engine = ServeEngine::start(
-            &index,
-            ServeConfig {
-                shards: 2,
-                queue_depth: 8,
-            },
-        );
+        let engine = ServeEngine::start_with_registry(&index, config(2, 8), &Registry::new());
         assert!(engine.client().query(OwnerId(4000)).is_empty());
     }
 
@@ -356,13 +527,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let before = random_index(&mut rng, 30, 60, 0.1);
         let after = random_index(&mut rng, 30, 60, 0.6);
-        let engine = ServeEngine::start(
-            &before,
-            ServeConfig {
-                shards: 3,
-                queue_depth: 16,
-            },
-        );
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&before, config(3, 16), &registry);
         let client = engine.client();
         let expect_before = PpiServer::new(before.clone());
         for o in 0..60u32 {
@@ -382,13 +548,7 @@ mod tests {
     #[test]
     fn queries_after_shutdown_fail_fast_and_empty() {
         let index = random_index(&mut StdRng::seed_from_u64(24), 10, 10, 0.9);
-        let engine = ServeEngine::start(
-            &index,
-            ServeConfig {
-                shards: 2,
-                queue_depth: 4,
-            },
-        );
+        let engine = ServeEngine::start_with_registry(&index, config(2, 4), &Registry::new());
         let client = engine.client();
         engine.shutdown();
         assert!(client.query(OwnerId(0)).is_empty());
@@ -396,6 +556,129 @@ mod tests {
             .query_batch(&[OwnerId(0), OwnerId(1)])
             .iter()
             .all(Vec::is_empty));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let index = random_index(&mut StdRng::seed_from_u64(26), 10, 20, 0.3);
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&index, config(2, 8), &registry);
+        let client = engine.client();
+        assert!(!client.query(OwnerId(1)).is_empty() || client.query(OwnerId(1)).is_empty());
+        engine.shutdown();
+        engine.shutdown();
+        engine.shutdown();
+        // Queries keep failing fast, drop after shutdown is a no-op.
+        assert!(client.query(OwnerId(0)).is_empty());
+        drop(engine);
+        // The drain was recorded exactly once, by the first shutdown.
+        let snap = registry.snapshot();
+        match &snap.find("serve.shutdown_drain_ns", &[]).unwrap().value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("unexpected metric {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_covers_the_serve_path() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let index = random_index(&mut rng, 30, 64, 0.2);
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&index, config(2, 32), &registry);
+        let client = engine.client();
+        for o in 0..64u32 {
+            client.query(OwnerId(o));
+        }
+        let owners: Vec<OwnerId> = (0..64).map(OwnerId).collect();
+        client.query_batch(&owners);
+        engine.refresh(&index);
+        // One more query after the refresh so both shards saw traffic.
+        client.query(OwnerId(0));
+        engine.shutdown();
+
+        let snap = registry.snapshot();
+        let service: u64 = snap
+            .family("serve.service_ns")
+            .iter()
+            .map(|m| match &m.value {
+                MetricValue::Histogram(h) => h.count,
+                other => panic!("unexpected metric {other:?}"),
+            })
+            .sum();
+        // 65 singles + one batch job per shard involved.
+        assert!(service >= 66, "service histogram undercounts: {service}");
+        let waits: u64 = snap
+            .family("serve.enqueue_wait_ns")
+            .iter()
+            .map(|m| match &m.value {
+                MetricValue::Histogram(h) => h.count,
+                other => panic!("unexpected metric {other:?}"),
+            })
+            .sum();
+        assert_eq!(waits, service, "every served job has an enqueue wait");
+        let batch_sizes = snap.family("serve.batch_size");
+        let recorded: u64 = batch_sizes
+            .iter()
+            .map(|m| match &m.value {
+                MetricValue::Histogram(h) => h.sum,
+                other => panic!("unexpected metric {other:?}"),
+            })
+            .sum();
+        assert_eq!(recorded, 64, "batch members recorded once each");
+        let lags = snap.family("serve.install_lag_ns");
+        let installs: u64 = lags
+            .iter()
+            .map(|m| match &m.value {
+                MetricValue::Histogram(h) => h.count,
+                other => panic!("unexpected metric {other:?}"),
+            })
+            .sum();
+        assert_eq!(installs, 2, "one install per shard per refresh");
+        // All queues drained back to zero (depth is sampled by the
+        // worker at dequeue, so the peak may legitimately stay 0 when
+        // clients always block on replies).
+        for m in snap.family("serve.queue_depth") {
+            match &m.value {
+                MetricValue::Gauge { value, peak } => {
+                    assert_eq!(*value, 0, "queue depth leaked on {}", m.id());
+                    assert!(*peak >= 0);
+                }
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_off_keeps_counters_only() {
+        let index = random_index(&mut StdRng::seed_from_u64(28), 10, 16, 0.4);
+        let registry = Registry::new();
+        let cfg = ServeConfig {
+            shards: 2,
+            queue_depth: 8,
+            telemetry: false,
+        };
+        let engine = ServeEngine::start_with_registry(&index, cfg, &registry);
+        let client = engine.client();
+        for o in 0..16u32 {
+            client.query(OwnerId(o));
+        }
+        engine.shutdown();
+        assert_eq!(engine.stats().queries(), 16);
+        let snap = registry.snapshot();
+        for m in snap.family("serve.service_ns") {
+            match &m.value {
+                MetricValue::Histogram(h) => assert_eq!(h.count, 0, "{} recorded", m.id()),
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
+        for m in snap.family("serve.queue_depth") {
+            match &m.value {
+                MetricValue::Gauge { value, peak } => {
+                    assert_eq!((*value, *peak), (0, 0), "{} moved", m.id())
+                }
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
     }
 
     /// The acceptance stress: ≥ 4 shards, ≥ 8 client threads, refreshes
@@ -411,13 +694,8 @@ mod tests {
         let expect_a: Vec<Vec<ProviderId>> = (0..owners).map(|o| a.query(OwnerId(o))).collect();
         let expect_b: Vec<Vec<ProviderId>> = (0..owners).map(|o| b.query(OwnerId(o))).collect();
 
-        let engine = ServeEngine::start(
-            &a,
-            ServeConfig {
-                shards: 4,
-                queue_depth: 32,
-            },
-        );
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&a, config(4, 32), &registry);
         std::thread::scope(|s| {
             for t in 0..8u64 {
                 let client = engine.client();

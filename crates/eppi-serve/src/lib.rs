@@ -27,6 +27,6 @@ pub mod engine;
 pub mod shard;
 pub mod snapshot;
 
-pub use engine::{ServeClient, ServeConfig, ServeEngine, ServeStats};
+pub use engine::{default_shards, ServeClient, ServeConfig, ServeEngine, ServeStats};
 pub use shard::{shard_of, ShardedIndex};
 pub use snapshot::SnapshotCell;

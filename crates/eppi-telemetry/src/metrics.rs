@@ -1,0 +1,136 @@
+//! Scalar instruments: monotone counters and up/down gauges.
+//!
+//! Both are single relaxed atomics — one uncontended cache line per
+//! instrument, no read-modify-write ordering beyond the increment
+//! itself — so hot paths (the serve read path, the per-message transport
+//! path) can update them without cross-thread serialization. Exact
+//! cross-metric consistency is explicitly *not* promised: a snapshot
+//! taken mid-run may observe counter A's increment but not counter B's.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, in-flight requests) that can go
+/// up and down; the high-water mark since creation is tracked alongside
+/// the live value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds one and updates the high-water mark.
+    #[inline]
+    pub fn inc(&self) {
+        let now = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the level outright (also raises the high-water mark).
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed by [`inc`](Self::inc)/[`set`](Self::set).
+    pub fn peak(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 3);
+        g.set(10);
+        g.dec();
+        assert_eq!(g.get(), 9);
+        assert_eq!(g.peak(), 10);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let c = Arc::new(Counter::new());
+        let g = Arc::new(Gauge::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                        g.inc();
+                        g.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(g.get(), 0);
+        assert!(g.peak() >= 1);
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`serve`] — the serving front-end: sharded index layout, a
 //!   worker-per-shard concurrent query engine, and lock-free snapshot
 //!   refresh for re-publication.
+//! * [`telemetry`] — the workspace-wide metrics layer: lock-free
+//!   counters/gauges, mergeable log-linear histograms with per-thread
+//!   recorders, span timers, and a labeled registry with text/JSON
+//!   exporters.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `eppi-bench`
 //! crate for the binaries that regenerate every table and figure of the
@@ -51,4 +55,5 @@ pub use eppi_mpc as mpc;
 pub use eppi_net as net;
 pub use eppi_protocol as protocol;
 pub use eppi_serve as serve;
+pub use eppi_telemetry as telemetry;
 pub use eppi_workload as workload;

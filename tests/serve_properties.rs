@@ -64,7 +64,8 @@ proptest! {
     ) {
         let index = random_index(seed, providers, owners, 30);
         let server = PpiServer::new(index.clone());
-        let engine = ServeEngine::start(&index, ServeConfig { shards, queue_depth: 16 });
+        let engine =
+            ServeEngine::start(&index, ServeConfig { shards, queue_depth: 16, telemetry: false });
         let client = engine.client();
         let all: Vec<OwnerId> = (0..owners as u32).map(OwnerId).collect();
         for &o in &all {

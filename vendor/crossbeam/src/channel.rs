@@ -243,6 +243,16 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Number of messages currently buffered in the channel.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().expect("channel poisoned").queue.len()
+    }
+
+    /// Whether the channel currently buffers no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Blocking iterator over messages until disconnect.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { receiver: self }
@@ -311,11 +321,14 @@ mod tests {
     #[test]
     fn unbounded_fifo() {
         let (tx, rx) = unbounded();
+        assert!(rx.is_empty());
         for i in 0..10 {
             tx.send(i).unwrap();
         }
+        assert_eq!(rx.len(), 10);
         let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rx.is_empty());
     }
 
     #[test]
