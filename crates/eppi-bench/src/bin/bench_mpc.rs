@@ -1,0 +1,29 @@
+//! Times the packed GMW core against the frozen unpacked reference on
+//! Fig. 6-scale pure-MPC construction circuits and writes
+//! `results/BENCH_mpc.json`.
+//!
+//! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
+//! `EPPI_MPC_OUT` overrides the output path.
+use eppi_bench::mpc_speed::{run, to_json, to_table, MpcBenchConfig};
+use eppi_bench::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let (config, scale) = match Scale::from_env() {
+        Scale::Quick => (MpcBenchConfig::quick(), "quick"),
+        Scale::Paper => (MpcBenchConfig::paper(), "paper"),
+    };
+    let report = run(&config);
+    eppi_bench::print_table(&to_table(&report));
+    println!("speedup geomean: {:.3}x", report.geomean_speedup());
+
+    let out: PathBuf = std::env::var_os("EPPI_MPC_OUT")
+        .map_or_else(|| PathBuf::from("results/BENCH_mpc.json"), PathBuf::from);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out, to_json(&report, scale)).expect("write BENCH_mpc.json");
+    eprintln!("wrote {}", out.display());
+}

@@ -18,6 +18,7 @@
 //! | `collusion` | coalition-assisted attack sweep (tech-report analysis) |
 //! | `theory_check` | measured vs exact-Binomial vs Theorem 3.1 bound |
 //! | `serve_load` | eppi-serve front-end throughput/latency (`results/BENCH_serve.json`) |
+//! | `bench_mpc` | packed GMW core vs unpacked reference (`results/BENCH_mpc.json`) |
 //! | `all_experiments` | everything above, in order |
 
 #![warn(missing_docs)]
@@ -28,6 +29,7 @@ pub mod collusion;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod mpc_speed;
 pub mod report;
 pub mod search_cost;
 pub mod serve;

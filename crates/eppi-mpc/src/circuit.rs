@@ -205,26 +205,11 @@ impl Circuit {
     /// Groups AND gates by their AND-depth layer; gates in the same layer
     /// can share one communication round under GMW. Returns, per layer,
     /// the gate indices (not wire ids) of its AND gates.
+    ///
+    /// This is a view of the one true scheduler,
+    /// [`crate::gmw_core::Schedule`].
     pub fn and_layers(&self) -> Vec<Vec<usize>> {
-        let mut depth = vec![0usize; self.wires()];
-        let mut layers: Vec<Vec<usize>> = Vec::new();
-        for (k, gate) in self.gates.iter().enumerate() {
-            let this = self.inputs + k;
-            match *gate {
-                Gate::Xor(a, b) => depth[this] = depth[a.index()].max(depth[b.index()]),
-                Gate::Not(a) => depth[this] = depth[a.index()],
-                Gate::Const(_) => depth[this] = 0,
-                Gate::And(a, b) => {
-                    let d = depth[a.index()].max(depth[b.index()]);
-                    if layers.len() <= d {
-                        layers.resize_with(d + 1, Vec::new);
-                    }
-                    layers[d].push(k);
-                    depth[this] = d + 1;
-                }
-            }
-        }
-        layers
+        crate::gmw_core::Schedule::new(self).and_layer_gates()
     }
 }
 

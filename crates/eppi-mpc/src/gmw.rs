@@ -1,4 +1,4 @@
-//! GMW-style secure evaluation of Boolean circuits.
+//! GMW-style secure evaluation of Boolean circuits — in-process backend.
 //!
 //! This is the generic-MPC engine standing in for FairplayMP (see
 //! DESIGN.md §4 for the substitution rationale). Wire values are
@@ -6,18 +6,32 @@
 //! while each AND gate consumes one **Beaver multiplication triple** and
 //! one opening round (amortized across all AND gates at the same depth).
 //!
-//! The engine runs all parties in-process under the semi-honest model the
-//! paper assumes (§IV-C) and accounts the communication a real deployment
-//! would perform: every opening is a broadcast of one bit from each party
-//! to each other party, so per-AND-gate traffic grows quadratically with
-//! the party count — the structural reason the paper's *pure MPC*
-//! baseline scales super-linearly while ε-PPI pins the circuit to `c`
-//! coordinators.
+//! Since the core refactor this module is a thin adapter: the protocol
+//! itself lives in [`crate::gmw_core`] (one bit-packed [`PartyCore`] per
+//! party, 64 wires per word) and the message flow in an
+//! [`InProcessTransport`] hub driven in lockstep. The engine runs all
+//! parties in-process under the semi-honest model the paper assumes
+//! (§IV-C) and accounts the communication a real deployment would
+//! perform: every AND layer is a batched all-to-all broadcast carrying
+//! two logical bits per gate per ordered party pair, so per-AND-gate
+//! traffic still grows quadratically with the party count — the
+//! structural reason the paper's *pure MPC* baseline scales
+//! super-linearly while ε-PPI pins the circuit to `c` coordinators.
 
-use crate::circuit::{Circuit, Gate, InputLayout};
+use crate::circuit::{Circuit, InputLayout};
+use crate::gmw_core::{
+    deal_packed_triples, logical_bits, protocol_rounds, run_lockstep, PartyCore, PartyTriples,
+    Schedule,
+};
+use eppi_net::transport::InProcessTransport;
 use rand::Rng;
 
 /// Communication/round statistics of one secure evaluation.
+///
+/// Traffic follows the workspace-wide two-unit convention documented in
+/// `eppi-net`'s crate docs: [`bits_sent`](GmwStats::bits_sent) counts
+/// logical payload bits (the paper's cost model) and
+/// [`bytes`](GmwStats::bytes) the packed wire encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GmwStats {
     /// Number of participating parties.
@@ -27,59 +41,14 @@ pub struct GmwStats {
     /// Communication rounds: input sharing + one per AND layer + output
     /// opening.
     pub rounds: usize,
-    /// Total bits sent across all parties.
+    /// Total logical payload bits sent across all parties.
     pub bits_sent: u64,
-    /// Total point-to-point messages sent.
+    /// Total point-to-point messages sent. Openings are batched per AND
+    /// layer (one message per ordered party pair per round), not per
+    /// gate.
     pub messages: u64,
-}
-
-/// One Beaver triple, XOR-shared among the parties.
-#[derive(Debug, Clone)]
-struct SharedTriple {
-    a: Vec<bool>,
-    b: Vec<bool>,
-    c: Vec<bool>,
-}
-
-/// The trusted dealer producing Beaver triples.
-///
-/// A real deployment would replace this with an offline OT-based triple
-/// generation phase; the dealer abstraction keeps the online phase —
-/// the part the paper measures — identical.
-#[derive(Debug)]
-pub struct TripleDealer<'r, R: Rng + ?Sized> {
-    rng: &'r mut R,
-    parties: usize,
-}
-
-impl<'r, R: Rng + ?Sized> TripleDealer<'r, R> {
-    /// Creates a dealer for `parties` parties.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `parties == 0`.
-    pub fn new(parties: usize, rng: &'r mut R) -> Self {
-        assert!(parties >= 1, "at least one party required");
-        TripleDealer { rng, parties }
-    }
-
-    fn share_bit(&mut self, secret: bool) -> Vec<bool> {
-        let mut shares: Vec<bool> = (0..self.parties - 1).map(|_| self.rng.gen()).collect();
-        let xor_rest = shares.iter().fold(false, |acc, &s| acc ^ s);
-        shares.push(secret ^ xor_rest);
-        shares
-    }
-
-    fn triple(&mut self) -> SharedTriple {
-        let a: bool = self.rng.gen();
-        let b: bool = self.rng.gen();
-        let c = a & b;
-        SharedTriple {
-            a: self.share_bit(a),
-            b: self.share_bit(b),
-            c: self.share_bit(c),
-        }
-    }
+    /// Total on-the-wire bytes of the packed batch encoding.
+    pub bytes: u64,
 }
 
 /// Securely evaluates `circuit` among `layout.parties()` parties.
@@ -164,109 +133,30 @@ fn execute_inner<R: Rng + ?Sized>(
         "layout does not cover the circuit inputs"
     );
     let parties = layout.parties();
-    let mut next_triple = 0usize;
-    let mut dealer = TripleDealer::new(parties, rng);
-
-    let mut stats = GmwStats {
-        parties,
-        ..GmwStats::default()
+    let sched = Schedule::new(circuit);
+    let mut triples: Vec<PartyTriples> = match pregenerated {
+        Some(batch) => (0..parties)
+            .map(|p| PartyTriples::from_batch(&sched, batch, p))
+            .collect(),
+        None => deal_packed_triples(parties, &sched, rng),
     };
-
-    // wire_shares[w][p] = party p's XOR share of wire w.
-    let mut wire_shares: Vec<Vec<bool>> = Vec::with_capacity(circuit.wires());
-
-    // Input sharing round: each owner splits its bit to all parties.
-    let flat = layout.flatten(inputs);
-    for (w, &bit) in flat.iter().enumerate() {
-        let owner = layout.party_of(w);
-        let mut shares: Vec<bool> = (0..parties).map(|_| dealer.rng.gen()).collect();
-        let xor_others = shares
-            .iter()
-            .enumerate()
-            .filter(|&(p, _)| p != owner)
-            .fold(false, |acc, (_, &s)| acc ^ s);
-        shares[owner] = bit ^ xor_others;
-        wire_shares.push(shares);
-        // The owner sends one share to each other party.
-        stats.bits_sent += (parties - 1) as u64;
-        stats.messages += (parties - 1) as u64;
-    }
-    if parties > 1 && circuit.inputs() > 0 {
-        stats.rounds += 1;
-    }
-
-    // Pre-compute AND layering for round accounting.
-    let and_layers = circuit.and_layers();
-    stats.rounds += and_layers.len();
-
-    for gate in circuit.gates() {
-        let shares = match *gate {
-            Gate::Xor(a, b) => {
-                let (sa, sb) = (&wire_shares[a.index()], &wire_shares[b.index()]);
-                sa.iter().zip(sb).map(|(&x, &y)| x ^ y).collect()
-            }
-            Gate::Not(a) => {
-                // Party 0 flips its share.
-                let sa = &wire_shares[a.index()];
-                sa.iter()
-                    .enumerate()
-                    .map(|(p, &x)| if p == 0 { !x } else { x })
-                    .collect()
-            }
-            Gate::Const(v) => (0..parties).map(|p| p == 0 && v).collect(),
-            Gate::And(a, b) => {
-                let triple = match pregenerated {
-                    Some(batch) => {
-                        let t = next_triple;
-                        next_triple += 1;
-                        SharedTriple {
-                            a: (0..parties).map(|p| batch.party(p)[t].a).collect(),
-                            b: (0..parties).map(|p| batch.party(p)[t].b).collect(),
-                            c: (0..parties).map(|p| batch.party(p)[t].c).collect(),
-                        }
-                    }
-                    None => dealer.triple(),
-                };
-                let sa = &wire_shares[a.index()];
-                let sb = &wire_shares[b.index()];
-                // d = x ⊕ a, e = y ⊕ b — opened by all parties.
-                let d_shares: Vec<bool> =
-                    sa.iter().zip(&triple.a).map(|(&x, &ta)| x ^ ta).collect();
-                let e_shares: Vec<bool> =
-                    sb.iter().zip(&triple.b).map(|(&y, &tb)| y ^ tb).collect();
-                let d = d_shares.iter().fold(false, |acc, &s| acc ^ s);
-                let e = e_shares.iter().fold(false, |acc, &s| acc ^ s);
-                // Opening: every party broadcasts its d and e shares.
-                stats.bits_sent += 2 * (parties * (parties - 1)) as u64;
-                stats.messages += (parties * (parties - 1)) as u64;
-                stats.triples_used += 1;
-                // z_p = c_p ⊕ (d ∧ b_p) ⊕ (e ∧ a_p) ⊕ [p = 0](d ∧ e)
-                (0..parties)
-                    .map(|p| {
-                        let mut z = triple.c[p] ^ (d & triple.b[p]) ^ (e & triple.a[p]);
-                        if p == 0 {
-                            z ^= d & e;
-                        }
-                        z
-                    })
-                    .collect()
-            }
-        };
-        wire_shares.push(shares);
-    }
-
-    // Output opening: every party broadcasts its output shares.
-    let outputs: Vec<bool> = circuit
-        .outputs()
-        .iter()
-        .map(|o| wire_shares[o.index()].iter().fold(false, |acc, &s| acc ^ s))
+    let mut cores: Vec<PartyCore<'_>> = (0..parties)
+        .map(|p| PartyCore::new(circuit, layout, &sched, p, std::mem::take(&mut triples[p])))
         .collect();
-    if !outputs.is_empty() && parties > 1 {
-        stats.rounds += 1;
-        stats.bits_sent += (outputs.len() * parties * (parties - 1)) as u64;
-        stats.messages += (parties * (parties - 1)) as u64;
-    }
-
+    let mut hub = InProcessTransport::hub(parties);
+    let outputs = run_lockstep(&mut cores, &mut hub, |p, core| {
+        core.share_inputs(&inputs[p], rng)
+    });
+    let report = hub[0].report();
+    debug_assert_eq!(report.bits, logical_bits(circuit, layout));
+    let stats = GmwStats {
+        parties,
+        triples_used: sched.and_gates(),
+        rounds: protocol_rounds(circuit, layout, &sched),
+        bits_sent: report.bits,
+        messages: report.messages,
+        bytes: report.bytes,
+    };
     (outputs, stats)
 }
 
@@ -336,6 +226,7 @@ mod tests {
         let (out, stats) = execute(&circuit, &layout, &[to_bits(3, 4)], &mut rng);
         assert_eq!(out, vec![true]);
         assert_eq!(stats.bits_sent, 0, "single party sends nothing");
+        assert_eq!(stats.bytes, 0, "single party sends nothing");
     }
 
     #[test]
@@ -379,6 +270,39 @@ mod tests {
         );
         // input round + 2 AND layers + output round.
         assert_eq!(stats.rounds, 4);
+    }
+
+    #[test]
+    fn bits_follow_cost_model_and_bytes_the_packed_framing() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(8);
+        let b = cb.input_word(8);
+        let lt = cb.lt_words(&a, &b);
+        let circuit = cb.finish(vec![lt]);
+        let layout = InputLayout::new(vec![8, 8]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (_, stats) = execute(
+            &circuit,
+            &layout,
+            &[to_bits(3, 8), to_bits(200, 8)],
+            &mut rng,
+        );
+        let s = circuit.stats();
+        // bits: inputs·(P−1) + 2·ands·P·(P−1) + outputs·P·(P−1), P = 2.
+        let expect = (s.inputs + 4 * s.and_gates + 2 * s.outputs) as u64;
+        assert_eq!(stats.bits_sent, expect);
+        // bytes: packed framing is a 4-byte header + 8 bytes per word;
+        // input/output batches here are one word, AND-layer batches two
+        // (word-aligned d then e halves).
+        let layers = circuit.and_layers();
+        let mut expect_bytes = 2 * 12u64; // input scatter, one 8-bit batch each way
+        for layer in &layers {
+            let words = 2 * layer.len().div_ceil(64);
+            expect_bytes += 2 * (4 + 8 * words) as u64;
+        }
+        expect_bytes += 2 * 12; // output opening, one 1-bit batch each way
+        assert_eq!(stats.bytes, expect_bytes);
+        assert_eq!(stats.messages, 2 + 2 * layers.len() as u64 + 2);
     }
 
     #[test]

@@ -1,0 +1,968 @@
+//! The one bit-packed GMW core shared by every execution backend.
+//!
+//! Historically the workspace carried three complete copies of the GMW
+//! protocol — the in-process executor here, plus round-simulated and
+//! one-thread-per-party variants in `eppi-protocol` — each with its own
+//! AND-layer scheduler and Beaver-triple logic, all shuffling shares as
+//! `Vec<bool>`. This module is the single remaining implementation:
+//!
+//! * [`Schedule`] — the one true level scheduler (free gates per level,
+//!   AND gates opened together per level, dense triple numbering).
+//! * [`deal_packed_triples`] / [`PartyTriples`] — Beaver triples dealt
+//!   as packed words, one triple bit per AND gate, 64 per `u64`.
+//! * [`PartyCore`] — a sans-io state machine holding one party's packed
+//!   wire shares. It produces and consumes
+//!   [`PackedBatch`]es; *how* those batches move is the
+//!   [`Transport`]'s business (`eppi_net::transport`).
+//! * [`run_party`] — the straight-line protocol for one party over a
+//!   blocking transport (what each thread of the threaded backend
+//!   runs); [`run_lockstep`] — the single-threaded driver running all
+//!   parties over lockstep transports (in-process and simulator
+//!   backends).
+//! * [`mod@reference`] — the frozen pre-refactor `Vec<bool>` executor, kept
+//!   as the equivalence-test oracle and the baseline of the
+//!   packed-vs-unpacked speedup benchmark (`results/BENCH_mpc.json`).
+//!
+//! Per AND layer the packed protocol opens `d = x ⊕ a`, `e = y ⊕ b` for
+//! all gates of the layer in one word-aligned batch (`d` words then `e`
+//! words), XOR-combines the peers' batches word-wise, and completes the
+//! Beaver identity `z = c ⊕ (d ∧ b) ⊕ (e ∧ a) ⊕ [party 0](d ∧ e)` with
+//! whole-word operations — 64 gates per instruction.
+
+use crate::circuit::{Circuit, Gate, InputLayout};
+use crate::packed::{mask_tail, words_for, PackedBits};
+use crate::triples::TripleBatch;
+use eppi_net::transport::{PackedBatch, Transport};
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// One level of the schedule: the free gates evaluated locally, then
+/// the AND gates opened together in one communication round.
+#[derive(Debug, Clone, Default)]
+pub struct Layer {
+    /// Gate indices of the level's XOR/NOT/Const gates.
+    pub free: Vec<usize>,
+    /// Gate indices of the level's AND gates.
+    pub ands: Vec<usize>,
+}
+
+/// The level-synchronized evaluation schedule of a circuit — the single
+/// scheduler behind every backend and [`Circuit::and_layers`].
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    levels: Vec<Layer>,
+    /// AND gate index → dense triple index (gate-list order).
+    triple_index: Vec<usize>,
+    and_gates: usize,
+}
+
+impl Schedule {
+    /// Computes the schedule of `circuit`.
+    pub fn new(circuit: &Circuit) -> Schedule {
+        let inputs = circuit.inputs();
+        let mut wire_level = vec![0usize; circuit.wires()];
+        let mut levels: Vec<Layer> = Vec::new();
+        let mut triple_index = vec![usize::MAX; circuit.gates().len()];
+        let mut next_triple = 0usize;
+        for (k, gate) in circuit.gates().iter().enumerate() {
+            let this = inputs + k;
+            let (level, is_and) = match *gate {
+                Gate::Xor(a, b) => (wire_level[a.index()].max(wire_level[b.index()]), false),
+                Gate::Not(a) => (wire_level[a.index()], false),
+                Gate::Const(_) => (0, false),
+                Gate::And(a, b) => (wire_level[a.index()].max(wire_level[b.index()]), true),
+            };
+            if levels.len() <= level {
+                levels.resize_with(level + 1, Layer::default);
+            }
+            if is_and {
+                levels[level].ands.push(k);
+                wire_level[this] = level + 1;
+                triple_index[k] = next_triple;
+                next_triple += 1;
+            } else {
+                levels[level].free.push(k);
+                wire_level[this] = level;
+            }
+        }
+        Schedule {
+            levels,
+            triple_index,
+            and_gates: next_triple,
+        }
+    }
+
+    /// The levels, in evaluation order.
+    pub fn levels(&self) -> &[Layer] {
+        &self.levels
+    }
+
+    /// Number of AND gates (= Beaver triples consumed).
+    pub fn and_gates(&self) -> usize {
+        self.and_gates
+    }
+
+    /// Number of communication rounds the AND gates need (levels with at
+    /// least one AND gate — the circuit's AND-depth).
+    pub fn and_rounds(&self) -> usize {
+        self.levels.iter().filter(|l| !l.ands.is_empty()).count()
+    }
+
+    /// The dense triple index of AND gate `gate` (gate-list order, the
+    /// order [`TripleBatch`] is consumed in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not an AND gate.
+    pub fn triple_index(&self, gate: usize) -> usize {
+        let t = self.triple_index[gate];
+        assert_ne!(t, usize::MAX, "gate {gate} is not an AND gate");
+        t
+    }
+
+    /// Per level, the gate indices of its AND gates — the layering
+    /// [`Circuit::and_layers`] exposes. Only levels containing AND gates
+    /// appear (a level without them needs no round).
+    pub fn and_layer_gates(&self) -> Vec<Vec<usize>> {
+        self.levels
+            .iter()
+            .filter(|l| !l.ands.is_empty())
+            .map(|l| l.ands.clone())
+            .collect()
+    }
+}
+
+/// One level's Beaver-triple shares of one party, packed bit `i` ↔ the
+/// level's `i`-th AND gate.
+#[derive(Debug, Clone, Default)]
+pub struct LayerTriples {
+    /// Packed `a` share bits.
+    pub a: Vec<u64>,
+    /// Packed `b` share bits.
+    pub b: Vec<u64>,
+    /// Packed `c` share bits.
+    pub c: Vec<u64>,
+}
+
+/// One party's packed Beaver-triple shares, aligned with a
+/// [`Schedule`]'s levels.
+#[derive(Debug, Clone, Default)]
+pub struct PartyTriples {
+    layers: Vec<LayerTriples>,
+}
+
+impl PartyTriples {
+    /// This party's shares of `batch` (per-gate [`crate::triples`]
+    /// shares, e.g. from the OT-based offline phase), repacked into the
+    /// schedule's per-level word layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch holds fewer triples than the schedule's AND
+    /// gates or `party` is out of range.
+    pub fn from_batch(sched: &Schedule, batch: &TripleBatch, party: usize) -> PartyTriples {
+        let shares = batch.party(party);
+        assert!(
+            shares.len() >= sched.and_gates(),
+            "batch has {} triples but the schedule needs {}",
+            shares.len(),
+            sched.and_gates()
+        );
+        let layers = sched
+            .levels()
+            .iter()
+            .map(|layer| {
+                let words = words_for(layer.ands.len());
+                let mut t = LayerTriples {
+                    a: vec![0; words],
+                    b: vec![0; words],
+                    c: vec![0; words],
+                };
+                for (i, &k) in layer.ands.iter().enumerate() {
+                    let s = shares[sched.triple_index(k)];
+                    let mask = 1u64 << (i % 64);
+                    if s.a {
+                        t.a[i / 64] |= mask;
+                    }
+                    if s.b {
+                        t.b[i / 64] |= mask;
+                    }
+                    if s.c {
+                        t.c[i / 64] |= mask;
+                    }
+                }
+                t
+            })
+            .collect();
+        PartyTriples { layers }
+    }
+}
+
+fn random_words<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Vec<u64> {
+    let mut words: Vec<u64> = (0..words_for(bits)).map(|_| rng.gen()).collect();
+    mask_tail(&mut words, bits);
+    words
+}
+
+/// Deals XOR-shared Beaver triples for every AND gate of `sched`, as
+/// the trusted dealer of the offline phase — but word-at-a-time: one
+/// RNG draw covers 64 gates.
+///
+/// # Panics
+///
+/// Panics if `parties == 0`.
+pub fn deal_packed_triples<R: Rng + ?Sized>(
+    parties: usize,
+    sched: &Schedule,
+    rng: &mut R,
+) -> Vec<PartyTriples> {
+    assert!(parties >= 1, "at least one party required");
+    let mut out = vec![
+        PartyTriples {
+            layers: Vec::with_capacity(sched.levels().len()),
+        };
+        parties
+    ];
+    for layer in sched.levels() {
+        let g = layer.ands.len();
+        let a = random_words(g, rng);
+        let b = random_words(g, rng);
+        let c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
+        let mut rem = LayerTriples { a, b, c };
+        for party in out.iter_mut().take(parties - 1) {
+            let share = LayerTriples {
+                a: random_words(g, rng),
+                b: random_words(g, rng),
+                c: random_words(g, rng),
+            };
+            for w in 0..rem.a.len() {
+                rem.a[w] ^= share.a[w];
+                rem.b[w] ^= share.b[w];
+                rem.c[w] ^= share.c[w];
+            }
+            party.layers.push(share);
+        }
+        out[parties - 1].layers.push(rem);
+    }
+    out
+}
+
+/// One party's sans-io GMW state machine over packed shares.
+///
+/// The core never touches a socket, channel or simulator: it emits
+/// [`PackedBatch`]es and absorbs the peers' batches, and the caller
+/// decides how they travel (see [`run_party`] / [`run_lockstep`]).
+#[derive(Debug)]
+pub struct PartyCore<'c> {
+    circuit: &'c Circuit,
+    layout: &'c InputLayout,
+    sched: &'c Schedule,
+    me: usize,
+    triples: PartyTriples,
+    /// One packed share bit per circuit wire.
+    shares: PackedBits,
+    /// Next schedule level to process.
+    level: usize,
+    /// My own d/e batch of the pending AND layer.
+    my_de: Option<PackedBatch>,
+}
+
+impl<'c> PartyCore<'c> {
+    /// Creates the state machine for party `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout does not cover the circuit inputs, `me` is
+    /// out of range, or `triples` is not aligned with `sched`.
+    pub fn new(
+        circuit: &'c Circuit,
+        layout: &'c InputLayout,
+        sched: &'c Schedule,
+        me: usize,
+        triples: PartyTriples,
+    ) -> PartyCore<'c> {
+        assert_eq!(
+            layout.total_inputs(),
+            circuit.inputs(),
+            "layout does not cover the circuit inputs"
+        );
+        assert!(me < layout.parties(), "party {me} out of range");
+        assert_eq!(
+            triples.layers.len(),
+            sched.levels().len(),
+            "triples not aligned with the schedule"
+        );
+        PartyCore {
+            circuit,
+            layout,
+            sched,
+            me,
+            triples,
+            shares: PackedBits::zeros(circuit.wires()),
+            level: 0,
+            my_de: None,
+        }
+    }
+
+    /// This party's id.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.layout.parties()
+    }
+
+    /// The circuit under evaluation.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// The input layout.
+    pub fn layout(&self) -> &InputLayout {
+        self.layout
+    }
+
+    /// Splits this party's private input bits into XOR shares: returns
+    /// one dense input-share batch per destination party (the own slot
+    /// stays empty) and installs the own correction share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `my_bits` disagrees with the layout.
+    pub fn share_inputs<R: Rng + ?Sized>(
+        &mut self,
+        my_bits: &[bool],
+        rng: &mut R,
+    ) -> Vec<PackedBatch> {
+        let range = self.layout.range_of(self.me);
+        assert_eq!(
+            my_bits.len(),
+            range.len(),
+            "party {} supplied wrong input count",
+            self.me
+        );
+        let parties = self.parties();
+        let mut acc = PackedBits::from_bits(my_bits);
+        let mut batches = vec![PackedBatch::empty(); parties];
+        for (p, batch) in batches.iter_mut().enumerate() {
+            if p == self.me {
+                continue;
+            }
+            let share = PackedBits::random(my_bits.len(), rng);
+            acc.xor_assign(&share);
+            *batch = PackedBatch {
+                bits: share.len(),
+                words: share.into_words(),
+            };
+        }
+        self.shares
+            .copy_bits_from(range.start, acc.words(), my_bits.len());
+        batches
+    }
+
+    /// Installs a peer's input-share batch (dense layout over the
+    /// peer's input-wire range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size disagrees with `from`'s layout range.
+    pub fn absorb_inputs(&mut self, from: usize, batch: &PackedBatch) {
+        let range = self.layout.range_of(from);
+        assert_eq!(batch.bits, range.len(), "input batch size from {from}");
+        self.shares
+            .copy_bits_from(range.start, &batch.words, batch.bits);
+    }
+
+    /// Advances through free gates and, when an AND level is reached,
+    /// returns this party's `d`/`e` opening batch for it (`d` words then
+    /// `e` words, each half word-aligned). Returns `None` once every
+    /// gate is evaluated.
+    pub fn next_layer_batch(&mut self) -> Option<PackedBatch> {
+        assert!(self.my_de.is_none(), "pending layer not finished");
+        let n_inputs = self.circuit.inputs();
+        // Branchless word-level bit access: the free-gate sweep runs
+        // once per party over the whole circuit, so data-dependent
+        // branches here dominate the entire evaluation.
+        let me0 = (self.me == 0) as u64;
+        while self.level < self.sched.levels().len() {
+            let layer = &self.sched.levels()[self.level];
+            for &k in &layer.free {
+                let v = match self.circuit.gates()[k] {
+                    Gate::Xor(a, b) => {
+                        self.shares.bit_word(a.index()) ^ self.shares.bit_word(b.index())
+                    }
+                    // Party 0 flips its share.
+                    Gate::Not(a) => me0 ^ self.shares.bit_word(a.index()),
+                    Gate::Const(v) => me0 & v as u64,
+                    Gate::And(..) => unreachable!("AND scheduled as free gate"),
+                };
+                self.shares.store_bit(n_inputs + k, v);
+            }
+            if layer.ands.is_empty() {
+                self.level += 1;
+                continue;
+            }
+            let g = layer.ands.len();
+            let words = words_for(g);
+            let mut de = vec![0u64; 2 * words];
+            for (i, &k) in layer.ands.iter().enumerate() {
+                let (a, b) = match self.circuit.gates()[k] {
+                    Gate::And(a, b) => (a, b),
+                    _ => unreachable!("non-AND in ands"),
+                };
+                de[i / 64] |= self.shares.bit_word(a.index()) << (i % 64);
+                de[words + i / 64] |= self.shares.bit_word(b.index()) << (i % 64);
+            }
+            // d = x ⊕ a, e = y ⊕ b — masked word-wise.
+            let t = &self.triples.layers[self.level];
+            for w in 0..words {
+                de[w] ^= t.a[w];
+                de[words + w] ^= t.b[w];
+            }
+            let batch = PackedBatch {
+                words: de,
+                bits: 2 * g,
+            };
+            self.my_de = Some(batch.clone());
+            return Some(batch);
+        }
+        None
+    }
+
+    /// Completes the pending AND level: XOR-combines the peers' batches
+    /// with the own one into the opened `d`/`e` words and applies the
+    /// Beaver identity `z = c ⊕ (d ∧ b) ⊕ (e ∧ a) ⊕ [party 0](d ∧ e)`
+    /// word-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layer is pending or a batch has the wrong size.
+    pub fn finish_layer(&mut self, peers: &[(usize, PackedBatch)]) {
+        let mine = self.my_de.take().expect("no pending AND layer");
+        let layer = &self.sched.levels()[self.level];
+        let g = layer.ands.len();
+        let words = words_for(g);
+        let mut opened = mine.words;
+        for (from, batch) in peers {
+            assert_eq!(
+                batch.words.len(),
+                opened.len(),
+                "layer batch size from {from}"
+            );
+            for (w, o) in opened.iter_mut().zip(&batch.words) {
+                *w ^= o;
+            }
+        }
+        let t = &self.triples.layers[self.level];
+        let mut z = vec![0u64; words];
+        for w in 0..words {
+            let d = opened[w];
+            let e = opened[words + w];
+            z[w] = t.c[w] ^ (d & t.b[w]) ^ (e & t.a[w]);
+            if self.me == 0 {
+                z[w] ^= d & e;
+            }
+        }
+        let n_inputs = self.circuit.inputs();
+        for (i, &k) in layer.ands.iter().enumerate() {
+            self.shares
+                .store_bit(n_inputs + k, (z[i / 64] >> (i % 64)) & 1);
+        }
+        self.level += 1;
+    }
+
+    /// This party's output shares as a dense batch.
+    pub fn output_batch(&self) -> PackedBatch {
+        let outs = self.circuit.outputs();
+        let mut p = PackedBits::zeros(outs.len());
+        for (i, o) in outs.iter().enumerate() {
+            p.set(i, self.shares.get(o.index()));
+        }
+        PackedBatch {
+            bits: p.len(),
+            words: p.into_words(),
+        }
+    }
+
+    /// Opens the circuit outputs from the peers' output batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch has the wrong size.
+    pub fn open_outputs(&self, peers: &[(usize, PackedBatch)]) -> Vec<bool> {
+        let mut opened = self.output_batch();
+        for (from, batch) in peers {
+            assert_eq!(
+                batch.words.len(),
+                opened.words.len(),
+                "output batch size from {from}"
+            );
+            for (w, o) in opened.words.iter_mut().zip(&batch.words) {
+                *w ^= o;
+            }
+        }
+        (0..opened.bits).map(|i| opened.bit(i)).collect()
+    }
+}
+
+/// Total logical payload bits a `parties`-party evaluation of `circuit`
+/// exchanges: `(parties − 1)` per input wire (the owner's shares), then
+/// `2 · parties · (parties − 1)` per AND gate (every party broadcasts
+/// its `d` and `e` bits) and `parties · (parties − 1)` per output wire.
+/// Deterministic in the circuit structure, so every backend reports the
+/// identical figure.
+pub fn logical_bits(circuit: &Circuit, layout: &InputLayout) -> u64 {
+    let p = layout.parties() as u64;
+    if p <= 1 {
+        return 0;
+    }
+    let stats = circuit.stats();
+    let inputs = layout.total_inputs() as u64 * (p - 1);
+    let ands = 2 * stats.and_gates as u64 * p * (p - 1);
+    let outputs = stats.outputs as u64 * p * (p - 1);
+    inputs + ands + outputs
+}
+
+/// Protocol rounds of an evaluation: one input-sharing round (if the
+/// circuit has inputs and more than one party), one per AND level, and
+/// one output-opening round (if it has outputs and more than one
+/// party). Shared by every backend's report.
+pub fn protocol_rounds(circuit: &Circuit, layout: &InputLayout, sched: &Schedule) -> usize {
+    let mut rounds = sched.and_rounds();
+    if layout.parties() > 1 {
+        if circuit.inputs() > 0 {
+            rounds += 1;
+        }
+        if !circuit.outputs().is_empty() {
+            rounds += 1;
+        }
+    }
+    rounds
+}
+
+/// Runs the straight-line protocol for one party over a blocking
+/// transport — what each thread of the threaded backend executes.
+/// `on_round(level_round, elapsed)` fires after each completed AND
+/// round with its wall time (for the `gmw.round_ns` telemetry).
+///
+/// # Panics
+///
+/// Panics if `my_bits` disagrees with the layout or the transport
+/// violates the protocol.
+pub fn run_party<T, R, F>(
+    core: &mut PartyCore<'_>,
+    my_bits: &[bool],
+    rng: &mut R,
+    transport: &mut T,
+    mut on_round: F,
+) -> Vec<bool>
+where
+    T: Transport,
+    R: Rng + ?Sized,
+    F: FnMut(usize, Duration),
+{
+    let parties = core.parties();
+    let batches = core.share_inputs(my_bits, rng);
+    if parties > 1 && core.layout().total_inputs() > 0 {
+        transport.scatter(batches);
+        for (from, batch) in transport.collect() {
+            core.absorb_inputs(from, &batch);
+        }
+    }
+    let mut round = 0usize;
+    while let Some(batch) = core.next_layer_batch() {
+        let started = Instant::now();
+        if parties > 1 {
+            transport.broadcast(batch);
+            let peers = transport.collect();
+            core.finish_layer(&peers);
+        } else {
+            core.finish_layer(&[]);
+        }
+        on_round(round, started.elapsed());
+        round += 1;
+    }
+    if parties > 1 && !core.circuit().outputs().is_empty() {
+        transport.broadcast(core.output_batch());
+        let peers = transport.collect();
+        core.open_outputs(&peers)
+    } else {
+        core.open_outputs(&[])
+    }
+}
+
+/// Drives all parties in lockstep on the current thread over per-party
+/// transports (in-process or simulator hubs): every exchange first lets
+/// each party deposit, then lets each party collect. `share(p, core)`
+/// produces party `p`'s input batches (so callers choose the per-party
+/// RNG discipline). All parties must open identical outputs; the opened
+/// bits are returned.
+///
+/// # Panics
+///
+/// Panics if `cores` and `transports` disagree in length or party
+/// order, or if the parties open different outputs (a protocol bug).
+pub fn run_lockstep<T, F>(
+    cores: &mut [PartyCore<'_>],
+    transports: &mut [T],
+    mut share: F,
+) -> Vec<bool>
+where
+    T: Transport,
+    F: FnMut(usize, &mut PartyCore<'_>) -> Vec<PackedBatch>,
+{
+    let parties = cores.len();
+    assert_eq!(transports.len(), parties, "one transport per party");
+    assert!(parties >= 1, "at least one party required");
+    let has_inputs = cores[0].layout().total_inputs() > 0;
+
+    // Input-sharing exchange.
+    for (p, core) in cores.iter_mut().enumerate() {
+        let batches = share(p, core);
+        if parties > 1 && has_inputs {
+            transports[p].scatter(batches);
+        }
+    }
+    if parties > 1 && has_inputs {
+        for (p, core) in cores.iter_mut().enumerate() {
+            for (from, batch) in transports[p].collect() {
+                core.absorb_inputs(from, &batch);
+            }
+        }
+    }
+
+    // AND levels, one exchange per level.
+    loop {
+        let mut batches: Vec<Option<PackedBatch>> =
+            cores.iter_mut().map(PartyCore::next_layer_batch).collect();
+        let pending = batches[0].is_some();
+        assert!(
+            batches.iter().all(|b| b.is_some() == pending),
+            "parties disagree on the schedule"
+        );
+        if !pending {
+            break;
+        }
+        if parties == 1 {
+            cores[0].finish_layer(&[]);
+            continue;
+        }
+        for (p, batch) in batches.iter_mut().enumerate() {
+            transports[p].broadcast(batch.take().expect("checked above"));
+        }
+        for (p, core) in cores.iter_mut().enumerate() {
+            let peers = transports[p].collect();
+            core.finish_layer(&peers);
+        }
+    }
+
+    // Output opening.
+    if parties > 1 && !cores[0].circuit().outputs().is_empty() {
+        for (p, core) in cores.iter().enumerate() {
+            transports[p].broadcast(core.output_batch());
+        }
+        let mut result: Option<Vec<bool>> = None;
+        for (p, core) in cores.iter().enumerate() {
+            let opened = core.open_outputs(&transports[p].collect());
+            match &result {
+                None => result = Some(opened),
+                Some(first) => {
+                    assert_eq!(&opened, first, "party {p} disagrees on the opened outputs")
+                }
+            }
+        }
+        result.expect("at least one party")
+    } else {
+        cores[0].open_outputs(&[])
+    }
+}
+
+pub mod reference {
+    //! The frozen pre-refactor `Vec<bool>` executor.
+    //!
+    //! This is the original single-threaded GMW evaluator, byte-for-byte
+    //! in behaviour: one heap bool per wire per party, per-bit triple
+    //! dealing, per-gate Beaver opening. It exists for two reasons and
+    //! must not be "improved":
+    //!
+    //! 1. It is the oracle of the cross-backend equivalence property
+    //!    test (packed vs. unpacked outputs must be bit-identical).
+    //! 2. It is the baseline of the packed-core speedup benchmark
+    //!    (`results/BENCH_mpc.json`).
+
+    use crate::circuit::{Circuit, Gate, InputLayout};
+    use crate::gmw::GmwStats;
+    use rand::Rng;
+
+    struct SharedTriple {
+        a: Vec<bool>,
+        b: Vec<bool>,
+        c: Vec<bool>,
+    }
+
+    fn share_bit<R: Rng + ?Sized>(parties: usize, secret: bool, rng: &mut R) -> Vec<bool> {
+        let mut shares: Vec<bool> = (0..parties - 1).map(|_| rng.gen()).collect();
+        let xor_rest = shares.iter().fold(false, |acc, &s| acc ^ s);
+        shares.push(secret ^ xor_rest);
+        shares
+    }
+
+    /// Evaluates `circuit` with the unpacked reference path. Outputs
+    /// equal `circuit.eval` on the flattened inputs; the stats follow
+    /// the same accounting as [`crate::gmw::execute`] (`bytes` is the
+    /// logical bits rounded up, since this path predates the packed
+    /// wire framing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout does not cover the circuit inputs or
+    /// `inputs` disagrees with the layout.
+    pub fn execute_unpacked<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        layout: &InputLayout,
+        inputs: &[Vec<bool>],
+        rng: &mut R,
+    ) -> (Vec<bool>, GmwStats) {
+        assert_eq!(
+            layout.total_inputs(),
+            circuit.inputs(),
+            "layout does not cover the circuit inputs"
+        );
+        let parties = layout.parties();
+        let mut stats = GmwStats {
+            parties,
+            ..GmwStats::default()
+        };
+
+        // wire_shares[w][p] = party p's XOR share of wire w.
+        let mut wire_shares: Vec<Vec<bool>> = Vec::with_capacity(circuit.wires());
+
+        let flat = layout.flatten(inputs);
+        for (w, &bit) in flat.iter().enumerate() {
+            let owner = layout.party_of(w);
+            let mut shares: Vec<bool> = (0..parties).map(|_| rng.gen()).collect();
+            let xor_others = shares
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| p != owner)
+                .fold(false, |acc, (_, &s)| acc ^ s);
+            shares[owner] = bit ^ xor_others;
+            wire_shares.push(shares);
+            stats.bits_sent += (parties - 1) as u64;
+            stats.messages += (parties - 1) as u64;
+        }
+        if parties > 1 && circuit.inputs() > 0 {
+            stats.rounds += 1;
+        }
+
+        stats.rounds += circuit.and_layers().len();
+
+        for gate in circuit.gates() {
+            let shares = match *gate {
+                Gate::Xor(a, b) => {
+                    let (sa, sb) = (&wire_shares[a.index()], &wire_shares[b.index()]);
+                    sa.iter().zip(sb).map(|(&x, &y)| x ^ y).collect()
+                }
+                Gate::Not(a) => {
+                    let sa = &wire_shares[a.index()];
+                    sa.iter()
+                        .enumerate()
+                        .map(|(p, &x)| if p == 0 { !x } else { x })
+                        .collect()
+                }
+                Gate::Const(v) => (0..parties).map(|p| p == 0 && v).collect(),
+                Gate::And(a, b) => {
+                    let sec_a: bool = rng.gen();
+                    let sec_b: bool = rng.gen();
+                    let triple = SharedTriple {
+                        a: share_bit(parties, sec_a, rng),
+                        b: share_bit(parties, sec_b, rng),
+                        c: share_bit(parties, sec_a & sec_b, rng),
+                    };
+                    let sa = &wire_shares[a.index()];
+                    let sb = &wire_shares[b.index()];
+                    let d = sa
+                        .iter()
+                        .zip(&triple.a)
+                        .fold(false, |acc, (&x, &ta)| acc ^ x ^ ta);
+                    let e = sb
+                        .iter()
+                        .zip(&triple.b)
+                        .fold(false, |acc, (&y, &tb)| acc ^ y ^ tb);
+                    stats.bits_sent += 2 * (parties * (parties - 1)) as u64;
+                    stats.messages += (parties * (parties - 1)) as u64;
+                    stats.triples_used += 1;
+                    (0..parties)
+                        .map(|p| {
+                            let mut z = triple.c[p] ^ (d & triple.b[p]) ^ (e & triple.a[p]);
+                            if p == 0 {
+                                z ^= d & e;
+                            }
+                            z
+                        })
+                        .collect()
+                }
+            };
+            wire_shares.push(shares);
+        }
+
+        let outputs: Vec<bool> = circuit
+            .outputs()
+            .iter()
+            .map(|o| wire_shares[o.index()].iter().fold(false, |acc, &s| acc ^ s))
+            .collect();
+        if !outputs.is_empty() && parties > 1 {
+            stats.rounds += 1;
+            stats.bits_sent += (outputs.len() * parties * (parties - 1)) as u64;
+            stats.messages += (parties * (parties - 1)) as u64;
+        }
+        stats.bytes = stats.bits_sent.div_ceil(8);
+
+        (outputs, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{to_bits, word_value, CircuitBuilder};
+    use eppi_net::transport::InProcessTransport;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn adder() -> (Circuit, InputLayout) {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(6);
+        let b = cb.input_word(6);
+        let sum = cb.add_words_expand(&a, &b);
+        (cb.finish_word(sum), InputLayout::new(vec![6, 6]))
+    }
+
+    fn run_packed(
+        circuit: &Circuit,
+        layout: &InputLayout,
+        inputs: &[Vec<bool>],
+        seed: u64,
+    ) -> Vec<bool> {
+        let sched = Schedule::new(circuit);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut triples = deal_packed_triples(layout.parties(), &sched, &mut rng);
+        let mut cores: Vec<PartyCore<'_>> = (0..layout.parties())
+            .map(|p| PartyCore::new(circuit, layout, &sched, p, std::mem::take(&mut triples[p])))
+            .collect();
+        let mut hub = InProcessTransport::hub(layout.parties());
+        run_lockstep(&mut cores, &mut hub, |p, core| {
+            core.share_inputs(&inputs[p], &mut rng)
+        })
+    }
+
+    #[test]
+    fn schedule_matches_legacy_and_layers() {
+        let (circuit, _) = adder();
+        let sched = Schedule::new(&circuit);
+        assert_eq!(sched.and_layer_gates(), circuit.and_layers());
+        assert_eq!(sched.and_gates(), circuit.stats().and_gates);
+        assert_eq!(sched.and_rounds(), circuit.stats().and_depth);
+        // Every gate appears in exactly one level.
+        let scheduled: usize = sched
+            .levels()
+            .iter()
+            .map(|l| l.free.len() + l.ands.len())
+            .sum();
+        assert_eq!(scheduled, circuit.gates().len());
+    }
+
+    #[test]
+    fn lockstep_core_matches_cleartext() {
+        let (circuit, layout) = adder();
+        for (x, y, seed) in [(0u64, 0u64, 1), (17, 42, 2), (63, 63, 3)] {
+            let inputs = vec![to_bits(x, 6), to_bits(y, 6)];
+            let out = run_packed(&circuit, &layout, &inputs, seed);
+            assert_eq!(word_value(&out), x + y, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn single_party_runs_without_exchanges() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(5);
+        let b = cb.const_word(11, 5);
+        let lt = cb.lt_words(&a, &b);
+        let circuit = cb.finish(vec![lt]);
+        let layout = InputLayout::new(vec![5]);
+        let out = run_packed(&circuit, &layout, &[to_bits(7, 5)], 9);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn packed_agrees_with_reference_unpacked() {
+        let (circuit, layout) = adder();
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 0..8u64 {
+            let inputs = vec![
+                to_bits(rng.gen_range(0..64), 6),
+                to_bits(rng.gen_range(0..64), 6),
+            ];
+            let packed = run_packed(&circuit, &layout, &inputs, seed);
+            let mut ref_rng = StdRng::seed_from_u64(seed ^ 0xabc);
+            let (unpacked, stats) =
+                reference::execute_unpacked(&circuit, &layout, &inputs, &mut ref_rng);
+            assert_eq!(packed, unpacked, "seed {seed}");
+            assert_eq!(stats.bits_sent, logical_bits(&circuit, &layout));
+            let sched = Schedule::new(&circuit);
+            assert_eq!(stats.rounds, protocol_rounds(&circuit, &layout, &sched));
+        }
+    }
+
+    #[test]
+    fn run_party_over_threaded_transport_agrees() {
+        use eppi_net::threaded::run_parties;
+        use eppi_net::transport::{PackedBatch, ThreadedTransport};
+
+        let (circuit, layout) = adder();
+        let inputs = [to_bits(33, 6), to_bits(20, 6)];
+        let sched = Schedule::new(&circuit);
+        let mut dealer = StdRng::seed_from_u64(44);
+        let triples = deal_packed_triples(2, &sched, &mut dealer);
+        let (results, _) = run_parties::<PackedBatch, Vec<bool>, _>(2, |h| {
+            let me = h.me().index();
+            let mut transport = ThreadedTransport::new(h);
+            let mut core = PartyCore::new(&circuit, &layout, &sched, me, triples[me].clone());
+            let mut rng = StdRng::seed_from_u64(900 + me as u64);
+            run_party(&mut core, &inputs[me], &mut rng, &mut transport, |_, _| {})
+        });
+        assert_eq!(word_value(&results[0]), 53);
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn pregenerated_triples_repack_correctly() {
+        let (circuit, layout) = adder();
+        let sched = Schedule::new(&circuit);
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = crate::triples::generate_triples(2, sched.and_gates(), &mut rng);
+        let mut cores: Vec<PartyCore<'_>> = (0..2)
+            .map(|p| {
+                let t = PartyTriples::from_batch(&sched, &batch, p);
+                PartyCore::new(&circuit, &layout, &sched, p, t)
+            })
+            .collect();
+        let inputs = [to_bits(12, 6), to_bits(30, 6)];
+        let mut hub = InProcessTransport::hub(2);
+        let out = run_lockstep(&mut cores, &mut hub, |p, core| {
+            core.share_inputs(&inputs[p], &mut rng)
+        });
+        assert_eq!(word_value(&out), 42);
+    }
+
+    #[test]
+    fn logical_bits_formula() {
+        let (circuit, layout) = adder();
+        let s = circuit.stats();
+        let expect = (s.inputs + 2 * 2 * s.and_gates + 2 * s.outputs) as u64;
+        assert_eq!(logical_bits(&circuit, &layout), expect);
+        assert_eq!(logical_bits(&circuit, &InputLayout::new(vec![12])), 0);
+    }
+}

@@ -11,7 +11,12 @@
 //!   [`gmw`]) — the stand-in for FairplayMP: circuits are built with
 //!   word-level combinators and evaluated under a GMW-style
 //!   XOR-secret-shared protocol with Beaver AND-triples, with full
-//!   communication accounting (rounds, bits, messages).
+//!   communication accounting (rounds, bits, messages). The protocol
+//!   itself lives in one place, [`gmw_core`]: a bit-packed ([`packed`],
+//!   64 wires per `u64` word) sans-io party state machine that every
+//!   execution backend — in-process ([`gmw`]), round-simulated and
+//!   threaded (`eppi-protocol`) — drives through a transport
+//!   (`eppi_net::transport::Transport`).
 //!
 //! The ε-PPI domain circuits (CountBelow of Algorithm 2, the
 //! mix-decision pass, and the whole-construction *pure MPC* baseline)
@@ -48,7 +53,9 @@ pub mod circuits;
 pub mod field;
 pub mod garble;
 pub mod gmw;
+pub mod gmw_core;
 pub mod ot;
+pub mod packed;
 pub mod share;
 pub mod triples;
 
@@ -59,5 +66,7 @@ pub use circuits::{
 };
 pub use field::Modulus;
 pub use gmw::{execute, GmwStats};
+pub use gmw_core::{PartyCore, Schedule};
+pub use packed::PackedBits;
 pub use share::{add_shares, recombine, split, Shares};
 pub use triples::{generate_triples, TripleBatch, TripleShare};

@@ -1,0 +1,287 @@
+//! Bit-packed share vectors: 64 Boolean wires per `u64` word.
+//!
+//! The GMW engine's working set is Boolean — one XOR share per wire per
+//! party, one `d`/`e` bit per AND gate per opening. Storing those as
+//! `Vec<bool>` costs one heap byte per bit and forces bit-at-a-time
+//! combining; [`PackedBits`] packs 64 of them per word (bitslicing, the
+//! standard trick in Boolean-MPC engines) so dealing, opening and the
+//! Beaver combine all run as whole-word `XOR`/`AND` operations.
+//!
+//! Invariant: bits at positions `>= len` (the tail of the last word) are
+//! always zero, so word-wise equality, XOR and popcount agree with the
+//! logical bit vector.
+
+use rand::Rng;
+
+/// Number of `u64` words needed to hold `bits` bits.
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// A fixed-length bit vector packed 64 bits per `u64` word.
+///
+/// Bit `i` lives at bit `i % 64` of word `i / 64`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBits {
+    /// An all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        PackedBits {
+            words: vec![0; words_for(len)],
+            len,
+        }
+    }
+
+    /// Packs a bool slice.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut packed = PackedBits::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                packed.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        packed
+    }
+
+    /// A uniformly random vector of `len` bits, drawn word-at-a-time
+    /// (64× fewer RNG calls than per-bit sampling).
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut words: Vec<u64> = (0..words_for(len)).map(|_| rng.gen()).collect();
+        mask_tail(&mut words, len);
+        PackedBits { words, len }
+    }
+
+    /// Number of logical bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words (tail bits beyond [`len`](Self::len) are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Consumes the vector, returning the backing words.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Rebuilds a vector from backing words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`words_for`]`(len)` long or a
+    /// tail bit beyond `len` is set.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), words_for(len), "word count for {len} bits");
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                assert_eq!(last & !((1u64 << (len % 64)) - 1), 0, "tail bits set");
+            }
+        }
+        PackedBits { words, len }
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range ({})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit {i} out of range ({})", self.len);
+        self.store_bit(i, v as u64);
+    }
+
+    /// Reads bit `i` as `0`/`1` without a range assert — the branchless
+    /// accessor of the GMW hot loops (the word index is still
+    /// bounds-checked by the slice).
+    #[inline(always)]
+    pub(crate) fn bit_word(&self, i: usize) -> u64 {
+        (self.words[i >> 6] >> (i & 63)) & 1
+    }
+
+    /// Writes bit `i` from a `0`/`1` word, branchlessly.
+    #[inline(always)]
+    pub(crate) fn store_bit(&mut self, i: usize, v: u64) {
+        debug_assert!(v <= 1);
+        let w = &mut self.words[i >> 6];
+        *w = (*w & !(1u64 << (i & 63))) | (v << (i & 63));
+    }
+
+    /// Overwrites bits `start..start + len` with the low `len` bits of
+    /// `src` (packed 64 per word), word-at-a-time. Bits of `src` at
+    /// positions `>= len` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range exceeds the vector or `src` is
+    /// shorter than [`words_for`]`(len)`.
+    pub fn copy_bits_from(&mut self, start: usize, src: &[u64], len: usize) {
+        assert!(
+            start + len <= self.len,
+            "range {start}..{} out of bounds ({})",
+            start + len,
+            self.len
+        );
+        assert!(src.len() >= words_for(len), "source too short");
+        let mut j = 0usize;
+        while j < len {
+            let d = start + j;
+            let off = d & 63;
+            let take = (64 - off).min(len - j);
+            let mut bits = src[j >> 6] >> (j & 63);
+            if (j & 63) + take > 64 {
+                bits |= src[(j >> 6) + 1] << (64 - (j & 63));
+            }
+            let mask = if take == 64 { !0 } else { (1u64 << take) - 1 };
+            let w = &mut self.words[d >> 6];
+            *w = (*w & !(mask << off)) | ((bits & mask) << off);
+            j += take;
+        }
+    }
+
+    /// XORs `other` into `self`, word-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &PackedBits) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Unpacks into a bool vector.
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Zeroes the bits at positions `>= len` in the last word.
+pub(crate) fn mask_tail(words: &mut [u64], len: usize) {
+    if !len.is_multiple_of(64) {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << (len % 64)) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pack_roundtrip() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let packed = PackedBits::from_bits(&bits);
+        assert_eq!(packed.len(), 130);
+        assert_eq!(packed.words().len(), 3);
+        assert_eq!(packed.to_bits(), bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(packed.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn set_and_count() {
+        let mut p = PackedBits::zeros(70);
+        p.set(0, true);
+        p.set(69, true);
+        p.set(69, false);
+        p.set(64, true);
+        assert_eq!(p.count_ones(), 2);
+        assert!(p.get(0) && p.get(64) && !p.get(69));
+    }
+
+    #[test]
+    fn xor_matches_per_bit() {
+        let a: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let mut pa = PackedBits::from_bits(&a);
+        let pb = PackedBits::from_bits(&b);
+        pa.xor_assign(&pb);
+        let expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        assert_eq!(pa.to_bits(), expect);
+    }
+
+    #[test]
+    fn random_tail_is_masked() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [1usize, 63, 64, 65, 127, 200] {
+            let p = PackedBits::random(len, &mut rng);
+            assert_eq!(p.len(), len);
+            let w = p.words().to_vec();
+            // Round-tripping through from_words checks the tail invariant.
+            let q = PackedBits::from_words(w, len);
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn copy_bits_matches_per_bit_install() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for (start, len, total) in [
+            (0usize, 64usize, 64usize),
+            (0, 130, 200),
+            (5, 63, 100),
+            (64, 64, 200),
+            (61, 70, 200),
+            (3, 1, 10),
+            (7, 0, 10),
+        ] {
+            let src = PackedBits::random(len, &mut rng);
+            let mut blit = PackedBits::random(total, &mut rng);
+            let mut naive = blit.clone();
+            blit.copy_bits_from(start, src.words(), len);
+            for i in 0..len {
+                naive.set(start + i, src.get(i));
+            }
+            assert_eq!(blit, naive, "start={start} len={len} total={total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn copy_bits_bounds_checked() {
+        PackedBits::zeros(10).copy_bits_from(5, &[0], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_bounds_checked() {
+        PackedBits::zeros(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail bits set")]
+    fn from_words_rejects_dirty_tail() {
+        PackedBits::from_words(vec![u64::MAX], 60);
+    }
+}

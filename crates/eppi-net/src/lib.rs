@@ -11,8 +11,29 @@
 //!   SecSumShare runs and for reproducible tests.
 //! * [`threaded`] — a real multi-threaded executor (one OS thread per
 //!   party, crossbeam channels) for wall-clock measurements (Fig. 6a/6c).
+//! * [`transport`] — the [`transport::Transport`] trait the packed GMW
+//!   core (`eppi-mpc::gmw_core`) runs over, with in-process-, simulator-
+//!   and thread-backed implementations.
 //! * [`topology`] — ring successor maps and coordinator selection used by
 //!   the SecSumShare share-distribution step (Fig. 3).
+//!
+//! ## Traffic-accounting convention
+//!
+//! Every traffic report in the workspace exposes the same two units,
+//! measured per message and summed over all parties:
+//!
+//! * **`bits`** (`bits_sent` on the GMW reports) — *logical payload
+//!   bits*: the number of protocol-level share bits a message carries.
+//!   This is the quantity the paper's cost model counts (one bit per
+//!   party per peer per opened share), independent of framing, and is
+//!   what makes the `O(gates · parties²)` growth of the pure-MPC
+//!   baseline visible.
+//! * **`bytes`** — *on-the-wire bytes* of the encoding actually
+//!   exchanged, reported through [`WireSize`]. Packed GMW batches
+//!   ([`transport::PackedBatch`]) frame 64 share bits per `u64` word
+//!   plus a 4-byte length header, so `bytes` is roughly `bits / 8`
+//!   rounded up to whole words — never compute one unit from the other;
+//!   both are counted at the send site.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -20,6 +41,7 @@
 pub mod sim;
 pub mod threaded;
 pub mod topology;
+pub mod transport;
 
 use std::fmt;
 

@@ -55,6 +55,12 @@ pub struct NetStats {
     pub messages: u64,
     /// Total payload bytes delivered.
     pub bytes: u64,
+    /// Logical payload bits delivered, for protocols that track them
+    /// (see the crate docs for the bits/bytes convention). The simulator
+    /// itself cannot know the logical content of a payload, so it leaves
+    /// this 0; protocol adapters such as
+    /// [`crate::transport::SimTransport`] fill it.
+    pub bits: u64,
     /// Messages dropped by an injected fault filter.
     pub dropped: u64,
     /// Simulated wall time in microseconds under the link model.

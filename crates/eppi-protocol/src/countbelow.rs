@@ -43,7 +43,10 @@ pub struct StageReport {
     pub circuit: CircuitStats,
     /// Messages exchanged during evaluation.
     pub messages: u64,
-    /// Payload bytes exchanged during evaluation.
+    /// Logical payload bits exchanged (the paper's cost model; see the
+    /// traffic convention in `eppi-net`'s crate docs).
+    pub bits: u64,
+    /// On-the-wire bytes of the packed encoding exchanged.
     pub bytes: u64,
     /// Simulated network time in microseconds (only the
     /// [`Backend::Simulated`] backend fills this; 0 otherwise).
@@ -67,7 +70,8 @@ fn run_circuit(
                 StageReport {
                     circuit: stats,
                     messages: gstats.messages,
-                    bytes: gstats.bits_sent / 8,
+                    bits: gstats.bits_sent,
+                    bytes: gstats.bytes,
                     ..StageReport::default()
                 },
             )
@@ -79,6 +83,7 @@ fn run_circuit(
                 StageReport {
                     circuit: stats,
                     messages: report.messages,
+                    bits: report.bits_sent,
                     bytes: report.bytes,
                     ..StageReport::default()
                 },
@@ -91,6 +96,7 @@ fn run_circuit(
                 StageReport {
                     circuit: stats,
                     messages: net.messages,
+                    bits: net.bits,
                     bytes: net.bytes,
                     simulated_us: net.simulated_us,
                 },
@@ -211,6 +217,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(ra.circuit, rb.circuit);
         assert!(ra.bytes > 0 && rb.bytes > 0);
+        assert_eq!(ra.bits, rb.bits, "both backends count logical bits");
     }
 
     #[test]

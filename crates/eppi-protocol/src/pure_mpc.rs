@@ -181,15 +181,15 @@ pub fn construct_pure_mpc(
         .collect();
 
     let stats = circuit.stats();
-    let (out, messages, bytes) = match config.backend {
+    let (out, messages, bits, bytes) = match config.backend {
         Backend::InProcess => {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0xfeed);
             let (out, g) = gmw::execute(circuit, layout, &inputs, &mut rng);
-            (out, g.messages, g.bits_sent / 8)
+            (out, g.messages, g.bits_sent, g.bytes)
         }
         Backend::Threaded => {
             let (out, r) = execute_threaded(circuit, layout, &inputs, config.seed);
-            (out, r.messages, r.bytes)
+            (out, r.messages, r.bits_sent, r.bytes)
         }
         Backend::Simulated => {
             let (out, net) = crate::sim_gmw::execute_simulated(
@@ -199,7 +199,7 @@ pub fn construct_pure_mpc(
                 eppi_net::sim::LinkModel::LAN,
                 config.seed,
             );
-            (out, net.messages, net.bytes)
+            (out, net.messages, net.bits, net.bytes)
         }
     };
     let (common_count, decisions, masked_freqs) = match &compiled {
@@ -237,6 +237,7 @@ pub fn construct_pure_mpc(
         stage: StageReport {
             circuit: stats,
             messages,
+            bits,
             bytes,
             ..StageReport::default()
         },

@@ -1,327 +1,42 @@
 //! GMW evaluation over the round-based network simulator.
 //!
-//! The third execution backend: the same level-synchronized Beaver
-//! protocol as [`crate::threaded_gmw`], but with each party as a
-//! [`eppi_net::sim::Node`] so every AND layer costs one simulated
-//! communication round under the configurable [`LinkModel`] — producing
-//! *simulated network time*, the quantity that dominated the paper's
-//! Emulab numbers (their LAN round trips, not CPU, set the curve).
+//! One of the three execution backends of the single packed GMW core
+//! ([`eppi_mpc::gmw_core`]): the protocol logic lives in
+//! [`PartyCore`], and this module only supplies the transport — a
+//! [`SimTransport`] hub whose every exchange runs as one round of the
+//! deterministic [`eppi_net::sim::Simulator`] under the configurable
+//! [`LinkModel`]. The run therefore accumulates *simulated network
+//! time*, the quantity that dominated the paper's Emulab numbers (their
+//! LAN round trips, not CPU, set the curve); it is the backend behind
+//! the Fig. 6a latency curves at party counts no thread-per-party run
+//! could reach.
 //!
-//! Message flow per party: one input-share batch to every peer (round
-//! 1), then per AND layer one `d/e` batch broadcast, then one
-//! output-share broadcast. Rounds advance in lockstep because the
-//! simulator delivers all of round `r`'s messages before round `r + 1`.
+//! Message flow per party: one packed input-share batch to every peer
+//! (round 1), then per AND layer one broadcast
+//! [`PackedBatch`](eppi_net::transport::PackedBatch) carrying
+//! the layer's `d`/`e` openings word-aligned (64 gates per `u64` word —
+//! not a per-gate bit pair), then one packed output-share broadcast.
+//! Rounds advance in lockstep because the simulator delivers all of
+//! round `r`'s messages before round `r + 1`. The returned
+//! [`NetStats`] follow the workspace traffic convention (see
+//! `eppi-net`'s crate docs): logical payload bits in
+//! [`NetStats::bits`], packed on-the-wire bytes in [`NetStats::bytes`].
 
-use eppi_mpc::circuit::{Circuit, Gate, InputLayout};
-use eppi_net::sim::{Context, LinkModel, NetStats, Node, Simulator};
-use eppi_net::{NodeId, WireSize};
+use eppi_mpc::circuit::{Circuit, InputLayout};
+use eppi_mpc::gmw_core::{deal_packed_triples, run_lockstep, PartyCore, Schedule};
+use eppi_net::sim::{LinkModel, NetStats};
+use eppi_net::transport::SimTransport;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
-use std::rc::Rc;
-
-/// Per-level schedule shared by all parties (same construction as the
-/// threaded backend).
-#[derive(Debug)]
-struct Schedule {
-    levels: Vec<(Vec<usize>, Vec<usize>)>,
-    triple_index: Vec<usize>,
-}
-
-fn schedule(circuit: &Circuit) -> Schedule {
-    let inputs = circuit.inputs();
-    let mut wire_level = vec![0usize; circuit.wires()];
-    let mut levels: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
-    let mut triple_index = vec![usize::MAX; circuit.gates().len()];
-    let mut next_triple = 0usize;
-    for (k, gate) in circuit.gates().iter().enumerate() {
-        let this = inputs + k;
-        let (level, is_and) = match *gate {
-            Gate::Xor(a, b) => (wire_level[a.index()].max(wire_level[b.index()]), false),
-            Gate::Not(a) => (wire_level[a.index()], false),
-            Gate::Const(_) => (0, false),
-            Gate::And(a, b) => (wire_level[a.index()].max(wire_level[b.index()]), true),
-        };
-        if levels.len() <= level {
-            levels.resize_with(level + 1, Default::default);
-        }
-        if is_and {
-            levels[level].1.push(k);
-            wire_level[this] = level + 1;
-            triple_index[k] = next_triple;
-            next_triple += 1;
-        } else {
-            levels[level].0.push(k);
-            wire_level[this] = level;
-        }
-    }
-    Schedule {
-        levels,
-        triple_index,
-    }
-}
-
-/// Protocol messages: tagged batches of bits.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum GmwMsg {
-    /// Input shares for the sender's input wires (wire-offset order).
-    InputShares(Vec<bool>),
-    /// `d/e` shares for one AND layer.
-    Layer(usize, Vec<bool>),
-    /// Output shares.
-    Outputs(Vec<bool>),
-}
-
-impl WireSize for GmwMsg {
-    fn wire_size(&self) -> usize {
-        match self {
-            GmwMsg::InputShares(v) | GmwMsg::Outputs(v) => v.len().div_ceil(8) + 1,
-            GmwMsg::Layer(_, v) => v.len().div_ceil(8) + 3,
-        }
-    }
-}
-
-/// Immutable data shared by all party nodes.
-struct Shared {
-    circuit: Circuit,
-    layout: InputLayout,
-    sched: Schedule,
-    /// `[party][triple] -> (a, b, c)` shares.
-    triples: Vec<Vec<(bool, bool, bool)>>,
-}
-
-/// One GMW party as a simulation node.
-struct PartyNode {
-    shared: Rc<Shared>,
-    me: usize,
-    inputs: Vec<bool>,
-    rng: StdRng,
-    shares: Vec<bool>,
-    /// Received input-share batches, by sender.
-    input_batches: HashMap<usize, Vec<bool>>,
-    /// Received layer batches: layer → sender → batch.
-    layer_batches: HashMap<usize, HashMap<usize, Vec<bool>>>,
-    /// My own d/e bits for the pending layer.
-    my_de: Vec<bool>,
-    current_layer: usize,
-    /// Received output batches.
-    output_batches: HashMap<usize, Vec<bool>>,
-    my_outputs: Vec<bool>,
-    /// Opened outputs once every share arrived.
-    result: Option<Vec<bool>>,
-}
-
-impl PartyNode {
-    fn parties(&self) -> usize {
-        self.shared.layout.parties()
-    }
-
-    fn broadcast(&self, ctx: &mut Context<GmwMsg>, msg: GmwMsg) {
-        for p in 0..self.parties() {
-            if p != self.me {
-                ctx.send(NodeId(p), msg.clone());
-            }
-        }
-    }
-
-    /// Evaluates free gates of the current level and prepares the AND
-    /// layer's d/e batch (or finishes if no layers remain).
-    fn advance(&mut self, ctx: &mut Context<GmwMsg>) {
-        loop {
-            let shared = Rc::clone(&self.shared);
-            let n_inputs = shared.circuit.inputs();
-            if self.current_layer >= shared.sched.levels.len() {
-                // All gates done: open outputs.
-                self.my_outputs = shared
-                    .circuit
-                    .outputs()
-                    .iter()
-                    .map(|o| self.shares[o.index()])
-                    .collect();
-                if self.parties() == 1 {
-                    self.result = Some(self.my_outputs.clone());
-                } else {
-                    self.broadcast(ctx, GmwMsg::Outputs(self.my_outputs.clone()));
-                    self.try_open_outputs();
-                }
-                return;
-            }
-            let (free, ands) = &shared.sched.levels[self.current_layer];
-            for &k in free {
-                let v = match shared.circuit.gates()[k] {
-                    Gate::Xor(a, b) => self.shares[a.index()] ^ self.shares[b.index()],
-                    Gate::Not(a) => {
-                        if self.me == 0 {
-                            !self.shares[a.index()]
-                        } else {
-                            self.shares[a.index()]
-                        }
-                    }
-                    Gate::Const(v) => self.me == 0 && v,
-                    Gate::And(..) => unreachable!("AND scheduled as free"),
-                };
-                self.shares[n_inputs + k] = v;
-            }
-            if ands.is_empty() {
-                self.current_layer += 1;
-                continue;
-            }
-            // Prepare and broadcast this layer's d/e shares.
-            self.my_de = Vec::with_capacity(ands.len() * 2);
-            for &k in ands {
-                let (a, b) = match shared.circuit.gates()[k] {
-                    Gate::And(a, b) => (a, b),
-                    _ => unreachable!(),
-                };
-                let (ta, tb, _) = shared.triples[self.me][shared.sched.triple_index[k]];
-                self.my_de.push(self.shares[a.index()] ^ ta);
-                self.my_de.push(self.shares[b.index()] ^ tb);
-            }
-            if self.parties() == 1 {
-                self.finish_layer();
-                continue;
-            }
-            self.broadcast(ctx, GmwMsg::Layer(self.current_layer, self.my_de.clone()));
-            // Maybe the peers' batches already arrived (lockstep rounds
-            // make this impossible, but stay defensive).
-            if !self.try_finish_layer() {
-                return;
-            }
-        }
-    }
-
-    /// Combines the layer openings once every peer delivered; returns
-    /// whether the layer completed.
-    fn try_finish_layer(&mut self) -> bool {
-        let have = self
-            .layer_batches
-            .get(&self.current_layer)
-            .map_or(0, HashMap::len);
-        if have < self.parties() - 1 {
-            return false;
-        }
-        self.finish_layer();
-        true
-    }
-
-    fn finish_layer(&mut self) {
-        let shared = Rc::clone(&self.shared);
-        let n_inputs = shared.circuit.inputs();
-        let ands = &shared.sched.levels[self.current_layer].1;
-        let mut opened = self.my_de.clone();
-        if let Some(batches) = self.layer_batches.remove(&self.current_layer) {
-            for batch in batches.into_values() {
-                for (i, s) in batch.into_iter().enumerate() {
-                    opened[i] ^= s;
-                }
-            }
-        }
-        for (idx, &k) in ands.iter().enumerate() {
-            let d = opened[idx * 2];
-            let e = opened[idx * 2 + 1];
-            let (ta, tb, tc) = shared.triples[self.me][shared.sched.triple_index[k]];
-            let mut z = tc ^ (d & tb) ^ (e & ta);
-            if self.me == 0 {
-                z ^= d & e;
-            }
-            self.shares[n_inputs + k] = z;
-        }
-        self.current_layer += 1;
-    }
-
-    fn try_open_outputs(&mut self) {
-        if self.output_batches.len() < self.parties() - 1 || self.my_outputs.is_empty() {
-            if self.shared.circuit.outputs().is_empty() {
-                self.result = Some(Vec::new());
-            }
-            if self.output_batches.len() < self.parties() - 1 {
-                return;
-            }
-        }
-        let mut opened = self.my_outputs.clone();
-        for batch in self.output_batches.values() {
-            for (i, &s) in batch.iter().enumerate() {
-                opened[i] ^= s;
-            }
-        }
-        self.result = Some(opened);
-    }
-
-    fn try_start_layers(&mut self, ctx: &mut Context<GmwMsg>) {
-        if self.input_batches.len() == self.parties() - 1 {
-            // Install peers' input shares, then run.
-            let batches = std::mem::take(&mut self.input_batches);
-            for (sender, batch) in batches {
-                let range = self.shared.layout.range_of(sender);
-                for (off, s) in batch.into_iter().enumerate() {
-                    self.shares[range.start + off] = s;
-                }
-            }
-            self.advance(ctx);
-        }
-    }
-}
-
-impl Node<GmwMsg> for PartyNode {
-    fn on_start(&mut self, ctx: &mut Context<GmwMsg>) {
-        // Share my inputs: peers get random bits, I keep the correction.
-        let my_range = self.shared.layout.range_of(self.me);
-        let parties = self.parties();
-        let mut to_peer: Vec<Vec<bool>> = vec![Vec::new(); parties];
-        for (off, &bit) in self.inputs.clone().iter().enumerate() {
-            let mut acc = false;
-            for (p, batch) in to_peer.iter_mut().enumerate() {
-                if p != self.me {
-                    let s: bool = self.rng.gen();
-                    acc ^= s;
-                    batch.push(s);
-                }
-            }
-            self.shares[my_range.start + off] = bit ^ acc;
-        }
-        if parties == 1 {
-            self.advance(ctx);
-            return;
-        }
-        for (p, batch) in to_peer.into_iter().enumerate() {
-            if p != self.me {
-                ctx.send(NodeId(p), GmwMsg::InputShares(batch));
-            }
-        }
-    }
-
-    fn on_message(&mut self, from: NodeId, msg: GmwMsg, ctx: &mut Context<GmwMsg>) {
-        match msg {
-            GmwMsg::InputShares(batch) => {
-                self.input_batches.insert(from.index(), batch);
-                self.try_start_layers(ctx);
-            }
-            GmwMsg::Layer(layer, batch) => {
-                self.layer_batches
-                    .entry(layer)
-                    .or_default()
-                    .insert(from.index(), batch);
-                if layer == self.current_layer && !self.my_de.is_empty() && self.try_finish_layer()
-                {
-                    self.advance(ctx);
-                }
-            }
-            GmwMsg::Outputs(batch) => {
-                self.output_batches.insert(from.index(), batch);
-                self.try_open_outputs();
-            }
-        }
-    }
-}
+use rand::SeedableRng;
 
 /// Executes `circuit` among `layout.parties()` simulated parties and
 /// returns the opened outputs plus the network statistics (rounds,
-/// bytes, simulated time under `link`).
+/// bits, bytes, simulated time under `link`).
 ///
 /// # Panics
 ///
 /// Panics if the layout/input shapes disagree with the circuit, or if
-/// the protocol fails to converge (a bug).
+/// the parties open different outputs (a protocol bug).
 pub fn execute_simulated(
     circuit: &Circuit,
     layout: &InputLayout,
@@ -336,60 +51,25 @@ pub fn execute_simulated(
     );
     assert_eq!(inputs.len(), layout.parties(), "one input vector per party");
     let parties = layout.parties();
-    let sched = schedule(circuit);
-    let and_gates = circuit.stats().and_gates;
+    let sched = Schedule::new(circuit);
 
-    // Dealer (offline phase).
+    // Dealer (offline phase) and per-party RNGs, seeded exactly as the
+    // pre-refactor backend so runs stay reproducible per seed.
     let mut dealer_rng = StdRng::seed_from_u64(seed ^ 0xdea1);
-    let mut triples = vec![Vec::with_capacity(and_gates); parties];
-    for _ in 0..and_gates {
-        let a: bool = dealer_rng.gen();
-        let b: bool = dealer_rng.gen();
-        let mut rem = (a, b, a & b);
-        for t in triples.iter_mut().take(parties - 1) {
-            let share = (dealer_rng.gen(), dealer_rng.gen(), dealer_rng.gen());
-            t.push(share);
-            rem = (rem.0 ^ share.0, rem.1 ^ share.1, rem.2 ^ share.2);
-        }
-        triples[parties - 1].push(rem);
-    }
-
-    let shared = Rc::new(Shared {
-        circuit: circuit.clone(),
-        layout: layout.clone(),
-        sched,
-        triples,
-    });
-
-    let nodes: Vec<PartyNode> = (0..parties)
-        .map(|p| PartyNode {
-            shared: Rc::clone(&shared),
-            me: p,
-            inputs: inputs[p].clone(),
-            rng: StdRng::seed_from_u64(seed ^ (p as u64).wrapping_mul(0x9e3779b97f4a7c15)),
-            shares: vec![false; circuit.wires()],
-            input_batches: HashMap::new(),
-            layer_batches: HashMap::new(),
-            my_de: Vec::new(),
-            current_layer: 0,
-            output_batches: HashMap::new(),
-            my_outputs: Vec::new(),
-            result: None,
-        })
+    let mut triples = deal_packed_triples(parties, &sched, &mut dealer_rng);
+    let mut rngs: Vec<StdRng> = (0..parties)
+        .map(|p| StdRng::seed_from_u64(seed ^ (p as u64).wrapping_mul(0x9e3779b97f4a7c15)))
         .collect();
 
-    let mut sim = Simulator::new(nodes, link);
-    let stats = sim.run(circuit.stats().and_depth + 8);
-    let nodes = sim.into_nodes();
-    let result = nodes[0].result.clone().expect("protocol must converge");
-    for (p, node) in nodes.iter().enumerate() {
-        assert_eq!(
-            node.result.as_ref(),
-            Some(&result),
-            "party {p} disagrees on the opened outputs"
-        );
-    }
-    (result, stats)
+    let mut cores: Vec<PartyCore<'_>> = (0..parties)
+        .map(|p| PartyCore::new(circuit, layout, &sched, p, std::mem::take(&mut triples[p])))
+        .collect();
+    let mut hub = SimTransport::hub(parties, link);
+    let outputs = run_lockstep(&mut cores, &mut hub, |p, core| {
+        core.share_inputs(&inputs[p], &mut rngs[p])
+    });
+    let stats = hub[0].stats();
+    (outputs, stats)
 }
 
 #[cfg(test)]
@@ -447,10 +127,27 @@ mod tests {
     }
 
     #[test]
+    fn reports_logical_bits_alongside_bytes() {
+        use eppi_mpc::gmw_core::logical_bits;
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(6);
+        let b = cb.input_word(6);
+        let lt = cb.lt_words(&a, &b);
+        let circuit = cb.finish(vec![lt]);
+        let layout = InputLayout::new(vec![6, 6]);
+        let inputs = vec![to_bits(9, 6), to_bits(40, 6)];
+        let (out, stats) = execute_simulated(&circuit, &layout, &inputs, LinkModel::LAN, 5);
+        assert_eq!(out, vec![true]);
+        assert_eq!(stats.bits, logical_bits(&circuit, &layout));
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
     fn count_below_runs_simulated() {
         use eppi_mpc::circuits::CountBelowCircuit;
         use eppi_mpc::field::Modulus;
         use eppi_mpc::share::split;
+        use rand::SeedableRng;
         let thresholds = [25u64, 60];
         let cc = CountBelowCircuit::build(3, &thresholds, 8);
         let q = Modulus::pow2(8);

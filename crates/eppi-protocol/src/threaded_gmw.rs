@@ -1,25 +1,34 @@
 //! Multi-threaded GMW execution over the threaded party runtime.
 //!
-//! `eppi_mpc::gmw::execute` evaluates all parties in one thread — exact
-//! and fast for correctness work, but it cannot produce wall-clock
-//! scaling curves. This module runs the same protocol with one OS thread
-//! per party exchanging real messages (crossbeam channels), which is the
-//! backend the Fig. 6a / 6c execution-time experiments use.
+//! One of the three execution backends of the single packed GMW core
+//! ([`eppi_mpc::gmw_core`]): each party runs the straight-line
+//! [`run_party`] protocol on its own OS thread, exchanging real
+//! messages through a [`ThreadedTransport`] (crossbeam channels). This
+//! is the backend the Fig. 6a / 6c wall-clock execution-time
+//! experiments use — the in-process executor is exact but cannot
+//! produce scaling curves, and the simulator reports modeled rather
+//! than measured time.
 //!
-//! Communication structure per AND layer: every party broadcasts its
-//! `d = x⊕a` and `e = y⊕b` shares for all AND gates of the layer in one
-//! batched message (2 bits per gate), then combines the received shares —
-//! so per-party work per layer is `O(gates · parties)` and total traffic
-//! `O(gates · parties²)`, the super-linear growth the paper observes for
-//! the pure-MPC baseline.
+//! Communication structure per AND layer: every party broadcasts one
+//! [`PackedBatch`] carrying its `d = x⊕a` and `e = y⊕b` shares for all
+//! AND gates of the layer — word-aligned, 64 gates per `u64` word, not
+//! a per-gate bit pair — then combines the received words. Per-party
+//! work per layer is `O(gates/64 · parties)` word operations and total
+//! traffic stays `O(gates · parties²)` logical bits, the super-linear
+//! growth the paper observes for the pure-MPC baseline. The
+//! [`ThreadedGmwReport`] carries both traffic units of the workspace
+//! convention (see `eppi-net`'s crate docs).
 
-use eppi_mpc::circuit::{Circuit, Gate, InputLayout};
+use eppi_mpc::circuit::{Circuit, InputLayout};
+use eppi_mpc::gmw_core::{
+    deal_packed_triples, logical_bits, protocol_rounds, run_party, PartyCore, Schedule,
+};
 use eppi_net::threaded::run_parties;
+use eppi_net::transport::{PackedBatch, ThreadedTransport};
 use eppi_telemetry::Registry;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Traffic report of a threaded GMW run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,77 +39,14 @@ pub struct ThreadedGmwReport {
     pub and_gates: usize,
     /// Synchronized AND-opening rounds (circuit AND-depth).
     pub and_rounds: usize,
+    /// Protocol rounds including input sharing and output opening.
+    pub rounds: usize,
     /// Total messages exchanged.
     pub messages: u64,
-    /// Total payload bytes exchanged.
+    /// Total logical payload bits exchanged (the paper's cost model).
+    pub bits_sent: u64,
+    /// Total on-the-wire bytes of the packed batch encoding.
     pub bytes: u64,
-}
-
-/// Per-party Beaver triple shares for every AND gate, dealt ahead of the
-/// online phase.
-struct DealtTriples {
-    /// `[party][and_gate] -> (a, b, c)` share bits.
-    per_party: Vec<Vec<(bool, bool, bool)>>,
-}
-
-fn deal_triples(parties: usize, and_gates: usize, rng: &mut StdRng) -> DealtTriples {
-    let mut per_party = vec![Vec::with_capacity(and_gates); parties];
-    for _ in 0..and_gates {
-        let a: bool = rng.gen();
-        let b: bool = rng.gen();
-        let c = a & b;
-        let mut rem = (a, b, c);
-        for shares in per_party.iter_mut().take(parties - 1) {
-            let sa: bool = rng.gen();
-            let sb: bool = rng.gen();
-            let sc: bool = rng.gen();
-            shares.push((sa, sb, sc));
-            rem = (rem.0 ^ sa, rem.1 ^ sb, rem.2 ^ sc);
-        }
-        per_party[parties - 1].push(rem);
-    }
-    DealtTriples { per_party }
-}
-
-/// Per-level gate schedule: free gates first, then the level's AND gates
-/// (opened together in one round).
-struct Schedule {
-    levels: Vec<(Vec<usize>, Vec<usize>)>,
-    /// AND gate index → dense triple index.
-    triple_index: Vec<usize>,
-}
-
-fn schedule(circuit: &Circuit) -> Schedule {
-    let inputs = circuit.inputs();
-    let mut wire_level = vec![0usize; circuit.wires()];
-    let mut levels: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
-    let mut triple_index = vec![usize::MAX; circuit.gates().len()];
-    let mut next_triple = 0usize;
-    for (k, gate) in circuit.gates().iter().enumerate() {
-        let this = inputs + k;
-        let (level, is_and) = match *gate {
-            Gate::Xor(a, b) => (wire_level[a.index()].max(wire_level[b.index()]), false),
-            Gate::Not(a) => (wire_level[a.index()], false),
-            Gate::Const(_) => (0, false),
-            Gate::And(a, b) => (wire_level[a.index()].max(wire_level[b.index()]), true),
-        };
-        if levels.len() <= level {
-            levels.resize_with(level + 1, Default::default);
-        }
-        if is_and {
-            levels[level].1.push(k);
-            wire_level[this] = level + 1;
-            triple_index[k] = next_triple;
-            next_triple += 1;
-        } else {
-            levels[level].0.push(k);
-            wire_level[this] = level;
-        }
-    }
-    Schedule {
-        levels,
-        triple_index,
-    }
 }
 
 /// Executes `circuit` with one thread per party. Returns the opened
@@ -145,154 +91,59 @@ pub fn execute_threaded_with_registry(
     );
     assert_eq!(inputs.len(), layout.parties(), "one input vector per party");
     let parties = layout.parties();
-    let and_gates = circuit.stats().and_gates;
+    let sched = Schedule::new(circuit);
 
     let mut dealer_rng = StdRng::seed_from_u64(seed ^ 0xd1a1e5);
-    let triples = Arc::new(deal_triples(parties, and_gates, &mut dealer_rng));
-    let sched = Arc::new(schedule(circuit));
-    let and_rounds = sched
-        .levels
-        .iter()
-        .filter(|(_, ands)| !ands.is_empty())
-        .count();
+    let triples = deal_packed_triples(parties, &sched, &mut dealer_rng);
+    let and_rounds = sched.and_rounds();
     let round_hist = registry.histogram("gmw.round_ns", &[]);
 
-    let (mut results, counters) = run_parties::<Vec<bool>, Vec<bool>, _>(parties, {
-        let triples = Arc::clone(&triples);
-        let sched = Arc::clone(&sched);
+    let (mut results, counters) = run_parties::<PackedBatch, (Vec<bool>, u64), _>(parties, {
+        let sched = &sched;
+        let triples = &triples;
         let round_hist = Arc::clone(&round_hist);
-        move |mut h| {
+        move |h| {
             let me = h.me().index();
+            let mut transport = ThreadedTransport::new(h);
+            let mut core = PartyCore::new(circuit, layout, sched, me, triples[me].clone());
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9e3779b97f4a7c15));
-            let n_inputs = circuit.inputs();
-            let mut shares = vec![false; circuit.wires()];
-
-            // Input sharing: for each of my inputs, deal XOR shares to
-            // everyone; batch one message per peer.
-            let my_range = layout.range_of(me);
-            let my_bits = &inputs[me];
-            let mut to_peer: Vec<Vec<bool>> = vec![Vec::with_capacity(my_bits.len()); parties];
-            for (off, &bit) in my_bits.iter().enumerate() {
-                let wire = my_range.start + off;
-                let mut acc = false;
-                for (p, batch) in to_peer.iter_mut().enumerate() {
-                    if p == me {
-                        batch.push(false); // placeholder, fixed below
-                    } else {
-                        let s: bool = rng.gen();
-                        acc ^= s;
-                        batch.push(s);
-                    }
-                }
-                let own = bit ^ acc;
-                to_peer[me][off] = own;
-                shares[wire] = own;
-            }
-            for (p, batch) in to_peer.into_iter().enumerate() {
-                if p != me && parties > 1 {
-                    h.send(eppi_net::NodeId(p), batch);
-                }
-            }
-            if parties > 1 {
-                for (from, batch) in h.gather() {
-                    let range = layout.range_of(from.index());
-                    for (off, &s) in batch.iter().enumerate() {
-                        shares[range.start + off] = s;
-                    }
-                }
-            }
-
-            // Level-synchronized evaluation.
-            for (free, ands) in &sched.levels {
-                for &k in free {
-                    let this = n_inputs + k;
-                    shares[this] = match circuit.gates()[k] {
-                        Gate::Xor(a, b) => shares[a.index()] ^ shares[b.index()],
-                        Gate::Not(a) => {
-                            if me == 0 {
-                                !shares[a.index()]
-                            } else {
-                                shares[a.index()]
-                            }
-                        }
-                        Gate::Const(v) => me == 0 && v,
-                        Gate::And(..) => unreachable!("AND scheduled as free gate"),
-                    };
-                }
-                if ands.is_empty() {
-                    continue;
-                }
-                // Party 0 times each synchronized round; one shared
-                // histogram record per round is negligible next to the
-                // broadcast/gather it measures.
-                let round_started = (me == 0).then(Instant::now);
-                // Batched opening of d = x⊕a, e = y⊕b for the layer.
-                let mut my_de = Vec::with_capacity(ands.len() * 2);
-                for &k in ands {
-                    let (a, b) = match circuit.gates()[k] {
-                        Gate::And(a, b) => (a, b),
-                        _ => unreachable!(),
-                    };
-                    let (ta, tb, _) = triples.per_party[me][sched.triple_index[k]];
-                    my_de.push(shares[a.index()] ^ ta);
-                    my_de.push(shares[b.index()] ^ tb);
-                }
-                let mut opened = my_de.clone();
-                if parties > 1 {
-                    h.broadcast(my_de);
-                    for (_, batch) in h.gather() {
-                        for (i, s) in batch.into_iter().enumerate() {
-                            opened[i] ^= s;
-                        }
-                    }
-                }
-                for (idx, &k) in ands.iter().enumerate() {
-                    let d = opened[idx * 2];
-                    let e = opened[idx * 2 + 1];
-                    let (ta, tb, tc) = triples.per_party[me][sched.triple_index[k]];
-                    let mut z = tc ^ (d & tb) ^ (e & ta);
+            // Party 0 times each synchronized round; one shared
+            // histogram record per round is negligible next to the
+            // broadcast/gather it measures.
+            let out = run_party(
+                &mut core,
+                &inputs[me],
+                &mut rng,
+                &mut transport,
+                |_, took| {
                     if me == 0 {
-                        z ^= d & e;
+                        round_hist.record(took.as_nanos() as u64);
                     }
-                    shares[n_inputs + k] = z;
-                }
-                if let Some(started) = round_started {
-                    round_hist.record(started.elapsed().as_nanos() as u64);
-                }
-            }
-
-            // Output opening.
-            let my_out: Vec<bool> = circuit
-                .outputs()
-                .iter()
-                .map(|o| shares[o.index()])
-                .collect();
-            let mut opened = my_out.clone();
-            if parties > 1 && !opened.is_empty() {
-                h.broadcast(my_out);
-                for (_, batch) in h.gather() {
-                    for (i, s) in batch.into_iter().enumerate() {
-                        opened[i] ^= s;
-                    }
-                }
-            }
-            opened
+                },
+            );
+            (out, transport.bits_sent())
         }
     });
 
-    let outputs = results.swap_remove(0);
+    let bits_sent: u64 = results.iter().map(|&(_, bits)| bits).sum();
+    debug_assert_eq!(bits_sent, logical_bits(circuit, layout));
+    let outputs = results.swap_remove(0).0;
     debug_assert!(
-        results.iter().all(|r| *r == outputs),
+        results.iter().all(|(r, _)| *r == outputs),
         "parties disagree on outputs"
     );
-    registry.counter("gmw.and_gates", &[]).add(and_gates as u64);
+    registry
+        .counter("gmw.and_gates", &[])
+        .add(sched.and_gates() as u64);
     registry.counter("gmw.rounds", &[]).add(and_rounds as u64);
     let report = ThreadedGmwReport {
         parties,
-        and_gates,
+        and_gates: sched.and_gates(),
         and_rounds,
+        rounds: protocol_rounds(circuit, layout, &sched),
         messages: counters.messages(),
+        bits_sent,
         bytes: counters.bytes(),
     };
     (outputs, report)
@@ -303,7 +154,7 @@ mod tests {
     use super::*;
     use eppi_mpc::builder::{to_bits, word_value, CircuitBuilder};
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn matches_cleartext_eval() {
@@ -339,10 +190,13 @@ mod tests {
         let inputs: Vec<Vec<bool>> = (0..6).map(|p| vec![p % 2 == 0]).collect();
 
         let mut rng = StdRng::seed_from_u64(3);
-        let (a, _) = eppi_mpc::gmw::execute(&circuit, &layout, &inputs, &mut rng);
-        let (b, _) = execute_threaded(&circuit, &layout, &inputs, 77);
+        let (a, in_process) = eppi_mpc::gmw::execute(&circuit, &layout, &inputs, &mut rng);
+        let (b, threaded) = execute_threaded(&circuit, &layout, &inputs, 77);
         assert_eq!(word_value(&a), 3);
         assert_eq!(a, b);
+        // Both backends report the same analytic traffic/round figures.
+        assert_eq!(threaded.bits_sent, in_process.bits_sent);
+        assert_eq!(threaded.rounds, in_process.rounds);
     }
 
     #[test]
@@ -356,6 +210,7 @@ mod tests {
         let (out, report) = execute_threaded(&circuit, &layout, &[to_bits(12, 4)], 5);
         assert_eq!(out, vec![true]);
         assert_eq!(report.bytes, 0);
+        assert_eq!(report.bits_sent, 0);
     }
 
     #[test]
@@ -375,6 +230,8 @@ mod tests {
         assert_eq!(out, vec![true]);
         assert!(report.and_rounds >= 1);
         assert!(report.and_rounds <= report.and_gates);
+        // input round + AND rounds + output round for a 2-party run.
+        assert_eq!(report.rounds, report.and_rounds + 2);
         let snap = registry.snapshot();
         match &snap.find("gmw.round_ns", &[]).unwrap().value {
             MetricValue::Histogram(h) => assert_eq!(h.count, report.and_rounds as u64),

@@ -1,0 +1,143 @@
+//! Cross-backend equivalence of the one packed GMW core.
+//!
+//! All three execution backends (in-process, simulated, threaded) are
+//! thin adapters over `eppi_mpc::gmw_core`; this property test drives
+//! random circuits, seeds and party counts through every backend plus
+//! the frozen pre-refactor `Vec<bool>` reference executor and demands:
+//!
+//! * bit-identical opened outputs everywhere (and equal to the
+//!   cleartext evaluation), and
+//! * identical protocol-round counts on every report — the analytic
+//!   `protocol_rounds` figure all backends now share.
+
+use eppi_mpc::builder::{to_bits, CircuitBuilder, Word};
+use eppi_mpc::circuit::{Circuit, InputLayout};
+use eppi_mpc::gmw;
+use eppi_mpc::gmw_core::{logical_bits, reference};
+use eppi_net::sim::LinkModel;
+use eppi_protocol::sim_gmw::execute_simulated;
+use eppi_protocol::threaded_gmw::execute_threaded;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random layered circuit over `parties` input words: a few
+/// rounds of randomly chosen word combinators (mixing AND-heavy and
+/// free operations), outputting one surviving word plus a comparison
+/// bit so both multi-bit and single-bit openings are exercised.
+fn random_circuit(
+    parties: usize,
+    width: usize,
+    ops: usize,
+    gen_seed: u64,
+) -> (Circuit, InputLayout) {
+    let mut rng = StdRng::seed_from_u64(gen_seed);
+    let mut cb = CircuitBuilder::new();
+    let mut pool: Vec<Word> = (0..parties).map(|_| cb.input_word(width)).collect();
+    for _ in 0..ops {
+        let a = pool[rng.gen_range(0..pool.len())].clone();
+        let b = pool[rng.gen_range(0..pool.len())].clone();
+        let w = match rng.gen_range(0..6u32) {
+            0 => cb.add_words(&a, &b),
+            1 => cb.sub_words(&a, &b),
+            2 => cb.xor_words(&a, &b),
+            3 => {
+                let sel = cb.lt_words(&a, &b);
+                cb.mux_word(sel, &a, &b)
+            }
+            4 => {
+                let bits: Vec<_> = a.bits().to_vec();
+                let count = cb.popcount(&bits);
+                cb.resize_word(&count, width)
+            }
+            _ => {
+                let k = rng.gen_range(0..width.max(1));
+                let shifted = cb.shl_words(&a, k);
+                cb.resize_word(&shifted, width)
+            }
+        };
+        pool.push(w);
+    }
+    let last = pool[pool.len() - 1].clone();
+    let prev = pool[pool.len() - 2].clone();
+    let cmp = cb.ge_words(&last, &prev);
+    let mut outs = last.bits().to_vec();
+    outs.push(cmp);
+    (cb.finish(outs), InputLayout::new(vec![width; parties]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Outputs are bit-identical across all four executors and match
+    /// the cleartext evaluation; all round counts agree.
+    #[test]
+    fn all_backends_agree_bit_for_bit(
+        parties in 2usize..=4,
+        width in 3usize..=6,
+        ops in 2usize..=6,
+        gen_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let (circuit, layout) = random_circuit(parties, width, ops, gen_seed);
+        let mut input_rng = StdRng::seed_from_u64(gen_seed ^ 0x1249);
+        let inputs: Vec<Vec<bool>> = (0..parties)
+            .map(|_| to_bits(input_rng.gen_range(0..(1u64 << width)), width))
+            .collect();
+        let clear = circuit.eval(&layout.flatten(&inputs));
+
+        let mut ref_rng = StdRng::seed_from_u64(run_seed);
+        let (ref_out, ref_stats) =
+            reference::execute_unpacked(&circuit, &layout, &inputs, &mut ref_rng);
+        prop_assert_eq!(&ref_out, &clear, "reference vs cleartext");
+
+        let mut rng = StdRng::seed_from_u64(run_seed ^ 0x5eed);
+        let (packed_out, packed_stats) = gmw::execute(&circuit, &layout, &inputs, &mut rng);
+        prop_assert_eq!(&packed_out, &clear, "packed in-process vs cleartext");
+
+        let (thr_out, thr_report) = execute_threaded(&circuit, &layout, &inputs, run_seed);
+        prop_assert_eq!(&thr_out, &clear, "threaded vs cleartext");
+
+        let (sim_out, sim_stats) =
+            execute_simulated(&circuit, &layout, &inputs, LinkModel::LAN, run_seed);
+        prop_assert_eq!(&sim_out, &clear, "simulated vs cleartext");
+
+        // Identical round counts on every report.
+        prop_assert_eq!(packed_stats.rounds, ref_stats.rounds);
+        prop_assert_eq!(thr_report.rounds, ref_stats.rounds);
+        prop_assert_eq!(sim_stats.rounds, ref_stats.rounds);
+
+        // Identical logical-bit accounting (the paper's cost model is
+        // framing-independent, so packing must not change it).
+        let bits = logical_bits(&circuit, &layout);
+        prop_assert_eq!(ref_stats.bits_sent, bits);
+        prop_assert_eq!(packed_stats.bits_sent, bits);
+        prop_assert_eq!(thr_report.bits_sent, bits);
+        prop_assert_eq!(sim_stats.bits, bits);
+    }
+
+    /// The packed path consumes exactly the same number of triples as
+    /// the reference and never diverges on pre-generated (OT-phase)
+    /// triples either.
+    #[test]
+    fn pregenerated_triples_agree_too(
+        parties in 2usize..=3,
+        gen_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let (circuit, layout) = random_circuit(parties, 4, 3, gen_seed);
+        let mut input_rng = StdRng::seed_from_u64(gen_seed ^ 0x77);
+        let inputs: Vec<Vec<bool>> = (0..parties)
+            .map(|_| to_bits(input_rng.gen_range(0..16), 4))
+            .collect();
+        let clear = circuit.eval(&layout.flatten(&inputs));
+
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        let batch =
+            eppi_mpc::triples::generate_triples(parties, circuit.stats().and_gates, &mut rng);
+        let (out, stats) =
+            gmw::execute_with_triples(&circuit, &layout, &inputs, &batch, &mut rng);
+        prop_assert_eq!(&out, &clear);
+        prop_assert_eq!(stats.triples_used, circuit.stats().and_gates);
+    }
+}
