@@ -11,7 +11,6 @@
 //! Confidence then converges to certainty geometrically.
 
 use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
-use std::collections::HashSet;
 
 /// The attacker's archive of published index versions.
 #[derive(Debug, Clone, Default)]
@@ -42,20 +41,41 @@ impl IndexArchive {
 
     /// Providers published for `owner` in *every* archived version — the
     /// intersection attack's candidate set. Empty archive yields an
-    /// empty set.
+    /// empty set, as does any version that does not cover the owner
+    /// (the owner was not published then, so nothing survives).
+    ///
+    /// Runs directly on the bit-packed provider columns: one AND per
+    /// 64 providers per version, instead of hashing provider ids.
     pub fn intersection(&self, owner: OwnerId) -> Vec<ProviderId> {
+        let column = |v: &PublishedIndex| -> Option<Vec<u64>> {
+            let m = v.matrix();
+            (owner.index() < m.owners()).then(|| m.column_words(owner))
+        };
         let mut iter = self.versions.iter();
-        let first = match iter.next() {
-            Some(v) => v,
+        let mut acc = match iter.next().and_then(column) {
+            Some(words) => words,
             None => return Vec::new(),
         };
-        let mut set: HashSet<ProviderId> = first.query(owner).into_iter().collect();
         for version in iter {
-            let next: HashSet<ProviderId> = version.query(owner).into_iter().collect();
-            set.retain(|p| next.contains(p));
+            match column(version) {
+                Some(words) => {
+                    // Provider counts can differ between versions; bits
+                    // beyond a shorter version intersect to zero.
+                    for (i, w) in acc.iter_mut().enumerate() {
+                        *w &= words.get(i).copied().unwrap_or(0);
+                    }
+                }
+                None => return Vec::new(),
+            }
         }
-        let mut out: Vec<ProviderId> = set.into_iter().collect();
-        out.sort();
+        let mut out = Vec::new();
+        for (i, mut word) in acc.into_iter().enumerate() {
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push(ProviderId((i * 64 + bit) as u32));
+                word &= word - 1;
+            }
+        }
         out
     }
 
@@ -144,6 +164,64 @@ mod tests {
             confidence <= 1.0 - eps[0].value() + 0.05,
             "static archive keeps the ε bound: {confidence}"
         );
+    }
+
+    /// The epoch/delta lifecycle (`eppi-protocol::epoch`) keeps every
+    /// untouched cell bit-identical across epochs, so archiving three
+    /// consecutive delta refreshes gains the intersection attacker
+    /// nothing on the owners that did not change.
+    #[test]
+    fn delta_epochs_do_not_reopen_the_intersection_attack() {
+        use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};
+        use eppi_protocol::construct::ProtocolConfig;
+        use eppi_protocol::epoch::{construct_delta, construct_epoch};
+
+        let owners = 6usize;
+        let mut truth = MembershipMatrix::new(48, owners);
+        for j in 0..owners as u32 {
+            for p in 0..4u32 {
+                truth.set(ProviderId((j * 11 + p * 13) % 48), OwnerId(j), true);
+            }
+        }
+        let eps = vec![Epsilon::saturating(0.8); owners];
+        let config = ProtocolConfig::default();
+
+        let mut archive = IndexArchive::new();
+        let mut epoch = construct_epoch(&truth, &eps, &config).expect("epoch 0");
+        archive.record(epoch.index().clone());
+        let single = archive.clone();
+
+        // Three consecutive delta epochs, each churning only owner 0.
+        for round in 0..3u32 {
+            let mut delta = IndexDelta::new(owners);
+            delta.record(DeltaEntry {
+                owner: OwnerId(0),
+                change: ColumnChange::Changed,
+                epsilon: eps[0],
+            });
+            truth.set(ProviderId(20 + round), OwnerId(0), true);
+            let built = construct_delta(&epoch, &truth, &delta).expect("delta epoch");
+            epoch = built.epoch;
+            archive.record(epoch.index().clone());
+        }
+        assert_eq!(archive.len(), 4);
+
+        // Untouched owners: the four-version intersection equals the
+        // single-version candidate set, and the attacker's confidence
+        // never improves over what one version already gave.
+        for j in 1..owners as u32 {
+            let owner = OwnerId(j);
+            assert_eq!(
+                archive.intersection(owner),
+                single.intersection(owner),
+                "owner {j}: archived deltas shrank the candidate set"
+            );
+            assert_eq!(
+                archive.intersection_confidence(&truth, owner),
+                single.intersection_confidence(&truth, owner),
+                "owner {j}: attacker confidence improved across delta epochs"
+            );
+        }
     }
 
     #[test]

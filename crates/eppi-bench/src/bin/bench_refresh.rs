@@ -1,0 +1,30 @@
+//! Benchmarks the epoch lifecycle's delta refresh against a full
+//! rebuild across a changed-fraction sweep and writes
+//! `results/BENCH_refresh.json`.
+//!
+//! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
+//! `EPPI_REFRESH_OUT` overrides the output path.
+use eppi_bench::refresh::{run, to_json, to_table, RefreshBenchConfig};
+use eppi_bench::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let (config, scale) = match Scale::from_env() {
+        Scale::Quick => (RefreshBenchConfig::quick(), "quick"),
+        Scale::Paper => (RefreshBenchConfig::paper(), "paper"),
+    };
+    let report = run(&config);
+    eppi_bench::print_table(&to_table(&report));
+
+    let out: PathBuf = std::env::var_os("EPPI_REFRESH_OUT").map_or_else(
+        || PathBuf::from("results/BENCH_refresh.json"),
+        PathBuf::from,
+    );
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out, to_json(&report, scale)).expect("write BENCH_refresh.json");
+    eprintln!("wrote {}", out.display());
+}

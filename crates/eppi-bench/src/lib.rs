@@ -19,6 +19,7 @@
 //! | `theory_check` | measured vs exact-Binomial vs Theorem 3.1 bound |
 //! | `serve_load` | eppi-serve front-end throughput/latency (`results/BENCH_serve.json`) |
 //! | `bench_mpc` | packed GMW core vs unpacked reference (`results/BENCH_mpc.json`) |
+//! | `bench_refresh` | delta refresh vs full rebuild sweep (`results/BENCH_refresh.json`) |
 //! | `all_experiments` | everything above, in order |
 
 #![warn(missing_docs)]
@@ -30,6 +31,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod mpc_speed;
+pub mod refresh;
 pub mod report;
 pub mod search_cost;
 pub mod serve;

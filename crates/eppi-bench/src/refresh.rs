@@ -1,0 +1,447 @@
+//! Delta-refresh benchmark: the epoch lifecycle vs full rebuild.
+//!
+//! Sweeps the changed-column fraction and, for each point, runs the
+//! same change batch through both refresh paths:
+//!
+//! * **delta** — `construct_delta` over the `k` touched columns,
+//!   installed into a running [`ServeEngine`] through the
+//!   copy-on-write [`ServeEngine::apply_delta`] path;
+//! * **full** — `construct_distributed` over all `n` columns,
+//!   installed through the re-sharding [`ServeEngine::refresh`] path.
+//!
+//! Reported per point: protocol wall time, total MPC gates
+//! (CountBelow + mix-decision), SecSumShare messages and bytes, and
+//! the serving-side install wall (publication until every shard
+//! answers from the new version — the install jobs queue behind one
+//! probe query per shard, so the measured wall includes the last
+//! worker's switch). Results land in `results/BENCH_refresh.json`
+//! (override with `EPPI_REFRESH_OUT`); `EPPI_SCALE=quick` selects the
+//! smoke configuration.
+//!
+//! The expected shape at paper scale: delta MPC cost is sized by `k`
+//! alone, so protocol wall and gates fall roughly linearly with the
+//! fraction while the full-rebuild column stays flat — the delta path
+//! wins on wall for small fractions, which is the whole point of the
+//! epoch lifecycle (DESIGN.md §10).
+
+use crate::report::Table;
+use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi_protocol::construct::{construct_distributed_with_registry, ProtocolConfig};
+use eppi_protocol::epoch::{
+    construct_delta_with_registry, construct_epoch_with_registry, IndexEpoch,
+};
+use eppi_serve::{default_shards, ServeConfig, ServeEngine};
+use eppi_telemetry::json::JsonValue;
+use eppi_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Configuration of one refresh benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshBenchConfig {
+    /// Providers `m`.
+    pub providers: usize,
+    /// Owners `n`.
+    pub owners: usize,
+    /// Changed-column fractions to sweep (each yields one row).
+    pub fractions: Vec<f64>,
+    /// Serve-engine shards for the install measurement.
+    pub shards: usize,
+    /// Membership bits flipped per churned column.
+    pub flips_per_column: usize,
+    /// Base RNG seed (also the protocol seed).
+    pub seed: u64,
+}
+
+impl RefreshBenchConfig {
+    /// Paper-scale sweep: the evaluation's owner population with a
+    /// fraction sweep from one-in-a-thousand churn up to a quarter of
+    /// the index.
+    pub fn paper() -> Self {
+        RefreshBenchConfig {
+            providers: 64,
+            owners: 4096,
+            fractions: vec![0.001, 0.004, 0.016, 0.064, 0.25],
+            shards: default_shards(),
+            flips_per_column: 3,
+            seed: 0x4ef4e5,
+        }
+    }
+
+    /// Scaled-down smoke run for tests and `EPPI_SCALE=quick`.
+    pub fn quick() -> Self {
+        RefreshBenchConfig {
+            providers: 24,
+            owners: 256,
+            fractions: vec![0.01, 0.05, 0.2],
+            shards: 2,
+            flips_per_column: 2,
+            seed: 0x4ef4e5,
+        }
+    }
+}
+
+/// One fraction's measurements, delta path vs full rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshRow {
+    /// Requested changed fraction.
+    pub fraction: f64,
+    /// Touched columns `k` actually churned.
+    pub touched: usize,
+    /// Protocol wall of the delta construction.
+    pub delta_wall: Duration,
+    /// Protocol wall of the full reconstruction.
+    pub full_wall: Duration,
+    /// Total MPC gates (CountBelow + mix) of the delta run.
+    pub delta_gates: usize,
+    /// Total MPC gates of the full run.
+    pub full_gates: usize,
+    /// SecSumShare messages of the delta run (m·c — fraction-blind).
+    pub delta_secsum_messages: u64,
+    /// SecSumShare messages of the full run.
+    pub full_secsum_messages: u64,
+    /// SecSumShare payload bytes of the delta run (sized by `k`).
+    pub delta_secsum_bytes: u64,
+    /// SecSumShare payload bytes of the full run (sized by `n`).
+    pub full_secsum_bytes: u64,
+    /// Publication-to-served wall of the copy-on-write install.
+    pub delta_install: Duration,
+    /// Publication-to-served wall of the full re-shard install.
+    pub full_install: Duration,
+}
+
+impl RefreshRow {
+    /// Protocol-wall advantage of the delta path (`> 1` = delta wins).
+    pub fn wall_speedup(&self) -> f64 {
+        self.full_wall.as_secs_f64() / self.delta_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Everything one invocation produces (feeds both table and JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshReport {
+    /// The configuration that ran.
+    pub config: RefreshBenchConfig,
+    /// One entry per swept fraction.
+    pub rows: Vec<RefreshRow>,
+}
+
+/// A random base network: every owner delegated to a random non-empty
+/// provider subset, with a random ε.
+fn build_base(config: &RefreshBenchConfig, rng: &mut StdRng) -> (MembershipMatrix, Vec<Epsilon>) {
+    let mut matrix = MembershipMatrix::new(config.providers, config.owners);
+    for owner in matrix.owner_ids() {
+        let freq = rng.gen_range(1..config.providers.max(2));
+        for i in 0..freq {
+            matrix.set(
+                ProviderId(((i * 7 + owner.index()) % config.providers) as u32),
+                owner,
+                true,
+            );
+        }
+    }
+    let epsilons = (0..config.owners)
+        .map(|_| Epsilon::saturating(rng.gen_range(0.1..0.9)))
+        .collect();
+    (matrix, epsilons)
+}
+
+/// Churns `k` evenly-spread columns of `matrix`, returning the new
+/// matrix, the spliced ε vector and the change batch.
+fn churn(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    k: usize,
+    flips: usize,
+    rng: &mut StdRng,
+) -> (MembershipMatrix, Vec<Epsilon>, IndexDelta) {
+    let n = matrix.owners();
+    let mut next = matrix.clone();
+    let mut next_eps = epsilons.to_vec();
+    let mut delta = IndexDelta::new(n);
+    for i in 0..k {
+        // Evenly spread distinct owners, so every shard sees churn at
+        // large fractions while small fractions stay sparse.
+        let owner = OwnerId(((i * n) / k) as u32);
+        for _ in 0..flips {
+            let p = ProviderId(rng.gen_range(0..matrix.providers()) as u32);
+            next.set(p, owner, !next.get(p, owner));
+        }
+        next_eps[owner.index()] = Epsilon::saturating(rng.gen_range(0.1..0.9));
+        delta.record(DeltaEntry {
+            owner,
+            change: ColumnChange::Changed,
+            epsilon: next_eps[owner.index()],
+        });
+    }
+    (next, next_eps, delta)
+}
+
+fn bench_fraction(
+    epoch0: &IndexEpoch,
+    base: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    proto: &ProtocolConfig,
+    config: &RefreshBenchConfig,
+    fraction: f64,
+    rng: &mut StdRng,
+) -> RefreshRow {
+    let n = base.owners();
+    let k = ((fraction * n as f64).round() as usize).clamp(1, n);
+    let (next, next_eps, delta) = churn(base, epsilons, k, config.flips_per_column, rng);
+
+    let built = construct_delta_with_registry(epoch0, &next, &delta, &Registry::new())
+        .expect("delta construction");
+    let full = construct_distributed_with_registry(&next, &next_eps, proto, &Registry::new())
+        .expect("full construction");
+
+    // Serving-side install: one engine per row, fed the same base
+    // snapshot; a probe query per shard queues behind the install job,
+    // so the measured wall covers the last worker's version switch.
+    let engine = ServeEngine::start_with_registry(
+        epoch0.index(),
+        ServeConfig {
+            shards: config.shards,
+            queue_depth: 64,
+            telemetry: false,
+        },
+        &Registry::new(),
+    );
+    let client = engine.client();
+    let probe: Vec<OwnerId> = (0..config.shards.min(n) as u32).map(OwnerId).collect();
+    let touched = delta.touched();
+    let at = Instant::now();
+    engine.apply_delta(built.epoch.index(), &touched);
+    for &o in &probe {
+        let _ = client.query(o);
+    }
+    let delta_install = at.elapsed();
+    let at = Instant::now();
+    engine.refresh(&full.index);
+    for &o in &probe {
+        let _ = client.query(o);
+    }
+    let full_install = at.elapsed();
+    engine.shutdown();
+
+    RefreshRow {
+        fraction,
+        touched: k,
+        delta_wall: built.report.wall,
+        full_wall: full.report.wall,
+        delta_gates: built.report.circuit_size(),
+        full_gates: full.report.circuit_size(),
+        delta_secsum_messages: built.report.secsum.messages,
+        full_secsum_messages: full.report.secsum.messages,
+        delta_secsum_bytes: built.report.secsum.bytes,
+        full_secsum_bytes: full.report.secsum.bytes,
+        delta_install,
+        full_install,
+    }
+}
+
+/// Runs the whole fraction sweep over one shared base epoch.
+pub fn run(config: &RefreshBenchConfig) -> RefreshReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (base, epsilons) = build_base(config, &mut rng);
+    let proto = ProtocolConfig {
+        seed: config.seed,
+        ..ProtocolConfig::default()
+    };
+    let epoch0 = construct_epoch_with_registry(&base, &epsilons, &proto, &Registry::new())
+        .expect("epoch 0 construction");
+    let rows = config
+        .fractions
+        .iter()
+        .map(|&fraction| {
+            bench_fraction(
+                &epoch0, &base, &epsilons, &proto, config, fraction, &mut rng,
+            )
+        })
+        .collect();
+    RefreshReport {
+        config: config.clone(),
+        rows,
+    }
+}
+
+/// Renders the report as the harness's usual aligned table.
+pub fn to_table(report: &RefreshReport) -> Table {
+    let mut table = Table::new(
+        format!(
+            "delta refresh vs full rebuild — {} providers, {} owners, {} shards",
+            report.config.providers, report.config.owners, report.config.shards
+        ),
+        [
+            "fraction",
+            "k",
+            "Δ wall ms",
+            "full ms",
+            "speedup",
+            "Δ gates",
+            "full gates",
+            "Δ install µs",
+            "full install µs",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            format!("{:.3}", row.fraction),
+            row.touched.to_string(),
+            format!("{:.2}", row.delta_wall.as_secs_f64() * 1e3),
+            format!("{:.2}", row.full_wall.as_secs_f64() * 1e3),
+            format!("{:.1}x", row.wall_speedup()),
+            row.delta_gates.to_string(),
+            row.full_gates.to_string(),
+            format!("{:.0}", row.delta_install.as_secs_f64() * 1e6),
+            format!("{:.0}", row.full_install.as_secs_f64() * 1e6),
+        ]);
+    }
+    table
+}
+
+fn path_json(
+    wall: Duration,
+    gates: usize,
+    messages: u64,
+    bytes: u64,
+    install: Duration,
+) -> JsonValue {
+    JsonValue::Object(vec![
+        ("wall_ms".into(), JsonValue::Float(wall.as_secs_f64() * 1e3)),
+        ("mpc_gates".into(), JsonValue::UInt(gates as u64)),
+        ("secsum_messages".into(), JsonValue::UInt(messages)),
+        ("secsum_bytes".into(), JsonValue::UInt(bytes)),
+        (
+            "install_ms".into(),
+            JsonValue::Float(install.as_secs_f64() * 1e3),
+        ),
+    ])
+}
+
+/// Serializes the report to the `BENCH_refresh.json` schema.
+pub fn to_json(report: &RefreshReport, scale: &str) -> String {
+    let threads = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let rows = report
+        .rows
+        .iter()
+        .map(|row| {
+            JsonValue::Object(vec![
+                ("fraction".into(), JsonValue::Float(row.fraction)),
+                ("touched".into(), JsonValue::UInt(row.touched as u64)),
+                (
+                    "delta".into(),
+                    path_json(
+                        row.delta_wall,
+                        row.delta_gates,
+                        row.delta_secsum_messages,
+                        row.delta_secsum_bytes,
+                        row.delta_install,
+                    ),
+                ),
+                (
+                    "full".into(),
+                    path_json(
+                        row.full_wall,
+                        row.full_gates,
+                        row.full_secsum_messages,
+                        row.full_secsum_bytes,
+                        row.full_install,
+                    ),
+                ),
+                ("wall_speedup".into(), JsonValue::Float(row.wall_speedup())),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::Object(vec![
+        ("bench".into(), JsonValue::Str("refresh".into())),
+        ("scale".into(), JsonValue::Str(scale.into())),
+        (
+            "machine".into(),
+            JsonValue::Object(vec![
+                ("os".into(), JsonValue::Str(std::env::consts::OS.into())),
+                ("arch".into(), JsonValue::Str(std::env::consts::ARCH.into())),
+                ("hardware_threads".into(), JsonValue::UInt(threads as u64)),
+            ]),
+        ),
+        (
+            "config".into(),
+            JsonValue::Object(vec![
+                (
+                    "providers".into(),
+                    JsonValue::UInt(report.config.providers as u64),
+                ),
+                (
+                    "owners".into(),
+                    JsonValue::UInt(report.config.owners as u64),
+                ),
+                (
+                    "shards".into(),
+                    JsonValue::UInt(report.config.shards as u64),
+                ),
+                (
+                    "flips_per_column".into(),
+                    JsonValue::UInt(report.config.flips_per_column as u64),
+                ),
+                ("seed".into(), JsonValue::UInt(report.config.seed)),
+            ]),
+        ),
+        ("rows".into(), JsonValue::Array(rows)),
+    ]);
+    let mut out = doc.to_pretty();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_shows_delta_cost_scaling_with_k() {
+        let config = RefreshBenchConfig {
+            owners: 96,
+            fractions: vec![0.02, 0.25],
+            ..RefreshBenchConfig::quick()
+        };
+        let report = run(&config);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.touched >= 1);
+            assert!(
+                row.delta_gates < row.full_gates,
+                "delta must run a smaller circuit ({} vs {})",
+                row.delta_gates,
+                row.full_gates
+            );
+            assert!(row.delta_secsum_bytes < row.full_secsum_bytes);
+            // SecSumShare message count depends on m and c only.
+            assert_eq!(row.delta_secsum_messages, row.full_secsum_messages);
+        }
+        // The MPC circuit grows with the fraction.
+        assert!(report.rows[0].delta_gates < report.rows[1].delta_gates);
+
+        let json = to_json(&report, "quick");
+        let doc = JsonValue::parse(&json).expect("BENCH_refresh.json must parse");
+        assert_eq!(
+            doc.get("bench").and_then(JsonValue::as_str),
+            Some("refresh")
+        );
+        for key in [
+            "\"rows\"",
+            "\"fraction\"",
+            "\"wall_speedup\"",
+            "\"mpc_gates\"",
+            "\"secsum_bytes\"",
+            "\"install_ms\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let table = to_table(&report).to_string();
+        assert!(table.contains("speedup"));
+    }
+}

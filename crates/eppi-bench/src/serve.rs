@@ -578,8 +578,9 @@ mod tests {
                 other => panic!("unexpected metric {other:?}"),
             }
         }
-        // Per-phase construction timings from the probe.
-        assert_eq!(snap.family("construct.phase_ns").len(), 5);
+        // Per-phase construction timings from the probe (incl. the
+        // dedicated cleartext λ phase).
+        assert_eq!(snap.family("construct.phase_ns").len(), 6);
         // The passes' latency numbers come from these histograms.
         for pass in &report.passes {
             let m = snap

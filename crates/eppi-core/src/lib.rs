@@ -14,7 +14,10 @@
 //!   expectation, Chernoff-bound) of §III-B.
 //! * [`mixing`] — identity mixing against the common-identity attack
 //!   (Eq. 6/7).
-//! * [`publish`] — randomized publication (Eq. 2).
+//! * [`publish`] — randomized publication (Eq. 2), including the
+//!   deterministic per-cell coins of the epoch lifecycle.
+//! * [`delta`] — owner-level change batches ([`IndexDelta`]) bridging
+//!   consecutive index epochs (DESIGN.md §10).
 //! * [`privacy`] — false-positive-rate metrics, success ratio, privacy
 //!   degrees.
 //! * [`mod@construct`] — the centralized two-phase constructor used by the
@@ -54,6 +57,7 @@
 
 pub mod analysis;
 pub mod construct;
+pub mod delta;
 pub mod error;
 pub mod mixing;
 pub mod model;
@@ -63,6 +67,7 @@ pub mod publish;
 pub mod sensitivity;
 
 pub use construct::{construct, extend_construction, Construction, ConstructionConfig};
+pub use delta::{ColumnChange, DeltaEntry, IndexDelta};
 pub use error::EppiError;
 pub use model::{Epsilon, LocalVector, MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
 pub use policy::{BasicPolicy, BetaPolicy, ChernoffPolicy, IncrementedPolicy, PolicyKind};

@@ -310,6 +310,30 @@ impl MembershipMatrix {
         &self.bits[p * self.blocks_per_row..(p + 1) * self.blocks_per_row]
     }
 
+    /// Returns one owner's *column* as a packed provider bitmap: bit `i`
+    /// of word `i / 64` is `M(i, j)`. The word count is
+    /// `m.div_ceil(64).max(1)` — exactly the serving layer's
+    /// words-per-row, so a column can be blitted straight into a shard
+    /// slot without re-packing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range.
+    pub fn column_words(&self, owner: OwnerId) -> Vec<u64> {
+        let o = owner.index();
+        assert!(o < self.owners, "owner {o} out of range {}", self.owners);
+        let block_off = o / BLOCK_BITS;
+        let mask = 1u64 << (o % BLOCK_BITS);
+        let words = self.providers.div_ceil(BLOCK_BITS).max(1);
+        let mut out = vec![0u64; words];
+        for p in 0..self.providers {
+            if self.bits[p * self.blocks_per_row + block_off] & mask != 0 {
+                out[p / BLOCK_BITS] |= 1u64 << (p % BLOCK_BITS);
+            }
+        }
+        out
+    }
+
     /// Returns one provider's membership vector `M_i(·)` as a Boolean vec
     /// over owners.
     pub fn row(&self, provider: ProviderId) -> LocalVector {

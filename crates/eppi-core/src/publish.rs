@@ -12,8 +12,92 @@
 //! Each provider runs the same random process on its own row, which is why
 //! the distributed realization needs no coordination for this phase.
 
-use crate::model::{LocalVector, MembershipMatrix, OwnerId, PublishedIndex};
+use crate::model::{LocalVector, MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
 use rand::Rng;
+
+/// The deterministic per-cell publication coin of the epoch lifecycle:
+/// a uniform draw from `[0, 1)` keyed by `(epoch_seed, provider,
+/// owner)` through a splitmix64-style finalizer.
+///
+/// Because the coin depends only on the cell's coordinates and the
+/// lineage seed — never on the epoch number or on any other cell — a
+/// cell whose membership bit and β are unchanged publishes the *same*
+/// bit in every epoch. That is the anti-intersection invariant of
+/// DESIGN.md §10: archiving consecutive epochs and intersecting them
+/// (the §III-C re-publication attack) learns nothing about untouched
+/// owners that a single epoch didn't already reveal.
+pub fn publication_coin(epoch_seed: u64, provider: ProviderId, owner: OwnerId) -> f64 {
+    let mut h = epoch_seed
+        ^ (u64::from(provider.0) + 1).wrapping_mul(0x2545_f491_4f6c_dd1d)
+        ^ (u64::from(owner.0) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    // Top 53 bits → the unit interval, the standard f64 construction.
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Publishes one cell under the deterministic coin: truthful on
+/// members, a decoy iff the cell's coin falls below `beta`.
+pub fn publish_cell(
+    epoch_seed: u64,
+    provider: ProviderId,
+    owner: OwnerId,
+    member: bool,
+    beta: f64,
+) -> bool {
+    member || (beta > 0.0 && publication_coin(epoch_seed, provider, owner) < beta)
+}
+
+/// [`publish_vector`] with the deterministic per-cell coins instead of
+/// a sequential RNG stream — the provider-local publication step of the
+/// epoch lifecycle. Cells whose membership and β are unchanged produce
+/// the same published bit at every epoch of the lineage.
+///
+/// # Panics
+///
+/// Panics if `betas.len()` differs from the vector's owner count.
+pub fn publish_vector_at(vector: &LocalVector, betas: &[f64], epoch_seed: u64) -> LocalVector {
+    assert_eq!(vector.owners(), betas.len(), "one β per owner required");
+    let mut out = LocalVector::new(vector.provider(), vector.owners());
+    for (j, &beta) in betas.iter().enumerate() {
+        let owner = OwnerId(j as u32);
+        if publish_cell(
+            epoch_seed,
+            vector.provider(),
+            owner,
+            vector.get(owner),
+            beta,
+        ) {
+            out.set(owner, true);
+        }
+    }
+    out
+}
+
+/// [`publish_matrix`] with the deterministic per-cell coins: every
+/// provider runs [`publish_vector_at`] on its own row under the shared
+/// lineage seed. This is the publication step `eppi-protocol` uses for
+/// epoch-versioned constructions.
+///
+/// # Panics
+///
+/// Panics if `betas.len()` differs from the matrix owner count.
+pub fn publish_matrix_at(
+    matrix: &MembershipMatrix,
+    betas: &[f64],
+    epoch_seed: u64,
+) -> PublishedIndex {
+    assert_eq!(matrix.owners(), betas.len(), "one β per owner required");
+    let mut published = MembershipMatrix::new(matrix.providers(), matrix.owners());
+    for provider in matrix.provider_ids() {
+        let row = publish_vector_at(&matrix.row(provider), betas, epoch_seed);
+        published.set_row(&row);
+    }
+    PublishedIndex::new(published, betas.to_vec())
+}
 
 /// Publishes one provider's local vector under the given per-owner β
 /// values — the operation a single provider performs locally in the
@@ -147,5 +231,68 @@ mod tests {
         let m = MembershipMatrix::new(2, 3);
         let mut rng = StdRng::seed_from_u64(0);
         publish_matrix(&m, &[0.1], &mut rng);
+    }
+
+    #[test]
+    fn deterministic_coins_are_uniform_and_stable() {
+        // Stability: the coin is a pure function of (seed, cell).
+        let a = publication_coin(7, ProviderId(3), OwnerId(9));
+        let b = publication_coin(7, ProviderId(3), OwnerId(9));
+        assert_eq!(a, b);
+        assert_ne!(a, publication_coin(8, ProviderId(3), OwnerId(9)));
+        // Uniformity: the empirical mean over many cells is ~1/2.
+        let mut sum = 0.0;
+        let cells = 40_000;
+        for p in 0..200u32 {
+            for o in 0..200u32 {
+                let coin = publication_coin(42, ProviderId(p), OwnerId(o));
+                assert!((0.0..1.0).contains(&coin));
+                sum += coin;
+            }
+        }
+        let mean = sum / f64::from(cells);
+        assert!((mean - 0.5).abs() < 0.01, "coin mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_publication_is_truthful_and_tracks_beta() {
+        let mut m = MembershipMatrix::new(20_000, 2);
+        for p in 0..500u32 {
+            m.set(ProviderId(p), OwnerId(0), true);
+        }
+        let idx = publish_matrix_at(&m, &[0.3, 0.0], 99);
+        for p in 0..500u32 {
+            assert!(idx.matrix().get(ProviderId(p), OwnerId(0)), "lost positive");
+        }
+        let rate = (idx.published_frequency(OwnerId(0)) - 500) as f64 / 19_500.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed flip rate {rate}");
+        assert_eq!(
+            idx.published_frequency(OwnerId(1)),
+            0,
+            "β = 0 stays truthful"
+        );
+    }
+
+    #[test]
+    fn unchanged_cells_are_bit_identical_across_publications() {
+        // Publish the same matrix twice with one column's β changed:
+        // only that column may differ — the anti-intersection
+        // invariant at the publication layer.
+        let mut m = MembershipMatrix::new(300, 6);
+        for p in 0..300u32 {
+            m.set(ProviderId(p), OwnerId(p % 6), p % 7 == 0);
+        }
+        let betas_a = [0.4, 0.2, 0.9, 0.1, 0.5, 0.3];
+        let mut betas_b = betas_a;
+        betas_b[2] = 0.35;
+        let a = publish_matrix_at(&m, &betas_a, 7);
+        let b = publish_matrix_at(&m, &betas_b, 7);
+        for p in m.provider_ids() {
+            for o in m.owner_ids() {
+                if o != OwnerId(2) {
+                    assert_eq!(a.matrix().get(p, o), b.matrix().get(p, o), "({p}, {o})");
+                }
+            }
+        }
     }
 }

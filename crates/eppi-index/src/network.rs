@@ -7,8 +7,13 @@
 //! [`auth_search`](InformationNetwork::auth_search) (`AuthSearch(s, {p_i}, t_j)`).
 //! This module packages them over the provider endpoints, tracking
 //! staleness: delegations after the last construction are not visible in
-//! the index until `ConstructPPI` runs again (indexes are static by
-//! design — see the re-publication attack in `eppi-attacks::refresh`).
+//! the index until `ConstructPPI` runs again. Between constructions the
+//! network aggregates the providers' per-store dirty sets into an
+//! [`IndexDelta`] via
+//! [`pending_delta`](InformationNetwork::pending_delta), feeding the
+//! epoch lifecycle (`eppi-protocol::epoch`) that refreshes only the
+//! changed columns without reopening the re-publication attack of
+//! `eppi-attacks::refresh`.
 //!
 //! Construction here uses the trusted in-memory constructor; production
 //! deployments run the trusted-party-free protocol from `eppi-protocol`
@@ -20,10 +25,11 @@ use crate::search::{LocatorService, ProviderEndpoint, SearchOutcome};
 use crate::server::PpiServer;
 use crate::store::LocalStore;
 use eppi_core::construct::{construct, ConstructionConfig};
+use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};
 use eppi_core::error::EppiError;
 use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A whole information network: providers, delegated records, and the
 /// (possibly stale) published index.
@@ -36,7 +42,14 @@ pub struct InformationNetwork {
     /// Per-owner frequencies at the last construction — used to decide
     /// whether the incremental extension path is sound.
     old_frequencies: Vec<usize>,
+    /// Owner count covered by the currently installed index — the base
+    /// of the next [`pending_delta`](Self::pending_delta).
+    indexed_owners: usize,
     dirty: bool,
+    /// Set when the construction configuration changed: thresholds are
+    /// global, so a column-wise delta cannot express the change and the
+    /// next refresh must be a full construction.
+    config_dirty: bool,
 }
 
 impl InformationNetwork {
@@ -59,7 +72,9 @@ impl InformationNetwork {
             config: ConstructionConfig::default(),
             index: None,
             old_frequencies: Vec::new(),
+            indexed_owners: 0,
             dirty: false,
+            config_dirty: false,
         }
     }
 
@@ -67,6 +82,7 @@ impl InformationNetwork {
     pub fn set_config(&mut self, config: ConstructionConfig) -> &mut Self {
         self.config = config;
         self.dirty = true;
+        self.config_dirty = true;
         self
     }
 
@@ -146,6 +162,65 @@ impl InformationNetwork {
         self.dirty || self.index.is_none()
     }
 
+    /// Aggregates the providers' per-store dirty sets into the change
+    /// batch bridging the installed index and the current delegations —
+    /// the input to `eppi-protocol`'s `construct_delta`.
+    ///
+    /// Returns `None` when there is no installed index to delta from,
+    /// or when the construction configuration changed (thresholds are
+    /// global; only a full construction can apply them). An up-to-date
+    /// network yields `Some(empty delta)`.
+    ///
+    /// Owner ids are append-only and columns dense: every id between
+    /// the indexed owner count and the current one enters the batch as
+    /// `Added`, delegated-to or not. Dirty pre-existing owners are
+    /// `Changed` while some endpoint still holds them and `Withdrawn`
+    /// once none does.
+    pub fn pending_delta(&self) -> Option<IndexDelta> {
+        if self.config_dirty {
+            return None;
+        }
+        self.index.as_ref()?;
+        let base = self.indexed_owners;
+        let mut delta = IndexDelta::new(base);
+        for j in base..self.owners() {
+            let owner = OwnerId(j as u32);
+            delta.record(DeltaEntry {
+                owner,
+                change: ColumnChange::Added,
+                epsilon: self.epsilons.get(&owner).copied().unwrap_or(Epsilon::ZERO),
+            });
+        }
+        let mut touched: BTreeSet<OwnerId> = BTreeSet::new();
+        for endpoint in &self.endpoints {
+            touched.extend(endpoint.store.dirty_owners());
+        }
+        for owner in touched {
+            if owner.index() >= base {
+                continue; // already in the batch as Added
+            }
+            let held = self.endpoints.iter().any(|e| e.store.holds(owner));
+            delta.record(DeltaEntry {
+                owner,
+                change: if held {
+                    ColumnChange::Changed
+                } else {
+                    ColumnChange::Withdrawn
+                },
+                epsilon: self.epsilons.get(&owner).copied().unwrap_or(Epsilon::ZERO),
+            });
+        }
+        Some(delta)
+    }
+
+    /// Empties every store's dirty set after its changes were folded
+    /// into an installed index.
+    fn drain_dirty(&mut self) {
+        for endpoint in &mut self.endpoints {
+            endpoint.store.take_dirty();
+        }
+    }
+
     /// Derives the private membership matrix `M` from the providers'
     /// stores (this never leaves the trusted constructor).
     pub fn membership_matrix(&self) -> MembershipMatrix {
@@ -193,8 +268,11 @@ impl InformationNetwork {
         }
         let built = construct(&matrix, &epsilons, self.config, rng)?;
         self.old_frequencies = matrix.frequencies();
+        self.indexed_owners = matrix.owners();
         self.index = Some(built.index);
         self.dirty = false;
+        self.config_dirty = false;
+        self.drain_dirty();
         Ok(self.index.as_ref().expect("just set"))
     }
 
@@ -239,8 +317,10 @@ impl InformationNetwork {
                 rng,
             )?;
             self.old_frequencies = matrix.frequencies();
+            self.indexed_owners = matrix.owners();
             self.index = Some(extended);
             self.dirty = false;
+            self.drain_dirty();
             Ok(true)
         } else {
             self.construct_ppi(rng)?;
@@ -260,8 +340,12 @@ impl InformationNetwork {
             self.providers(),
             "index provider count must match the network"
         );
+        self.old_frequencies = self.membership_matrix().frequencies();
+        self.indexed_owners = index.matrix().owners();
         self.index = Some(index);
         self.dirty = false;
+        self.config_dirty = false;
+        self.drain_dirty();
     }
 
     /// The paper's `QueryPPI(t_j)`: the candidate provider list from the
@@ -442,6 +526,84 @@ mod tests {
         assert!(!net.endpoint(ProviderId(9)).store.holds(OwnerId(0)));
         // The remaining true provider is always in the answer.
         assert!(net.query_ppi(OwnerId(0)).contains(&ProviderId(2)));
+    }
+
+    #[test]
+    fn pending_delta_tracks_changed_added_and_withdrawn_columns() {
+        let mut net = InformationNetwork::new(12);
+        net.delegate(OwnerId(0), eps(0.5), ProviderId(1), "a");
+        net.delegate(OwnerId(1), eps(0.3), ProviderId(2), "b");
+        net.delegate(OwnerId(1), eps(0.3), ProviderId(7), "b2");
+        // No index yet: nothing to delta from.
+        assert!(net.pending_delta().is_none());
+        let mut rng = StdRng::seed_from_u64(21);
+        net.construct_ppi(&mut rng).expect("construction");
+        // Up to date: empty batch.
+        let d = net.pending_delta().expect("delta");
+        assert!(d.is_empty());
+        assert_eq!((d.base_owners(), d.owners()), (2, 2));
+
+        // Owner 0 gains a provider (Changed), owner 1 withdraws from one
+        // of two providers (still held ⇒ Changed), owner 2 is new.
+        net.delegate(OwnerId(0), eps(0.5), ProviderId(4), "a2");
+        net.withdraw(OwnerId(1), ProviderId(7));
+        net.delegate(OwnerId(2), eps(0.9), ProviderId(0), "c");
+        let d = net.pending_delta().expect("delta");
+        assert_eq!((d.base_owners(), d.owners()), (2, 3));
+        let changes: Vec<_> = d.entries().map(|e| (e.owner, e.change)).collect();
+        assert_eq!(
+            changes,
+            vec![
+                (OwnerId(0), ColumnChange::Changed),
+                (OwnerId(1), ColumnChange::Changed),
+                (OwnerId(2), ColumnChange::Added),
+            ]
+        );
+
+        // Withdrawing everywhere flips the column to Withdrawn.
+        net.withdraw(OwnerId(1), ProviderId(2));
+        let d = net.pending_delta().expect("delta");
+        assert!(d
+            .entries()
+            .any(|e| e.owner == OwnerId(1) && e.change == ColumnChange::Withdrawn));
+
+        // Re-construction drains the batch.
+        net.construct_ppi(&mut rng).expect("reconstruction");
+        assert!(net.pending_delta().expect("delta").is_empty());
+    }
+
+    #[test]
+    fn config_change_disables_the_delta_path() {
+        let mut net = InformationNetwork::new(6);
+        net.delegate(OwnerId(0), eps(0.5), ProviderId(0), "r");
+        let mut rng = StdRng::seed_from_u64(22);
+        net.construct_ppi(&mut rng).expect("construction");
+        net.set_config(ConstructionConfig::default());
+        assert!(
+            net.pending_delta().is_none(),
+            "global thresholds changed: only a full construction applies them"
+        );
+        net.construct_ppi(&mut rng).expect("reconstruction");
+        assert!(net.pending_delta().is_some());
+    }
+
+    #[test]
+    fn install_index_drains_the_pending_batch() {
+        let mut net = InformationNetwork::new(4);
+        net.delegate(OwnerId(0), eps(0.5), ProviderId(1), "r");
+        let mut rng = StdRng::seed_from_u64(23);
+        net.construct_ppi(&mut rng).expect("construction");
+        net.delegate(OwnerId(1), eps(0.2), ProviderId(3), "s");
+        assert_eq!(net.pending_delta().expect("delta").len(), 1);
+        // Install an externally constructed two-owner index: the batch
+        // is considered folded in.
+        let mut published = MembershipMatrix::new(4, 2);
+        published.set(ProviderId(1), OwnerId(0), true);
+        published.set(ProviderId(3), OwnerId(1), true);
+        net.install_index(PublishedIndex::new(published, vec![0.5, 0.2]));
+        let d = net.pending_delta().expect("delta");
+        assert!(d.is_empty());
+        assert_eq!(d.base_owners(), 2);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! candidate provider list.
 
 use eppi_core::model::{Epsilon, OwnerId, ProviderId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// One personal record delegated by an owner to a provider.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +25,10 @@ pub struct LocalStore {
     provider: ProviderId,
     records: HashMap<OwnerId, Vec<Record>>,
     epsilons: HashMap<OwnerId, Epsilon>,
+    /// Owners whose local membership bit may have flipped since the
+    /// last time the delta was drained — the provider-side half of the
+    /// epoch lifecycle's change batch (DESIGN.md §10).
+    dirty: BTreeSet<OwnerId>,
 }
 
 impl LocalStore {
@@ -34,6 +38,7 @@ impl LocalStore {
             provider,
             records: HashMap::new(),
             epsilons: HashMap::new(),
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -50,6 +55,7 @@ impl LocalStore {
             payload: payload.into(),
         });
         self.epsilons.insert(owner, eps);
+        self.dirty.insert(owner);
     }
 
     /// Withdraws all of `owner`'s records (e.g. the owner revokes the
@@ -57,7 +63,11 @@ impl LocalStore {
     /// removed.
     pub fn withdraw(&mut self, owner: OwnerId) -> usize {
         self.epsilons.remove(&owner);
-        self.records.remove(&owner).map_or(0, |r| r.len())
+        let removed = self.records.remove(&owner).map_or(0, |r| r.len());
+        if removed > 0 {
+            self.dirty.insert(owner);
+        }
+        removed
     }
 
     /// Whether the store holds any records of `owner` (the provider's
@@ -90,6 +100,24 @@ impl LocalStore {
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// The owners touched (delegated to or withdrawn from) since the
+    /// dirty set was last drained, in ascending order.
+    pub fn dirty_owners(&self) -> impl Iterator<Item = OwnerId> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Whether any delegation or withdrawal happened since the last
+    /// [`take_dirty`](Self::take_dirty).
+    pub fn has_changes(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Drains and returns the dirty set (ascending) — called when the
+    /// change batch is folded into a constructed index.
+    pub fn take_dirty(&mut self) -> Vec<OwnerId> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
     }
 }
 
@@ -129,5 +157,27 @@ mod tests {
         let mut owners: Vec<_> = s.owners().collect();
         owners.sort();
         assert_eq!(owners, vec![OwnerId(1), OwnerId(2)]);
+    }
+
+    #[test]
+    fn dirty_tracking_records_touched_owners() {
+        let mut s = LocalStore::new(ProviderId(0));
+        assert!(!s.has_changes());
+        s.delegate(OwnerId(3), eps(0.5), "a");
+        s.delegate(OwnerId(1), eps(0.5), "b");
+        s.delegate(OwnerId(3), eps(0.5), "c");
+        assert!(s.has_changes());
+        assert_eq!(
+            s.dirty_owners().collect::<Vec<_>>(),
+            vec![OwnerId(1), OwnerId(3)]
+        );
+        assert_eq!(s.take_dirty(), vec![OwnerId(1), OwnerId(3)]);
+        assert!(!s.has_changes());
+        // A no-op withdraw doesn't resurrect the dirty bit…
+        assert_eq!(s.withdraw(OwnerId(9)), 0);
+        assert!(!s.has_changes());
+        // …but a real withdrawal does.
+        assert_eq!(s.withdraw(OwnerId(1)), 1);
+        assert_eq!(s.take_dirty(), vec![OwnerId(1)]);
     }
 }

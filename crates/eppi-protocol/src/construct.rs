@@ -31,13 +31,11 @@ use eppi_core::error::EppiError;
 use eppi_core::mixing::lambda_for;
 use eppi_core::model::{Epsilon, MembershipMatrix, PublishedIndex};
 use eppi_core::policy::{BetaPolicy, PolicyKind};
-use eppi_core::publish::publish_vector;
+use eppi_core::publish::publish_vector_at;
 use eppi_mpc::field::Modulus;
 use eppi_mpc::share::recombine_raw;
 use eppi_net::sim::{LinkModel, NetStats};
 use eppi_telemetry::Registry;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// Configuration of the distributed construction protocol.
@@ -80,6 +78,10 @@ pub struct PhaseWall {
     pub secsum: Duration,
     /// CountBelow MPC among the coordinators (phase 1.2a).
     pub count: Duration,
+    /// Cleartext λ derivation from the revealed count (Eq. 7) —
+    /// deliberately separate from `mix` so the MPC phase timings stay
+    /// pure MPC.
+    pub lambda: Duration,
     /// Mix-decision MPC among the coordinators (phase 1.2b).
     pub mix: Duration,
     /// β evaluation + randomized publication (phase 2).
@@ -89,11 +91,12 @@ pub struct PhaseWall {
 impl PhaseWall {
     /// `(name, duration)` pairs in protocol order — the iteration the
     /// telemetry exporter and report tables share.
-    pub fn named(&self) -> [(&'static str, Duration); 5] {
+    pub fn named(&self) -> [(&'static str, Duration); 6] {
         [
             ("thresholds", self.thresholds),
             ("secsum", self.secsum),
             ("count", self.count),
+            ("lambda", self.lambda),
             ("mix", self.mix),
             ("publish", self.publish),
         ]
@@ -113,6 +116,13 @@ pub struct ConstructionReport {
     pub phases: PhaseWall,
     /// End-to-end wall-clock time of the protocol run.
     pub wall: Duration,
+    /// Epoch the run produced (`0` for a from-scratch construction; see
+    /// `epoch::construct_delta` for the incremental path).
+    pub epoch: u64,
+    /// Owner columns the secure stages ran over: `n` for a full
+    /// construction, `k = |delta|` for a delta — the unit of work the
+    /// epoch lifecycle keeps independent of `n − k`.
+    pub columns: usize,
 }
 
 impl ConstructionReport {
@@ -193,6 +203,28 @@ pub fn construct_distributed_with_registry(
     config: &ProtocolConfig,
     registry: &Registry,
 ) -> Result<DistributedConstruction, EppiError> {
+    construct_full(matrix, epsilons, config, registry).map(|full| full.out)
+}
+
+/// A full construction plus the protocol state the epoch lifecycle
+/// retains between runs (`epoch::IndexEpoch`): the coordinator share
+/// vectors and the public thresholds, which a later `construct_delta`
+/// needs to update the common count incrementally.
+pub(crate) struct FullConstruction {
+    pub out: DistributedConstruction,
+    /// `shares[k][j]`: coordinator `k`'s additive frequency share of
+    /// owner `j`.
+    pub shares: Vec<Vec<u64>>,
+    /// The public per-owner frequency thresholds `t_j`.
+    pub thresholds: Vec<u64>,
+}
+
+pub(crate) fn construct_full(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    config: &ProtocolConfig,
+    registry: &Registry,
+) -> Result<FullConstruction, EppiError> {
     if epsilons.len() != matrix.owners() {
         return Err(EppiError::DimensionMismatch {
             what: "epsilons",
@@ -237,12 +269,15 @@ pub fn construct_distributed_with_registry(
     let count_wall = phase.elapsed();
 
     // Cleartext: λ from the revealed count (Eq. 7), with the
-    // conservative ξ = max ε over all identities.
+    // conservative ξ = max ε over all identities. Timed on its own so
+    // the adjacent MPC phase timings stay pure MPC.
     let phase = Instant::now();
     let xi = epsilons.iter().map(|e| e.value()).fold(0.0f64, f64::max);
     let lambda = lambda_for(common_count as usize, n, xi);
+    let lambda_wall = phase.elapsed();
 
     // Phase 1.2b — mix decisions among the c coordinators.
+    let phase = Instant::now();
     let (decisions, mix_stage) = run_mix_decision(
         &secsum.coordinator_shares,
         &thresholds,
@@ -272,13 +307,14 @@ pub fn construct_distributed_with_registry(
         })
         .collect();
 
-    // Phase 2 — randomized publication, locally at every provider.
+    // Phase 2 — randomized publication, locally at every provider,
+    // under the deterministic per-cell coins keyed by (epoch_seed,
+    // provider, owner): cells whose membership bit and β don't change
+    // publish identically in every epoch of the lineage, which is the
+    // anti-intersection invariant (DESIGN.md §10).
     let mut published = MembershipMatrix::new(m, n);
     for provider in matrix.provider_ids() {
-        let mut rng = StdRng::seed_from_u64(
-            config.seed ^ 0x9b1 ^ (provider.index() as u64).wrapping_mul(0x2545f4914f6cdd1d),
-        );
-        let row = publish_vector(&matrix.row(provider), &betas, &mut rng);
+        let row = publish_vector_at(&matrix.row(provider), &betas, config.seed);
         published.set_row(&row);
     }
 
@@ -292,12 +328,34 @@ pub fn construct_distributed_with_registry(
             thresholds: thresholds_wall,
             secsum: secsum_wall,
             count: count_wall,
+            lambda: lambda_wall,
             mix: mix_wall,
             publish: publish_wall,
         },
         wall: started.elapsed(),
+        epoch: 0,
+        columns: n,
     };
 
+    emit_report(registry, &report);
+
+    Ok(FullConstruction {
+        out: DistributedConstruction {
+            index: PublishedIndex::new(published, betas),
+            common_count,
+            lambda,
+            decisions,
+            report,
+        },
+        shares: secsum.coordinator_shares,
+        thresholds,
+    })
+}
+
+/// Writes one run's [`ConstructionReport`] into the registry — shared
+/// by the full and delta construction paths so both land in the same
+/// `construct.*` / `secsum.*` families.
+pub(crate) fn emit_report(registry: &Registry, report: &ConstructionReport) {
     for (phase, wall) in report.phases.named() {
         registry
             .histogram("construct.phase_ns", &[("phase", phase)])
@@ -308,24 +366,16 @@ pub fn construct_distributed_with_registry(
         .record(report.wall.as_nanos() as u64);
     registry
         .counter("construct.gates", &[("stage", "count")])
-        .add(count_stage.circuit.total_gates as u64);
+        .add(report.count_stage.circuit.total_gates as u64);
     registry
         .counter("construct.gates", &[("stage", "mix")])
-        .add(mix_stage.circuit.total_gates as u64);
+        .add(report.mix_stage.circuit.total_gates as u64);
     registry
         .counter("secsum.messages", &[])
-        .add(secsum.stats.messages);
+        .add(report.secsum.messages);
     registry
         .counter("secsum.bytes", &[])
-        .add(secsum.stats.bytes);
-
-    Ok(DistributedConstruction {
-        index: PublishedIndex::new(published, betas),
-        common_count,
-        lambda,
-        decisions,
-        report,
-    })
+        .add(report.secsum.bytes);
 }
 
 #[cfg(test)]
@@ -481,6 +531,8 @@ mod tests {
         assert!(out.report.count_stage.circuit.total_gates > 0);
         assert!(out.report.mix_stage.circuit.total_gates > 0);
         assert!(out.report.circuit_size() > 0);
+        assert_eq!(out.report.epoch, 0, "from-scratch runs are epoch 0");
+        assert_eq!(out.report.columns, 2, "full runs cover all n columns");
         // The per-phase split never exceeds the end-to-end wall time.
         let split: Duration = out.report.phases.named().iter().map(|&(_, d)| d).sum();
         assert!(
@@ -501,9 +553,10 @@ mod tests {
             construct_distributed_with_registry(&mat, &e, &ProtocolConfig::default(), &registry)
                 .unwrap();
         let snap = registry.snapshot();
-        // One sample per phase, every phase present.
+        // One sample per phase, every phase present (incl. the
+        // dedicated cleartext λ phase).
         let phases = snap.family("construct.phase_ns");
-        assert_eq!(phases.len(), 5, "{snap:?}");
+        assert_eq!(phases.len(), 6, "{snap:?}");
         for m in phases {
             match &m.value {
                 MetricValue::Histogram(h) => assert_eq!(h.count, 1, "{}", m.id()),

@@ -15,12 +15,13 @@
 
 use crate::sim_gmw::execute_simulated;
 use crate::threaded_gmw::execute_threaded;
+use eppi_core::model::OwnerId;
 use eppi_mpc::circuit::CircuitStats;
 use eppi_mpc::circuits::{lambda_threshold, CountBelowCircuit, MixDecisionCircuit};
 use eppi_mpc::gmw;
 use eppi_net::sim::LinkModel;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Which MPC engine executes the coordinator circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +140,30 @@ pub fn run_count_below(
     (cc.decode_count(&out), report)
 }
 
+/// Coordinator `k`'s coin contribution for `owner`: `coin_bits` uniform
+/// bits through a splitmix64-style finalizer keyed by `(seed, k,
+/// owner)`.
+///
+/// Keying by the *global* owner id — rather than drawing a sequential
+/// RNG stream over vector positions — makes the joint coin a pure
+/// function of the identity and the lineage seed. A delta construction
+/// that re-runs the mix MPC over a column-sliced share vector therefore
+/// reproduces exactly the coins a from-scratch run would use for those
+/// owners, which is what makes delta and full constructions
+/// bit-identical (see `epoch::construct_delta`).
+fn mix_coin(seed: u64, coordinator: usize, owner: OwnerId, coin_bits: usize) -> u64 {
+    let mut h = seed
+        ^ 0xc01_u64
+        ^ ((coordinator as u64) << 32)
+        ^ (u64::from(owner.0) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h & ((1u64 << coin_bits) - 1)
+}
+
 /// Runs the mix-decision MPC: per identity, the bit
 /// `common_j ∨ coin_j(λ)` (Eq. 6). Each coordinator contributes its own
 /// coin randomness, so the joint coin stays uniform as long as one
@@ -156,6 +181,41 @@ pub fn run_mix_decision(
     backend: Backend,
     seed: u64,
 ) -> (Vec<bool>, StageReport) {
+    let owners: Vec<OwnerId> = (0..thresholds.len() as u32).map(OwnerId).collect();
+    run_mix_decision_for_owners(
+        coordinator_shares,
+        thresholds,
+        &owners,
+        width,
+        coin_bits,
+        lambda,
+        backend,
+        seed,
+    )
+}
+
+/// [`run_mix_decision`] over an explicit owner-id slice: position `j`
+/// of the share/threshold vectors belongs to global identity
+/// `owners[j]`, and the coordinator coins are keyed by that id. A full
+/// construction passes `owners = [0, 1, …, n-1]`; a delta construction
+/// passes only its touched columns and gets the same coins — and hence
+/// the same decisions — a from-scratch run would produce for them.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_count_below`], or if
+/// `owners.len()` disagrees with `thresholds.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mix_decision_for_owners(
+    coordinator_shares: &[Vec<u64>],
+    thresholds: &[u64],
+    owners: &[OwnerId],
+    width: usize,
+    coin_bits: usize,
+    lambda: f64,
+    backend: Backend,
+    seed: u64,
+) -> (Vec<bool>, StageReport) {
     let c = coordinator_shares.len();
     assert!(c >= 1, "at least one coordinator required");
     assert!(
@@ -164,7 +224,11 @@ pub fn run_mix_decision(
             .all(|v| v.len() == thresholds.len()),
         "share vectors must match the threshold count"
     );
-    let n = thresholds.len();
+    assert_eq!(
+        owners.len(),
+        thresholds.len(),
+        "one owner id per column required"
+    );
     let mc = MixDecisionCircuit::build(
         c,
         thresholds,
@@ -176,9 +240,9 @@ pub fn run_mix_decision(
         .iter()
         .enumerate()
         .map(|(k, s)| {
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xc01_u64 ^ ((k as u64) << 32));
-            let coins: Vec<u64> = (0..n)
-                .map(|_| rng.gen_range(0..(1u64 << coin_bits)))
+            let coins: Vec<u64> = owners
+                .iter()
+                .map(|&owner| mix_coin(seed, k, owner, coin_bits))
                 .collect();
             mc.encode_party_input(s, &coins)
         })
@@ -259,5 +323,29 @@ mod tests {
     #[should_panic(expected = "must match the threshold count")]
     fn ragged_shares_rejected() {
         run_count_below(&[vec![1, 2], vec![3]], &[1, 1], 8, Backend::InProcess, 0);
+    }
+
+    #[test]
+    fn sliced_mix_decision_reproduces_full_run_coins() {
+        // The coins are keyed by global owner id, so re-running the mix
+        // MPC over a column slice must reproduce the full run's
+        // decisions for those columns — the property the delta
+        // construction relies on.
+        let freqs = [120u64, 3, 77, 50, 9];
+        let thresholds = [100u64, 100, 70, 100, 100];
+        let shares = share_out(&freqs, 3, 10, 8);
+        let (full, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::InProcess, 9);
+        let idx = [1usize, 3, 4];
+        let sliced: Vec<Vec<u64>> = shares
+            .iter()
+            .map(|v| idx.iter().map(|&j| v[j]).collect())
+            .collect();
+        let st: Vec<u64> = idx.iter().map(|&j| thresholds[j]).collect();
+        let owners: Vec<OwnerId> = idx.iter().map(|&j| OwnerId(j as u32)).collect();
+        let (part, _) =
+            run_mix_decision_for_owners(&sliced, &st, &owners, 10, 8, 0.5, Backend::InProcess, 9);
+        for (t, &j) in idx.iter().enumerate() {
+            assert_eq!(part[t], full[j], "column {j}");
+        }
     }
 }

@@ -1,0 +1,650 @@
+//! The epoch lifecycle: versioned constructions and incremental
+//! (delta) refresh.
+//!
+//! The paper keeps ε-PPI static because naive refresh re-randomizes
+//! every publication coin and hands an archiving attacker the §III-C
+//! intersection attack. The epoch lifecycle makes refresh safe *and*
+//! cheap:
+//!
+//! * **Safe** — publication coins are deterministic per cell
+//!   ([`eppi_core::publish::publication_coin`]) and mix coins are
+//!   deterministic per identity, both keyed by the lineage seed. A cell
+//!   whose membership bit and β did not change publishes the same bit
+//!   in every epoch, so intersecting archived epochs reveals nothing
+//!   about untouched owners.
+//! * **Cheap** — [`construct_delta`] re-runs SecSumShare, CountBelow
+//!   and the mix-decision MPC over *only the touched columns* of an
+//!   [`IndexDelta`]. The retained coordinator share vectors of the
+//!   previous [`IndexEpoch`] let the common-identity count be updated
+//!   exactly by difference (two CountBelow runs over `k` columns
+//!   instead of one over `n`), so MPC gates and SecSumShare messages
+//!   scale with `k = |delta|`, independent of `n − k`.
+//!
+//! Equivalence contract (asserted by the cross-backend proptests): at
+//! the same lineage seed, every *touched* column of a delta epoch is
+//! bit-identical — published bits, β, mix decision — to a from-scratch
+//! [`construct_distributed`](crate::construct::construct_distributed)
+//! over the new matrix, on every MPC backend.
+//! Untouched columns are carried over verbatim from the previous epoch
+//! (the anti-intersection invariant); they coincide with the
+//! from-scratch result whenever λ has not drifted since they were last
+//! constructed, and the epoch tracks λ so callers can detect drift.
+
+use crate::construct::{
+    construct_full, emit_report, frequency_thresholds, share_width, ConstructionReport, PhaseWall,
+    ProtocolConfig,
+};
+use crate::countbelow::{run_count_below, run_mix_decision_for_owners, StageReport};
+use crate::secsum::secsumshare_sim;
+use eppi_core::delta::IndexDelta;
+use eppi_core::error::EppiError;
+use eppi_core::mixing::lambda_for;
+use eppi_core::model::{Epsilon, LocalVector, MembershipMatrix, OwnerId, PublishedIndex};
+use eppi_core::policy::BetaPolicy;
+use eppi_core::publish::publish_cell;
+use eppi_mpc::field::Modulus;
+use eppi_mpc::share::recombine_raw;
+use eppi_telemetry::Registry;
+use std::time::Instant;
+
+/// One versioned construction: the published index plus the retained
+/// protocol state a later [`construct_delta`] needs — per-owner mix
+/// decisions, thresholds, ε's, the coordinator share vectors, and the
+/// revealed common count.
+///
+/// The retained shares are exactly what the `c` coordinators already
+/// hold at the end of a run (nothing beyond the protocol's own view is
+/// kept), so retaining them weakens no secrecy property.
+#[derive(Debug, Clone)]
+pub struct IndexEpoch {
+    index: PublishedIndex,
+    decisions: Vec<bool>,
+    lambda: f64,
+    common_count: u64,
+    epoch: u64,
+    thresholds: Vec<u64>,
+    epsilons: Vec<Epsilon>,
+    /// `shares[k][j]`: coordinator `k`'s additive frequency share of
+    /// owner `j` over `Z_{2^width}`.
+    shares: Vec<Vec<u64>>,
+    config: ProtocolConfig,
+}
+
+impl IndexEpoch {
+    /// The published, obscured index of this epoch.
+    pub fn index(&self) -> &PublishedIndex {
+        &self.index
+    }
+
+    /// Consumes the epoch, returning its published index.
+    pub fn into_index(self) -> PublishedIndex {
+        self.index
+    }
+
+    /// Per-owner mix decisions (`true` ⇒ published with β = 1).
+    pub fn decisions(&self) -> &[bool] {
+        &self.decisions
+    }
+
+    /// The mixing probability λ this epoch's touched columns used.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The (exact) number of common identities in this epoch's matrix.
+    pub fn common_count(&self) -> u64 {
+        self.common_count
+    }
+
+    /// Epoch number: 0 for the initial construction, +1 per delta.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The per-owner privacy degrees of this epoch.
+    pub fn epsilons(&self) -> &[Epsilon] {
+        &self.epsilons
+    }
+
+    /// The protocol configuration the lineage runs under (the seed is
+    /// the lineage's coin key and must not change between epochs).
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Owner count of this epoch.
+    pub fn owners(&self) -> usize {
+        self.index.matrix().owners()
+    }
+
+    /// Provider count of the lineage.
+    pub fn providers(&self) -> usize {
+        self.index.matrix().providers()
+    }
+}
+
+/// Result of one delta construction.
+#[derive(Debug, Clone)]
+pub struct DeltaConstruction {
+    /// The next epoch (previous index with the delta's columns
+    /// re-constructed and spliced in).
+    pub epoch: IndexEpoch,
+    /// Cost breakdown of the incremental run: `columns = k`, MPC
+    /// stages sized by `k`, `count_stage` the merge of the two
+    /// k-column CountBelow runs.
+    pub report: ConstructionReport,
+}
+
+/// Runs a full epoch-0 construction, retaining the protocol state the
+/// delta path needs. The published index is bit-identical to
+/// [`construct_distributed`] under the same config.
+///
+/// # Errors
+///
+/// Same contract as [`construct_distributed`].
+///
+/// [`construct_distributed`]: crate::construct::construct_distributed
+pub fn construct_epoch(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    config: &ProtocolConfig,
+) -> Result<IndexEpoch, EppiError> {
+    construct_epoch_with_registry(matrix, epsilons, config, eppi_telemetry::global())
+}
+
+/// [`construct_epoch`] reporting telemetry into a caller-owned
+/// registry.
+///
+/// # Errors
+///
+/// Same contract as [`construct_epoch`].
+pub fn construct_epoch_with_registry(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    config: &ProtocolConfig,
+    registry: &Registry,
+) -> Result<IndexEpoch, EppiError> {
+    let full = construct_full(matrix, epsilons, config, registry)?;
+    Ok(IndexEpoch {
+        index: full.out.index,
+        decisions: full.out.decisions,
+        lambda: full.out.lambda,
+        common_count: full.out.common_count,
+        epoch: 0,
+        thresholds: full.thresholds,
+        epsilons: epsilons.to_vec(),
+        shares: full.shares,
+        config: *config,
+    })
+}
+
+/// Sums two sequentially-executed MPC stage reports (messages, bits,
+/// bytes, simulated time and gate counts add; depths take the max of
+/// the two circuits, as a conservative per-circuit figure).
+fn merge_stages(a: &StageReport, b: &StageReport) -> StageReport {
+    let mut circuit = a.circuit;
+    circuit.inputs += b.circuit.inputs;
+    circuit.outputs += b.circuit.outputs;
+    circuit.total_gates += b.circuit.total_gates;
+    circuit.and_gates += b.circuit.and_gates;
+    circuit.xor_gates += b.circuit.xor_gates;
+    circuit.not_gates += b.circuit.not_gates;
+    circuit.const_gates += b.circuit.const_gates;
+    circuit.depth = circuit.depth.max(b.circuit.depth);
+    circuit.and_depth = circuit.and_depth.max(b.circuit.and_depth);
+    StageReport {
+        circuit,
+        messages: a.messages + b.messages,
+        bits: a.bits + b.bits,
+        bytes: a.bytes + b.bytes,
+        simulated_us: a.simulated_us + b.simulated_us,
+    }
+}
+
+/// Runs the incremental construction for one [`IndexDelta`] on top of
+/// `prev`, producing the next epoch.
+///
+/// `matrix` is the *new* full membership matrix (the simulation's
+/// global view; each provider still only contributes its own row to
+/// the protocol). Every column whose content or ε differs from the
+/// previous epoch **must** appear in the delta — untouched columns are
+/// carried over verbatim, so an unreported change would silently serve
+/// stale bits.
+///
+/// The secure stages run over only the `k` touched columns: one
+/// SecSumShare over column-sliced local vectors, one CountBelow over
+/// the previous epoch's retained shares of the touched columns (old
+/// thresholds) and one over the fresh shares (new thresholds) — the
+/// exact common count follows by difference — and one mix-decision MPC
+/// keyed by the global owner ids, reproducing precisely the coins a
+/// from-scratch run would use.
+///
+/// # Errors
+///
+/// Returns [`EppiError::DimensionMismatch`] when the matrix/delta
+/// dimensions disagree with each other or with `prev`.
+pub fn construct_delta(
+    prev: &IndexEpoch,
+    matrix: &MembershipMatrix,
+    delta: &IndexDelta,
+) -> Result<DeltaConstruction, EppiError> {
+    construct_delta_with_registry(prev, matrix, delta, eppi_telemetry::global())
+}
+
+/// [`construct_delta`] reporting telemetry into a caller-owned
+/// registry (same `construct.*` / `secsum.*` families as the full
+/// path).
+///
+/// # Errors
+///
+/// Same contract as [`construct_delta`].
+pub fn construct_delta_with_registry(
+    prev: &IndexEpoch,
+    matrix: &MembershipMatrix,
+    delta: &IndexDelta,
+    registry: &Registry,
+) -> Result<DeltaConstruction, EppiError> {
+    if delta.base_owners() != prev.owners() {
+        return Err(EppiError::DimensionMismatch {
+            what: "delta base owners",
+            expected: prev.owners(),
+            actual: delta.base_owners(),
+        });
+    }
+    if matrix.owners() != delta.owners() {
+        return Err(EppiError::DimensionMismatch {
+            what: "delta owners",
+            expected: delta.owners(),
+            actual: matrix.owners(),
+        });
+    }
+    if matrix.providers() != prev.providers() {
+        return Err(EppiError::DimensionMismatch {
+            what: "providers",
+            expected: prev.providers(),
+            actual: matrix.providers(),
+        });
+    }
+    let config = prev.config;
+    let started = Instant::now();
+    let next_epoch = prev.epoch + 1;
+
+    if delta.is_empty() {
+        // Nothing changed: the next epoch is the previous one under a
+        // new number; no MPC runs at all.
+        let report = ConstructionReport {
+            wall: started.elapsed(),
+            epoch: next_epoch,
+            columns: 0,
+            ..ConstructionReport::default()
+        };
+        emit_report(registry, &report);
+        return Ok(DeltaConstruction {
+            epoch: IndexEpoch {
+                epoch: next_epoch,
+                ..prev.clone()
+            },
+            report,
+        });
+    }
+
+    let m = matrix.providers();
+    let n_old = prev.owners();
+    let n_new = matrix.owners();
+    let width = share_width(m);
+    let modulus = Modulus::pow2(width as u32);
+    let touched = delta.touched();
+    let k = touched.len();
+
+    // Splice the ε vector, then derive thresholds for the touched
+    // columns only (cleartext, public data).
+    let phase = Instant::now();
+    let mut epsilons = prev.epsilons.clone();
+    epsilons.resize(n_new, Epsilon::ZERO);
+    for entry in delta.entries() {
+        epsilons[entry.owner.index()] = entry.epsilon;
+    }
+    let touched_eps: Vec<Epsilon> = touched.iter().map(|o| epsilons[o.index()]).collect();
+    let new_thresholds = frequency_thresholds(config.policy, &touched_eps, m);
+    let thresholds_wall = phase.elapsed();
+
+    // Phase 1.1 — SecSumShare over the k touched columns only: every
+    // provider contributes a k-bit slice of its row, so the message
+    // count is m·c regardless of n.
+    let phase = Instant::now();
+    let vectors: Vec<LocalVector> = matrix
+        .provider_ids()
+        .map(|p| {
+            let mut v = LocalVector::new(p, k);
+            for (t, &owner) in touched.iter().enumerate() {
+                if matrix.get(p, owner) {
+                    v.set(OwnerId(t as u32), true);
+                }
+            }
+            v
+        })
+        .collect();
+    let secsum = secsumshare_sim(
+        &vectors,
+        config.c,
+        modulus,
+        config.link,
+        config.seed ^ next_epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let secsum_wall = phase.elapsed();
+
+    // Phase 1.2a — update the common count by difference: one
+    // CountBelow over the *retained* shares of the touched columns
+    // that already existed (old thresholds), one over the fresh shares
+    // (new thresholds). Untouched columns keep their common status, so
+    // the difference is exact.
+    let phase = Instant::now();
+    let existing: Vec<usize> = (0..k).filter(|&t| touched[t].index() < n_old).collect();
+    let (commons_before, count_old) = if existing.is_empty() {
+        (0, StageReport::default())
+    } else {
+        let old_shares: Vec<Vec<u64>> = prev
+            .shares
+            .iter()
+            .map(|v| existing.iter().map(|&t| v[touched[t].index()]).collect())
+            .collect();
+        let old_thresholds: Vec<u64> = existing
+            .iter()
+            .map(|&t| prev.thresholds[touched[t].index()])
+            .collect();
+        run_count_below(
+            &old_shares,
+            &old_thresholds,
+            width,
+            config.backend,
+            config.seed ^ 0xcb ^ next_epoch.wrapping_mul(0x5851_f42d_4c95_7f2d),
+        )
+    };
+    let (commons_after, count_new) = run_count_below(
+        &secsum.coordinator_shares,
+        &new_thresholds,
+        width,
+        config.backend,
+        config.seed ^ 0xcb ^ (next_epoch | 1 << 63).wrapping_mul(0x5851_f42d_4c95_7f2d),
+    );
+    let common_count = prev.common_count - commons_before + commons_after;
+    let count_stage = merge_stages(&count_old, &count_new);
+    let count_wall = phase.elapsed();
+
+    // Cleartext λ over the spliced ε vector — O(n) on public data; the
+    // O(k) bound covers the secure stages, not public scans.
+    let phase = Instant::now();
+    let xi = epsilons.iter().map(|e| e.value()).fold(0.0f64, f64::max);
+    let lambda = lambda_for(common_count as usize, n_new, xi);
+    let lambda_wall = phase.elapsed();
+
+    // Phase 1.2b — mix decisions for the touched columns, with coins
+    // keyed by global owner id under the *lineage* seed: the same
+    // coins a from-scratch run at this seed would draw, which is what
+    // makes touched columns bit-identical to a full construction.
+    let phase = Instant::now();
+    let (touched_decisions, mix_stage) = run_mix_decision_for_owners(
+        &secsum.coordinator_shares,
+        &new_thresholds,
+        &touched,
+        width,
+        config.coin_bits,
+        lambda,
+        config.backend,
+        config.seed ^ 0x313,
+    );
+    let mix_wall = phase.elapsed();
+
+    // β for the touched columns; splice everything into the previous
+    // epoch's state and re-publish only the touched cells under the
+    // deterministic coins.
+    let phase = Instant::now();
+    let touched_betas: Vec<f64> = touched_decisions
+        .iter()
+        .enumerate()
+        .map(|(t, &mixed)| {
+            if mixed {
+                1.0
+            } else {
+                let parts: Vec<u64> = secsum.coordinator_shares.iter().map(|v| v[t]).collect();
+                let freq = recombine_raw(&parts, modulus);
+                let sigma = freq as f64 / m as f64;
+                config.policy.beta(sigma, touched_eps[t], m)
+            }
+        })
+        .collect();
+
+    let mut published = prev.index.matrix().clone();
+    if n_new > n_old {
+        published.grow_owners(n_new);
+    }
+    let mut betas = prev.index.betas().to_vec();
+    betas.resize(n_new, 0.0);
+    let mut decisions = prev.decisions.clone();
+    decisions.resize(n_new, false);
+    let mut thresholds = prev.thresholds.clone();
+    thresholds.resize(n_new, 0);
+    let mut shares = prev.shares.clone();
+    for v in &mut shares {
+        v.resize(n_new, 0);
+    }
+    for (t, &owner) in touched.iter().enumerate() {
+        let j = owner.index();
+        betas[j] = touched_betas[t];
+        decisions[j] = touched_decisions[t];
+        thresholds[j] = new_thresholds[t];
+        for (coord, v) in shares.iter_mut().enumerate() {
+            v[j] = secsum.coordinator_shares[coord][t];
+        }
+        for p in matrix.provider_ids() {
+            let bit = publish_cell(config.seed, p, owner, matrix.get(p, owner), betas[j]);
+            published.set(p, owner, bit);
+        }
+    }
+    let publish_wall = phase.elapsed();
+
+    let report = ConstructionReport {
+        secsum: secsum.stats,
+        count_stage,
+        mix_stage,
+        phases: PhaseWall {
+            thresholds: thresholds_wall,
+            secsum: secsum_wall,
+            count: count_wall,
+            lambda: lambda_wall,
+            mix: mix_wall,
+            publish: publish_wall,
+        },
+        wall: started.elapsed(),
+        epoch: next_epoch,
+        columns: k,
+    };
+    emit_report(registry, &report);
+
+    Ok(DeltaConstruction {
+        epoch: IndexEpoch {
+            index: PublishedIndex::new(published, betas),
+            decisions,
+            lambda,
+            common_count,
+            epoch: next_epoch,
+            thresholds,
+            epsilons,
+            shares,
+            config,
+        },
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::construct_distributed;
+    use eppi_core::delta::{ColumnChange, DeltaEntry};
+    use eppi_core::model::ProviderId;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn matrix_with_freqs(m: usize, freqs: &[usize]) -> MembershipMatrix {
+        let mut mat = MembershipMatrix::new(m, freqs.len());
+        for (j, &f) in freqs.iter().enumerate() {
+            for p in 0..f {
+                mat.set(
+                    ProviderId(((p * 7 + j) % m) as u32),
+                    OwnerId(j as u32),
+                    true,
+                );
+            }
+        }
+        mat
+    }
+
+    #[test]
+    fn epoch_zero_matches_construct_distributed() {
+        let mat = matrix_with_freqs(40, &[30, 4, 17, 0]);
+        let e = vec![eps(0.5), eps(0.7), eps(0.2), eps(0.9)];
+        let cfg = ProtocolConfig {
+            seed: 11,
+            ..ProtocolConfig::default()
+        };
+        let epoch = construct_epoch(&mat, &e, &cfg).unwrap();
+        let full = construct_distributed(&mat, &e, &cfg).unwrap();
+        assert_eq!(epoch.index(), &full.index);
+        assert_eq!(epoch.decisions(), &full.decisions[..]);
+        assert_eq!(epoch.common_count(), full.common_count);
+        assert_eq!(epoch.epoch(), 0);
+    }
+
+    #[test]
+    fn delta_equals_full_construction_on_touched_columns() {
+        let mat = matrix_with_freqs(40, &[30, 4, 17, 8]);
+        let e = vec![eps(0.5), eps(0.7), eps(0.2), eps(0.9)];
+        let cfg = ProtocolConfig {
+            seed: 3,
+            ..ProtocolConfig::default()
+        };
+        let epoch0 = construct_epoch(&mat, &e, &cfg).unwrap();
+
+        // Change owner 1's membership, add owner 4.
+        let mut next = mat.clone();
+        next.grow_owners(5);
+        next.set(ProviderId(20), OwnerId(1), true);
+        next.set(ProviderId(21), OwnerId(1), true);
+        for p in 0..6u32 {
+            next.set(ProviderId(p), OwnerId(4), true);
+        }
+        let mut e2 = e.clone();
+        e2.push(eps(0.6));
+        let mut delta = IndexDelta::new(4);
+        delta.record(DeltaEntry {
+            owner: OwnerId(1),
+            change: ColumnChange::Changed,
+            epsilon: e2[1],
+        });
+        delta.record(DeltaEntry {
+            owner: OwnerId(4),
+            change: ColumnChange::Added,
+            epsilon: e2[4],
+        });
+
+        let out = construct_delta(&epoch0, &next, &delta).unwrap();
+        let full = construct_distributed(&next, &e2, &cfg).unwrap();
+
+        assert_eq!(out.report.columns, 2);
+        assert_eq!(out.report.epoch, 1);
+        assert_eq!(out.epoch.common_count(), full.common_count, "exact count");
+        assert_eq!(out.epoch.lambda(), full.lambda);
+        // Touched columns bit-identical to the from-scratch run.
+        for &owner in &[OwnerId(1), OwnerId(4)] {
+            let j = owner.index();
+            assert_eq!(out.epoch.index().betas()[j], full.index.betas()[j]);
+            assert_eq!(out.epoch.decisions()[j], full.decisions[j]);
+            for p in next.provider_ids() {
+                assert_eq!(
+                    out.epoch.index().matrix().get(p, owner),
+                    full.index.matrix().get(p, owner),
+                    "({p}, {owner})"
+                );
+            }
+        }
+        // Untouched columns carried over verbatim (anti-intersection).
+        for owner in [OwnerId(0), OwnerId(2), OwnerId(3)] {
+            for p in next.provider_ids() {
+                assert_eq!(
+                    out.epoch.index().matrix().get(p, owner),
+                    epoch0.index().matrix().get(p, owner),
+                    "({p}, {owner})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_free_and_bumps_the_epoch() {
+        let mat = matrix_with_freqs(30, &[10, 5]);
+        let e = vec![eps(0.4); 2];
+        let cfg = ProtocolConfig::default();
+        let epoch0 = construct_epoch(&mat, &e, &cfg).unwrap();
+        let out = construct_delta(&epoch0, &mat, &IndexDelta::new(2)).unwrap();
+        assert_eq!(out.epoch.epoch(), 1);
+        assert_eq!(out.epoch.index(), epoch0.index());
+        assert_eq!(out.report.columns, 0);
+        assert_eq!(out.report.secsum.messages, 0);
+        assert_eq!(out.report.count_stage.circuit.total_gates, 0);
+    }
+
+    #[test]
+    fn withdrawals_zero_the_column() {
+        let mat = matrix_with_freqs(30, &[10, 5]);
+        let e = vec![eps(0.4); 2];
+        let cfg = ProtocolConfig {
+            seed: 9,
+            ..ProtocolConfig::default()
+        };
+        let epoch0 = construct_epoch(&mat, &e, &cfg).unwrap();
+        let mut next = mat.clone();
+        for p in next.provider_ids() {
+            next.set(p, OwnerId(1), false);
+        }
+        let mut delta = IndexDelta::new(2);
+        delta.record(DeltaEntry {
+            owner: OwnerId(1),
+            change: ColumnChange::Withdrawn,
+            epsilon: Epsilon::ZERO,
+        });
+        let out = construct_delta(&epoch0, &next, &delta).unwrap();
+        // ε = 0 ⇒ β* = 0 for a zero-frequency column unless mixed; if
+        // mixed the column is all decoys — either way recall over the
+        // *new* truth (nothing) holds and the column matches a full run.
+        let full = construct_distributed(&next, &[e[0], Epsilon::ZERO], &cfg).unwrap();
+        for p in next.provider_ids() {
+            assert_eq!(
+                out.epoch.index().matrix().get(p, OwnerId(1)),
+                full.index.matrix().get(p, OwnerId(1))
+            );
+        }
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let mat = matrix_with_freqs(30, &[10, 5]);
+        let e = vec![eps(0.4); 2];
+        let epoch0 = construct_epoch(&mat, &e, &ProtocolConfig::default()).unwrap();
+        // Delta based on the wrong owner count.
+        let bad = IndexDelta::new(3);
+        assert!(matches!(
+            construct_delta(&epoch0, &mat, &bad),
+            Err(EppiError::DimensionMismatch { .. })
+        ));
+        // Matrix owner count disagrees with the delta's target.
+        let mut grown = mat.clone();
+        grown.grow_owners(4);
+        assert!(matches!(
+            construct_delta(&epoch0, &grown, &IndexDelta::new(2)),
+            Err(EppiError::DimensionMismatch { .. })
+        ));
+    }
+}

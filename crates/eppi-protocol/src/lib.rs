@@ -15,6 +15,10 @@
 //! * [`sim_gmw`] — the same protocol over the round-based network
 //!   simulator, yielding simulated network time under a link model.
 //! * [`construct`] — the end-to-end two-phase construction (Alg. 1).
+//! * [`epoch`] — the versioned epoch lifecycle: [`construct_epoch`]
+//!   retains the protocol state that lets [`construct_delta`] refresh
+//!   only a change batch's columns, with MPC work independent of the
+//!   untouched owner count (DESIGN.md §10).
 //! * [`pure_mpc`] — the paper's *pure MPC* baseline, for the Fig. 6
 //!   comparisons.
 //!
@@ -42,6 +46,7 @@
 
 pub mod construct;
 pub mod countbelow;
+pub mod epoch;
 pub mod pure_mpc;
 pub mod secsum;
 pub mod sim_gmw;
@@ -51,7 +56,13 @@ pub use construct::{
     construct_distributed, construct_distributed_with_registry, ConstructionReport,
     DistributedConstruction, PhaseWall, ProtocolConfig,
 };
-pub use countbelow::{run_count_below, run_mix_decision, Backend, StageReport};
+pub use countbelow::{
+    run_count_below, run_mix_decision, run_mix_decision_for_owners, Backend, StageReport,
+};
+pub use epoch::{
+    construct_delta, construct_delta_with_registry, construct_epoch, construct_epoch_with_registry,
+    DeltaConstruction, IndexEpoch,
+};
 pub use pure_mpc::{construct_pure_mpc, PureMpcConfig, PureMpcConstruction};
 pub use secsum::{secsumshare_sim, secsumshare_threaded, SecSumOutput};
 pub use sim_gmw::execute_simulated;

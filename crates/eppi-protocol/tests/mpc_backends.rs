@@ -10,13 +10,18 @@
 //! * identical protocol-round counts on every report — the analytic
 //!   `protocol_rounds` figure all backends now share.
 
+use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
 use eppi_mpc::builder::{to_bits, CircuitBuilder, Word};
 use eppi_mpc::circuit::{Circuit, InputLayout};
 use eppi_mpc::gmw;
 use eppi_mpc::gmw_core::{logical_bits, reference};
 use eppi_net::sim::LinkModel;
+use eppi_protocol::construct::{construct_distributed, ProtocolConfig};
+use eppi_protocol::epoch::{construct_delta, construct_epoch};
 use eppi_protocol::sim_gmw::execute_simulated;
 use eppi_protocol::threaded_gmw::execute_threaded;
+use eppi_protocol::Backend;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,6 +69,15 @@ fn random_circuit(
     let mut outs = last.bits().to_vec();
     outs.push(cmp);
     (cb.finish(outs), InputLayout::new(vec![width; parties]))
+}
+
+/// One published column as packed provider words plus its β — the unit
+/// the delta-equivalence property compares bit-for-bit.
+fn column(index: &PublishedIndex, owner: OwnerId) -> (Vec<u64>, f64) {
+    (
+        index.matrix().column_words(owner),
+        index.betas()[owner.index()],
+    )
 }
 
 proptest! {
@@ -139,5 +153,117 @@ proptest! {
             gmw::execute_with_triples(&circuit, &layout, &inputs, &batch, &mut rng);
         prop_assert_eq!(&out, &clear);
         prop_assert_eq!(stats.triples_used, circuit.stats().and_gates);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The epoch/delta lifecycle is backend-independent and equivalent
+    /// to from-scratch construction: under every MPC backend, a delta
+    /// run reproduces the touched columns a full construction of the
+    /// new matrix would publish (bit-for-bit, β included), carries
+    /// untouched columns over verbatim from the previous epoch, and all
+    /// three backends agree on the resulting index exactly.
+    #[test]
+    fn construct_delta_matches_full_construction_on_every_backend(
+        providers in 8usize..=18,
+        owners in 3usize..=6,
+        fill_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+        added in 0usize..=2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(fill_seed);
+        let mut base = MembershipMatrix::new(providers, owners);
+        for p in 0..providers {
+            for j in 0..owners {
+                if rng.gen_bool(0.4) {
+                    base.set(ProviderId(p as u32), OwnerId(j as u32), true);
+                }
+            }
+        }
+        let mut epsilons: Vec<Epsilon> = (0..owners)
+            .map(|_| Epsilon::saturating(rng.gen_range(0.1..0.9)))
+            .collect();
+
+        // The change batch: every pre-existing owner is independently
+        // churned (bit flips and/or a new ε); `added` new owners append.
+        let new_owners = owners + added;
+        let mut next = MembershipMatrix::new(providers, new_owners);
+        for p in 0..providers {
+            for j in 0..owners {
+                next.set(ProviderId(p as u32), OwnerId(j as u32),
+                         base.get(ProviderId(p as u32), OwnerId(j as u32)));
+            }
+        }
+        let mut delta = IndexDelta::new(owners);
+        #[allow(clippy::needless_range_loop)] // j indexes both the matrix column and epsilons
+        for j in 0..owners {
+            if rng.gen_bool(0.5) {
+                let flips = rng.gen_range(1usize..=3);
+                for _ in 0..flips {
+                    let p = ProviderId(rng.gen_range(0..providers) as u32);
+                    let owner = OwnerId(j as u32);
+                    next.set(p, owner, !next.get(p, owner));
+                }
+                epsilons[j] = Epsilon::saturating(rng.gen_range(0.1..0.9));
+                delta.record(DeltaEntry {
+                    owner: OwnerId(j as u32),
+                    change: ColumnChange::Changed,
+                    epsilon: epsilons[j],
+                });
+            }
+        }
+        for j in owners..new_owners {
+            let eps = Epsilon::saturating(rng.gen_range(0.1..0.9));
+            epsilons.push(eps);
+            for _ in 0..rng.gen_range(1usize..=3) {
+                next.set(ProviderId(rng.gen_range(0..providers) as u32),
+                         OwnerId(j as u32), true);
+            }
+            delta.record(DeltaEntry {
+                owner: OwnerId(j as u32),
+                change: ColumnChange::Added,
+                epsilon: eps,
+            });
+        }
+
+        let base_eps = &epsilons[..owners];
+        let mut outcomes = Vec::new();
+        for backend in [Backend::InProcess, Backend::Threaded, Backend::Simulated] {
+            let config = ProtocolConfig { backend, seed: run_seed, ..ProtocolConfig::default() };
+            let epoch0 = construct_epoch(&base, base_eps, &config).expect("epoch 0");
+            let built = construct_delta(&epoch0, &next, &delta).expect("delta");
+            let full = construct_distributed(&next, &epsilons, &config).expect("full");
+
+            // Touched columns: bit-identical to a from-scratch build.
+            for entry in delta.entries() {
+                prop_assert_eq!(
+                    column(built.epoch.index(), entry.owner),
+                    column(&full.index, entry.owner),
+                    "backend {:?}: touched owner {:?} diverges from full construction",
+                    backend, entry.owner
+                );
+            }
+            // Untouched columns: carried over verbatim from epoch 0.
+            for j in 0..owners as u32 {
+                if !delta.contains(OwnerId(j)) {
+                    prop_assert_eq!(
+                        column(built.epoch.index(), OwnerId(j)),
+                        column(epoch0.index(), OwnerId(j)),
+                        "backend {:?}: untouched owner {} re-randomized",
+                        backend, j
+                    );
+                }
+            }
+            prop_assert_eq!(built.epoch.common_count(), full.common_count);
+            outcomes.push(built.epoch);
+        }
+        // All three backends agree on the delta epoch exactly.
+        for other in &outcomes[1..] {
+            prop_assert_eq!(outcomes[0].index(), other.index());
+            prop_assert_eq!(outcomes[0].decisions(), other.decisions());
+            prop_assert_eq!(outcomes[0].lambda(), other.lambda());
+        }
     }
 }

@@ -81,6 +81,7 @@ pub struct ServeStats {
     queries: Arc<Counter>,
     batches: Arc<Counter>,
     refreshes: Arc<Counter>,
+    deltas: Arc<Counter>,
 }
 
 impl ServeStats {
@@ -89,6 +90,7 @@ impl ServeStats {
             queries: registry.counter("serve.queries", &[]),
             batches: registry.counter("serve.batches", &[]),
             refreshes: registry.counter("serve.refreshes", &[]),
+            deltas: registry.counter("serve.delta_refreshes", &[]),
         }
     }
 
@@ -103,9 +105,15 @@ impl ServeStats {
     }
 
     /// Snapshot refreshes installed (counted once per publication, not
-    /// per shard).
+    /// per shard; delta installs included).
     pub fn refreshes(&self) -> u64 {
         self.refreshes.get()
+    }
+
+    /// The subset of refreshes installed through the copy-on-write
+    /// delta path ([`ServeEngine::apply_delta`]).
+    pub fn delta_refreshes(&self) -> u64 {
+        self.deltas.get()
     }
 }
 
@@ -287,6 +295,34 @@ impl ServeEngine {
             });
         }
         self.stats.refreshes.inc();
+    }
+
+    /// Installs the next epoch incrementally: builds the new snapshot
+    /// copy-on-write from the current one
+    /// ([`ShardedIndex::apply_delta`] — shards without a touched owner
+    /// share their row words with the previous snapshot), then installs
+    /// it exactly like [`refresh`](Self::refresh): through the
+    /// [`SnapshotCell`] plus one install message per worker, with
+    /// readers never blocked and in-flight queries finishing on the
+    /// version their worker holds at dequeue time.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same dimension conditions as
+    /// [`ShardedIndex::apply_delta`].
+    pub fn apply_delta(&self, index: &PublishedIndex, touched: &[OwnerId]) {
+        let version = self.version.fetch_add(1, Ordering::SeqCst) + 1;
+        let sharded = Arc::new(self.current().apply_delta(index, touched, version));
+        self.snapshot.store(Arc::clone(&sharded));
+        let published_at = Instant::now();
+        for tx in &self.senders {
+            let _ = tx.send(Job::Install {
+                view: Arc::clone(&sharded),
+                published_at,
+            });
+        }
+        self.stats.refreshes.inc();
+        self.stats.deltas.inc();
     }
 
     /// Stops all workers and joins them. Queued queries are answered
@@ -679,6 +715,44 @@ mod tests {
                 other => panic!("unexpected metric {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_installs_next_epoch_and_shares_untouched_shards() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let index = random_index(&mut rng, 30, 120, 0.2);
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&index, config(4, 16), &registry);
+        let client = engine.client();
+        let before = engine.current();
+
+        // One changed owner + one appended owner.
+        let mut matrix = index.matrix().clone();
+        matrix.grow_owners(121);
+        matrix.set(ProviderId(3), OwnerId(7), true);
+        matrix.set(ProviderId(9), OwnerId(120), true);
+        let mut betas = index.betas().to_vec();
+        betas.push(0.5);
+        let next = PublishedIndex::new(matrix, betas);
+        let touched = [OwnerId(7), OwnerId(120)];
+        engine.apply_delta(&next, &touched);
+
+        assert_eq!(engine.version(), 1);
+        assert_eq!(engine.stats().refreshes(), 1);
+        assert_eq!(engine.stats().delta_refreshes(), 1);
+        let after = engine.current();
+        // Shards not holding a touched owner share their row blocks.
+        let hot: std::collections::HashSet<usize> =
+            touched.iter().map(|&o| shard_of(o, 4)).collect();
+        for s in 0..4 {
+            assert_eq!(after.shares_rows_with(&before, s), !hot.contains(&s));
+        }
+        // Served answers match the new index.
+        let server = PpiServer::new(next.clone());
+        for o in 0..121u32 {
+            assert_eq!(client.query(OwnerId(o)), server.query(OwnerId(o)));
+        }
+        engine.shutdown();
     }
 
     /// The acceptance stress: ≥ 4 shards, ≥ 8 client threads, refreshes

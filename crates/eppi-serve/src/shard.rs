@@ -9,6 +9,7 @@
 //! worker threads can each own a disjoint slice of the query space.
 
 use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use std::sync::Arc;
 
 const BLOCK_BITS: usize = 64;
 
@@ -36,12 +37,19 @@ struct SlotRef {
 
 /// One shard: the provider bitmaps of the owners routed to it, packed
 /// slot-major (`words_per_row` consecutive `u64`s per owner).
+///
+/// The row block sits behind an [`Arc`] so [`ShardedIndex::apply_delta`]
+/// can build the next snapshot copy-on-write: shards with no touched
+/// owner share their row words with the previous snapshot instead of
+/// copying them. `PartialEq` still compares contents (with the usual
+/// pointer fast path).
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Shard {
     /// Slot → owner, for reassembly and introspection.
     owners: Vec<OwnerId>,
-    /// Slot-major packed provider bitmaps.
-    rows: Vec<u64>,
+    /// Slot-major packed provider bitmaps, shared across snapshots for
+    /// untouched shards.
+    rows: Arc<Vec<u64>>,
     words_per_row: usize,
 }
 
@@ -101,16 +109,16 @@ impl ShardedIndex {
             });
             counts[shard as usize] += 1;
         }
-        let mut built: Vec<Shard> = counts
+        let mut owners_by_shard: Vec<Vec<OwnerId>> = counts
             .iter()
-            .map(|&c| Shard {
-                owners: vec![OwnerId(0); c as usize],
-                rows: vec![0u64; c as usize * words_per_row],
-                words_per_row,
-            })
+            .map(|&c| vec![OwnerId(0); c as usize])
+            .collect();
+        let mut rows_by_shard: Vec<Vec<u64>> = counts
+            .iter()
+            .map(|&c| vec![0u64; c as usize * words_per_row])
             .collect();
         for (o, slot_ref) in route.iter().enumerate() {
-            built[slot_ref.shard as usize].owners[slot_ref.slot as usize] = OwnerId(o as u32);
+            owners_by_shard[slot_ref.shard as usize][slot_ref.slot as usize] = OwnerId(o as u32);
         }
 
         // Word-level transpose: walk each provider row once and scatter
@@ -127,19 +135,133 @@ impl ShardedIndex {
                         break;
                     }
                     let slot_ref = route[o];
-                    let shard = &mut built[slot_ref.shard as usize];
-                    shard.rows[slot_ref.slot as usize * words_per_row + word] |= mask;
+                    rows_by_shard[slot_ref.shard as usize]
+                        [slot_ref.slot as usize * words_per_row + word] |= mask;
                 }
             }
         }
 
         ShardedIndex {
-            shards: built,
+            shards: owners_by_shard
+                .into_iter()
+                .zip(rows_by_shard)
+                .map(|(owners, rows)| Shard {
+                    owners,
+                    rows: Arc::new(rows),
+                    words_per_row,
+                })
+                .collect(),
             route,
             providers: m,
             betas: index.betas().to_vec(),
             version,
         }
+    }
+
+    /// Builds the *next* snapshot from this one copy-on-write: only the
+    /// shards holding a `touched` (or newly added) owner get fresh row
+    /// blocks; every other shard shares its packed rows with `self` via
+    /// [`Arc`] — verifiable with [`shares_rows_with`](Self::shares_rows_with).
+    ///
+    /// `index` is the next epoch's published index. Owners may only be
+    /// appended (`index.matrix().owners() >= self.owners()`); new
+    /// owners are routed exactly as
+    /// [`from_index_versioned`](Self::from_index_versioned) would route
+    /// them, so the layout stays identical to a from-scratch build of
+    /// the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the provider count changed, the owner count shrank, or
+    /// a touched owner is out of range of the new index.
+    pub fn apply_delta(
+        &self,
+        index: &PublishedIndex,
+        touched: &[OwnerId],
+        version: u64,
+    ) -> ShardedIndex {
+        let matrix = index.matrix();
+        let (m, n_new) = (matrix.providers(), matrix.owners());
+        assert_eq!(m, self.providers, "provider count must not change");
+        let n_old = self.route.len();
+        assert!(
+            n_new >= n_old,
+            "owners cannot shrink ({n_old} -> {n_new}); withdrawn owners keep their slot"
+        );
+        let shards = self.shards.len();
+        let words_per_row = m.div_ceil(BLOCK_BITS).max(1);
+
+        // Route appended owners, extending the per-shard slot counts.
+        let mut route = self.route.clone();
+        let mut counts: Vec<u32> = self.shards.iter().map(|s| s.owners.len() as u32).collect();
+        let mut added: Vec<Vec<OwnerId>> = vec![Vec::new(); shards];
+        for o in n_old..n_new {
+            let shard = shard_of(OwnerId(o as u32), shards) as u32;
+            route.push(SlotRef {
+                shard,
+                slot: counts[shard as usize],
+            });
+            counts[shard as usize] += 1;
+            added[shard as usize].push(OwnerId(o as u32));
+        }
+        // Touched pre-existing owners, grouped by shard.
+        let mut dirty: Vec<Vec<OwnerId>> = vec![Vec::new(); shards];
+        for &owner in touched {
+            assert!(
+                owner.index() < n_new,
+                "touched owner {} out of range {n_new}",
+                owner.0
+            );
+            if owner.index() < n_old {
+                dirty[route[owner.index()].shard as usize].push(owner);
+            }
+        }
+
+        let new_shards: Vec<Shard> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                if dirty[s].is_empty() && added[s].is_empty() {
+                    // Untouched shard: share the row block, zero copies.
+                    return shard.clone();
+                }
+                let mut rows = shard.rows.as_ref().clone();
+                let mut owners = shard.owners.clone();
+                rows.resize(counts[s] as usize * words_per_row, 0);
+                owners.extend(&added[s]);
+                for &owner in dirty[s].iter().chain(&added[s]) {
+                    let slot = route[owner.index()].slot as usize;
+                    let column = matrix.column_words(owner);
+                    rows[slot * words_per_row..(slot + 1) * words_per_row]
+                        .copy_from_slice(&column[..words_per_row]);
+                }
+                Shard {
+                    owners,
+                    rows: Arc::new(rows),
+                    words_per_row,
+                }
+            })
+            .collect();
+
+        ShardedIndex {
+            shards: new_shards,
+            route,
+            providers: m,
+            betas: index.betas().to_vec(),
+            version,
+        }
+    }
+
+    /// `true` if shard `s` of `self` and `other` share the same
+    /// physical row block (the copy-on-write reuse check:
+    /// `Arc::ptr_eq`, not content equality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range of either index.
+    pub fn shares_rows_with(&self, other: &ShardedIndex, s: usize) -> bool {
+        Arc::ptr_eq(&self.shards[s].rows, &other.shards[s].rows)
     }
 
     /// Number of shards.
@@ -341,5 +463,77 @@ mod tests {
             ShardedIndex::from_index_versioned(&index, 1, 9).version(),
             9
         );
+    }
+
+    #[test]
+    fn apply_delta_equals_from_scratch_build() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let index = random_index(&mut rng, 70, 90);
+        for shards in [1, 3, 8] {
+            let base = ShardedIndex::from_index_versioned(&index, shards, 1);
+            // Flip a few owners' columns, grow by two owners, change βs.
+            let mut matrix = index.matrix().clone();
+            matrix.grow_owners(92);
+            let touched = [OwnerId(5), OwnerId(41), OwnerId(90), OwnerId(91)];
+            for &o in &touched {
+                for p in 0..70u32 {
+                    matrix.set(ProviderId(p), o, (p + o.0) % 3 == 0);
+                }
+            }
+            let mut betas = index.betas().to_vec();
+            betas.extend([0.2, 0.9]);
+            betas[5] = 0.7;
+            let next_index = PublishedIndex::new(matrix, betas);
+
+            let next = base.apply_delta(&next_index, &touched, 2);
+            let scratch = ShardedIndex::from_index_versioned(&next_index, shards, 2);
+            assert_eq!(next, scratch, "{shards} shards");
+            assert_eq!(next.version(), 2);
+        }
+    }
+
+    #[test]
+    fn apply_delta_shares_untouched_shard_rows() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let index = random_index(&mut rng, 40, 200);
+        let shards = 8;
+        let base = ShardedIndex::from_index(&index, shards);
+        // Touch exactly one owner: only its shard may reallocate.
+        let touched = [OwnerId(17)];
+        let hot = shard_of(touched[0], shards);
+        let mut matrix = index.matrix().clone();
+        matrix.set(ProviderId(0), touched[0], true);
+        let next_index = PublishedIndex::new(matrix, index.betas().to_vec());
+        let next = base.apply_delta(&next_index, &touched, 1);
+        for s in 0..shards {
+            assert_eq!(
+                next.shares_rows_with(&base, s),
+                s != hot,
+                "shard {s} (hot = {hot})"
+            );
+        }
+        // The shared snapshot still answers like a from-scratch build.
+        let scratch = ShardedIndex::from_index_versioned(&next_index, shards, 1);
+        assert_eq!(next, scratch);
+    }
+
+    #[test]
+    fn empty_delta_shares_every_shard() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let index = random_index(&mut rng, 30, 50);
+        let base = ShardedIndex::from_index(&index, 4);
+        let next = base.apply_delta(&index, &[], 7);
+        for s in 0..4 {
+            assert!(next.shares_rows_with(&base, s), "shard {s} copied");
+        }
+        assert_eq!(next.version(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "provider count must not change")]
+    fn apply_delta_rejects_provider_growth() {
+        let index = PublishedIndex::new(MembershipMatrix::new(3, 2), vec![0.0; 2]);
+        let grown = PublishedIndex::new(MembershipMatrix::new(4, 2), vec![0.0; 2]);
+        ShardedIndex::from_index(&index, 2).apply_delta(&grown, &[], 1);
     }
 }

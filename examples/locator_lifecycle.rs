@@ -1,7 +1,11 @@
-//! The locator-service lifecycle through the paper's four operations:
-//! `Delegate → ConstructPPI → QueryPPI → AuthSearch`, including what
-//! happens when new delegations arrive after construction (the index is
-//! static by design — and the re-publication attack shows why).
+//! The locator-service lifecycle through the paper's four operations —
+//! `Delegate → ConstructPPI → QueryPPI → AuthSearch` — extended with
+//! the epoch/delta refresh path: late changes are folded in by
+//! re-running the secure construction over *only* the touched columns
+//! (`pending_delta → construct_delta`) and installed into a running
+//! serve engine copy-on-write (`apply_delta`), while queries keep
+//! flowing and untouched rows stay bit-identical (which is exactly
+//! what defuses the re-publication attack shown at the end).
 //!
 //! ```sh
 //! cargo run --release --example locator_lifecycle
@@ -11,11 +15,13 @@ use eppi::attacks::refresh::IndexArchive;
 use eppi::core::model::{Epsilon, OwnerId, ProviderId};
 use eppi::index::access::SearcherId;
 use eppi::index::network::InformationNetwork;
+use eppi::protocol::construct::ProtocolConfig;
+use eppi::protocol::epoch::{construct_delta, construct_epoch};
+use eppi::serve::{ServeConfig, ServeEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(99);
     let mut net = InformationNetwork::new(300);
 
     // --- Delegate -------------------------------------------------------
@@ -34,12 +40,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     net.delegate(bob, Epsilon::new(0.0)?, ProviderId(7), "checkup");
     println!("delegations done; index stale: {}", net.is_stale());
 
-    // --- ConstructPPI ----------------------------------------------------
-    net.construct_ppi(&mut rng)?;
-    println!("constructed; index stale: {}\n", net.is_stale());
+    // --- ConstructPPI (epoch 0) ------------------------------------------
+    // The distributed, trusted-party-free construction, retaining the
+    // protocol state the delta path reuses.
+    let config = ProtocolConfig {
+        seed: 99,
+        ..ProtocolConfig::default()
+    };
+    let mut epoch = construct_epoch(&net.membership_matrix(), &net.epsilon_assignment(), &config)?;
+    net.install_index(epoch.index().clone());
+    let engine = ServeEngine::start(
+        epoch.index(),
+        ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let client = engine.client();
+    println!(
+        "constructed epoch {}; index stale: {}\n",
+        epoch.epoch(),
+        net.is_stale()
+    );
 
     // --- QueryPPI + AuthSearch -------------------------------------------
-    let candidates = net.query_ppi(alice);
+    let candidates = client.query(alice);
     let outcome = net.auth_search(SearcherId(1), alice);
     println!(
         "QueryPPI(alice): {} candidates — AuthSearch found {} records ({} decoy contacts)",
@@ -52,33 +77,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bob_out = net.auth_search(SearcherId(1), bob);
     println!(
         "QueryPPI(bob):   {} candidates (ε = 0 ⇒ exact) — {} records",
-        net.query_ppi(bob).len(),
+        client.query(bob).len(),
         bob_out.records.len()
     );
 
-    // --- A late delegation -----------------------------------------------
+    // --- Late changes: the delta refresh ----------------------------------
+    // Carol arrives, and alice delegates to a fourth hospital. The
+    // network aggregates both into one change batch.
     let carol = OwnerId(2);
     net.delegate(carol, Epsilon::new(0.5)?, ProviderId(33), "new patient");
+    net.delegate(alice, Epsilon::new(0.8)?, ProviderId(250), "follow-up");
+    let delta = net.pending_delta().expect("an installed index to refresh");
     println!(
-        "\ncarol delegated after construction; stale: {}, QueryPPI(carol): {:?}",
+        "\n{} columns changed of {} (stale: {}); QueryPPI(carol) pre-refresh: {:?}",
+        delta.len(),
+        delta.owners(),
         net.is_stale(),
-        net.query_ppi(carol)
-    );
-    net.construct_ppi(&mut rng)?;
-    println!(
-        "after re-construction, QueryPPI(carol) finds {} candidates",
-        net.query_ppi(carol).len()
+        client.query(carol)
     );
 
-    // --- Why the index must stay static between real changes --------------
-    // Suppose the server re-randomized alice's row on every request: an
-    // archiving attacker intersects the versions.
-    println!("\nre-publication attack (what the static design prevents):");
+    // The secure stages re-run over the 2 touched columns only; the
+    // engine installs the new epoch copy-on-write while queries flow.
+    let built = construct_delta(&epoch, &net.membership_matrix(), &delta)?;
+    epoch = built.epoch;
+    engine.apply_delta(epoch.index(), &delta.touched());
+    net.install_index(epoch.index().clone());
+    println!(
+        "delta epoch {} constructed over {} columns ({} MPC gates vs {} for a full rebuild); \
+         QueryPPI(carol): {} candidates",
+        epoch.epoch(),
+        built.report.columns,
+        built.report.circuit_size(),
+        {
+            // What a from-scratch run would have cost, for contrast.
+            let full = eppi::protocol::construct::construct_distributed(
+                &net.membership_matrix(),
+                &net.epsilon_assignment(),
+                &config,
+            )?;
+            full.report.circuit_size()
+        },
+        client.query(carol).len()
+    );
+    assert_eq!(net.auth_search(SearcherId(1), alice).records.len(), 4);
+
+    // --- Why the deterministic coins matter --------------------------------
+    // Suppose the refresh re-randomized every row: an archiving
+    // attacker intersects the versions and alice's decoys melt away.
+    println!("\nre-publication attack (what the deterministic coins prevent):");
     let mut archive = IndexArchive::new();
     let matrix = net.membership_matrix();
     let eps = net.epsilon_assignment();
-    for epoch in 0..5u64 {
-        let mut fresh = StdRng::seed_from_u64(5000 + epoch);
+    for round in 0..5u64 {
+        let mut fresh = StdRng::seed_from_u64(5000 + round);
         let built = eppi::core::construct::construct(
             &matrix,
             &eps,
@@ -89,9 +140,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let conf = archive.intersection_confidence(&matrix, alice).unwrap();
         println!(
             "  after {} re-randomized epochs: intersection confidence {conf:.3}",
-            epoch + 1
+            round + 1
         );
     }
-    println!("\nε-PPI publishes once and stays put — repeated queries add nothing.");
+    // The delta path instead keys every publication coin by
+    // (seed, provider, owner): untouched cells are bit-identical across
+    // epochs, so archiving delta refreshes adds nothing.
+    let mut safe = IndexArchive::new();
+    safe.record(epoch.index().clone());
+    for round in 0..4u64 {
+        net.delegate(
+            bob,
+            Epsilon::new(0.0)?,
+            ProviderId(7 + round as u32),
+            "transfer",
+        );
+        let delta = net.pending_delta().expect("delta");
+        epoch = construct_delta(&epoch, &net.membership_matrix(), &delta)?.epoch;
+        engine.apply_delta(epoch.index(), &delta.touched());
+        net.install_index(epoch.index().clone());
+        safe.record(epoch.index().clone());
+        let conf = safe.intersection_confidence(&matrix, alice).unwrap();
+        println!(
+            "  after {} delta epochs (bob churning): alice's confidence {conf:.3} — flat",
+            round + 2
+        );
+    }
+    engine.shutdown();
+    println!("\nε-PPI refreshes only what changed — archived epochs add nothing.");
     Ok(())
 }

@@ -3,6 +3,7 @@
 //! same β values for unmixed identities, same guarantees — while never
 //! pooling the private vectors.
 
+use eppi::core::delta::{ColumnChange, DeltaEntry, IndexDelta};
 use eppi::core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
 use eppi::core::policy::{BetaPolicy, PolicyKind};
 use eppi::core::privacy::success_ratio;
@@ -11,6 +12,7 @@ use eppi::mpc::share::recombine_raw;
 use eppi::net::sim::LinkModel;
 use eppi::protocol::construct::{construct_distributed, frequency_thresholds, ProtocolConfig};
 use eppi::protocol::countbelow::Backend;
+use eppi::protocol::epoch::{construct_delta, construct_epoch};
 use eppi::protocol::pure_mpc::{construct_pure_mpc, PureMpcConfig};
 use eppi::protocol::secsum::secsumshare_sim;
 
@@ -208,6 +210,118 @@ fn threaded_backend_matches_in_process_backend() {
     assert_eq!(a.decisions, b.decisions);
     assert_eq!(a.index.betas(), b.index.betas());
     assert_eq!(a.index.matrix(), b.index.matrix());
+}
+
+/// The epoch lifecycle's delta path must compute exactly what a
+/// from-scratch construction computes for the touched columns, while
+/// carrying untouched columns over verbatim.
+#[test]
+fn delta_construction_reproduces_full_construction_columns() {
+    let m = 80usize;
+    let freqs = vec![60usize, 25, 8, 3, 70, 40];
+    let matrix = matrix_with_freqs(m, &freqs);
+    let epsilons = vec![eps(0.4), eps(0.6), eps(0.3), eps(0.8), eps(0.5), eps(0.7)];
+    let config = ProtocolConfig {
+        seed: 17,
+        ..ProtocolConfig::default()
+    };
+    let epoch0 = construct_epoch(&matrix, &epsilons, &config).expect("epoch 0");
+
+    // Churn owners 1 and 3, append owner 6.
+    let new_freqs = vec![60usize, 31, 8, 1, 70, 40, 12];
+    let next = matrix_with_freqs(m, &new_freqs);
+    let mut next_eps = epsilons.clone();
+    next_eps[1] = eps(0.9);
+    next_eps.push(eps(0.5));
+    let mut delta = IndexDelta::new(6);
+    for (owner, change) in [
+        (OwnerId(1), ColumnChange::Changed),
+        (OwnerId(3), ColumnChange::Changed),
+        (OwnerId(6), ColumnChange::Added),
+    ] {
+        delta.record(DeltaEntry {
+            owner,
+            change,
+            epsilon: next_eps[owner.index()],
+        });
+    }
+
+    let built = construct_delta(&epoch0, &next, &delta).expect("delta");
+    let full = construct_distributed(&next, &next_eps, &config).expect("full");
+
+    assert_eq!(built.epoch.common_count(), full.common_count);
+    assert_eq!(built.report.epoch, 1);
+    assert_eq!(built.report.columns, 3);
+    for owner in next.owner_ids() {
+        let j = owner.index();
+        if delta.contains(owner) {
+            assert_eq!(
+                built.epoch.index().matrix().column_words(owner),
+                full.index.matrix().column_words(owner),
+                "touched owner {j} diverges from the from-scratch build"
+            );
+            assert_eq!(built.epoch.index().betas()[j], full.index.betas()[j]);
+        } else {
+            assert_eq!(
+                built.epoch.index().matrix().column_words(owner),
+                epoch0.index().matrix().column_words(owner),
+                "untouched owner {j} was re-randomized"
+            );
+        }
+    }
+}
+
+/// The secure stages of a delta run are sized by the change batch `k`
+/// alone: growing the untouched owner population tenfold changes
+/// neither the MPC circuits nor the SecSumShare message count.
+#[test]
+fn delta_cost_is_independent_of_untouched_owner_count() {
+    let m = 60usize;
+    let config = ProtocolConfig {
+        seed: 29,
+        ..ProtocolConfig::default()
+    };
+    let touched = [OwnerId(0), OwnerId(1), OwnerId(2)];
+
+    let mut reports = Vec::new();
+    for n in [12usize, 120] {
+        let freqs: Vec<usize> = (0..n).map(|j| (j * 13) % 50 + 1).collect();
+        let matrix = matrix_with_freqs(m, &freqs);
+        let epsilons = vec![eps(0.5); n];
+        let epoch0 = construct_epoch(&matrix, &epsilons, &config).expect("epoch 0");
+
+        // The same three-column change batch in both networks.
+        let mut new_freqs = freqs.clone();
+        for o in touched {
+            new_freqs[o.index()] = 20 + o.index();
+        }
+        let next = matrix_with_freqs(m, &new_freqs);
+        let mut delta = IndexDelta::new(n);
+        for o in touched {
+            delta.record(DeltaEntry {
+                owner: o,
+                change: ColumnChange::Changed,
+                epsilon: eps(0.5),
+            });
+        }
+        let built = construct_delta(&epoch0, &next, &delta).expect("delta");
+        assert_eq!(built.report.columns, touched.len());
+        reports.push(built.report);
+    }
+
+    let (small, large) = (&reports[0], &reports[1]);
+    assert_eq!(
+        small.count_stage.circuit.total_gates, large.count_stage.circuit.total_gates,
+        "CountBelow circuit must be sized by k, not n"
+    );
+    assert_eq!(
+        small.mix_stage.circuit.total_gates, large.mix_stage.circuit.total_gates,
+        "mix-decision circuit must be sized by k, not n"
+    );
+    assert_eq!(
+        small.secsum.messages, large.secsum.messages,
+        "SecSumShare messages depend on m and c only"
+    );
 }
 
 #[test]
