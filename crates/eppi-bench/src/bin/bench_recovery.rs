@@ -1,0 +1,30 @@
+//! Benchmarks crash recovery from the durability store across a
+//! write-ahead-log-length sweep and writes
+//! `results/BENCH_recovery.json`.
+//!
+//! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
+//! `EPPI_RECOVERY_OUT` overrides the output path.
+use eppi_bench::recovery::{run, to_json, to_table, RecoveryBenchConfig};
+use eppi_bench::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let (config, scale) = match Scale::from_env() {
+        Scale::Quick => (RecoveryBenchConfig::quick(), "quick"),
+        Scale::Paper => (RecoveryBenchConfig::paper(), "paper"),
+    };
+    let report = run(&config);
+    eppi_bench::print_table(&to_table(&report));
+
+    let out: PathBuf = std::env::var_os("EPPI_RECOVERY_OUT").map_or_else(
+        || PathBuf::from("results/BENCH_recovery.json"),
+        PathBuf::from,
+    );
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out, to_json(&report, scale)).expect("write BENCH_recovery.json");
+    eprintln!("wrote {}", out.display());
+}

@@ -20,6 +20,7 @@
 //! | `serve_load` | eppi-serve front-end throughput/latency (`results/BENCH_serve.json`) |
 //! | `bench_mpc` | packed GMW core vs unpacked reference (`results/BENCH_mpc.json`) |
 //! | `bench_refresh` | delta refresh vs full rebuild sweep (`results/BENCH_refresh.json`) |
+//! | `bench_recovery` | crash recovery vs log length (`results/BENCH_recovery.json`) |
 //! | `all_experiments` | everything above, in order |
 
 #![warn(missing_docs)]
@@ -31,6 +32,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod mpc_speed;
+pub mod recovery;
 pub mod refresh;
 pub mod report;
 pub mod search_cost;

@@ -1,0 +1,376 @@
+//! Crash-recovery benchmark: warm boot from the durability store.
+//!
+//! Sweeps the write-ahead log length (deltas journaled since the last
+//! checkpoint) and, for each point, builds a store, drops it cold and
+//! measures [`DurableStore::open`] — the full recovery walk: newest
+//! checkpoint, log replay through `construct_delta`, tail truncation.
+//! Each row reports the recovery wall, the records replayed, the log
+//! size scanned and the durability fsync counts of the write phase; the
+//! report also carries the wall of one full `construct_distributed`
+//! rebuild at the same scale, the cost the store's warm boot avoids.
+//!
+//! Results land in `results/BENCH_recovery.json` (override with
+//! `EPPI_RECOVERY_OUT`); `EPPI_SCALE=quick` selects the smoke
+//! configuration.
+//!
+//! The expected shape at paper scale (64 × 4096): recovery wall grows
+//! linearly with the log length (each replayed record re-runs one
+//! O(k)-column construction) and stays far below the full rebuild even
+//! at the longest log — checkpoints exist to bound the left term, not
+//! to make recovery viable at all.
+
+use crate::report::Table;
+use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi_durability::DurableStore;
+use eppi_protocol::construct::{construct_distributed_with_registry, ProtocolConfig};
+use eppi_protocol::epoch::construct_epoch_with_registry;
+use eppi_telemetry::json::JsonValue;
+use eppi_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration of one recovery benchmark run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryBenchConfig {
+    /// Providers `m`.
+    pub providers: usize,
+    /// Owners `n`.
+    pub owners: usize,
+    /// Log lengths to sweep: deltas journaled since the checkpoint
+    /// (each yields one row).
+    pub wal_lengths: Vec<usize>,
+    /// Membership bits flipped per journaled delta.
+    pub flips_per_column: usize,
+    /// Base RNG seed (also the protocol seed).
+    pub seed: u64,
+}
+
+impl RecoveryBenchConfig {
+    /// Paper-scale sweep: the evaluation's index dimensions with log
+    /// lengths from an empty log (pure checkpoint load) up to 64
+    /// journaled deltas.
+    pub fn paper() -> Self {
+        RecoveryBenchConfig {
+            providers: 64,
+            owners: 4096,
+            wal_lengths: vec![0, 4, 16, 64],
+            flips_per_column: 3,
+            seed: 0xd04a11,
+        }
+    }
+
+    /// Scaled-down smoke run for tests and `EPPI_SCALE=quick`.
+    pub fn quick() -> Self {
+        RecoveryBenchConfig {
+            providers: 16,
+            owners: 128,
+            wal_lengths: vec![0, 2, 8],
+            flips_per_column: 2,
+            seed: 0xd04a11,
+        }
+    }
+}
+
+/// One log length's measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRow {
+    /// Deltas journaled since the checkpoint.
+    pub wal_records: usize,
+    /// Log bytes scanned by recovery.
+    pub wal_bytes: u64,
+    /// Wall time of [`DurableStore::open`] — checkpoint load plus
+    /// replay.
+    pub recovery_wall: Duration,
+    /// Records replayed through `construct_delta` (must equal
+    /// `wal_records`).
+    pub replayed: usize,
+    /// Epoch number of the recovered head (must equal `wal_records`).
+    pub head_epoch: u64,
+    /// Durability fsyncs issued while writing the store (create +
+    /// one per journaled delta).
+    pub write_fsyncs: u64,
+}
+
+/// Everything one invocation produces (feeds both table and JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The configuration that ran.
+    pub config: RecoveryBenchConfig,
+    /// Wall of one full `construct_distributed` at the same scale —
+    /// the rebuild a warm boot avoids.
+    pub full_rebuild_wall: Duration,
+    /// One entry per swept log length.
+    pub rows: Vec<RecoveryRow>,
+}
+
+impl RecoveryReport {
+    /// Rebuild-avoidance factor for one row (`> 1` = warm boot wins).
+    pub fn rebuild_speedup(&self, row: &RecoveryRow) -> f64 {
+        self.full_rebuild_wall.as_secs_f64() / row.recovery_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A random base network, same shape as the refresh benchmark's.
+fn build_base(config: &RecoveryBenchConfig, rng: &mut StdRng) -> (MembershipMatrix, Vec<Epsilon>) {
+    let mut matrix = MembershipMatrix::new(config.providers, config.owners);
+    for owner in matrix.owner_ids() {
+        let freq = rng.gen_range(1..config.providers.max(2));
+        for i in 0..freq {
+            matrix.set(
+                ProviderId(((i * 7 + owner.index()) % config.providers) as u32),
+                owner,
+                true,
+            );
+        }
+    }
+    let epsilons = (0..config.owners)
+        .map(|_| Epsilon::saturating(rng.gen_range(0.1..0.9)))
+        .collect();
+    (matrix, epsilons)
+}
+
+/// Churns one column in place, returning the single-entry change batch.
+fn churn_one(
+    matrix: &mut MembershipMatrix,
+    owner: OwnerId,
+    flips: usize,
+    rng: &mut StdRng,
+) -> IndexDelta {
+    for _ in 0..flips {
+        let p = ProviderId(rng.gen_range(0..matrix.providers()) as u32);
+        matrix.set(p, owner, !matrix.get(p, owner));
+    }
+    let mut delta = IndexDelta::new(matrix.owners());
+    delta.record(DeltaEntry {
+        owner,
+        change: ColumnChange::Changed,
+        epsilon: Epsilon::saturating(rng.gen_range(0.1..0.9)),
+    });
+    delta
+}
+
+/// A scratch store directory unique to this process and row.
+fn scratch_dir(tag: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("eppi-bench-recovery-{}-{tag}", std::process::id()))
+}
+
+fn bench_length(config: &RecoveryBenchConfig, length: usize) -> RecoveryRow {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (length as u64).wrapping_mul(0x9e37));
+    let (mut matrix, epsilons) = build_base(config, &mut rng);
+    let proto = ProtocolConfig {
+        seed: config.seed,
+        ..ProtocolConfig::default()
+    };
+    let dir = scratch_dir(length);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Write phase: anchor checkpoint + `length` journaled deltas.
+    let write_registry = Registry::new();
+    let epoch0 = construct_epoch_with_registry(&matrix, &epsilons, &proto, &write_registry)
+        .expect("epoch 0 construction");
+    let mut store =
+        DurableStore::create_with_registry(&dir, &epoch0, &write_registry).expect("create store");
+    for i in 0..length {
+        // Evenly-spread distinct owners, one column per delta.
+        let owner = OwnerId(((i * config.owners) / length.max(1)) as u32);
+        let delta = churn_one(&mut matrix, owner, config.flips_per_column, &mut rng);
+        store
+            .advance_with_registry(&matrix, &delta, &write_registry)
+            .expect("journal delta");
+    }
+    let wal_bytes = store.wal_bytes().expect("log length");
+    let write_fsyncs = write_registry.counter("durability.fsyncs", &[]).get();
+    drop(store);
+
+    // Crash-and-boot phase: cold open measures the full recovery walk.
+    let recover_registry = Registry::new();
+    let (recovered, recovery) =
+        DurableStore::open_with_registry(&dir, &recover_registry).expect("recover store");
+    assert_eq!(recovery.replayed, length, "every journaled record replays");
+    assert!(recovery.tail_defect.is_none(), "clean log recovers cleanly");
+    let head_epoch = recovered.head().epoch();
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RecoveryRow {
+        wal_records: length,
+        wal_bytes,
+        recovery_wall: recovery.wall,
+        replayed: recovery.replayed,
+        head_epoch,
+        write_fsyncs,
+    }
+}
+
+/// Runs the whole log-length sweep plus the rebuild reference.
+pub fn run(config: &RecoveryBenchConfig) -> RecoveryReport {
+    // The rebuild a warm boot avoids: one full distributed
+    // construction at the same scale.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (matrix, epsilons) = build_base(config, &mut rng);
+    let proto = ProtocolConfig {
+        seed: config.seed,
+        ..ProtocolConfig::default()
+    };
+    let full = construct_distributed_with_registry(&matrix, &epsilons, &proto, &Registry::new())
+        .expect("full construction");
+
+    let rows = config
+        .wal_lengths
+        .iter()
+        .map(|&length| bench_length(config, length))
+        .collect();
+    RecoveryReport {
+        config: config.clone(),
+        full_rebuild_wall: full.report.wall,
+        rows,
+    }
+}
+
+/// Renders the report as the harness's usual aligned table.
+pub fn to_table(report: &RecoveryReport) -> Table {
+    let mut table = Table::new(
+        format!(
+            "crash recovery vs full rebuild — {} providers, {} owners, rebuild {:.2} ms",
+            report.config.providers,
+            report.config.owners,
+            report.full_rebuild_wall.as_secs_f64() * 1e3
+        ),
+        [
+            "wal records",
+            "wal KiB",
+            "recovery ms",
+            "replayed",
+            "head epoch",
+            "vs rebuild",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.wal_records.to_string(),
+            format!("{:.1}", row.wal_bytes as f64 / 1024.0),
+            format!("{:.3}", row.recovery_wall.as_secs_f64() * 1e3),
+            row.replayed.to_string(),
+            row.head_epoch.to_string(),
+            format!("{:.0}x", report.rebuild_speedup(row)),
+        ]);
+    }
+    table
+}
+
+/// Serializes the report to the `BENCH_recovery.json` schema.
+pub fn to_json(report: &RecoveryReport, scale: &str) -> String {
+    let threads = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let rows = report
+        .rows
+        .iter()
+        .map(|row| {
+            JsonValue::Object(vec![
+                (
+                    "wal_records".into(),
+                    JsonValue::UInt(row.wal_records as u64),
+                ),
+                ("wal_bytes".into(), JsonValue::UInt(row.wal_bytes)),
+                (
+                    "recovery_ms".into(),
+                    JsonValue::Float(row.recovery_wall.as_secs_f64() * 1e3),
+                ),
+                ("replayed".into(), JsonValue::UInt(row.replayed as u64)),
+                ("head_epoch".into(), JsonValue::UInt(row.head_epoch)),
+                ("write_fsyncs".into(), JsonValue::UInt(row.write_fsyncs)),
+                (
+                    "rebuild_speedup".into(),
+                    JsonValue::Float(report.rebuild_speedup(row)),
+                ),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::Object(vec![
+        ("bench".into(), JsonValue::Str("recovery".into())),
+        ("scale".into(), JsonValue::Str(scale.into())),
+        (
+            "machine".into(),
+            JsonValue::Object(vec![
+                ("os".into(), JsonValue::Str(std::env::consts::OS.into())),
+                ("arch".into(), JsonValue::Str(std::env::consts::ARCH.into())),
+                ("hardware_threads".into(), JsonValue::UInt(threads as u64)),
+            ]),
+        ),
+        (
+            "config".into(),
+            JsonValue::Object(vec![
+                (
+                    "providers".into(),
+                    JsonValue::UInt(report.config.providers as u64),
+                ),
+                (
+                    "owners".into(),
+                    JsonValue::UInt(report.config.owners as u64),
+                ),
+                (
+                    "flips_per_column".into(),
+                    JsonValue::UInt(report.config.flips_per_column as u64),
+                ),
+                ("seed".into(), JsonValue::UInt(report.config.seed)),
+            ]),
+        ),
+        (
+            "full_rebuild_ms".into(),
+            JsonValue::Float(report.full_rebuild_wall.as_secs_f64() * 1e3),
+        ),
+        ("rows".into(), JsonValue::Array(rows)),
+    ]);
+    let mut out = doc.to_pretty();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_replays_every_journaled_record() {
+        let config = RecoveryBenchConfig {
+            owners: 64,
+            wal_lengths: vec![0, 3],
+            ..RecoveryBenchConfig::quick()
+        };
+        let report = run(&config);
+        assert_eq!(report.rows.len(), 2);
+        for (row, &length) in report.rows.iter().zip(&config.wal_lengths) {
+            assert_eq!(row.wal_records, length);
+            assert_eq!(row.replayed, length);
+            assert_eq!(row.head_epoch, length as u64);
+        }
+        // An empty log carries no bytes; a journaled one does, and each
+        // advance costs exactly one fsync over the create baseline.
+        assert_eq!(report.rows[0].wal_bytes, 0);
+        assert!(report.rows[1].wal_bytes > 0);
+        assert_eq!(report.rows[1].write_fsyncs - report.rows[0].write_fsyncs, 3);
+
+        let json = to_json(&report, "quick");
+        let doc = JsonValue::parse(&json).expect("BENCH_recovery.json must parse");
+        assert_eq!(
+            doc.get("bench").and_then(JsonValue::as_str),
+            Some("recovery")
+        );
+        for key in [
+            "\"rows\"",
+            "\"wal_records\"",
+            "\"recovery_ms\"",
+            "\"replayed\"",
+            "\"full_rebuild_ms\"",
+            "\"rebuild_speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let table = to_table(&report).to_string();
+        assert!(table.contains("recovery ms"));
+    }
+}

@@ -213,7 +213,9 @@ fn bench_fraction(
     let probe: Vec<OwnerId> = (0..config.shards.min(n) as u32).map(OwnerId).collect();
     let touched = delta.touched();
     let at = Instant::now();
-    engine.apply_delta(built.epoch.index(), &touched);
+    engine
+        .apply_delta(built.epoch.index(), &touched)
+        .expect("delta install in lineage order");
     for &o in &probe {
         let _ = client.query(o);
     }

@@ -37,6 +37,13 @@ pub enum EppiError {
         /// Minimum required.
         required: usize,
     },
+    /// Recovered protocol state failed a semantic validity check when
+    /// resuming an epoch lineage (dimensions are reported separately
+    /// via [`EppiError::DimensionMismatch`]).
+    InvalidResumeState {
+        /// Which invariant the state violates.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for EppiError {
@@ -73,6 +80,9 @@ impl fmt::Display for EppiError {
                 required,
             } => {
                 write!(f, "network has {providers} providers but the operation requires at least {required}")
+            }
+            EppiError::InvalidResumeState { what } => {
+                write!(f, "recovered epoch state is invalid: {what}")
             }
         }
     }

@@ -1,0 +1,199 @@
+//! Mapping between live [`IndexEpoch`]s and the on-disk EPPI v2
+//! [`EpochRecord`].
+//!
+//! `eppi-index` owns the byte format (magic, versioning, CRC — see
+//! [`eppi_index::codec`]); this module owns the *semantic* mapping: the
+//! tag ↔ enum conversions for the β policy and the MPC backend, raw
+//! `f64` ε's back into validated [`Epsilon`]s, and the final
+//! [`IndexEpoch::resume`] pass that refuses to hand out state violating
+//! a protocol invariant. Decoding therefore composes three layers of
+//! validation — framing/CRC, field domains, protocol semantics — and a
+//! byte sequence that survives all three is indistinguishable from the
+//! live epoch it was serialized from.
+
+use crate::error::StoreError;
+use eppi_core::model::Epsilon;
+use eppi_core::policy::PolicyKind;
+use eppi_index::{decode_epoch_record, encode_epoch_record, CodecError, ConfigRecord, EpochRecord};
+use eppi_net::sim::LinkModel;
+use eppi_protocol::{Backend, EpochState, IndexEpoch, ProtocolConfig};
+
+/// Converts a live epoch into the plain-data record the v2 codec
+/// serializes.
+pub fn epoch_to_record(epoch: &IndexEpoch) -> EpochRecord {
+    let state = epoch.clone().into_state();
+    let (policy_tag, policy_param) = match state.config.policy {
+        PolicyKind::Basic => (0, 0.0),
+        PolicyKind::Incremented { delta } => (1, delta),
+        PolicyKind::Chernoff { gamma } => (2, gamma),
+    };
+    let backend_tag = match state.config.backend {
+        Backend::InProcess => 0,
+        Backend::Threaded => 1,
+        Backend::Simulated => 2,
+    };
+    EpochRecord {
+        index: state.index,
+        decisions: state.decisions,
+        lambda: state.lambda,
+        common_count: state.common_count,
+        epoch: state.epoch,
+        thresholds: state.thresholds,
+        epsilons: state.epsilons.iter().map(|e| e.value()).collect(),
+        shares: state.shares,
+        config: ConfigRecord {
+            coordinators: state.config.c as u32,
+            policy_tag,
+            policy_param,
+            coin_bits: state.config.coin_bits as u32,
+            link_latency_us: state.config.link.latency_us,
+            link_bandwidth: state.config.link.bandwidth_bytes_per_us,
+            backend_tag,
+            seed: state.config.seed,
+        },
+    }
+}
+
+/// Serializes an epoch as one EPPI v2 byte record.
+pub fn encode_epoch(epoch: &IndexEpoch) -> Vec<u8> {
+    encode_epoch_record(&epoch_to_record(epoch))
+}
+
+/// Rebuilds a validated record back into a resumed [`IndexEpoch`].
+fn record_to_epoch(record: EpochRecord) -> Result<IndexEpoch, StoreError> {
+    let policy = match record.config.policy_tag {
+        0 => PolicyKind::Basic,
+        1 => PolicyKind::Incremented {
+            delta: record.config.policy_param,
+        },
+        2 => PolicyKind::Chernoff {
+            gamma: record.config.policy_param,
+        },
+        _ => {
+            return Err(CodecError::UnknownTag {
+                field: "policy",
+                tag: record.config.policy_tag,
+            }
+            .into())
+        }
+    };
+    let backend = match record.config.backend_tag {
+        0 => Backend::InProcess,
+        1 => Backend::Threaded,
+        2 => Backend::Simulated,
+        _ => {
+            return Err(CodecError::UnknownTag {
+                field: "backend",
+                tag: record.config.backend_tag,
+            }
+            .into())
+        }
+    };
+    let epsilons = record
+        .epsilons
+        .iter()
+        .map(|&e| Epsilon::new(e))
+        .collect::<Result<Vec<_>, _>>()?;
+    let config = ProtocolConfig {
+        c: record.config.coordinators as usize,
+        policy,
+        coin_bits: record.config.coin_bits as usize,
+        link: LinkModel {
+            latency_us: record.config.link_latency_us,
+            bandwidth_bytes_per_us: record.config.link_bandwidth,
+        },
+        backend,
+        seed: record.config.seed,
+    };
+    IndexEpoch::resume(EpochState {
+        index: record.index,
+        decisions: record.decisions,
+        lambda: record.lambda,
+        common_count: record.common_count,
+        epoch: record.epoch,
+        thresholds: record.thresholds,
+        epsilons,
+        shares: record.shares,
+        config,
+    })
+    .map_err(StoreError::Protocol)
+}
+
+/// Deserializes one EPPI v2 byte record into a resumed [`IndexEpoch`].
+///
+/// # Errors
+///
+/// [`StoreError::Codec`] for framing, checksum or field-domain defects;
+/// [`StoreError::Protocol`] when the structurally valid record still
+/// violates a protocol invariant.
+pub fn decode_epoch(bytes: &[u8]) -> Result<IndexEpoch, StoreError> {
+    record_to_epoch(decode_epoch_record(bytes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId};
+    use eppi_protocol::construct_epoch;
+
+    fn sample_epoch(policy: PolicyKind, backend: Backend) -> IndexEpoch {
+        let mut mat = MembershipMatrix::new(24, 5);
+        for j in 0..5u32 {
+            for p in 0..(3 + j * 4) {
+                mat.set(ProviderId(p % 24), OwnerId(j), true);
+            }
+        }
+        let eps: Vec<Epsilon> = [0.1, 0.4, 0.6, 0.8, 1.0]
+            .iter()
+            .map(|&v| Epsilon::new(v).unwrap())
+            .collect();
+        let cfg = ProtocolConfig {
+            policy,
+            backend,
+            seed: 42,
+            ..ProtocolConfig::default()
+        };
+        construct_epoch(&mat, &eps, &cfg).unwrap()
+    }
+
+    #[test]
+    fn epoch_roundtrips_through_bytes() {
+        for (policy, backend) in [
+            (PolicyKind::Basic, Backend::InProcess),
+            (PolicyKind::Incremented { delta: 0.2 }, Backend::Threaded),
+            (PolicyKind::Chernoff { gamma: 0.9 }, Backend::Simulated),
+        ] {
+            let epoch = sample_epoch(policy, backend);
+            let bytes = encode_epoch(&epoch);
+            let back = decode_epoch(&bytes).expect("roundtrip");
+            assert_eq!(back.index(), epoch.index());
+            assert_eq!(back.decisions(), epoch.decisions());
+            assert_eq!(back.thresholds(), epoch.thresholds());
+            assert_eq!(back.shares(), epoch.shares());
+            assert_eq!(back.epsilons(), epoch.epsilons());
+            assert_eq!(back.lambda(), epoch.lambda());
+            assert_eq!(back.common_count(), epoch.common_count());
+            assert_eq!(back.epoch(), epoch.epoch());
+            assert_eq!(back.config(), epoch.config());
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_yield_typed_errors() {
+        let epoch = sample_epoch(PolicyKind::Basic, Backend::InProcess);
+        let bytes = encode_epoch(&epoch);
+        // Flip one byte in the middle: the CRC rejects it.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            decode_epoch(&flipped),
+            Err(StoreError::Codec(CodecError::BadChecksum { .. }))
+        ));
+        // Truncation is detected before any allocation-heavy work.
+        assert!(matches!(
+            decode_epoch(&bytes[..bytes.len() - 3]),
+            Err(StoreError::Codec(_))
+        ));
+    }
+}

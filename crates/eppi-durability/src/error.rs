@@ -1,0 +1,163 @@
+//! Error types of the durability layer.
+
+use eppi_core::error::EppiError;
+use eppi_index::CodecError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors raised by the crash-safe epoch store.
+///
+/// Every failure mode of opening, appending to, checkpointing or
+/// recovering a store surfaces here as a *typed* error — the recovery
+/// path never panics on hostile bytes (asserted by the fault-injection
+/// proptests).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A filesystem operation failed. The original [`io::Error`] is
+    /// kept; `op` names the operation (`"open"`, `"fsync"`, …).
+    Io {
+        /// The failed operation.
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A checkpoint or log payload failed structural decoding.
+    Codec(CodecError),
+    /// Recovered state failed the protocol layer's semantic validation
+    /// ([`IndexEpoch::resume`](eppi_protocol::IndexEpoch::resume)) or a
+    /// construction over it was rejected.
+    Protocol(EppiError),
+    /// The directory holds no checkpoint file at all — the store was
+    /// never [`create`](crate::DurableStore::create)d here.
+    NoCheckpoint {
+        /// The store directory.
+        dir: PathBuf,
+    },
+    /// Checkpoint files exist but every one of them is corrupt; the
+    /// lineage cannot be recovered from this directory.
+    CorruptStore {
+        /// The store directory.
+        dir: PathBuf,
+        /// How many checkpoint candidates were tried and rejected.
+        candidates: usize,
+    },
+    /// [`create`](crate::DurableStore::create) was pointed at a
+    /// directory that already holds a store.
+    AlreadyInitialized {
+        /// The store directory.
+        dir: PathBuf,
+    },
+    /// A delta was submitted out of lineage order.
+    EpochOrder {
+        /// The epoch number the lineage expects next.
+        expected: u64,
+        /// The epoch number actually submitted.
+        actual: u64,
+    },
+    /// [`reanchor`](crate::DurableStore::reanchor) was handed an epoch
+    /// that is not a fresh epoch-0 construction.
+    NotAnAnchor {
+        /// The epoch number of the rejected construction.
+        epoch: u64,
+    },
+}
+
+impl StoreError {
+    /// Wraps an [`io::Error`] with its operation and path.
+    pub(crate) fn io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "{op} failed on {}: {source}", path.display())
+            }
+            StoreError::Codec(e) => write!(f, "record decoding failed: {e}"),
+            StoreError::Protocol(e) => write!(f, "recovered state rejected: {e}"),
+            StoreError::NoCheckpoint { dir } => {
+                write!(f, "no checkpoint found in {}", dir.display())
+            }
+            StoreError::CorruptStore { dir, candidates } => write!(
+                f,
+                "all {candidates} checkpoint candidate(s) in {} are corrupt",
+                dir.display()
+            ),
+            StoreError::AlreadyInitialized { dir } => {
+                write!(f, "{} already holds a store", dir.display())
+            }
+            StoreError::EpochOrder { expected, actual } => write!(
+                f,
+                "epoch out of lineage order: expected {expected}, got {actual}"
+            ),
+            StoreError::NotAnAnchor { epoch } => {
+                write!(
+                    f,
+                    "re-anchor requires a fresh epoch-0 construction, got epoch {epoch}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Codec(e) => Some(e),
+            StoreError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<EppiError> for StoreError {
+    fn from(e: EppiError) -> Self {
+        StoreError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::io("fsync", "/tmp/x", io::Error::other("boom"));
+        assert!(e.to_string().contains("fsync"));
+        assert!(e.to_string().contains("/tmp/x"));
+        let e = StoreError::EpochOrder {
+            expected: 4,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        let e = StoreError::CorruptStore {
+            dir: "/s".into(),
+            candidates: 2,
+        };
+        assert!(e.to_string().contains("2 checkpoint"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

@@ -1,4 +1,5 @@
-//! Compact binary serialization of the published index.
+//! Compact binary serialization of the published index and of full
+//! epoch snapshots.
 //!
 //! A real locator service persists and ships the index: the PPI server
 //! loads it at boot, providers can mirror it, auditors archive it. The
@@ -8,13 +9,50 @@
 //! on load (truncated, oversized or inconsistent input is rejected, not
 //! trusted).
 //!
+//! **Version 1** serializes a bare [`PublishedIndex`]:
+//!
 //! ```text
 //! magic  "EPPI"      4 bytes
-//! version u16        (currently 1)
+//! version u16        = 1
 //! providers u32, owners u32
 //! bitmap  ⌈providers·owners / 8⌉ bytes, row-major, LSB-first
 //! betas   owners × f64 (little-endian bits)
 //! ```
+//!
+//! **Version 2** serializes a full epoch snapshot ([`EpochRecord`]):
+//! the published index plus the retained protocol state a delta
+//! construction resumes from — mix decisions, thresholds, ε's, the
+//! coordinator share vectors, λ, the common-identity count and the
+//! lineage configuration — CRC-32 checksummed so on-disk corruption is
+//! detected, not served:
+//!
+//! ```text
+//! magic  "EPPI"      4 bytes
+//! version u16        = 2
+//! epoch u64, lambda f64, common_count u64
+//! coordinators u32
+//! policy_tag u8, policy_param f64, coin_bits u32
+//! link_latency_us f64, link_bandwidth f64
+//! backend_tag u8, seed u64
+//! providers u32, owners u32
+//! bitmap      ⌈providers·owners / 8⌉ bytes (as v1)
+//! betas       owners × f64
+//! decisions   ⌈owners / 8⌉ bytes, LSB-first
+//! thresholds  owners × u64
+//! epsilons    owners × f64
+//! shares      coordinators × owners × u64
+//! crc32 u32          (IEEE, over every preceding byte)
+//! ```
+//!
+//! **Compatibility rule (v1 → v2):** v2 is a strict superset — the
+//! matrix bitmap and β block keep their v1 layout byte for byte — but
+//! the two versions are *not* interchangeable on the wire. [`decode`]
+//! accepts only version 1 and rejects a v2 snapshot with
+//! [`CodecError::UnsupportedVersion`], so a plain serve node can never
+//! mistake a coordinator checkpoint (which carries share vectors) for a
+//! public index; [`decode_epoch_record`] likewise accepts only version
+//! 2. Readers of either version reject the other loudly instead of
+//! guessing.
 
 use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
 use std::error::Error;
@@ -22,6 +60,38 @@ use std::fmt;
 
 const MAGIC: &[u8; 4] = b"EPPI";
 const VERSION: u16 = 1;
+const VERSION_EPOCH: u16 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum guarding v2 epoch records
+/// and the durability layer's write-ahead log frames.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
 
 /// Errors raised when decoding a serialized index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +115,30 @@ pub enum CodecError {
     },
     /// Trailing bytes after the declared content.
     TrailingBytes(usize),
+    /// The CRC-32 stored in a v2 record disagrees with the content.
+    BadChecksum {
+        /// Checksum declared by the record.
+        stored: u32,
+        /// Checksum recomputed over the content.
+        computed: u32,
+    },
+    /// A scalar field decoded outside its valid domain.
+    InvalidField {
+        /// The offending field, e.g. `"lambda"`.
+        field: &'static str,
+    },
+    /// An ε decoded outside `\[0, 1\]` or non-finite.
+    InvalidEpsilon {
+        /// The offending owner index.
+        owner: u32,
+    },
+    /// An enum tag (policy or backend) has no known meaning.
+    UnknownTag {
+        /// Which tag field, e.g. `"policy"`.
+        field: &'static str,
+        /// The unknown tag value.
+        tag: u8,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -62,24 +156,30 @@ impl fmt::Display for CodecError {
                 write!(f, "invalid β for owner {owner}: not a probability")
             }
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after index content"),
+            CodecError::BadChecksum { stored, computed } => write!(
+                f,
+                "checksum mismatch: record declares {stored:#010x}, content is {computed:#010x}"
+            ),
+            CodecError::InvalidField { field } => {
+                write!(f, "field {field} decoded outside its valid domain")
+            }
+            CodecError::InvalidEpsilon { owner } => {
+                write!(f, "invalid ε for owner {owner}: not in [0, 1]")
+            }
+            CodecError::UnknownTag { field, tag } => {
+                write!(f, "unknown {field} tag {tag}")
+            }
         }
     }
 }
 
 impl Error for CodecError {}
 
-/// Serializes a published index to the versioned binary format.
-pub fn encode(index: &PublishedIndex) -> Vec<u8> {
-    let matrix = index.matrix();
+/// Packs the matrix as the shared row-major LSB-first bitmap (the
+/// layout both format versions use).
+fn pack_matrix(matrix: &MembershipMatrix) -> Vec<u8> {
     let (m, n) = (matrix.providers(), matrix.owners());
-    let bitmap_len = (m * n).div_ceil(8);
-    let mut out = Vec::with_capacity(4 + 2 + 8 + bitmap_len + n * 8);
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(m as u32).to_le_bytes());
-    out.extend_from_slice(&(n as u32).to_le_bytes());
-
-    let mut bitmap = vec![0u8; bitmap_len];
+    let mut bitmap = vec![0u8; (m * n).div_ceil(8)];
     for p in 0..m {
         for o in 0..n {
             if matrix.get(ProviderId(p as u32), OwnerId(o as u32)) {
@@ -88,6 +188,34 @@ pub fn encode(index: &PublishedIndex) -> Vec<u8> {
             }
         }
     }
+    bitmap
+}
+
+/// Rebuilds a matrix from the shared bitmap layout. `bitmap` must hold
+/// exactly `⌈m·n/8⌉` bytes (the caller has already length-checked).
+fn unpack_matrix(bitmap: &[u8], m: usize, n: usize) -> MembershipMatrix {
+    let mut matrix = MembershipMatrix::new(m, n);
+    for p in 0..m {
+        for o in 0..n {
+            let bit = p * n + o;
+            if bitmap[bit / 8] & (1 << (bit % 8)) != 0 {
+                matrix.set(ProviderId(p as u32), OwnerId(o as u32), true);
+            }
+        }
+    }
+    matrix
+}
+
+/// Serializes a published index to the versioned binary format.
+pub fn encode(index: &PublishedIndex) -> Vec<u8> {
+    let matrix = index.matrix();
+    let (m, n) = (matrix.providers(), matrix.owners());
+    let bitmap = pack_matrix(matrix);
+    let mut out = Vec::with_capacity(4 + 2 + 8 + bitmap.len() + n * 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
     out.extend_from_slice(&bitmap);
     for &beta in index.betas() {
         out.extend_from_slice(&beta.to_le_bytes());
@@ -130,16 +258,7 @@ pub fn decode(bytes: &[u8]) -> Result<PublishedIndex, CodecError> {
         return Err(CodecError::TrailingBytes(bytes.len() - total));
     }
 
-    let bitmap = &bytes[need_header..need_header + bitmap_len];
-    let mut matrix = MembershipMatrix::new(m, n);
-    for p in 0..m {
-        for o in 0..n {
-            let bit = p * n + o;
-            if bitmap[bit / 8] & (1 << (bit % 8)) != 0 {
-                matrix.set(ProviderId(p as u32), OwnerId(o as u32), true);
-            }
-        }
-    }
+    let matrix = unpack_matrix(&bytes[need_header..need_header + bitmap_len], m, n);
 
     let mut betas = Vec::with_capacity(n);
     let beta_bytes = &bytes[need_header + bitmap_len..];
@@ -151,6 +270,331 @@ pub fn decode(bytes: &[u8]) -> Result<PublishedIndex, CodecError> {
         betas.push(beta);
     }
     Ok(PublishedIndex::new(matrix, betas))
+}
+
+/// The lineage configuration of a v2 epoch record, as plain tagged
+/// scalars.
+///
+/// The codec layer stores protocol configuration structurally (tags
+/// plus parameters) rather than by type, so this crate stays free of a
+/// protocol dependency; the durability layer maps these fields onto the
+/// real `ProtocolConfig` and rejects tags it does not know.
+/// Tag meanings: policy `0` = basic, `1` = incremented (`param` = Δ),
+/// `2` = Chernoff (`param` = γ); backend `0` = in-process, `1` =
+/// threaded, `2` = simulated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigRecord {
+    /// Coordinator count `c`.
+    pub coordinators: u32,
+    /// β-policy discriminant (0, 1 or 2 — see the type docs).
+    pub policy_tag: u8,
+    /// The policy's parameter (Δ or γ; 0 for the basic policy).
+    pub policy_param: f64,
+    /// Bits per Bernoulli(λ) mixing coin.
+    pub coin_bits: u32,
+    /// Link latency in µs (traffic accounting model).
+    pub link_latency_us: f64,
+    /// Link bandwidth in bytes/µs.
+    pub link_bandwidth: f64,
+    /// MPC backend discriminant (0, 1 or 2 — see the type docs).
+    pub backend_tag: u8,
+    /// The lineage seed keying every publication and mix coin.
+    pub seed: u64,
+}
+
+/// A full epoch snapshot: everything a crashed coordinator set needs to
+/// resume the delta lineage without a rebuild (DESIGN.md §10–11).
+///
+/// ε's are carried as raw `f64` here; the protocol layer re-wraps them
+/// (the codec still validates the `\[0, 1\]` range on load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// The published, obscured index.
+    pub index: PublishedIndex,
+    /// Per-owner mix decisions (`true` ⇒ published with β = 1).
+    pub decisions: Vec<bool>,
+    /// The mixing probability λ of the epoch.
+    pub lambda: f64,
+    /// The exact common-identity count.
+    pub common_count: u64,
+    /// The epoch number in the lineage.
+    pub epoch: u64,
+    /// Public per-owner frequency thresholds.
+    pub thresholds: Vec<u64>,
+    /// Per-owner privacy degrees.
+    pub epsilons: Vec<f64>,
+    /// `shares[k][j]`: coordinator `k`'s additive frequency share of
+    /// owner `j`.
+    pub shares: Vec<Vec<u64>>,
+    /// The lineage configuration.
+    pub config: ConfigRecord,
+}
+
+/// Fixed byte length of the v2 header (everything before the bitmap).
+const EPOCH_HEADER: usize = 4 + 2 + 8 + 8 + 8 + 4 + 1 + 8 + 4 + 8 + 8 + 1 + 8 + 4 + 4;
+
+/// Serializes an epoch snapshot to the version-2 format, CRC-32
+/// checksummed.
+///
+/// # Panics
+///
+/// Panics if the record's vector lengths are inconsistent with its
+/// index dimensions (`decisions`, `thresholds`, `epsilons` and every
+/// share vector must have one entry per owner) — an `EpochRecord`
+/// assembled from a live `IndexEpoch` always satisfies this.
+pub fn encode_epoch_record(record: &EpochRecord) -> Vec<u8> {
+    let matrix = record.index.matrix();
+    let (m, n) = (matrix.providers(), matrix.owners());
+    assert_eq!(record.decisions.len(), n, "decisions per owner");
+    assert_eq!(record.thresholds.len(), n, "thresholds per owner");
+    assert_eq!(record.epsilons.len(), n, "epsilons per owner");
+    for shares in &record.shares {
+        assert_eq!(shares.len(), n, "share vector per owner");
+    }
+    assert_eq!(
+        record.shares.len(),
+        record.config.coordinators as usize,
+        "one share vector per coordinator"
+    );
+
+    let bitmap = pack_matrix(matrix);
+    let decisions_len = n.div_ceil(8);
+    let shares_len = record.shares.len() * n * 8;
+    let mut out =
+        Vec::with_capacity(EPOCH_HEADER + bitmap.len() + decisions_len + n * 24 + shares_len + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION_EPOCH.to_le_bytes());
+    out.extend_from_slice(&record.epoch.to_le_bytes());
+    out.extend_from_slice(&record.lambda.to_le_bytes());
+    out.extend_from_slice(&record.common_count.to_le_bytes());
+    out.extend_from_slice(&record.config.coordinators.to_le_bytes());
+    out.push(record.config.policy_tag);
+    out.extend_from_slice(&record.config.policy_param.to_le_bytes());
+    out.extend_from_slice(&record.config.coin_bits.to_le_bytes());
+    out.extend_from_slice(&record.config.link_latency_us.to_le_bytes());
+    out.extend_from_slice(&record.config.link_bandwidth.to_le_bytes());
+    out.push(record.config.backend_tag);
+    out.extend_from_slice(&record.config.seed.to_le_bytes());
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&bitmap);
+    for &beta in record.index.betas() {
+        out.extend_from_slice(&beta.to_le_bytes());
+    }
+    let mut decisions = vec![0u8; decisions_len];
+    for (o, &mixed) in record.decisions.iter().enumerate() {
+        if mixed {
+            decisions[o / 8] |= 1 << (o % 8);
+        }
+    }
+    out.extend_from_slice(&decisions);
+    for &t in &record.thresholds {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    for &e in &record.epsilons {
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+    for shares in &record.shares {
+        for &s in shares {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// A little-endian cursor over untrusted bytes; every read is
+/// length-checked so malformed input surfaces as [`CodecError`], never
+/// as a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.at.checked_add(len).ok_or(CodecError::Truncated {
+            expected: usize::MAX,
+            actual: self.bytes.len(),
+        })?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated {
+                expected: end,
+                actual: self.bytes.len(),
+            });
+        }
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+/// `value` must be a finite probability, else `field` is invalid.
+fn check_unit(value: f64, field: &'static str) -> Result<f64, CodecError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(CodecError::InvalidField { field })
+    }
+}
+
+/// Deserializes a version-2 epoch snapshot, validating the checksum,
+/// the structure and every scalar domain.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for any malformed input — wrong magic or
+/// version, truncation, trailing bytes, checksum mismatch, out-of-range
+/// β/ε/λ, non-finite configuration scalars, or unknown policy/backend
+/// tags. Never panics on untrusted bytes, and performs no allocation
+/// sized beyond the supplied buffer.
+pub fn decode_epoch_record(bytes: &[u8]) -> Result<EpochRecord, CodecError> {
+    let mut cur = Cursor { bytes, at: 0 };
+    if cur.take(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = cur.u16()?;
+    if version != VERSION_EPOCH {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let epoch = cur.u64()?;
+    let lambda = check_unit(cur.f64()?, "lambda")?;
+    let common_count = cur.u64()?;
+    let coordinators = cur.u32()?;
+    let policy_tag = cur.u8()?;
+    if policy_tag > 2 {
+        return Err(CodecError::UnknownTag {
+            field: "policy",
+            tag: policy_tag,
+        });
+    }
+    let policy_param = cur.f64()?;
+    if !policy_param.is_finite() {
+        return Err(CodecError::InvalidField {
+            field: "policy_param",
+        });
+    }
+    let coin_bits = cur.u32()?;
+    let link_latency_us = cur.f64()?;
+    let link_bandwidth = cur.f64()?;
+    if !link_latency_us.is_finite() || link_latency_us < 0.0 {
+        return Err(CodecError::InvalidField {
+            field: "link_latency_us",
+        });
+    }
+    if !link_bandwidth.is_finite() || link_bandwidth <= 0.0 {
+        return Err(CodecError::InvalidField {
+            field: "link_bandwidth",
+        });
+    }
+    let backend_tag = cur.u8()?;
+    if backend_tag > 2 {
+        return Err(CodecError::UnknownTag {
+            field: "backend",
+            tag: backend_tag,
+        });
+    }
+    let seed = cur.u64()?;
+    let m = cur.u32()? as usize;
+    let n = cur.u32()? as usize;
+
+    // Sizes come from untrusted bytes: length-check against the buffer
+    // (wide arithmetic, immune to overflow) *before* any allocation, so
+    // a corrupted dimension field cannot drive an over-allocation.
+    let bitmap_len = (m as u128 * n as u128).div_ceil(8);
+    let decisions_len = (n as u128).div_ceil(8);
+    let body = bitmap_len + decisions_len + (n as u128) * 24 + coordinators as u128 * n as u128 * 8;
+    let total = EPOCH_HEADER as u128 + body + 4;
+    if total > bytes.len() as u128 {
+        return Err(CodecError::Truncated {
+            expected: usize::try_from(total).unwrap_or(usize::MAX),
+            actual: bytes.len(),
+        });
+    }
+    if (bytes.len() as u128) > total {
+        return Err(CodecError::TrailingBytes(bytes.len() - total as usize));
+    }
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(&bytes[..bytes.len() - 4]);
+    if stored != computed {
+        return Err(CodecError::BadChecksum { stored, computed });
+    }
+
+    let matrix = unpack_matrix(cur.take(bitmap_len as usize)?, m, n);
+    let mut betas = Vec::with_capacity(n);
+    for o in 0..n {
+        let beta = cur.f64()?;
+        if !beta.is_finite() || !(0.0..=1.0).contains(&beta) {
+            return Err(CodecError::InvalidBeta { owner: o as u32 });
+        }
+        betas.push(beta);
+    }
+    let decision_bytes = cur.take(decisions_len as usize)?;
+    let decisions: Vec<bool> = (0..n)
+        .map(|o| decision_bytes[o / 8] & (1 << (o % 8)) != 0)
+        .collect();
+    let mut thresholds = Vec::with_capacity(n);
+    for _ in 0..n {
+        thresholds.push(cur.u64()?);
+    }
+    let mut epsilons = Vec::with_capacity(n);
+    for o in 0..n {
+        let eps = cur.f64()?;
+        if !eps.is_finite() || !(0.0..=1.0).contains(&eps) {
+            return Err(CodecError::InvalidEpsilon { owner: o as u32 });
+        }
+        epsilons.push(eps);
+    }
+    let mut shares = Vec::with_capacity(coordinators as usize);
+    for _ in 0..coordinators {
+        let mut vector = Vec::with_capacity(n);
+        for _ in 0..n {
+            vector.push(cur.u64()?);
+        }
+        shares.push(vector);
+    }
+
+    Ok(EpochRecord {
+        index: PublishedIndex::new(matrix, betas),
+        decisions,
+        lambda,
+        common_count,
+        epoch,
+        thresholds,
+        epsilons,
+        shares,
+        config: ConfigRecord {
+            coordinators,
+            policy_tag,
+            policy_param,
+            coin_bits,
+            link_latency_us,
+            link_bandwidth,
+            backend_tag,
+            seed,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -221,6 +665,145 @@ mod tests {
         let mut bytes = encode(&sample_index());
         bytes.push(0);
         assert_eq!(decode(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    fn sample_epoch_record() -> EpochRecord {
+        let index = sample_index();
+        let n = index.matrix().owners();
+        EpochRecord {
+            decisions: (0..n).map(|o| o % 2 == 0).collect(),
+            lambda: 0.375,
+            common_count: 3,
+            epoch: 17,
+            thresholds: (0..n as u64).map(|o| o * 3 + 1).collect(),
+            epsilons: vec![0.0, 0.2, 0.4, 0.8, 1.0],
+            shares: (0..3u64)
+                .map(|c| (0..n as u64).map(|o| c * 1000 + o * 7).collect())
+                .collect(),
+            config: ConfigRecord {
+                coordinators: 3,
+                policy_tag: 2,
+                policy_param: 0.9,
+                coin_bits: 16,
+                link_latency_us: 200.0,
+                link_bandwidth: 125.0,
+                backend_tag: 0,
+                seed: 0xfeed_beef,
+            },
+            index,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn epoch_record_roundtrips() {
+        let record = sample_epoch_record();
+        let bytes = encode_epoch_record(&record);
+        let back = decode_epoch_record(&bytes).expect("roundtrip");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn epoch_record_truncation_is_detected() {
+        let bytes = encode_epoch_record(&sample_epoch_record());
+        for cut in [0usize, 3, 5, 40, 81, bytes.len() - 5, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode_epoch_record(&bytes[..cut]),
+                    Err(CodecError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_record_flipped_byte_fails_checksum() {
+        let clean = encode_epoch_record(&sample_epoch_record());
+        // Flip one byte in the body (past the header fields with their
+        // own domain checks): the CRC must catch it.
+        let mut bytes = clean.clone();
+        bytes[EPOCH_HEADER + 1] ^= 0x10;
+        assert!(matches!(
+            decode_epoch_record(&bytes),
+            Err(CodecError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn epoch_record_rejects_v1_and_vice_versa() {
+        let index = sample_index();
+        assert_eq!(
+            decode_epoch_record(&encode(&index)),
+            Err(CodecError::UnsupportedVersion(1))
+        );
+        let bytes = encode_epoch_record(&sample_epoch_record());
+        assert_eq!(decode(&bytes), Err(CodecError::UnsupportedVersion(2)));
+    }
+
+    #[test]
+    fn epoch_record_rejects_unknown_tags_and_bad_scalars() {
+        let record = sample_epoch_record();
+        let mut tagged = record.clone();
+        tagged.config.policy_tag = 9;
+        let bytes = encode_epoch_record(&tagged);
+        assert_eq!(
+            decode_epoch_record(&bytes),
+            Err(CodecError::UnknownTag {
+                field: "policy",
+                tag: 9
+            })
+        );
+        let mut backend = record.clone();
+        backend.config.backend_tag = 7;
+        assert_eq!(
+            decode_epoch_record(&encode_epoch_record(&backend)),
+            Err(CodecError::UnknownTag {
+                field: "backend",
+                tag: 7
+            })
+        );
+        let mut lambda = record.clone();
+        lambda.lambda = f64::NAN;
+        assert_eq!(
+            decode_epoch_record(&encode_epoch_record(&lambda)),
+            Err(CodecError::InvalidField { field: "lambda" })
+        );
+        let mut eps = record.clone();
+        eps.epsilons[1] = 3.0;
+        assert_eq!(
+            decode_epoch_record(&encode_epoch_record(&eps)),
+            Err(CodecError::InvalidEpsilon { owner: 1 })
+        );
+    }
+
+    #[test]
+    fn epoch_record_rejects_trailing_bytes() {
+        let mut bytes = encode_epoch_record(&sample_epoch_record());
+        bytes.push(0);
+        assert_eq!(
+            decode_epoch_record(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn epoch_record_huge_dimensions_do_not_allocate() {
+        // Corrupt the owner-count field to u32::MAX: the decoder must
+        // answer Truncated from the length check, not attempt a
+        // 32-GiB allocation (and the CRC would catch it anyway).
+        let mut bytes = encode_epoch_record(&sample_epoch_record());
+        bytes[EPOCH_HEADER - 4..EPOCH_HEADER].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_epoch_record(&bytes),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]

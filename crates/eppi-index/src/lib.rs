@@ -46,7 +46,10 @@ pub mod server;
 pub mod store;
 
 pub use access::{AccessPolicy, SearcherId};
-pub use codec::{decode as decode_index, encode as encode_index, CodecError};
+pub use codec::{
+    crc32, decode as decode_index, decode_epoch_record, encode as encode_index,
+    encode_epoch_record, CodecError, ConfigRecord, EpochRecord,
+};
 pub use network::InformationNetwork;
 pub use search::{LocatorService, ProviderEndpoint, SearchOutcome};
 pub use server::PpiServer;

@@ -121,6 +121,146 @@ impl IndexEpoch {
     pub fn providers(&self) -> usize {
         self.index.matrix().providers()
     }
+
+    /// The public per-owner frequency thresholds `t_j` retained for the
+    /// delta path.
+    pub fn thresholds(&self) -> &[u64] {
+        &self.thresholds
+    }
+
+    /// The retained coordinator share vectors: `shares()[k][j]` is
+    /// coordinator `k`'s additive frequency share of owner `j` over
+    /// `Z_{2^width}` (`width =`
+    /// [`share_width`]`(m)`).
+    pub fn shares(&self) -> &[Vec<u64>] {
+        &self.shares
+    }
+
+    /// Decomposes the epoch into its plain state parts (the inverse of
+    /// [`resume`](Self::resume)) — what the durability layer serializes.
+    pub fn into_state(self) -> EpochState {
+        EpochState {
+            index: self.index,
+            decisions: self.decisions,
+            lambda: self.lambda,
+            common_count: self.common_count,
+            epoch: self.epoch,
+            thresholds: self.thresholds,
+            epsilons: self.epsilons,
+            shares: self.shares,
+            config: self.config,
+        }
+    }
+
+    /// Rebuilds an epoch from persisted state — the resume entry point
+    /// a recovered coordinator set hands to [`construct_delta`] so the
+    /// lineage continues without a full re-randomized rebuild.
+    ///
+    /// The state is validated structurally before it is trusted: every
+    /// per-owner vector must match the index's owner count, there must
+    /// be exactly `config.c` share vectors, each share must lie in the
+    /// protocol's share ring `Z_{2^width}`, λ must be a probability and
+    /// the policy parameters must be valid. A resumed epoch is
+    /// indistinguishable from the live one it was serialized from: the
+    /// subsequent delta lineage is bit-identical (asserted by the
+    /// `resume-after-restart` equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// [`EppiError::DimensionMismatch`] for length disagreements,
+    /// [`EppiError::InvalidResumeState`] for out-of-domain values, and
+    /// the policy's own parameter errors via
+    /// [`PolicyKind::validate`](eppi_core::policy::PolicyKind::validate).
+    pub fn resume(state: EpochState) -> Result<IndexEpoch, EppiError> {
+        let n = state.index.matrix().owners();
+        let m = state.index.matrix().providers();
+        for (what, len) in [
+            ("resumed decisions", state.decisions.len()),
+            ("resumed thresholds", state.thresholds.len()),
+            ("resumed epsilons", state.epsilons.len()),
+        ] {
+            if len != n {
+                return Err(EppiError::DimensionMismatch {
+                    what,
+                    expected: n,
+                    actual: len,
+                });
+            }
+        }
+        if state.shares.len() != state.config.c {
+            return Err(EppiError::DimensionMismatch {
+                what: "resumed coordinator share vectors",
+                expected: state.config.c,
+                actual: state.shares.len(),
+            });
+        }
+        for vector in &state.shares {
+            if vector.len() != n {
+                return Err(EppiError::DimensionMismatch {
+                    what: "resumed share vector length",
+                    expected: n,
+                    actual: vector.len(),
+                });
+            }
+        }
+        let width = share_width(m);
+        if width < u64::BITS as usize {
+            let ring = 1u64 << width;
+            if state.shares.iter().flatten().any(|&share| share >= ring) {
+                return Err(EppiError::InvalidResumeState {
+                    what: "coordinator share outside the protocol share ring",
+                });
+            }
+        }
+        if !state.lambda.is_finite() || !(0.0..=1.0).contains(&state.lambda) {
+            return Err(EppiError::InvalidResumeState {
+                what: "lambda is not a probability",
+            });
+        }
+        if state.common_count > n as u64 {
+            return Err(EppiError::InvalidResumeState {
+                what: "common count exceeds the owner population",
+            });
+        }
+        state.config.policy.validate()?;
+        Ok(IndexEpoch {
+            index: state.index,
+            decisions: state.decisions,
+            lambda: state.lambda,
+            common_count: state.common_count,
+            epoch: state.epoch,
+            thresholds: state.thresholds,
+            epsilons: state.epsilons,
+            shares: state.shares,
+            config: state.config,
+        })
+    }
+}
+
+/// The plain-data state of an [`IndexEpoch`], as moved across a
+/// serialization boundary: every retained field, public. Produced by
+/// [`IndexEpoch::into_state`] and consumed (with validation) by
+/// [`IndexEpoch::resume`].
+#[derive(Debug, Clone)]
+pub struct EpochState {
+    /// The published, obscured index.
+    pub index: PublishedIndex,
+    /// Per-owner mix decisions.
+    pub decisions: Vec<bool>,
+    /// The epoch's mixing probability λ.
+    pub lambda: f64,
+    /// The exact common-identity count.
+    pub common_count: u64,
+    /// The epoch number in the lineage.
+    pub epoch: u64,
+    /// Public per-owner frequency thresholds.
+    pub thresholds: Vec<u64>,
+    /// Per-owner privacy degrees.
+    pub epsilons: Vec<Epsilon>,
+    /// `shares[k][j]`: coordinator `k`'s additive share of owner `j`.
+    pub shares: Vec<Vec<u64>>,
+    /// The lineage configuration (seed, policy, backend, link, `c`).
+    pub config: ProtocolConfig,
 }
 
 /// Result of one delta construction.
@@ -626,6 +766,81 @@ mod tests {
                 full.index.matrix().get(p, OwnerId(1))
             );
         }
+    }
+
+    #[test]
+    fn resume_is_the_identity_on_live_epochs() {
+        let mat = matrix_with_freqs(40, &[30, 4, 17, 8]);
+        let e = vec![eps(0.5), eps(0.7), eps(0.2), eps(0.9)];
+        let cfg = ProtocolConfig {
+            seed: 5,
+            ..ProtocolConfig::default()
+        };
+        let epoch0 = construct_epoch(&mat, &e, &cfg).unwrap();
+        let resumed = IndexEpoch::resume(epoch0.clone().into_state()).expect("valid state");
+        assert_eq!(resumed.index(), epoch0.index());
+        assert_eq!(resumed.decisions(), epoch0.decisions());
+        assert_eq!(resumed.thresholds(), epoch0.thresholds());
+        assert_eq!(resumed.shares(), epoch0.shares());
+        assert_eq!(resumed.common_count(), epoch0.common_count());
+        assert_eq!(resumed.epoch(), epoch0.epoch());
+
+        // The resumed epoch continues the lineage bit-identically.
+        let mut next = mat.clone();
+        next.set(ProviderId(11), OwnerId(2), true);
+        let mut delta = IndexDelta::new(4);
+        delta.record(DeltaEntry {
+            owner: OwnerId(2),
+            change: ColumnChange::Changed,
+            epsilon: e[2],
+        });
+        let live = construct_delta(&epoch0, &next, &delta).unwrap();
+        let cold = construct_delta(&resumed, &next, &delta).unwrap();
+        assert_eq!(live.epoch.index(), cold.epoch.index());
+        assert_eq!(live.epoch.decisions(), cold.epoch.decisions());
+        assert_eq!(live.epoch.common_count(), cold.epoch.common_count());
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_state() {
+        let mat = matrix_with_freqs(20, &[10, 5, 3]);
+        let e = vec![eps(0.4); 3];
+        let epoch0 = construct_epoch(&mat, &e, &ProtocolConfig::default()).unwrap();
+
+        let mut short = epoch0.clone().into_state();
+        short.decisions.pop();
+        assert!(matches!(
+            IndexEpoch::resume(short),
+            Err(EppiError::DimensionMismatch { .. })
+        ));
+
+        let mut wide = epoch0.clone().into_state();
+        wide.shares.push(vec![0; 3]);
+        assert!(matches!(
+            IndexEpoch::resume(wide),
+            Err(EppiError::DimensionMismatch { .. })
+        ));
+
+        let mut ring = epoch0.clone().into_state();
+        ring.shares[0][0] = u64::MAX;
+        assert!(matches!(
+            IndexEpoch::resume(ring),
+            Err(EppiError::InvalidResumeState { .. })
+        ));
+
+        let mut lam = epoch0.clone().into_state();
+        lam.lambda = 2.5;
+        assert!(matches!(
+            IndexEpoch::resume(lam),
+            Err(EppiError::InvalidResumeState { .. })
+        ));
+
+        let mut count = epoch0.into_state();
+        count.common_count = 99;
+        assert!(matches!(
+            IndexEpoch::resume(count),
+            Err(EppiError::InvalidResumeState { .. })
+        ));
     }
 
     #[test]

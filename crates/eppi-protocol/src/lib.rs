@@ -61,7 +61,7 @@ pub use countbelow::{
 };
 pub use epoch::{
     construct_delta, construct_delta_with_registry, construct_epoch, construct_epoch_with_registry,
-    DeltaConstruction, IndexEpoch,
+    DeltaConstruction, EpochState, IndexEpoch,
 };
 pub use pure_mpc::{construct_pure_mpc, PureMpcConfig, PureMpcConstruction};
 pub use secsum::{secsumshare_sim, secsumshare_threaded, SecSumOutput};

@@ -32,10 +32,11 @@
 //! shutdown, and every [`FLUSH_EVERY`](eppi_telemetry::FLUSH_EVERY)
 //! observations.
 
-use crate::shard::{shard_of, ShardedIndex};
+use crate::shard::{shard_of, EpochOrderError, ShardedIndex};
 use crate::snapshot::SnapshotCell;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
+use eppi_durability::DurableStore;
 use eppi_telemetry::{Counter, Gauge, Histogram, Recorder, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -179,6 +180,11 @@ pub struct ServeEngine {
     snapshot: Arc<SnapshotCell<ShardedIndex>>,
     stats: ServeStats,
     version: AtomicU64,
+    /// Serializes snapshot installs ([`refresh`](Self::refresh) /
+    /// [`apply_delta`](Self::apply_delta)): concurrent installers could
+    /// otherwise pair a freshly drawn version with a stale snapshot and
+    /// publish out of epoch order. The read path never takes it.
+    install: Mutex<()>,
     telemetry: bool,
     shutdown_drain: Arc<Histogram>,
 }
@@ -239,9 +245,36 @@ impl ServeEngine {
             snapshot,
             stats,
             version: AtomicU64::new(0),
+            install: Mutex::new(()),
             telemetry: config.telemetry,
             shutdown_drain: registry.histogram("serve.shutdown_drain_ns", &[]),
         }
+    }
+
+    /// Warm serve boot: shards the head of a recovered
+    /// [`DurableStore`] and starts serving it directly — the recovered
+    /// epoch goes live with no reconstruction and no MPC re-run
+    /// (reporting into the process-global telemetry registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn from_store(store: &DurableStore, config: ServeConfig) -> Self {
+        Self::from_store_with_registry(store, config, eppi_telemetry::global())
+    }
+
+    /// [`from_store`](Self::from_store) reporting into a caller-owned
+    /// registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn from_store_with_registry(
+        store: &DurableStore,
+        config: ServeConfig,
+        registry: &Registry,
+    ) -> Self {
+        Self::start_with_registry(store.head().index(), config, registry)
     }
 
     /// A cloneable client handle; any number of threads may hold one.
@@ -279,13 +312,22 @@ impl ServeEngine {
     /// Readers keep executing throughout; queries already queued finish
     /// against whichever version their worker holds at dequeue time.
     pub fn refresh(&self, index: &PublishedIndex) {
-        let version = self.version.fetch_add(1, Ordering::SeqCst) + 1;
+        let _guard = self.install.lock().expect("install lock poisoned");
+        let version = self.version.load(Ordering::SeqCst) + 1;
         let sharded = Arc::new(ShardedIndex::from_index_versioned(
             index,
             self.senders.len(),
             version,
         ));
+        self.publish(sharded, version);
+        self.stats.refreshes.inc();
+    }
+
+    /// Publishes an already-built snapshot: snapshot cell first, then
+    /// one install message per worker. Callers hold the install lock.
+    fn publish(&self, sharded: Arc<ShardedIndex>, version: u64) {
         self.snapshot.store(Arc::clone(&sharded));
+        self.version.store(version, Ordering::SeqCst);
         let published_at = Instant::now();
         for tx in &self.senders {
             // A worker gone mid-shutdown just misses the update.
@@ -294,7 +336,6 @@ impl ServeEngine {
                 published_at,
             });
         }
-        self.stats.refreshes.inc();
     }
 
     /// Installs the next epoch incrementally: builds the new snapshot
@@ -304,25 +345,34 @@ impl ServeEngine {
     /// it exactly like [`refresh`](Self::refresh): through the
     /// [`SnapshotCell`] plus one install message per worker, with
     /// readers never blocked and in-flight queries finishing on the
-    /// version their worker holds at dequeue time.
+    /// version their worker holds at dequeue time. Installs are
+    /// serialized on the engine's install lock, so the delta always
+    /// builds on the snapshot it is stamped against. Returns the
+    /// installed version.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`EpochOrderError`] from
+    /// [`ShardedIndex::apply_delta`] when the delta does not extend the
+    /// current snapshot by exactly one version; nothing is installed
+    /// and the current snapshot keeps serving.
     ///
     /// # Panics
     ///
     /// Panics under the same dimension conditions as
     /// [`ShardedIndex::apply_delta`].
-    pub fn apply_delta(&self, index: &PublishedIndex, touched: &[OwnerId]) {
-        let version = self.version.fetch_add(1, Ordering::SeqCst) + 1;
-        let sharded = Arc::new(self.current().apply_delta(index, touched, version));
-        self.snapshot.store(Arc::clone(&sharded));
-        let published_at = Instant::now();
-        for tx in &self.senders {
-            let _ = tx.send(Job::Install {
-                view: Arc::clone(&sharded),
-                published_at,
-            });
-        }
+    pub fn apply_delta(
+        &self,
+        index: &PublishedIndex,
+        touched: &[OwnerId],
+    ) -> Result<u64, EpochOrderError> {
+        let _guard = self.install.lock().expect("install lock poisoned");
+        let version = self.version.load(Ordering::SeqCst) + 1;
+        let sharded = Arc::new(self.current().apply_delta(index, touched, version)?);
+        self.publish(sharded, version);
         self.stats.refreshes.inc();
         self.stats.deltas.inc();
+        Ok(version)
     }
 
     /// Stops all workers and joins them. Queued queries are answered
@@ -735,8 +785,9 @@ mod tests {
         betas.push(0.5);
         let next = PublishedIndex::new(matrix, betas);
         let touched = [OwnerId(7), OwnerId(120)];
-        engine.apply_delta(&next, &touched);
+        let installed = engine.apply_delta(&next, &touched).unwrap();
 
+        assert_eq!(installed, 1);
         assert_eq!(engine.version(), 1);
         assert_eq!(engine.stats().refreshes(), 1);
         assert_eq!(engine.stats().delta_refreshes(), 1);
@@ -753,6 +804,41 @@ mod tests {
             assert_eq!(client.query(OwnerId(o)), server.query(OwnerId(o)));
         }
         engine.shutdown();
+    }
+
+    #[test]
+    fn from_store_serves_the_recovered_head_without_rebuild() {
+        use eppi_core::model::Epsilon;
+        use eppi_protocol::{construct_epoch, ProtocolConfig};
+
+        let dir = std::env::temp_dir().join(format!("eppi-boot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut matrix = MembershipMatrix::new(12, 4);
+        for o in 0..4u32 {
+            for p in 0..=o {
+                matrix.set(ProviderId(p * 3), OwnerId(o), true);
+            }
+        }
+        let epsilons = vec![Epsilon::new(0.5).unwrap(); 4];
+        let protocol = ProtocolConfig {
+            seed: 77,
+            ..ProtocolConfig::default()
+        };
+        let registry = Registry::new();
+        let epoch0 = construct_epoch(&matrix, &epsilons, &protocol).unwrap();
+        DurableStore::create_with_registry(&dir, &epoch0, &registry).unwrap();
+
+        // Restart: recover and boot the engine straight off the store.
+        let (store, recovery) = DurableStore::open_with_registry(&dir, &registry).unwrap();
+        assert_eq!(recovery.replayed, 0);
+        let engine = ServeEngine::from_store_with_registry(&store, config(2, 8), &registry);
+        let client = engine.client();
+        let server = PpiServer::new(epoch0.index().clone());
+        for o in 0..4u32 {
+            assert_eq!(client.query(OwnerId(o)), server.query(OwnerId(o)));
+        }
+        engine.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// The acceptance stress: ≥ 4 shards, ≥ 8 client threads, refreshes

@@ -28,5 +28,5 @@ pub mod shard;
 pub mod snapshot;
 
 pub use engine::{default_shards, ServeClient, ServeConfig, ServeEngine, ServeStats};
-pub use shard::{shard_of, ShardedIndex};
+pub use shard::{shard_of, EpochOrderError, ShardedIndex};
 pub use snapshot::SnapshotCell;

@@ -9,9 +9,35 @@
 //! worker threads can each own a disjoint slice of the query space.
 
 use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use std::error::Error;
+use std::fmt;
 use std::sync::Arc;
 
 const BLOCK_BITS: usize = 64;
+
+/// A delta was submitted out of snapshot order: its version is not
+/// exactly one past the snapshot it would build on. Installing it would
+/// silently skip (or replay) an epoch — the serving layer's equivalent
+/// of the lineage-order check the durable store enforces on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochOrderError {
+    /// The only acceptable next version (`current + 1`).
+    pub expected: u64,
+    /// The version actually submitted.
+    pub actual: u64,
+}
+
+impl fmt::Display for EpochOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delta out of snapshot order: expected version {}, got {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl Error for EpochOrderError {}
 
 /// Routes an owner to its shard: Fibonacci (multiplicative) hashing of
 /// the owner id, folded onto `0..shards`. Dense owner ids therefore
@@ -170,6 +196,12 @@ impl ShardedIndex {
     /// them, so the layout stays identical to a from-scratch build of
     /// the same index.
     ///
+    /// # Errors
+    ///
+    /// [`EpochOrderError`] unless `version` is exactly this snapshot's
+    /// version + 1 — a skipped or replayed epoch would serve a state
+    /// the lineage never published.
+    ///
     /// # Panics
     ///
     /// Panics if the provider count changed, the owner count shrank, or
@@ -179,7 +211,13 @@ impl ShardedIndex {
         index: &PublishedIndex,
         touched: &[OwnerId],
         version: u64,
-    ) -> ShardedIndex {
+    ) -> Result<ShardedIndex, EpochOrderError> {
+        if version != self.version + 1 {
+            return Err(EpochOrderError {
+                expected: self.version + 1,
+                actual: version,
+            });
+        }
         let matrix = index.matrix();
         let (m, n_new) = (matrix.providers(), matrix.owners());
         assert_eq!(m, self.providers, "provider count must not change");
@@ -244,13 +282,13 @@ impl ShardedIndex {
             })
             .collect();
 
-        ShardedIndex {
+        Ok(ShardedIndex {
             shards: new_shards,
             route,
             providers: m,
             betas: index.betas().to_vec(),
             version,
-        }
+        })
     }
 
     /// `true` if shard `s` of `self` and `other` share the same
@@ -485,7 +523,7 @@ mod tests {
             betas[5] = 0.7;
             let next_index = PublishedIndex::new(matrix, betas);
 
-            let next = base.apply_delta(&next_index, &touched, 2);
+            let next = base.apply_delta(&next_index, &touched, 2).unwrap();
             let scratch = ShardedIndex::from_index_versioned(&next_index, shards, 2);
             assert_eq!(next, scratch, "{shards} shards");
             assert_eq!(next.version(), 2);
@@ -504,7 +542,7 @@ mod tests {
         let mut matrix = index.matrix().clone();
         matrix.set(ProviderId(0), touched[0], true);
         let next_index = PublishedIndex::new(matrix, index.betas().to_vec());
-        let next = base.apply_delta(&next_index, &touched, 1);
+        let next = base.apply_delta(&next_index, &touched, 1).unwrap();
         for s in 0..shards {
             assert_eq!(
                 next.shares_rows_with(&base, s),
@@ -522,11 +560,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let index = random_index(&mut rng, 30, 50);
         let base = ShardedIndex::from_index(&index, 4);
-        let next = base.apply_delta(&index, &[], 7);
+        let next = base.apply_delta(&index, &[], 1).unwrap();
         for s in 0..4 {
             assert!(next.shares_rows_with(&base, s), "shard {s} copied");
         }
-        assert_eq!(next.version(), 7);
+        assert_eq!(next.version(), 1);
+    }
+
+    #[test]
+    fn out_of_order_deltas_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let index = random_index(&mut rng, 30, 50);
+        let base = ShardedIndex::from_index_versioned(&index, 4, 3);
+        // Skipping ahead, replaying the current version, and going
+        // backwards are all epoch-order violations.
+        for bad in [0, 3, 5, 7] {
+            let err = base.apply_delta(&index, &[], bad).unwrap_err();
+            assert_eq!((err.expected, err.actual), (4, bad));
+            assert!(err.to_string().contains("expected version 4"));
+        }
+        assert_eq!(base.apply_delta(&index, &[], 4).unwrap().version(), 4);
     }
 
     #[test]
@@ -534,6 +587,6 @@ mod tests {
     fn apply_delta_rejects_provider_growth() {
         let index = PublishedIndex::new(MembershipMatrix::new(3, 2), vec![0.0; 2]);
         let grown = PublishedIndex::new(MembershipMatrix::new(4, 2), vec![0.0; 2]);
-        ShardedIndex::from_index(&index, 2).apply_delta(&grown, &[], 1);
+        let _ = ShardedIndex::from_index(&index, 2).apply_delta(&grown, &[], 1);
     }
 }

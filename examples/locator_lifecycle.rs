@@ -100,7 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // engine installs the new epoch copy-on-write while queries flow.
     let built = construct_delta(&epoch, &net.membership_matrix(), &delta)?;
     epoch = built.epoch;
-    engine.apply_delta(epoch.index(), &delta.touched());
+    engine
+        .apply_delta(epoch.index(), &delta.touched())
+        .expect("delta install in lineage order");
     net.install_index(epoch.index().clone());
     println!(
         "delta epoch {} constructed over {} columns ({} MPC gates vs {} for a full rebuild); \
@@ -157,7 +159,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let delta = net.pending_delta().expect("delta");
         epoch = construct_delta(&epoch, &net.membership_matrix(), &delta)?.epoch;
-        engine.apply_delta(epoch.index(), &delta.touched());
+        engine
+            .apply_delta(epoch.index(), &delta.touched())
+            .expect("delta install in lineage order");
         net.install_index(epoch.index().clone());
         safe.record(epoch.index().clone());
         let conf = safe.intersection_confidence(&matrix, alice).unwrap();

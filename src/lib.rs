@@ -21,6 +21,8 @@
 //! * [`serve`] — the serving front-end: sharded index layout, a
 //!   worker-per-shard concurrent query engine, and lock-free snapshot
 //!   refresh for re-publication.
+//! * [`durability`] — the crash-safe epoch lineage store: write-ahead
+//!   delta log, atomic checkpoints, warm recovery and re-anchoring.
 //! * [`telemetry`] — the workspace-wide metrics layer: lock-free
 //!   counters/gauges, mergeable log-linear histograms with per-thread
 //!   recorders, span timers, and a labeled registry with text/JSON
@@ -50,6 +52,7 @@
 pub use eppi_attacks as attacks;
 pub use eppi_baselines as baselines;
 pub use eppi_core as core;
+pub use eppi_durability as durability;
 pub use eppi_index as index;
 pub use eppi_mpc as mpc;
 pub use eppi_net as net;

@@ -137,7 +137,7 @@ proptest! {
         let spliced = PublishedIndex::new(matrix, betas);
 
         let old = ShardedIndex::from_index_versioned(&base, shards, 1);
-        let applied = old.apply_delta(&spliced, &touched, 2);
+        let applied = old.apply_delta(&spliced, &touched, 2).unwrap();
         let rebuilt = ShardedIndex::from_index_versioned(&spliced, shards, 2);
         prop_assert_eq!(&applied, &rebuilt);
 
@@ -213,7 +213,7 @@ proptest! {
             })
         };
         for version in &versions[1..] {
-            engine.apply_delta(version, &[hot]);
+            engine.apply_delta(version, &[hot]).unwrap();
         }
         stop.store(true, Ordering::Relaxed);
         reader.join().expect("reader thread");

@@ -142,7 +142,12 @@ fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
 }
 
 impl<T> Sender<T> {
@@ -245,7 +250,12 @@ impl<T> Receiver<T> {
 
     /// Number of messages currently buffered in the channel.
     pub fn len(&self) -> usize {
-        self.chan.state.lock().expect("channel poisoned").queue.len()
+        self.chan
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
     }
 
     /// Whether the channel currently buffers no messages.
@@ -276,14 +286,18 @@ impl<T> Iterator for Iter<'_, T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.chan.state.lock().expect("channel poisoned").senders += 1;
-        Sender { chan: Arc::clone(&self.chan) }
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.chan.state.lock().expect("channel poisoned").receivers += 1;
-        Receiver { chan: Arc::clone(&self.chan) }
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
     }
 }
 
