@@ -1,0 +1,41 @@
+//! Benchmarks the private (2-server XOR-PIR) serve mode against the
+//! plaintext path, single-shot and batched, and writes
+//! `results/BENCH_private.json` — including the batching-amortization
+//! summary, the in-run equivalence tally, and the run's full telemetry
+//! snapshot.
+//!
+//! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
+//! `EPPI_PRIVATE_OUT` overrides the output path.
+use eppi_bench::private::{run, to_json, to_table, PrivateLoadConfig};
+use eppi_bench::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let (config, scale) = match Scale::from_env() {
+        Scale::Quick => (PrivateLoadConfig::quick(), "quick"),
+        Scale::Paper => (PrivateLoadConfig::paper(), "paper"),
+    };
+    let report = run(&config);
+    eppi_bench::print_table(&to_table(&report));
+    assert_eq!(
+        report.mismatches, 0,
+        "{} of {} cross-checked private answers diverged from plaintext",
+        report.mismatches, report.answers_checked
+    );
+    println!(
+        "equivalence: {} answers cross-checked, 0 mismatches",
+        report.answers_checked
+    );
+
+    let out: PathBuf = std::env::var_os("EPPI_PRIVATE_OUT").map_or_else(
+        || PathBuf::from("results/BENCH_private.json"),
+        PathBuf::from,
+    );
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out, to_json(&report, scale)).expect("write BENCH_private.json");
+    eprintln!("wrote {}", out.display());
+}

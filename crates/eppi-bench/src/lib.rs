@@ -18,6 +18,7 @@
 //! | `collusion` | coalition-assisted attack sweep (tech-report analysis) |
 //! | `theory_check` | measured vs exact-Binomial vs Theorem 3.1 bound |
 //! | `serve_load` | eppi-serve front-end throughput/latency (`results/BENCH_serve.json`) |
+//! | `bench_private` | private (XOR-PIR) vs plaintext serve, single and batched (`results/BENCH_private.json`) |
 //! | `bench_mpc` | packed GMW core vs unpacked reference (`results/BENCH_mpc.json`) |
 //! | `bench_refresh` | delta refresh vs full rebuild sweep (`results/BENCH_refresh.json`) |
 //! | `bench_recovery` | crash recovery vs log length (`results/BENCH_recovery.json`) |
@@ -32,6 +33,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod mpc_speed;
+pub mod private;
 pub mod recovery;
 pub mod refresh;
 pub mod report;

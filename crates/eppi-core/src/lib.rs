@@ -25,6 +25,9 @@
 //!   realization lives in the `eppi-protocol` crate.)
 //! * [`analysis`] — exact Binomial / Chernoff-bound predictions of the
 //!   publication success probability (Theorem 3.1 as computable theory).
+//! * [`rows`] — packed provider-row extraction and answer types shared
+//!   by the serving layout (`eppi-serve`) and the oblivious
+//!   private-query subsystem (`eppi-pir`).
 //! * [`sensitivity`] — the provider-sensitivity extension: a second
 //!   personalization axis (§I's women's-health-center example), reduced
 //!   conservatively onto the per-owner ε knob.
@@ -64,6 +67,7 @@ pub mod model;
 pub mod policy;
 pub mod privacy;
 pub mod publish;
+pub mod rows;
 pub mod sensitivity;
 
 pub use construct::{construct, extend_construction, Construction, ConstructionConfig};
@@ -72,3 +76,4 @@ pub use error::EppiError;
 pub use model::{Epsilon, LocalVector, MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
 pub use policy::{BasicPolicy, BetaPolicy, ChernoffPolicy, IncrementedPolicy, PolicyKind};
 pub use privacy::{success_ratio, OwnerPrivacy, PrivacyDegree};
+pub use rows::{providers_in_row, row_words, RowAnswer};

@@ -1,0 +1,166 @@
+//! Packed provider-row extraction and answer types.
+//!
+//! The owner-major serving layout (`eppi-serve`) and the oblivious
+//! private-query subsystem (`eppi-pir`) traffic in the same physical
+//! row shape: one owner's provider set packed LSB-first into `u64`
+//! words — bit `i` of word `i / 64` says whether provider `p_i` was
+//! published for the owner. This module is the shared vocabulary for
+//! that shape: the word-count helper, the word-level decode back into
+//! the canonical ascending [`ProviderId`] list that `QueryPPI`
+//! returns, and a typed [`RowAnswer`] carrying a packed row together
+//! with the provider count needed to decode it (the form in which a
+//! PIR answer share travels before recombination).
+
+use crate::model::ProviderId;
+
+/// Bits per packed row word.
+pub const ROW_WORD_BITS: usize = 64;
+
+/// Number of `u64` words in a packed provider row over `providers`
+/// providers — `ceil(m / 64)`, minimum 1 so even an empty network has
+/// a well-formed (all-zero) row.
+pub fn row_words(providers: usize) -> usize {
+    providers.div_ceil(ROW_WORD_BITS).max(1)
+}
+
+/// Decodes a packed provider row into the ascending [`ProviderId`]
+/// list `QueryPPI` answers with. Bits at positions `>= providers`
+/// (unused high bits of the last word) are ignored, so decoding a row
+/// recombined from PIR answer shares is safe even if padding bits got
+/// XOR-noise cancelled into them.
+pub fn providers_in_row(words: &[u64], providers: usize) -> Vec<ProviderId> {
+    let mut out = Vec::new();
+    for (block, &w) in words.iter().enumerate() {
+        let mut bits = w;
+        while bits != 0 {
+            let p = block * ROW_WORD_BITS + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if p >= providers {
+                break;
+            }
+            out.push(ProviderId(p as u32));
+        }
+    }
+    out
+}
+
+/// A packed provider row plus the provider count that scopes it — the
+/// unit a private-query server returns (one XOR-accumulated share per
+/// query) and the unit a client decodes after recombining shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowAnswer {
+    words: Vec<u64>,
+    providers: usize,
+}
+
+impl RowAnswer {
+    /// Wraps a packed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`row_words`]`(providers)`
+    /// long — a mis-sized share would silently truncate providers.
+    pub fn new(words: Vec<u64>, providers: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            row_words(providers),
+            "row of {} words cannot cover {providers} providers",
+            words.len()
+        );
+        RowAnswer { words, providers }
+    }
+
+    /// An all-zero row (the answer for an owner nobody published).
+    pub fn zero(providers: usize) -> Self {
+        RowAnswer {
+            words: vec![0; row_words(providers)],
+            providers,
+        }
+    }
+
+    /// The packed words, LSB-first provider order.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The provider count the row is scoped to.
+    pub fn providers(&self) -> usize {
+        self.providers
+    }
+
+    /// XORs `other` into this row — the 2-server PIR recombination
+    /// step (and, algebraically, GF(2) row addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two rows are scoped to different provider counts.
+    pub fn xor_assign(&mut self, other: &RowAnswer) {
+        assert_eq!(
+            self.providers, other.providers,
+            "cannot recombine rows over different provider counts"
+        );
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Decodes into the ascending provider list (see
+    /// [`providers_in_row`]).
+    pub fn decode(&self) -> Vec<ProviderId> {
+        providers_in_row(&self.words, self.providers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_words_matches_matrix_layout() {
+        assert_eq!(row_words(0), 1);
+        assert_eq!(row_words(1), 1);
+        assert_eq!(row_words(64), 1);
+        assert_eq!(row_words(65), 2);
+        assert_eq!(row_words(10_000), 157);
+    }
+
+    #[test]
+    fn decode_lists_set_bits_in_ascending_order() {
+        let words = vec![(1 << 0) | (1 << 63), 1 << 5];
+        assert_eq!(
+            providers_in_row(&words, 128),
+            vec![ProviderId(0), ProviderId(63), ProviderId(69)]
+        );
+        // Bits beyond the provider count are padding, not providers.
+        assert_eq!(
+            providers_in_row(&words, 64),
+            vec![ProviderId(0), ProviderId(63)]
+        );
+        assert_eq!(providers_in_row(&words, 1), vec![ProviderId(0)]);
+    }
+
+    #[test]
+    fn row_answer_recombines_by_xor() {
+        let mut a = RowAnswer::new(vec![0b1010, 0], 70);
+        let b = RowAnswer::new(vec![0b0110, 1], 70);
+        a.xor_assign(&b);
+        assert_eq!(a.words(), &[0b1100, 1]);
+        assert_eq!(
+            a.decode(),
+            vec![ProviderId(2), ProviderId(3), ProviderId(64)]
+        );
+        assert!(RowAnswer::zero(70).decode().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn mis_sized_rows_are_rejected() {
+        RowAnswer::new(vec![0; 1], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "different provider counts")]
+    fn cross_scope_recombination_is_rejected() {
+        RowAnswer::zero(64).xor_assign(&RowAnswer::zero(128));
+    }
+}

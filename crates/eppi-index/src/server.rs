@@ -7,6 +7,7 @@
 //! guarantees.
 
 use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
+use std::collections::BTreeMap;
 
 /// The locator-service index server.
 #[derive(Debug, Clone, Default)]
@@ -41,11 +42,17 @@ impl PpiServer {
 
     /// Evaluates a batch of `QueryPPI` lookups; `result[i]` answers
     /// `owners[i]`. Semantically identical to mapping
-    /// [`query`](Self::query) over the slice — the batched entry point exists so
-    /// callers (and the `eppi-serve` engine) can amortize per-request
-    /// overhead.
+    /// [`query`](Self::query) over the slice — the batched entry point
+    /// exists so callers (and the `eppi-serve` engine) can amortize
+    /// per-request overhead. Duplicate owners in the batch are
+    /// coalesced: each unique row is resolved once and cloned into
+    /// every position asking for it.
     pub fn query_batch(&self, owners: &[OwnerId]) -> Vec<Vec<ProviderId>> {
-        owners.iter().map(|&o| self.query(o)).collect()
+        let mut cache: BTreeMap<OwnerId, Vec<ProviderId>> = BTreeMap::new();
+        owners
+            .iter()
+            .map(|&o| cache.entry(o).or_insert_with(|| self.query(o)).clone())
+            .collect()
     }
 
     /// The installed index, if any — public data by design.
@@ -89,6 +96,35 @@ mod tests {
             .query_batch(&owners)
             .iter()
             .all(Vec::is_empty));
+    }
+
+    #[test]
+    fn query_batch_coalesces_duplicate_owners() {
+        let mut m = MembershipMatrix::new(5, 4);
+        m.set(ProviderId(0), OwnerId(1), true);
+        m.set(ProviderId(4), OwnerId(1), true);
+        m.set(ProviderId(2), OwnerId(3), true);
+        let server = PpiServer::new(PublishedIndex::new(m, vec![0.0; 4]));
+        // Heavily duplicated batch with the duplicates interleaved.
+        let owners = [
+            OwnerId(1),
+            OwnerId(3),
+            OwnerId(1),
+            OwnerId(0),
+            OwnerId(3),
+            OwnerId(0),
+            OwnerId(1),
+        ];
+        let batched = server.query_batch(&owners);
+        assert_eq!(batched.len(), owners.len());
+        for (o, row) in owners.iter().zip(&batched) {
+            assert_eq!(row, &server.query(*o), "owner {o}");
+        }
+        // Every duplicate position carries the identical coalesced row.
+        assert_eq!(batched[0], batched[2]);
+        assert_eq!(batched[2], batched[6]);
+        assert_eq!(batched[1], batched[4]);
+        assert!(batched[3].is_empty() && batched[5].is_empty());
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Client-side query-vector generation and recombination.
+//!
+//! A [`SelectionVector`] is a packed bit vector over the database's
+//! `n` rows (row ≡ owner id — the row space is dense and uniform by
+//! construction). The client sends one vector to each of the two
+//! non-colluding servers; [`QueryPair::generate`] produces the pair
+//! `(a, a ⊕ e_target)` whose XOR selects exactly the target row while
+//! each half stays marginally uniform.
+
+use rand::RngCore;
+
+const WORD_BITS: usize = 64;
+
+/// A packed selection vector over `rows` database rows: bit `j` set
+/// means row `j` participates in the server's XOR accumulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionVector {
+    words: Vec<u64>,
+    rows: usize,
+}
+
+impl SelectionVector {
+    /// The all-zero vector (selects nothing).
+    pub fn zero(rows: usize) -> Self {
+        SelectionVector {
+            words: vec![0; rows.div_ceil(WORD_BITS)],
+            rows,
+        }
+    }
+
+    /// A uniformly random vector — what a single server observes for
+    /// *every* query, whatever the target. Unused high bits of the
+    /// last word are masked to zero so equality and XOR behave
+    /// set-like.
+    pub fn random<R: RngCore + ?Sized>(rows: usize, rng: &mut R) -> Self {
+        let mut v = SelectionVector::zero(rows);
+        for w in &mut v.words {
+            *w = rng.next_u64();
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// The indicator vector `e_row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn singleton(rows: usize, row: usize) -> Self {
+        let mut v = SelectionVector::zero(rows);
+        v.flip(row);
+        v
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.rows % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of rows the vector spans.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The packed words (LSB-first row order).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Flips the selection bit of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn flip(&mut self, row: usize) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        self.words[row / WORD_BITS] ^= 1u64 << (row % WORD_BITS);
+    }
+
+    /// Reads the selection bit of `row` (`false` beyond the vector).
+    pub fn bit(&self, row: usize) -> bool {
+        self.mask(row as u32) != 0
+    }
+
+    /// Branchless all-ones/all-zero mask for `row`: `!0` if selected,
+    /// `0` otherwise — including for rows beyond the vector, so a
+    /// server holding more rows than the vector spans (a vector built
+    /// against an older epoch racing an append) deterministically
+    /// skips the surplus rows on both servers. This is the scan
+    /// kernels' hot accessor.
+    #[inline]
+    pub fn mask(&self, row: u32) -> u64 {
+        let word = self
+            .words
+            .get(row as usize / WORD_BITS)
+            .copied()
+            .unwrap_or(0);
+        0u64.wrapping_sub((word >> (row as usize % WORD_BITS)) & 1)
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The element-wise XOR of two equal-span vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spans differ.
+    pub fn xor(&self, other: &SelectionVector) -> SelectionVector {
+        assert_eq!(self.rows, other.rows, "vector spans differ");
+        SelectionVector {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| a ^ b)
+                .collect(),
+            rows: self.rows,
+        }
+    }
+}
+
+/// The two per-server halves of one private query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPair {
+    /// Sent to server A: uniformly random.
+    pub a: SelectionVector,
+    /// Sent to server B: `a ⊕ e_target` (or `a` itself for a null
+    /// query) — also marginally uniform.
+    pub b: SelectionVector,
+}
+
+impl QueryPair {
+    /// Generates the pair retrieving row `target` out of `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= rows`.
+    pub fn generate<R: RngCore + ?Sized>(rows: usize, target: usize, rng: &mut R) -> Self {
+        let a = SelectionVector::random(rows, rng);
+        let mut b = a.clone();
+        b.flip(target);
+        QueryPair { a, b }
+    }
+
+    /// Generates a *null* pair (`b = a`): the servers do identical
+    /// work and the recombined answer is the all-zero row. Used for
+    /// owners outside the current row space — an unknown owner must
+    /// cost exactly what a real one costs, and answer empty exactly
+    /// like the plaintext path does.
+    pub fn null<R: RngCore + ?Sized>(rows: usize, rng: &mut R) -> Self {
+        let a = SelectionVector::random(rows, rng);
+        QueryPair { b: a.clone(), a }
+    }
+
+    /// The row the pair retrieves: `None` for a null pair.
+    pub fn target(&self) -> Option<usize> {
+        let diff = self.a.xor(&self.b);
+        (0..diff.rows()).find(|&r| diff.bit(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn singleton_selects_exactly_one_row() {
+        for rows in [1, 63, 64, 65, 130] {
+            let v = SelectionVector::singleton(rows, rows - 1);
+            assert_eq!(v.count(), 1);
+            assert!(v.bit(rows - 1));
+            assert_eq!(v.mask((rows - 1) as u32), !0);
+            assert_eq!(v.mask(rows as u32), 0, "out of range selects nothing");
+        }
+    }
+
+    #[test]
+    fn random_vectors_mask_tail_bits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for rows in [1, 5, 64, 65, 127] {
+            let v = SelectionVector::random(rows, &mut rng);
+            for beyond in rows..rows.next_multiple_of(64) {
+                assert!(!v.bit(beyond), "tail bit {beyond} leaked ({rows} rows)");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_difference_is_the_target_indicator() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for rows in [1, 64, 100] {
+            for target in [0, rows / 2, rows - 1] {
+                let pair = QueryPair::generate(rows, target, &mut rng);
+                let diff = pair.a.xor(&pair.b);
+                assert_eq!(diff.count(), 1);
+                assert!(diff.bit(target));
+                assert_eq!(pair.target(), Some(target));
+            }
+        }
+    }
+
+    #[test]
+    fn null_pair_selects_nothing_jointly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pair = QueryPair::null(80, &mut rng);
+        assert_eq!(pair.a, pair.b);
+        assert_eq!(pair.a.xor(&pair.b).count(), 0);
+        assert_eq!(pair.target(), None);
+    }
+
+    /// Marginal uniformity smoke check: over many generations for a
+    /// *fixed* target, each server's bit at the target row is set
+    /// about half the time — observing one half reveals nothing.
+    #[test]
+    fn single_server_view_is_target_independent() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (rows, target, trials) = (96, 17, 2_000);
+        let mut a_set = 0usize;
+        let mut b_set = 0usize;
+        for _ in 0..trials {
+            let pair = QueryPair::generate(rows, target, &mut rng);
+            a_set += usize::from(pair.a.bit(target));
+            b_set += usize::from(pair.b.bit(target));
+        }
+        for (name, set) in [("a", a_set), ("b", b_set)] {
+            let frac = set as f64 / trials as f64;
+            assert!(
+                (0.44..=0.56).contains(&frac),
+                "server {name} bit biased: {frac}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flipping_beyond_the_span_panics() {
+        SelectionVector::zero(4).flip(4);
+    }
+}

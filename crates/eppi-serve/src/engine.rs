@@ -37,6 +37,7 @@ use crate::snapshot::SnapshotCell;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
 use eppi_durability::DurableStore;
+use eppi_pir::SelectionVector;
 use eppi_telemetry::{Counter, Gauge, Histogram, Recorder, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -81,8 +82,14 @@ impl Default for ServeConfig {
 pub struct ServeStats {
     queries: Arc<Counter>,
     batches: Arc<Counter>,
+    batch_dupes: Arc<Counter>,
     refreshes: Arc<Counter>,
     deltas: Arc<Counter>,
+    pir_scans: Arc<Counter>,
+    pir_queries: Arc<Counter>,
+    pir_scanned_words: Arc<Counter>,
+    pir_answer_bytes: Arc<Counter>,
+    pir_version_retries: Arc<Counter>,
 }
 
 impl ServeStats {
@@ -90,8 +97,14 @@ impl ServeStats {
         ServeStats {
             queries: registry.counter("serve.queries", &[]),
             batches: registry.counter("serve.batches", &[]),
+            batch_dupes: registry.counter("serve.batch_dupes", &[]),
             refreshes: registry.counter("serve.refreshes", &[]),
             deltas: registry.counter("serve.delta_refreshes", &[]),
+            pir_scans: registry.counter("pir.scans", &[]),
+            pir_queries: registry.counter("pir.queries", &[]),
+            pir_scanned_words: registry.counter("pir.scanned_words", &[]),
+            pir_answer_bytes: registry.counter("pir.answer_bytes", &[]),
+            pir_version_retries: registry.counter("pir.version_retries", &[]),
         }
     }
 
@@ -116,6 +129,48 @@ impl ServeStats {
     pub fn delta_refreshes(&self) -> u64 {
         self.deltas.get()
     }
+
+    /// Duplicate batch members answered from an already-resolved row
+    /// instead of a second row read (batch coalescing).
+    pub fn batch_dupes(&self) -> u64 {
+        self.batch_dupes.get()
+    }
+
+    /// Oblivious scan passes served (one per [`ServeEngine::pir_submit`],
+    /// however many query vectors it carried).
+    pub fn pir_scans(&self) -> u64 {
+        self.pir_scans.get()
+    }
+
+    /// PIR query vectors answered (batch members included).
+    pub fn pir_queries(&self) -> u64 {
+        self.pir_queries.get()
+    }
+
+    /// `u64` words XOR-scanned by PIR jobs — moves by exactly
+    /// `owners × words_per_row` per scan pass, whatever the queries
+    /// select (the obliviousness invariant, asserted by tests) and
+    /// however many vectors the pass serves (the batch kernel reads
+    /// each data word once per pass — the amortization lever).
+    pub fn pir_scanned_words(&self) -> u64 {
+        self.pir_scanned_words.get()
+    }
+
+    /// Bytes of PIR answer shares returned to clients.
+    pub fn pir_answer_bytes(&self) -> u64 {
+        self.pir_answer_bytes.get()
+    }
+
+    /// Private-client retries forced by the two replicas answering from
+    /// different snapshot versions (an install raced the scatter).
+    pub fn pir_version_retries(&self) -> u64 {
+        self.pir_version_retries.get()
+    }
+
+    /// Counts one replica-version mismatch retry (private client side).
+    pub(crate) fn note_version_retry(&self) {
+        self.pir_version_retries.inc();
+    }
 }
 
 enum Job {
@@ -130,6 +185,18 @@ enum Job {
         entries: Vec<(u32, OwnerId)>,
         at: Instant,
         reply: Sender<Vec<(u32, Vec<ProviderId>)>>,
+    },
+    /// Obliviously XOR-scan one shard of a pinned snapshot for a batch
+    /// of PIR selection vectors. The job carries the snapshot so every
+    /// shard of one submission scans the *same* version even while an
+    /// install is racing through the workers — the cross-shard XOR of
+    /// partial shares is only meaningful over a single version.
+    PirScan {
+        snapshot: Arc<ShardedIndex>,
+        shard: usize,
+        queries: Arc<Vec<SelectionVector>>,
+        /// One partial answer share per query vector.
+        reply: Sender<Vec<Vec<u64>>>,
     },
     Install {
         view: Arc<ShardedIndex>,
@@ -375,6 +442,50 @@ impl ServeEngine {
         Ok(version)
     }
 
+    /// Submits a batch of PIR selection vectors for an oblivious scan
+    /// and returns a handle to gather the answer shares.
+    ///
+    /// The scan is pinned to one snapshot: `pir_submit` loads the
+    /// current [`SnapshotCell`] value once and ships that `Arc` inside
+    /// every per-shard job, so all shards scan the *same* version even
+    /// while a [`refresh`](Self::refresh) or
+    /// [`apply_delta`](Self::apply_delta) races through the worker
+    /// queues. Every shard is always scanned — the set of jobs, their
+    /// sizes, and the scan work per job depend only on the snapshot
+    /// shape, never on which owners the vectors select (this server's
+    /// whole transcript is query-independent).
+    ///
+    /// Vectors shorter or longer than the snapshot's owner count are
+    /// served as-is: rows outside a vector's span contribute nothing
+    /// ([`SelectionVector::mask`] is 0 out of range), which keeps a
+    /// client that generated its vectors against a slightly stale owner
+    /// count consistent across both replicas of a 2-server deployment.
+    pub fn pir_submit(&self, queries: Arc<Vec<SelectionVector>>) -> PendingPir {
+        let snapshot = self.current();
+        self.stats.pir_scans.inc();
+        self.stats.pir_queries.add(queries.len() as u64);
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply, rx) = bounded(1);
+            let job = Job::PirScan {
+                snapshot: Arc::clone(&snapshot),
+                shard,
+                queries: Arc::clone(&queries),
+                reply,
+            };
+            if tx.send(job).is_ok() {
+                replies.push(rx);
+            }
+        }
+        PendingPir {
+            snapshot,
+            expected: self.senders.len(),
+            queries: queries.len(),
+            replies,
+            stats: self.stats.clone(),
+        }
+    }
+
     /// Stops all workers and joins them. Queued queries are answered
     /// first; clients created from this engine fail fast afterwards.
     /// Idempotent: later calls (and the eventual drop) are no-ops.
@@ -427,7 +538,11 @@ fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCt
                 }
                 let _ = reply.send(result);
             }
-            Job::Batch { entries, at, reply } => {
+            Job::Batch {
+                mut entries,
+                at,
+                reply,
+            } => {
                 let started = if ctx.telemetry {
                     ctx.queue_depth.set(rx.len() as i64);
                     let now = Instant::now();
@@ -440,14 +555,44 @@ fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCt
                 };
                 ctx.stats.queries.add(entries.len() as u64);
                 ctx.stats.batches.inc();
-                let results = entries
-                    .into_iter()
-                    .map(|(pos, owner)| (pos, view.try_query(owner).unwrap_or_default()))
-                    .collect();
+                // Coalesce duplicate owners: sort by owner so repeats are
+                // adjacent, resolve each unique row once, and answer the
+                // repeats from the previous result. The reply carries
+                // batch positions, so the reordering is invisible to the
+                // gathering client.
+                entries.sort_unstable_by_key(|&(_, owner)| owner.index());
+                let mut results: Vec<(u32, Vec<ProviderId>)> = Vec::with_capacity(entries.len());
+                let mut last_owner: Option<OwnerId> = None;
+                let mut dupes = 0u64;
+                for (pos, owner) in entries {
+                    if last_owner == Some(owner) {
+                        dupes += 1;
+                        let prev = results.last().map(|(_, r)| r.clone()).unwrap_or_default();
+                        results.push((pos, prev));
+                    } else {
+                        last_owner = Some(owner);
+                        results.push((pos, view.try_query(owner).unwrap_or_default()));
+                    }
+                }
+                if dupes > 0 {
+                    ctx.stats.batch_dupes.add(dupes);
+                }
                 if let Some(started) = started {
                     ctx.service.record(started.elapsed().as_nanos() as u64);
                 }
                 let _ = reply.send(results);
+            }
+            Job::PirScan {
+                snapshot,
+                shard,
+                queries,
+                reply,
+            } => {
+                let wpr = snapshot.words_per_row();
+                let mut accs = vec![vec![0u64; wpr]; queries.len()];
+                let words = snapshot.pir_scan_shard(shard, &queries, &mut accs);
+                ctx.stats.pir_scanned_words.add(words);
+                let _ = reply.send(accs);
             }
             Job::Install {
                 view: v,
@@ -474,6 +619,68 @@ fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCt
         }
     }
     // Recorder drops flush the tail observations.
+}
+
+/// An in-flight PIR scan: one receiver per shard worker, gathered into
+/// the server's full answer shares by [`gather`](Self::gather).
+#[derive(Debug)]
+pub struct PendingPir {
+    snapshot: Arc<ShardedIndex>,
+    /// Shards the scan was supposed to reach.
+    expected: usize,
+    /// Query vectors in the submission.
+    queries: usize,
+    replies: Vec<Receiver<Vec<Vec<u64>>>>,
+    stats: ServeStats,
+}
+
+impl PendingPir {
+    /// Blocks for every shard's partial shares and XORs them into the
+    /// server's answer (one share per submitted vector). `None` if any
+    /// shard worker was gone or died mid-scan (engine shut down) — the
+    /// PIR analogue of the plaintext client's fail-fast empty answer.
+    pub fn gather(self) -> Option<PirServerAnswer> {
+        if self.replies.len() != self.expected {
+            return None;
+        }
+        let wpr = self.snapshot.words_per_row();
+        let mut shares = vec![vec![0u64; wpr]; self.queries];
+        for rx in self.replies {
+            let partials = rx.recv().ok()?;
+            for (share, partial) in shares.iter_mut().zip(partials) {
+                for (s, p) in share.iter_mut().zip(partial) {
+                    *s ^= p;
+                }
+            }
+        }
+        self.stats
+            .pir_answer_bytes
+            .add((self.queries * wpr * 8) as u64);
+        Some(PirServerAnswer {
+            version: self.snapshot.version(),
+            rows: self.snapshot.owners(),
+            providers: self.snapshot.providers(),
+            shares,
+        })
+    }
+}
+
+/// One server's complete answer to a PIR submission: its XOR share of
+/// each requested row, stamped with the snapshot version it was scanned
+/// against. A client XORs the `shares` of the two replicas positionwise
+/// to recover the selected rows — but only when both answers carry the
+/// same `version` (otherwise it regenerates and retries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PirServerAnswer {
+    /// Snapshot version the scan ran against.
+    pub version: u64,
+    /// Owner rows resident in that snapshot.
+    pub rows: usize,
+    /// Provider universe size (decodes the recombined row).
+    pub providers: usize,
+    /// One answer share per submitted selection vector, each
+    /// `words_per_row` words.
+    pub shares: Vec<Vec<u64>>,
 }
 
 /// A handle for submitting queries; cheap to clone and share.
@@ -658,11 +865,93 @@ mod tests {
         assert!(client.query(OwnerId(0)).is_empty());
         drop(engine);
         // The drain was recorded exactly once, by the first shutdown.
+        // `expect` turns an absent metric into a typed, printable miss
+        // instead of an opaque `unwrap` panic.
         let snap = registry.snapshot();
-        match &snap.find("serve.shutdown_drain_ns", &[]).unwrap().value {
+        let drain = snap
+            .expect("serve.shutdown_drain_ns", &[])
+            .unwrap_or_else(|miss| panic!("{miss}"));
+        match &drain.value {
             MetricValue::Histogram(h) => assert_eq!(h.count, 1),
             other => panic!("unexpected metric {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_duplicates_coalesce_to_one_row_read() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let index = random_index(&mut rng, 40, 60, 0.3);
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&index, config(3, 16), &registry);
+        let client = engine.client();
+        // 5 distinct owners, each asked 4 times, shuffled across the batch.
+        let distinct = [
+            OwnerId(1),
+            OwnerId(7),
+            OwnerId(20),
+            OwnerId(33),
+            OwnerId(59),
+        ];
+        let mut owners = Vec::new();
+        for round in 0..4 {
+            for i in 0..distinct.len() {
+                owners.push(distinct[(i + round) % distinct.len()]);
+            }
+        }
+        let got = client.query_batch(&owners);
+        let server = PpiServer::new(index.clone());
+        for (o, row) in owners.iter().zip(&got) {
+            assert_eq!(row, &server.query(*o), "owner {o}");
+        }
+        // 20 batch members but only 5 unique rows: 15 answered from the
+        // coalesced previous result.
+        assert_eq!(engine.stats().batch_dupes(), 15);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn pir_submit_answers_match_plaintext_and_scan_everything() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let index = random_index(&mut rng, 70, 90, 0.25);
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&index, config(3, 16), &registry);
+        let snapshot = engine.current();
+        let (rows, wpr) = (snapshot.owners(), snapshot.words_per_row());
+
+        let targets = [0usize, 41, 89];
+        let pairs: Vec<eppi_pir::QueryPair> = targets
+            .iter()
+            .map(|&t| eppi_pir::QueryPair::generate(rows, t, &mut rng))
+            .collect();
+        let a: Arc<Vec<SelectionVector>> = Arc::new(pairs.iter().map(|p| p.a.clone()).collect());
+        let b: Arc<Vec<SelectionVector>> = Arc::new(pairs.iter().map(|p| p.b.clone()).collect());
+        let answer_a = engine.pir_submit(a).gather().unwrap();
+        let answer_b = engine.pir_submit(b).gather().unwrap();
+        assert_eq!(answer_a.version, answer_b.version);
+        for (i, &t) in targets.iter().enumerate() {
+            let row: Vec<u64> = answer_a.shares[i]
+                .iter()
+                .zip(&answer_b.shares[i])
+                .map(|(x, y)| x ^ y)
+                .collect();
+            assert_eq!(
+                eppi_core::providers_in_row(&row, answer_a.providers),
+                snapshot.query(OwnerId(t as u32)),
+                "target {t}"
+            );
+        }
+        // Two submissions, each one full pass over the packed rows —
+        // the batch kernel reads each data word once per pass no matter
+        // how many vectors ride along (the amortization the private
+        // batch path banks on).
+        assert_eq!(engine.stats().pir_scans(), 2);
+        assert_eq!(engine.stats().pir_queries(), 6);
+        assert_eq!(engine.stats().pir_scanned_words(), (2 * rows * wpr) as u64);
+        assert_eq!(engine.stats().pir_answer_bytes(), (6 * wpr * 8) as u64);
+        engine.shutdown();
+        // After shutdown the scatter fails fast: gather reports the miss.
+        let dead = engine.pir_submit(Arc::new(vec![SelectionVector::zero(rows)]));
+        assert!(dead.gather().is_none());
     }
 
     #[test]

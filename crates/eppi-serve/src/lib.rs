@@ -14,6 +14,10 @@
 //! * [`snapshot::SnapshotCell`] — wait-free snapshot publication so a
 //!   `ConstructPPI` re-run can replace the index without ever blocking
 //!   readers or exposing a torn version.
+//! * [`private::PrivateEngine`] / [`private::PrivateClient`] — the
+//!   oblivious serve mode: two non-colluding replicas answer XOR-PIR
+//!   queries (`eppi-pir`) so neither ever learns which owner a query
+//!   targets, with answers bit-identical to the plaintext path.
 //!
 //! Query results are bit-for-bit identical to
 //! [`PpiServer::query`](eppi_index::server::PpiServer::query); the
@@ -24,9 +28,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod private;
 pub mod shard;
 pub mod snapshot;
 
-pub use engine::{default_shards, ServeClient, ServeConfig, ServeEngine, ServeStats};
+pub use engine::{
+    default_shards, PendingPir, PirServerAnswer, ServeClient, ServeConfig, ServeEngine, ServeStats,
+};
+pub use private::{PrivateClient, PrivateEngine};
 pub use shard::{shard_of, EpochOrderError, ShardedIndex};
 pub use snapshot::SnapshotCell;

@@ -1,0 +1,402 @@
+//! The private serve mode: a two-replica XOR-PIR front-end over the
+//! worker-per-shard engine (DESIGN.md §12).
+//!
+//! The plaintext [`ServeClient`](crate::ServeClient) tells the server
+//! *which owner* every query is about — exactly the access pattern the
+//! paper's threat model says a curious locator service will mine. The
+//! private mode removes that signal with the classic two-server
+//! information-theoretic PIR (Chor–Goldreich–Kushilevitz–Sudan):
+//!
+//! 1. The client draws a uniformly random selection vector `a` over
+//!    the `n` owner rows and sends `a` to replica A and `a ⊕ e_j` to
+//!    replica B, where `j` is the queried owner.
+//! 2. Each replica XORs together the packed provider rows its vector
+//!    selects — by obliviously scanning *every* resident row under a
+//!    branchless mask ([`eppi_pir::xor_scan_indexed_batch`]), so its
+//!    work and its memory-access shape are query-independent.
+//! 3. The client XORs the two answer shares: everything cancels except
+//!    row `j`, which decodes to exactly the plaintext answer.
+//!
+//! Each replica alone sees a uniformly random vector whatever the
+//! target, so privacy holds against either server individually; the
+//! only assumption is that the two replicas do not collude (§12 spells
+//! out why this fits the e-PPI deployment, where the index is already
+//! replicated across brokers). Both replicas live in this process —
+//! the crate models the trust split, it does not deploy it.
+//!
+//! The linear scan is the price of information-theoretic privacy. The
+//! batched path ([`PrivateClient::query_batch`]) recovers most of it:
+//! one pass over the rows serves a whole batch of vectors (row-outer,
+//! query-inner), so per-query cost falls roughly linearly with batch
+//! size until the vector set stops fitting in cache.
+//!
+//! ## Epoch consistency
+//!
+//! Refreshes and delta installs keep running under private traffic.
+//! Each replica pins one snapshot per scatter
+//! ([`ServeEngine::pir_submit`]), so its own share is always internally
+//! consistent; when an install lands *between* the two replicas'
+//! scatters, their answers carry different versions and the client
+//! regenerates and retries (`pir.version_retries`). Vectors built
+//! against a slightly stale owner count stay safe either way:
+//! [`SelectionVector::mask`] is zero beyond the vector span on both
+//! replicas, so the XOR still cancels cleanly.
+
+use crate::engine::{PirServerAnswer, ServeConfig, ServeEngine, ServeStats};
+use crate::shard::EpochOrderError;
+use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
+use eppi_core::rows::providers_in_row;
+use eppi_pir::{QueryPair, SelectionVector};
+use eppi_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Retry budget for replica-version mismatches. Installs are rare
+/// relative to queries; two replicas settle on the same version as soon
+/// as the install drains, so even 2 would almost always do.
+const MAX_VERSION_RETRIES: usize = 64;
+
+/// Two non-colluding serve replicas behind one handle.
+///
+/// Both replicas are full [`ServeEngine`]s over the same published
+/// index and report into the same telemetry registry, so the `pir.*`
+/// counters aggregate across replicas (each private query performs one
+/// scan on *each* replica — `pir.scans` moves by 2 per submission
+/// round).
+///
+/// ```
+/// use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+/// use eppi_serve::{PrivateEngine, ServeConfig};
+///
+/// let mut m = MembershipMatrix::new(4, 2);
+/// m.set(ProviderId(1), OwnerId(0), true);
+/// let index = PublishedIndex::new(m, vec![0.0, 0.0]);
+/// let config = ServeConfig { shards: 2, queue_depth: 16, ..ServeConfig::default() };
+/// let engine = PrivateEngine::start(&index, config);
+/// let mut client = engine.client(7);
+/// assert_eq!(client.query(OwnerId(0)), vec![ProviderId(1)]);
+/// assert!(client.query(OwnerId(1)).is_empty());
+/// engine.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct PrivateEngine {
+    a: Arc<ServeEngine>,
+    b: Arc<ServeEngine>,
+}
+
+impl PrivateEngine {
+    /// Starts both replicas, reporting into the process-global
+    /// telemetry registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn start(index: &PublishedIndex, config: ServeConfig) -> Self {
+        Self::start_with_registry(index, config, eppi_telemetry::global())
+    }
+
+    /// [`start`](Self::start) reporting into a caller-owned registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn start_with_registry(
+        index: &PublishedIndex,
+        config: ServeConfig,
+        registry: &Registry,
+    ) -> Self {
+        PrivateEngine {
+            a: Arc::new(ServeEngine::start_with_registry(index, config, registry)),
+            b: Arc::new(ServeEngine::start_with_registry(index, config, registry)),
+        }
+    }
+
+    /// A private-query client. `seed` drives the client's query-vector
+    /// generator ([`StdRng`]) — deterministic here for reproducible
+    /// tests and benches; a real deployment would use a CSPRNG, since
+    /// vector unpredictability is the entire privacy guarantee.
+    pub fn client(&self, seed: u64) -> PrivateClient {
+        PrivateClient {
+            a: Arc::clone(&self.a),
+            b: Arc::clone(&self.b),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Installs a re-published index on both replicas (A first, then
+    /// B). A client scattering between the two installs observes a
+    /// version mismatch and retries; see the module docs.
+    pub fn refresh(&self, index: &PublishedIndex) {
+        self.a.refresh(index);
+        self.b.refresh(index);
+    }
+
+    /// Installs the next epoch incrementally on both replicas
+    /// ([`ServeEngine::apply_delta`]). Returns the installed version.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`EpochOrderError`] from the first replica that rejects
+    /// the delta; a replica that already installed it keeps the new
+    /// version (the client's version check masks the transient skew,
+    /// and the caller is expected to re-drive both replicas to the same
+    /// lineage).
+    pub fn apply_delta(
+        &self,
+        index: &PublishedIndex,
+        touched: &[OwnerId],
+    ) -> Result<u64, EpochOrderError> {
+        let version = self.a.apply_delta(index, touched)?;
+        let other = self.b.apply_delta(index, touched)?;
+        debug_assert_eq!(version, other, "replicas diverged");
+        Ok(version)
+    }
+
+    /// Replica A — also the replica whose snapshot the clients read
+    /// public metadata (row count) from.
+    pub fn replica_a(&self) -> &ServeEngine {
+        &self.a
+    }
+
+    /// Replica B.
+    pub fn replica_b(&self) -> &ServeEngine {
+        &self.b
+    }
+
+    /// The shared engine counters (both replicas report here).
+    pub fn stats(&self) -> &ServeStats {
+        self.a.stats()
+    }
+
+    /// Stops both replicas. Idempotent, and implied by drop. Clients
+    /// fail fast (empty answers) afterwards, like the plaintext
+    /// [`ServeClient`](crate::ServeClient).
+    pub fn shutdown(&self) {
+        self.a.shutdown();
+        self.b.shutdown();
+    }
+}
+
+/// A private-query client: generates per-query [`QueryPair`]s, scatters
+/// the halves to the two replicas, and recombines the answer shares.
+///
+/// Not `Clone` (it owns its RNG stream); create one per thread via
+/// [`PrivateEngine::client`] with distinct seeds.
+#[derive(Debug)]
+pub struct PrivateClient {
+    a: Arc<ServeEngine>,
+    b: Arc<ServeEngine>,
+    rng: StdRng,
+}
+
+impl PrivateClient {
+    /// Privately evaluates `QueryPPI(owner)`: bit-identical to the
+    /// plaintext [`ServeClient::query`](crate::ServeClient::query) on
+    /// the same snapshot, while neither replica learns `owner`. Unknown
+    /// owners cost exactly one real query (a null pair scans the same
+    /// rows) and answer empty; a shut-down engine answers empty.
+    pub fn query(&mut self, owner: OwnerId) -> Vec<ProviderId> {
+        self.query_batch(std::slice::from_ref(&owner))
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Privately evaluates a batch: one oblivious pass per replica
+    /// serves every vector in the batch (`result[i]` answers
+    /// `owners[i]`), amortizing the linear scan that single-shot
+    /// private queries pay per query.
+    pub fn query_batch(&mut self, owners: &[OwnerId]) -> Vec<Vec<ProviderId>> {
+        if owners.is_empty() {
+            return Vec::new();
+        }
+        for _ in 0..MAX_VERSION_RETRIES {
+            // Row count is public metadata (the index's owner universe);
+            // reading it from replica A costs no privacy.
+            let rows = self.a.current().owners();
+            let pairs: Vec<QueryPair> = owners
+                .iter()
+                .map(|&o| {
+                    if o.index() < rows {
+                        QueryPair::generate(rows, o.index(), &mut self.rng)
+                    } else {
+                        QueryPair::null(rows, &mut self.rng)
+                    }
+                })
+                .collect();
+            let to_a: Arc<Vec<SelectionVector>> =
+                Arc::new(pairs.iter().map(|p| p.a.clone()).collect());
+            let to_b: Arc<Vec<SelectionVector>> =
+                Arc::new(pairs.iter().map(|p| p.b.clone()).collect());
+            // Scatter to both replicas before gathering either, so the
+            // two scans overlap.
+            let pending_a = self.a.pir_submit(to_a);
+            let pending_b = self.b.pir_submit(to_b);
+            let (share_a, share_b) = match (pending_a.gather(), pending_b.gather()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return vec![Vec::new(); owners.len()],
+            };
+            if share_a.version != share_b.version {
+                self.a.stats().note_version_retry();
+                continue;
+            }
+            return recombine(&share_a, &share_b);
+        }
+        // Installs outpaced the retry budget; fail closed like a
+        // shut-down engine rather than mixing versions.
+        vec![Vec::new(); owners.len()]
+    }
+}
+
+/// XORs two replicas' answer shares and decodes each recovered row.
+/// Null pairs (unknown owners) recombine to the all-zero row, i.e. the
+/// empty candidate list.
+fn recombine(a: &PirServerAnswer, b: &PirServerAnswer) -> Vec<Vec<ProviderId>> {
+    debug_assert_eq!(a.version, b.version);
+    a.shares
+        .iter()
+        .zip(&b.shares)
+        .map(|(sa, sb)| {
+            let row: Vec<u64> = sa.iter().zip(sb).map(|(x, y)| x ^ y).collect();
+            providers_in_row(&row, a.providers)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::model::MembershipMatrix;
+    use rand::Rng;
+
+    fn random_index(seed: u64, providers: usize, owners: usize, p: f64) -> PublishedIndex {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut matrix = MembershipMatrix::new(providers, owners);
+        for pr in 0..providers as u32 {
+            for o in 0..owners as u32 {
+                if rng.gen_bool(p) {
+                    matrix.set(ProviderId(pr), OwnerId(o), true);
+                }
+            }
+        }
+        PublishedIndex::new(matrix, vec![0.2; owners])
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            shards: 3,
+            queue_depth: 32,
+            telemetry: true,
+        }
+    }
+
+    #[test]
+    fn private_answers_match_plaintext_for_every_owner() {
+        let index = random_index(41, 70, 90, 0.25);
+        let registry = Registry::new();
+        let engine = PrivateEngine::start_with_registry(&index, config(), &registry);
+        let mut client = engine.client(1);
+        let plain = engine.replica_a().client();
+        for o in 0..90u32 {
+            assert_eq!(
+                client.query(OwnerId(o)),
+                plain.query(OwnerId(o)),
+                "owner {o}"
+            );
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_matches_singles_and_unknowns_are_empty() {
+        let index = random_index(42, 33, 50, 0.4);
+        let registry = Registry::new();
+        let engine = PrivateEngine::start_with_registry(&index, config(), &registry);
+        let mut client = engine.client(2);
+        let owners: Vec<OwnerId> = vec![OwnerId(3), OwnerId(49), OwnerId(1000), OwnerId(3)];
+        let batch = client.query_batch(&owners);
+        assert_eq!(batch.len(), owners.len());
+        let plain = engine.replica_a().client();
+        assert_eq!(batch[0], plain.query(OwnerId(3)));
+        assert_eq!(batch[1], plain.query(OwnerId(49)));
+        assert!(batch[2].is_empty(), "unknown owner answers empty");
+        assert_eq!(batch[3], batch[0]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn refresh_and_delta_keep_private_answers_current() {
+        let before = random_index(43, 30, 40, 0.2);
+        let registry = Registry::new();
+        let engine = PrivateEngine::start_with_registry(&before, config(), &registry);
+        let mut client = engine.client(3);
+
+        let after = random_index(44, 30, 40, 0.6);
+        engine.refresh(&after);
+        let plain = engine.replica_a().client();
+        for o in 0..40u32 {
+            assert_eq!(client.query(OwnerId(o)), plain.query(OwnerId(o)));
+        }
+
+        // Delta-install one touched + one appended owner.
+        let mut matrix = after.matrix().clone();
+        matrix.grow_owners(41);
+        matrix.set(ProviderId(2), OwnerId(5), true);
+        matrix.set(ProviderId(7), OwnerId(40), true);
+        let mut betas = after.betas().to_vec();
+        betas.push(0.3);
+        let next = PublishedIndex::new(matrix, betas);
+        let v = engine
+            .apply_delta(&next, &[OwnerId(5), OwnerId(40)])
+            .unwrap();
+        assert_eq!(v, 2);
+        for o in 0..41u32 {
+            assert_eq!(
+                client.query(OwnerId(o)),
+                plain.query(OwnerId(o)),
+                "owner {o}"
+            );
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn scan_transcript_is_owner_independent() {
+        let index = random_index(45, 64, 128, 0.3);
+        let registry = Registry::new();
+        let engine = PrivateEngine::start_with_registry(&index, config(), &registry);
+        let mut client = engine.client(4);
+        let words_per_query = |engine: &PrivateEngine| engine.stats().pir_scanned_words();
+        let mut rng = StdRng::seed_from_u64(46);
+        let mut deltas = Vec::new();
+        for _ in 0..6 {
+            let before = words_per_query(&engine);
+            client.query(OwnerId(rng.gen_range(0..128)));
+            deltas.push(words_per_query(&engine) - before);
+        }
+        // Unknown owner: same scan volume as any real one.
+        let before = words_per_query(&engine);
+        client.query(OwnerId(9999));
+        deltas.push(words_per_query(&engine) - before);
+        assert!(
+            deltas.windows(2).all(|w| w[0] == w[1]),
+            "scan volume varies with the queried owner: {deltas:?}"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_fast_with_empty_answers() {
+        let index = random_index(47, 10, 12, 0.5);
+        let registry = Registry::new();
+        let engine = PrivateEngine::start_with_registry(&index, config(), &registry);
+        let mut client = engine.client(5);
+        engine.shutdown();
+        engine.shutdown();
+        assert!(client.query(OwnerId(0)).is_empty());
+        assert!(client
+            .query_batch(&[OwnerId(0), OwnerId(1)])
+            .iter()
+            .all(Vec::is_empty));
+    }
+}

@@ -9,6 +9,8 @@
 //! worker threads can each own a disjoint slice of the query space.
 
 use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use eppi_core::rows::providers_in_row;
+use eppi_pir::SelectionVector;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -352,16 +354,45 @@ impl ShardedIndex {
     pub fn try_query(&self, owner: OwnerId) -> Option<Vec<ProviderId>> {
         let slot_ref = *self.route.get(owner.index())?;
         let row = self.shards[slot_ref.shard as usize].row(slot_ref.slot);
-        let mut out = Vec::new();
-        for (block, &w) in row.iter().enumerate() {
-            let mut bits = w;
-            while bits != 0 {
-                let p = block * BLOCK_BITS + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                out.push(ProviderId(p as u32));
-            }
-        }
-        Some(out)
+        Some(providers_in_row(row, self.providers))
+    }
+
+    /// Words per packed provider row (`ceil(m / 64)`, minimum 1) — the
+    /// accumulator size a PIR scan over this snapshot needs.
+    pub fn words_per_row(&self) -> usize {
+        self.providers.div_ceil(BLOCK_BITS).max(1)
+    }
+
+    /// Obliviously XOR-scans shard `s` for a batch of PIR selection
+    /// vectors, accumulating each query's partial answer share into
+    /// `accs[i]`. The kernel reads every resident row under a
+    /// branchless mask (`eppi_pir::xor_scan_indexed_batch`), so the
+    /// scan shape depends only on the shard's size — never on which
+    /// owner the vectors select. Partial shares from all shards XOR
+    /// together into the server's full answer share (XOR is
+    /// associative and each owner is resident in exactly one shard).
+    ///
+    /// Returns the number of `u64` words scanned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range, `queries` and `accs` differ in
+    /// length, or an accumulator is not [`words_per_row`](Self::words_per_row)
+    /// words long.
+    pub fn pir_scan_shard(
+        &self,
+        s: usize,
+        queries: &[SelectionVector],
+        accs: &mut [Vec<u64>],
+    ) -> u64 {
+        let shard = &self.shards[s];
+        eppi_pir::xor_scan_indexed_batch(
+            &shard.rows,
+            shard.words_per_row,
+            &shard.owners,
+            queries,
+            accs,
+        )
     }
 
     /// Batched queries, result `i` answering `owners[i]`.
@@ -580,6 +611,39 @@ mod tests {
             assert!(err.to_string().contains("expected version 4"));
         }
         assert_eq!(base.apply_delta(&index, &[], 4).unwrap().version(), 4);
+    }
+
+    #[test]
+    fn pir_scan_across_shards_recovers_any_row() {
+        use eppi_pir::QueryPair;
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let index = random_index(&mut rng, 70, 90);
+        let sharded = ShardedIndex::from_index(&index, 4);
+        let wpr = sharded.words_per_row();
+        let rows = sharded.owners();
+        for target in [0usize, 41, 89] {
+            let pair = QueryPair::generate(rows, target, &mut rng);
+            let mut share_a = vec![vec![0u64; wpr]];
+            let mut share_b = vec![vec![0u64; wpr]];
+            let mut words = 0;
+            for s in 0..sharded.shard_count() {
+                words += sharded.pir_scan_shard(s, std::slice::from_ref(&pair.a), &mut share_a);
+                sharded.pir_scan_shard(s, std::slice::from_ref(&pair.b), &mut share_b);
+            }
+            // Every scan covers every resident row, whatever the target.
+            assert_eq!(words, (rows * wpr) as u64);
+            let row: Vec<u64> = share_a[0]
+                .iter()
+                .zip(&share_b[0])
+                .map(|(a, b)| a ^ b)
+                .collect();
+            assert_eq!(
+                providers_in_row(&row, sharded.providers()),
+                sharded.query(OwnerId(target as u32)),
+                "target {target}"
+            );
+        }
     }
 
     #[test]

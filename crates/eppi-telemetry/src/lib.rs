@@ -59,7 +59,7 @@ pub mod span;
 
 pub use hist::{Histogram, HistogramSummary, Recorder, FLUSH_EVERY, MAX_RELATIVE_ERROR};
 pub use metrics::{Counter, Gauge};
-pub use registry::{Labels, MetricSnapshot, MetricValue, Registry, Snapshot};
+pub use registry::{Labels, MetricMiss, MetricSnapshot, MetricValue, Registry, Snapshot};
 pub use span::SpanTimer;
 
 use std::sync::OnceLock;

@@ -192,6 +192,36 @@ impl MetricSnapshot {
     }
 }
 
+/// A typed lookup miss from [`Snapshot::expect`]: the requested
+/// metric was not in the snapshot. Carries the full key so callers can
+/// report (or assert on) exactly what was absent instead of panicking
+/// on a bare `Option`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricMiss {
+    /// The family name that was looked up.
+    pub name: String,
+    /// The canonicalized label set that was looked up.
+    pub labels: Labels,
+}
+
+impl std::fmt::Display for MetricMiss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect();
+        write!(
+            f,
+            "metric {}{{{}}} not present in snapshot",
+            self.name,
+            labels.join(",")
+        )
+    }
+}
+
+impl std::error::Error for MetricMiss {}
+
 /// A point-in-time capture of a whole [`Registry`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
@@ -206,6 +236,25 @@ impl Snapshot {
         self.metrics
             .iter()
             .find(|m| m.name == name && m.labels == labels)
+    }
+
+    /// As [`find`](Self::find), but a miss comes back as a typed
+    /// [`MetricMiss`] naming the absent key — for callers that treat a
+    /// missing metric as a reportable condition rather than a panic
+    /// (e.g. the serve shutdown-drain check).
+    ///
+    /// # Errors
+    ///
+    /// [`MetricMiss`] when no metric matches `(name, labels)`.
+    pub fn expect(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<&MetricSnapshot, MetricMiss> {
+        self.find(name, labels).ok_or_else(|| MetricMiss {
+            name: name.to_string(),
+            labels: canonical(labels),
+        })
     }
 
     /// All members of a family, in label order.
@@ -443,6 +492,23 @@ mod tests {
         assert!(text.contains("b.level{x=\"y\"}"), "{text}");
         assert!(text.contains("-2 (peak 0)"), "{text}");
         assert!(text.contains("p99="), "{text}");
+    }
+
+    #[test]
+    fn expect_hits_like_find_and_misses_typed() {
+        let r = Registry::new();
+        r.counter("serve.queries", &[]).inc();
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.expect("serve.queries", &[]).unwrap().value,
+            MetricValue::Counter(1)
+        );
+        let miss = snap
+            .expect("serve.shutdown_drain_ns", &[("shard", "3")])
+            .unwrap_err();
+        assert_eq!(miss.name, "serve.shutdown_drain_ns");
+        assert_eq!(miss.labels, vec![("shard".to_string(), "3".to_string())]);
+        assert!(miss.to_string().contains("not present"), "{miss}");
     }
 
     #[test]

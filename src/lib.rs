@@ -19,8 +19,12 @@
 //!   evaluation.
 //! * [`workload`] — synthetic information-network workloads.
 //! * [`serve`] — the serving front-end: sharded index layout, a
-//!   worker-per-shard concurrent query engine, and lock-free snapshot
-//!   refresh for re-publication.
+//!   worker-per-shard concurrent query engine, lock-free snapshot
+//!   refresh for re-publication, and the two-replica private
+//!   (XOR-PIR) serve mode.
+//! * [`pir`] — the information-theoretic 2-server PIR primitives the
+//!   private serve mode is built on: selection vectors, query-pair
+//!   generation, and branchless oblivious XOR-scan kernels.
 //! * [`durability`] — the crash-safe epoch lineage store: write-ahead
 //!   delta log, atomic checkpoints, warm recovery and re-anchoring.
 //! * [`telemetry`] — the workspace-wide metrics layer: lock-free
@@ -56,6 +60,7 @@ pub use eppi_durability as durability;
 pub use eppi_index as index;
 pub use eppi_mpc as mpc;
 pub use eppi_net as net;
+pub use eppi_pir as pir;
 pub use eppi_protocol as protocol;
 pub use eppi_serve as serve;
 pub use eppi_telemetry as telemetry;
