@@ -5,8 +5,10 @@
 //! snapshot.
 //!
 //! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
-//! `EPPI_PRIVATE_OUT` overrides the output path.
-use eppi_bench::private::{run, to_json, to_table, PrivateLoadConfig};
+//! `EPPI_PRIVATE_OUT` overrides the output path; `--trace-out <path>`
+//! additionally writes one traced private query as Chrome
+//! `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+use eppi_bench::private::{one_query_chrome_trace, run, to_json, to_table, PrivateLoadConfig};
 use eppi_bench::Scale;
 use std::path::PathBuf;
 
@@ -38,4 +40,9 @@ fn main() {
     }
     std::fs::write(&out, to_json(&report, scale)).expect("write BENCH_private.json");
     eprintln!("wrote {}", out.display());
+
+    if let Some(path) = eppi_bench::trace_out_arg() {
+        std::fs::write(&path, one_query_chrome_trace(&config)).expect("write trace JSON");
+        eprintln!("wrote {}", path.display());
+    }
 }

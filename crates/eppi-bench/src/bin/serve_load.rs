@@ -5,9 +5,12 @@
 //! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
 //! `EPPI_TELEMETRY=off` disables the engine-side per-query
 //! instrumentation (the overhead baseline — harness measurement stays
-//! on); `EPPI_SERVE_OUT` overrides the output path.
-use eppi_bench::serve::{run, to_json, to_table, ServeLoadConfig};
+//! on); `EPPI_SERVE_OUT` overrides the output path; `--trace-out
+//! <path>` additionally writes the traced overhead pass's span log as
+//! Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+use eppi_bench::serve::{run, to_json, to_table, trace_overhead, ServeLoadConfig};
 use eppi_bench::Scale;
+use eppi_trace::chrome;
 use std::path::PathBuf;
 
 fn main() {
@@ -19,13 +22,28 @@ fn main() {
         let v = v.to_ascii_lowercase();
         config.telemetry = !matches!(v.as_str(), "off" | "0" | "false");
     }
-    let report = run(&config);
+    let mut report = run(&config);
+    let (overhead, trace_log) = trace_overhead(&config);
+    println!(
+        "trace overhead: {:.0} qps untraced vs {:.0} qps traced ({:+.1}%), {} events kept, {} dropped",
+        overhead.untraced.qps,
+        overhead.traced.qps,
+        overhead.overhead_pct,
+        overhead.events,
+        overhead.dropped,
+    );
+    report.trace = Some(overhead);
     eppi_bench::print_table(&to_table(&report));
     println!(
         "telemetry snapshot ({} metrics):",
         report.telemetry.metrics.len()
     );
     print!("{}", report.telemetry.to_text());
+
+    if let Some(path) = eppi_bench::trace_out_arg() {
+        std::fs::write(&path, chrome::to_chrome_string(&trace_log)).expect("write trace JSON");
+        eprintln!("wrote {}", path.display());
+    }
 
     let out: PathBuf = std::env::var_os("EPPI_SERVE_OUT")
         .map_or_else(|| PathBuf::from("results/BENCH_serve.json"), PathBuf::from);

@@ -63,6 +63,27 @@ impl Scale {
     }
 }
 
+/// Reads the `--trace-out <path>` (or `--trace-out=<path>`) argument
+/// the traced binaries (`serve_load`, `bench_private`) accept: where to
+/// write the run's Chrome `trace_event` JSON. `None` when absent.
+///
+/// # Panics
+///
+/// Panics if `--trace-out` is given without a path.
+pub fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            let path = args.next().expect("--trace-out requires a path");
+            return Some(path.into());
+        }
+        if let Some(path) = arg.strip_prefix("--trace-out=") {
+            return Some(path.into());
+        }
+    }
+    None
+}
+
 /// Prints a table as markdown, or as CSV when `EPPI_CSV=1` — for piping
 /// straight into a plotting script.
 pub fn print_table(table: &report::Table) {

@@ -168,6 +168,33 @@ fn build_index(config: &PrivateLoadConfig) -> PublishedIndex {
     PublishedIndex::new(matrix, betas)
 }
 
+/// Runs one traced private query against a fresh engine and returns
+/// its Chrome `trace_event` JSON (the `--trace-out` exemplar of
+/// `bench_private`): client submit → PIR pair generation → both
+/// replicas' scatter / per-shard scan / gather → recombine, one span
+/// each (DESIGN.md §13).
+pub fn one_query_chrome_trace(config: &PrivateLoadConfig) -> String {
+    use eppi_trace::{chrome, TraceConfig, Tracer};
+
+    let registry = Registry::new();
+    let index = build_index(config);
+    let tracer = Tracer::new(TraceConfig::default());
+    let engine = PrivateEngine::start_traced(
+        &index,
+        ServeConfig {
+            shards: config.shards,
+            queue_depth: config.queue_depth,
+            telemetry: config.telemetry,
+        },
+        &registry,
+        tracer.clone(),
+    );
+    let mut client = engine.client(config.seed ^ 0x7bace);
+    let _ = client.query(OwnerId(0));
+    engine.shutdown();
+    chrome::to_chrome_string(&tracer.collect())
+}
+
 /// Runs the four passes and assembles the report.
 pub fn run(config: &PrivateLoadConfig) -> PrivateLoadReport {
     let registry = Registry::new();
@@ -515,6 +542,27 @@ mod tests {
     use eppi_telemetry::MetricValue;
 
     #[test]
+    fn one_query_trace_exports_full_private_path() {
+        let config = PrivateLoadConfig::quick();
+        let text = one_query_chrome_trace(&config);
+        let doc = JsonValue::parse(&text).expect("chrome trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents");
+        let count = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some(name))
+                .count()
+        };
+        assert_eq!(count("private.query"), 1);
+        assert_eq!(count("pir.scatter"), 2);
+        assert_eq!(count("pir.scan"), 2 * config.shards);
+        assert_eq!(count("pir.recombine"), 1);
+    }
+
+    #[test]
     fn quick_run_is_equivalent_and_amortizes() {
         let mut config = PrivateLoadConfig::quick();
         config.plaintext_ops_per_client = 200;
@@ -574,11 +622,7 @@ mod tests {
         assert_eq!(snap, report.telemetry);
         // The pir.* counters made it into the snapshot and moved.
         for name in ["pir.scans", "pir.queries", "pir.scanned_words"] {
-            match &snap
-                .find(name, &[])
-                .unwrap_or_else(|| panic!("{name}"))
-                .value
-            {
+            match &snap.expect(name, &[]).unwrap().value {
                 MetricValue::Counter(v) => assert!(*v > 0, "{name} never moved"),
                 other => panic!("unexpected metric {other:?}"),
             }

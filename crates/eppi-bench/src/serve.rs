@@ -35,6 +35,7 @@ use eppi_protocol::construct::{construct_distributed_with_registry, ProtocolConf
 use eppi_serve::{default_shards, ServeConfig, ServeEngine};
 use eppi_telemetry::json::JsonValue;
 use eppi_telemetry::{HistogramSummary, Registry, Snapshot};
+use eppi_trace::{TraceConfig, TraceLog, Tracer};
 use eppi_workload::presets::Preset;
 use eppi_workload::queries::QueryWorkload;
 use rand::rngs::StdRng;
@@ -175,6 +176,24 @@ pub struct LoadResult {
     pub latency: LatencySummary,
 }
 
+/// Traced-vs-untraced closed-loop comparison (DESIGN.md §13): the same
+/// closed-loop pass against a fresh engine without a tracer and against
+/// one with every request under an `eppi-trace` span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOverhead {
+    /// Closed-loop pass with tracing off.
+    pub untraced: LoadResult,
+    /// The same pass with every request traced.
+    pub traced: LoadResult,
+    /// Throughput lost to tracing, in percent of the untraced qps
+    /// (negative when the traced pass happened to run faster).
+    pub overhead_pct: f64,
+    /// Span/instant events surviving in the rings after the traced pass.
+    pub events: u64,
+    /// Events overwritten by ring overflow during the traced pass.
+    pub dropped: u64,
+}
+
 /// Everything one invocation produces (feeds both table and JSON).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeLoadReport {
@@ -190,6 +209,9 @@ pub struct ServeLoadReport {
     /// the engine's `serve.*` families, and the construction probe's
     /// `construct.*`/`secsum.*` families.
     pub telemetry: Snapshot,
+    /// Traced-vs-untraced overhead comparison, when measured (the
+    /// `serve_load` binary always measures it; [`run`] leaves it out).
+    pub trace: Option<TraceOverhead>,
 }
 
 fn build_index(config: &ServeLoadConfig) -> PublishedIndex {
@@ -263,8 +285,77 @@ pub fn run(config: &ServeLoadConfig) -> ServeLoadReport {
         owners,
         passes,
         telemetry: registry.snapshot(),
+        trace: None,
     }
 }
+
+/// Measures the closed-loop cost of tracing: the same closed-loop
+/// pass against an untraced engine and against an engine whose every
+/// request runs under an `eppi-trace` span, on one index and workload.
+/// Returns the comparison plus the last traced pass's collected
+/// [`TraceLog`], so callers can export it (`--trace-out`).
+///
+/// Machine noise between two single passes routinely reaches the same
+/// magnitude as the tracing cost itself, so this runs
+/// [`TRACE_OVERHEAD_ROUNDS`] interleaved untraced/traced pairs and
+/// compares the best pass of each mode: peak throughput is far more
+/// stable than any individual pass.
+pub fn trace_overhead(config: &ServeLoadConfig) -> (TraceOverhead, TraceLog) {
+    // A quick-scale pass lasts ~10 ms — too short for a stable qps
+    // reading — so the overhead passes run at least 5000 ops/client.
+    let mut config = config.clone();
+    config.ops_per_client = config.ops_per_client.max(5_000);
+    let config = &config;
+    let index = build_index(config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xabcd);
+    let workload = QueryWorkload::new(index.matrix().owners(), config.skew, &mut rng);
+    let serve_config = ServeConfig {
+        shards: config.shards,
+        queue_depth: config.queue_depth,
+        telemetry: config.telemetry,
+    };
+
+    let mut untraced: Option<LoadResult> = None;
+    let mut traced: Option<LoadResult> = None;
+    let mut last_tracer = Tracer::disabled();
+    for _ in 0..TRACE_OVERHEAD_ROUNDS {
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&index, serve_config, &registry);
+        let mut pass = closed_loop(&engine, &workload, config, 1, &registry);
+        engine.shutdown();
+        pass.mode = "closed_loop_untraced".into();
+        if untraced.as_ref().is_none_or(|best| pass.qps > best.qps) {
+            untraced = Some(pass);
+        }
+
+        let registry = Registry::new();
+        let tracer = Tracer::new(TraceConfig::default());
+        let engine = ServeEngine::start_traced(&index, serve_config, &registry, tracer.clone());
+        let mut pass = closed_loop(&engine, &workload, config, 1, &registry);
+        engine.shutdown();
+        pass.mode = "closed_loop_traced".into();
+        if traced.as_ref().is_none_or(|best| pass.qps > best.qps) {
+            traced = Some(pass);
+        }
+        last_tracer = tracer;
+    }
+    let untraced = untraced.expect("TRACE_OVERHEAD_ROUNDS >= 1");
+    let traced = traced.expect("TRACE_OVERHEAD_ROUNDS >= 1");
+
+    let log = last_tracer.collect();
+    let overhead = TraceOverhead {
+        overhead_pct: (untraced.qps - traced.qps) / untraced.qps * 100.0,
+        events: log.total_events() as u64,
+        dropped: log.total_dropped(),
+        untraced,
+        traced,
+    };
+    (overhead, log)
+}
+
+/// Interleaved untraced/traced pass pairs [`trace_overhead`] runs; the
+/// reported numbers are each mode's best pass.
+pub const TRACE_OVERHEAD_ROUNDS: usize = 4;
 
 /// Builds the pass result from the shared per-pass histogram and the
 /// ops counter — the same numbers the exported snapshot carries.
@@ -422,7 +513,7 @@ pub fn to_json(report: &ServeLoadReport, scale: &str) -> String {
             ])
         })
         .collect();
-    let doc = JsonValue::Object(vec![
+    let mut fields = vec![
         ("bench".into(), JsonValue::Str("serve_load".into())),
         ("scale".into(), JsonValue::Str(scale.into())),
         (
@@ -461,8 +552,20 @@ pub fn to_json(report: &ServeLoadReport, scale: &str) -> String {
         ),
         ("passes".into(), JsonValue::Array(passes)),
         ("telemetry".into(), report.telemetry.to_json_value()),
-    ]);
-    let mut out = doc.to_pretty();
+    ];
+    if let Some(trace) = &report.trace {
+        fields.push((
+            "trace".into(),
+            JsonValue::Object(vec![
+                ("untraced_qps".into(), JsonValue::Float(trace.untraced.qps)),
+                ("traced_qps".into(), JsonValue::Float(trace.traced.qps)),
+                ("overhead_pct".into(), JsonValue::Float(trace.overhead_pct)),
+                ("events".into(), JsonValue::UInt(trace.events)),
+                ("dropped".into(), JsonValue::UInt(trace.dropped)),
+            ]),
+        ));
+    }
+    let mut out = JsonValue::Object(fields).to_pretty();
     out.push('\n');
     out
 }
@@ -584,8 +687,8 @@ mod tests {
         // The passes' latency numbers come from these histograms.
         for pass in &report.passes {
             let m = snap
-                .find("load.latency_ns", &[("pass", &pass.mode)])
-                .expect("pass histogram");
+                .expect("load.latency_ns", &[("pass", &pass.mode)])
+                .unwrap();
             match &m.value {
                 MetricValue::Histogram(h) => {
                     assert_eq!(
@@ -598,6 +701,33 @@ mod tests {
                 other => panic!("unexpected metric {other:?}"),
             }
         }
+    }
+
+    /// The traced-vs-untraced comparison runs both passes, collects a
+    /// non-empty span log, and lands as a `trace` section in the JSON.
+    #[test]
+    fn trace_overhead_measures_both_passes() {
+        let mut config = ServeLoadConfig::quick();
+        config.ops_per_client = 200;
+        config.open_duration = Duration::from_millis(20);
+        let (overhead, log) = trace_overhead(&config);
+        assert_eq!(overhead.untraced.mode, "closed_loop_untraced");
+        assert_eq!(overhead.traced.mode, "closed_loop_traced");
+        assert!(overhead.untraced.ops > 0 && overhead.traced.ops > 0);
+        assert!(overhead.events > 0, "traced pass recorded no spans");
+        assert_eq!(overhead.events as usize, log.total_events());
+        assert!(log.trace_ids().iter().any(|&t| {
+            log.span_tree(t)
+                .is_some_and(|n| n.name == "serve.query" && n.count("serve.shard_query") == 1)
+        }));
+
+        let mut report = run(&config);
+        report.trace = Some(overhead);
+        let json = to_json(&report, "quick");
+        let doc = JsonValue::parse(&json).expect("parses");
+        let trace = doc.get("trace").expect("trace section");
+        assert!(trace.get("untraced_qps").is_some());
+        assert!(trace.get("overhead_pct").is_some());
     }
 
     /// The `telemetry: false` baseline still produces a full report —

@@ -39,6 +39,7 @@ use eppi_core::delta::IndexDelta;
 use eppi_core::model::MembershipMatrix;
 use eppi_protocol::{construct_delta_with_registry, DeltaConstruction, IndexEpoch};
 use eppi_telemetry::{Counter, Histogram, Registry};
+use eppi_trace::Tracer;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -201,13 +202,37 @@ impl DurableStore {
         dir: impl Into<PathBuf>,
         registry: &Registry,
     ) -> Result<(DurableStore, Recovery), StoreError> {
+        Self::open_traced(dir, registry, &Tracer::disabled())
+    }
+
+    /// [`open_with_registry`](Self::open_with_registry) with causal
+    /// tracing: recovery runs under a `recover.open` root span with one
+    /// child per state of the recovery machine —
+    /// `recover.checkpoint_load` (payload = checkpoint candidates
+    /// scanned), `recover.wal_scan` (payload = valid frames found), one
+    /// `recover.replay_record` per delta re-run through
+    /// `construct_delta` (payload = the record's epoch), and
+    /// `recover.truncate` (payload = bytes discarded) when a tail is
+    /// cut. A disabled tracer records nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`open`](Self::open).
+    pub fn open_traced(
+        dir: impl Into<PathBuf>,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> Result<(DurableStore, Recovery), StoreError> {
         let dir = dir.into();
         let metrics = StoreMetrics::new(registry);
         let started = Instant::now();
+        let open_span = tracer.root("recover.open");
+        let octx = open_span.ctx();
 
         // State 1 — newest decodable checkpoint, newest-first by
         // (lineage, epoch); a corrupt newest file falls back to the
         // retained older one (strictly older valid state).
+        let mut load_span = tracer.child(octx, "recover.checkpoint_load");
         let candidates = checkpoint::scan(&dir)?;
         if candidates.is_empty() {
             return Err(StoreError::NoCheckpoint { dir });
@@ -236,10 +261,15 @@ impl DurableStore {
             });
         };
         let checkpoint_epoch = head.epoch();
+        load_span.set_payload(total as u64);
+        drop(load_span);
 
         // State 2 — replay the log's valid frame prefix in epoch order.
         let wal_path = dir.join(WAL_FILE);
+        let mut scan_span = tracer.child(octx, "recover.wal_scan");
         let scan = Wal::scan(&wal_path)?;
+        scan_span.set_payload(scan.frames.len() as u64);
+        drop(scan_span);
         let mut tail_defect = scan.defect;
         let mut replayed = 0;
         let mut skipped_stale = 0;
@@ -260,6 +290,8 @@ impl DurableStore {
                 break;
             }
             let matrix = record.matrix();
+            let mut replay_span = tracer.child(octx, "recover.replay_record");
+            replay_span.set_payload(record.epoch);
             match construct_delta_with_registry(&head, &matrix, &record.delta, registry) {
                 Ok(out) => {
                     head = out.epoch;
@@ -278,6 +310,8 @@ impl DurableStore {
         let mut wal = Wal::open(&wal_path)?;
         let discarded_bytes = scan.file_len - kept;
         if discarded_bytes > 0 {
+            let mut truncate_span = tracer.child(octx, "recover.truncate");
+            truncate_span.set_payload(discarded_bytes);
             wal.truncate_to(kept)?;
             self_fsync_note(&metrics);
         }
@@ -553,6 +587,60 @@ mod tests {
         assert_eq!(recovery.replayed, 1);
         assert_eq!(reopened.head().epoch(), 4);
         assert_eq!(reopened.head().index(), live.epoch.index());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traced_recovery_spans_every_state() {
+        use eppi_trace::TraceConfig;
+
+        let dir = tmp_dir("traced");
+        let (mut mat, e, cfg) = base(7);
+        let epoch0 = construct_epoch(&mat, &e, &cfg).unwrap();
+        let registry = Registry::new();
+        let mut store = DurableStore::create_with_registry(&dir, &epoch0, &registry).unwrap();
+        for step in 0..3 {
+            let delta = touch(&mut mat, step, step + 2);
+            store
+                .advance_with_registry(&mat, &delta, &registry)
+                .unwrap();
+        }
+        drop(store);
+
+        // Tear the final record so the truncate state runs too.
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let tracer = Tracer::new(TraceConfig::default());
+        let (reopened, recovery) = DurableStore::open_traced(&dir, &registry, &tracer).unwrap();
+        assert_eq!(recovery.replayed, 2);
+        assert!(recovery.discarded_bytes > 0);
+        assert_eq!(reopened.head().epoch(), 2);
+        drop(reopened);
+
+        let log = tracer.collect();
+        let traces = log.trace_ids();
+        assert_eq!(traces.len(), 1);
+        let tree = log.span_tree(traces[0]).unwrap();
+        assert_eq!(tree.name, "recover.open");
+        assert_eq!(tree.count("recover.checkpoint_load"), 1);
+        assert_eq!(tree.count("recover.wal_scan"), 1);
+        assert_eq!(
+            tree.count("recover.replay_record"),
+            2,
+            "{}",
+            log.render(traces[0])
+        );
+        assert_eq!(tree.count("recover.truncate"), 1);
+        // Replay spans carry the epoch each record produced.
+        let epochs: Vec<u64> = tree
+            .children
+            .iter()
+            .filter(|c| c.name == "recover.replay_record")
+            .map(|c| c.payload)
+            .collect();
+        assert_eq!(epochs, vec![1, 2]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

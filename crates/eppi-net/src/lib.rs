@@ -16,6 +16,9 @@
 //!   and thread-backed implementations.
 //! * [`topology`] — ring successor maps and coordinator selection used by
 //!   the SecSumShare share-distribution step (Fig. 3).
+//! * [`traced`] — a [`transport::Transport`] decorator emitting one
+//!   causal span per protocol exchange (DESIGN.md §13), so MPC rounds
+//!   show up in `eppi-trace` span trees.
 //!
 //! ## Traffic-accounting convention
 //!
@@ -41,6 +44,7 @@
 pub mod sim;
 pub mod threaded;
 pub mod topology;
+pub mod traced;
 pub mod transport;
 
 use std::fmt;

@@ -291,15 +291,15 @@ mod tests {
         counters.publish_to(&registry, "net");
         let snap = registry.snapshot();
         assert_eq!(
-            snap.find("net.messages", &[]).unwrap().value,
+            snap.expect("net.messages", &[]).unwrap().value,
             MetricValue::Counter(6)
         );
         assert_eq!(
-            snap.find("net.bytes", &[("peer", "1")]).unwrap().value,
+            snap.expect("net.bytes", &[("peer", "1")]).unwrap().value,
             MetricValue::Counter(16)
         );
         assert_eq!(
-            snap.find("net.rounds", &[("peer", "2")]).unwrap().value,
+            snap.expect("net.rounds", &[("peer", "2")]).unwrap().value,
             MetricValue::Counter(1)
         );
         // One total + one member per peer, per family.
@@ -307,7 +307,11 @@ mod tests {
         // Publishing again accumulates rather than replacing.
         counters.publish_to(&registry, "net");
         assert_eq!(
-            registry.snapshot().find("net.messages", &[]).unwrap().value,
+            registry
+                .snapshot()
+                .expect("net.messages", &[])
+                .unwrap()
+                .value,
             MetricValue::Counter(12)
         );
     }

@@ -564,13 +564,13 @@ mod tests {
             }
         }
         assert_eq!(
-            snap.find("construct.gates", &[("stage", "count")])
+            snap.expect("construct.gates", &[("stage", "count")])
                 .unwrap()
                 .value,
             MetricValue::Counter(out.report.count_stage.circuit.total_gates as u64)
         );
         assert_eq!(
-            snap.find("secsum.messages", &[]).unwrap().value,
+            snap.expect("secsum.messages", &[]).unwrap().value,
             MetricValue::Counter(out.report.secsum.messages)
         );
     }

@@ -24,8 +24,10 @@ use eppi_mpc::gmw_core::{
     deal_packed_triples, logical_bits, protocol_rounds, run_party, PartyCore, Schedule,
 };
 use eppi_net::threaded::run_parties;
+use eppi_net::traced::TracedTransport;
 use eppi_net::transport::{PackedBatch, ThreadedTransport};
 use eppi_telemetry::Registry;
+use eppi_trace::{SpanCtx, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -84,6 +86,39 @@ pub fn execute_threaded_with_registry(
     seed: u64,
     registry: &Registry,
 ) -> (Vec<bool>, ThreadedGmwReport) {
+    execute_threaded_traced(
+        circuit,
+        layout,
+        inputs,
+        seed,
+        registry,
+        &Tracer::disabled(),
+        SpanCtx::NONE,
+    )
+}
+
+/// [`execute_threaded_with_registry`] with causal tracing: the run is
+/// one `mpc.execute` span (a child of `parent`, or a fresh trace root
+/// when `parent` is [`SpanCtx::NONE`], payload = AND gates), each party
+/// thread runs under its own `mpc.party` child span (payload = party
+/// id), every protocol exchange is a `net.exchange` span via
+/// [`TracedTransport`], and each completed AND round drops an
+/// `mpc.and_round` instant (payload = round index) per party. Passing a
+/// disabled tracer makes this identical to the untraced entry point.
+///
+/// # Panics
+///
+/// Panics if the layout does not cover the circuit inputs or `inputs`
+/// disagrees with the layout.
+pub fn execute_threaded_traced(
+    circuit: &Circuit,
+    layout: &InputLayout,
+    inputs: &[Vec<bool>],
+    seed: u64,
+    registry: &Registry,
+    tracer: &Tracer,
+    parent: SpanCtx,
+) -> (Vec<bool>, ThreadedGmwReport) {
     assert_eq!(
         layout.total_inputs(),
         circuit.inputs(),
@@ -98,13 +133,26 @@ pub fn execute_threaded_with_registry(
     let and_rounds = sched.and_rounds();
     let round_hist = registry.histogram("gmw.round_ns", &[]);
 
+    let mut exec_span = if parent.is_none() {
+        tracer.root("mpc.execute")
+    } else {
+        tracer.child(parent, "mpc.execute")
+    };
+    exec_span.set_payload(sched.and_gates() as u64);
+    let exec_ctx = exec_span.ctx();
+
     let (mut results, counters) = run_parties::<PackedBatch, (Vec<bool>, u64), _>(parties, {
         let sched = &sched;
         let triples = &triples;
         let round_hist = Arc::clone(&round_hist);
+        let tracer = tracer.clone();
         move |h| {
             let me = h.me().index();
-            let mut transport = ThreadedTransport::new(h);
+            let mut party_span = tracer.child(exec_ctx, "mpc.party");
+            party_span.set_payload(me as u64);
+            let pctx = party_span.ctx();
+            let mut transport =
+                TracedTransport::new(ThreadedTransport::new(h), tracer.clone(), pctx);
             let mut core = PartyCore::new(circuit, layout, sched, me, triples[me].clone());
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9e3779b97f4a7c15));
@@ -116,13 +164,15 @@ pub fn execute_threaded_with_registry(
                 &inputs[me],
                 &mut rng,
                 &mut transport,
-                |_, took| {
+                |round, took| {
+                    tracer.instant(pctx, "mpc.and_round", round as u64);
                     if me == 0 {
                         round_hist.record(took.as_nanos() as u64);
                     }
                 },
             );
-            (out, transport.bits_sent())
+            let bits = transport.into_inner().bits_sent();
+            (out, bits)
         }
     });
 
@@ -233,18 +283,72 @@ mod tests {
         // input round + AND rounds + output round for a 2-party run.
         assert_eq!(report.rounds, report.and_rounds + 2);
         let snap = registry.snapshot();
-        match &snap.find("gmw.round_ns", &[]).unwrap().value {
+        match &snap.expect("gmw.round_ns", &[]).unwrap().value {
             MetricValue::Histogram(h) => assert_eq!(h.count, report.and_rounds as u64),
             other => panic!("unexpected metric {other:?}"),
         }
         assert_eq!(
-            snap.find("gmw.rounds", &[]).unwrap().value,
+            snap.expect("gmw.rounds", &[]).unwrap().value,
             MetricValue::Counter(report.and_rounds as u64)
         );
         assert_eq!(
-            snap.find("gmw.and_gates", &[]).unwrap().value,
+            snap.expect("gmw.and_gates", &[]).unwrap().value,
             MetricValue::Counter(report.and_gates as u64)
         );
+    }
+
+    #[test]
+    fn traced_run_spans_every_party_round_and_exchange() {
+        use eppi_trace::{TraceConfig, Tracer};
+
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input_word(4);
+        let b = cb.input_word(4);
+        let lt = cb.lt_words(&a, &b);
+        let circuit = cb.finish(vec![lt]);
+        let layout = InputLayout::new(vec![4, 4]);
+        let inputs = vec![to_bits(3, 4), to_bits(9, 4)];
+        let registry = Registry::new();
+        let tracer = Tracer::new(TraceConfig::default());
+
+        let (out, report) = execute_threaded_traced(
+            &circuit,
+            &layout,
+            &inputs,
+            11,
+            &registry,
+            &tracer,
+            eppi_trace::SpanCtx::NONE,
+        );
+        assert_eq!(out, vec![true]);
+
+        let log = tracer.collect();
+        let traces = log.trace_ids();
+        assert_eq!(traces.len(), 1, "one mpc.execute root trace");
+        let tree = log.span_tree(traces[0]).unwrap();
+        assert_eq!(tree.name, "mpc.execute");
+        assert_eq!(tree.payload, report.and_gates as u64);
+        assert_eq!(tree.count("mpc.party"), report.parties);
+        // Every protocol round of every party is one exchange span, and
+        // every AND round drops one instant per party.
+        assert_eq!(
+            tree.count("net.exchange"),
+            report.parties * report.rounds,
+            "{}",
+            log.render(traces[0])
+        );
+        assert_eq!(
+            tree.count("mpc.and_round"),
+            report.parties * report.and_rounds
+        );
+        for party in &tree.children {
+            assert_eq!(party.count("net.exchange"), report.rounds);
+        }
+
+        // The untraced entry point reports identically.
+        let (out2, report2) = execute_threaded(&circuit, &layout, &inputs, 11);
+        assert_eq!(out2, out);
+        assert_eq!(report2, report);
     }
 
     #[test]

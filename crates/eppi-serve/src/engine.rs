@@ -39,6 +39,7 @@ use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
 use eppi_durability::DurableStore;
 use eppi_pir::SelectionVector;
 use eppi_telemetry::{Counter, Gauge, Histogram, Recorder, Registry};
+use eppi_trace::{SpanCtx, SpanGuard, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -178,12 +179,16 @@ enum Job {
         owner: OwnerId,
         /// Enqueue time, for the `serve.enqueue_wait_ns` histogram.
         at: Instant,
+        /// Trace context of the submitting request ([`SpanCtx::NONE`]
+        /// when untraced — the worker then records nothing).
+        ctx: SpanCtx,
         reply: Sender<Vec<ProviderId>>,
     },
     Batch {
         /// `(position in the caller's batch, owner)` pairs for this shard.
         entries: Vec<(u32, OwnerId)>,
         at: Instant,
+        ctx: SpanCtx,
         reply: Sender<Vec<(u32, Vec<ProviderId>)>>,
     },
     /// Obliviously XOR-scan one shard of a pinned snapshot for a batch
@@ -195,6 +200,8 @@ enum Job {
         snapshot: Arc<ShardedIndex>,
         shard: usize,
         queries: Arc<Vec<SelectionVector>>,
+        /// Scatter-span context the per-shard scan spans hang under.
+        ctx: SpanCtx,
         /// One partial answer share per query vector.
         reply: Sender<Vec<Vec<u64>>>,
     },
@@ -210,6 +217,7 @@ enum Job {
 struct WorkerCtx {
     stats: ServeStats,
     telemetry: bool,
+    tracer: Tracer,
     queue_depth: Arc<Gauge>,
     install_lag: Arc<Histogram>,
     enqueue_wait: Recorder,
@@ -253,6 +261,7 @@ pub struct ServeEngine {
     /// publish out of epoch order. The read path never takes it.
     install: Mutex<()>,
     telemetry: bool,
+    tracer: Tracer,
     shutdown_drain: Arc<Histogram>,
 }
 
@@ -279,6 +288,26 @@ impl ServeEngine {
         config: ServeConfig,
         registry: &Registry,
     ) -> Self {
+        Self::start_traced(index, config, registry, Tracer::disabled())
+    }
+
+    /// [`start_with_registry`](Self::start_with_registry) with causal
+    /// span tracing: requests submitted through this engine's clients
+    /// open root spans, and shard workers hang per-job child spans
+    /// under whatever [`SpanCtx`] arrives in the job — so traced
+    /// requests produce complete cross-thread span trees while
+    /// untraced ones (a [`Tracer::disabled`] handle, or jobs carrying
+    /// [`SpanCtx::NONE`]) record nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn start_traced(
+        index: &PublishedIndex,
+        config: ServeConfig,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> Self {
         let initial = Arc::new(ShardedIndex::from_index_versioned(index, config.shards, 0));
         let snapshot = Arc::new(SnapshotCell::new(Arc::clone(&initial)));
         let stats = ServeStats::register(registry);
@@ -290,6 +319,7 @@ impl ServeEngine {
             let ctx = WorkerCtx {
                 stats: stats.clone(),
                 telemetry: config.telemetry,
+                tracer: tracer.clone(),
                 queue_depth: registry.gauge("serve.queue_depth", labels),
                 install_lag: registry.histogram("serve.install_lag_ns", labels),
                 enqueue_wait: registry.recorder("serve.enqueue_wait_ns", labels),
@@ -314,6 +344,7 @@ impl ServeEngine {
             version: AtomicU64::new(0),
             install: Mutex::new(()),
             telemetry: config.telemetry,
+            tracer,
             shutdown_drain: registry.histogram("serve.shutdown_drain_ns", &[]),
         }
     }
@@ -350,7 +381,14 @@ impl ServeEngine {
             senders: self.senders.clone(),
             telemetry: self.telemetry,
             epoch: Instant::now(),
+            tracer: self.tracer.clone(),
         }
+    }
+
+    /// The engine's tracer ([`Tracer::disabled`] unless started via
+    /// [`start_traced`](Self::start_traced)).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Number of shards / workers.
@@ -461,6 +499,23 @@ impl ServeEngine {
     /// client that generated its vectors against a slightly stale owner
     /// count consistent across both replicas of a 2-server deployment.
     pub fn pir_submit(&self, queries: Arc<Vec<SelectionVector>>) -> PendingPir {
+        self.pir_submit_traced(queries, SpanCtx::NONE)
+    }
+
+    /// [`pir_submit`](Self::pir_submit) under a trace: opens a
+    /// `pir.scatter` span (closed when [`PendingPir::gather`] returns,
+    /// so it covers the whole replica round trip) whose children are
+    /// the per-shard `pir.scan` worker spans. The scatter span's
+    /// payload is the answer-share byte count — like every payload on
+    /// the private path, a function of the snapshot shape only, never
+    /// of what the vectors select.
+    pub fn pir_submit_traced(
+        &self,
+        queries: Arc<Vec<SelectionVector>>,
+        parent: SpanCtx,
+    ) -> PendingPir {
+        let span = self.tracer.child(parent, "pir.scatter");
+        let scan_ctx = span.ctx();
         let snapshot = self.current();
         self.stats.pir_scans.inc();
         self.stats.pir_queries.add(queries.len() as u64);
@@ -471,6 +526,7 @@ impl ServeEngine {
                 snapshot: Arc::clone(&snapshot),
                 shard,
                 queries: Arc::clone(&queries),
+                ctx: scan_ctx,
                 reply,
             };
             if tx.send(job).is_ok() {
@@ -483,6 +539,8 @@ impl ServeEngine {
             queries: queries.len(),
             replies,
             stats: self.stats.clone(),
+            tracer: self.tracer.clone(),
+            span: Some(span),
         }
     }
 
@@ -519,7 +577,12 @@ impl Drop for ServeEngine {
 fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCtx) {
     while let Ok(job) = rx.recv() {
         match job {
-            Job::Query { owner, at, reply } => {
+            Job::Query {
+                owner,
+                at,
+                ctx: span_ctx,
+                reply,
+            } => {
                 let started = if ctx.telemetry {
                     // This worker is the gauge's only writer: the store
                     // stays in its own cache line, uncontended.
@@ -532,7 +595,12 @@ fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCt
                     None
                 };
                 ctx.stats.queries.inc();
-                let result = view.try_query(owner).unwrap_or_default();
+                let result = {
+                    let mut span = ctx.tracer.child(span_ctx, "serve.shard_query");
+                    let result = view.try_query(owner).unwrap_or_default();
+                    span.set_payload(result.len() as u64);
+                    result
+                };
                 if let Some(started) = started {
                     ctx.service.record(started.elapsed().as_nanos() as u64);
                 }
@@ -541,6 +609,7 @@ fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCt
             Job::Batch {
                 mut entries,
                 at,
+                ctx: span_ctx,
                 reply,
             } => {
                 let started = if ctx.telemetry {
@@ -555,6 +624,8 @@ fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCt
                 };
                 ctx.stats.queries.add(entries.len() as u64);
                 ctx.stats.batches.inc();
+                let mut span = ctx.tracer.child(span_ctx, "serve.shard_batch");
+                span.set_payload(entries.len() as u64);
                 // Coalesce duplicate owners: sort by owner so repeats are
                 // adjacent, resolve each unique row once, and answer the
                 // repeats from the previous result. The reply carries
@@ -577,6 +648,9 @@ fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCt
                 if dupes > 0 {
                     ctx.stats.batch_dupes.add(dupes);
                 }
+                // End the span before replying so the gathering client
+                // observes a complete trace.
+                drop(span);
                 if let Some(started) = started {
                     ctx.service.record(started.elapsed().as_nanos() as u64);
                 }
@@ -586,11 +660,21 @@ fn worker_loop(rx: Receiver<Job>, mut view: Arc<ShardedIndex>, mut ctx: WorkerCt
                 snapshot,
                 shard,
                 queries,
+                ctx: span_ctx,
                 reply,
             } => {
                 let wpr = snapshot.words_per_row();
                 let mut accs = vec![vec![0u64; wpr]; queries.len()];
-                let words = snapshot.pir_scan_shard(shard, &queries, &mut accs);
+                let words = {
+                    // The scan span's payload is the words scanned —
+                    // `rows × words_per_row` for this shard whatever
+                    // the vectors select, so a traced private query
+                    // leaks nothing the scan-volume counters don't.
+                    let mut span = ctx.tracer.child(span_ctx, "pir.scan");
+                    let words = snapshot.pir_scan_shard(shard, &queries, &mut accs);
+                    span.set_payload(words);
+                    words
+                };
                 ctx.stats.pir_scanned_words.add(words);
                 let _ = reply.send(accs);
             }
@@ -632,6 +716,9 @@ pub struct PendingPir {
     queries: usize,
     replies: Vec<Receiver<Vec<Vec<u64>>>>,
     stats: ServeStats,
+    tracer: Tracer,
+    /// The `pir.scatter` span, closed when the gather completes.
+    span: Option<SpanGuard>,
 }
 
 impl PendingPir {
@@ -640,12 +727,23 @@ impl PendingPir {
     /// shard worker was gone or died mid-scan (engine shut down) — the
     /// PIR analogue of the plaintext client's fail-fast empty answer.
     pub fn gather(self) -> Option<PirServerAnswer> {
-        if self.replies.len() != self.expected {
+        let PendingPir {
+            snapshot,
+            expected,
+            queries,
+            replies,
+            stats,
+            tracer,
+            mut span,
+        } = self;
+        if replies.len() != expected {
             return None;
         }
-        let wpr = self.snapshot.words_per_row();
-        let mut shares = vec![vec![0u64; wpr]; self.queries];
-        for rx in self.replies {
+        let scatter_ctx = span.as_ref().map_or(SpanCtx::NONE, SpanGuard::ctx);
+        let gather_span = tracer.child(scatter_ctx, "pir.gather");
+        let wpr = snapshot.words_per_row();
+        let mut shares = vec![vec![0u64; wpr]; queries];
+        for rx in replies {
             let partials = rx.recv().ok()?;
             for (share, partial) in shares.iter_mut().zip(partials) {
                 for (s, p) in share.iter_mut().zip(partial) {
@@ -653,13 +751,16 @@ impl PendingPir {
                 }
             }
         }
-        self.stats
-            .pir_answer_bytes
-            .add((self.queries * wpr * 8) as u64);
+        drop(gather_span);
+        let answer_bytes = (queries * wpr * 8) as u64;
+        stats.pir_answer_bytes.add(answer_bytes);
+        if let Some(span) = &mut span {
+            span.set_payload(answer_bytes);
+        }
         Some(PirServerAnswer {
-            version: self.snapshot.version(),
-            rows: self.snapshot.owners(),
-            providers: self.snapshot.providers(),
+            version: snapshot.version(),
+            rows: snapshot.owners(),
+            providers: snapshot.providers(),
             shares,
         })
     }
@@ -691,6 +792,8 @@ pub struct ServeClient {
     /// Placeholder enqueue stamp when telemetry is off (skips the
     /// clock read on the submit path).
     epoch: Instant,
+    /// Roots a span per request when the engine was started traced.
+    tracer: Tracer,
 }
 
 impl ServeClient {
@@ -707,23 +810,29 @@ impl ServeClient {
     /// (beyond the current index) and a shut-down engine both answer
     /// with the empty candidate list, matching an empty `PpiServer`.
     pub fn query(&self, owner: OwnerId) -> Vec<ProviderId> {
+        let mut span = self.tracer.root("serve.query");
         let (reply, rx) = bounded(1);
         let shard = shard_of(owner, self.senders.len());
         let job = Job::Query {
             owner,
             at: self.stamp(),
+            ctx: span.ctx(),
             reply,
         };
         if self.senders[shard].send(job).is_err() {
             return Vec::new();
         }
-        rx.recv().unwrap_or_default()
+        let result = rx.recv().unwrap_or_default();
+        span.set_payload(result.len() as u64);
+        result
     }
 
     /// Evaluates a batch of queries: scatters the owners to their
     /// shards, gathers the per-shard answers, and returns results in
     /// request order (`result[i]` answers `owners[i]`).
     pub fn query_batch(&self, owners: &[OwnerId]) -> Vec<Vec<ProviderId>> {
+        let mut span = self.tracer.root("serve.query_batch");
+        span.set_payload(owners.len() as u64);
         let shards = self.senders.len();
         let mut per_shard: Vec<Vec<(u32, OwnerId)>> = vec![Vec::new(); shards];
         for (pos, &owner) in owners.iter().enumerate() {
@@ -739,6 +848,7 @@ impl ServeClient {
             let job = Job::Batch {
                 entries,
                 at: self.stamp(),
+                ctx: span.ctx(),
                 reply,
             };
             if self.senders[shard].send(job).is_ok() {

@@ -48,6 +48,7 @@ use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
 use eppi_core::rows::providers_in_row;
 use eppi_pir::{QueryPair, SelectionVector};
 use eppi_telemetry::Registry;
+use eppi_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -106,9 +107,36 @@ impl PrivateEngine {
         config: ServeConfig,
         registry: &Registry,
     ) -> Self {
+        Self::start_traced(index, config, registry, Tracer::disabled())
+    }
+
+    /// [`start_with_registry`](Self::start_with_registry) with causal
+    /// span tracing: both replicas share `tracer`, and every client
+    /// query opens a `private.query` root span whose children cover
+    /// vector generation, each replica's scatter / per-shard oblivious
+    /// scan / gather, and the final recombine. The traced tree is
+    /// oblivious by construction — every span name, count, and payload
+    /// on this path depends only on the batch length and the snapshot
+    /// shape, never on which owners are probed (enforced by the
+    /// `trace_obliviousness` property test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn start_traced(
+        index: &PublishedIndex,
+        config: ServeConfig,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> Self {
         PrivateEngine {
-            a: Arc::new(ServeEngine::start_with_registry(index, config, registry)),
-            b: Arc::new(ServeEngine::start_with_registry(index, config, registry)),
+            a: Arc::new(ServeEngine::start_traced(
+                index,
+                config,
+                registry,
+                tracer.clone(),
+            )),
+            b: Arc::new(ServeEngine::start_traced(index, config, registry, tracer)),
         }
     }
 
@@ -121,7 +149,14 @@ impl PrivateEngine {
             a: Arc::clone(&self.a),
             b: Arc::clone(&self.b),
             rng: StdRng::seed_from_u64(seed),
+            tracer: self.a.tracer().clone(),
         }
+    }
+
+    /// The engines' shared tracer ([`Tracer::disabled`] unless started
+    /// via [`start_traced`](Self::start_traced)).
+    pub fn tracer(&self) -> &Tracer {
+        self.a.tracer()
     }
 
     /// Installs a re-published index on both replicas (A first, then
@@ -188,6 +223,7 @@ pub struct PrivateClient {
     a: Arc<ServeEngine>,
     b: Arc<ServeEngine>,
     rng: StdRng,
+    tracer: Tracer,
 }
 
 impl PrivateClient {
@@ -210,36 +246,50 @@ impl PrivateClient {
         if owners.is_empty() {
             return Vec::new();
         }
+        // Every span and payload below is owner-independent: the root
+        // and generate/recombine payloads are the public batch length,
+        // the scatter/scan payloads are snapshot-shape byte and word
+        // counts. The `trace_obliviousness` test holds this door shut.
+        let mut root = self.tracer.root("private.query");
+        root.set_payload(owners.len() as u64);
+        let rctx = root.ctx();
         for _ in 0..MAX_VERSION_RETRIES {
             // Row count is public metadata (the index's owner universe);
             // reading it from replica A costs no privacy.
             let rows = self.a.current().owners();
-            let pairs: Vec<QueryPair> = owners
-                .iter()
-                .map(|&o| {
-                    if o.index() < rows {
-                        QueryPair::generate(rows, o.index(), &mut self.rng)
-                    } else {
-                        QueryPair::null(rows, &mut self.rng)
-                    }
-                })
-                .collect();
+            let pairs: Vec<QueryPair> = {
+                let mut gen = self.tracer.child(rctx, "pir.generate");
+                gen.set_payload(owners.len() as u64);
+                owners
+                    .iter()
+                    .map(|&o| {
+                        if o.index() < rows {
+                            QueryPair::generate(rows, o.index(), &mut self.rng)
+                        } else {
+                            QueryPair::null(rows, &mut self.rng)
+                        }
+                    })
+                    .collect()
+            };
             let to_a: Arc<Vec<SelectionVector>> =
                 Arc::new(pairs.iter().map(|p| p.a.clone()).collect());
             let to_b: Arc<Vec<SelectionVector>> =
                 Arc::new(pairs.iter().map(|p| p.b.clone()).collect());
             // Scatter to both replicas before gathering either, so the
             // two scans overlap.
-            let pending_a = self.a.pir_submit(to_a);
-            let pending_b = self.b.pir_submit(to_b);
+            let pending_a = self.a.pir_submit_traced(to_a, rctx);
+            let pending_b = self.b.pir_submit_traced(to_b, rctx);
             let (share_a, share_b) = match (pending_a.gather(), pending_b.gather()) {
                 (Some(x), Some(y)) => (x, y),
                 _ => return vec![Vec::new(); owners.len()],
             };
             if share_a.version != share_b.version {
                 self.a.stats().note_version_retry();
+                self.tracer.instant(rctx, "pir.version_retry", 1);
                 continue;
             }
+            let mut rec = self.tracer.child(rctx, "pir.recombine");
+            rec.set_payload(owners.len() as u64);
             return recombine(&share_a, &share_b);
         }
         // Installs outpaced the retry budget; fail closed like a
@@ -383,6 +433,55 @@ mod tests {
             "scan volume varies with the queried owner: {deltas:?}"
         );
         engine.shutdown();
+    }
+
+    #[test]
+    fn trace_obliviousness() {
+        use eppi_trace::{TraceConfig, Tracer};
+
+        let index = random_index(48, 48, 96, 0.3);
+        let registry = Registry::new();
+        let tracer = Tracer::new(TraceConfig::default());
+        let engine = PrivateEngine::start_traced(&index, config(), &registry, tracer.clone());
+        let mut client = engine.client(6);
+        // Probe the extremes, the middle, and an owner beyond the
+        // universe (the unknown-owner null pair). If trace structure
+        // leaked anything about the target, these would differ.
+        let probes = [OwnerId(0), OwnerId(47), OwnerId(95), OwnerId(4000)];
+        for &owner in &probes {
+            client.query(owner);
+        }
+        engine.shutdown();
+
+        let log = tracer.collect();
+        let traces = log.trace_ids();
+        assert_eq!(traces.len(), probes.len(), "one trace per probe");
+        let shapes: Vec<_> = traces
+            .iter()
+            .map(|&t| log.shape(t).expect("trace survived the ring"))
+            .collect();
+
+        // The first probe's trace must be the full private-query tree:
+        // root -> generate, two scatters each fanning into one scan per
+        // shard plus a gather, then the recombine.
+        let tree = log.span_tree(traces[0]).unwrap();
+        assert_eq!(tree.name, "private.query");
+        assert_eq!(tree.count("pir.generate"), 1);
+        assert_eq!(tree.count("pir.scatter"), 2);
+        assert_eq!(tree.count("pir.scan"), 2 * config().shards);
+        assert_eq!(tree.count("pir.gather"), 2);
+        assert_eq!(tree.count("pir.recombine"), 1);
+
+        // The obliviousness property itself: every probe's normalized
+        // shape — names, kinds, payloads, child multisets — is
+        // identical whichever owner was targeted.
+        for (i, shape) in shapes.iter().enumerate().skip(1) {
+            assert_eq!(
+                shape, &shapes[0],
+                "trace shape distinguishes probe {i} ({:?}) from probe 0",
+                probes[i]
+            );
+        }
     }
 
     #[test]

@@ -203,6 +203,8 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
@@ -335,20 +337,32 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| "surrogate \\u escape".to_string())?,
-                            );
-                            self.pos += 4;
+                            let code = self.hex4_after_u()?;
+                            let c = match code {
+                                // High surrogate: JSON encodes astral-plane
+                                // characters as a \uXXXX\uXXXX pair (any
+                                // exporter that ASCII-escapes does this for
+                                // e.g. emoji); decode the pair.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1..self.pos + 3)
+                                        != Some(&b"\\u"[..])
+                                    {
+                                        return Err("unpaired high surrogate \\u escape".into());
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4_after_u()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err("unpaired high surrogate \\u escape".into());
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(scalar).ok_or("bad \\u surrogate pair")?
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err("unpaired low surrogate \\u escape".into())
+                                }
+                                _ => char::from_u32(code).ok_or("bad \\u escape")?,
+                            };
+                            out.push(c);
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
                     }
@@ -365,6 +379,20 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Reads the 4 hex digits of a `\u` escape; `self.pos` must be at
+    /// the `u` and ends on the last digit (the caller's shared
+    /// post-escape advance steps past it).
+    fn hex4_after_u(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?, 16)
+            .map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<JsonValue, String> {
@@ -453,6 +481,75 @@ mod tests {
     fn rejects_malformed_documents() {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\q\""] {
             assert!(JsonValue::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn hostile_strings_round_trip() {
+        for s in [
+            "quote\" backslash\\ slash/ tab\t newline\n",
+            "\u{0}\u{1}\u{8}\u{b}\u{c}\u{1f}",
+            "emoji \u{1F600} accents é combining e\u{301}",
+            "label=\"a\\\"b\"",
+            "",
+        ] {
+            let doc = JsonValue::Object(vec![(s.to_string(), JsonValue::Str(s.into()))]);
+            for text in [doc.to_compact(), doc.to_pretty()] {
+                assert_eq!(JsonValue::parse(&text).unwrap(), doc, "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn decodes_surrogate_pair_escapes() {
+        // ASCII-escaping exporters (e.g. Python's json.dumps) encode
+        // astral-plane characters as UTF-16 surrogate pairs.
+        let doc = JsonValue::parse(r#""\ud83d\ude00 and \u00e9""#).unwrap();
+        assert_eq!(doc.as_str(), Some("\u{1F600} and é"));
+    }
+
+    #[test]
+    fn rejects_lone_and_malformed_surrogates() {
+        for bad in [
+            r#""\ud800""#,
+            r#""\ud800x""#,
+            r#""\ud800\u0041""#,
+            r#""\udc00""#,
+            r#""\uZZZZ""#,
+            r#""\ud8"#,
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    proptest::proptest! {
+        /// Any string value — label values included — survives a
+        /// write/parse round trip through both renderings. Drawn
+        /// characters are biased hard toward the troublemakers:
+        /// quotes, backslashes, and control characters.
+        #[test]
+        fn any_string_round_trips(seed in proptest::any::<u64>(), len in 0usize..32) {
+            let mut x = seed | 1;
+            let mut s = String::new();
+            for _ in 0..len {
+                // xorshift64 as a cheap deterministic stream.
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let c = match x % 4 {
+                    0 => '"',
+                    1 => '\\',
+                    2 => char::from_u32((x >> 3) as u32 % 0x20).unwrap(),
+                    // Anything in scalar-value space (surrogate
+                    // candidates fall back to an astral-plane char).
+                    _ => char::from_u32((x >> 3) as u32 % 0x11_0000).unwrap_or('\u{1F600}'),
+                };
+                s.push(c);
+            }
+            let doc = JsonValue::Object(vec![("v".to_string(), JsonValue::Str(s))]);
+            for text in [doc.to_compact(), doc.to_pretty()] {
+                proptest::prop_assert_eq!(&JsonValue::parse(&text).unwrap(), &doc, "{}", text);
+            }
         }
     }
 }

@@ -443,7 +443,7 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.family("net.messages").len(), 2);
         assert_eq!(
-            snap.find("net.messages", &[("peer", "1")]).unwrap().value,
+            snap.expect("net.messages", &[("peer", "1")]).unwrap().value,
             MetricValue::Counter(5)
         );
     }

@@ -1,0 +1,139 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the JSON Array-with-metadata flavour understood by
+//! `chrome://tracing` and Perfetto: one `"X"` (complete) event per
+//! span with microsecond `ts`/`dur`, one `"i"` (instant) event per
+//! point event, and `"M"` thread-name metadata records so the per-shard
+//! worker lanes are labeled. Span/trace/parent ids and payloads ride in
+//! `args`, so a trace can be audited for leakage directly in the
+//! viewer.
+
+use eppi_telemetry::json::JsonValue;
+
+use crate::collect::{SpanKind, SpanNode, TraceLog};
+
+/// Builds the Chrome trace document for every trace in the log.
+pub fn to_chrome(log: &TraceLog) -> JsonValue {
+    let mut events = Vec::new();
+    for (tid, thread) in log.threads.iter().enumerate() {
+        events.push(JsonValue::Object(vec![
+            ("name".into(), JsonValue::Str("thread_name".into())),
+            ("ph".into(), JsonValue::Str("M".into())),
+            ("pid".into(), JsonValue::UInt(1)),
+            ("tid".into(), JsonValue::UInt(tid as u64)),
+            (
+                "args".into(),
+                JsonValue::Object(vec![("name".into(), JsonValue::Str(thread.label.clone()))]),
+            ),
+        ]));
+    }
+    for trace in log.trace_ids() {
+        if let Some(root) = log.span_tree(trace) {
+            emit(log, trace, &root, &mut events);
+        }
+    }
+    JsonValue::Object(vec![
+        ("traceEvents".into(), JsonValue::Array(events)),
+        ("displayTimeUnit".into(), JsonValue::Str("ns".into())),
+    ])
+}
+
+/// [`to_chrome`] serialized compactly, ready to write to a `.json`
+/// file and load in `chrome://tracing` / Perfetto.
+pub fn to_chrome_string(log: &TraceLog) -> String {
+    to_chrome(log).to_compact()
+}
+
+fn tid_of(log: &TraceLog, label: &str) -> u64 {
+    log.threads
+        .iter()
+        .position(|t| t.label == label)
+        .unwrap_or(0) as u64
+}
+
+fn emit(log: &TraceLog, trace: u64, node: &SpanNode, out: &mut Vec<JsonValue>) {
+    let ts = JsonValue::Float(node.t0_ns as f64 / 1_000.0);
+    let mut args = vec![
+        ("trace".into(), JsonValue::UInt(trace)),
+        ("span".into(), JsonValue::UInt(node.span)),
+        ("payload".into(), JsonValue::UInt(node.payload)),
+    ];
+    let mut fields = vec![
+        ("name".into(), JsonValue::Str(node.name.clone())),
+        ("cat".into(), JsonValue::Str("eppi".into())),
+        ("pid".into(), JsonValue::UInt(1)),
+        ("tid".into(), JsonValue::UInt(tid_of(log, &node.thread))),
+        ("ts".into(), ts),
+    ];
+    match node.kind {
+        SpanKind::Instant => {
+            fields.push(("ph".into(), JsonValue::Str("i".into())));
+            fields.push(("s".into(), JsonValue::Str("t".into())));
+        }
+        SpanKind::Span => match node.duration_ns() {
+            Some(d) => {
+                fields.push(("ph".into(), JsonValue::Str("X".into())));
+                fields.push(("dur".into(), JsonValue::Float(d as f64 / 1_000.0)));
+            }
+            None => {
+                // End event lost to ring overwrite: keep the span
+                // visible as a zero-length slice, flagged in args.
+                fields.push(("ph".into(), JsonValue::Str("X".into())));
+                fields.push(("dur".into(), JsonValue::Float(0.0)));
+                args.push(("incomplete".into(), JsonValue::Bool(true)));
+            }
+        },
+    }
+    fields.push(("args".into(), JsonValue::Object(args)));
+    out.push(JsonValue::Object(fields));
+    for c in &node.children {
+        emit(log, trace, c, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, Tracer};
+
+    #[test]
+    fn chrome_export_is_valid_and_complete() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let root = tracer.root("request");
+        {
+            let mut scan = tracer.child(root.ctx(), "scan");
+            scan.set_payload(64);
+            tracer.instant(scan.ctx(), "row", 1);
+        }
+        drop(root);
+
+        let text = to_chrome_string(&tracer.collect());
+        let doc = JsonValue::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 thread metadata + 2 spans + 1 instant.
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert!(e.get("ph").is_some());
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+        }
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(JsonValue::as_str))
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+        // Spans carry ts/dur and the payload in args.
+        let scan = events
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("scan"))
+            .unwrap();
+        assert!(scan.get("ts").unwrap().as_f64().is_some());
+        assert!(scan.get("dur").unwrap().as_f64().is_some());
+        assert_eq!(
+            scan.get("args").unwrap().get("payload").unwrap().as_u64(),
+            Some(64)
+        );
+    }
+}

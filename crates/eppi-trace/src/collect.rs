@@ -1,0 +1,475 @@
+//! Stitching ring-buffer snapshots into span trees.
+//!
+//! The collector is deliberately tolerant: rings overwrite their oldest
+//! events and a snapshot can race an active writer, so any event may be
+//! missing. A span whose begin survived but whose end was dropped shows
+//! up as *incomplete* (no duration); a span whose begin was dropped is
+//! reconstructed from its end event; orphans whose parent vanished are
+//! re-attached under the trace root so the tree never silently loses
+//! whole subtrees.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ring::{RawEvent, KIND_BEGIN, KIND_END, KIND_INSTANT};
+
+/// Whether a node is a duration span or a point event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// Begin/end pair (or a surviving half of one).
+    Span,
+    /// A point event recorded with `Tracer::instant`.
+    Instant,
+}
+
+/// One thread's snapshot inside a [`TraceLog`].
+#[derive(Debug, Clone)]
+pub struct ThreadEvents {
+    /// Thread label (OS thread name, or `thread-N`).
+    pub label: String,
+    /// Decoded events, oldest first.
+    pub events: Vec<RawEvent>,
+    /// Total events the thread ever pushed.
+    pub pushed: u64,
+    /// Events lost to ring overwrite.
+    pub dropped: u64,
+}
+
+/// A collected snapshot of every thread's ring plus the name table.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    names: Vec<String>,
+    /// Per-thread snapshots, in thread registration order.
+    pub threads: Vec<ThreadEvents>,
+}
+
+/// One node of a stitched span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Resolved span name.
+    pub name: String,
+    /// Span or instant.
+    pub kind: SpanKind,
+    /// Span id.
+    pub span: u64,
+    /// Label of the thread that emitted the span's first event.
+    pub thread: String,
+    /// Start, nanoseconds since the tracer epoch.
+    pub t0_ns: u64,
+    /// End, `None` when the end event was lost to overwrite.
+    pub t1_ns: Option<u64>,
+    /// Payload from the end (or instant) event.
+    pub payload: u64,
+    /// Child nodes, ordered by start time.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Duration, when both ends survived.
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.t1_ns.map(|t1| t1.saturating_sub(self.t0_ns))
+    }
+
+    /// Nodes in this subtree (including self).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::size).sum::<usize>()
+    }
+
+    /// Depth-first search for the first node with `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Number of nodes with `name` in this subtree.
+    pub fn count(&self, name: &str) -> usize {
+        usize::from(self.name == name) + self.children.iter().map(|c| c.count(name)).sum::<usize>()
+    }
+}
+
+/// The timestamp-normalized form of a span tree: names, kinds,
+/// payloads and child multisets only — no ids, no times, no thread
+/// labels. Two traces with equal shapes are structurally identical,
+/// which is exactly what the trace-obliviousness property demands of
+/// private-mode queries.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceShape {
+    /// Span name.
+    pub name: String,
+    /// Span or instant.
+    pub kind: SpanKind,
+    /// End-event payload (must be query-independent on private paths).
+    pub payload: u64,
+    /// Child shapes, sorted canonically so sibling order (a timing
+    /// artifact) cannot distinguish two traces.
+    pub children: Vec<TraceShape>,
+}
+
+impl TraceLog {
+    pub(crate) fn new(names: Vec<String>, threads: Vec<ThreadEvents>) -> TraceLog {
+        TraceLog { names, threads }
+    }
+
+    pub(crate) fn empty() -> TraceLog {
+        TraceLog {
+            names: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Resolves an interned name id.
+    pub fn name(&self, id: u32) -> &str {
+        self.names
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Total surviving events across all threads.
+    pub fn total_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total events lost to ring overwrite across all threads.
+    pub fn total_dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Distinct trace ids with at least one surviving event, in
+    /// ascending id order. Ids are drawn from per-thread blocks, so
+    /// this is allocation order for roots opened on one thread but not
+    /// necessarily across threads.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .threads
+            .iter()
+            .flat_map(|t| t.events.iter().map(|e| e.trace))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Stitches the span tree of one trace, or `None` if no event of
+    /// that trace survived.
+    pub fn span_tree(&self, trace: u64) -> Option<SpanNode> {
+        struct Partial {
+            name: Option<u32>,
+            kind: SpanKind,
+            parent: u64,
+            thread: Option<usize>,
+            t0: Option<u64>,
+            t1: Option<u64>,
+            payload: u64,
+        }
+        let blank = || Partial {
+            name: None,
+            kind: SpanKind::Span,
+            parent: 0,
+            thread: None,
+            t0: None,
+            t1: None,
+            payload: 0,
+        };
+
+        let mut partials: HashMap<u64, Partial> = HashMap::new();
+        for (tid, thread) in self.threads.iter().enumerate() {
+            for e in thread.events.iter().filter(|e| e.trace == trace) {
+                let p = partials.entry(e.span).or_insert_with(blank);
+                match e.kind {
+                    KIND_BEGIN => {
+                        p.name = Some(e.name);
+                        p.parent = e.parent;
+                        p.thread = Some(tid);
+                        p.t0 = Some(e.t_ns);
+                    }
+                    KIND_END => {
+                        p.name.get_or_insert(e.name);
+                        if p.thread.is_none() {
+                            p.parent = e.parent;
+                            p.thread = Some(tid);
+                        }
+                        p.t1 = Some(e.t_ns);
+                        p.payload = e.payload;
+                    }
+                    KIND_INSTANT => {
+                        p.kind = SpanKind::Instant;
+                        p.name = Some(e.name);
+                        p.parent = e.parent;
+                        p.thread = Some(tid);
+                        p.t0 = Some(e.t_ns);
+                        p.t1 = Some(e.t_ns);
+                        p.payload = e.payload;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if partials.is_empty() {
+            return None;
+        }
+
+        let mut nodes: HashMap<u64, SpanNode> = partials
+            .iter()
+            .map(|(&span, p)| {
+                let t0 = p.t0.or(p.t1).unwrap_or(0);
+                (
+                    span,
+                    SpanNode {
+                        name: self.name(p.name.unwrap_or(u32::MAX)).to_string(),
+                        kind: p.kind,
+                        span,
+                        thread: p
+                            .thread
+                            .and_then(|i| self.threads.get(i))
+                            .map(|t| t.label.clone())
+                            .unwrap_or_default(),
+                        t0_ns: t0,
+                        t1_ns: if p.t0.is_some() { p.t1 } else { None },
+                        payload: p.payload,
+                        children: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+
+        // Root: the span whose id equals the trace id when it
+        // survived, else the earliest parentless/orphan span.
+        let root_id = if nodes.contains_key(&trace) {
+            trace
+        } else {
+            *partials
+                .iter()
+                .filter(|(span, p)| {
+                    p.parent == 0 || !partials.contains_key(&p.parent) || **span == p.parent
+                })
+                .min_by_key(|(span, p)| (p.t0.or(p.t1).unwrap_or(0), **span))
+                .map(|(span, _)| span)?
+        };
+
+        // Resolve each non-root span's attach target — its parent when
+        // that parent survived, else the root (orphan re-attach) — and
+        // invert into a child-list map. Span ids come from per-thread
+        // blocks, so no ordering between a parent's and a child's id
+        // can be assumed.
+        let mut kids: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (&span, p) in &partials {
+            if span == root_id {
+                continue;
+            }
+            let parent = p.parent;
+            let target = if parent != 0 && parent != span && nodes.contains_key(&parent) {
+                parent
+            } else {
+                root_id
+            };
+            if target == span {
+                continue;
+            }
+            kids.entry(target).or_default().push(span);
+        }
+
+        // Assemble depth-first from the root. `build` moves each node
+        // out of the map at most once, so parent-link cycles (possible
+        // only among torn decodes) terminate; whatever the walk never
+        // reaches hangs off the root afterwards.
+        let mut root = build(root_id, &kids, &mut nodes)?;
+        while let Some(&span) = nodes.keys().next() {
+            match build(span, &kids, &mut nodes) {
+                Some(node) => root.children.push(node),
+                None => {
+                    nodes.remove(&span);
+                }
+            }
+        }
+        sort_children(&mut root);
+        Some(root)
+    }
+
+    /// Renders one trace as an indented text tree.
+    pub fn render(&self, trace: u64) -> String {
+        let Some(root) = self.span_tree(trace) else {
+            return format!("trace {trace:#x}: no surviving events\n");
+        };
+        let mut out = format!("trace {trace:#x} ({} spans)\n", root.size());
+        render_node(&mut out, &root, 0);
+        out
+    }
+
+    /// The timestamp-normalized shape of one trace (see
+    /// [`TraceShape`]).
+    pub fn shape(&self, trace: u64) -> Option<TraceShape> {
+        self.span_tree(trace).map(|node| shape_of(&node))
+    }
+}
+
+/// Moves `span` out of `nodes` and recursively attaches its children
+/// per `kids`. `None` when the node was already consumed (cycle).
+fn build(
+    span: u64,
+    kids: &HashMap<u64, Vec<u64>>,
+    nodes: &mut HashMap<u64, SpanNode>,
+) -> Option<SpanNode> {
+    let mut node = nodes.remove(&span)?;
+    if let Some(children) = kids.get(&span) {
+        for &c in children {
+            if let Some(child) = build(c, kids, nodes) {
+                node.children.push(child);
+            }
+        }
+    }
+    Some(node)
+}
+
+fn sort_children(node: &mut SpanNode) {
+    node.children.sort_by_key(|c| (c.t0_ns, c.span));
+    for c in &mut node.children {
+        sort_children(c);
+    }
+}
+
+fn shape_of(node: &SpanNode) -> TraceShape {
+    let mut children: Vec<TraceShape> = node.children.iter().map(shape_of).collect();
+    children.sort();
+    TraceShape {
+        name: node.name.clone(),
+        kind: node.kind,
+        payload: node.payload,
+        children,
+    }
+}
+
+fn render_node(out: &mut String, node: &SpanNode, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match node.kind {
+        SpanKind::Instant => {
+            let _ = writeln!(
+                out,
+                "* {}  payload={}  @{}",
+                node.name, node.payload, node.thread
+            );
+        }
+        SpanKind::Span => {
+            match node.duration_ns() {
+                Some(d) => {
+                    let _ = write!(out, "{}  {:.1}us", node.name, d as f64 / 1_000.0);
+                }
+                None => {
+                    let _ = write!(out, "{}  (incomplete)", node.name);
+                }
+            }
+            let _ = writeln!(out, "  payload={}  @{}", node.payload, node.thread);
+        }
+    }
+    for c in &node.children {
+        render_node(out, c, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, Tracer};
+
+    fn demo_log() -> (Tracer, u64) {
+        let tracer = Tracer::new(TraceConfig::default());
+        let root = tracer.root("request");
+        let ctx = root.ctx();
+        {
+            let mut a = tracer.child(ctx, "scan");
+            a.set_payload(100);
+            tracer.instant(a.ctx(), "row", 7);
+        }
+        {
+            let mut b = tracer.child(ctx, "gather");
+            b.set_payload(2);
+        }
+        let trace = ctx.trace_id();
+        drop(root);
+        (tracer, trace)
+    }
+
+    #[test]
+    fn stitches_nested_spans_with_instants() {
+        let (tracer, trace) = demo_log();
+        let log = tracer.collect();
+        let tree = log.span_tree(trace).unwrap();
+        assert_eq!(tree.name, "request");
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].name, "scan");
+        assert_eq!(tree.children[0].children[0].kind, SpanKind::Instant);
+        assert_eq!(tree.children[0].children[0].payload, 7);
+        assert_eq!(tree.count("gather"), 1);
+        assert!(tree.find("row").is_some());
+        assert!(tree.duration_ns().is_some());
+        let text = log.render(trace);
+        assert!(text.contains("request"), "{text}");
+        assert!(text.contains("  scan"), "{text}");
+        assert!(text.contains("payload=100"), "{text}");
+    }
+
+    #[test]
+    fn shape_ignores_time_but_keeps_structure_and_payloads() {
+        let (t1, trace1) = demo_log();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let (t2, trace2) = demo_log();
+        let s1 = t1.collect().shape(trace1).unwrap();
+        let s2 = t2.collect().shape(trace2).unwrap();
+        assert_eq!(s1, s2);
+
+        // A different payload changes the shape.
+        let t3 = Tracer::new(TraceConfig::default());
+        let root = t3.root("request");
+        let ctx = root.ctx();
+        {
+            let mut a = t3.child(ctx, "scan");
+            a.set_payload(999);
+            t3.instant(a.ctx(), "row", 7);
+        }
+        {
+            let mut b = t3.child(ctx, "gather");
+            b.set_payload(2);
+        }
+        let trace3 = ctx.trace_id();
+        drop(root);
+        assert_ne!(s1, t3.collect().shape(trace3).unwrap());
+    }
+
+    #[test]
+    fn lost_end_marks_span_incomplete() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let root = tracer.root("request");
+        let child = tracer.child(root.ctx(), "hung");
+        let trace = root.ctx().trace_id();
+        // Collect while `hung` is still open.
+        let log = tracer.collect();
+        let tree = log.span_tree(trace).unwrap();
+        let hung = tree.find("hung").unwrap();
+        assert_eq!(hung.t1_ns, None);
+        assert!(log.render(trace).contains("(incomplete)"));
+        drop(child);
+        drop(root);
+    }
+
+    #[test]
+    fn orphans_reattach_under_root() {
+        // Simulate a lost intermediate span: child events whose parent
+        // id never appears in the log.
+        let tracer = Tracer::new(TraceConfig::default());
+        let root = tracer.root("request");
+        let lost = crate::SpanCtx {
+            trace: root.ctx().trace_id(),
+            span: 0xdead_beef,
+        };
+        drop(tracer.child(lost, "orphan"));
+        let trace = root.ctx().trace_id();
+        drop(root);
+        let tree = tracer.collect().span_tree(trace).unwrap();
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].name, "orphan");
+    }
+}

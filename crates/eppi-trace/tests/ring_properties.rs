@@ -1,0 +1,125 @@
+//! Property tests for the ring-buffer semantics the tracer's hot path
+//! relies on: overflow drops the oldest events (and only those), the
+//! slot table never reallocates, and the collector tolerates threads
+//! whose rings are mid-overwrite when snapshotted.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use eppi_trace::ring::{RawEvent, RingBuffer, KIND_INSTANT};
+use eppi_trace::{TraceConfig, Tracer};
+use proptest::prelude::*;
+
+fn ev(i: u64) -> RawEvent {
+    RawEvent {
+        kind: KIND_INSTANT,
+        name: (i % 17) as u32,
+        trace: 1,
+        span: i + 1,
+        parent: 0,
+        t_ns: i,
+        payload: i,
+    }
+}
+
+proptest! {
+    /// After pushing `n` events into a ring of capacity `cap`, the
+    /// snapshot holds exactly the newest `min(n, cap)` events in push
+    /// order, the drop counter matches, and the slot table stayed at
+    /// its original address and capacity (no reallocation, ever).
+    #[test]
+    fn overflow_drops_oldest_never_reallocates(cap in 1usize..65, n in 0u64..400) {
+        let ring = RingBuffer::new(cap);
+        let addr = ring.slot_table_addr();
+        for i in 0..n {
+            ring.push(&ev(i));
+            prop_assert_eq!(ring.capacity(), cap);
+            prop_assert_eq!(ring.slot_table_addr(), addr);
+        }
+        let kept: Vec<u64> = ring.snapshot().iter().map(|e| e.payload).collect();
+        let oldest = n.saturating_sub(cap as u64);
+        let want: Vec<u64> = (oldest..n).collect();
+        prop_assert_eq!(kept, want);
+        prop_assert_eq!(ring.pushed(), n);
+        prop_assert_eq!(ring.dropped(), oldest);
+    }
+
+    /// Snapshots taken while a writer hammers the ring only ever
+    /// contain internally consistent events (the seqlock discards torn
+    /// slots), and stay within capacity.
+    #[test]
+    fn snapshot_tolerates_concurrent_overwrites(cap in 1usize..33) {
+        let ring = Arc::new(RingBuffer::new(cap));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (ring, stop) = (ring.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    ring.push(&ev(i));
+                    i += 1;
+                }
+            })
+        };
+        for _ in 0..50 {
+            let snap = ring.snapshot();
+            prop_assert!(snap.len() <= cap);
+            for e in &snap {
+                // Fields of a surviving event always belong together.
+                prop_assert_eq!(e.payload, e.t_ns);
+                prop_assert_eq!(e.span, e.payload + 1);
+                prop_assert_eq!(e.name as u64, e.payload % 17);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    /// The collector builds usable span trees even when some threads'
+    /// rings overflowed: the surviving spans of each trace still stitch
+    /// into a tree (orphans under the root), never a panic or a
+    /// corrupt node.
+    #[test]
+    fn collector_tolerates_partially_overwritten_threads(
+        cap in 8usize..40,
+        requests in 1usize..30,
+        fanout in 1usize..6,
+    ) {
+        let tracer = Tracer::new(TraceConfig {
+            capacity_per_thread: cap,
+            slow_threshold: None,
+        });
+        let mut traces = Vec::new();
+        for _ in 0..requests {
+            let root = tracer.root("request");
+            for s in 0..fanout {
+                let mut shard = tracer.child(root.ctx(), "shard");
+                shard.set_payload(s as u64);
+            }
+            traces.push(root.ctx().trace_id());
+            drop(root);
+        }
+        let log = tracer.collect();
+        // Overflow may have erased early traces entirely; whatever
+        // survived must stitch cleanly.
+        for trace in log.trace_ids() {
+            let tree = log.span_tree(trace).unwrap();
+            prop_assert!(tree.size() <= 1 + fanout);
+            prop_assert!(!log.render(trace).is_empty());
+            prop_assert!(log.shape(trace).is_some());
+        }
+        // The newest trace always survives end-to-end when the ring
+        // can hold one full request (2 events per span).
+        let events_per_request = 2 * (1 + fanout);
+        if cap >= events_per_request {
+            let last = *traces.last().unwrap();
+            let tree = log.span_tree(last).unwrap();
+            prop_assert_eq!(tree.name.as_str(), "request");
+            prop_assert_eq!(tree.count("shard"), fanout);
+        }
+        prop_assert_eq!(
+            log.total_dropped(),
+            (requests * events_per_request).saturating_sub(cap) as u64
+        );
+    }
+}

@@ -31,6 +31,10 @@
 //!   counters/gauges, mergeable log-linear histograms with per-thread
 //!   recorders, span timers, and a labeled registry with text/JSON
 //!   exporters.
+//! * [`trace`] — causal span tracing: request-scoped trace ids over
+//!   per-thread ring buffers, cross-thread propagation through serve
+//!   jobs / transports / recovery, and text + Chrome `trace_event`
+//!   exporters with a trace-obliviousness guarantee in private mode.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `eppi-bench`
 //! crate for the binaries that regenerate every table and figure of the
@@ -64,4 +68,5 @@ pub use eppi_pir as pir;
 pub use eppi_protocol as protocol;
 pub use eppi_serve as serve;
 pub use eppi_telemetry as telemetry;
+pub use eppi_trace as trace;
 pub use eppi_workload as workload;
