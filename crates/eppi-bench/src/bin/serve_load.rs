@@ -8,6 +8,12 @@
 //! on); `EPPI_SERVE_OUT` overrides the output path; `--trace-out
 //! <path>` additionally writes the traced overhead pass's span log as
 //! Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+//!
+//! After the load passes the binary runs the backend-vs-scale sweep
+//! ([`eppi_bench::scale`]) — dense and compressed row storage at each
+//! owner scale (paper: 20k/200k/1M) — and embeds it as the report's
+//! `scale_sweep` section; CI gates on its memory ratio and p99.
+use eppi_bench::scale::{run_scale, ScaleConfig};
 use eppi_bench::serve::{run, to_json, to_table, trace_overhead, ServeLoadConfig};
 use eppi_bench::Scale;
 use eppi_trace::chrome;
@@ -33,6 +39,25 @@ fn main() {
         overhead.dropped,
     );
     report.trace = Some(overhead);
+
+    let scale_config = match Scale::from_env() {
+        Scale::Quick => ScaleConfig::quick(),
+        Scale::Paper => ScaleConfig::paper(),
+    };
+    let sweep = run_scale(&scale_config);
+    for point in &sweep.points {
+        println!(
+            "scale {:>9} owners {:>10} backend: {:>12} bytes, {:>6} shards, open p99 {:>9.1} us ({:.0} qps)",
+            point.owners,
+            point.backend.name(),
+            point.index_bytes,
+            point.data_shards,
+            point.open.latency.p99_us,
+            point.open.qps,
+        );
+    }
+    report.scale = Some(sweep);
+
     eppi_bench::print_table(&to_table(&report));
     println!(
         "telemetry snapshot ({} metrics):",

@@ -37,6 +37,7 @@ pub mod private;
 pub mod recovery;
 pub mod refresh;
 pub mod report;
+pub mod scale;
 pub mod search_cost;
 pub mod serve;
 pub mod table2;

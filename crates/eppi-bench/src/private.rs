@@ -185,6 +185,7 @@ pub fn one_query_chrome_trace(config: &PrivateLoadConfig) -> String {
             shards: config.shards,
             queue_depth: config.queue_depth,
             telemetry: config.telemetry,
+            backend: eppi_core::rowstore::RowBackend::Dense,
         },
         &registry,
         tracer.clone(),
@@ -206,6 +207,7 @@ pub fn run(config: &PrivateLoadConfig) -> PrivateLoadReport {
             shards: config.shards,
             queue_depth: config.queue_depth,
             telemetry: config.telemetry,
+            backend: eppi_core::rowstore::RowBackend::Dense,
         },
         &registry,
     );

@@ -206,6 +206,7 @@ fn bench_fraction(
             shards: config.shards,
             queue_depth: 64,
             telemetry: false,
+            backend: eppi_core::rowstore::RowBackend::Dense,
         },
         &Registry::new(),
     );

@@ -1,0 +1,369 @@
+//! Million-owner scale sweep over the serve path's storage backends.
+//!
+//! The paper's experiments stop at 20,000 owners; this sweep shows the
+//! serving layer holding its latency envelope as the owner population
+//! grows to a million, and measures what the pluggable row storage
+//! (DESIGN.md §14) buys: at realistic sparsity (an owner visits a few
+//! of 10,000 providers), the EWAH-compressed backend's resident bytes
+//! fall to a small fraction of the dense layout's, while answers stay
+//! bit-identical.
+//!
+//! Each scale point builds one sparse index and serves it twice — once
+//! per backend — under the *open-loop* pass (fixed arrival schedule, so
+//! queueing under load is charged to the service, not silently omitted;
+//! see the module docs of [`crate::serve`]). Memory is read back from
+//! the engine's own `serve.index_bytes` gauge rather than recomputed,
+//! so the JSON can never disagree with what the engine reported, and
+//! the shard counts come from [`eppi_serve::default_shards_for`], which
+//! scales with the owner population rather than the core count alone.
+//!
+//! CI gates on the emitted section: at the largest swept scale the
+//! compressed backend must stay under half the dense resident bytes,
+//! and its open-loop p99 must stay within a small factor of the
+//! 20k-owner dense baseline (the acceptance envelope of the
+//! million-owner index work).
+
+use crate::serve::{open_loop, LoadResult, ServeLoadConfig};
+use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use eppi_core::rowstore::RowBackend;
+use eppi_serve::{default_shards_for, ServeConfig, ServeEngine};
+use eppi_telemetry::json::JsonValue;
+use eppi_telemetry::Registry;
+use eppi_workload::presets::Preset;
+use eppi_workload::queries::QueryWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Configuration of one backend-vs-scale sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// Provider universe (fixed across scales; the paper's 10,000).
+    pub providers: usize,
+    /// Owner populations to sweep, ascending.
+    pub owner_scales: Vec<usize>,
+    /// Fewest providers an owner visits.
+    pub min_visits: usize,
+    /// Most providers an owner visits.
+    pub max_visits: usize,
+    /// Zipf exponent of the query stream.
+    pub skew: f64,
+    /// Concurrent open-loop client threads.
+    pub clients: usize,
+    /// Bounded queue depth per worker.
+    pub queue_depth: usize,
+    /// Open-loop target arrival rate (total queries/second).
+    pub open_target_qps: f64,
+    /// Open-loop run length per point.
+    pub open_duration: Duration,
+    /// Open-loop passes per point; the pass with the lowest p99 is
+    /// reported (the same best-of-N de-noising as the trace-overhead
+    /// comparison — a single short pass on a busy host charges one
+    /// scheduler hiccup to the service).
+    pub attempts: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// Paper-scale sweep: 20k → 200k → 1M owners over 10,000 providers.
+    pub fn paper() -> Self {
+        ScaleConfig {
+            providers: 10_000,
+            owner_scales: vec![20_000, 200_000, 1_000_000],
+            min_visits: 4,
+            max_visits: 16,
+            skew: 1.0,
+            clients: 4,
+            queue_depth: 1024,
+            open_target_qps: 20_000.0,
+            open_duration: Duration::from_secs(2),
+            attempts: 3,
+            seed: 0x5ca1e,
+        }
+    }
+
+    /// Scaled-down sweep for tests and CI smoke (`EPPI_SCALE=quick`):
+    /// 20k and 100k owners, short open-loop passes.
+    pub fn quick() -> Self {
+        ScaleConfig {
+            owner_scales: vec![20_000, 100_000],
+            open_target_qps: 5_000.0,
+            open_duration: Duration::from_millis(250),
+            attempts: 2,
+            ..Self::paper()
+        }
+    }
+}
+
+/// One (owner scale, backend) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Owner population served.
+    pub owners: usize,
+    /// Physical row backend.
+    pub backend: RowBackend,
+    /// Worker threads the engine ran (base shards, capped by the
+    /// engine at 4× the hardware parallelism).
+    pub shards: usize,
+    /// Data shards resident in the served snapshot.
+    pub data_shards: usize,
+    /// Resident row-storage bytes, from the `serve.index_bytes` gauge.
+    pub index_bytes: u64,
+    /// Wall-clock to build + install the sharded snapshot.
+    pub build: Duration,
+    /// The open-loop pass against this snapshot.
+    pub open: LoadResult,
+}
+
+/// The full sweep (feeds the `scale` section of `BENCH_serve.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Provider universe of every point.
+    pub providers: usize,
+    /// One entry per (owner scale × backend), dense first.
+    pub points: Vec<ScalePoint>,
+}
+
+/// A sparse membership matrix at locator-network density: each owner
+/// visits `min_visits..=max_visits` uniformly chosen providers. At
+/// 10,000 providers this is the sparsity regime the paper's networks
+/// live in, and the one where compressed rows pay off.
+fn build_sparse_index(config: &ScaleConfig, owners: usize) -> PublishedIndex {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ owners as u64);
+    let mut matrix = MembershipMatrix::new(config.providers, owners);
+    for o in 0..owners as u32 {
+        let visits = rng.gen_range(config.min_visits..=config.max_visits);
+        for _ in 0..visits {
+            let p = rng.gen_range(0..config.providers) as u32;
+            matrix.set(ProviderId(p), OwnerId(o), true);
+        }
+    }
+    let betas = vec![0.1; owners];
+    PublishedIndex::new(matrix, betas)
+}
+
+/// Owners per warmup batch request.
+const WARM_BATCH: usize = 4096;
+
+/// Runs one point: engine start (timed), full-snapshot warmup,
+/// open-loop pass, gauge readback.
+fn run_point(
+    config: &ScaleConfig,
+    index: &PublishedIndex,
+    owners: usize,
+    backend: RowBackend,
+) -> ScalePoint {
+    let shards = default_shards_for(owners);
+    let registry = Registry::new();
+    let started = Instant::now();
+    let engine = ServeEngine::start_with_registry(
+        index,
+        ServeConfig {
+            shards,
+            queue_depth: config.queue_depth,
+            telemetry: true,
+            backend,
+        },
+        &registry,
+    );
+    let build = started.elapsed();
+
+    // The open-loop driver reads its pacing knobs from a
+    // ServeLoadConfig; everything else in it is inert here.
+    let load = ServeLoadConfig {
+        preset: Preset::Mini,
+        skew: config.skew,
+        shards,
+        queue_depth: config.queue_depth,
+        clients: config.clients,
+        ops_per_client: 0,
+        batch_size: 1,
+        open_target_qps: config.open_target_qps,
+        open_duration: config.open_duration,
+        telemetry: true,
+        backend,
+        seed: config.seed ^ owners as u64,
+    };
+    // Fault in every row and warm the worker pool before the timed
+    // pass: first-touch page faults on a freshly built multi-GB
+    // snapshot are a build cost, not a serve cost, and would otherwise
+    // land in the dense points' tail latency only.
+    let warm = engine.client();
+    let mut batch = Vec::with_capacity(WARM_BATCH);
+    for o in 0..owners as u32 {
+        batch.push(OwnerId(o));
+        if batch.len() == WARM_BATCH {
+            let _ = warm.query_batch(&batch);
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        let _ = warm.query_batch(&batch);
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xab);
+    let workload = QueryWorkload::new(owners, config.skew, &mut rng);
+    // Each attempt records into its own throwaway registry so the pass
+    // histograms never mix; the engine's serve.* gauges stay on the
+    // point's registry.
+    let open = (0..config.attempts.max(1))
+        .map(|_| open_loop(&engine, &workload, &load, &Registry::new()))
+        .min_by(|a, b| {
+            a.latency
+                .p99_us
+                .partial_cmp(&b.latency.p99_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("at least one attempt");
+
+    let index_bytes = registry
+        .gauge("serve.index_bytes", &[("backend", backend.name())])
+        .get() as u64;
+    let workers = engine.shards();
+    let data_shards = engine.data_shards();
+    engine.shutdown();
+    ScalePoint {
+        owners,
+        backend,
+        shards: workers,
+        data_shards,
+        index_bytes,
+        build,
+        open,
+    }
+}
+
+/// Runs the sweep: per owner scale, one sparse index served by both
+/// backends (dense first), each under its own fresh registry so the
+/// open-loop histograms never mix across points.
+pub fn run_scale(config: &ScaleConfig) -> ScaleReport {
+    let mut points = Vec::new();
+    for &owners in &config.owner_scales {
+        let index = build_sparse_index(config, owners);
+        for backend in [RowBackend::Dense, RowBackend::Compressed] {
+            points.push(run_point(config, &index, owners, backend));
+        }
+    }
+    ScaleReport {
+        providers: config.providers,
+        points,
+    }
+}
+
+/// Serializes the sweep as the `scale` JSON section.
+pub fn to_json_value(report: &ScaleReport) -> JsonValue {
+    let points = report
+        .points
+        .iter()
+        .map(|p| {
+            JsonValue::Object(vec![
+                ("owners".into(), JsonValue::UInt(p.owners as u64)),
+                ("backend".into(), JsonValue::Str(p.backend.name().into())),
+                ("shards".into(), JsonValue::UInt(p.shards as u64)),
+                ("data_shards".into(), JsonValue::UInt(p.data_shards as u64)),
+                ("index_bytes".into(), JsonValue::UInt(p.index_bytes)),
+                (
+                    "build_ms".into(),
+                    JsonValue::Float(p.build.as_secs_f64() * 1e3),
+                ),
+                (
+                    "open_loop".into(),
+                    JsonValue::Object(vec![
+                        ("ops".into(), JsonValue::UInt(p.open.ops)),
+                        ("qps".into(), JsonValue::Float(p.open.qps)),
+                        (
+                            "latency_us".into(),
+                            JsonValue::Object(vec![
+                                ("p50".into(), JsonValue::Float(p.open.latency.p50_us)),
+                                ("p95".into(), JsonValue::Float(p.open.latency.p95_us)),
+                                ("p99".into(), JsonValue::Float(p.open.latency.p99_us)),
+                                ("max".into(), JsonValue::Float(p.open.latency.max_us)),
+                            ]),
+                        ),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![
+        ("providers".into(), JsonValue::UInt(report.providers as u64)),
+        ("points".into(), JsonValue::Array(points)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny sweep end to end: answers at both backends, gauge-backed
+    /// memory numbers, compressed strictly smaller at sparse fill, and
+    /// a well-formed JSON section.
+    #[test]
+    fn tiny_sweep_reports_both_backends() {
+        let config = ScaleConfig {
+            providers: 2_000,
+            owner_scales: vec![3_000],
+            min_visits: 2,
+            max_visits: 6,
+            clients: 2,
+            open_target_qps: 2_000.0,
+            open_duration: Duration::from_millis(100),
+            ..ScaleConfig::quick()
+        };
+        let report = run_scale(&config);
+        assert_eq!(report.points.len(), 2);
+        let dense = &report.points[0];
+        let compressed = &report.points[1];
+        assert_eq!(dense.backend, RowBackend::Dense);
+        assert_eq!(compressed.backend, RowBackend::Compressed);
+        assert_eq!(dense.owners, 3_000);
+        for p in &report.points {
+            assert!(p.open.ops > 0, "{} pass idle", p.backend);
+            assert!(p.index_bytes > 0);
+            // A freshly built snapshot has no append shards, so data
+            // shards can only exceed workers via the engine's
+            // worker-thread cap.
+            assert!(p.shards >= 1 && p.data_shards >= p.shards);
+        }
+        assert!(
+            (compressed.index_bytes as f64) < 0.5 * dense.index_bytes as f64,
+            "compressed {} vs dense {} bytes",
+            compressed.index_bytes,
+            dense.index_bytes
+        );
+
+        let json = to_json_value(&report).to_pretty();
+        for key in [
+            "\"points\"",
+            "\"index_bytes\"",
+            "\"backend\": \"compressed\"",
+            "\"open_loop\"",
+            "\"p99\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+
+        // Attached to a load report, the sweep travels in the
+        // document's `scale_sweep` section (the one CI gates on).
+        let load_report = crate::serve::ServeLoadReport {
+            config: crate::serve::ServeLoadConfig::quick(),
+            providers: config.providers,
+            owners: 3_000,
+            passes: Vec::new(),
+            telemetry: Registry::new().snapshot(),
+            trace: None,
+            scale: Some(report),
+        };
+        let doc = crate::serve::to_json(&load_report, "quick");
+        let parsed = JsonValue::parse(&doc).expect("well-formed document");
+        let sweep = parsed.get("scale_sweep").expect("scale_sweep section");
+        assert_eq!(
+            sweep
+                .get("points")
+                .and_then(|p| p.as_array())
+                .map(<[JsonValue]>::len),
+            Some(2)
+        );
+    }
+}

@@ -31,6 +31,7 @@
 
 use crate::report::Table;
 use eppi_core::model::{Epsilon, MembershipMatrix, PublishedIndex};
+use eppi_core::rowstore::RowBackend;
 use eppi_protocol::construct::{construct_distributed_with_registry, ProtocolConfig};
 use eppi_serve::{default_shards, ServeConfig, ServeEngine};
 use eppi_telemetry::json::JsonValue;
@@ -66,6 +67,8 @@ pub struct ServeLoadConfig {
     /// Engine-side per-query instrumentation (`false` = overhead
     /// baseline; harness-side measurement stays on).
     pub telemetry: bool,
+    /// Physical row-storage backend of the served snapshot.
+    pub backend: RowBackend,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -86,6 +89,7 @@ impl ServeLoadConfig {
             open_target_qps: 50_000.0,
             open_duration: Duration::from_secs(2),
             telemetry: true,
+            backend: RowBackend::Dense,
             seed: 0x5e12e,
         }
     }
@@ -103,6 +107,7 @@ impl ServeLoadConfig {
             open_target_qps: 5_000.0,
             open_duration: Duration::from_millis(200),
             telemetry: true,
+            backend: RowBackend::Dense,
             seed: 0x5e12e,
         }
     }
@@ -212,6 +217,9 @@ pub struct ServeLoadReport {
     /// Traced-vs-untraced overhead comparison, when measured (the
     /// `serve_load` binary always measures it; [`run`] leaves it out).
     pub trace: Option<TraceOverhead>,
+    /// Backend-vs-owner-scale sweep, when measured (the `serve_load`
+    /// binary runs it; [`run`] leaves it out).
+    pub scale: Option<crate::scale::ScaleReport>,
 }
 
 fn build_index(config: &ServeLoadConfig) -> PublishedIndex {
@@ -257,6 +265,7 @@ pub fn run(config: &ServeLoadConfig) -> ServeLoadReport {
             shards: config.shards,
             queue_depth: config.queue_depth,
             telemetry: config.telemetry,
+            backend: config.backend,
         },
         &registry,
     );
@@ -286,6 +295,7 @@ pub fn run(config: &ServeLoadConfig) -> ServeLoadReport {
         passes,
         telemetry: registry.snapshot(),
         trace: None,
+        scale: None,
     }
 }
 
@@ -313,6 +323,7 @@ pub fn trace_overhead(config: &ServeLoadConfig) -> (TraceOverhead, TraceLog) {
         shards: config.shards,
         queue_depth: config.queue_depth,
         telemetry: config.telemetry,
+        backend: config.backend,
     };
 
     let mut untraced: Option<LoadResult> = None;
@@ -416,7 +427,7 @@ fn closed_loop(
     pass_result(registry, mode, started.elapsed())
 }
 
-fn open_loop(
+pub(crate) fn open_loop(
     engine: &ServeEngine,
     workload: &QueryWorkload,
     config: &ServeLoadConfig,
@@ -547,6 +558,10 @@ pub fn to_json(report: &ServeLoadReport, scale: &str) -> String {
                     JsonValue::UInt(report.config.batch_size as u64),
                 ),
                 ("telemetry".into(), JsonValue::Bool(report.config.telemetry)),
+                (
+                    "backend".into(),
+                    JsonValue::Str(report.config.backend.name().into()),
+                ),
                 ("seed".into(), JsonValue::UInt(report.config.seed)),
             ]),
         ),
@@ -564,6 +579,9 @@ pub fn to_json(report: &ServeLoadReport, scale: &str) -> String {
                 ("dropped".into(), JsonValue::UInt(trace.dropped)),
             ]),
         ));
+    }
+    if let Some(sweep) = &report.scale {
+        fields.push(("scale_sweep".into(), crate::scale::to_json_value(sweep)));
     }
     let mut out = JsonValue::Object(fields).to_pretty();
     out.push('\n');

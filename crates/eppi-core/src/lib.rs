@@ -28,6 +28,10 @@
 //! * [`rows`] — packed provider-row extraction and answer types shared
 //!   by the serving layout (`eppi-serve`) and the oblivious
 //!   private-query subsystem (`eppi-pir`).
+//! * [`rowstore`] — pluggable physical storage for packed rows: the
+//!   flat dense layout the PIR scans require, and an EWAH-style
+//!   compressed bitmap store for the plaintext serve path at
+//!   million-owner scale (DESIGN.md §14).
 //! * [`sensitivity`] — the provider-sensitivity extension: a second
 //!   personalization axis (§I's women's-health-center example), reduced
 //!   conservatively onto the per-owner ε knob.
@@ -68,6 +72,7 @@ pub mod policy;
 pub mod privacy;
 pub mod publish;
 pub mod rows;
+pub mod rowstore;
 pub mod sensitivity;
 
 pub use construct::{construct, extend_construction, Construction, ConstructionConfig};
@@ -76,4 +81,7 @@ pub use error::EppiError;
 pub use model::{Epsilon, LocalVector, MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
 pub use policy::{BasicPolicy, BetaPolicy, ChernoffPolicy, IncrementedPolicy, PolicyKind};
 pub use privacy::{success_ratio, OwnerPrivacy, PrivacyDegree};
-pub use rows::{providers_in_row, row_words, RowAnswer};
+pub use rows::{providers_in_row, providers_in_word, row_words, RowAnswer};
+pub use rowstore::{
+    CompressedRows, CompressedRowsBuilder, DenseRows, RowBackend, RowBlock, RowStore,
+};

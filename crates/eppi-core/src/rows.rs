@@ -31,17 +31,26 @@ pub fn row_words(providers: usize) -> usize {
 pub fn providers_in_row(words: &[u64], providers: usize) -> Vec<ProviderId> {
     let mut out = Vec::new();
     for (block, &w) in words.iter().enumerate() {
-        let mut bits = w;
-        while bits != 0 {
-            let p = block * ROW_WORD_BITS + bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            if p >= providers {
-                break;
-            }
-            out.push(ProviderId(p as u32));
-        }
+        providers_in_word(w, block * ROW_WORD_BITS, providers, &mut out);
     }
     out
+}
+
+/// Decodes the set bits of one packed word (whose bit 0 represents
+/// provider `base`) into `out`, in ascending order, ignoring positions
+/// `>= providers`. The word-level primitive behind [`providers_in_row`],
+/// shared with the compressed-row decoder in [`crate::rowstore`] so
+/// both stores decode literal words identically.
+pub fn providers_in_word(word: u64, base: usize, providers: usize, out: &mut Vec<ProviderId>) {
+    let mut bits = word;
+    while bits != 0 {
+        let p = base + bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        if p >= providers {
+            break;
+        }
+        out.push(ProviderId(p as u32));
+    }
 }
 
 /// A packed provider row plus the provider count that scopes it — the

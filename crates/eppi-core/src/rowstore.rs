@@ -1,0 +1,734 @@
+//! Pluggable storage backends for packed provider rows.
+//!
+//! The serving layer keeps one packed provider bitmap per owner (see
+//! [`crate::rows`] for the shape). How those bitmaps are *stored* is a
+//! scale decision, not a semantic one, so this module abstracts it
+//! behind [`RowStore`] with two backends:
+//!
+//! * [`DenseRows`] — the flat slot-major `u64` block the layout has
+//!   always used. Every row occupies exactly `words_per_row` words at
+//!   a computable offset, which is what the oblivious PIR scan kernels
+//!   (`eppi-pir`) require: their memory traffic must depend only on
+//!   the block shape, never on row content, so the PIR replicas keep
+//!   this backend unconditionally.
+//! * [`CompressedRows`] — a word-aligned EWAH-style compressed bitmap
+//!   store for the plaintext serve path. The published matrix is
+//!   boolean and strongly skewed (most owners visit a handful of the
+//!   `m` providers), so run-length-encoding the all-zero (and all-one)
+//!   words cuts resident memory by roughly the inverse density — ~10×
+//!   or better at paper-like sparsity — while the word-level decode
+//!   kernels keep per-query cost proportional to the row's *content*,
+//!   not the provider universe.
+//!
+//! [`RowBlock`] is the closed enum the sharded layout actually holds:
+//! it dispatches [`RowStore`] to whichever backend was selected
+//! ([`RowBackend`]) and exposes the dense words ([`RowBlock::as_dense`])
+//! only when they physically exist, so a compressed block can never be
+//! scanned obliviously by accident.
+//!
+//! ## Compressed format
+//!
+//! Each row is encoded as a sequence of `u64` tokens over its
+//! `words_per_row` uncompressed words:
+//!
+//! ```text
+//! marker word:  bit 63        fill value (0 = zero words, 1 = all-one words)
+//!               bits 32..63   fill run length, in words (31 bits)
+//!               bits 0..32    literal word count that follows
+//! literals:     `literal count` verbatim u64 words
+//! ```
+//!
+//! Markers and literals for every row of a block live in one shared
+//! stream with a per-row offset table, so a block is two allocations
+//! however many rows it holds. Every marker covers at least one
+//! uncompressed word, which bounds the stream at `2 ×` the dense size
+//! even for adversarial bit patterns; sparse rows collapse to a few
+//! words each.
+
+use crate::model::ProviderId;
+use crate::rows::{providers_in_word, row_words, ROW_WORD_BITS};
+use std::fmt;
+
+/// Which physical row layout a store uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowBackend {
+    /// Flat slot-major packed words — the PIR-scannable layout.
+    Dense,
+    /// EWAH-style word-level run-length compression.
+    Compressed,
+}
+
+impl RowBackend {
+    /// Stable lowercase name, used as a telemetry label value and a
+    /// codec tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            RowBackend::Dense => "dense",
+            RowBackend::Compressed => "compressed",
+        }
+    }
+}
+
+impl fmt::Display for RowBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Read-only access to a block of packed provider rows, independent of
+/// the physical layout. Slot addressing is the store's own (the caller
+/// maps owners to slots); all stores over the same `providers` universe
+/// answer bit-identically for the same logical rows.
+pub trait RowStore: fmt::Debug + Send + Sync {
+    /// Number of rows resident in the block.
+    fn rows(&self) -> usize;
+
+    /// Provider universe the rows are scoped to.
+    fn providers(&self) -> usize;
+
+    /// Uncompressed words per row (`ceil(providers / 64)`, min 1).
+    fn words_per_row(&self) -> usize {
+        row_words(self.providers())
+    }
+
+    /// Decompresses row `slot` into `out` (exactly
+    /// [`words_per_row`](Self::words_per_row) words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `out` is mis-sized.
+    fn read_row_into(&self, slot: usize, out: &mut [u64]);
+
+    /// Decodes row `slot` straight into the ascending provider list
+    /// `QueryPPI` answers with — the serve read path. Backends override
+    /// this when they can decode without materializing the dense row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    fn providers_in_slot(&self, slot: usize) -> Vec<ProviderId> {
+        let mut row = vec![0u64; self.words_per_row()];
+        self.read_row_into(slot, &mut row);
+        crate::rows::providers_in_row(&row, self.providers())
+    }
+
+    /// Bytes of heap memory the block actually holds resident — the
+    /// quantity behind the `serve.index_bytes` telemetry gauge.
+    fn resident_bytes(&self) -> usize;
+}
+
+/// The flat slot-major packed layout: row `s` occupies words
+/// `s * words_per_row .. (s + 1) * words_per_row`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseRows {
+    words: Vec<u64>,
+    providers: usize,
+    words_per_row: usize,
+}
+
+impl DenseRows {
+    /// Wraps a slot-major word buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not a whole number of rows for the
+    /// `providers` universe.
+    pub fn from_words(words: Vec<u64>, providers: usize) -> Self {
+        let words_per_row = row_words(providers);
+        assert_eq!(
+            words.len() % words_per_row,
+            0,
+            "ragged dense block: {} words, {words_per_row} per row",
+            words.len()
+        );
+        DenseRows {
+            words,
+            providers,
+            words_per_row,
+        }
+    }
+
+    /// The whole packed block, slot-major — the shape the oblivious
+    /// scan kernels consume.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Row `slot` as a word slice (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn row(&self, slot: usize) -> &[u64] {
+        &self.words[slot * self.words_per_row..(slot + 1) * self.words_per_row]
+    }
+}
+
+/// The dense block *is* its word slice — what makes the PIR scan
+/// kernels generic over "anything physically dense" without knowing
+/// this crate's store types.
+impl AsRef<[u64]> for DenseRows {
+    fn as_ref(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl RowStore for DenseRows {
+    fn rows(&self) -> usize {
+        self.words.len() / self.words_per_row
+    }
+
+    fn providers(&self) -> usize {
+        self.providers
+    }
+
+    fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    fn read_row_into(&self, slot: usize, out: &mut [u64]) {
+        out.copy_from_slice(self.row(slot));
+    }
+
+    fn providers_in_slot(&self, slot: usize) -> Vec<ProviderId> {
+        crate::rows::providers_in_row(self.row(slot), self.providers)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+/// Marker-word field layout (see the module docs).
+const FILL_ONE: u64 = 1 << 63;
+const RUN_SHIFT: u32 = 32;
+const RUN_MAX: u64 = (1 << 31) - 1;
+const LIT_MASK: u64 = (1 << 32) - 1;
+
+#[inline]
+fn marker(fill_one: bool, run: u64, literals: u64) -> u64 {
+    debug_assert!(run <= RUN_MAX && literals <= LIT_MASK);
+    (if fill_one { FILL_ONE } else { 0 }) | (run << RUN_SHIFT) | literals
+}
+
+/// The EWAH-style compressed store: one shared token stream plus a
+/// per-row offset table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedRows {
+    /// Concatenated marker/literal tokens of every row.
+    stream: Vec<u64>,
+    /// `rows() + 1` offsets into `stream`; row `s` spans
+    /// `offsets[s] .. offsets[s + 1]`.
+    offsets: Vec<u32>,
+    providers: usize,
+    words_per_row: usize,
+}
+
+impl CompressedRows {
+    /// Compresses a slot-major dense block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is ragged for the `providers` universe.
+    pub fn from_dense_words(words: &[u64], providers: usize) -> Self {
+        let words_per_row = row_words(providers);
+        assert_eq!(
+            words.len() % words_per_row,
+            0,
+            "ragged dense block: {} words, {words_per_row} per row",
+            words.len()
+        );
+        let mut builder = CompressedRowsBuilder::new(providers);
+        for row in words.chunks_exact(words_per_row) {
+            builder.push_row(row);
+        }
+        builder.finish()
+    }
+
+    /// Rebuilds the compressed stream from raw parts — the codec's
+    /// decode path. Validates that the offsets tile the stream and that
+    /// every row's tokens decompress to exactly `words_per_row` words.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first structural defect found.
+    pub fn from_parts(
+        stream: Vec<u64>,
+        offsets: Vec<u32>,
+        providers: usize,
+    ) -> Result<Self, &'static str> {
+        if offsets.first() != Some(&0) {
+            return Err("offset table must start at 0");
+        }
+        if *offsets.last().unwrap() as usize != stream.len() {
+            return Err("offset table must end at the stream length");
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offset table must be monotone");
+        }
+        let store = CompressedRows {
+            stream,
+            offsets,
+            providers,
+            words_per_row: row_words(providers),
+        };
+        for slot in 0..store.rows() {
+            let mut covered = 0usize;
+            let mut tokens = store.row_tokens(slot).iter();
+            while let Some(&m) = tokens.next() {
+                let run = ((m >> RUN_SHIFT) & RUN_MAX) as usize;
+                let lits = (m & LIT_MASK) as usize;
+                covered += run + lits;
+                for _ in 0..lits {
+                    if tokens.next().is_none() {
+                        return Err("marker promises more literals than the row holds");
+                    }
+                }
+            }
+            if covered != store.words_per_row {
+                return Err("row tokens do not cover exactly words_per_row words");
+            }
+        }
+        Ok(store)
+    }
+
+    /// The raw token stream (for serialization).
+    pub fn stream(&self) -> &[u64] {
+        &self.stream
+    }
+
+    /// The raw offset table (for serialization).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    fn row_tokens(&self, slot: usize) -> &[u64] {
+        &self.stream[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
+    }
+
+    /// Word-level batch decode: answers several slots in one call,
+    /// reusing nothing but saving the per-call dispatch — the kernel
+    /// the serve batch path uses after coalescing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is out of range.
+    pub fn providers_in_slots(&self, slots: &[u32]) -> Vec<Vec<ProviderId>> {
+        slots
+            .iter()
+            .map(|&s| self.providers_in_slot(s as usize))
+            .collect()
+    }
+}
+
+impl RowStore for CompressedRows {
+    fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn providers(&self) -> usize {
+        self.providers
+    }
+
+    fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    fn read_row_into(&self, slot: usize, out: &mut [u64]) {
+        assert_eq!(out.len(), self.words_per_row, "mis-sized row buffer");
+        let mut at = 0usize;
+        let mut tokens = self.row_tokens(slot).iter();
+        while let Some(&m) = tokens.next() {
+            let run = ((m >> RUN_SHIFT) & RUN_MAX) as usize;
+            let fill = if m & FILL_ONE != 0 { !0u64 } else { 0 };
+            out[at..at + run].fill(fill);
+            at += run;
+            let lits = (m & LIT_MASK) as usize;
+            for w in out[at..at + lits].iter_mut() {
+                *w = *tokens.next().expect("validated stream");
+            }
+            at += lits;
+        }
+        debug_assert_eq!(at, self.words_per_row);
+    }
+
+    /// Word-level decode straight off the token stream: fill-one runs
+    /// emit consecutive provider ids, literal words decode bit-by-bit,
+    /// fill-zero runs are skipped entirely — per-query work tracks the
+    /// row's content, not the provider universe.
+    fn providers_in_slot(&self, slot: usize) -> Vec<ProviderId> {
+        let mut out = Vec::new();
+        let mut word_at = 0usize;
+        let mut tokens = self.row_tokens(slot).iter();
+        while let Some(&m) = tokens.next() {
+            let run = ((m >> RUN_SHIFT) & RUN_MAX) as usize;
+            if m & FILL_ONE != 0 {
+                let start = word_at * ROW_WORD_BITS;
+                let end = ((word_at + run) * ROW_WORD_BITS).min(self.providers);
+                out.extend((start..end).map(|p| ProviderId(p as u32)));
+            }
+            word_at += run;
+            let lits = (m & LIT_MASK) as usize;
+            for _ in 0..lits {
+                let w = *tokens.next().expect("validated stream");
+                providers_in_word(w, word_at * ROW_WORD_BITS, self.providers, &mut out);
+                word_at += 1;
+            }
+        }
+        out
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.stream.capacity() * 8 + self.offsets.capacity() * 4
+    }
+}
+
+/// Incremental [`CompressedRows`] construction, one dense row at a
+/// time.
+#[derive(Debug)]
+pub struct CompressedRowsBuilder {
+    stream: Vec<u64>,
+    offsets: Vec<u32>,
+    providers: usize,
+    words_per_row: usize,
+}
+
+impl CompressedRowsBuilder {
+    /// An empty builder over the `providers` universe.
+    pub fn new(providers: usize) -> Self {
+        CompressedRowsBuilder {
+            stream: Vec::new(),
+            offsets: vec![0],
+            providers,
+            words_per_row: row_words(providers),
+        }
+    }
+
+    /// Appends one dense row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not exactly `words_per_row` words.
+    pub fn push_row(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.words_per_row, "mis-sized row");
+        let mut i = 0usize;
+        while i < row.len() {
+            // Greedy: one fill run (of either polarity), then literals
+            // until the next compressible run of 2+ identical fills. A
+            // lone fill word inside literals stays literal — a marker
+            // would cost the same word and fragment the stream.
+            let fill_one = row[i] == !0u64;
+            let mut run = 0u64;
+            if row[i] == 0 || fill_one {
+                let fill = row[i];
+                while i < row.len() && row[i] == fill && run < RUN_MAX {
+                    run += 1;
+                    i += 1;
+                }
+            }
+            let lit_start = i;
+            while i < row.len() {
+                let w = row[i];
+                if (w == 0 || w == !0u64) && (i + 1 == row.len() || row[i + 1] == w) {
+                    break;
+                }
+                i += 1;
+            }
+            let lits = (i - lit_start) as u64;
+            self.stream.push(marker(fill_one, run, lits));
+            self.stream.extend_from_slice(&row[lit_start..i]);
+        }
+        if self.words_per_row == 0 {
+            // Unreachable (row_words >= 1) but keeps the invariant
+            // explicit: every row owns at least one marker.
+            self.stream.push(marker(false, 0, 0));
+        }
+        assert!(
+            self.stream.len() <= u32::MAX as usize,
+            "compressed stream exceeds the 32-bit offset space"
+        );
+        self.offsets.push(self.stream.len() as u32);
+    }
+
+    /// Seals the builder into an immutable store.
+    pub fn finish(self) -> CompressedRows {
+        let mut stream = self.stream;
+        let mut offsets = self.offsets;
+        stream.shrink_to_fit();
+        offsets.shrink_to_fit();
+        CompressedRows {
+            stream,
+            offsets,
+            providers: self.providers,
+            words_per_row: self.words_per_row,
+        }
+    }
+}
+
+/// The backend-tagged block the sharded serving layout holds: a closed
+/// enum rather than a trait object, so the PIR path can demand the
+/// dense words statically ([`as_dense`](Self::as_dense)) and `PartialEq`
+/// / cloning stay trivially derivable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowBlock {
+    /// Flat packed words (PIR-scannable).
+    Dense(DenseRows),
+    /// EWAH-compressed words (plaintext serve only).
+    Compressed(CompressedRows),
+}
+
+impl RowBlock {
+    /// Builds a block of the requested backend from a slot-major dense
+    /// buffer (the transpose step always produces dense words first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is ragged for the `providers` universe.
+    pub fn build(backend: RowBackend, words: Vec<u64>, providers: usize) -> Self {
+        match backend {
+            RowBackend::Dense => RowBlock::Dense(DenseRows::from_words(words, providers)),
+            RowBackend::Compressed => {
+                RowBlock::Compressed(CompressedRows::from_dense_words(&words, providers))
+            }
+        }
+    }
+
+    /// Which backend this block physically uses.
+    pub fn backend(&self) -> RowBackend {
+        match self {
+            RowBlock::Dense(_) => RowBackend::Dense,
+            RowBlock::Compressed(_) => RowBackend::Compressed,
+        }
+    }
+
+    /// The dense store, when the block physically is one. The oblivious
+    /// scan path goes through here and nowhere else: a compressed block
+    /// answers `None`, and the caller must refuse to scan rather than
+    /// silently decompress (a decompression's memory traffic would
+    /// depend on row content — exactly what obliviousness forbids).
+    pub fn as_dense(&self) -> Option<&DenseRows> {
+        match self {
+            RowBlock::Dense(d) => Some(d),
+            RowBlock::Compressed(_) => None,
+        }
+    }
+
+    /// Decompresses the whole block back into a slot-major dense
+    /// buffer — the copy-on-write rebuild path for dirty shards.
+    pub fn to_dense_words(&self) -> Vec<u64> {
+        match self {
+            RowBlock::Dense(d) => d.words().to_vec(),
+            RowBlock::Compressed(c) => {
+                let wpr = c.words_per_row();
+                let mut out = vec![0u64; c.rows() * wpr];
+                for (slot, row) in out.chunks_exact_mut(wpr).enumerate() {
+                    c.read_row_into(slot, row);
+                }
+                out
+            }
+        }
+    }
+}
+
+impl RowStore for RowBlock {
+    fn rows(&self) -> usize {
+        match self {
+            RowBlock::Dense(d) => d.rows(),
+            RowBlock::Compressed(c) => c.rows(),
+        }
+    }
+
+    fn providers(&self) -> usize {
+        match self {
+            RowBlock::Dense(d) => d.providers(),
+            RowBlock::Compressed(c) => c.providers(),
+        }
+    }
+
+    fn words_per_row(&self) -> usize {
+        match self {
+            RowBlock::Dense(d) => d.words_per_row(),
+            RowBlock::Compressed(c) => c.words_per_row(),
+        }
+    }
+
+    fn read_row_into(&self, slot: usize, out: &mut [u64]) {
+        match self {
+            RowBlock::Dense(d) => d.read_row_into(slot, out),
+            RowBlock::Compressed(c) => c.read_row_into(slot, out),
+        }
+    }
+
+    fn providers_in_slot(&self, slot: usize) -> Vec<ProviderId> {
+        match self {
+            RowBlock::Dense(d) => d.providers_in_slot(slot),
+            RowBlock::Compressed(c) => c.providers_in_slot(slot),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match self {
+            RowBlock::Dense(d) => d.resident_bytes(),
+            RowBlock::Compressed(c) => c.resident_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_block(rng: &mut StdRng, rows: usize, providers: usize, density: f64) -> Vec<u64> {
+        let wpr = row_words(providers);
+        let mut words = vec![0u64; rows * wpr];
+        for r in 0..rows {
+            for p in 0..providers {
+                if rng.gen_bool(density) {
+                    words[r * wpr + p / 64] |= 1 << (p % 64);
+                }
+            }
+        }
+        words
+    }
+
+    fn assert_equivalent(words: &[u64], providers: usize) {
+        let dense = DenseRows::from_words(words.to_vec(), providers);
+        let comp = CompressedRows::from_dense_words(words, providers);
+        assert_eq!(dense.rows(), comp.rows());
+        assert_eq!(dense.words_per_row(), comp.words_per_row());
+        let mut buf = vec![0u64; dense.words_per_row()];
+        for slot in 0..dense.rows() {
+            comp.read_row_into(slot, &mut buf);
+            assert_eq!(buf, dense.row(slot), "slot {slot} roundtrip");
+            assert_eq!(
+                comp.providers_in_slot(slot),
+                dense.providers_in_slot(slot),
+                "slot {slot} decode"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_equals_dense_across_densities() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for density in [0.0, 0.001, 0.02, 0.3, 0.7, 1.0] {
+            for providers in [1, 63, 64, 65, 200, 1000] {
+                let words = random_block(&mut rng, 17, providers, density);
+                assert_equivalent(&words, providers);
+            }
+        }
+    }
+
+    #[test]
+    fn pathological_patterns_roundtrip() {
+        let providers = 64 * 6;
+        let wpr = row_words(providers);
+        let rows: Vec<Vec<u64>> = vec![
+            vec![0; wpr],                                 // all zero
+            vec![!0; wpr],                                // all ones
+            (0..wpr as u64).map(|i| i % 2).collect(),     // alternating
+            vec![0, !0, 0, !0, 0, !0],                    // fill flip-flop
+            vec![0xdead_beef; wpr],                       // all literal
+            vec![0, 0, 0xdead_beef, !0, !0, 0x0bad_f00d], // mixed runs
+        ];
+        let words: Vec<u64> = rows.concat();
+        assert_equivalent(&words, providers);
+    }
+
+    #[test]
+    fn sparse_rows_compress_by_roughly_inverse_density() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // ~8 set bits over 10 000 providers per row, paper-like skew.
+        let providers = 10_000;
+        let wpr = row_words(providers);
+        let rows = 512;
+        let mut words = vec![0u64; rows * wpr];
+        for r in 0..rows {
+            for _ in 0..8 {
+                let p = rng.gen_range(0..providers);
+                words[r * wpr + p / 64] |= 1 << (p % 64);
+            }
+        }
+        let dense = DenseRows::from_words(words.clone(), providers);
+        let comp = CompressedRows::from_dense_words(&words, providers);
+        let ratio = comp.resident_bytes() as f64 / dense.resident_bytes() as f64;
+        assert!(ratio < 0.2, "compression ratio only {ratio:.3}");
+        assert_equivalent(&words, providers);
+    }
+
+    #[test]
+    fn worst_case_stream_stays_within_twice_dense() {
+        // Alternate literal and zero words — maximal marker overhead.
+        let providers = 64 * 8;
+        let row: Vec<u64> = (0..8u64)
+            .map(|i| if i % 2 == 0 { 0x5 } else { 0 })
+            .collect();
+        let comp = CompressedRows::from_dense_words(&row, providers);
+        assert!(comp.stream().len() <= 2 * row.len());
+        assert_equivalent(&row, providers);
+    }
+
+    #[test]
+    fn builder_matches_bulk_compression() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let providers = 300;
+        let wpr = row_words(providers);
+        let words = random_block(&mut rng, 9, providers, 0.1);
+        let bulk = CompressedRows::from_dense_words(&words, providers);
+        let mut builder = CompressedRowsBuilder::new(providers);
+        for row in words.chunks_exact(wpr) {
+            builder.push_row(row);
+        }
+        assert_eq!(builder.finish(), bulk);
+    }
+
+    #[test]
+    fn from_parts_validates_structure() {
+        let words = vec![0u64, 3, 0, 0];
+        let comp = CompressedRows::from_dense_words(&words, 128);
+        let ok = CompressedRows::from_parts(comp.stream().to_vec(), comp.offsets().to_vec(), 128)
+            .unwrap();
+        assert_eq!(ok, comp);
+        // Truncated stream: the last offset no longer matches.
+        let bad = CompressedRows::from_parts(
+            comp.stream()[..comp.stream().len() - 1].to_vec(),
+            comp.offsets().to_vec(),
+            128,
+        );
+        assert!(bad.is_err());
+        // A marker promising literals beyond the row.
+        let bad = CompressedRows::from_parts(vec![marker(false, 0, 9)], vec![0, 1], 64);
+        assert!(bad.is_err());
+        // Coverage shortfall.
+        let bad = CompressedRows::from_parts(vec![marker(false, 1, 0)], vec![0, 1], 128);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn row_block_dispatches_and_guards_the_dense_path() {
+        let words = vec![0b101u64, 0, !0, 7];
+        let dense = RowBlock::build(RowBackend::Dense, words.clone(), 100);
+        let comp = RowBlock::build(RowBackend::Compressed, words.clone(), 100);
+        assert_eq!(dense.backend(), RowBackend::Dense);
+        assert_eq!(comp.backend(), RowBackend::Compressed);
+        assert!(dense.as_dense().is_some());
+        assert!(comp.as_dense().is_none());
+        assert_eq!(dense.to_dense_words(), words);
+        assert_eq!(comp.to_dense_words(), words);
+        for slot in 0..2 {
+            assert_eq!(comp.providers_in_slot(slot), dense.providers_in_slot(slot));
+        }
+        assert!(comp.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_universe_has_well_formed_rows() {
+        let dense = RowBlock::build(RowBackend::Dense, vec![0, 0], 0);
+        let comp = RowBlock::build(RowBackend::Compressed, vec![0, 0], 0);
+        assert_eq!(dense.rows(), 2);
+        assert_eq!(comp.rows(), 2);
+        assert!(comp.providers_in_slot(1).is_empty());
+    }
+}

@@ -70,7 +70,7 @@ pub struct WriteReceipt {
     pub epoch: u64,
 }
 
-fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), StoreError> {
     File::open(dir)
         .map_err(|e| StoreError::io("open", dir, e))?
         .sync_all()

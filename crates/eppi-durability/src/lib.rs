@@ -65,11 +65,15 @@
 pub mod checkpoint;
 pub mod epoch_codec;
 pub mod error;
+pub mod serve_cache;
 pub mod store;
 pub mod wal;
 
 pub use checkpoint::Candidate;
 pub use epoch_codec::{decode_epoch, encode_epoch, epoch_to_record};
 pub use error::StoreError;
+pub use serve_cache::{
+    invalidate_serve_snapshot, load_serve_snapshot, save_serve_snapshot, SERVE_CACHE_FILE,
+};
 pub use store::{CheckpointReceipt, DurableStore, Recovery, KEEP_CHECKPOINTS, WAL_FILE};
 pub use wal::{TailDefect, Wal, WalRecord};

@@ -44,6 +44,32 @@
 //! crc32 u32          (IEEE, over every preceding byte)
 //! ```
 //!
+//! **Version 3** serializes a *serving layout* ([`ServeSnapshotRecord`]):
+//! the sharded, physically laid-out form a serve node boots from — the
+//! extendable shard-map manifest plus each shard's owner list and its
+//! row block in the backend it was built with (flat dense words, or the
+//! EWAH-style compressed token stream and offset table of
+//! `eppi_core::rowstore::CompressedRows`) — CRC-32 checksummed like v2:
+//!
+//! ```text
+//! magic  "EPPI"      4 bytes
+//! version u16        = 3
+//! snapshot_version u64
+//! backend_tag u8     (0 = dense, 1 = compressed)
+//! providers u32, owners u32
+//! base_shards u32, base_owners u32, append_capacity u32
+//! shard_count u32
+//! betas   owners × f64
+//! per shard:
+//!   owner_count u32
+//!   owners      owner_count × u32
+//!   dense:      owner_count · words_per_row × u64
+//!   compressed: token_count u32,
+//!               offsets (owner_count + 1) × u32,
+//!               stream  token_count × u64
+//! crc32 u32          (IEEE, over every preceding byte)
+//! ```
+//!
 //! **Compatibility rule (v1 → v2):** v2 is a strict superset — the
 //! matrix bitmap and β block keep their v1 layout byte for byte — but
 //! the two versions are *not* interchangeable on the wire. [`decode`]
@@ -51,16 +77,19 @@
 //! [`CodecError::UnsupportedVersion`], so a plain serve node can never
 //! mistake a coordinator checkpoint (which carries share vectors) for a
 //! public index; [`decode_epoch_record`] likewise accepts only version
-//! 2. Readers of either version reject the other loudly instead of
-//! guessing.
+//! 2, and [`decode_serve_snapshot`] only version 3. Readers of any
+//! version reject the others loudly instead of guessing.
 
 use eppi_core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use eppi_core::rows::row_words;
+use eppi_core::rowstore::RowBackend;
 use std::error::Error;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"EPPI";
 const VERSION: u16 = 1;
 const VERSION_EPOCH: u16 = 2;
+const VERSION_SERVE: u16 = 3;
 
 /// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = {
@@ -139,6 +168,13 @@ pub enum CodecError {
         /// The unknown tag value.
         tag: u8,
     },
+    /// A serve-snapshot shard failed structural validation.
+    InvalidShard {
+        /// The offending shard index.
+        shard: u32,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -168,6 +204,9 @@ impl fmt::Display for CodecError {
             }
             CodecError::UnknownTag { field, tag } => {
                 write!(f, "unknown {field} tag {tag}")
+            }
+            CodecError::InvalidShard { shard, reason } => {
+                write!(f, "invalid shard {shard}: {reason}")
             }
         }
     }
@@ -597,6 +636,259 @@ pub fn decode_epoch_record(bytes: &[u8]) -> Result<EpochRecord, CodecError> {
     })
 }
 
+/// One shard's rows in their physical serving layout.
+///
+/// The variant must agree with the snapshot's declared backend: a v3
+/// record never mixes layouts, so a serve node knows from the header
+/// alone whether the snapshot may back PIR replicas (dense only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardRowsRecord {
+    /// Flat packed words, `words_per_row` per owner slot.
+    Dense(Vec<u64>),
+    /// EWAH-style token stream plus the per-slot offset table
+    /// (`owner_count + 1` entries tiling the stream).
+    Compressed {
+        /// The shared fill/literal token stream.
+        stream: Vec<u64>,
+        /// Token offsets; entry `s` starts slot `s`, last entry =
+        /// stream length.
+        offsets: Vec<u32>,
+    },
+}
+
+/// One shard of a serve snapshot: which owners it holds (slot order)
+/// and their rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeShardRecord {
+    /// Global owner ids, in slot order.
+    pub owners: Vec<u32>,
+    /// The shard's row block.
+    pub rows: ShardRowsRecord,
+}
+
+/// A version-3 serving-layout snapshot: the shard-map manifest plus
+/// every shard's owners and physical rows, in the backend the snapshot
+/// was built with. This is what a serve node persists to boot warm
+/// without re-sharding the published index (DESIGN.md §14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSnapshotRecord {
+    /// The snapshot's epoch version in the serve lineage.
+    pub snapshot_version: u64,
+    /// Physical row backend of every shard.
+    pub backend: RowBackend,
+    /// Provider universe size (fixes `words_per_row`).
+    pub providers: u32,
+    /// Per-owner β values, indexed by global owner id.
+    pub betas: Vec<f64>,
+    /// Shard-map manifest: shards the base owners hash across.
+    pub base_shards: u32,
+    /// Shard-map manifest: owners covered by the base hash.
+    pub base_owners: u32,
+    /// Shard-map manifest: owners per append shard.
+    pub append_capacity: u32,
+    /// Every shard, base then append, in shard order.
+    pub shards: Vec<ServeShardRecord>,
+}
+
+fn backend_to_tag(backend: RowBackend) -> u8 {
+    match backend {
+        RowBackend::Dense => 0,
+        RowBackend::Compressed => 1,
+    }
+}
+
+/// Serializes a serving-layout snapshot to the version-3 format,
+/// CRC-32 checksummed.
+///
+/// # Panics
+///
+/// Panics if the record is structurally inconsistent — a shard's row
+/// variant disagreeing with the declared backend, a dense block not
+/// holding exactly `owner_count · words_per_row` words, or a compressed
+/// offset table not tiling its stream with `owner_count + 1` entries.
+/// Records assembled from a live `ShardedIndex` always satisfy this.
+pub fn encode_serve_snapshot(record: &ServeSnapshotRecord) -> Vec<u8> {
+    let wpr = row_words(record.providers as usize);
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION_SERVE.to_le_bytes());
+    out.extend_from_slice(&record.snapshot_version.to_le_bytes());
+    out.push(backend_to_tag(record.backend));
+    out.extend_from_slice(&record.providers.to_le_bytes());
+    out.extend_from_slice(&(record.betas.len() as u32).to_le_bytes());
+    out.extend_from_slice(&record.base_shards.to_le_bytes());
+    out.extend_from_slice(&record.base_owners.to_le_bytes());
+    out.extend_from_slice(&record.append_capacity.to_le_bytes());
+    out.extend_from_slice(&(record.shards.len() as u32).to_le_bytes());
+    for &beta in &record.betas {
+        out.extend_from_slice(&beta.to_le_bytes());
+    }
+    for shard in &record.shards {
+        let slots = shard.owners.len();
+        out.extend_from_slice(&(slots as u32).to_le_bytes());
+        for &o in &shard.owners {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        match (&shard.rows, record.backend) {
+            (ShardRowsRecord::Dense(words), RowBackend::Dense) => {
+                assert_eq!(words.len(), slots * wpr, "dense block sized to its slots");
+                for &w in words {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            (ShardRowsRecord::Compressed { stream, offsets }, RowBackend::Compressed) => {
+                assert_eq!(offsets.len(), slots + 1, "one offset per slot plus end");
+                assert_eq!(
+                    offsets.last().copied().unwrap_or(0) as usize,
+                    stream.len(),
+                    "offsets tile the stream"
+                );
+                out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+                for &off in offsets {
+                    out.extend_from_slice(&off.to_le_bytes());
+                }
+                for &t in stream {
+                    out.extend_from_slice(&t.to_le_bytes());
+                }
+            }
+            _ => panic!("shard row variant disagrees with the snapshot backend"),
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Deserializes a version-3 serving-layout snapshot, validating the
+/// checksum, every β, and each shard's structure (dense blocks sized to
+/// their slots; compressed offset tables tiling their streams).
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for any malformed input — wrong magic or
+/// version, truncation, trailing bytes, checksum mismatch, an unknown
+/// backend tag, out-of-range βs, or a structurally inconsistent shard.
+/// Never panics on untrusted bytes; the checksum is verified before any
+/// length field is trusted, so corrupted counts cannot drive
+/// allocations.
+pub fn decode_serve_snapshot(bytes: &[u8]) -> Result<ServeSnapshotRecord, CodecError> {
+    let min = 4 + 2 + 8 + 1 + 4 + 4 + 4 + 4 + 4 + 4 + 4;
+    if bytes.len() < min {
+        return Err(CodecError::Truncated {
+            expected: min,
+            actual: bytes.len(),
+        });
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION_SERVE {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    // Checksum first: every length field below is then known-good
+    // (matching what the encoder wrote) before it sizes a read.
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(&bytes[..bytes.len() - 4]);
+    if stored != computed {
+        return Err(CodecError::BadChecksum { stored, computed });
+    }
+
+    let mut cur = Cursor {
+        bytes: &bytes[..bytes.len() - 4],
+        at: 6,
+    };
+    let snapshot_version = cur.u64()?;
+    let backend_tag = cur.u8()?;
+    let backend = match backend_tag {
+        0 => RowBackend::Dense,
+        1 => RowBackend::Compressed,
+        tag => {
+            return Err(CodecError::UnknownTag {
+                field: "row backend",
+                tag,
+            })
+        }
+    };
+    let providers = cur.u32()?;
+    let owners = cur.u32()? as usize;
+    let base_shards = cur.u32()?;
+    let base_owners = cur.u32()?;
+    let append_capacity = cur.u32()?;
+    let shard_count = cur.u32()? as usize;
+    let wpr = row_words(providers as usize);
+
+    let mut betas = Vec::with_capacity(owners.min(cur.bytes.len() / 8));
+    for o in 0..owners {
+        let beta = cur.f64()?;
+        if !beta.is_finite() || !(0.0..=1.0).contains(&beta) {
+            return Err(CodecError::InvalidBeta { owner: o as u32 });
+        }
+        betas.push(beta);
+    }
+
+    let mut shards = Vec::with_capacity(shard_count.min(1024));
+    for s in 0..shard_count {
+        let slots = cur.u32()? as usize;
+        let owner_bytes = cur.take(slots * 4)?;
+        let owners: Vec<u32> = owner_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let rows = match backend {
+            RowBackend::Dense => {
+                let words_bytes = cur.take(slots * wpr * 8)?;
+                ShardRowsRecord::Dense(
+                    words_bytes
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .collect(),
+                )
+            }
+            RowBackend::Compressed => {
+                let tokens = cur.u32()? as usize;
+                let offset_bytes = cur.take((slots + 1) * 4)?;
+                let offsets: Vec<u32> = offset_bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect();
+                if offsets.first() != Some(&0)
+                    || offsets.last().copied().unwrap_or(u32::MAX) as usize != tokens
+                    || offsets.windows(2).any(|w| w[0] > w[1])
+                {
+                    return Err(CodecError::InvalidShard {
+                        shard: s as u32,
+                        reason: "offset table does not tile its token stream",
+                    });
+                }
+                let stream_bytes = cur.take(tokens * 8)?;
+                ShardRowsRecord::Compressed {
+                    stream: stream_bytes
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .collect(),
+                    offsets,
+                }
+            }
+        };
+        shards.push(ServeShardRecord { owners, rows });
+    }
+    if cur.at < cur.bytes.len() {
+        return Err(CodecError::TrailingBytes(cur.bytes.len() - cur.at));
+    }
+
+    Ok(ServeSnapshotRecord {
+        snapshot_version,
+        backend,
+        providers,
+        betas,
+        base_shards,
+        base_owners,
+        append_capacity,
+        shards,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -804,6 +1096,134 @@ mod tests {
             decode_epoch_record(&bytes),
             Err(CodecError::Truncated { .. })
         ));
+    }
+
+    /// A small two-shard serve snapshot: providers = 70 (⇒ 2 words per
+    /// row), three owners split 2/1, in the requested backend.
+    fn sample_serve_snapshot(backend: RowBackend) -> ServeSnapshotRecord {
+        let dense: [Vec<u64>; 2] = [vec![0b1011, 0, u64::MAX, 0x3f], vec![0, 1 << 63]];
+        let shards = dense
+            .iter()
+            .enumerate()
+            .map(|(s, words)| ServeShardRecord {
+                owners: if s == 0 { vec![0, 2] } else { vec![1] },
+                rows: match backend {
+                    RowBackend::Dense => ShardRowsRecord::Dense(words.clone()),
+                    RowBackend::Compressed => {
+                        let rows = eppi_core::rowstore::CompressedRows::from_dense_words(words, 70);
+                        ShardRowsRecord::Compressed {
+                            stream: rows.stream().to_vec(),
+                            offsets: rows.offsets().to_vec(),
+                        }
+                    }
+                },
+            })
+            .collect();
+        ServeSnapshotRecord {
+            snapshot_version: 9,
+            backend,
+            providers: 70,
+            betas: vec![0.25, 0.5, 1.0],
+            base_shards: 2,
+            base_owners: 3,
+            append_capacity: 8192,
+            shards,
+        }
+    }
+
+    #[test]
+    fn serve_snapshot_roundtrips_in_both_backends() {
+        for backend in [RowBackend::Dense, RowBackend::Compressed] {
+            let record = sample_serve_snapshot(backend);
+            let bytes = encode_serve_snapshot(&record);
+            let back = decode_serve_snapshot(&bytes).expect("roundtrip");
+            assert_eq!(back, record, "{backend}");
+        }
+    }
+
+    #[test]
+    fn serve_snapshot_rejects_other_versions_and_vice_versa() {
+        assert_eq!(
+            decode_serve_snapshot(&encode(&sample_index())),
+            Err(CodecError::UnsupportedVersion(1))
+        );
+        assert_eq!(
+            decode_serve_snapshot(&encode_epoch_record(&sample_epoch_record())),
+            Err(CodecError::UnsupportedVersion(2))
+        );
+        let bytes = encode_serve_snapshot(&sample_serve_snapshot(RowBackend::Dense));
+        assert_eq!(decode(&bytes), Err(CodecError::UnsupportedVersion(3)));
+        assert_eq!(
+            decode_epoch_record(&bytes),
+            Err(CodecError::UnsupportedVersion(3))
+        );
+    }
+
+    #[test]
+    fn serve_snapshot_corruption_and_truncation_are_detected() {
+        let clean = encode_serve_snapshot(&sample_serve_snapshot(RowBackend::Compressed));
+        // Cuts inside the fixed header surface as truncation; cuts past
+        // it shift the checksum bytes and surface as corruption. Either
+        // way no truncated prefix ever decodes.
+        for cut in [0usize, 5, 20, clean.len() - 5, clean.len() - 1] {
+            assert!(
+                matches!(
+                    decode_serve_snapshot(&clean[..cut]),
+                    Err(CodecError::Truncated { .. } | CodecError::BadChecksum { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+        let mut flipped = clean.clone();
+        flipped[40] ^= 0x04;
+        assert!(matches!(
+            decode_serve_snapshot(&flipped),
+            Err(CodecError::BadChecksum { .. })
+        ));
+        let mut trailing = clean.clone();
+        trailing.push(0);
+        // Appending a byte invalidates the checksum (it moves); the
+        // decoder reports the corruption rather than the extra byte.
+        assert!(decode_serve_snapshot(&trailing).is_err());
+    }
+
+    #[test]
+    fn serve_snapshot_rejects_bad_offset_tables() {
+        let mut record = sample_serve_snapshot(RowBackend::Compressed);
+        if let ShardRowsRecord::Compressed { offsets, .. } = &mut record.shards[0].rows {
+            offsets[1] = offsets[1].wrapping_add(1).max(offsets[2] + 1);
+        }
+        // Re-encode with the corrupted table (the encoder only asserts
+        // the end offset, so an interior inversion passes through) and
+        // make the decoder catch it.
+        let bytes = encode_serve_snapshot(&record);
+        assert!(matches!(
+            decode_serve_snapshot(&bytes),
+            Err(CodecError::InvalidShard { shard: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn serve_snapshot_rejects_invalid_betas_and_unknown_backend() {
+        let mut record = sample_serve_snapshot(RowBackend::Dense);
+        record.betas[1] = 7.0;
+        assert_eq!(
+            decode_serve_snapshot(&encode_serve_snapshot(&record)),
+            Err(CodecError::InvalidBeta { owner: 1 })
+        );
+        let mut bytes = encode_serve_snapshot(&sample_serve_snapshot(RowBackend::Dense));
+        let tag_at = 4 + 2 + 8;
+        bytes[tag_at] = 9;
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert_eq!(
+            decode_serve_snapshot(&bytes),
+            Err(CodecError::UnknownTag {
+                field: "row backend",
+                tag: 9
+            })
+        );
     }
 
     #[test]

@@ -41,19 +41,25 @@ fn xor_masked(acc: &mut [u64], row: &[u64], mask: u64) {
 }
 
 /// XOR-accumulates the selected rows of a dense block (slot ≡ row id)
-/// into `acc`. Returns the number of `u64` words scanned — always
-/// `rows.len()`, independent of the query.
+/// into `acc`. Returns the number of `u64` words scanned — always the
+/// block's word count, independent of the query.
+///
+/// Generic over anything physically laid out as flat packed words
+/// (`&[u64]`, `Vec<u64>`, `eppi_core::rowstore::DenseRows`, …) — the
+/// kernels never see the storage type, only the dense words, which is
+/// exactly the property the obliviousness invariant needs.
 ///
 /// # Panics
 ///
 /// Panics if `rows` is not a whole number of `words_per_row`-word rows
 /// or `acc` is mis-sized.
-pub fn xor_scan(
-    rows: &[u64],
+pub fn xor_scan<R: AsRef<[u64]> + ?Sized>(
+    rows: &R,
     words_per_row: usize,
     query: &SelectionVector,
     acc: &mut [u64],
 ) -> u64 {
+    let rows = rows.as_ref();
     check_acc(words_per_row, acc);
     assert_eq!(rows.len() % words_per_row.max(1), 0, "ragged row block");
     for (slot, row) in rows.chunks_exact(words_per_row).enumerate() {
@@ -72,12 +78,13 @@ pub fn xor_scan(
 ///
 /// Panics if `queries` and `accs` differ in length, any accumulator is
 /// mis-sized, or the row block is ragged.
-pub fn xor_scan_batch(
-    rows: &[u64],
+pub fn xor_scan_batch<R: AsRef<[u64]> + ?Sized>(
+    rows: &R,
     words_per_row: usize,
     queries: &[SelectionVector],
     accs: &mut [Vec<u64>],
 ) -> u64 {
+    let rows = rows.as_ref();
     assert_eq!(queries.len(), accs.len(), "one accumulator per query");
     for acc in accs.iter() {
         check_acc(words_per_row, acc);
@@ -100,13 +107,14 @@ pub fn xor_scan_batch(
 ///
 /// Panics if `rows` does not hold exactly one row per id or `acc` is
 /// mis-sized.
-pub fn xor_scan_indexed(
-    rows: &[u64],
+pub fn xor_scan_indexed<R: AsRef<[u64]> + ?Sized>(
+    rows: &R,
     words_per_row: usize,
     row_ids: &[OwnerId],
     query: &SelectionVector,
     acc: &mut [u64],
 ) -> u64 {
+    let rows = rows.as_ref();
     check_acc(words_per_row, acc);
     assert_eq!(
         rows.len(),
@@ -126,13 +134,14 @@ pub fn xor_scan_indexed(
 ///
 /// Panics if `queries` and `accs` differ in length, any accumulator is
 /// mis-sized, or the row block is ragged.
-pub fn xor_scan_indexed_batch(
-    rows: &[u64],
+pub fn xor_scan_indexed_batch<R: AsRef<[u64]> + ?Sized>(
+    rows: &R,
     words_per_row: usize,
     row_ids: &[OwnerId],
     queries: &[SelectionVector],
     accs: &mut [Vec<u64>],
 ) -> u64 {
+    let rows = rows.as_ref();
     assert_eq!(queries.len(), accs.len(), "one accumulator per query");
     for acc in accs.iter() {
         check_acc(words_per_row, acc);

@@ -36,6 +36,7 @@ use crate::shard::{shard_of, EpochOrderError, ShardedIndex};
 use crate::snapshot::SnapshotCell;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
+use eppi_core::rowstore::RowBackend;
 use eppi_durability::DurableStore;
 use eppi_pir::SelectionVector;
 use eppi_telemetry::{Counter, Gauge, Histogram, Recorder, Registry};
@@ -52,13 +53,59 @@ pub fn default_shards() -> usize {
     std::thread::available_parallelism().map_or(4, |p| p.get())
 }
 
+/// Owners per base shard before the default shard count stops being
+/// CPU-bound and starts scaling with the population.
+const OWNERS_PER_SHARD: usize = 16_384;
+
+/// Hard ceiling on the auto-chosen shard count — past this, more shards
+/// only buy routing-table overhead on any plausible machine.
+const MAX_DEFAULT_SHARDS: usize = 256;
+
+/// Default shard count for a known owner population: at least one
+/// worker per hardware thread (as [`default_shards`]), but growing with
+/// the population (one shard per 16,384 owners, capped at
+/// 256) so million-owner indexes don't funnel
+/// through paper-scale shard counts: shards bound both the per-shard
+/// rebuild unit on delta installs and the granularity of PIR scan
+/// parallelism. The chosen count is observable as the `serve.shards`
+/// gauge on any engine started with it.
+pub fn default_shards_for(owners: usize) -> usize {
+    default_shards()
+        .max(owners / OWNERS_PER_SHARD)
+        .min(MAX_DEFAULT_SHARDS)
+}
+
+/// Ceiling on spawned worker threads: 4× the hardware parallelism
+/// (minimum 4). Workers are symmetric — every worker serves any data
+/// shard via the shared snapshot, and clients route over the worker
+/// pool, not the shard map — so more runnable workers than hardware
+/// threads buys nothing but scheduler queueing in the latency tail.
+/// Data-shard counts ([`ServeConfig::shards`] and append growth) are
+/// unaffected; only thread spawning is capped.
+fn worker_cap() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get() * 4)
+}
+
 /// Engine sizing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Number of shards (= worker threads).
+    /// Number of base data shards. The data-shard count can grow past
+    /// this as owners append ([`ShardMap`]). Worker threads default to
+    /// one per shard but are capped at 4× the hardware parallelism —
+    /// workers are symmetric, so extra runnable threads only add
+    /// scheduler queueing — and serve data shards round-robin
+    /// (`shard % workers`).
+    ///
+    /// [`ShardMap`]: crate::shard::ShardMap
     pub shards: usize,
     /// Bounded depth of each shard's request queue.
     pub queue_depth: usize,
+    /// Physical row storage for the snapshots this engine serves
+    /// (DESIGN.md §14). [`RowBackend::Compressed`] cuts resident memory
+    /// ~10× at paper-like sparsity but cannot serve oblivious PIR
+    /// scans — the private serve mode pins its replicas to
+    /// [`RowBackend::Dense`] regardless of this field.
+    pub backend: RowBackend,
     /// Enables per-shard latency/queue instrumentation. The cumulative
     /// counters stay on either way; disabling this removes the two
     /// `Instant::now` calls and recorder writes from the read path
@@ -71,6 +118,7 @@ impl Default for ServeConfig {
         ServeConfig {
             shards: default_shards(),
             queue_depth: 1024,
+            backend: RowBackend::Dense,
             telemetry: true,
         }
     }
@@ -260,14 +308,23 @@ pub struct ServeEngine {
     /// otherwise pair a freshly drawn version with a stale snapshot and
     /// publish out of epoch order. The read path never takes it.
     install: Mutex<()>,
+    backend: RowBackend,
     telemetry: bool,
     tracer: Tracer,
     shutdown_drain: Arc<Histogram>,
+    /// Resident bytes of the serving snapshot's row storage, labeled by
+    /// backend — re-set on every publish so the ~10× compressed-memory
+    /// claim is a readable gauge, not an inference.
+    index_bytes: Arc<Gauge>,
+    /// Data shards in the serving snapshot (base + append); the fixed
+    /// worker count is the `serve.shards` gauge.
+    data_shards: Arc<Gauge>,
 }
 
 impl ServeEngine {
-    /// Shards `index` and spawns one worker thread per shard, reporting
-    /// into the process-global telemetry registry.
+    /// Shards `index` and spawns one worker thread per shard (capped
+    /// at 4× the hardware parallelism), reporting into the
+    /// process-global telemetry registry.
     ///
     /// # Panics
     ///
@@ -308,12 +365,24 @@ impl ServeEngine {
         registry: &Registry,
         tracer: Tracer,
     ) -> Self {
-        let initial = Arc::new(ShardedIndex::from_index_versioned(index, config.shards, 0));
+        let initial = Arc::new(ShardedIndex::from_index_with(
+            index,
+            config.shards,
+            config.backend,
+            0,
+        ));
         let snapshot = Arc::new(SnapshotCell::new(Arc::clone(&initial)));
         let stats = ServeStats::register(registry);
-        let mut senders = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
+        let backend_labels: &[(&str, &str)] = &[("backend", config.backend.name())];
+        let index_bytes = registry.gauge("serve.index_bytes", backend_labels);
+        index_bytes.set(initial.resident_bytes() as i64);
+        let data_shards = registry.gauge("serve.data_shards", &[]);
+        data_shards.set(initial.shard_count() as i64);
+        let worker_count = config.shards.min(worker_cap());
+        registry.gauge("serve.shards", &[]).set(worker_count as i64);
+        let mut senders = Vec::with_capacity(worker_count);
+        let mut workers = Vec::with_capacity(worker_count);
+        for shard in 0..worker_count {
             let label = shard.to_string();
             let labels: &[(&str, &str)] = &[("shard", &label)];
             let ctx = WorkerCtx {
@@ -343,9 +412,12 @@ impl ServeEngine {
             stats,
             version: AtomicU64::new(0),
             install: Mutex::new(()),
+            backend: config.backend,
             telemetry: config.telemetry,
             tracer,
             shutdown_drain: registry.histogram("serve.shutdown_drain_ns", &[]),
+            index_bytes,
+            data_shards,
         }
     }
 
@@ -391,9 +463,21 @@ impl ServeEngine {
         &self.tracer
     }
 
-    /// Number of shards / workers.
+    /// Number of worker threads (base shards at start, capped at 4×
+    /// the hardware parallelism).
     pub fn shards(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Data shards resident in the current snapshot (base + append);
+    /// can exceed [`shards`](Self::shards) after appending growth.
+    pub fn data_shards(&self) -> usize {
+        self.current().shard_count()
+    }
+
+    /// The physical row backend this engine's snapshots use.
+    pub fn backend(&self) -> RowBackend {
+        self.backend
     }
 
     /// Engine counters.
@@ -419,9 +503,10 @@ impl ServeEngine {
     pub fn refresh(&self, index: &PublishedIndex) {
         let _guard = self.install.lock().expect("install lock poisoned");
         let version = self.version.load(Ordering::SeqCst) + 1;
-        let sharded = Arc::new(ShardedIndex::from_index_versioned(
+        let sharded = Arc::new(ShardedIndex::from_index_with(
             index,
             self.senders.len(),
+            self.backend,
             version,
         ));
         self.publish(sharded, version);
@@ -431,6 +516,8 @@ impl ServeEngine {
     /// Publishes an already-built snapshot: snapshot cell first, then
     /// one install message per worker. Callers hold the install lock.
     fn publish(&self, sharded: Arc<ShardedIndex>, version: u64) {
+        self.index_bytes.set(sharded.resident_bytes() as i64);
+        self.data_shards.set(sharded.shard_count() as i64);
         self.snapshot.store(Arc::clone(&sharded));
         self.version.store(version, Ordering::SeqCst);
         let published_at = Instant::now();
@@ -519,8 +606,14 @@ impl ServeEngine {
         let snapshot = self.current();
         self.stats.pir_scans.inc();
         self.stats.pir_queries.add(queries.len() as u64);
-        let mut replies = Vec::with_capacity(self.senders.len());
-        for (shard, tx) in self.senders.iter().enumerate() {
+        // One job per *data* shard of the pinned snapshot — append
+        // shards from owner growth included — routed round-robin onto
+        // the fixed worker pool. The job set is a function of the
+        // snapshot shape alone, so the scatter stays query-independent.
+        let data_shards = snapshot.shard_count();
+        let workers = self.senders.len();
+        let mut replies = Vec::with_capacity(data_shards);
+        for shard in 0..data_shards {
             let (reply, rx) = bounded(1);
             let job = Job::PirScan {
                 snapshot: Arc::clone(&snapshot),
@@ -529,13 +622,13 @@ impl ServeEngine {
                 ctx: scan_ctx,
                 reply,
             };
-            if tx.send(job).is_ok() {
+            if self.senders[shard % workers].send(job).is_ok() {
                 replies.push(rx);
             }
         }
         PendingPir {
             snapshot,
-            expected: self.senders.len(),
+            expected: data_shards,
             queries: queries.len(),
             replies,
             stats: self.stats.clone(),
@@ -892,6 +985,7 @@ mod tests {
         ServeConfig {
             shards,
             queue_depth,
+            backend: RowBackend::Dense,
             telemetry: true,
         }
     }
@@ -1140,6 +1234,7 @@ mod tests {
         let cfg = ServeConfig {
             shards: 2,
             queue_depth: 8,
+            backend: RowBackend::Dense,
             telemetry: false,
         };
         let engine = ServeEngine::start_with_registry(&index, cfg, &registry);
@@ -1191,17 +1286,113 @@ mod tests {
         assert_eq!(engine.stats().refreshes(), 1);
         assert_eq!(engine.stats().delta_refreshes(), 1);
         let after = engine.current();
-        // Shards not holding a touched owner share their row blocks.
-        let hot: std::collections::HashSet<usize> =
-            touched.iter().map(|&o| shard_of(o, 4)).collect();
+        // The changed owner dirties its base shard; the appended owner
+        // opens an append shard past the base four. Every other base
+        // shard shares its row block with the previous snapshot.
+        assert_eq!(after.shard_count(), 5);
+        let hot = shard_of(OwnerId(7), 4);
         for s in 0..4 {
-            assert_eq!(after.shares_rows_with(&before, s), !hot.contains(&s));
+            assert_eq!(after.shares_rows_with(&before, s), s != hot, "shard {s}");
         }
         // Served answers match the new index.
         let server = PpiServer::new(next.clone());
         for o in 0..121u32 {
             assert_eq!(client.query(OwnerId(o)), server.query(OwnerId(o)));
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn default_shards_scale_with_owner_count() {
+        let cpu = default_shards();
+        assert_eq!(default_shards_for(0), cpu);
+        assert_eq!(default_shards_for(20_000), cpu.max(1));
+        assert!(default_shards_for(1_000_000) >= 61);
+        assert!(default_shards_for(1_000_000_000) <= 256);
+        // Monotone in the population.
+        assert!(default_shards_for(1_000_000) <= default_shards_for(2_000_000));
+    }
+
+    #[test]
+    fn compressed_backend_serves_identically_and_reports_bytes() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let index = random_index(&mut rng, 300, 150, 0.02);
+        let registry = Registry::new();
+        let cfg = ServeConfig {
+            backend: eppi_core::rowstore::RowBackend::Compressed,
+            ..config(3, 16)
+        };
+        let engine = ServeEngine::start_with_registry(&index, cfg, &registry);
+        assert_eq!(
+            engine.backend(),
+            eppi_core::rowstore::RowBackend::Compressed
+        );
+        let client = engine.client();
+        let server = PpiServer::new(index.clone());
+        for o in 0..150u32 {
+            assert_eq!(client.query(OwnerId(o)), server.query(OwnerId(o)));
+        }
+        let snap = registry.snapshot();
+        let bytes = snap
+            .expect("serve.index_bytes", &[("backend", "compressed")])
+            .unwrap_or_else(|miss| panic!("{miss}"));
+        match &bytes.value {
+            MetricValue::Gauge { value, .. } => {
+                assert_eq!(*value, engine.current().resident_bytes() as i64);
+                assert!(*value > 0);
+            }
+            other => panic!("unexpected metric {other:?}"),
+        }
+        let shards_gauge = snap
+            .expect("serve.shards", &[])
+            .unwrap_or_else(|miss| panic!("{miss}"));
+        match &shards_gauge.value {
+            MetricValue::Gauge { value, .. } => assert_eq!(*value, 3),
+            other => panic!("unexpected metric {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    /// Appending growth makes the snapshot hold more data shards than
+    /// the engine has workers; the PIR scatter must still cover every
+    /// shard (round-robin onto the fixed pool), and the scan volume
+    /// stays exactly `owners × words_per_row` per pass.
+    #[test]
+    fn pir_covers_append_shards_beyond_the_worker_pool() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let index = random_index(&mut rng, 70, 90, 0.25);
+        let registry = Registry::new();
+        let engine = ServeEngine::start_with_registry(&index, config(2, 16), &registry);
+
+        // Grow by enough owners to open an append shard.
+        let mut matrix = index.matrix().clone();
+        matrix.grow_owners(140);
+        for o in 90..140u32 {
+            matrix.set(ProviderId(o % 70), OwnerId(o), true);
+        }
+        let mut betas = index.betas().to_vec();
+        betas.resize(140, 0.1);
+        let next = PublishedIndex::new(matrix, betas);
+        engine.apply_delta(&next, &[]).unwrap();
+        assert!(engine.data_shards() > engine.shards());
+
+        let snapshot = engine.current();
+        let (rows, wpr) = (snapshot.owners(), snapshot.words_per_row());
+        // Recover an appended owner's row privately.
+        let target = 123usize;
+        let pair = eppi_pir::QueryPair::generate(rows, target, &mut rng);
+        let a = engine.pir_submit(Arc::new(vec![pair.a])).gather().unwrap();
+        let b = engine.pir_submit(Arc::new(vec![pair.b])).gather().unwrap();
+        let row: Vec<u64> = a.shares[0]
+            .iter()
+            .zip(&b.shares[0])
+            .map(|(x, y)| x ^ y)
+            .collect();
+        assert_eq!(
+            eppi_core::providers_in_row(&row, a.providers),
+            snapshot.query(OwnerId(target as u32))
+        );
+        assert_eq!(engine.stats().pir_scanned_words(), (2 * rows * wpr) as u64);
         engine.shutdown();
     }
 

@@ -33,8 +33,9 @@ pub mod shard;
 pub mod snapshot;
 
 pub use engine::{
-    default_shards, PendingPir, PirServerAnswer, ServeClient, ServeConfig, ServeEngine, ServeStats,
+    default_shards, default_shards_for, PendingPir, PirServerAnswer, ServeClient, ServeConfig,
+    ServeEngine, ServeStats,
 };
 pub use private::{PrivateClient, PrivateEngine};
-pub use shard::{shard_of, EpochOrderError, ShardedIndex};
+pub use shard::{shard_of, EpochOrderError, ShardMap, ShardedIndex, DEFAULT_APPEND_CAPACITY};
 pub use snapshot::SnapshotCell;

@@ -120,6 +120,12 @@ impl PrivateEngine {
     /// shape, never on which owners are probed (enforced by the
     /// `trace_obliviousness` property test).
     ///
+    /// Whatever row backend `config` names, both replicas are pinned to
+    /// [`RowBackend::Dense`](eppi_core::rowstore::RowBackend::Dense):
+    /// the oblivious scan's memory traffic must depend only on the
+    /// snapshot shape, and a compressed row's decode cost tracks its
+    /// content — exactly the signal PIR exists to hide (DESIGN.md §14).
+    ///
     /// # Panics
     ///
     /// Panics if `config.shards == 0`.
@@ -129,6 +135,10 @@ impl PrivateEngine {
         registry: &Registry,
         tracer: Tracer,
     ) -> Self {
+        let config = ServeConfig {
+            backend: eppi_core::rowstore::RowBackend::Dense,
+            ..config
+        };
         PrivateEngine {
             a: Arc::new(ServeEngine::start_traced(
                 index,
@@ -336,8 +346,46 @@ mod tests {
         ServeConfig {
             shards: 3,
             queue_depth: 32,
+            backend: eppi_core::rowstore::RowBackend::Dense,
             telemetry: true,
         }
+    }
+
+    /// A compressed-backend config must still yield dense replicas: the
+    /// obliviousness invariant cannot be configured away.
+    #[test]
+    fn private_replicas_are_pinned_dense_whatever_the_config() {
+        use eppi_core::rowstore::RowBackend;
+
+        let index = random_index(49, 40, 60, 0.3);
+        let registry = Registry::new();
+        let cfg = ServeConfig {
+            backend: RowBackend::Compressed,
+            ..config()
+        };
+        let engine = PrivateEngine::start_with_registry(&index, cfg, &registry);
+        assert_eq!(engine.replica_a().backend(), RowBackend::Dense);
+        assert_eq!(engine.replica_b().backend(), RowBackend::Dense);
+        assert_eq!(engine.replica_a().current().backend(), RowBackend::Dense);
+        let mut client = engine.client(9);
+        let plain = engine.replica_a().client();
+        // Scan volume stays owner-independent under the pinned backend.
+        let mut deltas = Vec::new();
+        for o in [0u32, 30, 59, 9999] {
+            let before = engine.stats().pir_scanned_words();
+            let got = client.query(OwnerId(o));
+            deltas.push(engine.stats().pir_scanned_words() - before);
+            if o < 60 {
+                assert_eq!(got, plain.query(OwnerId(o)), "owner {o}");
+            } else {
+                assert!(got.is_empty());
+            }
+        }
+        assert!(
+            deltas.windows(2).all(|w| w[0] == w[1]),
+            "scan volume varies: {deltas:?}"
+        );
+        engine.shutdown();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! query targets.
 
 use eppi::core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use eppi::core::rowstore::RowBackend;
 use eppi::index::server::PpiServer;
 use eppi::serve::{PrivateEngine, ServeConfig};
 use eppi::telemetry::Registry;
@@ -50,7 +51,7 @@ proptest! {
         let registry = Registry::new();
         let engine = PrivateEngine::start_with_registry(
             &index,
-            ServeConfig { shards, queue_depth: 16, telemetry: false },
+            ServeConfig { shards, queue_depth: 16, telemetry: false, backend: RowBackend::Dense },
             &registry,
         );
         let mut client = engine.client(seed ^ 0x5eed);
@@ -84,7 +85,7 @@ proptest! {
         let registry = Registry::new();
         let engine = PrivateEngine::start_with_registry(
             &base,
-            ServeConfig { shards, queue_depth: 16, telemetry: false },
+            ServeConfig { shards, queue_depth: 16, telemetry: false, backend: RowBackend::Dense },
             &registry,
         );
         let mut client = engine.client(seed ^ 0xde17a);
@@ -136,7 +137,7 @@ proptest! {
         let registry = Registry::new();
         let engine = PrivateEngine::start_with_registry(
             &index,
-            ServeConfig { shards, queue_depth: 16, telemetry: false },
+            ServeConfig { shards, queue_depth: 16, telemetry: false, backend: RowBackend::Dense },
             &registry,
         );
         let mut client = engine.client(seed ^ 0x0b5);

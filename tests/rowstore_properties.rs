@@ -1,0 +1,283 @@
+//! Property-based tests of the pluggable row storage (DESIGN.md §14):
+//! the EWAH-style compressed store must be observationally identical
+//! to the dense packed layout at every surface — raw row reads,
+//! provider decoding, whole-store round-trips, sharded queries across
+//! delta epochs — while staying inside its documented worst-case size
+//! bound, and shard-map growth must append without rewriting (or
+//! copying) any base shard in either backend.
+
+use eppi::core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use eppi::core::rows::row_words;
+use eppi::core::rowstore::{CompressedRows, DenseRows, RowBackend, RowBlock, RowStore};
+use eppi::serve::ShardedIndex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A slot-major dense word block with a mix of pathological rows:
+/// all-zero, all-one, and random fills (the run/literal transitions
+/// the compressed format has to get right).
+fn random_block(seed: u64, providers: usize, rows: usize) -> Vec<u64> {
+    let wpr = row_words(providers);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut words = vec![0u64; rows * wpr];
+    let tail_bits = providers % 64;
+    for s in 0..rows {
+        let row = &mut words[s * wpr..(s + 1) * wpr];
+        match rng.gen_range(0..4u8) {
+            0 => {} // all-zero: one empty-run marker
+            1 => {
+                // All-one within the provider universe.
+                for w in row.iter_mut() {
+                    *w = u64::MAX;
+                }
+            }
+            2 => {
+                // Sparse: a few scattered bits.
+                for _ in 0..rng.gen_range(0usize..4) {
+                    let p = rng.gen_range(0..providers);
+                    row[p / 64] |= 1 << (p % 64);
+                }
+            }
+            _ => {
+                for w in row.iter_mut() {
+                    *w = rng.gen();
+                }
+            }
+        }
+        // Keep bits inside the provider universe, as the membership
+        // transpose guarantees.
+        if tail_bits != 0 {
+            row[wpr - 1] &= (1u64 << tail_bits) - 1;
+        }
+    }
+    words
+}
+
+/// A random published index at the given fill percent.
+fn random_index(seed: u64, providers: usize, owners: usize, fill: u8) -> PublishedIndex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut matrix = MembershipMatrix::new(providers, owners);
+    let p = f64::from(fill.min(100)) / 100.0;
+    for pr in 0..providers as u32 {
+        for o in 0..owners as u32 {
+            if rng.gen_bool(p) {
+                matrix.set(ProviderId(pr), OwnerId(o), true);
+            }
+        }
+    }
+    let betas: Vec<f64> = (0..owners).map(|_| rng.gen::<f64>()).collect();
+    PublishedIndex::new(matrix, betas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compressed store is a lossless encoding of any dense block:
+    /// every row reads back word-identical, decodes to the same
+    /// provider list, the whole block round-trips, and the token
+    /// stream never exceeds the documented 2× worst case.
+    #[test]
+    fn compressed_store_is_bit_identical_to_dense(
+        seed in any::<u64>(),
+        providers in 1usize..200,
+        rows in 0usize..40,
+    ) {
+        let words = random_block(seed, providers, rows);
+        let dense = DenseRows::from_words(words.clone(), providers);
+        let compressed = CompressedRows::from_dense_words(&words, providers);
+
+        prop_assert_eq!(compressed.rows(), rows);
+        prop_assert_eq!(compressed.providers(), providers);
+        prop_assert_eq!(compressed.words_per_row(), dense.words_per_row());
+
+        let wpr = row_words(providers);
+        let mut out = vec![0u64; wpr];
+        for s in 0..rows {
+            compressed.read_row_into(s, &mut out);
+            prop_assert_eq!(&out[..], dense.row(s), "row {} words", s);
+            prop_assert_eq!(
+                compressed.providers_in_slot(s),
+                dense.providers_in_slot(s),
+                "row {} provider decode", s
+            );
+        }
+
+        // Whole-block round-trip through the RowBlock facade.
+        let block = RowBlock::build(RowBackend::Compressed, words.clone(), providers);
+        prop_assert_eq!(block.backend(), RowBackend::Compressed);
+        prop_assert!(block.as_dense().is_none());
+        prop_assert_eq!(block.to_dense_words(), words.clone());
+
+        // Worst-case bound: a row of w uncompressed words costs at
+        // most one marker plus w literals, so the stream stays within
+        // 2x the dense word count.
+        prop_assert!(
+            compressed.stream().len() <= 2 * words.len().max(rows),
+            "stream {} tokens vs {} dense words", compressed.stream().len(), words.len()
+        );
+    }
+
+    /// `from_parts` accepts exactly the (stream, offsets) pairs the
+    /// encoder produces and rejects structural corruption of the
+    /// offset table.
+    #[test]
+    fn from_parts_accepts_own_encoding_and_rejects_corruption(
+        seed in any::<u64>(),
+        providers in 1usize..120,
+        rows in 1usize..24,
+    ) {
+        let words = random_block(seed, providers, rows);
+        let compressed = CompressedRows::from_dense_words(&words, providers);
+        let stream = compressed.stream().to_vec();
+        let offsets = compressed.offsets().to_vec();
+
+        let rebuilt = CompressedRows::from_parts(stream.clone(), offsets.clone(), providers)
+            .expect("own parts must re-validate");
+        prop_assert_eq!(&rebuilt, &compressed);
+
+        // Offset table not ending at the stream length.
+        let mut bad = offsets.clone();
+        *bad.last_mut().unwrap() += 1;
+        prop_assert!(CompressedRows::from_parts(stream.clone(), bad, providers).is_err());
+
+        // Non-monotone offsets (needs at least one interior entry).
+        if offsets.len() > 2 && offsets[1] < offsets[offsets.len() - 1] {
+            let mut bad = offsets.clone();
+            bad[1] = offsets[offsets.len() - 1] + 1;
+            prop_assert!(CompressedRows::from_parts(stream.clone(), bad, providers).is_err());
+        }
+
+        // A truncated stream no longer covers the rows.
+        if !stream.is_empty() {
+            let short = stream[..stream.len() - 1].to_vec();
+            prop_assert!(CompressedRows::from_parts(short, offsets, providers).is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The two backends are interchangeable at the query surface:
+    /// identical single and batch answers on the base epoch and again
+    /// after the same delta lands on both.
+    #[test]
+    fn backends_answer_identically_across_delta_epochs(
+        seed in any::<u64>(),
+        providers in 1usize..70,
+        owners in 1usize..60,
+        shards in 1usize..=6,
+        added in 0usize..=4,
+        fill in 0u8..=100,
+    ) {
+        let base = random_index(seed, providers, owners, fill);
+        let dense = ShardedIndex::from_index_with(&base, shards, RowBackend::Dense, 1);
+        let packed = ShardedIndex::from_index_with(&base, shards, RowBackend::Compressed, 1);
+        let all: Vec<OwnerId> = (0..owners as u32).map(OwnerId).collect();
+        for &o in &all {
+            prop_assert_eq!(dense.query(o), packed.query(o));
+        }
+        prop_assert_eq!(dense.query_batch(&all), packed.query_batch(&all));
+
+        // Grow by `added` owners and churn one pre-existing owner; the
+        // same delta must keep the backends in lockstep.
+        let grown = random_index(seed ^ 0x9e37, providers, owners + added, fill);
+        let mut matrix = grown.matrix().clone();
+        let mut betas = grown.betas().to_vec();
+        let mut touched: Vec<OwnerId> =
+            (owners as u32..(owners + added) as u32).map(OwnerId).collect();
+        touched.push(OwnerId(0));
+        for o in (1..owners as u32).map(OwnerId) {
+            for p in (0..providers as u32).map(ProviderId) {
+                matrix.set(p, o, base.matrix().get(p, o));
+            }
+            betas[o.index()] = base.betas()[o.index()];
+        }
+        let next = PublishedIndex::new(matrix, betas);
+
+        let dense2 = dense.apply_delta(&next, &touched, 2).unwrap();
+        let packed2 = packed.apply_delta(&next, &touched, 2).unwrap();
+        let all2: Vec<OwnerId> = (0..(owners + added) as u32).map(OwnerId).collect();
+        for &o in &all2 {
+            prop_assert_eq!(dense2.query(o), packed2.query(o));
+        }
+        prop_assert_eq!(dense2.query_batch(&all2), packed2.query_batch(&all2));
+        prop_assert_eq!(dense2.shard_count(), packed2.shard_count());
+    }
+
+    /// Pure growth (only appended owners touched) leaves every base
+    /// shard physically shared with the old epoch — in both backends
+    /// the install is an append, never a rewrite.
+    #[test]
+    fn pure_growth_shares_every_base_shard(
+        seed in any::<u64>(),
+        providers in 1usize..50,
+        owners in 1usize..40,
+        shards in 1usize..=6,
+        added in 1usize..=6,
+        compressed in any::<bool>(),
+    ) {
+        let backend = if compressed { RowBackend::Compressed } else { RowBackend::Dense };
+        let base = random_index(seed, providers, owners, 40);
+        let grown = random_index(seed ^ 0x51de, providers, owners + added, 40);
+        // Splice so pre-existing columns are untouched (the delta
+        // contract) and only the appended owners differ.
+        let mut matrix = grown.matrix().clone();
+        let mut betas = grown.betas().to_vec();
+        for o in (0..owners as u32).map(OwnerId) {
+            for p in (0..providers as u32).map(ProviderId) {
+                matrix.set(p, o, base.matrix().get(p, o));
+            }
+            betas[o.index()] = base.betas()[o.index()];
+        }
+        let next = PublishedIndex::new(matrix, betas);
+        let touched: Vec<OwnerId> =
+            (owners as u32..(owners + added) as u32).map(OwnerId).collect();
+
+        let old = ShardedIndex::from_index_with(&base, shards, backend, 1);
+        let applied = old.apply_delta(&next, &touched, 2).unwrap();
+        prop_assert_eq!(applied.shard_count(), shards + 1, "growth opens one append shard");
+        for s in 0..shards {
+            prop_assert!(
+                applied.shares_rows_with(&old, s),
+                "base shard {} was rewritten by a pure append", s
+            );
+        }
+        // And the appended owners answer from the new epoch.
+        for &o in &touched {
+            prop_assert_eq!(applied.query(o), eppi::index::server::PpiServer::new(next.clone()).query(o));
+        }
+    }
+}
+
+/// At locator-network sparsity the compressed backend's resident
+/// bytes are well under half the dense layout's — the deterministic
+/// counterpart of the benchmark's memory gate.
+#[test]
+fn sparse_index_compresses_below_half_dense() {
+    let providers = 5_000usize;
+    let owners = 2_000usize;
+    let mut rng = StdRng::seed_from_u64(0xc0_ffee);
+    let mut matrix = MembershipMatrix::new(providers, owners);
+    for o in 0..owners as u32 {
+        for _ in 0..rng.gen_range(4usize..=16) {
+            matrix.set(
+                ProviderId(rng.gen_range(0..providers as u32)),
+                OwnerId(o),
+                true,
+            );
+        }
+    }
+    let index = PublishedIndex::new(matrix, vec![0.1; owners]);
+    let dense = ShardedIndex::from_index_with(&index, 4, RowBackend::Dense, 1);
+    let packed = ShardedIndex::from_index_with(&index, 4, RowBackend::Compressed, 1);
+    let (d, c) = (dense.resident_bytes(), packed.resident_bytes());
+    assert!(
+        (c as f64) < 0.5 * d as f64,
+        "compressed {c} bytes vs dense {d} bytes"
+    );
+    // Same answers, of course.
+    let all: Vec<OwnerId> = (0..owners as u32).map(OwnerId).collect();
+    assert_eq!(dense.query_batch(&all), packed.query_batch(&all));
+}

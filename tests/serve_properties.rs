@@ -6,6 +6,7 @@
 //! from-scratch build while never blocking or tearing readers.
 
 use eppi::core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use eppi::core::rowstore::RowBackend;
 use eppi::index::codec;
 use eppi::index::server::PpiServer;
 use eppi::serve::{shard_of, ServeConfig, ServeEngine, ShardedIndex};
@@ -65,11 +66,15 @@ proptest! {
         providers in 1usize..60,
         owners in 1usize..80,
         shards in 1usize..=8,
+        compressed in any::<bool>(),
     ) {
+        let backend = if compressed { RowBackend::Compressed } else { RowBackend::Dense };
         let index = random_index(seed, providers, owners, 30);
         let server = PpiServer::new(index.clone());
-        let engine =
-            ServeEngine::start(&index, ServeConfig { shards, queue_depth: 16, telemetry: false });
+        let engine = ServeEngine::start(
+            &index,
+            ServeConfig { shards, queue_depth: 16, telemetry: false, backend },
+        );
         let client = engine.client();
         let all: Vec<OwnerId> = (0..owners as u32).map(OwnerId).collect();
         for &o in &all {
@@ -99,8 +104,10 @@ proptest! {
 
     /// Copy-on-write delta install: for a random change batch (churned
     /// plus appended owners), `apply_delta` equals a from-scratch build
-    /// of the new index and physically shares the row storage of every
-    /// shard the batch does not touch.
+    /// of the new index under the same frozen shard map, routes every
+    /// appended owner to append shards (never rebuilding a clean base
+    /// shard for growth), and physically shares the row storage of
+    /// every shard the batch does not touch.
     #[test]
     fn apply_delta_equals_rebuild_and_shares_untouched_rows(
         seed in any::<u64>(),
@@ -108,7 +115,9 @@ proptest! {
         owners in 1usize..80,
         shards in 1usize..=8,
         added in 0usize..=5,
+        compressed in any::<bool>(),
     ) {
+        let backend = if compressed { RowBackend::Compressed } else { RowBackend::Dense };
         let base = random_index(seed, providers, owners, 35);
         let next = random_index(seed ^ 0xd1f, providers, owners + added, 35);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea);
@@ -136,12 +145,26 @@ proptest! {
         }
         let spliced = PublishedIndex::new(matrix, betas);
 
-        let old = ShardedIndex::from_index_versioned(&base, shards, 1);
+        let old = ShardedIndex::from_index_with(&base, shards, backend, 1);
         let applied = old.apply_delta(&spliced, &touched, 2).unwrap();
-        let rebuilt = ShardedIndex::from_index_versioned(&spliced, shards, 2);
+        // A from-scratch build under the *frozen* base shard map is
+        // bit-identical; a fresh map would rehash the appended owners.
+        let rebuilt = ShardedIndex::from_index_mapped(&spliced, old.shard_map(), backend, 2);
         prop_assert_eq!(&applied, &rebuilt);
+        // Growth lands in append shards past the base ones.
+        prop_assert_eq!(
+            applied.shard_count(),
+            shards + usize::from(added > 0),
+            "appended owners must open append shards, not rehash"
+        );
 
-        let dirty: BTreeSet<usize> = touched.iter().map(|&o| shard_of(o, shards)).collect();
+        // Only pre-existing touched owners dirty base shards; appended
+        // owners live beyond them.
+        let dirty: BTreeSet<usize> = touched
+            .iter()
+            .filter(|o| (o.0 as usize) < owners)
+            .map(|&o| shard_of(o, shards))
+            .collect();
         for s in 0..shards {
             prop_assert_eq!(
                 applied.shares_rows_with(&old, s),
@@ -186,7 +209,7 @@ proptest! {
 
         let engine = Arc::new(ServeEngine::start(
             &base,
-            ServeConfig { shards, queue_depth: 16, telemetry: false },
+            ServeConfig { shards, queue_depth: 16, telemetry: false, backend: RowBackend::Dense },
         ));
         // The stats counters live in the process-global registry and
         // accumulate across proptest cases; measure this case's delta.

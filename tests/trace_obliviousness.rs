@@ -10,6 +10,7 @@
 //! → gather → recombine.
 
 use eppi::core::model::{MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
+use eppi::core::rowstore::RowBackend;
 use eppi::serve::{PrivateEngine, ServeConfig};
 use eppi::telemetry::json::JsonValue;
 use eppi::telemetry::Registry;
@@ -58,7 +59,7 @@ proptest! {
         let tracer = tracer();
         let engine = PrivateEngine::start_traced(
             &index,
-            ServeConfig { shards, queue_depth: 16, telemetry: false },
+            ServeConfig { shards, queue_depth: 16, telemetry: false, backend: RowBackend::Dense },
             &registry,
             tracer.clone(),
         );
@@ -106,7 +107,7 @@ proptest! {
         let tracer = tracer();
         let engine = PrivateEngine::start_traced(
             &index,
-            ServeConfig { shards, queue_depth: 16, telemetry: false },
+            ServeConfig { shards, queue_depth: 16, telemetry: false, backend: RowBackend::Dense },
             &registry,
             tracer.clone(),
         );
@@ -155,6 +156,7 @@ fn single_private_query_exports_complete_chrome_trace() {
             shards,
             queue_depth: 16,
             telemetry: true,
+            backend: RowBackend::Dense,
         },
         &registry,
         tracer.clone(),
