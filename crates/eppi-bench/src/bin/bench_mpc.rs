@@ -1,21 +1,40 @@
 //! Times the packed GMW core against the frozen unpacked reference on
-//! Fig. 6-scale pure-MPC construction circuits and writes
+//! Fig. 6-scale pure-MPC construction circuits, sweeps the pipelined
+//! multi-lane runtime over worker counts, and writes
 //! `results/BENCH_mpc.json`.
 //!
 //! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
 //! `EPPI_MPC_OUT` overrides the output path.
-use eppi_bench::mpc_speed::{run, to_json, to_table, MpcBenchConfig};
+use eppi_bench::mpc_speed::{
+    pipeline_to_table, run, run_pipeline, to_json, to_table, MpcBenchConfig, PipelineBenchConfig,
+};
 use eppi_bench::Scale;
 use std::path::PathBuf;
 
 fn main() {
-    let (config, scale) = match Scale::from_env() {
-        Scale::Quick => (MpcBenchConfig::quick(), "quick"),
-        Scale::Paper => (MpcBenchConfig::paper(), "paper"),
+    let (config, pipeline_config, scale) = match Scale::from_env() {
+        Scale::Quick => (
+            MpcBenchConfig::quick(),
+            PipelineBenchConfig::quick(),
+            "quick",
+        ),
+        Scale::Paper => (
+            MpcBenchConfig::paper(),
+            PipelineBenchConfig::paper(),
+            "paper",
+        ),
     };
     let report = run(&config);
     eppi_bench::print_table(&to_table(&report));
     println!("speedup geomean: {:.3}x", report.geomean_speedup());
+
+    let pipeline = run_pipeline(&pipeline_config);
+    eppi_bench::print_table(&pipeline_to_table(&pipeline));
+    println!(
+        "pipeline: lockstep {:.3} ms, 4w-vs-1w speedup {:.3}x",
+        pipeline.lockstep_ms,
+        pipeline.speedup_4w_vs_1w()
+    );
 
     let out: PathBuf = std::env::var_os("EPPI_MPC_OUT")
         .map_or_else(|| PathBuf::from("results/BENCH_mpc.json"), PathBuf::from);
@@ -24,6 +43,6 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create results directory");
         }
     }
-    std::fs::write(&out, to_json(&report, scale)).expect("write BENCH_mpc.json");
+    std::fs::write(&out, to_json(&report, &pipeline, scale)).expect("write BENCH_mpc.json");
     eprintln!("wrote {}", out.display());
 }

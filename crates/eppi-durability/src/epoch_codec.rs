@@ -27,10 +27,14 @@ pub fn epoch_to_record(epoch: &IndexEpoch) -> EpochRecord {
         PolicyKind::Incremented { delta } => (1, delta),
         PolicyKind::Chernoff { gamma } => (2, gamma),
     };
+    // Low 3 bits: backend discriminant (0–2 as in v2; 3 = pipelined).
+    // High 5 bits: the pipelined worker count (a tuning knob that does
+    // not affect outputs; capped at 31 by the encoding).
     let backend_tag = match state.config.backend {
         Backend::InProcess => 0,
         Backend::Threaded => 1,
         Backend::Simulated => 2,
+        Backend::Pipelined { workers } => 3 | ((workers.clamp(1, 31) as u8) << 3),
     };
     EpochRecord {
         index: state.index,
@@ -77,10 +81,13 @@ fn record_to_epoch(record: EpochRecord) -> Result<IndexEpoch, StoreError> {
             .into())
         }
     };
-    let backend = match record.config.backend_tag {
-        0 => Backend::InProcess,
-        1 => Backend::Threaded,
-        2 => Backend::Simulated,
+    let backend = match record.config.backend_tag & 0x07 {
+        0 if record.config.backend_tag == 0 => Backend::InProcess,
+        1 if record.config.backend_tag == 1 => Backend::Threaded,
+        2 if record.config.backend_tag == 2 => Backend::Simulated,
+        3 if record.config.backend_tag >> 3 > 0 => Backend::Pipelined {
+            workers: (record.config.backend_tag >> 3) as usize,
+        },
         _ => {
             return Err(CodecError::UnknownTag {
                 field: "backend",
@@ -162,6 +169,7 @@ mod tests {
             (PolicyKind::Basic, Backend::InProcess),
             (PolicyKind::Incremented { delta: 0.2 }, Backend::Threaded),
             (PolicyKind::Chernoff { gamma: 0.9 }, Backend::Simulated),
+            (PolicyKind::Basic, Backend::Pipelined { workers: 2 }),
         ] {
             let epoch = sample_epoch(policy, backend);
             let bytes = encode_epoch(&epoch);
@@ -176,6 +184,23 @@ mod tests {
             assert_eq!(back.epoch(), epoch.epoch());
             assert_eq!(back.config(), epoch.config());
         }
+    }
+
+    #[test]
+    fn bare_pipelined_tag_is_rejected() {
+        // Discriminant 3 with a zero worker count is not a value the
+        // encoder can produce; the decoder must not invent workers.
+        let epoch = sample_epoch(PolicyKind::Basic, Backend::InProcess);
+        let mut record = epoch_to_record(&epoch);
+        record.config.backend_tag = 3;
+        let bytes = encode_epoch_record(&record);
+        assert!(matches!(
+            decode_epoch(&bytes),
+            Err(StoreError::Codec(CodecError::UnknownTag {
+                field: "backend",
+                ..
+            }))
+        ));
     }
 
     #[test]

@@ -320,7 +320,8 @@ pub fn decode(bytes: &[u8]) -> Result<PublishedIndex, CodecError> {
 /// real `ProtocolConfig` and rejects tags it does not know.
 /// Tag meanings: policy `0` = basic, `1` = incremented (`param` = Δ),
 /// `2` = Chernoff (`param` = γ); backend `0` = in-process, `1` =
-/// threaded, `2` = simulated.
+/// threaded, `2` = simulated, low-bits `3` = pipelined with the worker
+/// count in the high five bits (which must then be non-zero).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfigRecord {
     /// Coordinator count `c`.
@@ -335,7 +336,8 @@ pub struct ConfigRecord {
     pub link_latency_us: f64,
     /// Link bandwidth in bytes/µs.
     pub link_bandwidth: f64,
-    /// MPC backend discriminant (0, 1 or 2 — see the type docs).
+    /// MPC backend discriminant (low bits 0–3 — see the type docs; the
+    /// pipelined backend packs its worker count into the high bits).
     pub backend_tag: u8,
     /// The lineage seed keying every publication and mix coin.
     pub seed: u64,
@@ -548,7 +550,10 @@ pub fn decode_epoch_record(bytes: &[u8]) -> Result<EpochRecord, CodecError> {
         });
     }
     let backend_tag = cur.u8()?;
-    if backend_tag > 2 {
+    // Plain discriminants 0–2, or the pipelined packing: low bits 3
+    // with a non-zero worker count above them (see [`ConfigRecord`]).
+    let pipelined = backend_tag & 0x07 == 3 && backend_tag >> 3 > 0;
+    if backend_tag > 2 && !pipelined {
         return Err(CodecError::UnknownTag {
             field: "backend",
             tag: backend_tag,
@@ -1059,6 +1064,20 @@ mod tests {
             Err(CodecError::UnknownTag {
                 field: "backend",
                 tag: 7
+            })
+        );
+        // The pipelined packing (low bits 3, workers above) is in
+        // domain; a bare 3 with zero workers is not.
+        let mut pipelined = record.clone();
+        pipelined.config.backend_tag = 3 | (2 << 3);
+        assert!(decode_epoch_record(&encode_epoch_record(&pipelined)).is_ok());
+        let mut bare = record.clone();
+        bare.config.backend_tag = 3;
+        assert_eq!(
+            decode_epoch_record(&encode_epoch_record(&bare)),
+            Err(CodecError::UnknownTag {
+                field: "backend",
+                tag: 3
             })
         );
         let mut lambda = record.clone();

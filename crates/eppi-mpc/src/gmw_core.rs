@@ -120,6 +120,17 @@ impl Schedule {
         t
     }
 
+    /// The first level at or after `from` that contains AND gates, or
+    /// `None` if only free levels remain. The streaming triple feed of
+    /// the pipelined runtime uses this to know how many levels of
+    /// triples a lane must hold before its next exchange.
+    pub fn next_and_level(&self, from: usize) -> Option<usize> {
+        self.levels[from.min(self.levels.len())..]
+            .iter()
+            .position(|l| !l.ands.is_empty())
+            .map(|i| from + i)
+    }
+
     /// Per level, the gate indices of its AND gates — the layering
     /// [`Circuit::and_layers`] exposes. Only levels containing AND gates
     /// appear (a level without them needs no round).
@@ -196,12 +207,61 @@ impl PartyTriples {
             .collect();
         PartyTriples { layers }
     }
+
+    /// Number of schedule levels these triples cover.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The per-level shares, in schedule order — what a pre-dealt batch
+    /// feeds into the streaming pipeline one layer at a time.
+    pub fn into_layers(self) -> Vec<LayerTriples> {
+        self.layers
+    }
 }
 
 fn random_words<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Vec<u64> {
     let mut words: Vec<u64> = (0..words_for(bits)).map(|_| rng.gen()).collect();
     mask_tail(&mut words, bits);
     words
+}
+
+/// Deals the XOR-shared Beaver triples of one schedule level with
+/// `and_gates` AND gates: one [`LayerTriples`] share per party. This is
+/// the per-layer unit both [`deal_packed_triples`] and the streaming
+/// dealer of the pipelined runtime (`eppi_protocol`) are built from, so
+/// the two consume the dealer RNG draw-for-draw identically — the
+/// foundation of the cross-driver bit-identity property.
+///
+/// # Panics
+///
+/// Panics if `parties == 0`.
+pub fn deal_layer_triples<R: Rng + ?Sized>(
+    parties: usize,
+    and_gates: usize,
+    rng: &mut R,
+) -> Vec<LayerTriples> {
+    assert!(parties >= 1, "at least one party required");
+    let a = random_words(and_gates, rng);
+    let b = random_words(and_gates, rng);
+    let c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
+    let mut rem = LayerTriples { a, b, c };
+    let mut out = Vec::with_capacity(parties);
+    for _ in 0..parties - 1 {
+        let share = LayerTriples {
+            a: random_words(and_gates, rng),
+            b: random_words(and_gates, rng),
+            c: random_words(and_gates, rng),
+        };
+        for w in 0..rem.a.len() {
+            rem.a[w] ^= share.a[w];
+            rem.b[w] ^= share.b[w];
+            rem.c[w] ^= share.c[w];
+        }
+        out.push(share);
+    }
+    out.push(rem);
+    out
 }
 
 /// Deals XOR-shared Beaver triples for every AND gate of `sched`, as
@@ -224,25 +284,10 @@ pub fn deal_packed_triples<R: Rng + ?Sized>(
         parties
     ];
     for layer in sched.levels() {
-        let g = layer.ands.len();
-        let a = random_words(g, rng);
-        let b = random_words(g, rng);
-        let c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
-        let mut rem = LayerTriples { a, b, c };
-        for party in out.iter_mut().take(parties - 1) {
-            let share = LayerTriples {
-                a: random_words(g, rng),
-                b: random_words(g, rng),
-                c: random_words(g, rng),
-            };
-            for w in 0..rem.a.len() {
-                rem.a[w] ^= share.a[w];
-                rem.b[w] ^= share.b[w];
-                rem.c[w] ^= share.c[w];
-            }
+        let shares = deal_layer_triples(parties, layer.ands.len(), rng);
+        for (party, share) in out.iter_mut().zip(shares) {
             party.layers.push(share);
         }
-        out[parties - 1].layers.push(rem);
     }
     out
 }
@@ -302,6 +347,65 @@ impl<'c> PartyCore<'c> {
             level: 0,
             my_de: None,
         }
+    }
+
+    /// Creates the state machine for party `me` with *no* triples yet:
+    /// the caller streams them in level-by-level through
+    /// [`feed_layer_triples`](Self::feed_layer_triples) ahead of
+    /// consumption (the pipelined runtime's dealer does this from its
+    /// own thread). Every level — including AND-free ones, whose share
+    /// is empty — must be fed, in schedule order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout does not cover the circuit inputs or `me`
+    /// is out of range.
+    pub fn new_streaming(
+        circuit: &'c Circuit,
+        layout: &'c InputLayout,
+        sched: &'c Schedule,
+        me: usize,
+    ) -> PartyCore<'c> {
+        assert_eq!(
+            layout.total_inputs(),
+            circuit.inputs(),
+            "layout does not cover the circuit inputs"
+        );
+        assert!(me < layout.parties(), "party {me} out of range");
+        PartyCore {
+            circuit,
+            layout,
+            sched,
+            me,
+            triples: PartyTriples::default(),
+            shares: PackedBits::zeros(circuit.wires()),
+            level: 0,
+            my_de: None,
+        }
+    }
+
+    /// Appends the next level's triple share (streaming mode). The
+    /// schedule level it belongs to is implied by the feed order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more levels are fed than the schedule has.
+    pub fn feed_layer_triples(&mut self, share: LayerTriples) {
+        assert!(
+            self.triples.layers.len() < self.sched.levels().len(),
+            "fed more triple layers than the schedule has levels"
+        );
+        self.triples.layers.push(share);
+    }
+
+    /// Number of triple levels fed (or pre-dealt) so far.
+    pub fn fed_layers(&self) -> usize {
+        self.triples.layers.len()
+    }
+
+    /// The next schedule level to process.
+    pub fn level(&self) -> usize {
+        self.level
     }
 
     /// This party's id.
@@ -416,6 +520,11 @@ impl<'c> PartyCore<'c> {
                 de[words + i / 64] |= self.shares.bit_word(b.index()) << (i % 64);
             }
             // d = x ⊕ a, e = y ⊕ b — masked word-wise.
+            assert!(
+                self.level < self.triples.layers.len(),
+                "triples for level {} not fed yet",
+                self.level
+            );
             let t = &self.triples.layers[self.level];
             for w in 0..words {
                 de[w] ^= t.a[w];

@@ -57,6 +57,7 @@ pub mod gmw_core;
 pub mod ot;
 pub mod packed;
 pub mod share;
+pub mod stage;
 pub mod triples;
 
 pub use circuit::{Circuit, CircuitStats, Gate, InputLayout, WireId};
@@ -69,4 +70,5 @@ pub use gmw::{execute, GmwStats};
 pub use gmw_core::{PartyCore, Schedule};
 pub use packed::PackedBits;
 pub use share::{add_shares, recombine, split, Shares};
+pub use stage::{GmwStages, PartyStages, StageOutput, TripleFeed};
 pub use triples::{generate_triples, TripleBatch, TripleShare};

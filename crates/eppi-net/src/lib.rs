@@ -14,6 +14,10 @@
 //! * [`transport`] — the [`transport::Transport`] trait the packed GMW
 //!   core (`eppi-mpc::gmw_core`) runs over, with in-process-, simulator-
 //!   and thread-backed implementations.
+//! * [`pipeline`] — lane framing, per-peer send coalescing and paced
+//!   link emulation for the pipelined multi-lane MPC runtime
+//!   (`eppi-protocol::pipelined_gmw`), plus its `mpc.pipeline.*`
+//!   telemetry instruments.
 //! * [`topology`] — ring successor maps and coordinator selection used by
 //!   the SecSumShare share-distribution step (Fig. 3).
 //! * [`traced`] — a [`transport::Transport`] decorator emitting one
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod pipeline;
 pub mod sim;
 pub mod threaded;
 pub mod topology;

@@ -1,7 +1,7 @@
 //! The generic-MPC stage among the `c` coordinators (Alg. 1 stage 2).
 //!
 //! Drives the compiled CountBelow and mix-decision circuits through one
-//! of three MPC backends:
+//! of four MPC backends:
 //!
 //! * [`Backend::InProcess`] — the single-threaded reference evaluator
 //!   (`eppi_mpc::gmw`), exact and fast, used by tests and large sweeps;
@@ -9,10 +9,20 @@
 //!   message exchange, used by the wall-clock experiments (Fig. 6a/6c);
 //! * [`Backend::Simulated`] — the round-based network simulator, which
 //!   additionally reports *simulated network time* under a LAN link
-//!   model (the quantity that dominated the paper's Emulab numbers).
+//!   model (the quantity that dominated the paper's Emulab numbers);
+//! * [`Backend::Pipelined`] — the stage-based pipelined runtime
+//!   (DESIGN.md §15): the column batch is split into independent
+//!   pipeline lanes evaluated concurrently by a worker pool, with
+//!   per-peer send coalescing. Counts are summed and decisions
+//!   concatenated across lanes — exact, because CountBelow is a sum of
+//!   per-column indicators and the mix coins are keyed by global owner
+//!   id.
 //!
-//! All produce identical results; only the reported cost differs.
+//! All produce identical results; only the reported cost differs (the
+//! pipelined backend's `circuit` stats merge the per-lane circuits:
+//! gate counts are summed, depths maxed).
 
+use crate::pipelined_gmw::{execute_pipelined, LaneSpec, PipelineConfig, PipelineReport};
 use crate::sim_gmw::execute_simulated;
 use crate::threaded_gmw::execute_threaded;
 use eppi_core::model::OwnerId;
@@ -34,6 +44,56 @@ pub enum Backend {
     /// Round-based network simulation (simulated-time backend; LAN link
     /// model).
     Simulated,
+    /// Stage-based pipelined runtime: the column batch runs as
+    /// independent lanes on `workers` worker threads per coordinator,
+    /// with streamed triple dealing and coalesced sends.
+    Pipelined {
+        /// Lane-evaluation worker threads per coordinator.
+        workers: usize,
+    },
+}
+
+/// Per-lane seed spread of the pipelined backend: lane `i` of a batch
+/// seeded `s` runs as a standalone circuit seeded `lane_seed(s, i)`.
+fn lane_seed(seed: u64, lane: usize) -> u64 {
+    seed ^ (lane as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Lane count for a pipelined batch of `columns` columns: enough lanes
+/// to keep every worker busy with headroom, never more than columns.
+fn lane_count(columns: usize, workers: usize) -> usize {
+    (workers.max(1) * 2).min(columns.max(1))
+}
+
+/// Merges per-lane circuit statistics: gate and wire counts sum, depths
+/// max (lanes run concurrently).
+fn merge_stats(per_lane: impl IntoIterator<Item = CircuitStats>) -> CircuitStats {
+    per_lane
+        .into_iter()
+        .fold(CircuitStats::default(), |mut acc, s| {
+            acc.inputs += s.inputs;
+            acc.outputs += s.outputs;
+            acc.total_gates += s.total_gates;
+            acc.and_gates += s.and_gates;
+            acc.xor_gates += s.xor_gates;
+            acc.not_gates += s.not_gates;
+            acc.const_gates += s.const_gates;
+            acc.depth = acc.depth.max(s.depth);
+            acc.and_depth = acc.and_depth.max(s.and_depth);
+            acc
+        })
+}
+
+/// Maps a pipeline run's report (plus the merged circuit stats) onto
+/// the stage-report shape shared by all backends.
+fn pipeline_stage_report(circuit: CircuitStats, report: &PipelineReport) -> StageReport {
+    StageReport {
+        circuit,
+        messages: report.messages,
+        bits: report.bits_sent,
+        bytes: report.bytes,
+        simulated_us: 0.0,
+    }
 }
 
 /// Cost report of one secure stage.
@@ -103,6 +163,18 @@ fn run_circuit(
                 },
             )
         }
+        Backend::Pipelined { workers } => {
+            let lanes = [LaneSpec {
+                circuit,
+                layout,
+                inputs,
+                seed,
+            }];
+            let (mut outs, report) =
+                execute_pipelined(&lanes, &PipelineConfig::with_workers(workers))
+                    .expect("in-process pipeline cannot lose a party");
+            (outs.swap_remove(0), pipeline_stage_report(stats, &report))
+        }
     }
 }
 
@@ -131,6 +203,11 @@ pub fn run_count_below(
             .all(|v| v.len() == thresholds.len()),
         "share vectors must match the threshold count"
     );
+    if let Backend::Pipelined { workers } = backend {
+        if thresholds.len() > 1 {
+            return run_count_below_pipelined(coordinator_shares, thresholds, width, workers, seed);
+        }
+    }
     let cc = CountBelowCircuit::build(c, thresholds, width);
     let inputs: Vec<Vec<bool>> = coordinator_shares
         .iter()
@@ -138,6 +215,60 @@ pub fn run_count_below(
         .collect();
     let (out, report) = run_circuit(cc.circuit(), cc.layout(), &inputs, backend, seed);
     (cc.decode_count(&out), report)
+}
+
+/// The multi-lane CountBelow: columns are chunked into independent
+/// lanes (one CountBelow sub-circuit each) and run concurrently; the
+/// per-lane counts sum to exactly the single-circuit count.
+fn run_count_below_pipelined(
+    coordinator_shares: &[Vec<u64>],
+    thresholds: &[u64],
+    width: usize,
+    workers: usize,
+    seed: u64,
+) -> (u64, StageReport) {
+    let c = coordinator_shares.len();
+    let ncols = thresholds.len();
+    let lanes_n = lane_count(ncols, workers);
+    let chunk = ncols.div_ceil(lanes_n);
+    let ranges: Vec<(usize, usize)> = (0..ncols)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(ncols)))
+        .collect();
+    let circuits: Vec<CountBelowCircuit> = ranges
+        .iter()
+        .map(|&(lo, hi)| CountBelowCircuit::build(c, &thresholds[lo..hi], width))
+        .collect();
+    let lane_inputs: Vec<Vec<Vec<bool>>> = ranges
+        .iter()
+        .zip(&circuits)
+        .map(|(&(lo, hi), cc)| {
+            coordinator_shares
+                .iter()
+                .map(|s| cc.encode_party_input(&s[lo..hi]))
+                .collect()
+        })
+        .collect();
+    let specs: Vec<LaneSpec<'_>> = circuits
+        .iter()
+        .zip(&lane_inputs)
+        .enumerate()
+        .map(|(i, (cc, inputs))| LaneSpec {
+            circuit: cc.circuit(),
+            layout: cc.layout(),
+            inputs,
+            seed: lane_seed(seed, i),
+        })
+        .collect();
+    let (outs, report) = execute_pipelined(&specs, &PipelineConfig::with_workers(workers))
+        .expect("in-process pipeline cannot lose a party");
+    let count: u64 = outs
+        .iter()
+        .zip(&circuits)
+        .map(|(out, cc)| cc.decode_count(out))
+        .sum();
+    let stats = merge_stats(circuits.iter().map(|cc| cc.circuit().stats()));
+    (count, pipeline_stage_report(stats, &report))
 }
 
 /// Coordinator `k`'s coin contribution for `owner`: `coin_bits` uniform
@@ -229,6 +360,20 @@ pub fn run_mix_decision_for_owners(
         thresholds.len(),
         "one owner id per column required"
     );
+    if let Backend::Pipelined { workers } = backend {
+        if thresholds.len() > 1 {
+            return run_mix_decision_pipelined(
+                coordinator_shares,
+                thresholds,
+                owners,
+                width,
+                coin_bits,
+                lambda,
+                workers,
+                seed,
+            );
+        }
+    }
     let mc = MixDecisionCircuit::build(
         c,
         thresholds,
@@ -249,6 +394,74 @@ pub fn run_mix_decision_for_owners(
         .collect();
     let (out, report) = run_circuit(mc.circuit(), mc.layout(), &inputs, backend, seed ^ 0xdec);
     (mc.decode_decisions(&out), report)
+}
+
+/// The multi-lane mix decision: columns are chunked into independent
+/// lanes and run concurrently, decisions concatenated in column order.
+/// Exact, because the coordinator coins are keyed by global owner id —
+/// a lane reproduces precisely the coins the single circuit would use
+/// for its columns.
+#[allow(clippy::too_many_arguments)]
+fn run_mix_decision_pipelined(
+    coordinator_shares: &[Vec<u64>],
+    thresholds: &[u64],
+    owners: &[OwnerId],
+    width: usize,
+    coin_bits: usize,
+    lambda: f64,
+    workers: usize,
+    seed: u64,
+) -> (Vec<bool>, StageReport) {
+    let c = coordinator_shares.len();
+    let ncols = thresholds.len();
+    let lanes_n = lane_count(ncols, workers);
+    let chunk = ncols.div_ceil(lanes_n);
+    let ranges: Vec<(usize, usize)> = (0..ncols)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(ncols)))
+        .collect();
+    let lam = lambda_threshold(lambda, coin_bits);
+    let circuits: Vec<MixDecisionCircuit> = ranges
+        .iter()
+        .map(|&(lo, hi)| MixDecisionCircuit::build(c, &thresholds[lo..hi], width, coin_bits, lam))
+        .collect();
+    let lane_inputs: Vec<Vec<Vec<bool>>> = ranges
+        .iter()
+        .zip(&circuits)
+        .map(|(&(lo, hi), mc)| {
+            coordinator_shares
+                .iter()
+                .enumerate()
+                .map(|(k, s)| {
+                    let coins: Vec<u64> = owners[lo..hi]
+                        .iter()
+                        .map(|&owner| mix_coin(seed, k, owner, coin_bits))
+                        .collect();
+                    mc.encode_party_input(&s[lo..hi], &coins)
+                })
+                .collect()
+        })
+        .collect();
+    let specs: Vec<LaneSpec<'_>> = circuits
+        .iter()
+        .zip(&lane_inputs)
+        .enumerate()
+        .map(|(i, (mc, inputs))| LaneSpec {
+            circuit: mc.circuit(),
+            layout: mc.layout(),
+            inputs,
+            seed: lane_seed(seed ^ 0xdec, i),
+        })
+        .collect();
+    let (outs, report) = execute_pipelined(&specs, &PipelineConfig::with_workers(workers))
+        .expect("in-process pipeline cannot lose a party");
+    let decisions: Vec<bool> = outs
+        .iter()
+        .zip(&circuits)
+        .flat_map(|(out, mc)| mc.decode_decisions(out))
+        .collect();
+    let stats = merge_stats(circuits.iter().map(|mc| mc.circuit().stats()));
+    (decisions, pipeline_stage_report(stats, &report))
 }
 
 #[cfg(test)]
@@ -317,6 +530,41 @@ mod tests {
         let (a, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::InProcess, 5);
         let (b, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::Threaded, 5);
         assert_eq!(a, b, "coins are seed-derived, so backends must agree");
+    }
+
+    #[test]
+    fn pipelined_backend_agrees_with_in_process() {
+        // Seven columns with two workers → four lanes of at most two
+        // columns each: the chunked multi-lane path executes, not just
+        // the single-circuit fallback.
+        let freqs = [120u64, 3, 77, 200, 9, 64, 101];
+        let thresholds = [100u64, 100, 70, 100, 100, 60, 100];
+        let shares = share_out(&freqs, 3, 10, 13);
+        let pipelined = Backend::Pipelined { workers: 2 };
+        let (a, ra) = run_count_below(&shares, &thresholds, 10, Backend::InProcess, 21);
+        let (b, rb) = run_count_below(&shares, &thresholds, 10, pipelined, 21);
+        assert_eq!(a, b, "lane-chunked counts must sum to the full count");
+        assert!(rb.bytes > 0, "pipelined runs over the real runtime");
+        // Per-column comparators are identical; only the count adders
+        // are split across lanes, so the AND totals stay close.
+        assert!(rb.circuit.and_gates <= ra.circuit.and_gates);
+        let (d1, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::InProcess, 22);
+        let (d2, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, pipelined, 22);
+        assert_eq!(d1, d2, "global-owner coin keying makes lanes exact");
+    }
+
+    #[test]
+    fn pipelined_single_column_uses_the_fallback_circuit() {
+        let freqs = [120u64];
+        let thresholds = [100u64];
+        let shares = share_out(&freqs, 3, 10, 14);
+        let pipelined = Backend::Pipelined { workers: 4 };
+        let (a, _) = run_count_below(&shares, &thresholds, 10, Backend::InProcess, 23);
+        let (b, _) = run_count_below(&shares, &thresholds, 10, pipelined, 23);
+        assert_eq!(a, b);
+        let (d1, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, Backend::InProcess, 24);
+        let (d2, _) = run_mix_decision(&shares, &thresholds, 10, 8, 0.5, pipelined, 24);
+        assert_eq!(d1, d2);
     }
 
     #[test]

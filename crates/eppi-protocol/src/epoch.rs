@@ -35,7 +35,7 @@ use crate::construct::{
     ProtocolConfig,
 };
 use crate::countbelow::{run_count_below, run_mix_decision_for_owners, StageReport};
-use crate::secsum::secsumshare_sim;
+use crate::secsum::{secsumshare_sim, secsumshare_threaded_stats};
 use eppi_core::delta::IndexDelta;
 use eppi_core::error::EppiError;
 use eppi_core::mixing::lambda_for;
@@ -464,13 +464,19 @@ pub fn construct_delta_with_registry(
             v
         })
         .collect();
-    let secsum = secsumshare_sim(
-        &vectors,
-        config.c,
-        modulus,
-        config.link,
-        config.seed ^ next_epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-    );
+    // The wall-clock backends (threaded, pipelined) run SecSumShare on
+    // real threads; the simulated backends keep the round simulator.
+    // Per-provider seeding is identical, so the shares — and therefore
+    // every downstream bit — do not depend on this choice.
+    let secsum_seed = config.seed ^ next_epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let secsum = match config.backend {
+        crate::Backend::Threaded | crate::Backend::Pipelined { .. } => {
+            secsumshare_threaded_stats(&vectors, config.c, modulus, secsum_seed)
+        }
+        crate::Backend::InProcess | crate::Backend::Simulated => {
+            secsumshare_sim(&vectors, config.c, modulus, config.link, secsum_seed)
+        }
+    };
     let secsum_wall = phase.elapsed();
 
     // Phase 1.2a — update the common count by difference: one

@@ -12,6 +12,10 @@
 //!   threaded backends.
 //! * [`threaded_gmw`] — the multi-threaded GMW executor behind the
 //!   wall-clock experiments.
+//! * [`pipelined_gmw`] — the stage-based pipelined runtime: many
+//!   independent circuit lanes over one shared network, with streamed
+//!   Beaver dealing, per-peer send coalescing and overlapped exchanges
+//!   (DESIGN.md §15); bit-identical to the lockstep oracle.
 //! * [`sim_gmw`] — the same protocol over the round-based network
 //!   simulator, yielding simulated network time under a link model.
 //! * [`construct`] — the end-to-end two-phase construction (Alg. 1).
@@ -47,6 +51,7 @@
 pub mod construct;
 pub mod countbelow;
 pub mod epoch;
+pub mod pipelined_gmw;
 pub mod pure_mpc;
 pub mod secsum;
 pub mod sim_gmw;
@@ -63,7 +68,11 @@ pub use epoch::{
     construct_delta, construct_delta_with_registry, construct_epoch, construct_epoch_with_registry,
     DeltaConstruction, EpochState, IndexEpoch,
 };
+pub use pipelined_gmw::{
+    execute_lanes_sequential, execute_pipelined, execute_pipelined_with_registry, LaneSpec,
+    PipelineConfig, PipelineReport,
+};
 pub use pure_mpc::{construct_pure_mpc, PureMpcConfig, PureMpcConstruction};
-pub use secsum::{secsumshare_sim, secsumshare_threaded, SecSumOutput};
+pub use secsum::{secsumshare_sim, secsumshare_threaded, secsumshare_threaded_stats, SecSumOutput};
 pub use sim_gmw::execute_simulated;
 pub use threaded_gmw::{execute_threaded, execute_threaded_with_registry, ThreadedGmwReport};

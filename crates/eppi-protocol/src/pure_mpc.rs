@@ -201,6 +201,22 @@ pub fn construct_pure_mpc(
             );
             (out, net.messages, net.bits, net.bytes)
         }
+        Backend::Pipelined { workers } => {
+            // The whole-construction circuit is one monolithic lane;
+            // the pipeline still streams triples and coalesces sends.
+            let lanes = [crate::pipelined_gmw::LaneSpec {
+                circuit,
+                layout,
+                inputs: &inputs,
+                seed: config.seed,
+            }];
+            let (mut outs, r) = crate::pipelined_gmw::execute_pipelined(
+                &lanes,
+                &crate::pipelined_gmw::PipelineConfig::with_workers(workers),
+            )
+            .expect("in-process pipeline cannot lose a party");
+            (outs.swap_remove(0), r.messages, r.bits_sent, r.bytes)
+        }
     };
     let (common_count, decisions, masked_freqs) = match &compiled {
         Compiled::Compare(c) => c.decode(&out),

@@ -271,6 +271,29 @@ pub fn secsumshare_threaded(
     modulus: Modulus,
     seed: u64,
 ) -> Vec<Vec<u64>> {
+    secsumshare_threaded_stats(vectors, c, modulus, seed).coordinator_shares
+}
+
+/// [`secsumshare_threaded`] with traffic statistics, shaped like the
+/// simulator's [`SecSumOutput`] so the two backends are interchangeable
+/// at call sites that report stats (e.g. delta construction).
+///
+/// Per-provider share seeding matches [`secsumshare_sim`] exactly, so
+/// at the same seed the coordinator share vectors are bit-identical to
+/// the simulator's. `rounds` is the protocol's constant logical depth
+/// (share distribution, then super-share aggregation); `bits` and
+/// `simulated_us` are 0 — the threaded runtime measures real wall
+/// clock, not the link model.
+///
+/// # Panics
+///
+/// Same conditions as [`secsumshare_sim`].
+pub fn secsumshare_threaded_stats(
+    vectors: &[LocalVector],
+    c: usize,
+    modulus: Modulus,
+    seed: u64,
+) -> SecSumOutput {
     assert!(!vectors.is_empty(), "at least one provider required");
     let n = vectors[0].owners();
     assert!(
@@ -290,7 +313,7 @@ pub fn secsumshare_threaded(
         .collect();
     let inputs = &inputs;
 
-    let (results, _counters) =
+    let (results, counters) =
         run_parties::<SecSumMsg, Option<Vec<u64>>, _>(m, move |mut h: PartyHandle<SecSumMsg>| {
             let me = h.me();
             let mut rng =
@@ -352,7 +375,17 @@ pub fn secsumshare_threaded(
             (me.index() < c).then_some(aggregate)
         });
 
-    results.into_iter().flatten().collect()
+    SecSumOutput {
+        coordinator_shares: results.into_iter().flatten().collect(),
+        stats: NetStats {
+            rounds: 2,
+            messages: counters.messages(),
+            bytes: counters.bytes(),
+            bits: 0,
+            dropped: 0,
+            simulated_us: 0.0,
+        },
+    }
 }
 
 #[cfg(test)]

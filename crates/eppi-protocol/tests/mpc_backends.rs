@@ -1,14 +1,17 @@
 //! Cross-backend equivalence of the one packed GMW core.
 //!
-//! All three execution backends (in-process, simulated, threaded) are
-//! thin adapters over `eppi_mpc::gmw_core`; this property test drives
-//! random circuits, seeds and party counts through every backend plus
-//! the frozen pre-refactor `Vec<bool>` reference executor and demands:
+//! All four execution backends (in-process, simulated, threaded,
+//! pipelined) are adapters over `eppi_mpc::gmw_core`; these property
+//! tests drive random circuits, seeds and party counts through every
+//! backend plus the frozen pre-refactor `Vec<bool>` reference executor
+//! and demand:
 //!
 //! * bit-identical opened outputs everywhere (and equal to the
-//!   cleartext evaluation), and
+//!   cleartext evaluation),
 //! * identical protocol-round counts on every report — the analytic
-//!   `protocol_rounds` figure all backends now share.
+//!   `protocol_rounds` figure all backends now share — and
+//! * identical logical-bit accounting, with the pipelined runtime's
+//!   multi-lane aggregate equal to the per-lane lockstep-oracle sum.
 
 use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};
 use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId, PublishedIndex};
@@ -21,7 +24,7 @@ use eppi_protocol::construct::{construct_distributed, ProtocolConfig};
 use eppi_protocol::epoch::{construct_delta, construct_epoch};
 use eppi_protocol::sim_gmw::execute_simulated;
 use eppi_protocol::threaded_gmw::execute_threaded;
-use eppi_protocol::Backend;
+use eppi_protocol::{execute_pipelined, Backend, LaneSpec, PipelineConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -116,10 +119,19 @@ proptest! {
             execute_simulated(&circuit, &layout, &inputs, LinkModel::LAN, run_seed);
         prop_assert_eq!(&sim_out, &clear, "simulated vs cleartext");
 
+        // The pipelined runtime running this circuit as one lane at the
+        // same seed is the lockstep oracle's equal: same outputs, same
+        // analytic rounds, same logical bits.
+        let lanes = [LaneSpec { circuit: &circuit, layout: &layout, inputs: &inputs, seed: run_seed }];
+        let (mut pipe_outs, pipe_report) =
+            execute_pipelined(&lanes, &PipelineConfig::with_workers(2)).expect("pipelined run");
+        prop_assert_eq!(&pipe_outs.swap_remove(0), &clear, "pipelined vs cleartext");
+
         // Identical round counts on every report.
         prop_assert_eq!(packed_stats.rounds, ref_stats.rounds);
         prop_assert_eq!(thr_report.rounds, ref_stats.rounds);
         prop_assert_eq!(sim_stats.rounds, ref_stats.rounds);
+        prop_assert_eq!(pipe_report.lane_reports[0].rounds, ref_stats.rounds);
 
         // Identical logical-bit accounting (the paper's cost model is
         // framing-independent, so packing must not change it).
@@ -128,6 +140,59 @@ proptest! {
         prop_assert_eq!(packed_stats.bits_sent, bits);
         prop_assert_eq!(thr_report.bits_sent, bits);
         prop_assert_eq!(sim_stats.bits, bits);
+        prop_assert_eq!(pipe_report.bits_sent, bits);
+    }
+
+    /// Many concurrent pipeline lanes are each bit-identical to a
+    /// lockstep oracle run of the same lane at the same seed, and the
+    /// runtime's aggregate accounting equals the per-lane analytic sum
+    /// regardless of worker count.
+    #[test]
+    fn pipelined_lanes_match_the_lockstep_oracle(
+        parties in 2usize..=3,
+        lanes_n in 2usize..=4,
+        workers in 1usize..=4,
+        gen_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let specs: Vec<(Circuit, InputLayout, Vec<Vec<bool>>)> = (0..lanes_n)
+            .map(|i| {
+                let (circuit, layout) =
+                    random_circuit(parties, 4, 3, gen_seed ^ (i as u64) << 17);
+                let mut input_rng = StdRng::seed_from_u64(gen_seed ^ 0xabc ^ i as u64);
+                let inputs: Vec<Vec<bool>> = (0..parties)
+                    .map(|_| to_bits(input_rng.gen_range(0..16), 4))
+                    .collect();
+                (circuit, layout, inputs)
+            })
+            .collect();
+        let lane_specs: Vec<LaneSpec> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (circuit, layout, inputs))| LaneSpec {
+                circuit,
+                layout,
+                inputs,
+                seed: run_seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            })
+            .collect();
+        let (outs, report) =
+            execute_pipelined(&lane_specs, &PipelineConfig::with_workers(workers))
+                .expect("pipelined run");
+
+        let mut oracle_bits = 0u64;
+        for (i, spec) in lane_specs.iter().enumerate() {
+            let (oracle_out, oracle_report) =
+                execute_threaded(spec.circuit, spec.layout, spec.inputs, spec.seed);
+            prop_assert_eq!(&outs[i], &oracle_out, "lane {} diverges from oracle", i);
+            prop_assert_eq!(report.lane_reports[i].rounds, oracle_report.rounds);
+            prop_assert_eq!(report.lane_reports[i].bits_sent, oracle_report.bits_sent);
+            oracle_bits += oracle_report.bits_sent;
+        }
+        prop_assert_eq!(report.bits_sent, oracle_bits);
+        // Coalescing only merges frames; it never invents or drops
+        // logical traffic.
+        prop_assert!(report.messages <= report.coalesced_items);
     }
 
     /// The packed path consumes exactly the same number of triples as
@@ -230,7 +295,12 @@ proptest! {
 
         let base_eps = &epsilons[..owners];
         let mut outcomes = Vec::new();
-        for backend in [Backend::InProcess, Backend::Threaded, Backend::Simulated] {
+        for backend in [
+            Backend::InProcess,
+            Backend::Threaded,
+            Backend::Simulated,
+            Backend::Pipelined { workers: 2 },
+        ] {
             let config = ProtocolConfig { backend, seed: run_seed, ..ProtocolConfig::default() };
             let epoch0 = construct_epoch(&base, base_eps, &config).expect("epoch 0");
             let built = construct_delta(&epoch0, &next, &delta).expect("delta");
@@ -259,7 +329,9 @@ proptest! {
             prop_assert_eq!(built.epoch.common_count(), full.common_count);
             outcomes.push(built.epoch);
         }
-        // All three backends agree on the delta epoch exactly.
+        // All backends agree on the delta epoch exactly — including
+        // the pipelined runtime driving both the threaded SecSumShare
+        // and the lane-chunked CountBelow/mix circuits.
         for other in &outcomes[1..] {
             prop_assert_eq!(outcomes[0].index(), other.index());
             prop_assert_eq!(outcomes[0].decisions(), other.decisions());

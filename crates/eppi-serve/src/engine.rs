@@ -37,7 +37,8 @@ use crate::snapshot::SnapshotCell;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eppi_core::model::{OwnerId, ProviderId, PublishedIndex};
 use eppi_core::rowstore::RowBackend;
-use eppi_durability::DurableStore;
+use eppi_durability::serve_cache::{load_serve_snapshot, save_serve_snapshot};
+use eppi_durability::{DurableStore, StoreError};
 use eppi_pir::SelectionVector;
 use eppi_telemetry::{Counter, Gauge, Histogram, Recorder, Registry};
 use eppi_trace::{SpanCtx, SpanGuard, Tracer};
@@ -371,6 +372,20 @@ impl ServeEngine {
             config.backend,
             0,
         ));
+        Self::boot(initial, config, registry, tracer)
+    }
+
+    /// Common boot tail: wraps an already-built serving layout in the
+    /// snapshot cell, registers telemetry, and spawns the shard worker
+    /// pool. The engine's version counter starts at the layout's own
+    /// snapshot version (0 for cold boots, the cached version for warm
+    /// ones).
+    fn boot(
+        initial: Arc<ShardedIndex>,
+        config: ServeConfig,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> Self {
         let snapshot = Arc::new(SnapshotCell::new(Arc::clone(&initial)));
         let stats = ServeStats::register(registry);
         let backend_labels: &[(&str, &str)] = &[("backend", config.backend.name())];
@@ -410,7 +425,7 @@ impl ServeEngine {
             workers: Mutex::new(workers),
             snapshot,
             stats,
-            version: AtomicU64::new(0),
+            version: AtomicU64::new(initial.version()),
             install: Mutex::new(()),
             backend: config.backend,
             telemetry: config.telemetry,
@@ -421,10 +436,19 @@ impl ServeEngine {
         }
     }
 
-    /// Warm serve boot: shards the head of a recovered
-    /// [`DurableStore`] and starts serving it directly — the recovered
-    /// epoch goes live with no reconstruction and no MPC re-run
-    /// (reporting into the process-global telemetry registry).
+    /// Warm serve boot: starts serving the head of a recovered
+    /// [`DurableStore`] directly — the recovered epoch goes live with
+    /// no reconstruction and no MPC re-run (reporting into the
+    /// process-global telemetry registry).
+    ///
+    /// When the store directory holds a valid EPPI v3 serve cache (see
+    /// [`persist_serve_cache`](Self::persist_serve_cache)) stamped with
+    /// the head's epoch and matching this config's backend and shard
+    /// count, the cached layout is restored as-is and the re-shard
+    /// (transpose, routing, row re-encoding) is skipped entirely. The
+    /// cache is advisory: any mismatch, corruption, or restore failure
+    /// falls back to the cold path. The chosen path is visible as the
+    /// `serve.boots{mode="warm"|"cold"}` counter.
     ///
     /// # Panics
     ///
@@ -444,7 +468,63 @@ impl ServeEngine {
         config: ServeConfig,
         registry: &Registry,
     ) -> Self {
-        Self::start_with_registry(store.head().index(), config, registry)
+        Self::from_store_traced(store, config, registry, Tracer::disabled())
+    }
+
+    /// [`from_store_with_registry`](Self::from_store_with_registry)
+    /// with causal span tracing (see
+    /// [`start_traced`](Self::start_traced)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn from_store_traced(
+        store: &DurableStore,
+        config: ServeConfig,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> Self {
+        assert!(config.shards > 0, "at least one shard required");
+        let head = store.head();
+        if let Ok(Some(record)) = load_serve_snapshot(store.dir()) {
+            // The cache must describe exactly the layout this engine
+            // would rebuild: same lineage position (head epoch), same
+            // storage backend, same base shard count, and the same
+            // published contents. Anything else is a stale or foreign
+            // cache — fall back to the cold re-shard.
+            let index = head.index();
+            let usable = record.snapshot_version == head.epoch()
+                && record.backend == config.backend
+                && record.base_shards as usize == config.shards
+                && record.providers as usize == index.matrix().providers()
+                && record.betas == index.betas();
+            if usable {
+                if let Ok(restored) = ShardedIndex::from_record(&record) {
+                    registry.counter("serve.boots", &[("mode", "warm")]).inc();
+                    return Self::boot(Arc::new(restored), config, registry, tracer);
+                }
+            }
+        }
+        registry.counter("serve.boots", &[("mode", "cold")]).inc();
+        Self::start_traced(head.index(), config, registry, tracer)
+    }
+
+    /// Persists the currently serving layout as the store directory's
+    /// EPPI v3 serve cache, stamped with the store head's epoch, so the
+    /// next [`from_store`](Self::from_store) at this lineage position
+    /// boots warm. Call it when the serving snapshot reflects the store
+    /// head (e.g. right after checkpointing the epoch the engine
+    /// serves); a later head moves the lineage past the stamp and the
+    /// cache reads as stale. Returns the encoded byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if writing the cache file fails; the previous
+    /// cache (if any) survives unless the atomic replace completed.
+    pub fn persist_serve_cache(&self, store: &DurableStore) -> Result<u64, StoreError> {
+        let mut record = self.current().to_record();
+        record.snapshot_version = store.head().epoch();
+        save_serve_snapshot(store.dir(), &record)
     }
 
     /// A cloneable client handle; any number of threads may hold one.
@@ -1425,6 +1505,108 @@ mod tests {
         let client = engine.client();
         let server = PpiServer::new(epoch0.index().clone());
         for o in 0..4u32 {
+            assert_eq!(client.query(OwnerId(o)), server.query(OwnerId(o)));
+        }
+        engine.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn seeded_store(dir: &std::path::Path, registry: &Registry) -> eppi_protocol::IndexEpoch {
+        use eppi_core::model::Epsilon;
+        use eppi_protocol::{construct_epoch, ProtocolConfig};
+
+        let _ = std::fs::remove_dir_all(dir);
+        let mut matrix = MembershipMatrix::new(10, 6);
+        for o in 0..6u32 {
+            for p in 0..=(o % 5) {
+                matrix.set(ProviderId(p * 2), OwnerId(o), true);
+            }
+        }
+        let epsilons = vec![Epsilon::new(0.5).unwrap(); 6];
+        let protocol = ProtocolConfig {
+            seed: 91,
+            ..ProtocolConfig::default()
+        };
+        let epoch0 = construct_epoch(&matrix, &epsilons, &protocol).unwrap();
+        DurableStore::create_with_registry(dir, &epoch0, registry).unwrap();
+        epoch0
+    }
+
+    fn boots(registry: &Registry, mode: &str) -> u64 {
+        match registry.snapshot().expect("serve.boots", &[("mode", mode)]) {
+            Ok(m) => match &m.value {
+                MetricValue::Counter(v) => *v,
+                other => panic!("unexpected metric {other:?}"),
+            },
+            Err(_) => 0,
+        }
+    }
+
+    #[test]
+    fn warm_boot_restores_the_cached_layout_without_resharding() {
+        let dir = std::env::temp_dir().join(format!("eppi-warmboot-{}", std::process::id()));
+        let registry = Registry::new();
+        let epoch0 = seeded_store(&dir, &registry);
+
+        // First boot finds no cache: cold re-shard, version 0. Persist
+        // the layout it built for the next boot.
+        let (store, _) = DurableStore::open_with_registry(&dir, &registry).unwrap();
+        let cold = ServeEngine::from_store_with_registry(&store, config(2, 8), &registry);
+        assert_eq!((boots(&registry, "cold"), boots(&registry, "warm")), (1, 0));
+        assert_eq!(cold.version(), 0);
+        cold.persist_serve_cache(&store).unwrap();
+        cold.shutdown();
+
+        // Second boot restores the cached layout: no re-shard (the
+        // warm counter moves, cold does not), and the engine resumes
+        // at the head's lineage position instead of version 0.
+        let warm = ServeEngine::from_store_with_registry(&store, config(2, 8), &registry);
+        assert_eq!((boots(&registry, "cold"), boots(&registry, "warm")), (1, 1));
+        assert_eq!(warm.version(), store.head().epoch());
+        assert_eq!(warm.current().version(), store.head().epoch());
+        let client = warm.client();
+        let server = PpiServer::new(epoch0.index().clone());
+        for o in 0..6u32 {
+            assert_eq!(client.query(OwnerId(o)), server.query(OwnerId(o)));
+        }
+        warm.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_serve_cache_falls_back_to_a_cold_boot() {
+        use eppi_durability::serve_cache::load_serve_snapshot as load_raw;
+        use eppi_durability::serve_cache::save_serve_snapshot as save_raw;
+
+        let dir = std::env::temp_dir().join(format!("eppi-staleboot-{}", std::process::id()));
+        let registry = Registry::new();
+        let epoch0 = seeded_store(&dir, &registry);
+        let (store, _) = DurableStore::open_with_registry(&dir, &registry).unwrap();
+        let first = ServeEngine::from_store_with_registry(&store, config(2, 8), &registry);
+        first.persist_serve_cache(&store).unwrap();
+        first.shutdown();
+
+        // A cache stamped for a different lineage position is stale:
+        // the boot must re-shard, never serve it.
+        let mut record = load_raw(store.dir()).unwrap().unwrap();
+        record.snapshot_version += 7;
+        save_raw(store.dir(), &record).unwrap();
+        let engine = ServeEngine::from_store_with_registry(&store, config(2, 8), &registry);
+        assert_eq!(boots(&registry, "cold"), 2);
+        assert_eq!(boots(&registry, "warm"), 0);
+        assert_eq!(engine.version(), 0);
+        engine.shutdown();
+
+        // So is one built for a different shard count, even at the
+        // right version.
+        record.snapshot_version -= 7;
+        save_raw(store.dir(), &record).unwrap();
+        let engine = ServeEngine::from_store_with_registry(&store, config(3, 8), &registry);
+        assert_eq!(boots(&registry, "cold"), 3);
+        assert_eq!(boots(&registry, "warm"), 0);
+        let client = engine.client();
+        let server = PpiServer::new(epoch0.index().clone());
+        for o in 0..6u32 {
             assert_eq!(client.query(OwnerId(o)), server.query(OwnerId(o)));
         }
         engine.shutdown();
