@@ -12,16 +12,24 @@
 //! * [`mod@evaluate`] — runs both attacks against any published index and
 //!   classifies the achieved privacy degree (ε-PRIVATE / NoGuarantee /
 //!   NoProtect).
+//! * [`cheating`] — the *provider-side* threat model: malicious
+//!   providers that violate the publication rule (wrong β, stale
+//!   columns, selective deflips, forged proof views), pitted against
+//!   the `eppi-audit` certificate check (DESIGN.md §16).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cheating;
 pub mod collusion;
 pub mod common_identity;
 pub mod evaluate;
 pub mod primary;
 pub mod refresh;
 
+pub use cheating::{
+    run_cheating_trial, serve_column, CheatStrategy, CheatingProvider, ProviderAuditOutcome,
+};
 pub use collusion::{
     attack_with_collusion, collusion_view, mean_effective_confidence, Coalition, CollusionView,
 };

@@ -1,0 +1,134 @@
+//! Typed audit rejections.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an audit certificate was rejected. Every variant names the
+/// provider whose certificate failed, so the operator knows *who*
+/// cheated (or whose state was tampered with), not just that something
+/// did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AuditError {
+    /// The certificate is structurally unusable (wrong repetition
+    /// count, truncated word vectors, zero owners, …).
+    Malformed {
+        /// Provider whose certificate is malformed.
+        provider: u32,
+        /// What shape constraint was violated.
+        reason: &'static str,
+    },
+    /// The committed published-column digest does not match the column
+    /// actually being installed.
+    PublishedDigest {
+        /// Provider whose column digest mismatched.
+        provider: u32,
+    },
+    /// The committed decision digest does not match the decisions the
+    /// official per-owner β's dictate — the wrong-β cheat.
+    DecisionsDigest {
+        /// Provider whose decision digest mismatched.
+        provider: u32,
+    },
+    /// A re-computed view does not hash to its commitment — a forged
+    /// or inconsistent view opening.
+    ViewDigest {
+        /// Provider whose proof failed.
+        provider: u32,
+        /// Repetition index of the failing view.
+        rep: usize,
+        /// Virtual party whose view failed (0–2).
+        party: usize,
+    },
+    /// An opened party's claimed output share disagrees with its
+    /// re-computed view.
+    OutputShare {
+        /// Provider whose proof failed.
+        provider: u32,
+        /// Repetition index.
+        rep: usize,
+        /// Virtual party (0–2).
+        party: usize,
+    },
+    /// The three output shares do not reconstruct the published
+    /// column — the proven circuit output is not what was published.
+    OutputMismatch {
+        /// Provider whose proof failed.
+        provider: u32,
+        /// Repetition index.
+        rep: usize,
+    },
+    /// An epoch-level certificate set does not cover every provider
+    /// exactly once, in provider order.
+    CertificateSet {
+        /// Providers the epoch has.
+        expected: usize,
+        /// Certificates presented.
+        actual: usize,
+    },
+}
+
+impl AuditError {
+    /// Short stable label for the rejection class — the
+    /// `audit.rejects{kind=…}` telemetry key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AuditError::Malformed { .. } => "malformed",
+            AuditError::PublishedDigest { .. } => "published_digest",
+            AuditError::DecisionsDigest { .. } => "decisions_digest",
+            AuditError::ViewDigest { .. } => "view_digest",
+            AuditError::OutputShare { .. } => "output_share",
+            AuditError::OutputMismatch { .. } => "output_mismatch",
+            AuditError::CertificateSet { .. } => "certificate_set",
+        }
+    }
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Malformed { provider, reason } => {
+                write!(f, "provider {provider}: malformed certificate ({reason})")
+            }
+            AuditError::PublishedDigest { provider } => write!(
+                f,
+                "provider {provider}: committed published-column digest does not match the \
+                 installed column"
+            ),
+            AuditError::DecisionsDigest { provider } => write!(
+                f,
+                "provider {provider}: committed decisions differ from the official per-owner β \
+                 decisions"
+            ),
+            AuditError::ViewDigest {
+                provider,
+                rep,
+                party,
+            } => write!(
+                f,
+                "provider {provider}: repetition {rep} party {party} view does not match its \
+                 commitment"
+            ),
+            AuditError::OutputShare {
+                provider,
+                rep,
+                party,
+            } => write!(
+                f,
+                "provider {provider}: repetition {rep} party {party} output share disagrees with \
+                 its view"
+            ),
+            AuditError::OutputMismatch { provider, rep } => write!(
+                f,
+                "provider {provider}: repetition {rep} output shares do not reconstruct the \
+                 published column"
+            ),
+            AuditError::CertificateSet { expected, actual } => write!(
+                f,
+                "certificate set covers {actual} providers, epoch has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for AuditError {}

@@ -1,0 +1,186 @@
+//! The flip circuit: the publication rule as a Boolean relation.
+//!
+//! One circuit instance decides one cell. The witness is the
+//! provider's raw membership bit; the public inputs are the cell's
+//! deterministic coin bits and the β-derived decision threshold; the
+//! output is the published bit:
+//!
+//! ```text
+//! decision  = coin_bits < threshold        (54-bit borrow-chain compare)
+//! published = raw ∨ decision               (the truthful-OR of Eq. 2)
+//! ```
+//!
+//! The comparison is the *exact* integer form of `coin < β`
+//! ([`eppi_core::publish::publication_threshold`]), so the circuit
+//! output agrees bit-for-bit with [`eppi_core::publish::publish_cell`]
+//! for every cell — pinned by `circuit_matches_publish_cell`.
+//!
+//! The prover evaluates the circuit bitsliced: every wire carries one
+//! 64-bit word per owner block, i.e. 64 cell instances per word
+//! (`PackedBits` packing), which is the same trick the GMW core uses.
+
+use eppi_core::model::{OwnerId, ProviderId};
+use eppi_core::publish::{publication_coin_bits, publication_threshold, publish_cell};
+use eppi_mpc::builder::CircuitBuilder;
+use eppi_mpc::circuit::Circuit;
+use eppi_mpc::packed::words_for;
+
+/// Width of the coin input: the 53 mantissa bits of the publication
+/// coin.
+pub const COIN_BITS: usize = 53;
+
+/// Width of the threshold input: β = 1 needs `T = 2^53`, one bit more
+/// than any coin.
+pub const THRESHOLD_BITS: usize = 54;
+
+/// Input-wire count of the flip circuit: raw bit + coin + threshold.
+pub const FLIP_INPUTS: usize = 1 + COIN_BITS + THRESHOLD_BITS;
+
+/// Builds the flip circuit. Input order: wire 0 is the secret raw bit;
+/// wires `1..=53` the coin bits (LSB first); wires `54..=107` the
+/// threshold bits (LSB first). One output wire: the published bit.
+pub fn flip_circuit() -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let raw = b.input();
+    let coin = b.input_word(COIN_BITS);
+    let threshold = b.input_word(THRESHOLD_BITS);
+    let coin = b.resize_word(&coin, THRESHOLD_BITS);
+    let decision = b.lt_words(&coin, &threshold);
+    let published = b.or(raw, decision);
+    b.finish(vec![published])
+}
+
+/// The all-valid-lanes mask for the last word of an `owners`-bit packed
+/// vector: bits past the owner count never count.
+pub fn tail_mask(owners: usize) -> u64 {
+    match owners % 64 {
+        0 => !0,
+        r => (1u64 << r) - 1,
+    }
+}
+
+/// Masks the tail lanes of a packed `owners`-bit vector in place.
+pub fn mask_tail(words: &mut [u64], owners: usize) {
+    if let Some(last) = words.last_mut() {
+        *last &= tail_mask(owners);
+    }
+}
+
+/// The bitsliced public input words of one provider column: for each
+/// non-witness input wire (coin and threshold bits), one word per owner
+/// block whose lane `j % 64` is that bit for owner `j`.
+///
+/// Both prover and verifier derive these from public data only — the
+/// epoch seed, the provider id, and the *official* per-owner β's — so a
+/// prover that ran the flip with any other β or coin stream is proving
+/// a different circuit than the verifier checks.
+pub fn public_input_words(epoch_seed: u64, provider: ProviderId, betas: &[f64]) -> Vec<Vec<u64>> {
+    let owners = betas.len();
+    let nw = words_for(owners);
+    let mut words = vec![vec![0u64; nw]; COIN_BITS + THRESHOLD_BITS];
+    for (j, &beta) in betas.iter().enumerate() {
+        let coin = publication_coin_bits(epoch_seed, provider, OwnerId(j as u32));
+        let threshold = publication_threshold(beta);
+        let (block, lane) = (j / 64, j % 64);
+        for (b, w) in words.iter_mut().enumerate() {
+            let bit = if b < COIN_BITS {
+                coin >> b & 1
+            } else {
+                threshold >> (b - COIN_BITS) & 1
+            };
+            w[block] |= bit << lane;
+        }
+    }
+    words
+}
+
+/// The packed per-owner publication *decision* bits of one provider
+/// column under the official β's: lane `j` is `coin_j < T(β_j)` — what
+/// the provider's committed decisions must equal.
+pub fn decision_words(epoch_seed: u64, provider: ProviderId, betas: &[f64]) -> Vec<u64> {
+    let mut words = vec![0u64; words_for(betas.len())];
+    for (j, &beta) in betas.iter().enumerate() {
+        // A decision is a decoy on a non-member cell; publish_cell with
+        // member = false is exactly the decision bit.
+        if publish_cell(epoch_seed, provider, OwnerId(j as u32), false, beta) {
+            words[j / 64] |= 1u64 << (j % 64);
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_shape() {
+        let c = flip_circuit();
+        assert_eq!(c.inputs(), FLIP_INPUTS);
+        assert_eq!(c.outputs().len(), 1);
+        let stats = c.stats();
+        // 2 ANDs per comparator bit + 1 for the OR.
+        assert_eq!(stats.and_gates, 2 * THRESHOLD_BITS + 1);
+    }
+
+    #[test]
+    fn circuit_matches_publish_cell() {
+        let circuit = flip_circuit();
+        for seed in [0u64, 7, 0xdead_beef] {
+            for p in 0..6u32 {
+                for o in 0..6u32 {
+                    for beta in [0.0, 0.2, 0.5, 0.93, 1.0] {
+                        for member in [false, true] {
+                            let coin = publication_coin_bits(seed, ProviderId(p), OwnerId(o));
+                            let threshold = publication_threshold(beta);
+                            let mut inputs = vec![member];
+                            inputs.extend((0..COIN_BITS).map(|b| coin >> b & 1 == 1));
+                            inputs.extend((0..THRESHOLD_BITS).map(|b| threshold >> b & 1 == 1));
+                            let out = circuit.eval(&inputs);
+                            let expect =
+                                publish_cell(seed, ProviderId(p), OwnerId(o), member, beta);
+                            assert_eq!(
+                                out,
+                                [expect],
+                                "seed {seed} cell ({p},{o}) β {beta} member {member}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn public_words_slice_per_lane() {
+        let betas = vec![0.3; 70];
+        let words = public_input_words(5, ProviderId(2), &betas);
+        assert_eq!(words.len(), COIN_BITS + THRESHOLD_BITS);
+        assert_eq!(words[0].len(), 2);
+        // Lane 65 of each input word is owner 65's bit.
+        let coin = publication_coin_bits(5, ProviderId(2), OwnerId(65));
+        for (b, w) in words.iter().take(COIN_BITS).enumerate() {
+            assert_eq!(w[1] >> 1 & 1, coin >> b & 1, "coin bit {b}");
+        }
+    }
+
+    #[test]
+    fn decisions_match_cellwise_rule() {
+        let betas: Vec<f64> = (0..130).map(|j| (j % 11) as f64 / 10.0).collect();
+        let words = decision_words(9, ProviderId(4), &betas);
+        for (j, &beta) in betas.iter().enumerate() {
+            let expect = publish_cell(9, ProviderId(4), OwnerId(j as u32), false, beta);
+            assert_eq!(words[j / 64] >> (j % 64) & 1 == 1, expect, "owner {j}");
+        }
+    }
+
+    #[test]
+    fn tail_masks() {
+        assert_eq!(tail_mask(64), !0);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(65), 1);
+        let mut words = vec![!0u64, !0];
+        mask_tail(&mut words, 70);
+        assert_eq!(words, vec![!0, 0x3f]);
+    }
+}

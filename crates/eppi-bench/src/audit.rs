@@ -1,0 +1,387 @@
+//! Publication-audit benchmark: MPC-in-the-head prove/verify cost and
+//! cheater-detection outcomes.
+//!
+//! Two sweeps over a constructed epoch: column size (owners `n`, at the
+//! strongest repetition count) and repetition count (at the smallest
+//! column). Each row times [`certify_epoch`] (every provider proves its
+//! column) and [`verify_epoch`] (the auditor gate), and records the
+//! total certificate size. A separate detection trial runs one cheater
+//! of every [`CheatStrategy`] inside an honest cohort and records who
+//! was caught — the JSON is CI-gated on *all cheaters detected, zero
+//! honest rejections*.
+//!
+//! Results land in `results/BENCH_audit.json` (override with
+//! `EPPI_AUDIT_OUT`); `EPPI_SCALE=quick` selects the smoke
+//! configuration.
+//!
+//! Expected shape: prove and verify walls grow linearly in
+//! `words(n) × repetitions` (the flip circuit is fixed at 109 AND
+//! gates, evaluated word-parallel), and proof size is dominated by the
+//! per-repetition opened AND wires.
+
+use crate::report::Table;
+use eppi_attacks::{run_cheating_trial, CheatStrategy, CheatingProvider};
+use eppi_audit::{AuditParams, DEFAULT_REPETITIONS};
+use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
+use eppi_protocol::{certify_epoch, construct_epoch, verify_epoch, AuditConfig, ProtocolConfig};
+use eppi_telemetry::json::JsonValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Configuration of one audit benchmark run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditBenchConfig {
+    /// Providers `m` (each certifies one column).
+    pub providers: usize,
+    /// Column sizes to sweep at the strongest repetition count.
+    pub owners_sweep: Vec<usize>,
+    /// Repetition counts to sweep at the smallest column size.
+    pub repetitions_sweep: Vec<usize>,
+    /// Decoys each cheating strategy tries to suppress.
+    pub cheat_drop: usize,
+    /// Base RNG / protocol seed.
+    pub seed: u64,
+}
+
+impl AuditBenchConfig {
+    /// Paper-scale sweep: the evaluation's m = 10 providers, columns
+    /// from the paper's 128 identities up, full 40-repetition proofs.
+    pub fn paper() -> Self {
+        AuditBenchConfig {
+            providers: 10,
+            owners_sweep: vec![128, 1024, 4096],
+            repetitions_sweep: vec![1, 10, DEFAULT_REPETITIONS],
+            cheat_drop: 6,
+            seed: 0xa0d17,
+        }
+    }
+
+    /// Scaled-down smoke run for tests and `EPPI_SCALE=quick`.
+    pub fn quick() -> Self {
+        AuditBenchConfig {
+            providers: 6,
+            owners_sweep: vec![64, 128],
+            repetitions_sweep: vec![1, 8],
+            cheat_drop: 4,
+            seed: 0xa0d17,
+        }
+    }
+
+    fn max_repetitions(&self) -> usize {
+        self.repetitions_sweep.iter().copied().max().unwrap_or(1)
+    }
+}
+
+/// One (owners, repetitions) point's measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRow {
+    /// Column size `n`.
+    pub owners: usize,
+    /// Proof repetitions.
+    pub repetitions: usize,
+    /// Wall of certifying all `m` columns.
+    pub prove_wall: Duration,
+    /// Wall of the auditor gate over all `m` certificates.
+    pub verify_wall: Duration,
+    /// Total serialized proof bytes across providers.
+    pub proof_bytes: usize,
+    /// Whether the gate accepted the honest certificates (must be
+    /// true in every row).
+    pub accepted: bool,
+}
+
+/// One cheating strategy's outcome in the detection trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheaterOutcome {
+    /// Strategy label (`wrong_beta`, `stale_column`, …).
+    pub strategy: &'static str,
+    /// Whether the auditor rejected the certificate.
+    pub detected: bool,
+    /// The rejecting check's label, when detected.
+    pub kind: Option<&'static str>,
+}
+
+/// Everything one invocation produces (feeds both table and JSON).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// The configuration that ran.
+    pub config: AuditBenchConfig,
+    /// One entry per swept point.
+    pub rows: Vec<AuditRow>,
+    /// Detection-trial outcomes, one per seeded cheater.
+    pub cheaters: Vec<CheaterOutcome>,
+    /// Honest providers rejected in the detection trial (must be 0).
+    pub honest_rejections: usize,
+}
+
+fn random_matrix(m: usize, n: usize, seed: u64) -> MembershipMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mat = MembershipMatrix::new(m, n);
+    for p in 0..m as u32 {
+        for j in 0..n as u32 {
+            if rng.gen_range(0u32..100) < 30 {
+                mat.set(ProviderId(p), OwnerId(j), true);
+            }
+        }
+    }
+    mat
+}
+
+fn bench_point(config: &AuditBenchConfig, owners: usize, repetitions: usize) -> AuditRow {
+    let matrix = random_matrix(config.providers, owners, config.seed ^ owners as u64);
+    let epsilons: Vec<Epsilon> = (0..owners)
+        .map(|j| Epsilon::saturating(0.2 + (j % 7) as f64 / 10.0))
+        .collect();
+    let proto = ProtocolConfig {
+        seed: config.seed,
+        ..ProtocolConfig::default()
+    };
+    let audit = AuditConfig {
+        params: AuditParams { repetitions },
+        ..AuditConfig::default()
+    };
+    let epoch = construct_epoch(&matrix, &epsilons, &proto).expect("epoch construction");
+
+    let started = Instant::now();
+    let certificates = certify_epoch(&matrix, &epoch, &audit);
+    let prove_wall = started.elapsed();
+    let proof_bytes = certificates.iter().map(|c| c.proof.size_bytes()).sum();
+
+    let started = Instant::now();
+    let accepted = verify_epoch(&epoch, &certificates, &audit).is_ok();
+    let verify_wall = started.elapsed();
+
+    AuditRow {
+        owners,
+        repetitions,
+        prove_wall,
+        verify_wall,
+        proof_bytes,
+        accepted,
+    }
+}
+
+/// Runs both sweeps plus the cheater-detection trial.
+pub fn run(config: &AuditBenchConfig) -> AuditReport {
+    let mut rows = Vec::new();
+    let max_reps = config.max_repetitions();
+    for &owners in &config.owners_sweep {
+        rows.push(bench_point(config, owners, max_reps));
+    }
+    let base_owners = config.owners_sweep.first().copied().unwrap_or(128);
+    for &reps in &config.repetitions_sweep {
+        if reps != max_reps {
+            rows.push(bench_point(config, base_owners, reps));
+        }
+    }
+
+    // Detection trial: one cheater per strategy, honest remainder,
+    // full-strength proofs.
+    let owners = base_owners;
+    let matrix = random_matrix(config.providers, owners, config.seed ^ 0xc0de);
+    let betas: Vec<f64> = (0..owners).map(|j| 0.2 + (j % 6) as f64 / 10.0).collect();
+    let strategies = [
+        CheatStrategy::WrongBeta { claimed: 0.01 },
+        CheatStrategy::StaleColumn {
+            stale_seed: config.seed ^ 0xbad,
+        },
+        CheatStrategy::SelectiveDeflip {
+            drop: config.cheat_drop,
+        },
+        CheatStrategy::ForgedView {
+            drop: config.cheat_drop,
+        },
+    ];
+    let cheaters: Vec<CheatingProvider> = strategies
+        .iter()
+        .enumerate()
+        .map(|(i, s)| CheatingProvider {
+            provider: ProviderId(i as u32 % config.providers as u32),
+            strategy: s.clone(),
+        })
+        .collect();
+    let params = AuditParams {
+        repetitions: max_reps,
+    };
+    let outcomes = run_cheating_trial(config.seed, &betas, &matrix, &cheaters, &params, 0x5eed);
+    let cheater_rows = outcomes
+        .iter()
+        .filter_map(|o| {
+            o.cheated.map(|strategy| CheaterOutcome {
+                strategy,
+                detected: o.detected(),
+                kind: o.error.as_ref().map(|e| e.kind()),
+            })
+        })
+        .collect();
+    let honest_rejections = outcomes
+        .iter()
+        .filter(|o| o.cheated.is_none() && o.detected())
+        .count();
+
+    AuditReport {
+        config: config.clone(),
+        rows,
+        cheaters: cheater_rows,
+        honest_rejections,
+    }
+}
+
+/// Renders the report as the harness's usual aligned table.
+pub fn to_table(report: &AuditReport) -> Table {
+    let mut table = Table::new(
+        format!(
+            "publication audit — {} providers, cheaters {}/{} detected, {} honest rejections",
+            report.config.providers,
+            report.cheaters.iter().filter(|c| c.detected).count(),
+            report.cheaters.len(),
+            report.honest_rejections
+        ),
+        [
+            "owners",
+            "reps",
+            "prove ms",
+            "verify ms",
+            "proof KiB",
+            "accepted",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.owners.to_string(),
+            row.repetitions.to_string(),
+            format!("{:.3}", row.prove_wall.as_secs_f64() * 1e3),
+            format!("{:.3}", row.verify_wall.as_secs_f64() * 1e3),
+            format!("{:.1}", row.proof_bytes as f64 / 1024.0),
+            row.accepted.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Serializes the report to the `BENCH_audit.json` schema.
+pub fn to_json(report: &AuditReport, scale: &str) -> String {
+    let threads = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let rows = report
+        .rows
+        .iter()
+        .map(|row| {
+            JsonValue::Object(vec![
+                ("owners".into(), JsonValue::UInt(row.owners as u64)),
+                (
+                    "repetitions".into(),
+                    JsonValue::UInt(row.repetitions as u64),
+                ),
+                (
+                    "prove_ms".into(),
+                    JsonValue::Float(row.prove_wall.as_secs_f64() * 1e3),
+                ),
+                (
+                    "verify_ms".into(),
+                    JsonValue::Float(row.verify_wall.as_secs_f64() * 1e3),
+                ),
+                (
+                    "proof_bytes".into(),
+                    JsonValue::UInt(row.proof_bytes as u64),
+                ),
+                ("accepted".into(), JsonValue::Bool(row.accepted)),
+            ])
+        })
+        .collect();
+    let cheaters = report
+        .cheaters
+        .iter()
+        .map(|c| {
+            JsonValue::Object(vec![
+                ("strategy".into(), JsonValue::Str(c.strategy.into())),
+                ("detected".into(), JsonValue::Bool(c.detected)),
+                (
+                    "kind".into(),
+                    c.kind.map_or(JsonValue::Null, |k| JsonValue::Str(k.into())),
+                ),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::Object(vec![
+        ("bench".into(), JsonValue::Str("audit".into())),
+        ("scale".into(), JsonValue::Str(scale.into())),
+        (
+            "machine".into(),
+            JsonValue::Object(vec![
+                ("os".into(), JsonValue::Str(std::env::consts::OS.into())),
+                ("arch".into(), JsonValue::Str(std::env::consts::ARCH.into())),
+                ("hardware_threads".into(), JsonValue::UInt(threads as u64)),
+            ]),
+        ),
+        (
+            "config".into(),
+            JsonValue::Object(vec![
+                (
+                    "providers".into(),
+                    JsonValue::UInt(report.config.providers as u64),
+                ),
+                (
+                    "cheat_drop".into(),
+                    JsonValue::UInt(report.config.cheat_drop as u64),
+                ),
+                ("seed".into(), JsonValue::UInt(report.config.seed)),
+            ]),
+        ),
+        ("rows".into(), JsonValue::Array(rows)),
+        ("cheaters".into(), JsonValue::Array(cheaters)),
+        (
+            "honest_rejections".into(),
+            JsonValue::UInt(report.honest_rejections as u64),
+        ),
+    ]);
+    let mut out = doc.to_pretty();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_detects_every_cheater_and_accepts_honest_rows() {
+        let config = AuditBenchConfig {
+            owners_sweep: vec![64],
+            repetitions_sweep: vec![1, 6],
+            ..AuditBenchConfig::quick()
+        };
+        let report = run(&config);
+        assert_eq!(report.rows.len(), 2); // 64×6 and 64×1
+        assert!(report.rows.iter().all(|r| r.accepted));
+        assert!(report.rows.iter().all(|r| r.proof_bytes > 0));
+        assert_eq!(report.cheaters.len(), 4);
+        // At 6 repetitions even the forged view survives with
+        // probability (2/3)^6 ≈ 0.09 — but this seed is pinned, and
+        // the three deterministic cheats never escape.
+        for c in &report.cheaters {
+            if c.strategy != "forged_view" {
+                assert!(c.detected, "{} escaped", c.strategy);
+            }
+        }
+        assert_eq!(report.honest_rejections, 0);
+
+        let json = to_json(&report, "quick");
+        let doc = JsonValue::parse(&json).expect("BENCH_audit.json must parse");
+        assert_eq!(doc.get("bench").and_then(JsonValue::as_str), Some("audit"));
+        for key in [
+            "\"rows\"",
+            "\"prove_ms\"",
+            "\"verify_ms\"",
+            "\"proof_bytes\"",
+            "\"cheaters\"",
+            "\"honest_rejections\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let table = to_table(&report).to_string();
+        assert!(table.contains("prove ms"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Benchmarks the publication audit (MPC-in-the-head prove/verify
+//! sweeps plus the cheater-detection trial) and writes
+//! `results/BENCH_audit.json`.
+//!
+//! Knobs: `EPPI_SCALE=quick|paper` picks the configuration;
+//! `EPPI_AUDIT_OUT` overrides the output path.
+use eppi_bench::audit::{run, to_json, to_table, AuditBenchConfig};
+use eppi_bench::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let (config, scale) = match Scale::from_env() {
+        Scale::Quick => (AuditBenchConfig::quick(), "quick"),
+        Scale::Paper => (AuditBenchConfig::paper(), "paper"),
+    };
+    let report = run(&config);
+    eppi_bench::print_table(&to_table(&report));
+
+    let out: PathBuf = std::env::var_os("EPPI_AUDIT_OUT")
+        .map_or_else(|| PathBuf::from("results/BENCH_audit.json"), PathBuf::from);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+    }
+    std::fs::write(&out, to_json(&report, scale)).expect("write BENCH_audit.json");
+    eprintln!("wrote {}", out.display());
+}

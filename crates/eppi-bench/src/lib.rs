@@ -22,12 +22,14 @@
 //! | `bench_mpc` | packed GMW core vs unpacked reference (`results/BENCH_mpc.json`) |
 //! | `bench_refresh` | delta refresh vs full rebuild sweep (`results/BENCH_refresh.json`) |
 //! | `bench_recovery` | crash recovery vs log length (`results/BENCH_recovery.json`) |
+//! | `bench_audit` | publication-audit prove/verify cost + cheater detection (`results/BENCH_audit.json`) |
 //! | `all_experiments` | everything above, in order |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod audit;
 pub mod collusion;
 pub mod fig4;
 pub mod fig5;

@@ -1,0 +1,241 @@
+//! Domain-separated word-level hash commitments (DESIGN.md §16).
+//!
+//! Every subsystem that needs to *bind* a packed bit-vector — the audit
+//! layer committing to published columns and publication decisions
+//! (`eppi-audit`), the durability layer stamping the audit trailer it
+//! persists next to an epoch — shares this one helper instead of
+//! growing its own ad-hoc mixer. The construction is a 4×64-bit sponge
+//! over the splitmix64 finalizer: words are absorbed into rotating
+//! lanes and a cross-lane permutation runs every rate-full block and
+//! between logical fields, so `absorb_words(&[a, b])` and two separate
+//! single-word fields produce different digests.
+//!
+//! This is a *documented stand-in* for a standardized hash (the
+//! offline build vendors no cryptographic hash crate): collision
+//! resistance is heuristic, not reduction-backed, which is the same
+//! trade the deterministic publication coin already makes. What the
+//! repo relies on — and what the tests pin — is (a) determinism,
+//! (b) domain separation, and (c) strict sensitivity to every absorbed
+//! word, byte, and field boundary.
+
+use std::fmt;
+
+/// The splitmix64 increment; also used as the per-round constant.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 finalizer — the same mixer the deterministic
+/// publication coin uses, so the whole repo leans on one primitive.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A 256-bit digest: the output of [`Hasher256`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest256(pub [u64; 4]);
+
+impl Digest256 {
+    /// Serializes the digest as 32 little-endian bytes (the durability
+    /// codec's wire form).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (chunk, lane) in out.chunks_exact_mut(8).zip(self.0) {
+            chunk.copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds a digest from its 32-byte wire form.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Digest256 {
+        let mut lanes = [0u64; 4];
+        for (lane, chunk) in lanes.iter_mut().zip(bytes.chunks_exact(8)) {
+            *lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Digest256(lanes)
+    }
+}
+
+impl fmt::Display for Digest256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for lane in self.0 {
+            write!(f, "{lane:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental word-level hasher producing a [`Digest256`].
+///
+/// Created with a domain string ([`Hasher256::new`]); absorb whole
+/// words ([`absorb_u64`](Hasher256::absorb_u64),
+/// [`absorb_words`](Hasher256::absorb_words)) or byte strings
+/// ([`absorb_bytes`](Hasher256::absorb_bytes)); finish with
+/// [`finalize`](Hasher256::finalize). Every absorb call is a framed
+/// field: the word count is folded in, so moving a word across a call
+/// boundary changes the digest.
+#[derive(Debug, Clone)]
+pub struct Hasher256 {
+    state: [u64; 4],
+    /// Words absorbed since the last permutation (0..4).
+    lane: usize,
+    /// Total words absorbed, folded in at finalization.
+    absorbed: u64,
+}
+
+impl Hasher256 {
+    /// Starts a hasher bound to `domain`: hashers with different
+    /// domains never collide by construction (the domain bytes are the
+    /// first framed field).
+    pub fn new(domain: &str) -> Hasher256 {
+        let mut h = Hasher256 {
+            // Fractional parts of √2, √3, √5, √7 — "nothing up my
+            // sleeve" initial lanes (SHA-256's H0..H3 seeds).
+            state: [
+                0x6a09_e667_f3bc_c908,
+                0xbb67_ae85_84ca_a73b,
+                0x3c6e_f372_fe94_f82b,
+                0xa54f_f53a_5f1d_36f1,
+            ],
+            lane: 0,
+            absorbed: 0,
+        };
+        h.absorb_bytes(domain.as_bytes());
+        h
+    }
+
+    /// The cross-lane permutation: four rounds of splitmix finalization
+    /// with rotation-coupled lane feedback.
+    fn permute(&mut self) {
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for round in 1..=4u64 {
+            a = mix64(a.wrapping_add(b).wrapping_add(GAMMA.wrapping_mul(round)));
+            b = mix64(b ^ c.rotate_left(17));
+            c = mix64(c.wrapping_add(d.rotate_left(43)));
+            d = mix64(d ^ a.rotate_left(29));
+        }
+        self.state = [a, b, c, d];
+        self.lane = 0;
+    }
+
+    /// Absorbs one word into the next lane, permuting on a full rate
+    /// block.
+    pub fn absorb_u64(&mut self, word: u64) {
+        self.state[self.lane] ^= word;
+        self.absorbed = self.absorbed.wrapping_add(1);
+        self.lane += 1;
+        if self.lane == 4 {
+            self.permute();
+        }
+    }
+
+    /// Absorbs a packed word slice as one framed field: the length is
+    /// absorbed first, so adjacent fields cannot slide into each other.
+    pub fn absorb_words(&mut self, words: &[u64]) {
+        self.absorb_u64(words.len() as u64);
+        for &w in words {
+            self.absorb_u64(w);
+        }
+    }
+
+    /// Absorbs a byte string as one framed field (length prefix, then
+    /// little-endian zero-padded words).
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        self.absorb_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.absorb_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Finishes the sponge: folds the absorbed-word count in, runs two
+    /// final permutations (padding/extension separation), and squeezes
+    /// the state out as the digest.
+    pub fn finalize(mut self) -> Digest256 {
+        let total = self.absorbed;
+        self.absorb_u64(total ^ GAMMA);
+        self.permute();
+        self.permute();
+        Digest256(self.state)
+    }
+}
+
+/// One-shot convenience: digest a packed word slice under `domain`.
+pub fn digest_words(domain: &str, words: &[u64]) -> Digest256 {
+    let mut h = Hasher256::new(domain);
+    h.absorb_words(words);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_domain_separated() {
+        let a = digest_words("eppi.test.a", &[1, 2, 3]);
+        let b = digest_words("eppi.test.a", &[1, 2, 3]);
+        let c = digest_words("eppi.test.b", &[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "domains must separate");
+    }
+
+    #[test]
+    fn sensitive_to_every_word_and_position() {
+        let base = digest_words("eppi.test", &[7, 8, 9, 10, 11]);
+        for i in 0..5 {
+            for bit in [0u32, 31, 63] {
+                let mut words = [7u64, 8, 9, 10, 11];
+                words[i] ^= 1 << bit;
+                assert_ne!(
+                    base,
+                    digest_words("eppi.test", &words),
+                    "word {i} bit {bit}"
+                );
+            }
+        }
+        // Swapping equal-length neighbours changes the digest.
+        assert_ne!(
+            digest_words("eppi.test", &[8, 7, 9, 10, 11]),
+            base,
+            "order must matter"
+        );
+    }
+
+    #[test]
+    fn field_framing_prevents_sliding() {
+        let mut a = Hasher256::new("eppi.frame");
+        a.absorb_words(&[1, 2]);
+        a.absorb_words(&[3]);
+        let mut b = Hasher256::new("eppi.frame");
+        b.absorb_words(&[1]);
+        b.absorb_words(&[2, 3]);
+        assert_ne!(a.finalize(), b.finalize(), "field boundaries must bind");
+    }
+
+    #[test]
+    fn byte_lengths_bind() {
+        let mut a = Hasher256::new("eppi.bytes");
+        a.absorb_bytes(b"abc");
+        let mut b = Hasher256::new("eppi.bytes");
+        b.absorb_bytes(b"abc\0");
+        assert_ne!(a.finalize(), b.finalize(), "zero-padding must not collide");
+    }
+
+    #[test]
+    fn digest_roundtrips_through_bytes() {
+        let d = digest_words("eppi.rt", &[0xdead_beef, 42]);
+        assert_eq!(Digest256::from_bytes(&d.to_bytes()), d);
+        assert_eq!(format!("{d}").len(), 64);
+    }
+
+    #[test]
+    fn empty_input_still_binds_domain() {
+        assert_ne!(
+            digest_words("eppi.empty.a", &[]),
+            digest_words("eppi.empty.b", &[])
+        );
+    }
+}

@@ -25,6 +25,9 @@
 //!   realization lives in the `eppi-protocol` crate.)
 //! * [`analysis`] — exact Binomial / Chernoff-bound predictions of the
 //!   publication success probability (Theorem 3.1 as computable theory).
+//! * [`commit`] — the shared domain-separated word-level hash
+//!   commitment ([`Digest256`]/[`Hasher256`]) used by the audit layer
+//!   (`eppi-audit`) and the durability trailer stamps (DESIGN.md §16).
 //! * [`rows`] — packed provider-row extraction and answer types shared
 //!   by the serving layout (`eppi-serve`) and the oblivious
 //!   private-query subsystem (`eppi-pir`).
@@ -63,6 +66,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod commit;
 pub mod construct;
 pub mod delta;
 pub mod error;
@@ -75,6 +79,7 @@ pub mod rows;
 pub mod rowstore;
 pub mod sensitivity;
 
+pub use commit::{digest_words, Digest256, Hasher256};
 pub use construct::{construct, extend_construction, Construction, ConstructionConfig};
 pub use delta::{ColumnChange, DeltaEntry, IndexDelta};
 pub use error::EppiError;

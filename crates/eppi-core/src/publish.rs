@@ -27,6 +27,17 @@ use rand::Rng;
 /// (the §III-C re-publication attack) learns nothing about untouched
 /// owners that a single epoch didn't already reveal.
 pub fn publication_coin(epoch_seed: u64, provider: ProviderId, owner: OwnerId) -> f64 {
+    // Top 53 bits → the unit interval, the standard f64 construction.
+    publication_coin_bits(epoch_seed, provider, owner) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The integer form of the publication coin: the top 53 bits of the
+/// cell hash, i.e. `k` with `coin = k / 2^53`. This is the value the
+/// audit layer's flip circuit compares bit-by-bit against
+/// [`publication_threshold`] — the pair is *exactly* equivalent to the
+/// floating-point comparison in [`publish_cell`] (see
+/// `integer_threshold_matches_float_comparison`).
+pub fn publication_coin_bits(epoch_seed: u64, provider: ProviderId, owner: OwnerId) -> u64 {
     let mut h = epoch_seed
         ^ (u64::from(provider.0) + 1).wrapping_mul(0x2545_f491_4f6c_dd1d)
         ^ (u64::from(owner.0) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -35,8 +46,21 @@ pub fn publication_coin(epoch_seed: u64, provider: ProviderId, owner: OwnerId) -
     h ^= h >> 27;
     h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
     h ^= h >> 31;
-    // Top 53 bits → the unit interval, the standard f64 construction.
-    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    h >> 11
+}
+
+/// The integer decision threshold for `beta`: the smallest `T` with
+/// `coin < beta ⟺ publication_coin_bits < T` for every possible coin.
+///
+/// With `k = coin · 2^53` an integer in `[0, 2^53)`, `k/2^53 < β ⟺
+/// k < β·2^53 ⟺ k < ⌈β·2^53⌉` (the scaling by a power of two is exact
+/// in `f64`, and `k` is an integer, so rounding the bound up never
+/// crosses an achievable `k`). `β ≤ 0 → T = 0` (never decoys, matching
+/// the `beta > 0.0` guard) and `β ≥ 1 → T = 2^53` (always), so `T`
+/// always fits in 54 bits — the width of the audit circuit's
+/// comparator.
+pub fn publication_threshold(beta: f64) -> u64 {
+    (beta.clamp(0.0, 1.0) * (1u64 << 53) as f64).ceil() as u64
 }
 
 /// Publishes one cell under the deterministic coin: truthful on
@@ -252,6 +276,57 @@ mod tests {
         }
         let mean = sum / f64::from(cells);
         assert!((mean - 0.5).abs() < 0.01, "coin mean {mean}");
+    }
+
+    #[test]
+    fn integer_threshold_matches_float_comparison() {
+        // The audit circuit replaces `coin < β` (f64) by
+        // `coin_bits < threshold(β)` (54-bit integer compare). The two
+        // must agree for every cell, including the β = 0 guard and the
+        // always-decoy β = 1 edge.
+        let betas = [
+            0.0,
+            1e-17,
+            0.1,
+            0.25,
+            0.3,
+            0.5,
+            1.0 / 3.0,
+            0.875,
+            0.999_999,
+            1.0,
+        ];
+        for &beta in &betas {
+            let t = publication_threshold(beta);
+            assert!(t <= 1 << 53);
+            for p in 0..40u32 {
+                for o in 0..40u32 {
+                    let (provider, owner) = (ProviderId(p), OwnerId(o));
+                    let float = publish_cell(31, provider, owner, false, beta);
+                    let integer = publication_coin_bits(31, provider, owner) < t;
+                    assert_eq!(float, integer, "β = {beta}, cell ({p}, {o})");
+                }
+            }
+        }
+        // Exactly-representable β: T is the exact product, and a coin
+        // sitting exactly on the boundary is *not* below it.
+        assert_eq!(publication_threshold(0.5), 1 << 52);
+        assert_eq!(publication_threshold(0.0), 0);
+        assert_eq!(publication_threshold(1.0), 1 << 53);
+        assert_eq!(publication_threshold(-0.5), 0, "clamped below");
+        assert_eq!(publication_threshold(1.5), 1 << 53, "clamped above");
+    }
+
+    #[test]
+    fn coin_bits_are_the_coin_mantissa() {
+        for p in 0..10u32 {
+            for o in 0..10u32 {
+                let k = publication_coin_bits(9, ProviderId(p), OwnerId(o));
+                assert!(k < 1 << 53);
+                let coin = publication_coin(9, ProviderId(p), OwnerId(o));
+                assert_eq!(coin, k as f64 * (1.0 / (1u64 << 53) as f64));
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,8 @@
 
 use crate::epoch_codec::{decode_epoch, encode_epoch};
 use crate::error::StoreError;
+use crate::wal::{decode_commitments, encode_commitments};
+use eppi_audit::ColumnCommitment;
 use eppi_protocol::IndexEpoch;
 use std::fs::{self, File};
 use std::path::{Path, PathBuf};
@@ -31,6 +33,17 @@ use std::time::{Duration, Instant};
 const PREFIX: &str = "checkpoint-";
 const SUFFIX: &str = ".eppi";
 const TMP_NAME: &str = "checkpoint.tmp";
+
+/// Magic opening an *audited* checkpoint envelope:
+///
+/// ```text
+/// [u32 "EPAC"][u32 record_len][epoch record][audit section]
+/// ```
+///
+/// A legacy checkpoint is the bare epoch record (which starts with the
+/// v2 codec's own `"EPPI"` magic, so the two are unambiguous); the
+/// loader accepts both.
+const ENVELOPE_MAGIC: u32 = u32::from_le_bytes(*b"EPAC");
 
 /// One checkpoint file candidate found on disk.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,7 +91,8 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), StoreError> {
 }
 
 /// Atomically writes `epoch` as the `(lineage, epoch)` checkpoint of
-/// `dir`.
+/// `dir`, wrapping it in the audited envelope when `commitments` is
+/// non-empty.
 ///
 /// # Errors
 ///
@@ -87,8 +101,19 @@ pub fn write_atomic(
     dir: &Path,
     lineage: u64,
     epoch: &IndexEpoch,
+    commitments: &[ColumnCommitment],
 ) -> Result<WriteReceipt, StoreError> {
-    let bytes = encode_epoch(epoch);
+    let record = encode_epoch(epoch);
+    let bytes = if commitments.is_empty() {
+        record
+    } else {
+        let mut out = Vec::with_capacity(record.len() + 16 + commitments.len() * 72);
+        out.extend_from_slice(&ENVELOPE_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(record.len() as u32).to_le_bytes());
+        out.extend_from_slice(&record);
+        encode_commitments(&mut out, commitments);
+        out
+    };
     let tmp = dir.join(TMP_NAME);
     let fin = dir.join(file_name(lineage, epoch.epoch()));
     fs::write(&tmp, &bytes).map_err(|e| StoreError::io("write", &tmp, e))?;
@@ -139,15 +164,31 @@ pub fn scan(dir: &Path) -> Result<Vec<Candidate>, StoreError> {
     Ok(out)
 }
 
-/// Loads and decodes one checkpoint file.
+/// Loads and decodes one checkpoint file: either a bare (legacy) epoch
+/// record, or the audited envelope carrying the head's publication
+/// commitments alongside it.
 ///
 /// # Errors
 ///
 /// [`StoreError::Io`] on read failure, [`StoreError::Codec`] /
 /// [`StoreError::Protocol`] on corrupt or invalid content.
-pub fn load(path: &Path) -> Result<IndexEpoch, StoreError> {
+pub fn load(path: &Path) -> Result<(IndexEpoch, Vec<ColumnCommitment>), StoreError> {
     let bytes = fs::read(path).map_err(|e| StoreError::io("read", path, e))?;
-    decode_epoch(&bytes)
+    if bytes.len() >= 8 && bytes[..4] == ENVELOPE_MAGIC.to_le_bytes() {
+        let record_len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let body = &bytes[8..];
+        if record_len > body.len() {
+            return Err(StoreError::Codec(eppi_index::CodecError::Truncated {
+                expected: 8 + record_len,
+                actual: bytes.len(),
+            }));
+        }
+        let epoch = decode_epoch(&body[..record_len])?;
+        let commitments = decode_commitments(&body[record_len..])?;
+        Ok((epoch, commitments))
+    } else {
+        Ok((decode_epoch(&bytes)?, Vec::new()))
+    }
 }
 
 /// Deletes all but the newest `keep` checkpoints; returns how many were
@@ -221,17 +262,18 @@ mod tests {
     fn write_load_prune_cycle() {
         let dir = tmp_dir("cycle");
         let epoch = sample_epoch(7);
-        let receipt = write_atomic(&dir, 0, &epoch).unwrap();
+        let receipt = write_atomic(&dir, 0, &epoch, &[]).unwrap();
         assert!(receipt.bytes > 0);
         let found = scan(&dir).unwrap();
         assert_eq!(found.len(), 1);
-        let back = load(&found[0].path).unwrap();
+        let (back, commitments) = load(&found[0].path).unwrap();
         assert_eq!(back.index(), epoch.index());
+        assert!(commitments.is_empty());
         assert!(!dir.join(TMP_NAME).exists(), "temp file renamed away");
 
         // Write two more generations and prune down to 2.
-        write_atomic(&dir, 1, &sample_epoch(8)).unwrap();
-        write_atomic(&dir, 2, &sample_epoch(9)).unwrap();
+        write_atomic(&dir, 1, &sample_epoch(8), &[]).unwrap();
+        write_atomic(&dir, 2, &sample_epoch(9), &[]).unwrap();
         assert_eq!(prune(&dir, 2).unwrap(), 1);
         let left = scan(&dir).unwrap();
         assert_eq!(left.len(), 2);
@@ -240,10 +282,48 @@ mod tests {
     }
 
     #[test]
+    fn audited_envelope_roundtrips_and_binds_its_commitments() {
+        use eppi_protocol::{certify_epoch, AuditConfig};
+
+        let dir = tmp_dir("audited");
+        let epoch = sample_epoch(6);
+        let mat = {
+            let mut mat = MembershipMatrix::new(16, 3);
+            for j in 0..3u32 {
+                for p in 0..=j {
+                    mat.set(ProviderId(p * 5), OwnerId(j), true);
+                }
+            }
+            mat
+        };
+        let audit = AuditConfig {
+            params: eppi_audit::AuditParams { repetitions: 2 },
+            ..AuditConfig::default()
+        };
+        let commitments: Vec<_> = certify_epoch(&mat, &epoch, &audit)
+            .into_iter()
+            .map(|c| c.commitment)
+            .collect();
+        write_atomic(&dir, 0, &epoch, &commitments).unwrap();
+        let path = scan(&dir).unwrap().remove(0).path;
+        let (back, loaded) = load(&path).unwrap();
+        assert_eq!(back.index(), epoch.index());
+        assert_eq!(loaded, commitments);
+        // A tampered envelope byte fails the CRC or the audit framing.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let (_, tampered) = load(&path).unwrap();
+        assert_ne!(tampered, commitments, "digest byte flip must surface");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn corrupt_checkpoints_load_as_typed_errors() {
         let dir = tmp_dir("corrupt");
         let epoch = sample_epoch(3);
-        write_atomic(&dir, 0, &epoch).unwrap();
+        write_atomic(&dir, 0, &epoch, &[]).unwrap();
         let path = scan(&dir).unwrap().remove(0).path;
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;

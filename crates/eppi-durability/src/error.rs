@@ -1,5 +1,6 @@
 //! Error types of the durability layer.
 
+use eppi_audit::AuditError;
 use eppi_core::error::EppiError;
 use eppi_index::CodecError;
 use std::error::Error;
@@ -32,6 +33,12 @@ pub enum StoreError {
     /// ([`IndexEpoch::resume`](eppi_protocol::IndexEpoch::resume)) or a
     /// construction over it was rejected.
     Protocol(EppiError),
+    /// Persisted publication commitments no longer verify against the
+    /// recovered (or replayed) epoch — the store's content drifted from
+    /// what the providers certified. Unlike a torn tail this is never
+    /// silently discarded: tampering with audited state is a hard
+    /// error.
+    Audit(AuditError),
     /// The directory holds no checkpoint file at all — the store was
     /// never [`create`](crate::DurableStore::create)d here.
     NoCheckpoint {
@@ -86,6 +93,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::Codec(e) => write!(f, "record decoding failed: {e}"),
             StoreError::Protocol(e) => write!(f, "recovered state rejected: {e}"),
+            StoreError::Audit(e) => {
+                write!(f, "recovered state fails its publication audit: {e}")
+            }
             StoreError::NoCheckpoint { dir } => {
                 write!(f, "no checkpoint found in {}", dir.display())
             }
@@ -117,6 +127,7 @@ impl Error for StoreError {
             StoreError::Io { source, .. } => Some(source),
             StoreError::Codec(e) => Some(e),
             StoreError::Protocol(e) => Some(e),
+            StoreError::Audit(e) => Some(e),
             _ => None,
         }
     }
@@ -131,6 +142,12 @@ impl From<CodecError> for StoreError {
 impl From<EppiError> for StoreError {
     fn from(e: EppiError) -> Self {
         StoreError::Protocol(e)
+    }
+}
+
+impl From<AuditError> for StoreError {
+    fn from(e: AuditError) -> Self {
+        StoreError::Audit(e)
     }
 }
 

@@ -22,6 +22,13 @@
 //! * **Re-anchoring** — an operator can discard a lineage for a fresh
 //!   epoch-0 construction under a bumped lineage generation (the
 //!   anti-archive escape hatch).
+//! * **Audited lineages** — a store created from an
+//!   [`AuditedEpoch`](eppi_protocol::AuditedEpoch) persists every
+//!   provider's publication commitment (checkpoint envelope + journal
+//!   trailer), and recovery re-verifies them against the recovered and
+//!   every replayed epoch: content that drifted from what the providers
+//!   certified surfaces as a hard [`StoreError::Audit`], never a
+//!   silently installed head (DESIGN.md §16).
 //!
 //! ```
 //! use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};

@@ -35,10 +35,15 @@
 use crate::checkpoint;
 use crate::error::StoreError;
 use crate::wal::{TailDefect, Wal, WalRecord};
+use eppi_audit::ColumnCommitment;
 use eppi_core::delta::IndexDelta;
 use eppi_core::model::MembershipMatrix;
-use eppi_protocol::{construct_delta_with_registry, DeltaConstruction, IndexEpoch};
+use eppi_protocol::{
+    construct_delta_audited_traced, construct_delta_with_registry, verify_commitments, AuditConfig,
+    AuditedConstructError, AuditedDelta, AuditedEpoch, DeltaConstruction, IndexEpoch,
+};
 use eppi_telemetry::{Counter, Histogram, Registry};
+use eppi_trace::SpanCtx;
 use eppi_trace::Tracer;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -59,6 +64,7 @@ struct StoreMetrics {
     wal_records: Arc<Counter>,
     wal_append_bytes: Arc<Counter>,
     replayed_records: Arc<Counter>,
+    audit_checks: Arc<Counter>,
     recovery_ns: Arc<Histogram>,
     checkpoint_ns: Arc<Histogram>,
     checkpoint_bytes: Arc<Counter>,
@@ -72,6 +78,7 @@ impl StoreMetrics {
             wal_records: registry.counter("durability.wal_records", &[]),
             wal_append_bytes: registry.counter("durability.wal_append_bytes", &[]),
             replayed_records: registry.counter("durability.replayed_records", &[]),
+            audit_checks: registry.counter("durability.audit_checks", &[]),
             recovery_ns: registry.histogram("durability.recovery_ns", &[]),
             checkpoint_ns: registry.histogram("durability.checkpoint_ns", &[]),
             checkpoint_bytes: registry.counter("durability.checkpoint_bytes", &[]),
@@ -101,6 +108,9 @@ pub struct Recovery {
     pub skipped_stale: usize,
     /// Log bytes discarded (torn tail plus anything past a defect).
     pub discarded_bytes: u64,
+    /// Persisted commitment sets re-verified against recovered state
+    /// (the checkpoint's, plus one per audited replayed record).
+    pub audited: usize,
     /// Why the log tail was discarded, when it was.
     pub tail_defect: Option<TailDefect>,
     /// Wall time of the whole recovery.
@@ -127,6 +137,9 @@ pub struct DurableStore {
     dir: PathBuf,
     lineage: u64,
     head: IndexEpoch,
+    /// The head's publication commitments (empty for an unaudited
+    /// lineage); what the next checkpoint persists.
+    commitments: Vec<ColumnCommitment>,
     wal: Wal,
     metrics: StoreMetrics,
 }
@@ -161,7 +174,7 @@ impl DurableStore {
             return Err(StoreError::AlreadyInitialized { dir });
         }
         let metrics = StoreMetrics::new(registry);
-        let receipt = checkpoint::write_atomic(&dir, 0, epoch)?;
+        let receipt = checkpoint::write_atomic(&dir, 0, epoch, &[])?;
         metrics.fsync(receipt.fsync_wall, receipt.fsyncs);
         metrics.checkpoint_bytes.add(receipt.bytes);
         let mut wal = Wal::open(dir.join(WAL_FILE))?;
@@ -170,6 +183,55 @@ impl DurableStore {
             dir,
             lineage: 0,
             head: epoch.clone(),
+            commitments: Vec::new(),
+            wal,
+            metrics,
+        })
+    }
+
+    /// [`create`](Self::create) for an audited lineage: the anchor's
+    /// per-provider publication commitments are persisted in the
+    /// checkpoint, and every recovery re-verifies them before handing
+    /// the store out.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`create`](Self::create).
+    pub fn create_audited(
+        dir: impl Into<PathBuf>,
+        anchor: &AuditedEpoch,
+    ) -> Result<DurableStore, StoreError> {
+        Self::create_audited_with_registry(dir, anchor, eppi_telemetry::global())
+    }
+
+    /// [`create_audited`](Self::create_audited) reporting telemetry
+    /// into a caller-owned registry.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`create`](Self::create).
+    pub fn create_audited_with_registry(
+        dir: impl Into<PathBuf>,
+        anchor: &AuditedEpoch,
+        registry: &Registry,
+    ) -> Result<DurableStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("create_dir", &dir, e))?;
+        if !checkpoint::scan(&dir)?.is_empty() {
+            return Err(StoreError::AlreadyInitialized { dir });
+        }
+        let commitments = anchor.commitments();
+        let metrics = StoreMetrics::new(registry);
+        let receipt = checkpoint::write_atomic(&dir, 0, &anchor.epoch, &commitments)?;
+        metrics.fsync(receipt.fsync_wall, receipt.fsyncs);
+        metrics.checkpoint_bytes.add(receipt.bytes);
+        let mut wal = Wal::open(dir.join(WAL_FILE))?;
+        wal.clear()?;
+        Ok(DurableStore {
+            dir,
+            lineage: 0,
+            head: anchor.epoch.clone(),
+            commitments,
             wal,
             metrics,
         })
@@ -242,8 +304,8 @@ impl DurableStore {
         let mut picked = None;
         for candidate in candidates {
             match checkpoint::load(&candidate.path) {
-                Ok(epoch) if epoch.epoch() == candidate.epoch => {
-                    picked = Some((epoch, candidate.lineage));
+                Ok((epoch, commitments)) if epoch.epoch() == candidate.epoch => {
+                    picked = Some((epoch, commitments, candidate.lineage));
                     break;
                 }
                 // A decodable file whose content disagrees with its
@@ -254,7 +316,7 @@ impl DurableStore {
                 Err(e) => return Err(e),
             }
         }
-        let Some((mut head, lineage)) = picked else {
+        let Some((mut head, mut commitments, lineage)) = picked else {
             return Err(StoreError::CorruptStore {
                 dir,
                 candidates: total,
@@ -263,6 +325,18 @@ impl DurableStore {
         let checkpoint_epoch = head.epoch();
         load_span.set_payload(total as u64);
         drop(load_span);
+
+        // An audited checkpoint must still verify against the epoch it
+        // carries — a mismatch is tampering with certified state, a
+        // hard error rather than a discardable tail.
+        let mut audited = 0;
+        if !commitments.is_empty() {
+            let mut audit_span = tracer.child(octx, "recover.audit_check");
+            audit_span.set_payload(head.epoch());
+            verify_commitments(&head, &commitments)?;
+            metrics.audit_checks.inc();
+            audited += 1;
+        }
 
         // State 2 — replay the log's valid frame prefix in epoch order.
         let wal_path = dir.join(WAL_FILE);
@@ -294,6 +368,18 @@ impl DurableStore {
             replay_span.set_payload(record.epoch);
             match construct_delta_with_registry(&head, &matrix, &record.delta, registry) {
                 Ok(out) => {
+                    // A journaled audited record must replay to exactly
+                    // the columns its providers certified; a corrupted
+                    // membership column that slips past the CRC is
+                    // caught here as a hard audit error.
+                    if !record.commitments.is_empty() {
+                        let mut audit_span = tracer.child(octx, "recover.audit_check");
+                        audit_span.set_payload(record.epoch);
+                        verify_commitments(&out.epoch, &record.commitments)?;
+                        metrics.audit_checks.inc();
+                        audited += 1;
+                    }
+                    commitments = record.commitments.clone();
                     head = out.epoch;
                     replayed += 1;
                     kept = frame.end;
@@ -327,6 +413,7 @@ impl DurableStore {
             replayed,
             skipped_stale,
             discarded_bytes,
+            audited,
             tail_defect,
             wall,
         };
@@ -335,6 +422,7 @@ impl DurableStore {
                 dir,
                 lineage,
                 head,
+                commitments,
                 wal,
                 metrics,
             },
@@ -345,6 +433,12 @@ impl DurableStore {
     /// The lineage head: the newest durable epoch.
     pub fn head(&self) -> &IndexEpoch {
         &self.head
+    }
+
+    /// The head's persisted publication commitments (empty when the
+    /// head was installed without auditing).
+    pub fn commitments(&self) -> &[ColumnCommitment] {
+        &self.commitments
     }
 
     /// The store directory.
@@ -405,6 +499,75 @@ impl DurableStore {
         self.metrics.wal_append_bytes.add(receipt.bytes);
         self.metrics.fsync(receipt.fsync_wall, 1);
         self.head = built.epoch.clone();
+        // An unaudited advance downgrades the lineage: the old
+        // commitments do not describe the new head.
+        self.commitments.clear();
+        Ok(built)
+    }
+
+    /// [`advance`](Self::advance) through the audit layer: the
+    /// incremental construction is certified by every provider and
+    /// auditor-verified *before* anything is journaled or installed,
+    /// and the certificates' commitments ride the journal record so
+    /// recovery replays stay audit-checked.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Audit`] when the auditor gate rejects (head and
+    /// log unchanged); otherwise the same contract as
+    /// [`advance`](Self::advance).
+    pub fn advance_audited(
+        &mut self,
+        matrix: &MembershipMatrix,
+        delta: &IndexDelta,
+        audit: &AuditConfig,
+    ) -> Result<AuditedDelta, StoreError> {
+        self.advance_audited_with_registry(matrix, delta, audit, eppi_telemetry::global())
+    }
+
+    /// [`advance_audited`](Self::advance_audited) reporting telemetry
+    /// (both the construction's and the `audit.*` instruments) into a
+    /// caller-owned registry.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`advance_audited`](Self::advance_audited).
+    pub fn advance_audited_with_registry(
+        &mut self,
+        matrix: &MembershipMatrix,
+        delta: &IndexDelta,
+        audit: &AuditConfig,
+        registry: &Registry,
+    ) -> Result<AuditedDelta, StoreError> {
+        let next = self.head.epoch() + 1;
+        let built = construct_delta_audited_traced(
+            &self.head,
+            matrix,
+            delta,
+            audit,
+            registry,
+            &Tracer::disabled(),
+            SpanCtx::NONE,
+        )
+        .map_err(|e| match e {
+            AuditedConstructError::Protocol(e) => StoreError::Protocol(e),
+            AuditedConstructError::Audit(e) => StoreError::Audit(e),
+            // Forward-compatibility arm for the #[non_exhaustive]
+            // source enum.
+            _ => StoreError::Audit(eppi_audit::AuditError::Malformed {
+                provider: u32::MAX,
+                reason: "unknown audited-construction failure",
+            }),
+        })?;
+        let commitments = built.commitments();
+        let mut record = WalRecord::capture(self.lineage, next, delta, matrix);
+        record.commitments = commitments.clone();
+        let receipt = self.wal.append(&record)?;
+        self.metrics.wal_records.inc();
+        self.metrics.wal_append_bytes.add(receipt.bytes);
+        self.metrics.fsync(receipt.fsync_wall, 1);
+        self.head = built.delta.epoch.clone();
+        self.commitments = commitments;
         Ok(built)
     }
 
@@ -420,7 +583,8 @@ impl DurableStore {
     /// [`StoreError::Io`].
     pub fn checkpoint(&mut self) -> Result<CheckpointReceipt, StoreError> {
         let started = Instant::now();
-        let receipt = checkpoint::write_atomic(&self.dir, self.lineage, &self.head)?;
+        let receipt =
+            checkpoint::write_atomic(&self.dir, self.lineage, &self.head, &self.commitments)?;
         self.metrics.fsync(receipt.fsync_wall, receipt.fsyncs);
         self.metrics.checkpoint_bytes.add(receipt.bytes);
         self.wal.clear()?;
@@ -460,12 +624,13 @@ impl DurableStore {
         self.wal.clear()?;
         self_fsync_note(&self.metrics);
         let lineage = self.lineage + 1;
-        let receipt = checkpoint::write_atomic(&self.dir, lineage, &anchor)?;
+        let receipt = checkpoint::write_atomic(&self.dir, lineage, &anchor, &[])?;
         self.metrics.fsync(receipt.fsync_wall, receipt.fsyncs);
         self.metrics.checkpoint_bytes.add(receipt.bytes);
         let pruned = checkpoint::prune(&self.dir, KEEP_CHECKPOINTS)?;
         self.lineage = lineage;
         self.head = anchor;
+        self.commitments.clear();
         let wall = started.elapsed();
         self.metrics.checkpoint_ns.record(wall.as_nanos() as u64);
         Ok(CheckpointReceipt {
@@ -710,6 +875,77 @@ mod tests {
         assert_eq!(recovery.lineage, 1);
         assert_eq!(recovery.checkpoint_epoch, 0);
         assert_eq!(reopened.head().index(), fresh.index());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn audited_lineage_roundtrips_and_reverifies_on_recovery() {
+        use eppi_protocol::construct_epoch_audited;
+
+        let dir = tmp_dir("audited");
+        let (mut mat, e, cfg) = base(13);
+        let audit = AuditConfig {
+            params: eppi_audit::AuditParams { repetitions: 3 },
+            ..AuditConfig::default()
+        };
+        let anchor = construct_epoch_audited(&mat, &e, &cfg, &audit).unwrap();
+        let registry = Registry::new();
+        let mut store =
+            DurableStore::create_audited_with_registry(&dir, &anchor, &registry).unwrap();
+        assert_eq!(store.commitments().len(), 24);
+
+        let delta = touch(&mut mat, 2, 5);
+        let built = store
+            .advance_audited_with_registry(&mat, &delta, &audit, &registry)
+            .unwrap();
+        assert_eq!(built.delta.epoch.epoch(), 1);
+        assert_eq!(store.commitments(), &built.commitments()[..]);
+        drop(store);
+
+        // Recovery re-verifies the checkpoint's commitments and the
+        // replayed record's.
+        let (reopened, recovery) = DurableStore::open_with_registry(&dir, &registry).unwrap();
+        assert_eq!(recovery.audited, 2);
+        assert_eq!(reopened.head().epoch(), 1);
+        assert_eq!(reopened.commitments(), &built.commitments()[..]);
+        assert_eq!(registry.counter("durability.audit_checks", &[]).get(), 2);
+
+        // A checkpoint persists the audited head; reopening from it
+        // still runs the audit check.
+        let mut store = reopened;
+        store.checkpoint().unwrap();
+        drop(store);
+        let (reopened, recovery) = DurableStore::open_with_registry(&dir, &registry).unwrap();
+        assert_eq!(recovery.audited, 1);
+        assert_eq!(reopened.commitments(), &built.commitments()[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unaudited_advance_downgrades_the_lineage() {
+        use eppi_protocol::construct_epoch_audited;
+
+        let dir = tmp_dir("downgrade");
+        let (mut mat, e, cfg) = base(14);
+        let audit = AuditConfig {
+            params: eppi_audit::AuditParams { repetitions: 2 },
+            ..AuditConfig::default()
+        };
+        let anchor = construct_epoch_audited(&mat, &e, &cfg, &audit).unwrap();
+        let registry = Registry::new();
+        let mut store =
+            DurableStore::create_audited_with_registry(&dir, &anchor, &registry).unwrap();
+        let delta = touch(&mut mat, 1, 3);
+        store
+            .advance_with_registry(&mat, &delta, &registry)
+            .unwrap();
+        assert!(store.commitments().is_empty());
+        drop(store);
+        let (reopened, recovery) = DurableStore::open_with_registry(&dir, &registry).unwrap();
+        // The checkpoint's commitments were checked, the unaudited
+        // record dropped them.
+        assert_eq!(recovery.audited, 1);
+        assert!(reopened.commitments().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -29,6 +29,8 @@
 //! durable.
 
 use crate::error::StoreError;
+use eppi_audit::ColumnCommitment;
+use eppi_core::commit::Digest256;
 use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};
 use eppi_core::model::{Epsilon, MembershipMatrix, OwnerId, ProviderId};
 use eppi_index::{crc32, CodecError};
@@ -93,6 +95,68 @@ pub struct WalRecord {
     /// `columns[t]`: the new membership column of `delta.touched()[t]`,
     /// packed LSB-first into bytes (`⌈providers/8⌉` each).
     pub columns: Vec<Vec<u8>>,
+    /// Publication commitments of the epoch this record produces, one
+    /// per provider (empty for an unaudited lineage). Encoded as a
+    /// magic-tagged trailing section, so pre-audit records decode
+    /// unchanged.
+    pub commitments: Vec<ColumnCommitment>,
+}
+
+/// Magic tag opening a record's trailing audit section. Chosen so it
+/// cannot be confused with the `TrailingBytes` garbage the strict
+/// decoder otherwise rejects.
+const AUDIT_MAGIC: u32 = u32::from_le_bytes(*b"ADT1");
+
+/// Bytes per commitment entry: provider + owners + two 32-byte digests.
+const COMMITMENT_BYTES: usize = 4 + 4 + 32 + 32;
+
+pub(crate) fn encode_commitments(out: &mut Vec<u8>, commitments: &[ColumnCommitment]) {
+    out.extend_from_slice(&AUDIT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(commitments.len() as u32).to_le_bytes());
+    for c in commitments {
+        out.extend_from_slice(&c.provider.0.to_le_bytes());
+        out.extend_from_slice(&c.owners.to_le_bytes());
+        out.extend_from_slice(&c.published.to_bytes());
+        out.extend_from_slice(&c.decisions.to_bytes());
+    }
+}
+
+pub(crate) fn decode_commitments(bytes: &[u8]) -> Result<Vec<ColumnCommitment>, CodecError> {
+    const HEADER: usize = 8;
+    if bytes.len() < HEADER {
+        return Err(CodecError::Truncated {
+            expected: HEADER,
+            actual: bytes.len(),
+        });
+    }
+    if u32::from_le_bytes(bytes[..4].try_into().unwrap()) != AUDIT_MAGIC {
+        return Err(CodecError::InvalidField {
+            field: "audit magic",
+        });
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let need = HEADER as u128 + count as u128 * COMMITMENT_BYTES as u128;
+    if need != bytes.len() as u128 {
+        return Err(if need > bytes.len() as u128 {
+            CodecError::Truncated {
+                expected: need.min(usize::MAX as u128) as usize,
+                actual: bytes.len(),
+            }
+        } else {
+            CodecError::TrailingBytes(bytes.len() - need as usize)
+        });
+    }
+    Ok((0..count)
+        .map(|i| {
+            let at = HEADER + i * COMMITMENT_BYTES;
+            ColumnCommitment {
+                provider: ProviderId(u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())),
+                owners: u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap()),
+                published: Digest256::from_bytes(bytes[at + 8..at + 40].try_into().unwrap()),
+                decisions: Digest256::from_bytes(bytes[at + 40..at + 72].try_into().unwrap()),
+            }
+        })
+        .collect())
 }
 
 fn column_bytes(providers: usize) -> usize {
@@ -129,6 +193,7 @@ impl WalRecord {
             providers: m,
             delta: delta.clone(),
             columns,
+            commitments: Vec::new(),
         }
     }
 
@@ -172,6 +237,9 @@ impl WalRecord {
         for col in &self.columns {
             out.extend_from_slice(col);
         }
+        if !self.commitments.is_empty() {
+            encode_commitments(&mut out, &self.commitments);
+        }
         out
     }
 
@@ -206,16 +274,22 @@ impl WalRecord {
         }
         let cb = column_bytes(providers);
         let need = HEADER as u128 + k as u128 * (13 + cb as u128);
-        if need != bytes.len() as u128 {
-            return Err(if need > bytes.len() as u128 {
-                CodecError::Truncated {
-                    expected: need.min(usize::MAX as u128) as usize,
-                    actual: bytes.len(),
-                }
-            } else {
-                CodecError::TrailingBytes(bytes.len() - need as usize)
+        if need > bytes.len() as u128 {
+            return Err(CodecError::Truncated {
+                expected: need.min(usize::MAX as u128) as usize,
+                actual: bytes.len(),
             });
         }
+        // Anything past the columns is either a magic-tagged audit
+        // section or trailing garbage; the latter stays an error.
+        let trailer = &bytes[need as usize..];
+        let commitments = if trailer.is_empty() {
+            Vec::new()
+        } else if trailer.len() >= 4 && trailer[..4] == AUDIT_MAGIC.to_le_bytes() {
+            decode_commitments(trailer)?
+        } else {
+            return Err(CodecError::TrailingBytes(trailer.len()));
+        };
         let mut delta = IndexDelta::new(base_owners);
         let mut cursor = HEADER;
         let mut prev_owner: Option<u32> = None;
@@ -275,6 +349,7 @@ impl WalRecord {
             providers,
             delta,
             columns,
+            commitments,
         })
     }
 }

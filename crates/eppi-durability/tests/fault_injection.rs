@@ -143,6 +143,86 @@ fn assert_valid_outcome(dir: &Path) {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Targeted tamper on an *audited* lineage: flip committed membership
+/// bits inside a journaled record's column bytes and fix up the frame's
+/// CRC so the framing layer accepts it. Replay then reconstructs a
+/// column the providers never certified, and recovery must refuse with
+/// a hard [`StoreError::Audit`] — not silently install, not discard as
+/// a torn tail.
+#[test]
+fn audited_wal_tamper_is_a_hard_audit_error() {
+    use eppi_index::crc32;
+    use eppi_protocol::{construct_epoch_audited, AuditConfig};
+
+    let dir = std::env::temp_dir().join(format!("eppi-fault-audit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut matrix = MembershipMatrix::new(16, 5);
+    for o in 0..5u32 {
+        for p in 0..(1 + 2 * o) {
+            matrix.set(ProviderId(p % 16), OwnerId(o), true);
+        }
+    }
+    let epsilons: Vec<Epsilon> = vec![Epsilon::new(0.5).unwrap(); 5];
+    let cfg = ProtocolConfig {
+        seed: 77,
+        ..ProtocolConfig::default()
+    };
+    let audit = AuditConfig {
+        params: eppi_audit::AuditParams { repetitions: 2 },
+        ..AuditConfig::default()
+    };
+    let registry = Registry::new();
+    let anchor = construct_epoch_audited(&matrix, &epsilons, &cfg, &audit).unwrap();
+    let mut store = DurableStore::create_audited_with_registry(&dir, &anchor, &registry).unwrap();
+    matrix.set(
+        ProviderId(9),
+        OwnerId(2),
+        !matrix.get(ProviderId(9), OwnerId(2)),
+    );
+    let mut delta = IndexDelta::new(matrix.owners());
+    delta.record(DeltaEntry {
+        owner: OwnerId(2),
+        change: ColumnChange::Changed,
+        epsilon: Epsilon::new(0.4).unwrap(),
+    });
+    store
+        .advance_audited_with_registry(&matrix, &delta, &audit, &registry)
+        .unwrap();
+    drop(store);
+
+    // Untampered control: recovery verifies both commitment sets.
+    let (reopened, recovery) = DurableStore::open_with_registry(&dir, &Registry::new()).unwrap();
+    assert_eq!(recovery.audited, 2);
+    drop(reopened);
+
+    // Tamper: the single record's frame is [len][crc][payload]; the
+    // payload holds a 32-byte header, one 13-byte delta entry, then the
+    // touched column's membership bytes. Flip a whole column byte
+    // (providers 0..8 of owner 2) and recompute the CRC so the framing
+    // layer cannot tell.
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    let column_at = 8 + 32 + 13;
+    bytes[column_at] ^= 0xff;
+    let crc = crc32(&bytes[8..8 + len]);
+    bytes[4..8].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    match DurableStore::open_with_registry(&dir, &Registry::new()) {
+        Err(StoreError::Audit(e)) => {
+            let kind = e.kind();
+            assert!(
+                kind == "published_digest" || kind == "decisions_digest",
+                "unexpected audit failure kind: {kind}"
+            );
+        }
+        Ok(_) => panic!("tampered audited record was silently installed"),
+        Err(other) => panic!("expected an audit error, got: {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -1,0 +1,489 @@
+//! Audited epoch construction: publication certificates and the
+//! auditor gate (DESIGN.md §16).
+//!
+//! [`construct_epoch_audited`] / [`construct_delta_audited`] run the
+//! ordinary construction and then have every provider *certify* its
+//! published column: a [`ColumnCommitment`] over the column and its
+//! official per-owner publication decisions, plus an MPC-in-the-head
+//! [`ColumnProof`] that the column is the flip circuit's output on the
+//! provider's private raw row ([`eppi_audit`]). The auditor gate
+//! ([`verify_epoch`]) re-checks every certificate against *public*
+//! epoch state only — it never sees a raw row — and a single failing
+//! provider rejects the whole epoch with a typed [`AuditError`] before
+//! anything is installed.
+//!
+//! The commitments (not the proofs) are what `eppi-durability`
+//! persists next to each epoch: both digests are recomputable from
+//! public state, so a recovery replay re-checks them without any
+//! prover randomness ([`verify_commitments`]), and a WAL tamper that
+//! changes any published bit surfaces as an audit error instead of a
+//! silently installed epoch.
+
+use crate::construct::ProtocolConfig;
+use crate::epoch::{
+    construct_delta_with_registry, construct_epoch_with_registry, DeltaConstruction, IndexEpoch,
+};
+use eppi_audit::zkboo::{prove_column_traced, verify_column_traced};
+use eppi_audit::{AuditError, AuditParams, ColumnCommitment, ColumnProof, ColumnStatement};
+use eppi_core::delta::IndexDelta;
+use eppi_core::error::EppiError;
+use eppi_core::model::{Epsilon, MembershipMatrix, ProviderId};
+use eppi_telemetry::Registry;
+use eppi_trace::{SpanCtx, Tracer};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the audit layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Proof-system parameters (repetition count).
+    pub params: AuditParams,
+    /// Seed driving the provers' view randomness. Folded with the
+    /// epoch number and provider id, so every (epoch, provider) proof
+    /// uses an independent transcript.
+    pub prover_seed: u64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            params: AuditParams::default(),
+            prover_seed: 0x5eed,
+        }
+    }
+}
+
+/// One provider's publication certificate for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochCertificate {
+    /// The provider's column + decisions commitment (persisted by the
+    /// durability layer).
+    pub commitment: ColumnCommitment,
+    /// The MPC-in-the-head proof (verified at the gate; not
+    /// persisted).
+    pub proof: ColumnProof,
+}
+
+/// An epoch together with the per-provider certificates that passed
+/// the auditor gate.
+#[derive(Debug, Clone)]
+pub struct AuditedEpoch {
+    /// The constructed epoch.
+    pub epoch: IndexEpoch,
+    /// One certificate per provider, in provider order.
+    pub certificates: Vec<EpochCertificate>,
+}
+
+/// A delta construction together with its certificates.
+#[derive(Debug, Clone)]
+pub struct AuditedDelta {
+    /// The ordinary delta-construction result.
+    pub delta: DeltaConstruction,
+    /// One certificate per provider, in provider order.
+    pub certificates: Vec<EpochCertificate>,
+}
+
+impl AuditedEpoch {
+    /// The persisted commitments, in provider order.
+    pub fn commitments(&self) -> Vec<ColumnCommitment> {
+        self.certificates.iter().map(|c| c.commitment).collect()
+    }
+}
+
+impl AuditedDelta {
+    /// The persisted commitments, in provider order.
+    pub fn commitments(&self) -> Vec<ColumnCommitment> {
+        self.certificates.iter().map(|c| c.commitment).collect()
+    }
+}
+
+/// Why an audited construction failed: the construction itself, or
+/// the auditor gate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AuditedConstructError {
+    /// The underlying (semi-honest) construction failed.
+    Protocol(EppiError),
+    /// The auditor gate rejected a certificate.
+    Audit(AuditError),
+}
+
+impl fmt::Display for AuditedConstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditedConstructError::Protocol(e) => write!(f, "construction failed: {e}"),
+            AuditedConstructError::Audit(e) => write!(f, "audit gate rejected: {e}"),
+        }
+    }
+}
+
+impl Error for AuditedConstructError {}
+
+impl From<EppiError> for AuditedConstructError {
+    fn from(e: EppiError) -> Self {
+        AuditedConstructError::Protocol(e)
+    }
+}
+
+impl From<AuditError> for AuditedConstructError {
+    fn from(e: AuditError) -> Self {
+        AuditedConstructError::Audit(e)
+    }
+}
+
+/// Per-(epoch, provider) prover seed.
+fn prover_seed_for(audit: &AuditConfig, epoch: u64, provider: ProviderId) -> u64 {
+    audit.prover_seed
+        ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ u64::from(provider.0).wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// The public statement of one provider column of `epoch`.
+fn statement<'a>(epoch: &'a IndexEpoch, provider: ProviderId) -> ColumnStatement<'a> {
+    ColumnStatement {
+        epoch_seed: epoch.config().seed,
+        provider,
+        betas: epoch.index().betas(),
+        published: epoch.index().matrix().row_words(provider),
+    }
+}
+
+/// Has every provider certify its column of `epoch`: commitment plus
+/// MPC-in-the-head proof. `matrix` is the *raw* membership matrix the
+/// epoch was constructed from — in the distributed realization each
+/// provider only ever touches its own row.
+pub fn certify_epoch(
+    matrix: &MembershipMatrix,
+    epoch: &IndexEpoch,
+    audit: &AuditConfig,
+) -> Vec<EpochCertificate> {
+    certify_epoch_traced(
+        matrix,
+        epoch,
+        audit,
+        eppi_telemetry::global(),
+        &Tracer::disabled(),
+        SpanCtx::NONE,
+    )
+}
+
+/// [`certify_epoch`] with telemetry (`audit.proofs`,
+/// `audit.proof_bytes`, `audit.prove_ns`) and one `audit.prove` span
+/// per provider.
+pub fn certify_epoch_traced(
+    matrix: &MembershipMatrix,
+    epoch: &IndexEpoch,
+    audit: &AuditConfig,
+    registry: &Registry,
+    tracer: &Tracer,
+    parent: SpanCtx,
+) -> Vec<EpochCertificate> {
+    matrix
+        .provider_ids()
+        .map(|provider| {
+            let stmt = statement(epoch, provider);
+            let commitment =
+                ColumnCommitment::compute(stmt.epoch_seed, provider, stmt.betas, stmt.published);
+            let proof = prove_column_traced(
+                &stmt,
+                matrix.row_words(provider),
+                &audit.params,
+                prover_seed_for(audit, epoch.epoch(), provider),
+                registry,
+                tracer,
+                parent,
+            );
+            EpochCertificate { commitment, proof }
+        })
+        .collect()
+}
+
+/// The auditor gate: verifies every provider's certificate against
+/// public epoch state. Runs before an epoch is installed or
+/// journaled.
+///
+/// # Errors
+///
+/// [`AuditError::CertificateSet`] when the set does not cover the
+/// providers one-to-one; otherwise the first failing certificate's
+/// error, naming provider, repetition, and check.
+pub fn verify_epoch(
+    epoch: &IndexEpoch,
+    certificates: &[EpochCertificate],
+    audit: &AuditConfig,
+) -> Result<(), AuditError> {
+    verify_epoch_traced(
+        epoch,
+        certificates,
+        audit,
+        eppi_telemetry::global(),
+        &Tracer::disabled(),
+        SpanCtx::NONE,
+    )
+}
+
+/// [`verify_epoch`] with telemetry (`audit.verified`,
+/// `audit.rejects{kind=…}`, `audit.verify_ns`) and one `audit.verify`
+/// span per provider.
+pub fn verify_epoch_traced(
+    epoch: &IndexEpoch,
+    certificates: &[EpochCertificate],
+    audit: &AuditConfig,
+    registry: &Registry,
+    tracer: &Tracer,
+    parent: SpanCtx,
+) -> Result<(), AuditError> {
+    if certificates.len() != epoch.providers() {
+        return Err(AuditError::CertificateSet {
+            expected: epoch.providers(),
+            actual: certificates.len(),
+        });
+    }
+    for (i, cert) in certificates.iter().enumerate() {
+        let provider = ProviderId(i as u32);
+        if cert.commitment.provider != provider {
+            return Err(AuditError::Malformed {
+                provider: provider.0,
+                reason: "certificate provider order",
+            });
+        }
+        let stmt = statement(epoch, provider);
+        verify_column_traced(
+            &stmt,
+            &cert.commitment,
+            &cert.proof,
+            &audit.params,
+            registry,
+            tracer,
+            parent,
+        )?;
+    }
+    Ok(())
+}
+
+/// Re-checks persisted commitments against a (possibly replayed)
+/// epoch: the recovery-side audit. Both digests are recomputable from
+/// public state, so this needs no proofs — a replayed epoch whose
+/// published columns or official decisions drifted from what was
+/// committed at construction time fails here.
+///
+/// # Errors
+///
+/// Same per-provider errors as [`ColumnCommitment::verify`], plus
+/// [`AuditError::CertificateSet`] on a count mismatch.
+pub fn verify_commitments(
+    epoch: &IndexEpoch,
+    commitments: &[ColumnCommitment],
+) -> Result<(), AuditError> {
+    if commitments.len() != epoch.providers() {
+        return Err(AuditError::CertificateSet {
+            expected: epoch.providers(),
+            actual: commitments.len(),
+        });
+    }
+    for (i, commitment) in commitments.iter().enumerate() {
+        let provider = ProviderId(i as u32);
+        if commitment.provider != provider {
+            return Err(AuditError::Malformed {
+                provider: provider.0,
+                reason: "commitment provider order",
+            });
+        }
+        let stmt = statement(epoch, provider);
+        commitment.verify(stmt.epoch_seed, stmt.betas, stmt.published)?;
+    }
+    Ok(())
+}
+
+/// [`construct_epoch`](crate::construct_epoch) with the audit layer:
+/// constructs epoch 0, certifies every provider column, and runs the
+/// auditor gate before returning.
+///
+/// # Errors
+///
+/// [`AuditedConstructError::Protocol`] from the construction;
+/// [`AuditedConstructError::Audit`] when the gate rejects (impossible
+/// for honestly produced certificates — its presence is the gate).
+pub fn construct_epoch_audited(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    config: &ProtocolConfig,
+    audit: &AuditConfig,
+) -> Result<AuditedEpoch, AuditedConstructError> {
+    construct_epoch_audited_traced(
+        matrix,
+        epsilons,
+        config,
+        audit,
+        eppi_telemetry::global(),
+        &Tracer::disabled(),
+        SpanCtx::NONE,
+    )
+}
+
+/// [`construct_epoch_audited`] with telemetry and `audit.prove` /
+/// `audit.verify` spans under `parent`.
+///
+/// # Errors
+///
+/// Same contract as [`construct_epoch_audited`].
+pub fn construct_epoch_audited_traced(
+    matrix: &MembershipMatrix,
+    epsilons: &[Epsilon],
+    config: &ProtocolConfig,
+    audit: &AuditConfig,
+    registry: &Registry,
+    tracer: &Tracer,
+    parent: SpanCtx,
+) -> Result<AuditedEpoch, AuditedConstructError> {
+    let epoch = construct_epoch_with_registry(matrix, epsilons, config, registry)?;
+    let certificates = certify_epoch_traced(matrix, &epoch, audit, registry, tracer, parent);
+    verify_epoch_traced(&epoch, &certificates, audit, registry, tracer, parent)?;
+    Ok(AuditedEpoch {
+        epoch,
+        certificates,
+    })
+}
+
+/// [`construct_delta`](crate::construct_delta) with the audit layer:
+/// runs the incremental construction, re-certifies every provider
+/// column of the *new* epoch (commitments cover whole columns, so
+/// untouched providers re-certify cheaply against unchanged bits), and
+/// runs the auditor gate.
+///
+/// # Errors
+///
+/// Same contract as [`construct_epoch_audited`].
+pub fn construct_delta_audited(
+    prev: &IndexEpoch,
+    matrix: &MembershipMatrix,
+    delta: &IndexDelta,
+    audit: &AuditConfig,
+) -> Result<AuditedDelta, AuditedConstructError> {
+    construct_delta_audited_traced(
+        prev,
+        matrix,
+        delta,
+        audit,
+        eppi_telemetry::global(),
+        &Tracer::disabled(),
+        SpanCtx::NONE,
+    )
+}
+
+/// [`construct_delta_audited`] with telemetry and trace spans.
+///
+/// # Errors
+///
+/// Same contract as [`construct_epoch_audited`].
+pub fn construct_delta_audited_traced(
+    prev: &IndexEpoch,
+    matrix: &MembershipMatrix,
+    delta: &IndexDelta,
+    audit: &AuditConfig,
+    registry: &Registry,
+    tracer: &Tracer,
+    parent: SpanCtx,
+) -> Result<AuditedDelta, AuditedConstructError> {
+    let out = construct_delta_with_registry(prev, matrix, delta, registry)?;
+    let certificates = certify_epoch_traced(matrix, &out.epoch, audit, registry, tracer, parent);
+    verify_epoch_traced(&out.epoch, &certificates, audit, registry, tracer, parent)?;
+    Ok(AuditedDelta {
+        delta: out,
+        certificates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eppi_core::delta::{ColumnChange, DeltaEntry, IndexDelta};
+    use eppi_core::model::OwnerId;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn sample_matrix(m: usize, n: usize) -> MembershipMatrix {
+        let mut mat = MembershipMatrix::new(m, n);
+        for j in 0..n as u32 {
+            for p in 0..((3 + j * 5) % m as u32 + 1) {
+                mat.set(ProviderId(p), OwnerId(j), true);
+            }
+        }
+        mat
+    }
+
+    fn quick_audit() -> AuditConfig {
+        AuditConfig {
+            params: AuditParams { repetitions: 6 },
+            ..AuditConfig::default()
+        }
+    }
+
+    #[test]
+    fn audited_epoch_passes_its_own_gate() {
+        let mat = sample_matrix(10, 20);
+        let e: Vec<Epsilon> = (0..20).map(|j| eps(0.2 + (j % 5) as f64 / 10.0)).collect();
+        let cfg = ProtocolConfig {
+            seed: 11,
+            ..ProtocolConfig::default()
+        };
+        let audited = construct_epoch_audited(&mat, &e, &cfg, &quick_audit()).unwrap();
+        assert_eq!(audited.certificates.len(), 10);
+        verify_epoch(&audited.epoch, &audited.certificates, &quick_audit()).unwrap();
+        verify_commitments(&audited.epoch, &audited.commitments()).unwrap();
+    }
+
+    #[test]
+    fn audited_delta_passes_and_commitments_track_the_new_epoch() {
+        let mut mat = sample_matrix(10, 16);
+        let e: Vec<Epsilon> = vec![eps(0.5); 16];
+        let cfg = ProtocolConfig {
+            seed: 3,
+            ..ProtocolConfig::default()
+        };
+        let audit = quick_audit();
+        let base = construct_epoch_audited(&mat, &e, &cfg, &audit).unwrap();
+
+        // A new owner registers: every provider column grows, so the
+        // old commitments are for the wrong column shape.
+        mat.grow_owners(17);
+        mat.set(ProviderId(7), OwnerId(16), true);
+        let mut delta = IndexDelta::new(16);
+        delta.record(DeltaEntry {
+            owner: OwnerId(16),
+            change: ColumnChange::Added,
+            epsilon: eps(0.7),
+        });
+        let next = construct_delta_audited(&base.epoch, &mat, &delta, &audit).unwrap();
+        verify_commitments(&next.delta.epoch, &next.commitments()).unwrap();
+        assert!(verify_commitments(&next.delta.epoch, &base.commitments()).is_err());
+    }
+
+    #[test]
+    fn foreign_certificates_are_rejected() {
+        let mat = sample_matrix(8, 12);
+        let e: Vec<Epsilon> = vec![eps(0.4); 12];
+        let audit = quick_audit();
+        let cfg_a = ProtocolConfig {
+            seed: 1,
+            ..ProtocolConfig::default()
+        };
+        let cfg_b = ProtocolConfig {
+            seed: 2,
+            ..ProtocolConfig::default()
+        };
+        let a = construct_epoch_audited(&mat, &e, &cfg_a, &audit).unwrap();
+        let b = construct_epoch_audited(&mat, &e, &cfg_b, &audit).unwrap();
+        assert!(verify_epoch(&a.epoch, &b.certificates, &audit).is_err());
+        let short = &a.certificates[..7];
+        assert!(matches!(
+            verify_epoch(&a.epoch, short, &audit),
+            Err(AuditError::CertificateSet {
+                expected: 8,
+                actual: 7
+            })
+        ));
+    }
+}

@@ -26,7 +26,7 @@
 //! exactly what stays hidden from the protocol participants.
 
 use crate::countbelow::{run_count_below, run_mix_decision, Backend, StageReport};
-use crate::secsum::secsumshare_sim;
+use crate::secsum::{secsumshare_sim, secsumshare_threaded_stats};
 use eppi_core::error::EppiError;
 use eppi_core::mixing::lambda_for;
 use eppi_core::model::{Epsilon, MembershipMatrix, PublishedIndex};
@@ -254,7 +254,19 @@ pub(crate) fn construct_full(
     // Phase 1.1 — SecSumShare across all m providers.
     let phase = Instant::now();
     let vectors: Vec<_> = matrix.provider_ids().map(|p| matrix.row(p)).collect();
-    let secsum = secsumshare_sim(&vectors, config.c, modulus, config.link, config.seed);
+    // The full batch rides the same backend split as the delta path:
+    // thread-backed backends sum over real threads, the simulated ones
+    // keep the round simulator. Per-provider seeding is identical, so
+    // the shares — and every downstream bit — do not depend on this
+    // choice.
+    let secsum = match config.backend {
+        crate::Backend::Threaded | crate::Backend::Pipelined { .. } => {
+            secsumshare_threaded_stats(&vectors, config.c, modulus, config.seed)
+        }
+        crate::Backend::InProcess | crate::Backend::Simulated => {
+            secsumshare_sim(&vectors, config.c, modulus, config.link, config.seed)
+        }
+    };
     let secsum_wall = phase.elapsed();
 
     // Phase 1.2a — CountBelow among the c coordinators.

@@ -25,6 +25,13 @@
 //!   untouched owner count (DESIGN.md §10).
 //! * [`pure_mpc`] — the paper's *pure MPC* baseline, for the Fig. 6
 //!   comparisons.
+//! * [`audit`] — the verifiable-publication layer: per-provider
+//!   [`ColumnCommitment`]s plus MPC-in-the-head proofs
+//!   ([`construct_epoch_audited`] / [`construct_delta_audited`]), and
+//!   the auditor gate that rejects a cheating provider's epoch before
+//!   it is installed (DESIGN.md §16).
+//!
+//! [`ColumnCommitment`]: eppi_audit::ColumnCommitment
 //!
 //! ## Example
 //!
@@ -48,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod construct;
 pub mod countbelow;
 pub mod epoch;
@@ -57,6 +65,12 @@ pub mod secsum;
 pub mod sim_gmw;
 pub mod threaded_gmw;
 
+pub use audit::{
+    certify_epoch, certify_epoch_traced, construct_delta_audited, construct_delta_audited_traced,
+    construct_epoch_audited, construct_epoch_audited_traced, verify_commitments, verify_epoch,
+    verify_epoch_traced, AuditConfig, AuditedConstructError, AuditedDelta, AuditedEpoch,
+    EpochCertificate,
+};
 pub use construct::{
     construct_distributed, construct_distributed_with_registry, ConstructionReport,
     DistributedConstruction, PhaseWall, ProtocolConfig,

@@ -15,8 +15,12 @@
 //!   protocol (SecSumShare + CountBelow) and the pure-MPC baseline.
 //! * [`index`] — the locator service: `QueryPPI` + `AuthSearch`.
 //! * [`baselines`] — grouping PPI and SS-PPI comparators.
-//! * [`attacks`] — the primary and common-identity attacks and privacy
-//!   evaluation.
+//! * [`attacks`] — the primary and common-identity attacks, privacy
+//!   evaluation, and the cheating-provider models exercised against the
+//!   publication audit.
+//! * [`audit`] — verifiable publication: hash commitments over served
+//!   columns plus ZKBoo-style MPC-in-the-head proofs that each
+//!   published cell follows the committed β flip rule.
 //! * [`workload`] — synthetic information-network workloads.
 //! * [`serve`] — the serving front-end: sharded index layout, a
 //!   worker-per-shard concurrent query engine, lock-free snapshot
@@ -58,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub use eppi_attacks as attacks;
+pub use eppi_audit as audit;
 pub use eppi_baselines as baselines;
 pub use eppi_core as core;
 pub use eppi_durability as durability;
